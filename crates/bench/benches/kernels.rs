@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks for the workspace's hot kernels.
+//!
+//! `cargo bench --workspace` runs these; the per-experiment tables live in
+//! `src/bin/` instead (they measure scenario-level behaviour, not kernels).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tinymlops_crypto::{sha256, Drbg, MerkleSigner, SealedBox};
+use tinymlops_fed::{local_train, LocalTrainConfig};
+use tinymlops_meter::audit::{AuditLog, EntryKind};
+use tinymlops_nn::data::gaussian_blobs;
+use tinymlops_nn::model::mlp;
+use tinymlops_quant::{BinaryDense, QDense};
+use tinymlops_tensor::{Tensor, TensorRng};
+use tinymlops_verify::sumcheck::{int_matmul, prove_matmul, verify_matmul};
+use tinymlops_verify::Transcript;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(1);
+    let a = rng.uniform(&[64, 64], -1.0, 1.0);
+    let b = rng.uniform(&[64, 64], -1.0, 1.0);
+    c.bench_function("gemm_f32_64x64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(black_box(&b)).unwrap()))
+    });
+
+    let w = rng.uniform(&[64, 64], -1.0, 1.0);
+    let bias = Tensor::zeros(&[64]);
+    let x = rng.uniform(&[64, 64], -1.0, 1.0);
+    let q8 = QDense::quantize(&w, &bias, 8, 1.0 / 127.0);
+    c.bench_function("qdense_int8_64x64x64", |bench| {
+        bench.iter(|| black_box(q8.forward(black_box(&x))))
+    });
+    let q2 = QDense::quantize(&w, &bias, 2, 1.0 / 127.0);
+    c.bench_function("qdense_int2_64x64x64", |bench| {
+        bench.iter(|| black_box(q2.forward(black_box(&x))))
+    });
+    let qb = BinaryDense::quantize(&w, &bias);
+    c.bench_function("binary_xnor_64x64x64", |bench| {
+        bench.iter(|| black_box(qb.forward(black_box(&x))))
+    });
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let data = vec![0xabu8; 16 * 1024];
+    c.bench_function("sha256_16KiB", |bench| {
+        bench.iter(|| black_box(sha256(black_box(&data))))
+    });
+    let key = [7u8; 32];
+    c.bench_function("sealedbox_seal_open_16KiB", |bench| {
+        bench.iter(|| {
+            let boxed = SealedBox::seal(&key, [1u8; 12], b"", black_box(&data));
+            black_box(boxed.open(&key, b"").unwrap())
+        })
+    });
+    c.bench_function("merkle_sign_verify", |bench| {
+        bench.iter_batched(
+            || MerkleSigner::generate(&mut Drbg::from_u64(1, b"bench"), 1),
+            |mut signer| {
+                let root = signer.public_key();
+                let sig = signer.sign(b"capsule").unwrap();
+                MerkleSigner::verify(&root, b"capsule", &sig).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sumcheck(c: &mut Criterion) {
+    let (m, n, b) = (64usize, 128usize, 8usize);
+    let a: Vec<i64> = (0..m * n).map(|i| ((i as i64 * 37) % 255) - 127).collect();
+    let x: Vec<i64> = (0..b * n).map(|i| ((i as i64 * 91) % 255) - 127).collect();
+    let cc = int_matmul(&a, &x, m, n, b);
+    c.bench_function("sumcheck_prove_64x128_b8", |bench| {
+        bench.iter(|| {
+            let mut t = Transcript::new(b"bench");
+            black_box(prove_matmul(&a, &x, &cc, m, n, b, &mut t))
+        })
+    });
+    let mut t = Transcript::new(b"bench");
+    let (proof, _) = prove_matmul(&a, &x, &cc, m, n, b, &mut t);
+    c.bench_function("sumcheck_verify_64x128_b8", |bench| {
+        bench.iter(|| {
+            let mut t = Transcript::new(b"bench");
+            verify_matmul(&a, &x, &cc, m, n, b, &mut t, &proof).unwrap();
+        })
+    });
+    c.bench_function("int_matmul_reexec_64x128_b8", |bench| {
+        bench.iter(|| black_box(int_matmul(&a, &x, m, n, b)))
+    });
+}
+
+fn bench_metering(c: &mut Criterion) {
+    c.bench_function("audit_append_1k", |bench| {
+        bench.iter(|| {
+            let mut log = AuditLog::new([1u8; 32]);
+            for t in 0..1000 {
+                log.append(EntryKind::Query, 1, t);
+            }
+            black_box(log)
+        })
+    });
+    let mut log = AuditLog::new([1u8; 32]);
+    for t in 0..1000 {
+        log.append(EntryKind::Query, 1, t);
+    }
+    c.bench_function("audit_verify_1k", |bench| {
+        bench.iter(|| log.verify(&[1u8; 32]).unwrap())
+    });
+}
+
+fn bench_federated(c: &mut Criterion) {
+    let data = gaussian_blobs(128, 3, 8, 0.5, 1);
+    let model = mlp(&[8, 16, 3], &mut TensorRng::seed(1));
+    c.bench_function("fl_local_train_128ex", |bench| {
+        bench.iter(|| black_box(local_train(&model, &data, &LocalTrainConfig::default())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm, bench_crypto, bench_sumcheck, bench_metering, bench_federated
+}
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! E5 — §III-C: prepaid packages, denial at zero, "$1.50 per 1,000
+//! requests", and tamper evidence "in a secure offline way on untrusted
+//! hardware".
+//!
+//! Metering throughput, chain-verification cost, tamper/rollback detection
+//! rates, and invoice reconciliation.
+
+use tinymlops_bench::{fmt, print_table, save_json, time_ms};
+use tinymlops_crypto::Drbg;
+use tinymlops_meter::audit::{AuditLog, EntryKind};
+use tinymlops_meter::{Invoice, QuotaManager, RateCard, SyncServer, VoucherIssuer, VoucherLedger};
+
+fn main() {
+    println!("E5: offline pay-per-query metering");
+    let key = [5u8; 32];
+
+    // Throughput: consume+audit ops/s at several log sizes.
+    let mut rows = Vec::new();
+    for &n in &[1_000u64, 10_000, 50_000] {
+        let mut quota = QuotaManager::new(key);
+        quota.credit(n, 1, 0);
+        let (_, consume_ms) = time_ms(|| {
+            for t in 0..n {
+                quota.consume(1, t).expect("prepaid");
+            }
+        });
+        let (verify_res, verify_ms) = time_ms(|| quota.log().verify(&key));
+        verify_res.expect("honest chain");
+        rows.push(vec![
+            n.to_string(),
+            fmt(n as f64 / (consume_ms / 1000.0), 0),
+            fmt(verify_ms, 2),
+            fmt(verify_ms / n as f64 * 1000.0, 2),
+        ]);
+    }
+    let headers = ["queries", "meter ops/s", "chain verify ms", "µs/entry"];
+    print_table("E5a metering throughput", &headers, &rows);
+    save_json("e05_metering_throughput", &headers, &rows);
+
+    // Tamper detection: random single-entry edits must always be caught.
+    let mut detection_rows = Vec::new();
+    let mut rng = Drbg::from_u64(55, b"tamper");
+    for (attack, mutate) in [
+        (
+            "edit payload",
+            Box::new(|log: &mut AuditLog, idx: usize| {
+                log_edit_payload(log, idx);
+            }) as Box<dyn Fn(&mut AuditLog, usize)>,
+        ),
+        ("delete entry", Box::new(|log: &mut AuditLog, idx: usize| {
+            log_delete(log, idx);
+        })),
+        ("swap entries", Box::new(|log: &mut AuditLog, idx: usize| {
+            log_swap(log, idx);
+        })),
+    ] {
+        let trials = 200;
+        let mut caught = 0;
+        for _ in 0..trials {
+            let mut log = AuditLog::new(key);
+            for t in 0..100 {
+                log.append(EntryKind::Query, 1, t);
+            }
+            let idx = (rng.gen_range(99)) as usize;
+            mutate(&mut log, idx);
+            if log.verify(&key).is_err() {
+                caught += 1;
+            }
+        }
+        detection_rows.push(vec![
+            attack.to_string(),
+            format!("{caught}/{trials}"),
+            fmt(caught as f64 / f64::from(trials) * 100.0, 1),
+        ]);
+    }
+    // Rollback across syncs.
+    {
+        let trials = 200;
+        let mut caught = 0;
+        let mut rng2 = Drbg::from_u64(56, b"rollback");
+        for _ in 0..trials {
+            let mut server = SyncServer::new();
+            server.provision(1, key);
+            let mut quota = QuotaManager::new(key);
+            quota.credit(100, 1, 0);
+            let spend = 1 + rng2.gen_range(99);
+            for t in 0..spend {
+                quota.consume(1, t).unwrap();
+            }
+            server.sync(1, quota.log()).unwrap();
+            // Restore pre-spend snapshot, spend a little, sync again.
+            let mut restored = QuotaManager::new(key);
+            restored.credit(100, 1, 0);
+            restored.consume(1, 0).unwrap();
+            if server.sync(1, restored.log()).is_err() {
+                caught += 1;
+            }
+        }
+        detection_rows.push(vec![
+            "rollback (snapshot restore)".to_string(),
+            format!("{caught}/{trials}"),
+            fmt(caught as f64 / f64::from(trials) * 100.0, 1),
+        ]);
+    }
+    let headers2 = ["attack", "caught", "detection %"];
+    print_table("E5b tamper & rollback detection", &headers2, &detection_rows);
+    save_json("e05_metering_detection", &headers2, &detection_rows);
+
+    // Billing reconciliation at the paper's $1.50/1k rate.
+    let rates = RateCard::cloud_vision_like();
+    let mut billing_rows = Vec::new();
+    for &q in &[500u64, 1000, 1001, 2000, 10_000, 100_000] {
+        billing_rows.push(vec![
+            q.to_string(),
+            Invoice::compute(1, q, &rates).amount_display(),
+        ]);
+    }
+    let headers3 = ["queries", "invoice"];
+    print_table("E5c invoices at $1.50/1k (first 1k free)", &headers3, &billing_rows);
+    save_json("e05_metering_billing", &headers3, &billing_rows);
+
+    // Voucher double-spend.
+    let mut issuer = VoucherIssuer::new([6u8; 32]);
+    let mut ledger = VoucherLedger::new();
+    let v = issuer.issue(1000, 7);
+    ledger.register(v.serial).unwrap();
+    println!(
+        "\nvoucher duplicate redemption rejected: {}",
+        ledger.register(v.serial).is_err()
+    );
+}
+
+fn log_edit_payload(log: &mut AuditLog, idx: usize) {
+    // Tamper via serialization round-trip (entries are private behind the
+    // API; an attacker edits the bytes on flash).
+    let mut json: serde_json::Value = serde_json::to_value(&*log).expect("serialize");
+    json["entries"][idx]["payload"] = serde_json::json!(0);
+    *log = serde_json::from_value(json).expect("deserialize");
+}
+
+fn log_delete(log: &mut AuditLog, idx: usize) {
+    let mut json: serde_json::Value = serde_json::to_value(&*log).expect("serialize");
+    let entries = json["entries"].as_array_mut().expect("array");
+    entries.remove(idx);
+    *log = serde_json::from_value(json).expect("deserialize");
+}
+
+fn log_swap(log: &mut AuditLog, idx: usize) {
+    let mut json: serde_json::Value = serde_json::to_value(&*log).expect("serialize");
+    let entries = json["entries"].as_array_mut().expect("array");
+    let next = (idx + 1).min(entries.len() - 1);
+    if next != idx {
+        entries.swap(idx, next);
+    } else {
+        entries.swap(idx, idx.saturating_sub(1));
+    }
+    *log = serde_json::from_value(json).expect("deserialize");
+}

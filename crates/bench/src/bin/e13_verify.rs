@@ -1,0 +1,136 @@
+//! E13 — §VI: "recent innovations have reduced this overhead to about 5%
+//! of the execution time of a model" (SafetyNets) and "MobileNet … an
+//! overhead of around 2X" (MLCapsule).
+//!
+//! Sum-check prover overhead, proof size, verifier-vs-re-execution time
+//! across layer sizes and batch sizes; end-to-end quantized-MLP proof;
+//! SPE cost model at the 2x factor.
+
+use tinymlops_bench::{fmt, fmt_bytes, print_table, save_json, time_ms_n};
+use tinymlops_nn::data::synth_digits;
+use tinymlops_nn::model::mlp;
+use tinymlops_nn::train::{fit, FitConfig};
+use tinymlops_nn::Adam;
+use tinymlops_quant::{QuantScheme, QuantizedModel};
+use tinymlops_tensor::TensorRng;
+use tinymlops_verify::sumcheck::{int_matmul, prove_matmul, verify_matmul};
+use tinymlops_verify::{Enclave, Transcript, VerifiableModel};
+
+fn main() {
+    let seed = 13u64;
+    println!("E13: verifiable execution costs (seed {seed})");
+
+    // (a) Single-layer sum-check across sizes and batches.
+    let mut rows = Vec::new();
+    for &(m, n) in &[(32usize, 64usize), (64, 128), (128, 256), (256, 512)] {
+        for &b in &[1usize, 8, 32, 128] {
+            let a: Vec<i64> = (0..m * n).map(|i| ((i as i64 * 37) % 255) - 127).collect();
+            let x: Vec<i64> = (0..b * n).map(|i| ((i as i64 * 91) % 255) - 127).collect();
+            let c = int_matmul(&a, &x, m, n, b);
+            let exec_ms = time_ms_n(20, || {
+                let _ = int_matmul(&a, &x, m, n, b);
+            });
+            let prove_ms = time_ms_n(10, || {
+                let mut t = Transcript::new(b"bench");
+                let _ = prove_matmul(&a, &x, &c, m, n, b, &mut t);
+            });
+            let mut t = Transcript::new(b"bench");
+            let (proof, _) = prove_matmul(&a, &x, &c, m, n, b, &mut t);
+            let verify_ms = time_ms_n(10, || {
+                let mut t = Transcript::new(b"bench");
+                verify_matmul(&a, &x, &c, m, n, b, &mut t, &proof).expect("verifies");
+            });
+            rows.push(vec![
+                format!("{m}x{n}"),
+                b.to_string(),
+                fmt(exec_ms, 3),
+                fmt(prove_ms, 3),
+                fmt(prove_ms / exec_ms * 100.0, 0),
+                fmt(verify_ms, 3),
+                fmt(exec_ms / verify_ms, 2),
+                fmt_bytes(proof.size_bytes() as u64),
+            ]);
+        }
+    }
+    let headers = [
+        "layer",
+        "batch",
+        "exec ms",
+        "prove ms",
+        "prove/exec %",
+        "verify ms",
+        "re-exec/verify",
+        "proof",
+    ];
+    print_table("E13a sum-check costs per quantized matmul", &headers, &rows);
+    save_json("e13_sumcheck", &headers, &rows);
+
+    // (b) End-to-end: quantized digits MLP with proof.
+    let data = synth_digits(1000, 0.08, seed);
+    let (train, test) = data.split(0.85, 0);
+    let mut rng = TensorRng::seed(seed);
+    let mut model = mlp(&[64, 32, 10], &mut rng);
+    let mut opt = Adam::new(0.005);
+    fit(&mut model, &train, &mut opt, &FitConfig { epochs: 10, batch_size: 32, ..Default::default() });
+    let q = QuantizedModel::quantize(&model, &train.x, QuantScheme::Int8).expect("int8");
+    let vm = VerifiableModel::from_quantized(&q).expect("provable");
+    let mut e2e_rows = Vec::new();
+    for &batch in &[1usize, 8, 32, 64] {
+        let x = test.x.slice_rows(0, batch);
+        let plain_ms = time_ms_n(10, || {
+            let _ = vm.forward(&x);
+        });
+        let prove_ms = time_ms_n(5, || {
+            let _ = vm.prove(&x);
+        });
+        let (y, proof) = vm.prove(&x);
+        let verify_ms = time_ms_n(5, || {
+            vm.verify(&x, &y, &proof).expect("verifies");
+        });
+        e2e_rows.push(vec![
+            batch.to_string(),
+            fmt(plain_ms, 3),
+            fmt(prove_ms, 3),
+            fmt(prove_ms / plain_ms * 100.0, 0),
+            fmt(verify_ms, 3),
+            fmt(plain_ms / verify_ms, 2),
+            fmt_bytes(proof.size_bytes() as u64),
+        ]);
+    }
+    let e2e_headers = [
+        "batch",
+        "infer ms",
+        "prove ms",
+        "prove/infer %",
+        "verify ms",
+        "infer/verify",
+        "proof",
+    ];
+    print_table("E13b end-to-end provable int8 MLP (64-32-10)", &e2e_headers, &e2e_rows);
+    save_json("e13_e2e", &e2e_headers, &e2e_rows);
+
+    // (c) SPE cost model at the MLCapsule-quoted 2x. Use a batch big
+    // enough that the fixed boundary-crossing cost does not dominate
+    // (the MobileNet-scale regime MLCapsule measured).
+    let enclave = Enclave::provision(&model, [1u8; 32], [2u8; 32], 2.0);
+    let x = test.x.slice_rows(0, 128);
+    let base_ms = time_ms_n(20, || {
+        let _ = model.forward(&x);
+    });
+    let (_, report, enclave_ms) = enclave.infer(&x, 1, base_ms).expect("enclave");
+    Enclave::verify_report(&report, &[2u8; 32], &enclave.measurement(), 1).expect("attest");
+    let spe_rows = vec![vec![
+        fmt(base_ms, 3),
+        fmt(enclave_ms, 3),
+        fmt(enclave_ms / base_ms, 2),
+        "verified".to_string(),
+    ]];
+    let spe_headers = ["plain ms", "enclave ms", "factor", "attestation"];
+    print_table("E13c SPE (MLCapsule-style, 2x model)", &spe_headers, &spe_rows);
+    save_json("e13_spe", &spe_headers, &spe_rows);
+    println!(
+        "\nshape check: verifier beats re-execution once batches amortize the weight-MLE \
+         evaluation; proofs are KB-scale; prover overhead is the honest cost SafetyNets \
+         reports as small-percent on larger models. SPE lands at its configured ~2x."
+    );
+}

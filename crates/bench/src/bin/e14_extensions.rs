@@ -1,0 +1,146 @@
+//! E14 — the paper's forward-pointing claims, implemented and measured:
+//!
+//! (a) §III-D "catastrophic forgetting" — naive sequential fine-tuning vs
+//!     reservoir replay across buffer sizes;
+//! (b) §III-D "the data remains completely unlabeled … semi-supervised" —
+//!     seed-anchored pseudo-label federated learning;
+//! (c) §III-A "1 bit (binary) weights and operations" — post-hoc
+//!     binarization vs binarization-aware training (the E1 follow-up);
+//! (d) §V "weight scrambling" — the keyed-permutation functional lock.
+
+use tinymlops_bench::{fmt, print_table, save_json, time_ms};
+use tinymlops_fed::{
+    forgetting, partition_iid, run_semi_supervised, train_sequential, ReplayBuffer, SemiConfig,
+};
+use tinymlops_ipp::{descramble, scramble};
+use tinymlops_nn::data::synth_digits;
+use tinymlops_nn::model::mlp;
+use tinymlops_nn::train::{evaluate, fit, FitConfig};
+use tinymlops_nn::{Adam, Dataset};
+use tinymlops_quant::{binary_aware_finetune, export_binary, BinaryAwareConfig};
+use tinymlops_tensor::TensorRng;
+
+fn main() {
+    let seed = 14u64;
+    println!("E14: extension features (seed {seed})");
+
+    // ── (a) Catastrophic forgetting.
+    let all = synth_digits(2000, 0.08, seed);
+    let split_classes = |lo: usize, hi: usize| -> (Dataset, Dataset) {
+        let idx: Vec<usize> = (0..all.len())
+            .filter(|&i| all.y[i] >= lo && all.y[i] < hi)
+            .collect();
+        all.subset(&idx).split(0.8, 5)
+    };
+    let phases = vec![split_classes(0, 5), split_classes(5, 10)];
+    let mut rows = Vec::new();
+    for (name, capacity) in [("naive (no replay)", 0usize), ("replay-50", 50), ("replay-150", 150), ("replay-400", 400)] {
+        let mut model = mlp(&[64, 32, 10], &mut TensorRng::seed(3));
+        let matrix = if capacity == 0 {
+            train_sequential(&mut model, &phases, None, 8, 0.05, 0)
+        } else {
+            let mut buf = ReplayBuffer::new(capacity, 64, 10, 1);
+            train_sequential(&mut model, &phases, Some(&mut buf), 8, 0.05, 0)
+        };
+        let last = matrix.last().expect("phases ran");
+        rows.push(vec![
+            name.to_string(),
+            fmt(f64::from(matrix[0][0]), 3),
+            fmt(f64::from(last[0]), 3),
+            fmt(f64::from(last[1]), 3),
+            fmt(f64::from(forgetting(&matrix)), 3),
+        ]);
+    }
+    let headers = ["strategy", "task1 after task1", "task1 final", "task2 final", "forgetting"];
+    print_table("E14a catastrophic forgetting (digits 0-4 then 5-9)", &headers, &rows);
+    save_json("e14_continual", &headers, &rows);
+
+    // ── (b) Semi-supervised FL from a tiny labelled seed.
+    let data = synth_digits(2400, 0.08, seed);
+    let (train, test) = data.split(0.85, 0);
+    let (seed_set, unlabeled_pool) = train.split(0.06, 1);
+    let clients = partition_iid(&unlabeled_pool, 8, 2);
+    let mut model = mlp(&[64, 24, 10], &mut TensorRng::seed(3));
+    let mut opt = Adam::new(0.005);
+    fit(&mut model, &seed_set, &mut opt, &FitConfig { epochs: 20, batch_size: 16, ..Default::default() });
+    let seed_only = evaluate(&model, &test);
+    let stats = run_semi_supervised(&mut model, &seed_set, &clients, &test, 30, &SemiConfig::default());
+    let mut b_rows = vec![vec![
+        seed_set.len().to_string(),
+        unlabeled_pool.len().to_string(),
+        fmt(f64::from(seed_only), 3),
+        fmt(f64::from(stats.last().map_or(0.0, |s| s.accuracy)), 3),
+        fmt(f64::from(stats.last().map_or(0.0, |s| s.pseudo_label_rate)), 2),
+        fmt(f64::from(stats.last().map_or(0.0, |s| s.pseudo_label_accuracy)), 3),
+    ]];
+    let b_headers = [
+        "labelled seed",
+        "unlabeled pool",
+        "seed-only acc",
+        "semi-FL acc (30 rds)",
+        "pseudo-label rate",
+        "pseudo-label acc",
+    ];
+    print_table("E14b semi-supervised federated learning", &b_headers, &b_rows);
+    save_json("e14_semi", &b_headers, &b_rows);
+    b_rows.clear();
+
+    // ── (c) Binary-aware training vs post-hoc binarization.
+    let bdata = synth_digits(1500, 0.08, seed + 1);
+    let (btrain, btest) = bdata.split(0.85, 0);
+    let mut bmodel = mlp(&[64, 48, 10], &mut TensorRng::seed(7));
+    let mut bopt = Adam::new(0.005);
+    fit(&mut bmodel, &btrain, &mut bopt, &FitConfig { epochs: 15, batch_size: 32, ..Default::default() });
+    let f32_acc = evaluate(&bmodel, &btest);
+    let cfg = BinaryAwareConfig::default();
+    let (_, posthoc) = export_binary(&bmodel, &cfg);
+    let posthoc_acc = evaluate(&posthoc, &btest);
+    let mut aware_model = bmodel.clone();
+    binary_aware_finetune(&mut aware_model, &btrain, &cfg);
+    let (_, aware) = export_binary(&aware_model, &cfg);
+    let aware_acc = evaluate(&aware, &btest);
+    let c_rows = vec![vec![
+        fmt(f64::from(f32_acc), 3),
+        fmt(f64::from(posthoc_acc), 3),
+        fmt(f64::from(aware_acc), 3),
+        fmt(f64::from(aware_acc - posthoc_acc), 3),
+    ]];
+    let c_headers = ["f32 acc", "post-hoc 1-bit acc", "binary-aware 1-bit acc", "recovered"];
+    print_table("E14c binarization-aware training (STE)", &c_headers, &c_rows);
+    save_json("e14_binary_aware", &c_headers, &c_rows);
+
+    // ── (d) Weight scrambling: the functional lock and its cost.
+    let key = [14u8; 32];
+    let mut locked = bmodel.clone();
+    let (_, scramble_ms) = time_ms(|| scramble(&mut locked, &key));
+    let locked_acc = evaluate(&locked, &btest);
+    let mut unlocked = locked.clone();
+    let (_, descramble_ms) = time_ms(|| descramble(&mut unlocked, &key));
+    let unlocked_acc = evaluate(&unlocked, &btest);
+    let mut wrong = locked.clone();
+    descramble(&mut wrong, &[99u8; 32]);
+    let wrong_acc = evaluate(&wrong, &btest);
+    let d_rows = vec![vec![
+        fmt(f64::from(f32_acc), 3),
+        fmt(f64::from(locked_acc), 3),
+        fmt(f64::from(unlocked_acc), 3),
+        fmt(f64::from(wrong_acc), 3),
+        fmt(scramble_ms, 3),
+        fmt(descramble_ms, 3),
+    ]];
+    let d_headers = [
+        "base acc",
+        "scrambled acc",
+        "unlocked acc",
+        "wrong-key acc",
+        "scramble ms",
+        "descramble ms",
+    ];
+    print_table("E14d keyed weight scrambling (§V)", &d_headers, &d_rows);
+    save_json("e14_scramble", &d_headers, &d_rows);
+    println!(
+        "\nshape check: replay buys back almost all forgotten accuracy at 150-example cost; \
+         unlabeled fleets lift a weak seed model; STE training rescues 1-bit deployment; \
+         scrambling is a microsecond-scale functional lock."
+    );
+}

@@ -1,0 +1,69 @@
+//! The TinyMLOps platform: every Figure-1 functionality block behind one
+//! API.
+//!
+//! Figure 1 of the paper sketches a TinyMLOps system as a hub connecting:
+//! model store / versioning, deployment to a fragmented fleet,
+//! observability, pay-per-query metering, federated learning &
+//! personalization, IP protection, and verifiable execution. Each of those
+//! is a dedicated crate in this workspace; this crate is the hub —
+//! [`Platform`] owns the services and [`lifecycle`] drives an end-to-end
+//! pass that experiment F1 and the examples execute.
+
+pub mod lifecycle;
+pub mod platform;
+
+pub use lifecycle::{run_lifecycle, LifecycleConfig, LifecycleReport, StageReport};
+pub use platform::{Platform, PlatformConfig};
+
+/// Errors bubbled up from any subsystem.
+#[derive(Debug)]
+pub enum PlatformError {
+    /// Registry failure.
+    Registry(tinymlops_registry::RegistryError),
+    /// Deployment failure.
+    Deploy(tinymlops_deploy::DeployError),
+    /// Metering failure.
+    Meter(tinymlops_meter::MeterError),
+    /// Federated-learning failure.
+    Fed(tinymlops_fed::FedError),
+    /// Verification failure.
+    Verify(tinymlops_verify::VerifyError),
+    /// IP-protection failure.
+    Ipp(tinymlops_ipp::IppError),
+    /// Quantization failure.
+    Quant(tinymlops_quant::QuantError),
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::Registry(e) => write!(f, "registry: {e}"),
+            PlatformError::Deploy(e) => write!(f, "deploy: {e}"),
+            PlatformError::Meter(e) => write!(f, "meter: {e}"),
+            PlatformError::Fed(e) => write!(f, "fed: {e}"),
+            PlatformError::Verify(e) => write!(f, "verify: {e}"),
+            PlatformError::Ipp(e) => write!(f, "ipp: {e}"),
+            PlatformError::Quant(e) => write!(f, "quant: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for PlatformError {
+            fn from(e: $ty) -> Self {
+                PlatformError::$variant(e)
+            }
+        }
+    };
+}
+
+from_err!(Registry, tinymlops_registry::RegistryError);
+from_err!(Deploy, tinymlops_deploy::DeployError);
+from_err!(Meter, tinymlops_meter::MeterError);
+from_err!(Fed, tinymlops_fed::FedError);
+from_err!(Verify, tinymlops_verify::VerifyError);
+from_err!(Ipp, tinymlops_ipp::IppError);
+from_err!(Quant, tinymlops_quant::QuantError);

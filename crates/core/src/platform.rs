@@ -1,0 +1,352 @@
+//! The [`Platform`] hub: services and per-block operations.
+
+use crate::PlatformError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use tinymlops_crypto::{Drbg, MerkleSigner};
+use tinymlops_deploy::{select_variant, Capsule, CapsuleMeta, Pipeline, Requirements, Selection};
+use tinymlops_device::{default_mix, Fleet, SimClock};
+use tinymlops_ipp::{encrypt_model, EncryptedModel};
+use tinymlops_meter::{QuotaManager, RateCard, SyncServer, Voucher, VoucherIssuer, VoucherLedger};
+use tinymlops_nn::{Dataset, Sequential};
+use tinymlops_observe::{KsDetector, Telemetry};
+use tinymlops_registry::{ModelId, OptimizationPipeline, Registry, SemVer};
+
+/// Platform construction parameters.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Number of simulated devices.
+    pub fleet_size: usize,
+    /// Master seed (everything derives deterministically from it).
+    pub seed: u64,
+    /// Vendor signing-tree height (2^h capsule signatures available).
+    pub signer_height: usize,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            fleet_size: 100,
+            seed: 0,
+            signer_height: 6,
+        }
+    }
+}
+
+/// The TinyMLOps platform hub (Figure 1).
+pub struct Platform {
+    /// Model store & versioning (§III-A).
+    pub registry: Registry,
+    /// The simulated device population (§IV).
+    pub fleet: Fleet,
+    /// Simulation clock.
+    pub clock: SimClock,
+    /// Fleet-wide telemetry sink (§III-B).
+    pub telemetry: Telemetry,
+    /// Metering backend (§III-C).
+    pub sync_server: SyncServer,
+    /// Voucher mint (§III-C).
+    pub issuer: VoucherIssuer,
+    /// Redemption ledger (§III-C).
+    pub ledger: VoucherLedger,
+    /// Rate card for billing.
+    pub rates: RateCard,
+    /// Per-device quota managers (device-side state, held here for the
+    /// simulation).
+    pub quotas: HashMap<u32, QuotaManager>,
+    /// Per-device drift detectors (§III-B).
+    pub drift: HashMap<u32, KsDetector>,
+    vendor_signer: Mutex<MerkleSigner>,
+    vendor_root: [u8; 32],
+    master_key: [u8; 32],
+    voucher_key: [u8; 32],
+    seed: u64,
+}
+
+impl Platform {
+    /// Bring up a platform with a generated fleet.
+    #[must_use]
+    pub fn new(cfg: &PlatformConfig) -> Self {
+        let fleet = Fleet::generate(cfg.fleet_size, &default_mix(), cfg.seed);
+        let mut key_rng = Drbg::from_u64(cfg.seed, b"platform-keys");
+        let master_key = key_rng.array::<32>();
+        let voucher_key = key_rng.array::<32>();
+        let mut signer_rng = Drbg::from_u64(cfg.seed, b"vendor-signer");
+        let signer = MerkleSigner::generate(&mut signer_rng, cfg.signer_height);
+        let vendor_root = signer.public_key();
+        Platform {
+            registry: Registry::new(),
+            fleet,
+            clock: SimClock::new(),
+            telemetry: Telemetry::new(),
+            sync_server: SyncServer::new(),
+            issuer: VoucherIssuer::new(voucher_key),
+            ledger: VoucherLedger::new(),
+            rates: RateCard::cloud_vision_like(),
+            quotas: HashMap::new(),
+            drift: HashMap::new(),
+            vendor_signer: Mutex::new(signer),
+            vendor_root,
+            master_key,
+            voucher_key,
+            seed: cfg.seed,
+        }
+    }
+
+    /// The vendor's capsule-signing public key (device trust anchor).
+    #[must_use]
+    pub fn vendor_root(&self) -> [u8; 32] {
+        self.vendor_root
+    }
+
+    /// Master model-encryption key (vendor side only).
+    #[must_use]
+    pub fn master_key(&self) -> [u8; 32] {
+        self.master_key
+    }
+
+    /// §III-A: publish a base model — registers it and auto-triggers the
+    /// optimization pipeline over the full variant matrix.
+    pub fn publish(
+        &self,
+        name: &str,
+        model: &Sequential,
+        version: SemVer,
+        train: &Dataset,
+        test: &Dataset,
+    ) -> Result<(ModelId, Vec<ModelId>), PlatformError> {
+        let pipeline = OptimizationPipeline::standard();
+        let (base, variants) = pipeline.process_base(
+            &self.registry,
+            name,
+            model,
+            version,
+            train,
+            test,
+            self.clock.now().0,
+        )?;
+        self.telemetry.incr("models.published");
+        self.telemetry
+            .add("models.variants", variants.len() as u64);
+        Ok((base, variants))
+    }
+
+    /// §III-A: pick the best variant of `name` for every device in the
+    /// fleet under `req`. Returns per-device selections (devices with no
+    /// feasible variant yield `None` — §IV fragmentation in action).
+    #[must_use]
+    pub fn rollout_plan(&self, name: &str, req: &Requirements) -> Vec<Option<Selection>> {
+        let base = self.registry.latest_base(name);
+        let Some(base) = base else {
+            return self.fleet.devices.iter().map(|_| None).collect();
+        };
+        let mut family = self.registry.family_at(name, base.version);
+        family.sort_by_key(|r| r.id);
+        self.fleet
+            .par_map(|device| select_variant(&family, device, req).ok())
+    }
+
+    /// §IV: package a registered model into a signed capsule.
+    pub fn package(
+        &self,
+        model_id: ModelId,
+        pipeline: &Pipeline,
+        target: &str,
+    ) -> Result<Capsule, PlatformError> {
+        let record = self.registry.get(model_id)?;
+        let bytes = self.registry.artifact(model_id)?;
+        let meta = CapsuleMeta {
+            name: record.name.clone(),
+            version: record.version.to_string(),
+            scheme: record.format.name(),
+            target: target.to_string(),
+        };
+        let mut signer = self.vendor_signer.lock();
+        let capsule = Capsule::build(meta, pipeline, bytes, &mut signer)?;
+        self.telemetry.incr("capsules.signed");
+        Ok(capsule)
+    }
+
+    /// §V: wrap a model for a specific device (encrypted at rest).
+    pub fn protect_for_device(
+        &self,
+        model_id: ModelId,
+        device_id: u32,
+    ) -> Result<EncryptedModel, PlatformError> {
+        let model = self.registry.load_model(model_id)?;
+        // Nonce = device ‖ model id (unique per pair).
+        let mut nonce = [0u8; 12];
+        nonce[..4].copy_from_slice(&device_id.to_le_bytes());
+        nonce[4..12].copy_from_slice(&model_id.0.to_le_bytes());
+        Ok(encrypt_model(&model, &self.master_key, device_id, nonce))
+    }
+
+    /// §III-C: provision a device for metering and sell it a prepaid
+    /// package. Returns the voucher that was redeemed.
+    pub fn sell_package(&mut self, device_id: u32, queries: u64) -> Result<Voucher, PlatformError> {
+        let device_key = tinymlops_ipp::encrypt::device_key(&self.master_key, device_id);
+        let quota = self
+            .quotas
+            .entry(device_id)
+            .or_insert_with(|| QuotaManager::new(device_key));
+        self.sync_server.provision(device_id, device_key);
+        let voucher = self.issuer.issue(queries, device_id);
+        tinymlops_meter::voucher::validate_for_device(&voucher, &self.voucher_key, device_id)?;
+        self.ledger.register(voucher.serial)?;
+        quota.credit(voucher.quota, voucher.serial, self.clock.now().0);
+        self.telemetry.incr("metering.packages_sold");
+        Ok(voucher)
+    }
+
+    /// §III-C: run one metered inference on a device. Denies on empty
+    /// quota; records telemetry and drift observations.
+    pub fn metered_infer(
+        &mut self,
+        device_id: u32,
+        model: &Sequential,
+        x: &tinymlops_tensor::Tensor,
+    ) -> Result<Vec<usize>, PlatformError> {
+        let now = self.clock.now().0;
+        let quota = self
+            .quotas
+            .get_mut(&device_id)
+            .ok_or(tinymlops_meter::MeterError::QuotaExhausted)?;
+        quota.consume(x.rows() as u64, now)?;
+        let pred = model.predict(x);
+        self.telemetry.add("queries", x.rows() as u64);
+        // §III-B: feed the first feature's mean into this device's drift
+        // detector (a cheap input-distribution statistic).
+        let det = self
+            .drift
+            .entry(device_id)
+            .or_insert_with(|| KsDetector::new(64, 0.001));
+        for r in 0..x.rows() {
+            let mean = x.row(r).iter().sum::<f32>() / x.cols() as f32;
+            let _ = tinymlops_observe::DriftDetector::observe(det, f64::from(mean));
+        }
+        Ok(pred)
+    }
+
+    /// §III-C: sync a device's audit log to the backend and compute its
+    /// invoice for the newly reported queries.
+    pub fn sync_device(&mut self, device_id: u32) -> Result<tinymlops_meter::Invoice, PlatformError> {
+        let quota = self
+            .quotas
+            .get(&device_id)
+            .ok_or(tinymlops_meter::MeterError::QuotaExhausted)?;
+        let _outcome = self.sync_server.sync(device_id, quota.log())?;
+        let billed = self.sync_server.billed(device_id);
+        Ok(tinymlops_meter::Invoice::compute(
+            device_id,
+            billed,
+            &self.rates,
+        ))
+    }
+
+    /// Deterministic seed for sub-simulations.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_nn::data::synth_digits;
+    use tinymlops_nn::model::mlp;
+    use tinymlops_nn::train::{fit, FitConfig};
+    use tinymlops_nn::Adam;
+    use tinymlops_tensor::TensorRng;
+
+    fn platform() -> Platform {
+        Platform::new(&PlatformConfig {
+            fleet_size: 30,
+            seed: 7,
+            signer_height: 3,
+        })
+    }
+
+    fn trained() -> (Sequential, Dataset, Dataset) {
+        let data = synth_digits(800, 0.08, 70);
+        let (train, test) = data.split(0.85, 0);
+        let mut rng = TensorRng::seed(1);
+        let mut model = mlp(&[64, 24, 10], &mut rng);
+        let mut opt = Adam::new(0.005);
+        fit(&mut model, &train, &mut opt, &FitConfig { epochs: 10, batch_size: 32, ..Default::default() });
+        (model, train, test)
+    }
+
+    #[test]
+    fn publish_and_rollout() {
+        let p = platform();
+        let (model, train, test) = trained();
+        let (base, variants) = p
+            .publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)
+            .unwrap();
+        assert_eq!(variants.len(), 7);
+        assert!(p.registry.get(base).is_ok());
+        let req = Requirements {
+            max_latency_ms: 1e6,
+            max_download_ms: f64::INFINITY,
+            min_accuracy: 0.0,
+        max_energy_mj: f64::INFINITY,
+        };
+        let plan = p.rollout_plan("digits", &req);
+        let placed = plan.iter().filter(|s| s.is_some()).count();
+        assert!(placed > 20, "most devices get a variant, got {placed}/30");
+    }
+
+    #[test]
+    fn metering_flow_end_to_end() {
+        let mut p = platform();
+        let (model, train, _) = trained();
+        p.sell_package(3, 50).unwrap();
+        let x = train.x.slice_rows(0, 10);
+        let pred = p.metered_infer(3, &model, &x).unwrap();
+        assert_eq!(pred.len(), 10);
+        // Burn the rest and hit the denial.
+        let x40 = train.x.slice_rows(0, 40);
+        p.metered_infer(3, &model, &x40).unwrap();
+        assert!(p.metered_infer(3, &model, &x).is_err(), "quota exhausted");
+        // Sync → invoice covers 50 queries (within the free tier).
+        let invoice = p.sync_device(3).unwrap();
+        assert_eq!(invoice.queries, 50);
+        assert_eq!(invoice.amount_microdollars, 0, "free tier");
+    }
+
+    #[test]
+    fn capsule_from_registry_verifies() {
+        let p = platform();
+        let (model, train, test) = trained();
+        let (base, _) = p
+            .publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)
+            .unwrap();
+        let capsule = p
+            .package(base, &Pipeline::standard_classifier(0.0, 1.0), "mcu-m7")
+            .unwrap();
+        capsule.verify(&p.vendor_root()).unwrap();
+        assert_eq!(capsule.meta.name, "digits");
+    }
+
+    #[test]
+    fn protected_model_decrypts_only_with_master() {
+        let p = platform();
+        let (model, train, test) = trained();
+        let (base, _) = p
+            .publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)
+            .unwrap();
+        let enc = p.protect_for_device(base, 9).unwrap();
+        let dec = tinymlops_ipp::decrypt_model(&enc, &p.master_key()).unwrap();
+        assert_eq!(dec.num_params(), model.num_params());
+        assert!(tinymlops_ipp::decrypt_model(&enc, &[0u8; 32]).is_err());
+    }
+
+    #[test]
+    fn double_selling_a_voucher_serial_is_caught() {
+        let mut p = platform();
+        let v = p.sell_package(1, 10).unwrap();
+        // Simulate replaying the same serial through the ledger.
+        assert!(p.ledger.register(v.serial).is_err());
+    }
+}

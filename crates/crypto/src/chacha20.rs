@@ -1,0 +1,272 @@
+//! ChaCha20 stream cipher (RFC 8439) and an encrypt-then-MAC sealed box.
+//!
+//! §V of the paper: "encryption techniques can protect the model while it is
+//! downloaded or stored on the device. The model is then decrypted as it is
+//! loaded in memory". [`SealedBox`] is exactly that primitive — ChaCha20 for
+//! confidentiality plus HMAC-SHA256 over the ciphertext for integrity — and
+//! experiment E10 measures its "increased computational cost".
+
+use crate::hmac::hmac_sha256;
+use crate::{ct_eq, CryptoError};
+
+/// ChaCha20 keystream generator / stream cipher.
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+    counter: u32,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Create a cipher with a 256-bit key and 96-bit nonce, starting at
+    /// block `counter` (RFC 8439 uses counter = 1 for encryption).
+    #[must_use]
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut k = [0u32; 8];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            k[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let mut n = [0u32; 3];
+        for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+            n[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        ChaCha20 {
+            key: k,
+            nonce: n,
+            counter,
+        }
+    }
+
+    /// Produce the 64-byte keystream block for the current counter and
+    /// advance the counter.
+    fn next_block(&mut self) -> [u8; 64] {
+        const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter;
+        state[13..16].copy_from_slice(&self.nonce);
+        let initial = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = state[i].wrapping_add(initial[i]);
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.counter = self.counter.wrapping_add(1);
+        out
+    }
+
+    /// XOR `data` with the keystream in place (encryption == decryption).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for chunk in data.chunks_mut(64) {
+            let ks = self.next_block();
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    /// Fill `out` with raw keystream bytes (used by the DRBG).
+    pub fn keystream(&mut self, out: &mut [u8]) {
+        out.fill(0);
+        self.apply(out);
+    }
+}
+
+/// Authenticated encryption container: ChaCha20 + HMAC-SHA256
+/// (encrypt-then-MAC). The MAC covers nonce ‖ associated-data length ‖
+/// associated data ‖ ciphertext so headers can be bound to the payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedBox {
+    /// Public per-message nonce.
+    pub nonce: [u8; 12],
+    /// ChaCha20 ciphertext.
+    pub ciphertext: Vec<u8>,
+    /// HMAC-SHA256 tag.
+    pub tag: [u8; 32],
+}
+
+fn mac_input(nonce: &[u8; 12], aad: &[u8], ciphertext: &[u8]) -> Vec<u8> {
+    let mut m = Vec::with_capacity(12 + 8 + aad.len() + ciphertext.len());
+    m.extend_from_slice(nonce);
+    m.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+    m.extend_from_slice(aad);
+    m.extend_from_slice(ciphertext);
+    m
+}
+
+impl SealedBox {
+    /// Encrypt `plaintext` under `key`, binding `aad` into the tag.
+    ///
+    /// Key separation: the encryption key is `HKDF(key, "enc")` and the MAC
+    /// key `HKDF(key, "mac")`, so one input key never serves two roles.
+    #[must_use]
+    pub fn seal(key: &[u8; 32], nonce: [u8; 12], aad: &[u8], plaintext: &[u8]) -> Self {
+        let enc_key_v = crate::hmac::hkdf(b"tinymlops.sealedbox", key, b"enc", 32);
+        let mac_key = crate::hmac::hkdf(b"tinymlops.sealedbox", key, b"mac", 32);
+        let mut enc_key = [0u8; 32];
+        enc_key.copy_from_slice(&enc_key_v);
+        let mut ct = plaintext.to_vec();
+        ChaCha20::new(&enc_key, &nonce, 1).apply(&mut ct);
+        let tag = hmac_sha256(&mac_key, &mac_input(&nonce, aad, &ct));
+        SealedBox {
+            nonce,
+            ciphertext: ct,
+            tag,
+        }
+    }
+
+    /// Verify the tag and decrypt. Fails without revealing plaintext if the
+    /// ciphertext or `aad` were tampered with.
+    pub fn open(&self, key: &[u8; 32], aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let enc_key_v = crate::hmac::hkdf(b"tinymlops.sealedbox", key, b"enc", 32);
+        let mac_key = crate::hmac::hkdf(b"tinymlops.sealedbox", key, b"mac", 32);
+        let want = hmac_sha256(&mac_key, &mac_input(&self.nonce, aad, &self.ciphertext));
+        if !ct_eq(&want, &self.tag) {
+            return Err(CryptoError::VerificationFailed);
+        }
+        let mut enc_key = [0u8; 32];
+        enc_key.copy_from_slice(&enc_key_v);
+        let mut pt = self.ciphertext.clone();
+        ChaCha20::new(&enc_key, &self.nonce, 1).apply(&mut pt);
+        Ok(pt)
+    }
+
+    /// Serialized size in bytes (nonce + tag + ciphertext).
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        12 + 32 + self.ciphertext.len()
+    }
+
+    /// Flat byte encoding: nonce ‖ tag ‖ ciphertext.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.tag);
+        out.extend_from_slice(&self.ciphertext);
+        out
+    }
+
+    /// Parse the flat byte encoding produced by [`SealedBox::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() < 44 {
+            return Err(CryptoError::Malformed("sealed box too short"));
+        }
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&bytes[..12]);
+        let mut tag = [0u8; 32];
+        tag.copy_from_slice(&bytes[12..44]);
+        Ok(SealedBox {
+            nonce,
+            tag,
+            ciphertext: bytes[44..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_hex;
+
+    // RFC 8439 §2.3.2: keystream block with the test key/nonce, counter 1.
+    #[test]
+    fn rfc8439_block() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut c = ChaCha20::new(&key, &nonce, 1);
+        let block = c.next_block();
+        assert_eq!(
+            to_hex(&block[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+        assert_eq!(to_hex(&block[48..64]), "b5129cd1de164eb9cbd083e8a2503c4e");
+    }
+
+    // RFC 8439 §2.4.2: full encryption test ("Ladies and Gentlemen...").
+    #[test]
+    fn rfc8439_encrypt() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        ChaCha20::new(&key, &nonce, 1).apply(&mut data);
+        assert_eq!(
+            to_hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        assert_eq!(to_hex(&data[64..80]), "07ca0dbf500d6a6156a38e088a22b65e");
+        // Round trip.
+        ChaCha20::new(&key, &nonce, 1).apply(&mut data);
+        assert_eq!(&data, plaintext);
+    }
+
+    #[test]
+    fn sealed_box_round_trip() {
+        let key = [7u8; 32];
+        let b = SealedBox::seal(&key, [1u8; 12], b"model-v1", b"weights here");
+        assert_eq!(b.open(&key, b"model-v1").unwrap(), b"weights here");
+    }
+
+    #[test]
+    fn sealed_box_detects_ciphertext_tamper() {
+        let key = [7u8; 32];
+        let mut b = SealedBox::seal(&key, [1u8; 12], b"", b"payload");
+        b.ciphertext[0] ^= 1;
+        assert_eq!(b.open(&key, b""), Err(CryptoError::VerificationFailed));
+    }
+
+    #[test]
+    fn sealed_box_detects_aad_mismatch() {
+        let key = [7u8; 32];
+        let b = SealedBox::seal(&key, [1u8; 12], b"header-a", b"payload");
+        assert_eq!(
+            b.open(&key, b"header-b"),
+            Err(CryptoError::VerificationFailed)
+        );
+    }
+
+    #[test]
+    fn sealed_box_wrong_key_fails() {
+        let b = SealedBox::seal(&[1u8; 32], [0u8; 12], b"", b"secret");
+        assert!(b.open(&[2u8; 32], b"").is_err());
+    }
+
+    #[test]
+    fn sealed_box_bytes_round_trip() {
+        let key = [9u8; 32];
+        let b = SealedBox::seal(&key, [3u8; 12], b"aad", b"some model bytes");
+        let parsed = SealedBox::from_bytes(&b.to_bytes()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.open(&key, b"aad").unwrap(), b"some model bytes");
+    }
+
+    #[test]
+    fn from_bytes_rejects_short_input() {
+        assert!(SealedBox::from_bytes(&[0u8; 43]).is_err());
+    }
+}

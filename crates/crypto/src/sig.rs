@@ -1,0 +1,336 @@
+//! Hash-based signatures: Lamport one-time signatures under a Merkle tree.
+//!
+//! §IV of the paper calls for portable, *signed* model containers so devices
+//! only execute modules from the legitimate vendor. Rather than importing a
+//! big-integer / elliptic-curve stack, we implement the classic hash-based
+//! construction (Merkle 1979): it needs nothing but SHA-256, is genuinely
+//! used in constrained/post-quantum settings, and is easy to audit.
+//!
+//! * [`OtsKeypair`] — a Lamport one-time keypair: 256 pairs of 32-byte
+//!   secrets; the public key is the hash of all their hashes. Signing
+//!   reveals one secret per message-digest bit. **One** message per key.
+//! * [`MerkleSigner`] — 2^h one-time keys whose public keys form the leaves
+//!   of a Merkle tree; the root is the long-lived public key. Each
+//!   signature carries the OTS signature, the leaf index, and the
+//!   authentication path.
+
+use crate::drbg::Drbg;
+use crate::sha256::{hash_pair, sha256, Digest, Sha256};
+use crate::CryptoError;
+
+/// A Lamport one-time signature keypair.
+///
+/// Secret key: `sk[bit][value]` for 256 bits × 2 values; public key is
+/// `H(H(sk[0][0]) ‖ H(sk[0][1]) ‖ … )` compressed to one digest.
+pub struct OtsKeypair {
+    sk: Box<[[Digest; 2]; 256]>,
+    pk_hashes: Box<[[Digest; 2]; 256]>,
+    used: bool,
+}
+
+/// A Lamport one-time signature: one revealed preimage per digest bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OtsSignature {
+    revealed: Vec<Digest>, // 256 entries
+}
+
+impl OtsSignature {
+    /// Signature size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.revealed.len() * 32
+    }
+
+    /// Borrow the revealed preimages (wire encoding by callers).
+    #[must_use]
+    pub fn revealed_digests(&self) -> Vec<&Digest> {
+        self.revealed.iter().collect()
+    }
+
+    /// Reconstruct from revealed preimages (wire decoding). Must contain
+    /// exactly 256 digests; verification will reject anything forged.
+    #[must_use]
+    pub fn from_revealed(revealed: Vec<Digest>) -> Self {
+        assert_eq!(revealed.len(), 256, "Lamport signature has 256 preimages");
+        OtsSignature { revealed }
+    }
+}
+
+fn bit_of(digest: &Digest, i: usize) -> usize {
+    ((digest[i / 8] >> (i % 8)) & 1) as usize
+}
+
+impl OtsKeypair {
+    /// Generate a keypair from a DRBG (deterministic given the DRBG state).
+    #[must_use]
+    pub fn generate(rng: &mut Drbg) -> Self {
+        let mut sk = Box::new([[[0u8; 32]; 2]; 256]);
+        let mut pk = Box::new([[[0u8; 32]; 2]; 256]);
+        for i in 0..256 {
+            for v in 0..2 {
+                sk[i][v] = rng.array::<32>();
+                pk[i][v] = sha256(&sk[i][v]);
+            }
+        }
+        OtsKeypair {
+            sk,
+            pk_hashes: pk,
+            used: false,
+        }
+    }
+
+    /// The compressed one-time public key (Merkle leaf value).
+    #[must_use]
+    pub fn public_key(&self) -> Digest {
+        let mut h = Sha256::new();
+        for pair in self.pk_hashes.iter() {
+            h.update(&pair[0]);
+            h.update(&pair[1]);
+        }
+        h.finalize()
+    }
+
+    /// Sign a message. Errors if this one-time key was already used.
+    pub fn sign(&mut self, message: &[u8]) -> Result<OtsSignature, CryptoError> {
+        if self.used {
+            return Err(CryptoError::KeyExhausted);
+        }
+        self.used = true;
+        let d = sha256(message);
+        let revealed = (0..256).map(|i| self.sk[i][bit_of(&d, i)]).collect();
+        Ok(OtsSignature { revealed })
+    }
+
+    /// Recompute the one-time public key implied by `sig` over `message`.
+    /// (Verification = comparing this to a trusted leaf value.)
+    #[must_use]
+    pub fn recover_public_key(message: &[u8], sig: &OtsSignature, known_hashes: &[[Digest; 2]; 256]) -> Digest {
+        let d = sha256(message);
+        let mut h = Sha256::new();
+        for i in 0..256 {
+            let bit = bit_of(&d, i);
+            let revealed_hash = sha256(&sig.revealed[i]);
+            let (h0, h1) = if bit == 0 {
+                (revealed_hash, known_hashes[i][1])
+            } else {
+                (known_hashes[i][0], revealed_hash)
+            };
+            h.update(&h0);
+            h.update(&h1);
+        }
+        h.finalize()
+    }
+
+    /// Expose the per-bit public hashes (shipped alongside signatures so the
+    /// verifier can reconstruct the leaf).
+    #[must_use]
+    pub fn public_hashes(&self) -> &[[Digest; 2]; 256] {
+        &self.pk_hashes
+    }
+}
+
+/// A many-time hash-based signer: 2^height Lamport keys under a Merkle root.
+pub struct MerkleSigner {
+    keys: Vec<OtsKeypair>,
+    tree: Vec<Vec<Digest>>, // tree[0] = leaves, tree.last() = [root]
+    next_leaf: usize,
+}
+
+/// A signature produced by [`MerkleSigner`].
+#[derive(Clone)]
+pub struct MerkleSignature {
+    /// Index of the one-time key used.
+    pub leaf_index: usize,
+    /// The Lamport signature itself.
+    pub ots: OtsSignature,
+    /// The per-bit public hashes of the one-time key.
+    pub ots_pub_hashes: Box<[[Digest; 2]; 256]>,
+    /// Sibling digests from leaf to root.
+    pub auth_path: Vec<Digest>,
+}
+
+impl MerkleSignature {
+    /// Total signature size in bytes (OTS + public hashes + path).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        8 + self.ots.size_bytes() + 256 * 2 * 32 + self.auth_path.len() * 32
+    }
+}
+
+impl MerkleSigner {
+    /// Generate a signer with `2^height` one-time keys.
+    #[must_use]
+    pub fn generate(rng: &mut Drbg, height: usize) -> Self {
+        assert!(height <= 12, "tree height capped at 12 (4096 signatures)");
+        let n = 1usize << height;
+        let keys: Vec<OtsKeypair> = (0..n).map(|_| OtsKeypair::generate(rng)).collect();
+        let leaves: Vec<Digest> = keys.iter().map(OtsKeypair::public_key).collect();
+        let mut tree = vec![leaves];
+        while tree.last().unwrap().len() > 1 {
+            let prev = tree.last().unwrap();
+            let next: Vec<Digest> = prev
+                .chunks(2)
+                .map(|pair| hash_pair(&pair[0], &pair[1]))
+                .collect();
+            tree.push(next);
+        }
+        MerkleSigner {
+            keys,
+            tree,
+            next_leaf: 0,
+        }
+    }
+
+    /// The long-lived public key (Merkle root).
+    #[must_use]
+    pub fn public_key(&self) -> Digest {
+        self.tree.last().unwrap()[0]
+    }
+
+    /// Number of signatures still available.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.keys.len() - self.next_leaf
+    }
+
+    /// Sign `message` with the next unused one-time key.
+    pub fn sign(&mut self, message: &[u8]) -> Result<MerkleSignature, CryptoError> {
+        if self.next_leaf >= self.keys.len() {
+            return Err(CryptoError::KeyExhausted);
+        }
+        let leaf_index = self.next_leaf;
+        self.next_leaf += 1;
+        let key = &mut self.keys[leaf_index];
+        let ots = key.sign(message)?;
+        let ots_pub_hashes = Box::new(*key.public_hashes());
+        let mut auth_path = Vec::with_capacity(self.tree.len() - 1);
+        let mut idx = leaf_index;
+        for level in &self.tree[..self.tree.len() - 1] {
+            auth_path.push(level[idx ^ 1]);
+            idx >>= 1;
+        }
+        Ok(MerkleSignature {
+            leaf_index,
+            ots,
+            ots_pub_hashes,
+            auth_path,
+        })
+    }
+
+    /// Verify a signature against a trusted root public key.
+    pub fn verify(root: &Digest, message: &[u8], sig: &MerkleSignature) -> Result<(), CryptoError> {
+        // 1. The revealed preimages must hash into the claimed per-bit
+        //    public hashes *and* reproduce the leaf.
+        let d = sha256(message);
+        for i in 0..256 {
+            let bit = bit_of(&d, i);
+            if sha256(&sig.ots.revealed[i]) != sig.ots_pub_hashes[i][bit] {
+                return Err(CryptoError::VerificationFailed);
+            }
+        }
+        let mut leaf_hasher = Sha256::new();
+        for pair in sig.ots_pub_hashes.iter() {
+            leaf_hasher.update(&pair[0]);
+            leaf_hasher.update(&pair[1]);
+        }
+        let mut node = leaf_hasher.finalize();
+        // 2. The leaf must chain up to the trusted root.
+        let mut idx = sig.leaf_index;
+        for sibling in &sig.auth_path {
+            node = if idx & 1 == 0 {
+                hash_pair(&node, sibling)
+            } else {
+                hash_pair(sibling, &node)
+            };
+            idx >>= 1;
+        }
+        if node == *root {
+            Ok(())
+        } else {
+            Err(CryptoError::VerificationFailed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Drbg {
+        Drbg::from_u64(1234, b"sig-tests")
+    }
+
+    #[test]
+    fn ots_sign_verify() {
+        let mut kp = OtsKeypair::generate(&mut rng());
+        let pk = kp.public_key();
+        let sig = kp.sign(b"hello world").unwrap();
+        let recovered = OtsKeypair::recover_public_key(b"hello world", &sig, kp.public_hashes());
+        assert_eq!(recovered, pk);
+    }
+
+    #[test]
+    fn ots_rejects_wrong_message() {
+        let mut kp = OtsKeypair::generate(&mut rng());
+        let pk = kp.public_key();
+        let sig = kp.sign(b"hello").unwrap();
+        let recovered = OtsKeypair::recover_public_key(b"goodbye", &sig, kp.public_hashes());
+        assert_ne!(recovered, pk);
+    }
+
+    #[test]
+    fn ots_refuses_double_signing() {
+        let mut kp = OtsKeypair::generate(&mut rng());
+        kp.sign(b"first").unwrap();
+        assert_eq!(kp.sign(b"second"), Err(CryptoError::KeyExhausted));
+    }
+
+    #[test]
+    fn merkle_sign_verify_all_leaves() {
+        let mut signer = MerkleSigner::generate(&mut rng(), 3);
+        let root = signer.public_key();
+        for i in 0..8u32 {
+            let msg = format!("capsule #{i}");
+            let sig = signer.sign(msg.as_bytes()).unwrap();
+            MerkleSigner::verify(&root, msg.as_bytes(), &sig).unwrap();
+        }
+        assert_eq!(signer.remaining(), 0);
+        assert!(signer.sign(b"ninth").is_err());
+    }
+
+    #[test]
+    fn merkle_rejects_tampered_message() {
+        let mut signer = MerkleSigner::generate(&mut rng(), 2);
+        let root = signer.public_key();
+        let sig = signer.sign(b"model v1.0.0").unwrap();
+        assert_eq!(
+            MerkleSigner::verify(&root, b"model v6.6.6", &sig),
+            Err(CryptoError::VerificationFailed)
+        );
+    }
+
+    #[test]
+    fn merkle_rejects_wrong_root() {
+        let mut signer_a = MerkleSigner::generate(&mut rng(), 2);
+        let signer_b = MerkleSigner::generate(&mut Drbg::from_u64(999, b"other"), 2);
+        let sig = signer_a.sign(b"msg").unwrap();
+        assert!(MerkleSigner::verify(&signer_b.public_key(), b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn merkle_rejects_spliced_auth_path() {
+        let mut signer = MerkleSigner::generate(&mut rng(), 2);
+        let root = signer.public_key();
+        let mut sig = signer.sign(b"msg").unwrap();
+        sig.auth_path[0] = sha256(b"evil");
+        assert!(MerkleSigner::verify(&root, b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn signature_size_is_reported() {
+        let mut signer = MerkleSigner::generate(&mut rng(), 1);
+        let sig = signer.sign(b"m").unwrap();
+        // 256 preimages + 512 public hashes + 1 path node + index.
+        assert_eq!(sig.size_bytes(), 8 + 256 * 32 + 512 * 32 + 32);
+    }
+}

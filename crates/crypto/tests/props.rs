@@ -1,0 +1,71 @@
+//! Property-based tests: cryptographic invariants over arbitrary inputs.
+
+use proptest::prelude::*;
+use tinymlops_crypto::{from_hex, sha256, to_hex, SealedBox, Sha256};
+
+proptest! {
+    /// Incremental hashing equals one-shot for any split of any message.
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Hex encode/decode round-trips arbitrary bytes.
+    #[test]
+    fn hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+    }
+
+    /// Sealed boxes decrypt to the original plaintext with the right key…
+    #[test]
+    fn sealed_box_round_trip(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        pt in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let sealed = SealedBox::seal(&key, nonce, &aad, &pt);
+        prop_assert_eq!(sealed.open(&key, &aad).unwrap(), pt);
+    }
+
+    /// …and any single-byte corruption of the ciphertext is rejected.
+    #[test]
+    fn sealed_box_tamper_detected(
+        key in any::<[u8; 32]>(),
+        pt in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut sealed = SealedBox::seal(&key, [0u8; 12], b"", &pt);
+        let idx = flip_at % sealed.ciphertext.len();
+        sealed.ciphertext[idx] ^= 1 << flip_bit;
+        prop_assert!(sealed.open(&key, b"").is_err());
+    }
+
+    /// Wire round trip of sealed boxes preserves open-ability.
+    #[test]
+    fn sealed_box_wire_round_trip(
+        key in any::<[u8; 32]>(),
+        pt in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let sealed = SealedBox::seal(&key, [3u8; 12], b"hdr", &pt);
+        let parsed = SealedBox::from_bytes(&sealed.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.open(&key, b"hdr").unwrap(), pt);
+    }
+
+    /// Distinct keys practically never open each other's boxes.
+    #[test]
+    fn sealed_box_key_separation(
+        k1 in any::<[u8; 32]>(),
+        k2 in any::<[u8; 32]>(),
+        pt in proptest::collection::vec(any::<u8>(), 1..128),
+    ) {
+        prop_assume!(k1 != k2);
+        let sealed = SealedBox::seal(&k1, [0u8; 12], b"", &pt);
+        prop_assert!(sealed.open(&k2, b"").is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Deployment: getting the right model variant onto the right device, in a
+//! portable, signed container — papers §III-A and §IV.
+//!
+//! * [`select`] — constraint-aware model selection. §III-A: *"a different
+//!   model could be preferred, depending on the battery level … the user
+//!   might prefer a slower, more accurate model or a faster, less accurate
+//!   model or even a model that is fast to download on a slow network"*.
+//! * [`capsule`] — the portable module format. §III-A/§IV: *"A promising
+//!   approach is using WebAssembly to package these different operations in
+//!   portable and re-usable modules"* — ours is a deterministic stack-VM
+//!   bytecode plus the model artifact, hash-addressed and signed with the
+//!   workspace's hash-based signatures.
+//! * [`vm`] — the pre/post-processing pipeline VM with the §III-A "control
+//!   logic to activate a different part of the pipeline depending on the
+//!   result of a first model" (confidence-gated cascades).
+//! * [`marketplace`] — §IV: *"a marketplace where every device in the
+//!   network can potentially execute a certain machine learning workload
+//!   … Owners of the device will be incentivized to run workloads as they
+//!   receive a monetary compensation."* Bid-based offload scheduling over
+//!   crossbeam channels.
+//! * [`split`] — §IV: *"It is even possible to split a model between edge
+//!   and cloud"* — an optimal-split-layer solver (Neurosurgeon-style).
+
+pub mod capsule;
+pub mod marketplace;
+pub mod select;
+pub mod split;
+pub mod vm;
+
+pub use capsule::{Capsule, CapsuleMeta};
+pub use marketplace::{local_execution, Bid, Marketplace, Workload};
+pub use select::{select_variant, Requirements, Selection};
+pub use split::{all_splits, best_split, SplitPlan};
+pub use vm::{Op, Pipeline, VmError};
+
+/// Errors from deployment operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    /// No registered variant satisfies the device's constraints.
+    NoFeasibleVariant(String),
+    /// Capsule encoding/decoding failed.
+    BadCapsule(&'static str),
+    /// Capsule signature or digest rejected.
+    Unverified(&'static str),
+    /// No marketplace node can run the workload.
+    NoBid,
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::NoFeasibleVariant(why) => write!(f, "no feasible variant: {why}"),
+            DeployError::BadCapsule(why) => write!(f, "bad capsule: {why}"),
+            DeployError::Unverified(why) => write!(f, "capsule rejected: {why}"),
+            DeployError::NoBid => write!(f, "no marketplace node bid on the workload"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}

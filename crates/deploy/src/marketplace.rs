@@ -1,0 +1,259 @@
+//! The compute marketplace: bid-based workload offloading.
+//!
+//! §IV: *"We could then envision a marketplace where every device in the
+//! network can potentially execute a certain machine learning workload.
+//! Depending on the requirements, a certain target is chosen and the
+//! container is transmitted to that device for execution. Owners of the
+//! device will be incentivized to run workloads as they receive a monetary
+//! compensation. A smartphone app for example could decide to offload its
+//! computations to the powerful GPU of a self-driving car while the user
+//! is inside."*
+//!
+//! Implementation: nodes run as threads behind crossbeam channels; a
+//! request fan-outs to all nodes, each reachable node answers with a bid
+//! (predicted latency + asking price derived from its energy cost), and
+//! the requester picks the cheapest feasible bid.
+
+use crate::DeployError;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use tinymlops_device::{inference_cost, Device, NumericScheme};
+
+/// A workload to place on the marketplace.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// MACs per inference.
+    pub macs: u64,
+    /// Input payload to ship to the executor.
+    pub input_bytes: u64,
+    /// Numeric scheme the capsule needs.
+    pub scheme: NumericScheme,
+    /// Deadline; bids slower than this are discarded.
+    pub deadline_ms: f64,
+}
+
+/// A node's answer to a workload request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bid {
+    /// Bidding node id.
+    pub node: u32,
+    /// Predicted total latency (transfer + compute).
+    pub latency_ms: f64,
+    /// Asking price in micro-dollars (energy cost × margin).
+    pub price_microdollars: u64,
+    /// Predicted energy on the executor.
+    pub energy_mj: f64,
+}
+
+enum NodeMsg {
+    Request {
+        workload: Workload,
+        reply: Sender<Option<Bid>>,
+    },
+    Shutdown,
+}
+
+/// A running marketplace of executor nodes.
+pub struct Marketplace {
+    nodes: Vec<Sender<NodeMsg>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Price model: energy cost at a nominal $0.10/kWh plus a 50% margin, with
+/// a 1 µ$ floor so bids are never free.
+fn asking_price(energy_mj: f64) -> u64 {
+    // 1 kWh = 3.6e9 mJ → $ per mJ ≈ 2.78e-11; in µ$ ≈ 2.78e-5.
+    let cost = energy_mj * 2.78e-5 * 1.5;
+    cost.ceil().max(1.0) as u64
+}
+
+fn node_loop(device: Device, rx: Receiver<NodeMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            NodeMsg::Shutdown => break,
+            NodeMsg::Request { workload, reply } => {
+                let bid = compute_bid(&device, &workload);
+                let _ = reply.send(bid);
+            }
+        }
+    }
+}
+
+fn compute_bid(device: &Device, w: &Workload) -> Option<Bid> {
+    if !device.online() {
+        return None;
+    }
+    let inf = inference_cost(&device.profile, w.macs, w.scheme)?;
+    let net = device.state.network.model();
+    let transfer_ms = net.transfer_ms(w.input_bytes);
+    if !transfer_ms.is_finite() {
+        return None;
+    }
+    let latency = transfer_ms + inf.latency_ms;
+    if latency > w.deadline_ms {
+        return None;
+    }
+    let energy = inf.energy_mj + net.transfer_energy_mj(w.input_bytes);
+    Some(Bid {
+        node: device.id,
+        latency_ms: latency,
+        price_microdollars: asking_price(energy),
+        energy_mj: energy,
+    })
+}
+
+impl Marketplace {
+    /// Spawn one executor thread per device.
+    #[must_use]
+    pub fn spawn(devices: Vec<Device>) -> Self {
+        let mut nodes = Vec::with_capacity(devices.len());
+        let mut handles = Vec::with_capacity(devices.len());
+        for device in devices {
+            let (tx, rx) = unbounded();
+            nodes.push(tx);
+            handles.push(std::thread::spawn(move || node_loop(device, rx)));
+        }
+        Marketplace { nodes, handles }
+    }
+
+    /// Collect bids from every node for a workload.
+    #[must_use]
+    pub fn collect_bids(&self, workload: &Workload) -> Vec<Bid> {
+        let (reply_tx, reply_rx) = unbounded();
+        let mut sent = 0usize;
+        for node in &self.nodes {
+            if node
+                .send(NodeMsg::Request {
+                    workload: workload.clone(),
+                    reply: reply_tx.clone(),
+                })
+                .is_ok()
+            {
+                sent += 1;
+            }
+        }
+        drop(reply_tx);
+        let mut bids: Vec<Bid> = (0..sent).filter_map(|_| reply_rx.recv().ok().flatten()).collect();
+        bids.sort_by(|a, b| {
+            a.price_microdollars
+                .cmp(&b.price_microdollars)
+                .then(a.latency_ms.partial_cmp(&b.latency_ms).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        bids
+    }
+
+    /// Place a workload: cheapest feasible bid wins.
+    pub fn place(&self, workload: &Workload) -> Result<Bid, DeployError> {
+        self.collect_bids(workload)
+            .into_iter()
+            .next()
+            .ok_or(DeployError::NoBid)
+    }
+
+    /// Shut down all executor threads.
+    pub fn shutdown(mut self) {
+        for node in &self.nodes {
+            let _ = node.send(NodeMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Latency/energy of running locally (no marketplace) — the baseline the
+/// E9 experiment compares against. `None` when the device can't run it.
+#[must_use]
+pub fn local_execution(device: &Device, w: &Workload) -> Option<Bid> {
+    let inf = inference_cost(&device.profile, w.macs, w.scheme)?;
+    if inf.latency_ms > w.deadline_ms {
+        return None;
+    }
+    Some(Bid {
+        node: device.id,
+        latency_ms: inf.latency_ms,
+        price_microdollars: 0, // own hardware
+        energy_mj: inf.energy_mj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_device::{default_mix, Fleet};
+
+    fn fleet(n: usize) -> Vec<Device> {
+        Fleet::generate(n, &default_mix(), 77).devices
+    }
+
+    fn workload() -> Workload {
+        Workload {
+            macs: 50_000_000,
+            input_bytes: 4096,
+            scheme: NumericScheme::Int8,
+            deadline_ms: 2_000.0,
+        }
+    }
+
+    #[test]
+    fn marketplace_places_on_capable_node() {
+        let market = Marketplace::spawn(fleet(40));
+        let bid = market.place(&workload()).unwrap();
+        assert!(bid.latency_ms <= 2_000.0);
+        assert!(bid.price_microdollars >= 1);
+        market.shutdown();
+    }
+
+    #[test]
+    fn bids_are_price_sorted() {
+        let market = Marketplace::spawn(fleet(40));
+        let bids = market.collect_bids(&workload());
+        assert!(bids.len() > 1, "expect multiple bidders");
+        for pair in bids.windows(2) {
+            assert!(pair[0].price_microdollars <= pair[1].price_microdollars);
+        }
+        market.shutdown();
+    }
+
+    #[test]
+    fn impossible_deadline_yields_no_bid() {
+        let market = Marketplace::spawn(fleet(20));
+        let mut w = workload();
+        w.deadline_ms = 1e-6;
+        assert_eq!(market.place(&w), Err(DeployError::NoBid));
+        market.shutdown();
+    }
+
+    #[test]
+    fn offload_beats_weak_local_device() {
+        // An M0 can't run a 50M-MAC int8 workload quickly; the market can.
+        let devices = fleet(60);
+        let weak = devices
+            .iter()
+            .find(|d| d.profile.class == tinymlops_device::DeviceClass::McuM0)
+            .expect("fleet has M0s")
+            .clone();
+        let market = Marketplace::spawn(devices);
+        let w = workload();
+        let market_bid = market.place(&w).unwrap();
+        let local = local_execution(&weak, &w);
+        match local {
+            None => {} // deadline-infeasible locally: offload is the only option
+            Some(l) => assert!(market_bid.latency_ms < l.latency_ms),
+        }
+        market.shutdown();
+    }
+
+    #[test]
+    fn empty_market_has_no_bids() {
+        let market = Marketplace::spawn(vec![]);
+        assert_eq!(market.node_count(), 0);
+        assert_eq!(market.place(&workload()), Err(DeployError::NoBid));
+        market.shutdown();
+    }
+}

@@ -1,0 +1,298 @@
+//! Constraint-aware model-variant selection.
+//!
+//! The §III-A scenario matrix: the same user may want a smaller model on
+//! battery, a fast-to-download model on a slow link, and the most accurate
+//! model when plugged in on WiFi. Selection is a filter (hard constraints:
+//! scheme support, flash fit, latency/download bounds) followed by a
+//! utility maximization whose weights shift with device state.
+
+use crate::DeployError;
+use tinymlops_device::{download_cost, inference_cost, Device, NetworkKind, NumericScheme};
+use tinymlops_registry::{ModelFormat, ModelRecord};
+
+/// Hard requirements from the application.
+#[derive(Debug, Clone)]
+pub struct Requirements {
+    /// Maximum acceptable inference latency.
+    pub max_latency_ms: f64,
+    /// Maximum acceptable model download time (∞ if not downloading now).
+    pub max_download_ms: f64,
+    /// Minimum acceptable accuracy.
+    pub min_accuracy: f64,
+    /// Maximum energy per inference in millijoules (∞ = unconstrained).
+    /// §III-A: a battery-aware caller derives this from remaining charge
+    /// and the inferences it still must serve before the next charge.
+    pub max_energy_mj: f64,
+}
+
+impl Default for Requirements {
+    fn default() -> Self {
+        Requirements {
+            max_latency_ms: 500.0,
+            max_download_ms: 120_000.0,
+            min_accuracy: 0.0,
+            max_energy_mj: f64::INFINITY,
+        }
+    }
+}
+
+/// The chosen variant plus its predicted costs (for reports).
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The chosen record.
+    pub record: ModelRecord,
+    /// Predicted inference latency on this device.
+    pub latency_ms: f64,
+    /// Predicted inference energy.
+    pub energy_mj: f64,
+    /// Predicted download time on the current link.
+    pub download_ms: f64,
+    /// The utility score that won.
+    pub utility: f64,
+}
+
+fn scheme_of(format: &ModelFormat) -> NumericScheme {
+    match format {
+        ModelFormat::F32 | ModelFormat::Pruned { .. } | ModelFormat::Distilled => {
+            NumericScheme::F32
+        }
+        ModelFormat::Quantized { bits } | ModelFormat::PrunedQuantized { bits, .. } => match bits {
+            8 => NumericScheme::Int8,
+            4 => NumericScheme::Int4,
+            2 => NumericScheme::Int2,
+            _ => NumericScheme::Binary,
+        },
+    }
+}
+
+/// Pick the best variant among `candidates` for `device` in its current
+/// state. Returns an error naming the binding constraint when nothing fits.
+pub fn select_variant(
+    candidates: &[ModelRecord],
+    device: &Device,
+    req: &Requirements,
+) -> Result<Selection, DeployError> {
+    let battery_low = device.state.battery.is_low();
+    let plugged = device.state.battery.plugged;
+    let net = device.state.network.model();
+    // Utility weights shift with device state (§III-A's examples).
+    let energy_weight = if plugged {
+        0.0
+    } else if battery_low {
+        3.0e-2
+    } else {
+        3.0e-3
+    };
+    let latency_weight = 1.0e-4;
+    let download_weight = match device.state.network {
+        NetworkKind::Wifi => 1.0e-7,
+        _ => 2.0e-6,
+    };
+
+    let mut best: Option<Selection> = None;
+    let mut last_reason = "no candidates".to_string();
+    for record in candidates {
+        let scheme = scheme_of(&record.format);
+        if !device.profile.supports(scheme) {
+            last_reason = format!("{} unsupported on {}", scheme.name(), device.profile.class.name());
+            continue;
+        }
+        if !device.profile.fits_in_flash(record.size_bytes) {
+            last_reason = format!("{} bytes exceed flash", record.size_bytes);
+            continue;
+        }
+        if record.accuracy() < req.min_accuracy {
+            last_reason = format!("accuracy {:.3} below floor", record.accuracy());
+            continue;
+        }
+        let Some(inf) = inference_cost(&device.profile, record.macs, scheme) else {
+            last_reason = "no inference cost (unsupported scheme)".to_string();
+            continue;
+        };
+        if inf.latency_ms > req.max_latency_ms {
+            last_reason = format!("latency {:.1}ms over budget", inf.latency_ms);
+            continue;
+        }
+        if inf.energy_mj > req.max_energy_mj {
+            last_reason = format!("energy {:.4}mJ over budget", inf.energy_mj);
+            continue;
+        }
+        let download_ms = match download_cost(&net, record.size_bytes) {
+            Some(c) => c.latency_ms,
+            None => {
+                // Offline: can't fetch a new model now. Only acceptable if
+                // the caller treats download time as irrelevant (cached).
+                if req.max_download_ms.is_finite() {
+                    last_reason = "device offline, download required".to_string();
+                    continue;
+                }
+                0.0
+            }
+        };
+        if download_ms > req.max_download_ms {
+            last_reason = format!("download {download_ms:.0}ms over budget");
+            continue;
+        }
+        let utility = record.accuracy()
+            - latency_weight * inf.latency_ms
+            - energy_weight * inf.energy_mj
+            - download_weight * download_ms;
+        let candidate = Selection {
+            record: record.clone(),
+            latency_ms: inf.latency_ms,
+            energy_mj: inf.energy_mj,
+            download_ms,
+            utility,
+        };
+        if best.as_ref().is_none_or(|b| candidate.utility > b.utility) {
+            best = Some(candidate);
+        }
+    }
+    best.ok_or(DeployError::NoFeasibleVariant(last_reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use tinymlops_device::{BatteryModel, DeviceClass, DeviceState, NetworkKind};
+    use tinymlops_registry::{ModelId, SemVer};
+
+    fn record(id: u64, format: ModelFormat, size: u64, macs: u64, acc: f64) -> ModelRecord {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("accuracy".into(), acc);
+        ModelRecord {
+            id: ModelId(id),
+            name: "m".into(),
+            version: SemVer::new(1, 0, 0),
+            format,
+            parent: None,
+            artifact: [0; 32],
+            size_bytes: size,
+            macs,
+            metrics,
+            tags: vec![],
+            created_ms: 0,
+        }
+    }
+
+    fn variants() -> Vec<ModelRecord> {
+        vec![
+            record(0, ModelFormat::F32, 40_000, 10_000_000, 0.96),
+            record(1, ModelFormat::Quantized { bits: 8 }, 10_000, 10_000_000, 0.95),
+            record(2, ModelFormat::Quantized { bits: 4 }, 5_000, 10_000_000, 0.93),
+            record(3, ModelFormat::Quantized { bits: 1 }, 1_300, 10_000_000, 0.80),
+        ]
+    }
+
+    fn device(class: DeviceClass, level: f64, plugged: bool, net: NetworkKind) -> Device {
+        let mut battery = BatteryModel::new(1000.0);
+        battery.charge_mj = 1000.0 * level;
+        battery.plugged = plugged;
+        Device {
+            id: 0,
+            profile: class.profile(),
+            state: DeviceState { battery, network: net },
+        }
+    }
+
+    #[test]
+    fn plugged_highend_gets_most_accurate() {
+        let d = device(DeviceClass::MobileHigh, 1.0, true, NetworkKind::Wifi);
+        let s = select_variant(&variants(), &d, &Requirements::default()).unwrap();
+        assert_eq!(s.record.format.name(), "f32");
+    }
+
+    #[test]
+    fn low_battery_prefers_cheaper_scheme() {
+        let full = device(DeviceClass::McuM7, 1.0, false, NetworkKind::Wifi);
+        let low = device(DeviceClass::McuM7, 0.05, false, NetworkKind::Wifi);
+        let req = Requirements {
+            max_latency_ms: 5_000.0,
+            ..Default::default()
+        };
+        let s_full = select_variant(&variants(), &full, &req).unwrap();
+        let s_low = select_variant(&variants(), &low, &req).unwrap();
+        assert!(
+            s_low.energy_mj <= s_full.energy_mj,
+            "low battery should not pick a hungrier model: {} vs {}",
+            s_low.energy_mj,
+            s_full.energy_mj
+        );
+    }
+
+    #[test]
+    fn m0_cannot_run_f32() {
+        let d = device(DeviceClass::McuM0, 1.0, true, NetworkKind::Wifi);
+        let req = Requirements {
+            max_latency_ms: 1e7,
+            ..Default::default()
+        };
+        let s = select_variant(&variants(), &d, &req).unwrap();
+        assert_ne!(s.record.format.name(), "f32", "M0 has no f32 support");
+    }
+
+    #[test]
+    fn slow_network_prefers_smaller_download() {
+        let wifi = device(DeviceClass::MobileLow, 1.0, true, NetworkKind::Wifi);
+        let ble = device(DeviceClass::MobileLow, 1.0, true, NetworkKind::Ble);
+        let s_wifi = select_variant(&variants(), &wifi, &Requirements::default()).unwrap();
+        let s_ble = select_variant(&variants(), &ble, &Requirements::default()).unwrap();
+        assert!(
+            s_ble.record.size_bytes <= s_wifi.record.size_bytes,
+            "BLE pick {} bytes vs WiFi pick {} bytes",
+            s_ble.record.size_bytes,
+            s_wifi.record.size_bytes
+        );
+    }
+
+    #[test]
+    fn accuracy_floor_is_enforced() {
+        let d = device(DeviceClass::MobileHigh, 1.0, true, NetworkKind::Wifi);
+        let req = Requirements {
+            min_accuracy: 0.9,
+            ..Default::default()
+        };
+        let s = select_variant(&variants(), &d, &req).unwrap();
+        assert!(s.record.accuracy() >= 0.9);
+    }
+
+    #[test]
+    fn impossible_constraints_name_the_reason() {
+        let d = device(DeviceClass::McuM0, 1.0, true, NetworkKind::Wifi);
+        let req = Requirements {
+            min_accuracy: 0.99,
+            ..Default::default()
+        };
+        let err = select_variant(&variants(), &d, &req).unwrap_err();
+        assert!(matches!(err, DeployError::NoFeasibleVariant(_)));
+    }
+
+    #[test]
+    fn offline_device_with_finite_download_budget_fails() {
+        let d = device(DeviceClass::MobileHigh, 1.0, true, NetworkKind::Offline);
+        let err = select_variant(&variants(), &d, &Requirements::default()).unwrap_err();
+        assert!(matches!(err, DeployError::NoFeasibleVariant(_)));
+        // With download waived (already cached), selection succeeds.
+        let req = Requirements {
+            max_download_ms: f64::INFINITY,
+            ..Default::default()
+        };
+        assert!(select_variant(&variants(), &d, &req).is_ok());
+    }
+
+    #[test]
+    fn flash_constraint_excludes_big_models() {
+        // M0 has 256 KiB flash · 75% budget; make the f32 model too big.
+        let mut v = variants();
+        v[0].size_bytes = 300 * 1024;
+        v[1].size_bytes = 300 * 1024;
+        let d = device(DeviceClass::McuM0, 1.0, true, NetworkKind::Wifi);
+        let req = Requirements {
+            max_latency_ms: 1e7,
+            ..Default::default()
+        };
+        let s = select_variant(&v, &d, &req).unwrap();
+        assert!(s.record.size_bytes < 200 * 1024);
+    }
+}

@@ -1,0 +1,177 @@
+//! Edge–cloud model splitting (Neurosurgeon-style).
+//!
+//! §IV: *"This virtualization could also enable hybrid edge-cloud
+//! applications where, depending on the available resources, the model is
+//! evaluated on edge or cloud hardware. It is even possible to split a
+//! model between edge and cloud."* Given per-layer compute costs and
+//! activation sizes, the solver picks the cut minimizing end-to-end
+//! latency: device runs layers `[0, split)`, uploads the activation, the
+//! cloud runs the rest. `split = 0` is full offload, `split = n` is fully
+//! local.
+
+use serde::{Deserialize, Serialize};
+use tinymlops_device::NetworkModel;
+use tinymlops_nn::LayerProfile;
+
+/// A chosen split with its predicted latency breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitPlan {
+    /// Layers `[0, split)` run on the device.
+    pub split: usize,
+    /// Device compute time.
+    pub device_ms: f64,
+    /// Activation (or input) upload time.
+    pub upload_ms: f64,
+    /// Cloud compute time.
+    pub cloud_ms: f64,
+    /// Total latency.
+    pub total_ms: f64,
+}
+
+/// Evaluate every cut and return the latency-optimal plan.
+///
+/// `input_bytes` is the raw input size (uploaded when `split == 0`);
+/// activations are 4 bytes/element. Returns `None` for empty profiles.
+#[must_use]
+pub fn best_split(
+    profile: &[LayerProfile],
+    input_bytes: u64,
+    device_macs_per_sec: f64,
+    cloud_macs_per_sec: f64,
+    net: &NetworkModel,
+) -> Option<SplitPlan> {
+    if profile.is_empty() {
+        return None;
+    }
+    let plans = all_splits(profile, input_bytes, device_macs_per_sec, cloud_macs_per_sec, net);
+    plans
+        .into_iter()
+        .min_by(|a, b| a.total_ms.partial_cmp(&b.total_ms).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+/// Latency of every possible cut (for sweep figures).
+#[must_use]
+pub fn all_splits(
+    profile: &[LayerProfile],
+    input_bytes: u64,
+    device_macs_per_sec: f64,
+    cloud_macs_per_sec: f64,
+    net: &NetworkModel,
+) -> Vec<SplitPlan> {
+    let n = profile.len();
+    let total_macs: u64 = profile.iter().map(|l| l.macs).sum();
+    (0..=n)
+        .map(|split| {
+            let device_macs: u64 = profile[..split].iter().map(|l| l.macs).sum();
+            let cloud_macs = total_macs - device_macs;
+            let device_ms = device_macs as f64 / device_macs_per_sec * 1000.0;
+            let cloud_ms = cloud_macs as f64 / cloud_macs_per_sec * 1000.0;
+            let upload_bytes = if split == 0 {
+                input_bytes
+            } else if split == n {
+                0
+            } else {
+                profile[split - 1].output_len * 4
+            };
+            let upload_ms = if cloud_macs == 0 {
+                0.0
+            } else {
+                net.transfer_ms(upload_bytes)
+            };
+            let total_ms = device_ms + upload_ms + cloud_ms;
+            SplitPlan {
+                split,
+                device_ms,
+                upload_ms,
+                cloud_ms,
+                total_ms,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_device::{DeviceClass, NetworkKind};
+    use tinymlops_nn::model::mlp;
+    use tinymlops_nn::profile::profile;
+    use tinymlops_tensor::TensorRng;
+
+    fn mlp_profile() -> Vec<LayerProfile> {
+        let mut rng = TensorRng::seed(1);
+        // Wide early layers, narrow late layers → natural split point late.
+        let m = mlp(&[256, 128, 64, 16, 10], &mut rng);
+        profile(&m, &[256])
+    }
+
+    #[test]
+    fn offline_forces_fully_local() {
+        let p = mlp_profile();
+        let device = DeviceClass::MobileLow.profile().macs_per_sec;
+        let cloud = 1e12;
+        let plan = best_split(&p, 1024, device, cloud, &NetworkKind::Offline.model()).unwrap();
+        assert_eq!(plan.split, p.len(), "offline → run everything locally");
+        assert_eq!(plan.upload_ms, 0.0);
+    }
+
+    #[test]
+    fn fast_network_slow_device_offloads_everything() {
+        let p = mlp_profile();
+        // Pathologically slow device, gigabit link.
+        let mut net = NetworkKind::Wifi.model();
+        net.bandwidth_bps = 1e9;
+        net.rtt_ms = 1.0;
+        let plan = best_split(&p, 1024, 1e4, 1e12, &net).unwrap();
+        assert_eq!(plan.split, 0, "slow device + fast net → full offload");
+    }
+
+    #[test]
+    fn split_moves_device_ward_as_bandwidth_grows() {
+        let p = mlp_profile();
+        let device = DeviceClass::McuM7.profile().macs_per_sec;
+        let cloud = 1e11;
+        let split_at = |bw: f64| {
+            let mut net = NetworkKind::Wifi.model();
+            net.bandwidth_bps = bw;
+            net.rtt_ms = 20.0;
+            best_split(&p, 256 * 4, device, cloud, &net).unwrap().split
+        };
+        // Monotone trend: more bandwidth → offload earlier (smaller split).
+        let slow = split_at(1e4);
+        let fast = split_at(1e9);
+        assert!(
+            fast <= slow,
+            "faster network should offload at least as early: {fast} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let p = mlp_profile();
+        let net = NetworkKind::Wifi.model();
+        for plan in all_splits(&p, 1024, 1e7, 1e11, &net) {
+            assert!(
+                (plan.total_ms - (plan.device_ms + plan.upload_ms + plan.cloud_ms)).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn all_splits_has_n_plus_one_entries() {
+        let p = mlp_profile();
+        let plans = all_splits(&p, 1024, 1e7, 1e11, &NetworkKind::Wifi.model());
+        assert_eq!(plans.len(), p.len() + 1);
+        assert!(best_split(&[], 0, 1.0, 1.0, &NetworkKind::Wifi.model()).is_none());
+    }
+
+    #[test]
+    fn best_split_is_argmin() {
+        let p = mlp_profile();
+        let net = NetworkKind::Cellular.model();
+        let best = best_split(&p, 1024, 1e7, 1e11, &net).unwrap();
+        for plan in all_splits(&p, 1024, 1e7, 1e11, &net) {
+            assert!(best.total_ms <= plan.total_ms + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! The pipeline VM: portable pre/post-processing with control flow.
+//!
+//! §III-A: *"the machine learning pipeline will also require data
+//! preprocessing and postprocessing operations such as normalization,
+//! thresholding or even some control logic to activate a different part of
+//! the pipeline depending on the result of a first model."* The paper
+//! points at WebAssembly; our substitution (DESIGN.md) is a deterministic
+//! stack machine with a fixed op set — same portability/sandboxing role,
+//! auditable in one file. Bytecode round-trips through [`Pipeline::encode`]
+//! so capsules can carry it.
+
+use serde::{Deserialize, Serialize};
+use tinymlops_nn::Sequential;
+use tinymlops_tensor::Tensor;
+
+/// One pipeline instruction. The VM operates on a stack of tensors; the
+/// input batch is available via [`Op::LoadInput`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Push the pipeline input.
+    LoadInput,
+    /// `x ← (x − mean) / std`, element-wise.
+    Normalize {
+        /// Mean to subtract.
+        mean: f32,
+        /// Standard deviation to divide by (must be nonzero).
+        std: f32,
+    },
+    /// Clamp elements into `[lo, hi]`.
+    Clamp {
+        /// Lower bound.
+        lo: f32,
+        /// Upper bound.
+        hi: f32,
+    },
+    /// Scale elements by a constant.
+    Scale {
+        /// Multiplier.
+        factor: f32,
+    },
+    /// Pop input, push `models[index]`'s logits.
+    RunModel {
+        /// Index into the pipeline's model table.
+        index: u8,
+    },
+    /// Row-wise softmax on the top of the stack.
+    Softmax,
+    /// Replace logits by one-hot-free argmax indices (one scalar per row).
+    ArgMax,
+    /// Duplicate the top of the stack.
+    Dup,
+    /// Drop the top of the stack.
+    Pop,
+    /// Confidence gate (§III-A "control logic"): if every row's max
+    /// probability on top-of-stack is ≥ `threshold`, skip the next `skip`
+    /// ops (e.g. skip running the big model of a cascade).
+    SkipIfConfident {
+        /// Confidence threshold on the max softmax probability.
+        threshold: f32,
+        /// Number of following ops to skip.
+        skip: u8,
+    },
+    /// Stop executing.
+    Halt,
+}
+
+/// Errors from pipeline execution or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Stack underflow at the given op index.
+    StackUnderflow(usize),
+    /// Model index out of range.
+    NoSuchModel(u8),
+    /// Malformed bytecode.
+    BadBytecode(&'static str),
+    /// Execution finished with an empty stack.
+    NoOutput,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::StackUnderflow(at) => write!(f, "stack underflow at op {at}"),
+            VmError::NoSuchModel(i) => write!(f, "no model at index {i}"),
+            VmError::BadBytecode(why) => write!(f, "bad bytecode: {why}"),
+            VmError::NoOutput => write!(f, "pipeline finished with empty stack"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// A pipeline: ops + the models they reference.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Instruction sequence.
+    pub ops: Vec<Op>,
+}
+
+impl Pipeline {
+    /// Build from ops.
+    #[must_use]
+    pub fn new(ops: Vec<Op>) -> Self {
+        Pipeline { ops }
+    }
+
+    /// The standard classifier pipeline: normalize → model → softmax.
+    #[must_use]
+    pub fn standard_classifier(mean: f32, std: f32) -> Self {
+        Pipeline::new(vec![
+            Op::LoadInput,
+            Op::Normalize { mean, std },
+            Op::RunModel { index: 0 },
+            Op::Softmax,
+        ])
+    }
+
+    /// A two-stage cascade (§III-A control logic): run the small model;
+    /// when confident, answer immediately, otherwise run the large model.
+    #[must_use]
+    pub fn cascade(confidence: f32) -> Self {
+        Pipeline::new(vec![
+            Op::LoadInput,
+            Op::RunModel { index: 0 },
+            Op::Softmax,
+            Op::SkipIfConfident {
+                threshold: confidence,
+                skip: 3,
+            },
+            Op::Pop,
+            Op::LoadInput,
+            Op::RunModel { index: 1 },
+            Op::Softmax,
+        ])
+    }
+
+    /// Execute on `input` with a model table. Returns the final top of
+    /// stack and the number of model invocations (cascade accounting).
+    pub fn run(&self, input: &Tensor, models: &[&Sequential]) -> Result<(Tensor, usize), VmError> {
+        let mut stack: Vec<Tensor> = Vec::with_capacity(4);
+        let mut model_calls = 0usize;
+        let mut pc = 0usize;
+        while pc < self.ops.len() {
+            let op = &self.ops[pc];
+            match op {
+                Op::LoadInput => stack.push(input.clone()),
+                Op::Normalize { mean, std } => {
+                    let t = stack.pop().ok_or(VmError::StackUnderflow(pc))?;
+                    let (m, s) = (*mean, *std);
+                    stack.push(t.map(move |v| (v - m) / s));
+                }
+                Op::Clamp { lo, hi } => {
+                    let t = stack.pop().ok_or(VmError::StackUnderflow(pc))?;
+                    let (lo, hi) = (*lo, *hi);
+                    stack.push(t.map(move |v| v.clamp(lo, hi)));
+                }
+                Op::Scale { factor } => {
+                    let t = stack.pop().ok_or(VmError::StackUnderflow(pc))?;
+                    stack.push(t.scale(*factor));
+                }
+                Op::RunModel { index } => {
+                    let model = models
+                        .get(*index as usize)
+                        .ok_or(VmError::NoSuchModel(*index))?;
+                    let t = stack.pop().ok_or(VmError::StackUnderflow(pc))?;
+                    model_calls += 1;
+                    stack.push(model.forward(&t));
+                }
+                Op::Softmax => {
+                    let t = stack.pop().ok_or(VmError::StackUnderflow(pc))?;
+                    stack.push(t.softmax_rows());
+                }
+                Op::ArgMax => {
+                    let t = stack.pop().ok_or(VmError::StackUnderflow(pc))?;
+                    let idx: Vec<f32> = t.argmax_rows().iter().map(|&i| i as f32).collect();
+                    let rows = t.rows();
+                    stack.push(Tensor::from_vec(idx, &[rows]));
+                }
+                Op::Dup => {
+                    let t = stack.last().ok_or(VmError::StackUnderflow(pc))?.clone();
+                    stack.push(t);
+                }
+                Op::Pop => {
+                    stack.pop().ok_or(VmError::StackUnderflow(pc))?;
+                }
+                Op::SkipIfConfident { threshold, skip } => {
+                    let t = stack.last().ok_or(VmError::StackUnderflow(pc))?;
+                    let all_confident = (0..t.rows()).all(|r| {
+                        t.row(r)
+                            .iter()
+                            .fold(f32::NEG_INFINITY, |m, &v| m.max(v))
+                            >= *threshold
+                    });
+                    if all_confident {
+                        pc += *skip as usize;
+                    }
+                }
+                Op::Halt => break,
+            }
+            pc += 1;
+        }
+        let out = stack.pop().ok_or(VmError::NoOutput)?;
+        Ok((out, model_calls))
+    }
+
+    /// Encode ops into compact bytecode (1-byte tag + fixed operands).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.ops.len() * 5);
+        for op in &self.ops {
+            match op {
+                Op::LoadInput => out.push(0),
+                Op::Normalize { mean, std } => {
+                    out.push(1);
+                    out.extend_from_slice(&mean.to_le_bytes());
+                    out.extend_from_slice(&std.to_le_bytes());
+                }
+                Op::Clamp { lo, hi } => {
+                    out.push(2);
+                    out.extend_from_slice(&lo.to_le_bytes());
+                    out.extend_from_slice(&hi.to_le_bytes());
+                }
+                Op::Scale { factor } => {
+                    out.push(3);
+                    out.extend_from_slice(&factor.to_le_bytes());
+                }
+                Op::RunModel { index } => {
+                    out.push(4);
+                    out.push(*index);
+                }
+                Op::Softmax => out.push(5),
+                Op::ArgMax => out.push(6),
+                Op::Dup => out.push(7),
+                Op::Pop => out.push(8),
+                Op::SkipIfConfident { threshold, skip } => {
+                    out.push(9);
+                    out.extend_from_slice(&threshold.to_le_bytes());
+                    out.push(*skip);
+                }
+                Op::Halt => out.push(10),
+            }
+        }
+        out
+    }
+
+    /// Decode bytecode produced by [`Pipeline::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, VmError> {
+        let mut ops = Vec::new();
+        let mut i = 0usize;
+        let take_f32 = |bytes: &[u8], i: &mut usize| -> Result<f32, VmError> {
+            if *i + 4 > bytes.len() {
+                return Err(VmError::BadBytecode("truncated f32 operand"));
+            }
+            let v = f32::from_le_bytes([bytes[*i], bytes[*i + 1], bytes[*i + 2], bytes[*i + 3]]);
+            *i += 4;
+            Ok(v)
+        };
+        while i < bytes.len() {
+            let tag = bytes[i];
+            i += 1;
+            let op = match tag {
+                0 => Op::LoadInput,
+                1 => Op::Normalize {
+                    mean: take_f32(bytes, &mut i)?,
+                    std: take_f32(bytes, &mut i)?,
+                },
+                2 => Op::Clamp {
+                    lo: take_f32(bytes, &mut i)?,
+                    hi: take_f32(bytes, &mut i)?,
+                },
+                3 => Op::Scale {
+                    factor: take_f32(bytes, &mut i)?,
+                },
+                4 => {
+                    if i >= bytes.len() {
+                        return Err(VmError::BadBytecode("truncated model index"));
+                    }
+                    let index = bytes[i];
+                    i += 1;
+                    Op::RunModel { index }
+                }
+                5 => Op::Softmax,
+                6 => Op::ArgMax,
+                7 => Op::Dup,
+                8 => Op::Pop,
+                9 => {
+                    let threshold = take_f32(bytes, &mut i)?;
+                    if i >= bytes.len() {
+                        return Err(VmError::BadBytecode("truncated skip count"));
+                    }
+                    let skip = bytes[i];
+                    i += 1;
+                    Op::SkipIfConfident { threshold, skip }
+                }
+                10 => Op::Halt,
+                _ => return Err(VmError::BadBytecode("unknown opcode")),
+            };
+            ops.push(op);
+        }
+        Ok(Pipeline::new(ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_nn::model::mlp;
+    use tinymlops_tensor::TensorRng;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = TensorRng::seed(seed);
+        mlp(&[4, 8, 3], &mut rng)
+    }
+
+    #[test]
+    fn standard_classifier_outputs_probabilities() {
+        let m = model(1);
+        let p = Pipeline::standard_classifier(0.5, 0.25);
+        let x = TensorRng::seed(2).uniform(&[3, 4], 0.0, 1.0);
+        let (out, calls) = p.run(&x, &[&m]).unwrap();
+        assert_eq!(out.shape(), &[3, 3]);
+        assert_eq!(calls, 1);
+        for r in 0..3 {
+            let s: f32 = out.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn normalization_matches_manual() {
+        let p = Pipeline::new(vec![Op::LoadInput, Op::Normalize { mean: 2.0, std: 4.0 }]);
+        let x = Tensor::vector(&[6.0, 2.0]);
+        let (out, _) = p.run(&x, &[]).unwrap();
+        assert_eq!(out.data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn cascade_skips_big_model_when_confident() {
+        // Small model = big model here; confidence 0.0 always skips.
+        let small = model(3);
+        let big = model(4);
+        let p = Pipeline::cascade(0.0);
+        let x = TensorRng::seed(5).uniform(&[2, 4], -1.0, 1.0);
+        let (_, calls) = p.run(&x, &[&small, &big]).unwrap();
+        assert_eq!(calls, 1, "confident cascade runs only the small model");
+    }
+
+    #[test]
+    fn cascade_escalates_when_unsure() {
+        let small = model(3);
+        let big = model(4);
+        let p = Pipeline::cascade(1.1); // impossible confidence → always escalate
+        let x = TensorRng::seed(6).uniform(&[2, 4], -1.0, 1.0);
+        let (out, calls) = p.run(&x, &[&small, &big]).unwrap();
+        assert_eq!(calls, 2, "unsure cascade runs both models");
+        assert_eq!(out.shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn argmax_and_threshold_ops() {
+        let p = Pipeline::new(vec![Op::LoadInput, Op::ArgMax]);
+        let x = Tensor::from_vec(vec![0.1, 0.9, 0.8, 0.2], &[2, 2]);
+        let (out, _) = p.run(&x, &[]).unwrap();
+        assert_eq!(out.data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn stack_underflow_is_reported() {
+        let p = Pipeline::new(vec![Op::Softmax]);
+        let x = Tensor::vector(&[1.0]);
+        assert_eq!(p.run(&x, &[]), Err(VmError::StackUnderflow(0)));
+    }
+
+    #[test]
+    fn missing_model_is_reported() {
+        let p = Pipeline::new(vec![Op::LoadInput, Op::RunModel { index: 3 }]);
+        let x = Tensor::zeros(&[1, 4]);
+        assert_eq!(p.run(&x, &[]), Err(VmError::NoSuchModel(3)));
+    }
+
+    #[test]
+    fn halt_stops_execution() {
+        let p = Pipeline::new(vec![Op::LoadInput, Op::Halt, Op::Pop, Op::Pop, Op::Pop]);
+        let x = Tensor::vector(&[1.0]);
+        assert!(p.run(&x, &[]).is_ok(), "ops after halt never execute");
+    }
+
+    #[test]
+    fn bytecode_round_trip() {
+        let p = Pipeline::cascade(0.85);
+        let decoded = Pipeline::decode(&p.encode()).unwrap();
+        assert_eq!(decoded.ops, p.ops);
+        // Also for a pipeline exercising every opcode.
+        let all = Pipeline::new(vec![
+            Op::LoadInput,
+            Op::Normalize { mean: 1.0, std: 2.0 },
+            Op::Clamp { lo: -1.0, hi: 1.0 },
+            Op::Scale { factor: 0.5 },
+            Op::RunModel { index: 2 },
+            Op::Softmax,
+            Op::ArgMax,
+            Op::Dup,
+            Op::Pop,
+            Op::SkipIfConfident { threshold: 0.5, skip: 2 },
+            Op::Halt,
+        ]);
+        assert_eq!(Pipeline::decode(&all.encode()).unwrap().ops, all.ops);
+    }
+
+    #[test]
+    fn truncated_bytecode_rejected() {
+        let p = Pipeline::new(vec![Op::Normalize { mean: 0.0, std: 1.0 }]);
+        let mut bytes = p.encode();
+        bytes.truncate(bytes.len() - 2);
+        assert!(Pipeline::decode(&bytes).is_err());
+        assert!(Pipeline::decode(&[255]).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Battery state model.
+//!
+//! §III-A: *"If the device is connected to an external power supply, energy
+//! consumption might be less of an issue compared to when it is unplugged
+//! and has to rely on battery power. This might mean that a different model
+//! could be preferred, depending on the battery level."* The deployment
+//! crate's model selector consumes exactly this state.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple coulomb-counting battery.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatteryModel {
+    /// Full capacity in millijoules.
+    pub capacity_mj: f64,
+    /// Remaining charge in millijoules.
+    pub charge_mj: f64,
+    /// Whether external power is attached.
+    pub plugged: bool,
+}
+
+impl BatteryModel {
+    /// A full battery of `capacity_mj` millijoules.
+    #[must_use]
+    pub fn new(capacity_mj: f64) -> Self {
+        BatteryModel {
+            capacity_mj,
+            charge_mj: capacity_mj,
+            plugged: false,
+        }
+    }
+
+    /// State of charge in `[0,1]`.
+    #[must_use]
+    pub fn level(&self) -> f64 {
+        (self.charge_mj / self.capacity_mj).clamp(0.0, 1.0)
+    }
+
+    /// Drain `mj` millijoules (no-op while plugged). Returns `false` when
+    /// the battery is empty and the draw could not be satisfied.
+    pub fn drain_mj(&mut self, mj: f64) -> bool {
+        if self.plugged {
+            return true;
+        }
+        if self.charge_mj >= mj {
+            self.charge_mj -= mj;
+            true
+        } else {
+            self.charge_mj = 0.0;
+            false
+        }
+    }
+
+    /// Charge by `mj` millijoules, capped at capacity.
+    pub fn charge_mj_add(&mut self, mj: f64) {
+        self.charge_mj = (self.charge_mj + mj).min(self.capacity_mj);
+    }
+
+    /// Whether the device is in a low-power state (<20% and unplugged) —
+    /// the threshold at which the selector prefers cheaper model variants.
+    #[must_use]
+    pub fn is_low(&self) -> bool {
+        !self.plugged && self.level() < 0.2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_and_level() {
+        let mut b = BatteryModel::new(1000.0);
+        assert_eq!(b.level(), 1.0);
+        assert!(b.drain_mj(250.0));
+        assert!((b.level() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plugged_devices_do_not_drain() {
+        let mut b = BatteryModel::new(1000.0);
+        b.plugged = true;
+        assert!(b.drain_mj(1e9));
+        assert_eq!(b.level(), 1.0);
+    }
+
+    #[test]
+    fn empty_battery_reports_failure() {
+        let mut b = BatteryModel::new(100.0);
+        assert!(!b.drain_mj(200.0));
+        assert_eq!(b.level(), 0.0);
+    }
+
+    #[test]
+    fn charging_caps_at_capacity() {
+        let mut b = BatteryModel::new(100.0);
+        b.drain_mj(50.0);
+        b.charge_mj_add(500.0);
+        assert_eq!(b.level(), 1.0);
+    }
+
+    #[test]
+    fn low_battery_threshold() {
+        let mut b = BatteryModel::new(100.0);
+        b.drain_mj(85.0);
+        assert!(b.is_low());
+        b.plugged = true;
+        assert!(!b.is_low(), "plugged is never low");
+    }
+}

@@ -1,0 +1,117 @@
+//! Static cost estimation: latency and energy of inference and downloads.
+
+use crate::network::NetworkModel;
+use crate::profile::{DeviceProfile, NumericScheme};
+
+/// Predicted cost of an operation on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cost {
+    /// Wall-clock milliseconds.
+    pub latency_ms: f64,
+    /// Energy in millijoules.
+    pub energy_mj: f64,
+}
+
+impl Cost {
+    /// A zero cost.
+    #[must_use]
+    pub fn zero() -> Self {
+        Cost {
+            latency_ms: 0.0,
+            energy_mj: 0.0,
+        }
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(self, other: Cost) -> Cost {
+        Cost {
+            latency_ms: self.latency_ms + other.latency_ms,
+            energy_mj: self.energy_mj + other.energy_mj,
+        }
+    }
+}
+
+/// Cost of one forward pass of `macs` multiply-accumulates under `scheme`.
+/// Returns `None` when the device lacks native support for the scheme
+/// (§IV: "we will first need to check that all required operations are
+/// supported by the underlying platform").
+#[must_use]
+pub fn inference_cost(profile: &DeviceProfile, macs: u64, scheme: NumericScheme) -> Option<Cost> {
+    let rate = profile.effective_macs_per_sec(scheme);
+    if rate <= 0.0 {
+        return None;
+    }
+    let seconds = macs as f64 / rate;
+    // Lower-precision MACs cost proportionally less energy too.
+    let energy_nj = macs as f64 * profile.energy_per_mac_nj / f64::from(scheme.speedup());
+    Some(Cost {
+        latency_ms: seconds * 1000.0,
+        energy_mj: energy_nj * 1e-6 + profile.idle_power_mw * seconds,
+    })
+}
+
+/// Cost of downloading `bytes` over `net`. `None` when offline.
+#[must_use]
+pub fn download_cost(net: &NetworkModel, bytes: u64) -> Option<Cost> {
+    let ms = net.transfer_ms(bytes);
+    if !ms.is_finite() {
+        return None;
+    }
+    Some(Cost {
+        latency_ms: ms,
+        energy_mj: net.transfer_energy_mj(bytes),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkKind;
+    use crate::profile::DeviceClass;
+
+    #[test]
+    fn unsupported_scheme_is_none() {
+        let p = DeviceClass::McuM0.profile();
+        assert!(inference_cost(&p, 1000, NumericScheme::F32).is_none());
+        assert!(inference_cost(&p, 1000, NumericScheme::Int8).is_some());
+    }
+
+    #[test]
+    fn faster_devices_run_faster() {
+        let macs = 1_000_000;
+        let slow = inference_cost(&DeviceClass::McuM4.profile(), macs, NumericScheme::Int8)
+            .unwrap()
+            .latency_ms;
+        let fast = inference_cost(&DeviceClass::EdgeAccel.profile(), macs, NumericScheme::Int8)
+            .unwrap()
+            .latency_ms;
+        assert!(fast < slow / 100.0, "accel {fast}ms vs M4 {slow}ms");
+    }
+
+    #[test]
+    fn quantization_reduces_latency_and_energy() {
+        let p = DeviceClass::McuM7.profile();
+        let macs = 10_000_000;
+        let f = inference_cost(&p, macs, NumericScheme::F32).unwrap();
+        let b = inference_cost(&p, macs, NumericScheme::Binary).unwrap();
+        assert!(b.latency_ms < f.latency_ms / 4.0);
+        assert!(b.energy_mj < f.energy_mj);
+    }
+
+    #[test]
+    fn offline_download_is_none() {
+        assert!(download_cost(&NetworkKind::Offline.model(), 10).is_none());
+        assert!(download_cost(&NetworkKind::Wifi.model(), 10).is_some());
+    }
+
+    #[test]
+    fn cost_addition() {
+        let a = Cost { latency_ms: 1.0, energy_mj: 2.0 };
+        let b = Cost { latency_ms: 3.0, energy_mj: 4.0 };
+        let c = a.plus(b);
+        assert_eq!(c.latency_ms, 4.0);
+        assert_eq!(c.energy_mj, 6.0);
+        assert_eq!(Cost::zero().plus(a), a);
+    }
+}

@@ -1,0 +1,262 @@
+//! Fleet generation and per-device dynamic state.
+//!
+//! A [`Fleet`] is the population every platform experiment runs against:
+//! hundreds of devices with a realistic class mix, each with evolving
+//! battery and connectivity state. Sweeps across the fleet use rayon.
+
+use crate::battery::BatteryModel;
+use crate::network::NetworkKind;
+use crate::profile::{DeviceClass, DeviceProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Dynamic, time-varying state of one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceState {
+    /// Battery model and charge.
+    pub battery: BatteryModel,
+    /// Current connectivity.
+    pub network: NetworkKind,
+}
+
+/// One simulated edge device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Device {
+    /// Fleet-unique identifier.
+    pub id: u32,
+    /// Static hardware capabilities.
+    pub profile: DeviceProfile,
+    /// Dynamic state.
+    pub state: DeviceState,
+}
+
+impl Device {
+    /// Whether the device currently has any connectivity.
+    #[must_use]
+    pub fn online(&self) -> bool {
+        self.state.network != NetworkKind::Offline
+    }
+}
+
+/// A population of simulated devices.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    /// The devices.
+    pub devices: Vec<Device>,
+    seed: u64,
+    step: u64,
+}
+
+/// Class mix for fleet generation: `(class, weight)` pairs.
+pub type ClassMix = [(DeviceClass, f64); 6];
+
+/// A default mix skewed toward constrained devices, matching the paper's
+/// "billions of edge devices" framing: mostly MCUs, some phones, few
+/// accelerators.
+#[must_use]
+pub fn default_mix() -> ClassMix {
+    [
+        (DeviceClass::McuM0, 0.25),
+        (DeviceClass::McuM4, 0.30),
+        (DeviceClass::McuM7, 0.20),
+        (DeviceClass::MobileLow, 0.15),
+        (DeviceClass::MobileHigh, 0.08),
+        (DeviceClass::EdgeAccel, 0.02),
+    ]
+}
+
+impl Fleet {
+    /// Generate `n` devices from `mix` with a fixed seed.
+    #[must_use]
+    pub fn generate(n: usize, mix: &ClassMix, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total: f64 = mix.iter().map(|(_, w)| w).sum();
+        let devices = (0..n as u32)
+            .map(|id| {
+                let mut pick = rng.gen_range(0.0..total);
+                let mut class = mix[mix.len() - 1].0;
+                for (c, w) in mix {
+                    if pick < *w {
+                        class = *c;
+                        break;
+                    }
+                    pick -= w;
+                }
+                let profile = class.profile();
+                // Capacity scales with class: coin cell → phone battery.
+                let capacity = match class {
+                    DeviceClass::McuM0 => 2.0e3,
+                    DeviceClass::McuM4 => 8.0e3,
+                    DeviceClass::McuM7 => 2.0e4,
+                    DeviceClass::MobileLow => 3.0e7,
+                    DeviceClass::MobileHigh => 5.0e7,
+                    DeviceClass::EdgeAccel => 1.0e9,
+                };
+                let mut battery = BatteryModel::new(capacity);
+                battery.charge_mj = capacity * rng.gen_range(0.2..1.0);
+                battery.plugged = matches!(class, DeviceClass::EdgeAccel) || rng.gen_bool(0.25);
+                let network = Self::sample_network(&mut rng, class);
+                Device {
+                    id,
+                    profile,
+                    state: DeviceState { battery, network },
+                }
+            })
+            .collect();
+        Fleet {
+            devices,
+            seed,
+            step: 0,
+        }
+    }
+
+    fn sample_network(rng: &mut StdRng, class: DeviceClass) -> NetworkKind {
+        // MCUs are mostly BLE/offline; phones mostly WiFi/cellular.
+        let r: f64 = rng.gen_range(0.0..1.0);
+        match class {
+            DeviceClass::McuM0 | DeviceClass::McuM4 | DeviceClass::McuM7 => {
+                if r < 0.25 {
+                    NetworkKind::Offline
+                } else if r < 0.75 {
+                    NetworkKind::Ble
+                } else if r < 0.9 {
+                    NetworkKind::Cellular
+                } else {
+                    NetworkKind::Wifi
+                }
+            }
+            DeviceClass::MobileLow | DeviceClass::MobileHigh => {
+                if r < 0.05 {
+                    NetworkKind::Offline
+                } else if r < 0.45 {
+                    NetworkKind::Cellular
+                } else {
+                    NetworkKind::Wifi
+                }
+            }
+            DeviceClass::EdgeAccel => NetworkKind::Wifi,
+        }
+    }
+
+    /// Advance every device's dynamic state by one simulation step:
+    /// batteries drain/charge, connectivity churns.
+    pub fn step(&mut self) {
+        self.step += 1;
+        let step = self.step;
+        let seed = self.seed;
+        self.devices.par_iter_mut().for_each(|d| {
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (u64::from(d.id) << 24) ^ step.wrapping_mul(0x9e37_79b9),
+            );
+            // Idle drain for a nominal 60 s window.
+            let idle_mj = d.profile.idle_power_mw * 60.0;
+            if d.state.battery.plugged {
+                d.state.battery.charge_mj_add(idle_mj * 20.0);
+            } else {
+                let _ = d.state.battery.drain_mj(idle_mj);
+            }
+            // 10% chance to flip plugged state (except always-on gateways).
+            if d.profile.class != DeviceClass::EdgeAccel && rng.gen_bool(0.10) {
+                d.state.battery.plugged = !d.state.battery.plugged;
+            }
+            // 20% chance of connectivity churn.
+            if rng.gen_bool(0.20) {
+                d.state.network = Self::sample_network(&mut rng, d.profile.class);
+            }
+        });
+    }
+
+    /// Count of devices per class, index-aligned with [`DeviceClass::all`].
+    #[must_use]
+    pub fn class_census(&self) -> [usize; 6] {
+        let mut counts = [0usize; 6];
+        for d in &self.devices {
+            let idx = DeviceClass::all()
+                .iter()
+                .position(|c| *c == d.profile.class)
+                .expect("known class");
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Devices currently reachable (any connectivity).
+    #[must_use]
+    pub fn online(&self) -> Vec<&Device> {
+        self.devices.iter().filter(|d| d.online()).collect()
+    }
+
+    /// Parallel map over all devices (rayon), collecting results in id
+    /// order — the fleet-sweep primitive used by deployment/observability.
+    pub fn par_map<T: Send>(&self, f: impl Fn(&Device) -> T + Sync + Send) -> Vec<T> {
+        self.devices.par_iter().map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Fleet::generate(50, &default_mix(), 7);
+        let b = Fleet::generate(50, &default_mix(), 7);
+        assert_eq!(a.class_census(), b.class_census());
+        for (x, y) in a.devices.iter().zip(&b.devices) {
+            assert_eq!(x.state.network, y.state.network);
+        }
+    }
+
+    #[test]
+    fn census_roughly_matches_mix() {
+        let f = Fleet::generate(2000, &default_mix(), 1);
+        let census = f.class_census();
+        assert_eq!(census.iter().sum::<usize>(), 2000);
+        // MCU classes should dominate (75% of the default mix).
+        let mcus = census[0] + census[1] + census[2];
+        assert!(mcus > 1300, "mcu share {mcus}/2000");
+        // Some accelerators exist but are rare.
+        assert!(census[5] > 0 && census[5] < 120, "accel {}", census[5]);
+    }
+
+    #[test]
+    fn step_churns_state() {
+        let mut f = Fleet::generate(200, &default_mix(), 2);
+        let before: Vec<NetworkKind> = f.devices.iter().map(|d| d.state.network).collect();
+        for _ in 0..5 {
+            f.step();
+        }
+        let after: Vec<NetworkKind> = f.devices.iter().map(|d| d.state.network).collect();
+        let changed = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert!(changed > 20, "connectivity should churn, changed={changed}");
+    }
+
+    #[test]
+    fn unplugged_batteries_drain_on_step() {
+        let mut f = Fleet::generate(100, &default_mix(), 3);
+        let track: Vec<(u32, f64)> = f
+            .devices
+            .iter()
+            .filter(|d| !d.state.battery.plugged)
+            .map(|d| (d.id, d.state.battery.charge_mj))
+            .collect();
+        f.step();
+        let mut drained = 0;
+        for (id, before) in &track {
+            let d = &f.devices[*id as usize];
+            if !d.state.battery.plugged && d.state.battery.charge_mj < *before {
+                drained += 1;
+            }
+        }
+        assert!(drained > track.len() / 2, "most unplugged devices drain");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let f = Fleet::generate(64, &default_mix(), 4);
+        let ids = f.par_map(|d| d.id);
+        assert_eq!(ids, (0..64).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,86 @@
+//! Simulated fragmented edge-device fleet.
+//!
+//! §IV: *"The edge landscape is however much more fragmented with a wide
+//! range of different devices from different vendors, each with different
+//! software support and hardware capabilities."* The sandbox has no
+//! physical MCUs, so per DESIGN.md's substitution table this crate models
+//! them parametrically: six device classes spanning Cortex-M0+ to an edge
+//! accelerator, each with compute throughput, memory, supported numeric
+//! schemes, optional secure element, a battery model and a network model.
+//!
+//! The numbers are calibrated to public datasheet orders of magnitude
+//! (an M4 does ~10⁷ MACs/s at ~0.5 nJ/MAC; WiFi moves ~10⁶ B/s at ~0.1
+//! µJ/B). Experiments measure *relative* outcomes — which model variant is
+//! selected, where crossovers fall — which is what survives the
+//! simulation-for-silicon substitution.
+
+pub mod battery;
+pub mod estimate;
+pub mod fleet;
+pub mod network;
+pub mod profile;
+
+pub use battery::BatteryModel;
+pub use estimate::{download_cost, inference_cost, Cost};
+pub use fleet::{default_mix, ClassMix, Device, DeviceState, Fleet};
+pub use network::{NetworkKind, NetworkModel};
+pub use profile::{DeviceClass, DeviceProfile, NumericScheme};
+
+/// Milliseconds of simulated time; the workspace never reads wall clocks
+/// inside library logic (DESIGN.md §3 "Determinism").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Advance by `ms` milliseconds.
+    #[must_use]
+    pub fn plus_ms(self, ms: u64) -> SimTime {
+        SimTime(self.0 + ms)
+    }
+
+    /// Elapsed milliseconds since `earlier` (saturating).
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+/// A monotonically advancing simulation clock.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// New clock at t = 0.
+    #[must_use]
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the clock.
+    pub fn advance_ms(&mut self, ms: u64) {
+        self.now = self.now.plus_ms(ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new();
+        let t0 = c.now();
+        c.advance_ms(10);
+        c.advance_ms(5);
+        assert_eq!(c.now().since(t0), 15);
+        assert_eq!(t0.since(c.now()), 0, "saturating backwards");
+    }
+}

@@ -1,0 +1,165 @@
+//! Connectivity model: bandwidth, latency, energy and availability.
+//!
+//! §III-A: users may prefer "a model that is fast to download on a slow
+//! network connection compared to a larger model when he is connected to
+//! WiFi"; §III-B wants telemetry "transmitted to the cloud when the
+//! device is connected to WiFi". Both decisions key off this model.
+
+use serde::{Deserialize, Serialize};
+
+/// The connectivity state a device can be in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkKind {
+    /// No connectivity (§III-C: devices "might not even be connected to the
+    /// internet the moment they are evaluating the model").
+    Offline,
+    /// Bluetooth LE via a gateway.
+    Ble,
+    /// LTE-M / NB-IoT cellular.
+    Cellular,
+    /// Local WiFi.
+    Wifi,
+}
+
+impl NetworkKind {
+    /// All kinds, slowest first.
+    #[must_use]
+    pub fn all() -> [NetworkKind; 4] {
+        [
+            NetworkKind::Offline,
+            NetworkKind::Ble,
+            NetworkKind::Cellular,
+            NetworkKind::Wifi,
+        ]
+    }
+
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkKind::Offline => "offline",
+            NetworkKind::Ble => "ble",
+            NetworkKind::Cellular => "cellular",
+            NetworkKind::Wifi => "wifi",
+        }
+    }
+
+    /// Canonical link parameters for this kind.
+    #[must_use]
+    pub fn model(self) -> NetworkModel {
+        match self {
+            NetworkKind::Offline => NetworkModel {
+                kind: self,
+                bandwidth_bps: 0.0,
+                rtt_ms: f64::INFINITY,
+                energy_per_byte_uj: 0.0,
+                metered: false,
+            },
+            NetworkKind::Ble => NetworkModel {
+                kind: self,
+                bandwidth_bps: 32.0e3,
+                rtt_ms: 90.0,
+                energy_per_byte_uj: 1.2,
+                metered: false,
+            },
+            NetworkKind::Cellular => NetworkModel {
+                kind: self,
+                bandwidth_bps: 250.0e3,
+                rtt_ms: 120.0,
+                energy_per_byte_uj: 2.5,
+                metered: true,
+            },
+            NetworkKind::Wifi => NetworkModel {
+                kind: self,
+                bandwidth_bps: 10.0e6,
+                rtt_ms: 15.0,
+                energy_per_byte_uj: 0.12,
+                metered: false,
+            },
+        }
+    }
+}
+
+/// Link parameters used by cost estimation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Which kind this model describes.
+    pub kind: NetworkKind,
+    /// Usable throughput, bytes/s × 8.
+    pub bandwidth_bps: f64,
+    /// Round-trip latency in milliseconds.
+    pub rtt_ms: f64,
+    /// Radio energy per byte moved, microjoules.
+    pub energy_per_byte_uj: f64,
+    /// Whether traffic costs the user money (cellular data caps) — the
+    /// telemetry uploader defers on metered links.
+    pub metered: bool,
+}
+
+impl NetworkModel {
+    /// Transfer time for a payload, milliseconds (∞ when offline).
+    #[must_use]
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        if self.bandwidth_bps <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.rtt_ms + (bytes as f64 * 8.0) / self.bandwidth_bps * 1000.0
+    }
+
+    /// Radio energy for a payload, millijoules.
+    #[must_use]
+    pub fn transfer_energy_mj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_per_byte_uj / 1000.0
+    }
+
+    /// Whether bulk uploads (telemetry, federated updates) should proceed
+    /// on this link per the §III-B "when connected to WiFi" policy.
+    #[must_use]
+    pub fn bulk_upload_ok(&self) -> bool {
+        !self.metered && self.bandwidth_bps > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offline_transfers_never_finish() {
+        let m = NetworkKind::Offline.model();
+        assert!(m.transfer_ms(1).is_infinite());
+        assert!(!m.bulk_upload_ok());
+    }
+
+    #[test]
+    fn wifi_is_fastest() {
+        let kinds = NetworkKind::all();
+        let times: Vec<f64> = kinds
+            .iter()
+            .map(|k| k.model().transfer_ms(100_000))
+            .collect();
+        for pair in times.windows(2) {
+            assert!(pair[0] >= pair[1], "slower kind should take longer");
+        }
+    }
+
+    #[test]
+    fn cellular_is_metered_wifi_is_not() {
+        assert!(NetworkKind::Cellular.model().metered);
+        assert!(!NetworkKind::Wifi.model().metered);
+        assert!(NetworkKind::Wifi.model().bulk_upload_ok());
+        assert!(!NetworkKind::Cellular.model().bulk_upload_ok());
+    }
+
+    #[test]
+    fn transfer_time_includes_rtt() {
+        let m = NetworkKind::Wifi.model();
+        assert!((m.transfer_ms(0) - m.rtt_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_with_bytes() {
+        let m = NetworkKind::Ble.model();
+        assert!((m.transfer_energy_mj(2000) - 2.0 * m.transfer_energy_mj(1000)).abs() < 1e-9);
+    }
+}

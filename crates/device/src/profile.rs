@@ -1,0 +1,281 @@
+//! Device classes and hardware capability profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric schemes a device can execute natively. §III-A: *"different
+/// hardware platforms might support a different set of operations and bit
+/// widths"* — this is that set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NumericScheme {
+    /// 32-bit float.
+    F32,
+    /// 8-bit integer kernels.
+    Int8,
+    /// 4-bit integer kernels.
+    Int4,
+    /// 2-bit integer kernels.
+    Int2,
+    /// Binary XNOR kernels.
+    Binary,
+}
+
+impl NumericScheme {
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NumericScheme::F32 => "f32",
+            NumericScheme::Int8 => "int8",
+            NumericScheme::Int4 => "int4",
+            NumericScheme::Int2 => "int2",
+            NumericScheme::Binary => "binary",
+        }
+    }
+
+    /// Throughput multiplier relative to the device's f32 MAC rate when
+    /// the scheme has hardware support (§III-A: "Special support from
+    /// hardware is needed to obtain an increased throughput").
+    #[must_use]
+    pub fn speedup(self) -> f32 {
+        match self {
+            NumericScheme::F32 => 1.0,
+            NumericScheme::Int8 => 2.0,
+            NumericScheme::Int4 => 3.0,
+            NumericScheme::Int2 => 4.0,
+            NumericScheme::Binary => 8.0,
+        }
+    }
+
+    /// Bytes per weight for size accounting.
+    #[must_use]
+    pub fn bytes_per_weight(self) -> f32 {
+        match self {
+            NumericScheme::F32 => 4.0,
+            NumericScheme::Int8 => 1.0,
+            NumericScheme::Int4 => 0.5,
+            NumericScheme::Int2 => 0.25,
+            NumericScheme::Binary => 0.125,
+        }
+    }
+}
+
+/// The six device classes of the simulated landscape, weakest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Cortex-M0+-class sensor node (no FPU).
+    McuM0,
+    /// Cortex-M4-class MCU with DSP extensions.
+    McuM4,
+    /// Cortex-M7-class MCU, TrustZone-M available.
+    McuM7,
+    /// Low-end smartphone / SBC core.
+    MobileLow,
+    /// Flagship smartphone core with a trusted execution environment.
+    MobileHigh,
+    /// Edge accelerator (NPU/GPU class) attached to a gateway.
+    EdgeAccel,
+}
+
+impl DeviceClass {
+    /// All classes, weakest first.
+    #[must_use]
+    pub fn all() -> [DeviceClass; 6] {
+        [
+            DeviceClass::McuM0,
+            DeviceClass::McuM4,
+            DeviceClass::McuM7,
+            DeviceClass::MobileLow,
+            DeviceClass::MobileHigh,
+            DeviceClass::EdgeAccel,
+        ]
+    }
+
+    /// Stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceClass::McuM0 => "mcu-m0",
+            DeviceClass::McuM4 => "mcu-m4",
+            DeviceClass::McuM7 => "mcu-m7",
+            DeviceClass::MobileLow => "mobile-low",
+            DeviceClass::MobileHigh => "mobile-high",
+            DeviceClass::EdgeAccel => "edge-accel",
+        }
+    }
+
+    /// The canonical hardware profile for this class.
+    #[must_use]
+    pub fn profile(self) -> DeviceProfile {
+        use NumericScheme::*;
+        match self {
+            DeviceClass::McuM0 => DeviceProfile {
+                class: self,
+                macs_per_sec: 2.0e6,
+                mem_kb: 32,
+                flash_kb: 256,
+                schemes: vec![Int8, Binary],
+                has_spe: false,
+                energy_per_mac_nj: 1.2,
+                idle_power_mw: 0.5,
+            },
+            DeviceClass::McuM4 => DeviceProfile {
+                class: self,
+                macs_per_sec: 1.0e7,
+                mem_kb: 128,
+                flash_kb: 1024,
+                schemes: vec![F32, Int8, Int4, Binary],
+                has_spe: false,
+                energy_per_mac_nj: 0.6,
+                idle_power_mw: 1.5,
+            },
+            DeviceClass::McuM7 => DeviceProfile {
+                class: self,
+                macs_per_sec: 5.0e7,
+                mem_kb: 512,
+                flash_kb: 2048,
+                schemes: vec![F32, Int8, Int4, Int2, Binary],
+                has_spe: true,
+                energy_per_mac_nj: 0.45,
+                idle_power_mw: 4.0,
+            },
+            DeviceClass::MobileLow => DeviceProfile {
+                class: self,
+                macs_per_sec: 5.0e8,
+                mem_kb: 512 * 1024,
+                flash_kb: 16 * 1024 * 1024,
+                schemes: vec![F32, Int8, Int4, Binary],
+                has_spe: false,
+                energy_per_mac_nj: 0.25,
+                idle_power_mw: 30.0,
+            },
+            DeviceClass::MobileHigh => DeviceProfile {
+                class: self,
+                macs_per_sec: 5.0e9,
+                mem_kb: 4 * 1024 * 1024,
+                flash_kb: 64 * 1024 * 1024,
+                schemes: vec![F32, Int8, Int4, Int2, Binary],
+                has_spe: true,
+                energy_per_mac_nj: 0.1,
+                idle_power_mw: 80.0,
+            },
+            DeviceClass::EdgeAccel => DeviceProfile {
+                class: self,
+                macs_per_sec: 5.0e10,
+                mem_kb: 8 * 1024 * 1024,
+                flash_kb: 128 * 1024 * 1024,
+                schemes: vec![F32, Int8, Int4, Int2, Binary],
+                has_spe: true,
+                energy_per_mac_nj: 0.03,
+                idle_power_mw: 2000.0,
+            },
+        }
+    }
+}
+
+/// Hardware capabilities of one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// The class this profile was derived from.
+    pub class: DeviceClass,
+    /// Sustained f32-equivalent multiply-accumulates per second.
+    pub macs_per_sec: f64,
+    /// RAM in KiB.
+    pub mem_kb: u64,
+    /// Flash/storage in KiB.
+    pub flash_kb: u64,
+    /// Natively supported numeric schemes.
+    pub schemes: Vec<NumericScheme>,
+    /// Whether a Secure Processing Environment is available (§V, §VI).
+    pub has_spe: bool,
+    /// Energy per MAC in nanojoules.
+    pub energy_per_mac_nj: f64,
+    /// Idle power draw in milliwatts.
+    pub idle_power_mw: f64,
+}
+
+impl DeviceProfile {
+    /// Whether the device can execute `scheme` natively.
+    #[must_use]
+    pub fn supports(&self, scheme: NumericScheme) -> bool {
+        self.schemes.contains(&scheme)
+    }
+
+    /// Effective MAC rate when running `scheme` (0 if unsupported).
+    #[must_use]
+    pub fn effective_macs_per_sec(&self, scheme: NumericScheme) -> f64 {
+        if self.supports(scheme) {
+            self.macs_per_sec * f64::from(scheme.speedup())
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether a model of `bytes` fits in flash alongside a 25% headroom
+    /// reserve for the application.
+    #[must_use]
+    pub fn fits_in_flash(&self, bytes: u64) -> bool {
+        bytes <= self.flash_kb * 1024 * 3 / 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_ordered_by_compute() {
+        let classes = DeviceClass::all();
+        for pair in classes.windows(2) {
+            assert!(
+                pair[0].profile().macs_per_sec < pair[1].profile().macs_per_sec,
+                "{:?} should be slower than {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn m0_has_no_f32() {
+        let p = DeviceClass::McuM0.profile();
+        assert!(!p.supports(NumericScheme::F32));
+        assert!(p.supports(NumericScheme::Int8));
+        assert_eq!(p.effective_macs_per_sec(NumericScheme::F32), 0.0);
+    }
+
+    #[test]
+    fn speedups_scale_effective_rate() {
+        let p = DeviceClass::McuM4.profile();
+        let f32_rate = p.effective_macs_per_sec(NumericScheme::F32);
+        let int8_rate = p.effective_macs_per_sec(NumericScheme::Int8);
+        assert!((int8_rate / f32_rate - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spe_availability_tracks_paper_claims() {
+        // §VI: SPEs are "not always available on the low-end edge devices".
+        assert!(!DeviceClass::McuM0.profile().has_spe);
+        assert!(!DeviceClass::McuM4.profile().has_spe);
+        assert!(DeviceClass::MobileHigh.profile().has_spe);
+    }
+
+    #[test]
+    fn flash_budget_enforced() {
+        let p = DeviceClass::McuM0.profile(); // 256 KiB flash
+        assert!(p.fits_in_flash(100 * 1024));
+        assert!(!p.fits_in_flash(250 * 1024)); // over the 75% budget
+    }
+
+    #[test]
+    fn energy_per_mac_decreases_with_class() {
+        let classes = DeviceClass::all();
+        for pair in classes.windows(2) {
+            assert!(
+                pair[0].profile().energy_per_mac_nj >= pair[1].profile().energy_per_mac_nj,
+                "{:?} vs {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Update compression for communication-efficient federated learning.
+//!
+//! §III-D: *"model updates need to be shared with the cloud backend
+//! periodically. This will have a direct impact on the energy consumption
+//! … Several techniques have been developed to reduce the communication
+//! overhead of the Federated Learning techniques"* — citing top-k/sketch
+//! sparsification and ternary compression (ref 40). Implemented here:
+//!
+//! * [`Compression::TopK`] — keep the largest-magnitude fraction, send
+//!   `(index, value)` pairs.
+//! * [`Compression::Ternary`] — {−1, 0, +1}·scale at 2 bits/weight.
+//! * [`Compression::Sign`] — signSGD: 1 bit/weight plus one scale.
+
+use serde::{Deserialize, Serialize};
+
+/// A compression strategy for client→server updates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Compression {
+    /// Send raw f32 (baseline).
+    None,
+    /// Keep the top `frac` fraction of coordinates by magnitude.
+    TopK {
+        /// Fraction kept, in (0,1].
+        frac: f32,
+    },
+    /// Ternary quantization with threshold at 0.7×mean|v|.
+    Ternary,
+    /// Sign quantization (1 bit + global scale).
+    Sign,
+}
+
+impl Compression {
+    /// Stable name for reports.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            Compression::None => "none".into(),
+            Compression::TopK { frac } => format!("top{:.0}%", frac * 100.0),
+            Compression::Ternary => "ternary".into(),
+            Compression::Sign => "sign".into(),
+        }
+    }
+}
+
+/// A compressed update, decompressible to a dense delta.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CompressedUpdate {
+    /// Raw values.
+    Dense(Vec<f32>),
+    /// Sparse `(index, value)` pairs + original length.
+    Sparse {
+        /// Original dense length.
+        len: u32,
+        /// Kept coordinates.
+        entries: Vec<(u32, f32)>,
+    },
+    /// Ternary: packed 2-bit codes + scale.
+    Ternary {
+        /// Original dense length.
+        len: u32,
+        /// Per-update scale.
+        scale: f32,
+        /// 2-bit codes (00=0, 01=+1, 10=−1), 4 per byte.
+        codes: Vec<u8>,
+    },
+    /// Sign: packed 1-bit signs + scale.
+    Sign {
+        /// Original dense length.
+        len: u32,
+        /// Per-update scale.
+        scale: f32,
+        /// Sign bits (1 = positive), 8 per byte.
+        bits: Vec<u8>,
+    },
+}
+
+impl CompressedUpdate {
+    /// Compress `delta` under `method`.
+    #[must_use]
+    pub fn compress(delta: &[f32], method: Compression) -> Self {
+        match method {
+            Compression::None => CompressedUpdate::Dense(delta.to_vec()),
+            Compression::TopK { frac } => {
+                if delta.is_empty() {
+                    return CompressedUpdate::Sparse {
+                        len: 0,
+                        entries: Vec::new(),
+                    };
+                }
+                let k = ((delta.len() as f32 * frac).ceil() as usize).clamp(1, delta.len());
+                let mut order: Vec<u32> = (0..delta.len() as u32).collect();
+                order.sort_by(|&a, &b| {
+                    delta[b as usize]
+                        .abs()
+                        .partial_cmp(&delta[a as usize].abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut entries: Vec<(u32, f32)> = order[..k]
+                    .iter()
+                    .map(|&i| (i, delta[i as usize]))
+                    .collect();
+                entries.sort_by_key(|e| e.0);
+                CompressedUpdate::Sparse {
+                    len: delta.len() as u32,
+                    entries,
+                }
+            }
+            Compression::Ternary => {
+                let mean_abs =
+                    delta.iter().map(|v| v.abs()).sum::<f32>() / delta.len().max(1) as f32;
+                let threshold = 0.7 * mean_abs;
+                // Scale = mean |v| over kept coordinates (unbiased-ish).
+                let kept: Vec<f32> = delta
+                    .iter()
+                    .filter(|v| v.abs() > threshold)
+                    .map(|v| v.abs())
+                    .collect();
+                let scale = if kept.is_empty() {
+                    0.0
+                } else {
+                    kept.iter().sum::<f32>() / kept.len() as f32
+                };
+                let mut codes = vec![0u8; delta.len().div_ceil(4)];
+                for (i, &v) in delta.iter().enumerate() {
+                    let code: u8 = if v > threshold {
+                        0b01
+                    } else if v < -threshold {
+                        0b10
+                    } else {
+                        0b00
+                    };
+                    codes[i / 4] |= code << (2 * (i % 4));
+                }
+                CompressedUpdate::Ternary {
+                    len: delta.len() as u32,
+                    scale,
+                    codes,
+                }
+            }
+            Compression::Sign => {
+                let scale =
+                    delta.iter().map(|v| v.abs()).sum::<f32>() / delta.len().max(1) as f32;
+                let mut bits = vec![0u8; delta.len().div_ceil(8)];
+                for (i, &v) in delta.iter().enumerate() {
+                    if v >= 0.0 {
+                        bits[i / 8] |= 1 << (i % 8);
+                    }
+                }
+                CompressedUpdate::Sign {
+                    len: delta.len() as u32,
+                    scale,
+                    bits,
+                }
+            }
+        }
+    }
+
+    /// Reconstruct a dense delta.
+    #[must_use]
+    pub fn decompress(&self) -> Vec<f32> {
+        match self {
+            CompressedUpdate::Dense(v) => v.clone(),
+            CompressedUpdate::Sparse { len, entries } => {
+                let mut out = vec![0.0f32; *len as usize];
+                for &(i, v) in entries {
+                    out[i as usize] = v;
+                }
+                out
+            }
+            CompressedUpdate::Ternary { len, scale, codes } => (0..*len as usize)
+                .map(|i| match (codes[i / 4] >> (2 * (i % 4))) & 0b11 {
+                    0b01 => *scale,
+                    0b10 => -*scale,
+                    _ => 0.0,
+                })
+                .collect(),
+            CompressedUpdate::Sign { len, scale, bits } => (0..*len as usize)
+                .map(|i| {
+                    if (bits[i / 8] >> (i % 8)) & 1 == 1 {
+                        *scale
+                    } else {
+                        -*scale
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Bytes this update would occupy on the wire.
+    #[must_use]
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            CompressedUpdate::Dense(v) => v.len() * 4,
+            CompressedUpdate::Sparse { entries, .. } => 4 + entries.len() * 8,
+            CompressedUpdate::Ternary { codes, .. } => 8 + codes.len(),
+            CompressedUpdate::Sign { bits, .. } => 8 + bits.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_delta(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn none_round_trips_exactly() {
+        let d = sample_delta(100, 1);
+        let c = CompressedUpdate::compress(&d, Compression::None);
+        assert_eq!(c.decompress(), d);
+        assert_eq!(c.wire_bytes(), 400);
+    }
+
+    #[test]
+    fn topk_keeps_largest() {
+        let d = vec![0.1f32, -5.0, 0.2, 3.0, -0.05];
+        let c = CompressedUpdate::compress(&d, Compression::TopK { frac: 0.4 });
+        let out = c.decompress();
+        assert_eq!(out, vec![0.0, -5.0, 0.0, 3.0, 0.0]);
+        assert!(c.wire_bytes() <= 20);
+    }
+
+    #[test]
+    fn ternary_codes_match_signs() {
+        let d = vec![1.0f32, -1.0, 0.001, 0.9, -0.8];
+        let c = CompressedUpdate::compress(&d, Compression::Ternary);
+        let out = c.decompress();
+        assert!(out[0] > 0.0 && out[1] < 0.0);
+        assert_eq!(out[2], 0.0, "small values zeroed");
+        assert_eq!(out[0], -out[1], "shared scale");
+    }
+
+    #[test]
+    fn sign_preserves_all_signs() {
+        let d = sample_delta(333, 2);
+        let c = CompressedUpdate::compress(&d, Compression::Sign);
+        let out = c.decompress();
+        for (a, b) in d.iter().zip(&out) {
+            assert_eq!(a.signum(), b.signum());
+        }
+    }
+
+    #[test]
+    fn compression_ratios_ordering() {
+        let d = sample_delta(10_000, 3);
+        let none = CompressedUpdate::compress(&d, Compression::None).wire_bytes();
+        let top10 = CompressedUpdate::compress(&d, Compression::TopK { frac: 0.1 }).wire_bytes();
+        let tern = CompressedUpdate::compress(&d, Compression::Ternary).wire_bytes();
+        let sign = CompressedUpdate::compress(&d, Compression::Sign).wire_bytes();
+        assert!(top10 < none / 4, "topk {top10} vs {none}");
+        assert!(tern < none / 10, "ternary {tern}");
+        assert!(sign < tern, "sign {sign} < ternary {tern}");
+        assert!(none / sign >= 30, "sign compresses ≥30x, got {}", none / sign);
+    }
+
+    #[test]
+    fn reconstruction_error_ordering() {
+        // More aggressive compression = more error, but direction preserved.
+        let d = sample_delta(5000, 4);
+        let err = |m: Compression| {
+            let out = CompressedUpdate::compress(&d, m).decompress();
+            d.iter()
+                .zip(&out)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f32>()
+                .sqrt()
+        };
+        let e_none = err(Compression::None);
+        let e_top = err(Compression::TopK { frac: 0.25 });
+        let e_sign = err(Compression::Sign);
+        assert_eq!(e_none, 0.0);
+        assert!(e_top > 0.0);
+        assert!(e_sign > 0.0);
+        // Cosine similarity with the true delta stays positive for sign.
+        let out = CompressedUpdate::compress(&d, Compression::Sign).decompress();
+        let dot: f32 = d.iter().zip(&out).map(|(a, b)| a * b).sum();
+        assert!(dot > 0.0, "sign update points the right way");
+    }
+
+    #[test]
+    fn empty_delta_handled() {
+        let d: Vec<f32> = vec![];
+        for m in [Compression::None, Compression::Ternary, Compression::Sign] {
+            let c = CompressedUpdate::compress(&d, m);
+            assert!(c.decompress().is_empty());
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Continual learning on-device: catastrophic forgetting and its
+//! replay-buffer mitigation.
+//!
+//! §III-D: *"Modern machine learning applications are not static anymore,
+//! they are updated continuously as new data has been observed. … There
+//! are some challenges such as dealing with catastrophic forgetting when
+//! designing machine learning models that support continuous learning."*
+//!
+//! A TinyML device sees its data as a stream with shifting task focus
+//! (new keyword, new machine state). Naively fine-tuning on each phase
+//! erases earlier phases; a small reservoir [`ReplayBuffer`] — the
+//! memory-bounded mitigation that fits MCU budgets — retains them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinymlops_nn::loss::cross_entropy;
+use tinymlops_nn::{evaluate, Dataset, Optimizer, Sequential, Sgd};
+use tinymlops_tensor::Tensor;
+
+/// A bounded reservoir of past examples (Vitter's Algorithm R), the
+/// classic O(capacity)-memory replay store.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    seen: u64,
+    xs: Vec<Vec<f32>>,
+    ys: Vec<usize>,
+    rng: StdRng,
+    num_classes: usize,
+    feature_dim: usize,
+}
+
+impl ReplayBuffer {
+    /// A buffer holding at most `capacity` examples.
+    #[must_use]
+    pub fn new(capacity: usize, feature_dim: usize, num_classes: usize, seed: u64) -> Self {
+        ReplayBuffer {
+            capacity,
+            seen: 0,
+            xs: Vec::with_capacity(capacity),
+            ys: Vec::with_capacity(capacity),
+            rng: StdRng::seed_from_u64(seed),
+            num_classes,
+            feature_dim,
+        }
+    }
+
+    /// Offer one example; reservoir sampling keeps a uniform sample of the
+    /// whole stream regardless of length.
+    pub fn offer(&mut self, x: &[f32], y: usize) {
+        assert_eq!(x.len(), self.feature_dim, "feature dim mismatch");
+        self.seen += 1;
+        if self.xs.len() < self.capacity {
+            self.xs.push(x.to_vec());
+            self.ys.push(y);
+        } else {
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.xs[j as usize] = x.to_vec();
+                self.ys[j as usize] = y;
+            }
+        }
+    }
+
+    /// Number of retained examples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when nothing has been retained yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Materialize the buffer as a dataset (for mixing into batches).
+    #[must_use]
+    pub fn as_dataset(&self) -> Dataset {
+        let mut data = Vec::with_capacity(self.xs.len() * self.feature_dim);
+        for x in &self.xs {
+            data.extend_from_slice(x);
+        }
+        Dataset::new(
+            Tensor::from_vec(data, &[self.xs.len(), self.feature_dim]),
+            self.ys.clone(),
+            self.num_classes,
+        )
+    }
+}
+
+/// Train sequentially over task phases. With `replay = None` this is naive
+/// continual fine-tuning (the forgetting baseline); with a buffer, each
+/// phase trains on current-phase batches mixed with replayed history.
+/// Returns, per phase, the accuracy on **every** phase's test set after
+/// finishing that phase — the matrix forgetting metrics are computed from.
+pub fn train_sequential(
+    model: &mut Sequential,
+    phases: &[(Dataset, Dataset)], // (train, test) per phase
+    mut replay: Option<&mut ReplayBuffer>,
+    epochs_per_phase: usize,
+    lr: f32,
+    seed: u64,
+) -> Vec<Vec<f32>> {
+    let mut accuracy_matrix = Vec::with_capacity(phases.len());
+    let mut opt = Sgd::with_momentum(lr, 0.9);
+    for (phase_idx, (train, _)) in phases.iter().enumerate() {
+        for e in 0..epochs_per_phase {
+            for (x, y) in train.batches(32, seed.wrapping_add((phase_idx * 100 + e) as u64)) {
+                // Mix in an equal-size replay batch when available.
+                let (bx, by) = match replay.as_deref() {
+                    Some(buf) if !buf.is_empty() => {
+                        let replay_data = buf.as_dataset();
+                        let k = y.len().min(replay_data.len());
+                        let idx: Vec<usize> = (0..k).collect();
+                        let r = replay_data.subset(&idx);
+                        let mut xs = x.data().to_vec();
+                        xs.extend_from_slice(r.x.data());
+                        let rows = x.rows() + r.len();
+                        let mut ys = y.clone();
+                        ys.extend_from_slice(&r.y);
+                        (Tensor::from_vec(xs, &[rows, x.cols()]), ys)
+                    }
+                    _ => (x.clone(), y.clone()),
+                };
+                model.zero_grad();
+                let logits = model.forward_train(&bx);
+                let (_, grad) = cross_entropy(&logits, &by);
+                model.backward(&grad);
+                opt.step(model);
+            }
+        }
+        // Feed this phase's data into the reservoir *after* training on it.
+        if let Some(buf) = replay.as_deref_mut() {
+            for r in 0..train.len() {
+                buf.offer(train.x.row(r), train.y[r]);
+            }
+        }
+        accuracy_matrix.push(phases.iter().map(|(_, test)| evaluate(model, test)).collect());
+    }
+    accuracy_matrix
+}
+
+/// Backward transfer: mean drop from each phase's just-trained accuracy to
+/// its final accuracy. Positive = forgetting; ≈0 = retained.
+#[must_use]
+pub fn forgetting(accuracy_matrix: &[Vec<f32>]) -> f32 {
+    let n = accuracy_matrix.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let last = &accuracy_matrix[n - 1];
+    let mut total = 0.0;
+    for phase in 0..n - 1 {
+        let just_trained = accuracy_matrix[phase][phase];
+        total += just_trained - last[phase];
+    }
+    total / (n - 1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_nn::data::synth_digits;
+    use tinymlops_nn::model::mlp;
+    use tinymlops_tensor::TensorRng;
+
+    /// Two phases with disjoint digit groups: 0–4 then 5–9.
+    fn phases() -> Vec<(Dataset, Dataset)> {
+        let all = synth_digits(2000, 0.08, 123);
+        let split_classes = |lo: usize, hi: usize| -> (Dataset, Dataset) {
+            let idx: Vec<usize> = (0..all.len())
+                .filter(|&i| all.y[i] >= lo && all.y[i] < hi)
+                .collect();
+            all.subset(&idx).split(0.8, 5)
+        };
+        vec![split_classes(0, 5), split_classes(5, 10)]
+    }
+
+    #[test]
+    fn naive_finetuning_forgets_replay_remembers() {
+        let phases = phases();
+        let make_model = || mlp(&[64, 32, 10], &mut TensorRng::seed(3));
+
+        let mut naive = make_model();
+        let naive_matrix = train_sequential(&mut naive, &phases, None, 8, 0.05, 0);
+        let naive_forget = forgetting(&naive_matrix);
+
+        let mut buffered = make_model();
+        let mut buf = ReplayBuffer::new(150, 64, 10, 1);
+        let replay_matrix =
+            train_sequential(&mut buffered, &phases, Some(&mut buf), 8, 0.05, 0);
+        let replay_forget = forgetting(&replay_matrix);
+
+        assert!(
+            naive_forget > 0.3,
+            "naive sequential training should forget task 1 badly, got {naive_forget}"
+        );
+        assert!(
+            replay_forget < naive_forget / 2.0,
+            "replay should at least halve forgetting: {replay_forget} vs {naive_forget}"
+        );
+        // And replay must not wreck the new task.
+        let new_task_acc = replay_matrix[1][1];
+        assert!(new_task_acc > 0.75, "phase-2 accuracy {new_task_acc}");
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_uniformish() {
+        let mut buf = ReplayBuffer::new(50, 2, 2, 9);
+        for i in 0..5000usize {
+            buf.offer(&[i as f32, 0.0], i % 2);
+        }
+        assert_eq!(buf.len(), 50);
+        // Uniform over the stream → mean retained index ≈ 2500.
+        let d = buf.as_dataset();
+        let mean: f32 = (0..50).map(|r| d.x.row(r)[0]).sum::<f32>() / 50.0;
+        assert!((1500.0..3500.0).contains(&mean), "reservoir mean {mean}");
+    }
+
+    #[test]
+    fn forgetting_metric_edge_cases() {
+        assert_eq!(forgetting(&[]), 0.0);
+        assert_eq!(forgetting(&[vec![0.9, 0.1]]), 0.0);
+        // Perfect retention.
+        let m = vec![vec![0.9, 0.0], vec![0.9, 0.8]];
+        assert!(forgetting(&m).abs() < 1e-6);
+        // Total forgetting.
+        let m = vec![vec![0.9, 0.0], vec![0.0, 0.8]];
+        assert!((forgetting(&m) - 0.9).abs() < 1e-6);
+    }
+}

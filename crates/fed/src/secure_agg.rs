@@ -1,0 +1,207 @@
+//! Pairwise-mask secure aggregation.
+//!
+//! §III-D relies on updates being aggregated without exposing individual
+//! contributions (the privacy argument for FL collapses if the server can
+//! read per-user updates). The classic Bonawitz-style construction: every
+//! pair of clients (i, j) shares a seed; client i adds `PRG(seed_ij)` for
+//! every j > i and subtracts it for every j < i. Summing all masked
+//! updates cancels every mask exactly, revealing only the aggregate.
+//!
+//! Masks are generated in *fixed-point* (i64 of scaled f32) so cancellation
+//! is bit-exact regardless of floating-point addition order.
+
+use tinymlops_crypto::Drbg;
+
+/// Fixed-point scale: f32 values are carried as round(v · 2^20).
+const FP_SCALE: f64 = 1_048_576.0;
+
+/// A client's masked update in fixed-point.
+#[derive(Debug, Clone)]
+pub struct MaskedUpdate {
+    /// Client id.
+    pub client: u32,
+    /// Masked fixed-point coordinates.
+    pub values: Vec<i64>,
+    /// Aggregation weight (example count).
+    pub weight: u64,
+}
+
+/// Helper owning the pairwise-seed schedule for a round.
+pub struct SecureAggregator {
+    round_seed: u64,
+    participants: Vec<u32>,
+}
+
+impl SecureAggregator {
+    /// A new round with the given participant ids. In production the seeds
+    /// come from Diffie–Hellman pairs; here they are derived from a round
+    /// seed the simulation controls.
+    #[must_use]
+    pub fn new(round_seed: u64, participants: Vec<u32>) -> Self {
+        SecureAggregator {
+            round_seed,
+            participants,
+        }
+    }
+
+    fn pair_mask(&self, a: u32, b: u32, len: usize) -> Vec<i64> {
+        // Deterministic per unordered pair; domain-separated by round.
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let mut seed_material = Vec::with_capacity(16);
+        seed_material.extend_from_slice(&self.round_seed.to_le_bytes());
+        seed_material.extend_from_slice(&lo.to_le_bytes());
+        seed_material.extend_from_slice(&hi.to_le_bytes());
+        let mut rng = Drbg::new(&seed_material, b"secure-agg-mask");
+        (0..len)
+            .map(|_| (rng.next_u64() as i64) >> 24) // bounded mask magnitude
+            .collect()
+    }
+
+    /// Mask a client's f32 delta.
+    #[must_use]
+    pub fn mask(&self, client: u32, delta: &[f32], weight: u64) -> MaskedUpdate {
+        // Weighted fixed-point encoding: carry weight·delta so the server
+        // can divide by total weight once.
+        let mut values: Vec<i64> = delta
+            .iter()
+            .map(|&v| (f64::from(v) * weight as f64 * FP_SCALE).round() as i64)
+            .collect();
+        for &other in &self.participants {
+            if other == client {
+                continue;
+            }
+            let mask = self.pair_mask(client, other, delta.len());
+            if client < other {
+                for (v, m) in values.iter_mut().zip(&mask) {
+                    *v = v.wrapping_add(*m);
+                }
+            } else {
+                for (v, m) in values.iter_mut().zip(&mask) {
+                    *v = v.wrapping_sub(*m);
+                }
+            }
+        }
+        MaskedUpdate {
+            client,
+            values,
+            weight,
+        }
+    }
+
+    /// Aggregate masked updates into the weighted-mean dense delta.
+    /// Requires every participant's update (dropout recovery is out of
+    /// scope; the caller re-runs the round without the missing client).
+    #[must_use]
+    pub fn aggregate(&self, updates: &[MaskedUpdate]) -> Vec<f32> {
+        assert_eq!(
+            updates.len(),
+            self.participants.len(),
+            "all participants must report (dropout handling is caller-side)"
+        );
+        if updates.is_empty() {
+            return Vec::new();
+        }
+        let len = updates[0].values.len();
+        let mut sum = vec![0i64; len];
+        let mut total_weight = 0u64;
+        for u in updates {
+            assert_eq!(u.values.len(), len, "update lengths must agree");
+            for (s, v) in sum.iter_mut().zip(&u.values) {
+                *s = s.wrapping_add(*v);
+            }
+            total_weight += u.weight;
+        }
+        let denom = total_weight.max(1) as f64 * FP_SCALE;
+        sum.iter().map(|&s| (s as f64 / denom) as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn deltas(n_clients: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_clients)
+            .map(|_| (0..len).map(|_| rng.gen_range(-0.5..0.5)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn masks_cancel_exactly() {
+        let parts: Vec<u32> = (0..5).collect();
+        let agg = SecureAggregator::new(99, parts.clone());
+        let ds = deltas(5, 200, 1);
+        let masked: Vec<MaskedUpdate> = ds
+            .iter()
+            .enumerate()
+            .map(|(i, d)| agg.mask(i as u32, d, 10))
+            .collect();
+        let result = agg.aggregate(&masked);
+        // Expected: plain weighted mean (equal weights → plain mean).
+        for (j, r) in result.iter().enumerate() {
+            let want: f32 = ds.iter().map(|d| d[j]).sum::<f32>() / 5.0;
+            assert!((r - want).abs() < 1e-4, "coord {j}: {r} vs {want}");
+        }
+    }
+
+    #[test]
+    fn weighted_mean_respects_example_counts() {
+        let parts: Vec<u32> = vec![0, 1];
+        let agg = SecureAggregator::new(7, parts);
+        let d0 = vec![1.0f32; 10];
+        let d1 = vec![0.0f32; 10];
+        let masked = vec![agg.mask(0, &d0, 30), agg.mask(1, &d1, 10)];
+        let out = agg.aggregate(&masked);
+        for v in out {
+            assert!((v - 0.75).abs() < 1e-4, "30:10 weighting → 0.75, got {v}");
+        }
+    }
+
+    #[test]
+    fn individual_masked_update_hides_the_delta() {
+        let parts: Vec<u32> = (0..3).collect();
+        let agg = SecureAggregator::new(3, parts);
+        let delta = vec![0.1f32; 50];
+        let masked = agg.mask(0, &delta, 1);
+        // The masked values should look nothing like the raw fixed-point
+        // encoding: compare normalized correlation.
+        let raw: Vec<f64> = delta.iter().map(|&v| f64::from(v) * FP_SCALE).collect();
+        let masked_f: Vec<f64> = masked.values.iter().map(|&v| v as f64).collect();
+        let mean_m = masked_f.iter().sum::<f64>() / 50.0;
+        let dev: f64 = masked_f.iter().map(|v| (v - mean_m).abs()).sum::<f64>() / 50.0;
+        // Raw encoding is constant (0.1·2^20 ≈ 1e5); masked values must
+        // fluctuate wildly around it.
+        assert!(dev > raw[0].abs() * 10.0, "masks dominate: dev {dev}");
+    }
+
+    #[test]
+    fn different_rounds_use_different_masks() {
+        let parts: Vec<u32> = vec![0, 1];
+        let a = SecureAggregator::new(1, parts.clone());
+        let b = SecureAggregator::new(2, parts);
+        let d = vec![0.0f32; 16];
+        assert_ne!(a.mask(0, &d, 1).values, b.mask(0, &d, 1).values);
+    }
+
+    #[test]
+    #[should_panic(expected = "all participants must report")]
+    fn missing_participant_panics() {
+        let agg = SecureAggregator::new(1, vec![0, 1, 2]);
+        let d = vec![0.0f32; 4];
+        let masked = vec![agg.mask(0, &d, 1), agg.mask(1, &d, 1)];
+        let _ = agg.aggregate(&masked);
+    }
+
+    #[test]
+    fn single_participant_round_is_just_the_update() {
+        let agg = SecureAggregator::new(5, vec![42]);
+        let d = vec![0.25f32, -0.5];
+        let masked = vec![agg.mask(42, &d, 4)];
+        let out = agg.aggregate(&masked);
+        assert!((out[0] - 0.25).abs() < 1e-5);
+        assert!((out[1] + 0.5).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,251 @@
+//! Semi-supervised federated learning via confident pseudo-labeling.
+//!
+//! §III-D: *"Most Federated Learning approaches make the assumption that
+//! labelled data is available … this is not very realistic for a TinyML
+//! setting. Here, the individual nodes might operate without human
+//! intervention or feedback which means that the data remains completely
+//! unlabeled. … Several techniques have been developed that can use
+//! unlabelled local data to improve the global model either in a
+//! semi-supervised or unsupervised way."*
+//!
+//! The recipe (SemiFL-style, simplified to TinyML budgets): the server
+//! seeds a model from a small labelled set it owns; each round, clients
+//! pseudo-label their *unlabeled* local data with the current global
+//! model, keep only predictions above a confidence threshold, train
+//! locally on those, and FedAvg the deltas.
+
+use crate::client::{local_train, LocalTrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinymlops_nn::{evaluate, Dataset, Sequential};
+use tinymlops_tensor::Tensor;
+
+/// Configuration for semi-supervised rounds.
+#[derive(Debug, Clone)]
+pub struct SemiConfig {
+    /// Minimum top-1 confidence to accept a pseudo-label.
+    pub confidence: f32,
+    /// Fraction of clients drawn each round.
+    pub participation: f32,
+    /// Local training settings (applied to pseudo-labelled data).
+    pub local: LocalTrainConfig,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for SemiConfig {
+    fn default() -> Self {
+        SemiConfig {
+            confidence: 0.9,
+            participation: 0.8,
+            local: LocalTrainConfig {
+                epochs: 3,
+                lr: 0.05,
+                ..LocalTrainConfig::default()
+            },
+            seed: 0,
+        }
+    }
+}
+
+/// Per-round statistics.
+#[derive(Debug, Clone)]
+pub struct SemiRoundStats {
+    /// Round index (1-based).
+    pub round: usize,
+    /// Mean fraction of unlabeled examples that passed the confidence gate.
+    pub pseudo_label_rate: f32,
+    /// Mean accuracy of accepted pseudo-labels against (hidden) truth —
+    /// observable only in simulation, reported for the experiment tables.
+    pub pseudo_label_accuracy: f32,
+    /// Global accuracy after the round.
+    pub accuracy: f32,
+}
+
+/// Pseudo-label `unlabeled` inputs with `model`, keeping confident rows.
+/// Returns the kept subset as a labelled dataset plus indices kept.
+#[must_use]
+pub fn pseudo_label(model: &Sequential, x: &Tensor, num_classes: usize, confidence: f32) -> (Dataset, Vec<usize>) {
+    let probs = model.predict_proba(x);
+    let mut keep_rows = Vec::new();
+    let mut labels = Vec::new();
+    for r in 0..x.rows() {
+        let row = probs.row(r);
+        let (mut best, mut best_p) = (0usize, f32::NEG_INFINITY);
+        for (i, &p) in row.iter().enumerate() {
+            if p > best_p {
+                best_p = p;
+                best = i;
+            }
+        }
+        if best_p >= confidence {
+            keep_rows.push(r);
+            labels.push(best);
+        }
+    }
+    let cols = x.cols();
+    let mut data = Vec::with_capacity(keep_rows.len() * cols);
+    for &r in &keep_rows {
+        data.extend_from_slice(x.row(r));
+    }
+    (
+        Dataset::new(
+            Tensor::from_vec(data, &[keep_rows.len(), cols]),
+            labels,
+            num_classes,
+        ),
+        keep_rows,
+    )
+}
+
+/// Run `rounds` of semi-supervised FL. `server_seed` is the server's small
+/// labelled set (trains the initial model and re-anchors each round);
+/// `clients` hold **unlabeled** inputs (their true labels, used only for
+/// reporting, ride along in the Dataset). Returns per-round stats.
+pub fn run_semi_supervised(
+    global: &mut Sequential,
+    server_seed: &Dataset,
+    clients: &[Dataset],
+    holdout: &Dataset,
+    rounds: usize,
+    cfg: &SemiConfig,
+) -> Vec<SemiRoundStats> {
+    let mut stats = Vec::with_capacity(rounds);
+    for round in 1..=rounds {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(round as u64));
+        let mut deltas: Vec<(Vec<f32>, u64)> = Vec::new();
+        let mut rate_sum = 0.0f32;
+        let mut pl_acc_sum = 0.0f32;
+        let mut counted = 0usize;
+        for client in clients {
+            if rng.gen_range(0.0..1.0) >= cfg.participation || client.is_empty() {
+                continue;
+            }
+            let (pseudo, kept) =
+                pseudo_label(global, &client.x, client.num_classes, cfg.confidence);
+            rate_sum += kept.len() as f32 / client.len() as f32;
+            if !kept.is_empty() {
+                let correct = kept
+                    .iter()
+                    .zip(&pseudo.y)
+                    .filter(|(&orig_row, &pl)| client.y[orig_row] == pl)
+                    .count();
+                pl_acc_sum += correct as f32 / kept.len() as f32;
+            }
+            counted += 1;
+            if pseudo.len() >= 8 {
+                // SemiFL-style anchoring: the server's labelled seed is
+                // *public* (it owns it), so it rides along to every client
+                // and is mixed into the same batches as the pseudo-labels.
+                // Without this anchor, confident-only training collapses
+                // into confirmation bias (entropy minimization on what the
+                // model already believes) — measured in the E14 ablation.
+                let mixed = pseudo.concat(server_seed);
+                let mut lcfg = cfg.local.clone();
+                lcfg.seed = cfg.seed.wrapping_add((round * 31 + counted) as u64);
+                let update = local_train(global, &mixed, &lcfg);
+                deltas.push((update.delta, update.num_examples));
+            }
+        }
+        // Server also contributes a supervised update from its seed set —
+        // the anchor that stops pseudo-label drift.
+        let mut server_cfg = cfg.local.clone();
+        server_cfg.seed = cfg.seed.wrapping_add(round as u64 * 977);
+        let server_update = local_train(global, server_seed, &server_cfg);
+        deltas.push((server_update.delta, server_update.num_examples));
+
+        let total_w: u64 = deltas.iter().map(|(_, w)| *w).sum();
+        let n = global.num_params();
+        let mut agg = vec![0.0f64; n];
+        for (d, w) in &deltas {
+            for (a, v) in agg.iter_mut().zip(d) {
+                *a += f64::from(*v) * *w as f64;
+            }
+        }
+        let mut params = global.flat_params();
+        for (p, a) in params.iter_mut().zip(&agg) {
+            *p += (*a / total_w.max(1) as f64) as f32;
+        }
+        global.set_flat_params(&params).expect("model shape");
+
+        stats.push(SemiRoundStats {
+            round,
+            pseudo_label_rate: if counted == 0 { 0.0 } else { rate_sum / counted as f32 },
+            pseudo_label_accuracy: if counted == 0 { 0.0 } else { pl_acc_sum / counted as f32 },
+            accuracy: evaluate(global, holdout),
+        });
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_iid;
+    use tinymlops_nn::data::synth_digits;
+    use tinymlops_nn::model::mlp;
+    use tinymlops_nn::train::{fit, FitConfig};
+    use tinymlops_nn::Adam;
+    use tinymlops_tensor::TensorRng;
+
+    #[test]
+    fn pseudo_labels_are_confident_and_mostly_right() {
+        let data = synth_digits(800, 0.08, 11);
+        let (train, test) = data.split(0.8, 0);
+        let mut rng = TensorRng::seed(1);
+        let mut model = mlp(&[64, 24, 10], &mut rng);
+        let mut opt = Adam::new(0.005);
+        fit(&mut model, &train, &mut opt, &FitConfig { epochs: 8, batch_size: 32, ..Default::default() });
+        let (pseudo, kept) = pseudo_label(&model, &test.x, 10, 0.9);
+        assert!(!kept.is_empty());
+        let correct = kept
+            .iter()
+            .zip(&pseudo.y)
+            .filter(|(&r, &pl)| test.y[r] == pl)
+            .count();
+        let acc = correct as f32 / kept.len() as f32;
+        assert!(acc > 0.95, "confident pseudo-labels accuracy {acc}");
+    }
+
+    #[test]
+    fn unlabeled_clients_improve_a_weak_seed_model() {
+        let data = synth_digits(2400, 0.08, 12);
+        let (train, test) = data.split(0.85, 0);
+        // Server owns a tiny labelled seed; clients are unlabeled.
+        let (seed_set, unlabeled_pool) = train.split(0.06, 1);
+        let clients = partition_iid(&unlabeled_pool, 8, 2);
+
+        let mut rng = TensorRng::seed(3);
+        let mut model = mlp(&[64, 24, 10], &mut rng);
+        let mut opt = Adam::new(0.005);
+        fit(&mut model, &seed_set, &mut opt, &FitConfig { epochs: 20, batch_size: 16, ..Default::default() });
+        let seed_only_acc = evaluate(&model, &test);
+
+        let stats = run_semi_supervised(
+            &mut model,
+            &seed_set,
+            &clients,
+            &test,
+            30,
+            &SemiConfig::default(),
+        );
+        let final_acc = stats.last().unwrap().accuracy;
+        assert!(
+            final_acc > seed_only_acc + 0.03,
+            "semi-supervised FL should beat the seed-only model: {seed_only_acc} → {final_acc}"
+        );
+        // Confidence gate keeps pseudo-labels clean.
+        let mean_pl_acc: f32 = stats.iter().map(|s| s.pseudo_label_accuracy).sum::<f32>()
+            / stats.len() as f32;
+        assert!(mean_pl_acc > 0.85, "pseudo-label accuracy {mean_pl_acc}");
+    }
+
+    #[test]
+    fn impossible_confidence_keeps_nothing() {
+        let data = synth_digits(100, 0.08, 13);
+        let model = mlp(&[64, 8, 10], &mut TensorRng::seed(4));
+        let (pseudo, kept) = pseudo_label(&model, &data.x, 10, 1.01);
+        assert!(kept.is_empty());
+        assert!(pseudo.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests: federated-learning invariants.
+
+use proptest::prelude::*;
+use tinymlops_fed::{CompressedUpdate, Compression, SecureAggregator};
+use tinymlops_nn::data::gaussian_blobs;
+
+proptest! {
+    /// Compression round trips preserve length, and `None` is lossless.
+    #[test]
+    fn compression_preserves_length(
+        delta in proptest::collection::vec(-1.0f32..1.0, 0..300),
+        method in prop::sample::select(vec![
+            Compression::None,
+            Compression::TopK { frac: 0.1 },
+            Compression::TopK { frac: 1.0 },
+            Compression::Ternary,
+            Compression::Sign,
+        ]),
+    ) {
+        let c = CompressedUpdate::compress(&delta, method);
+        let out = c.decompress();
+        prop_assert_eq!(out.len(), delta.len());
+        if method == Compression::None || method == (Compression::TopK { frac: 1.0 }) {
+            if method == Compression::None {
+                prop_assert_eq!(out, delta);
+            }
+        }
+    }
+
+    /// TopK keeps exactly ⌈frac·n⌉ coordinates and they are the largest.
+    #[test]
+    fn topk_keeps_largest_coords(
+        delta in proptest::collection::vec(-10.0f32..10.0, 1..128),
+        frac in 0.01f32..1.0,
+    ) {
+        let c = CompressedUpdate::compress(&delta, Compression::TopK { frac });
+        let out = c.decompress();
+        let k = ((delta.len() as f32 * frac).ceil() as usize).clamp(1, delta.len());
+        let kept = out.iter().filter(|&&v| v != 0.0).count();
+        prop_assert!(kept <= k, "kept {kept} > k {k}");
+        // Every kept coordinate's magnitude ≥ every dropped original's
+        // magnitude (ties allowed).
+        let kept_min = out
+            .iter()
+            .zip(&delta)
+            .filter(|(o, _)| **o != 0.0)
+            .map(|(_, d)| d.abs())
+            .fold(f32::INFINITY, f32::min);
+        let dropped_max = out
+            .iter()
+            .zip(&delta)
+            .filter(|(o, _)| **o == 0.0)
+            .map(|(_, d)| d.abs())
+            .fold(0.0f32, f32::max);
+        prop_assert!(kept_min >= dropped_max - 1e-6);
+    }
+
+    /// Sign compression preserves every coordinate's sign.
+    #[test]
+    fn sign_preserves_signs(delta in proptest::collection::vec(-5.0f32..5.0, 1..200)) {
+        let out = CompressedUpdate::compress(&delta, Compression::Sign).decompress();
+        for (d, o) in delta.iter().zip(&out) {
+            if *d != 0.0 {
+                prop_assert_eq!(d.signum(), o.signum());
+            }
+        }
+    }
+
+    /// Compression never increases wire size beyond dense.
+    #[test]
+    fn compression_never_inflates(
+        delta in proptest::collection::vec(-1.0f32..1.0, 32..256),
+        method in prop::sample::select(vec![
+            Compression::TopK { frac: 0.25 },
+            Compression::Ternary,
+            Compression::Sign,
+        ]),
+    ) {
+        let dense = CompressedUpdate::compress(&delta, Compression::None).wire_bytes();
+        let small = CompressedUpdate::compress(&delta, method).wire_bytes();
+        prop_assert!(small <= dense, "{small} > {dense}");
+    }
+
+    /// Secure-aggregation masks cancel for any participant set and any
+    /// updates: the aggregate equals the weighted mean within fixed-point
+    /// tolerance.
+    #[test]
+    fn secure_agg_masks_cancel(
+        n_clients in 1usize..7,
+        len in 1usize..64,
+        round in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+        let deltas: Vec<Vec<f32>> = (0..n_clients)
+            .map(|_| (0..len).map(|_| rng.next_f32() - 0.5).collect())
+            .collect();
+        let weights: Vec<u64> = (0..n_clients).map(|i| 1 + (i as u64 % 5)).collect();
+        let ids: Vec<u32> = (0..n_clients as u32).collect();
+        let agg = SecureAggregator::new(round, ids.clone());
+        let masked: Vec<_> = deltas
+            .iter()
+            .zip(&weights)
+            .zip(&ids)
+            .map(|((d, w), &id)| agg.mask(id, d, *w))
+            .collect();
+        let out = agg.aggregate(&masked);
+        let total_w: u64 = weights.iter().sum();
+        for j in 0..len {
+            let want: f64 = deltas
+                .iter()
+                .zip(&weights)
+                .map(|(d, w)| f64::from(d[j]) * *w as f64)
+                .sum::<f64>()
+                / total_w as f64;
+            prop_assert!((f64::from(out[j]) - want).abs() < 1e-3, "coord {j}");
+        }
+    }
+
+    /// Dataset partitions via subset never lose or duplicate examples.
+    #[test]
+    fn iid_partition_is_exact(clients in 1usize..12, seed in any::<u64>()) {
+        let data = gaussian_blobs(120, 3, 4, 0.5, 7);
+        let parts = tinymlops_fed::partition_iid(&data, clients, seed);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, data.len());
+    }
+}

@@ -1,0 +1,188 @@
+//! The model-extraction (indirect stealing) attack.
+//!
+//! §V: *"by making repeated queries to the model, each time providing an
+//! input data point and recording the prediction of the model, he is able
+//! to construct a labelled data set over time. He can then use this data
+//! to train a machine learning model of his own that mimics the behaviour
+//! of the original model. … this student-teacher learning approach can
+//! allow the attacker to train a similar model for a fraction of the cost
+//! of training the original model."*
+//!
+//! We implement the attack honestly so the defenses (poisoning, detection)
+//! are evaluated against a real adversary, not a strawman: the attacker
+//! holds unlabeled transfer data, queries the victim's prediction API
+//! (which may poison outputs), and distills a surrogate.
+
+use crate::poison::Poisoner;
+use serde::{Deserialize, Serialize};
+use tinymlops_quant::distill::{distill, DistillConfig};
+use tinymlops_nn::{Dataset, Sequential};
+use tinymlops_tensor::Tensor;
+
+/// Attack configuration.
+#[derive(Debug, Clone)]
+pub struct ExtractConfig {
+    /// Number of queries the attacker spends.
+    pub query_budget: usize,
+    /// Distillation settings for surrogate training.
+    pub distill: DistillConfig,
+    /// Surrogate architecture widths (input/output must match victim).
+    pub surrogate_widths: Vec<usize>,
+    /// Attack seed.
+    pub seed: u64,
+}
+
+/// Outcome of one extraction attempt (one row of the E12 table).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackReport {
+    /// Defense the victim ran.
+    pub defense: String,
+    /// Queries spent.
+    pub queries: usize,
+    /// Surrogate's top-1 agreement with the victim on held-out data.
+    pub agreement: f32,
+    /// Surrogate's accuracy on the true task.
+    pub surrogate_accuracy: f32,
+}
+
+/// Run the extraction attack against `victim` fronted by `poisoner`.
+///
+/// `transfer` is the attacker's unlabeled query pool; `eval` is the
+/// held-out set used to score the stolen model (the attacker wouldn't have
+/// it — we do, for the experiment).
+#[must_use]
+pub fn extraction_attack(
+    victim: &Sequential,
+    poisoner: Poisoner,
+    transfer: &Dataset,
+    eval: &Dataset,
+    cfg: &ExtractConfig,
+) -> AttackReport {
+    let n = cfg.query_budget.min(transfer.len());
+    let queries = transfer.subset(&(0..n).collect::<Vec<_>>());
+    // The victim's public API: probabilities, possibly poisoned.
+    let served: Tensor = poisoner.apply(&victim.predict_proba(&queries.x));
+    // Attacker trains a surrogate on (input, served probability) pairs.
+    let mut surrogate = tinymlops_nn::model::mlp(
+        &cfg.surrogate_widths,
+        &mut tinymlops_tensor::TensorRng::seed(cfg.seed),
+    );
+    distill(&mut surrogate, &queries.x, &served, &cfg.distill);
+    // Score the theft.
+    let victim_pred = victim.predict(&eval.x);
+    let surrogate_pred = surrogate.predict(&eval.x);
+    let agreement = victim_pred
+        .iter()
+        .zip(&surrogate_pred)
+        .filter(|(a, b)| a == b)
+        .count() as f32
+        / victim_pred.len().max(1) as f32;
+    let surrogate_accuracy = surrogate_pred
+        .iter()
+        .zip(&eval.y)
+        .filter(|(p, y)| p == y)
+        .count() as f32
+        / eval.len().max(1) as f32;
+    AttackReport {
+        defense: poisoner.name(),
+        queries: n,
+        agreement,
+        surrogate_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_nn::data::synth_digits;
+    use tinymlops_nn::model::mlp;
+    use tinymlops_nn::train::{fit, FitConfig};
+    use tinymlops_nn::Adam;
+    use tinymlops_tensor::TensorRng;
+
+    fn victim_and_data() -> (Sequential, Dataset, Dataset) {
+        let data = synth_digits(1600, 0.08, 99);
+        let (train, test) = data.split(0.8, 0);
+        let mut rng = TensorRng::seed(12);
+        let mut victim = mlp(&[64, 32, 10], &mut rng);
+        let mut opt = Adam::new(0.005);
+        fit(&mut victim, &train, &mut opt, &FitConfig { epochs: 18, batch_size: 32, ..Default::default() });
+        (victim, train, test)
+    }
+
+    fn attack_cfg(budget: usize) -> ExtractConfig {
+        ExtractConfig {
+            query_budget: budget,
+            distill: DistillConfig {
+                epochs: 25,
+                ..Default::default()
+            },
+            surrogate_widths: vec![64, 24, 10],
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn undefended_extraction_succeeds() {
+        let (victim, _, test) = victim_and_data();
+        // Attacker's transfer set: noisier digits (their own harvest).
+        let transfer = synth_digits(1200, 0.2, 777);
+        let report = extraction_attack(&victim, Poisoner::None, &transfer, &test, &attack_cfg(1200));
+        assert!(
+            report.agreement > 0.8,
+            "undefended victim should be stolen: agreement {}",
+            report.agreement
+        );
+    }
+
+    #[test]
+    fn poisoning_reduces_extraction_quality() {
+        let (victim, _, test) = victim_and_data();
+        let transfer = synth_digits(1200, 0.2, 778);
+        let clean = extraction_attack(&victim, Poisoner::None, &transfer, &test, &attack_cfg(1200));
+        let poisoned = extraction_attack(
+            &victim,
+            Poisoner::ReverseSigmoid { beta: 0.9 },
+            &transfer,
+            &test,
+            &attack_cfg(1200),
+        );
+        assert!(
+            poisoned.agreement <= clean.agreement + 0.02,
+            "poisoning should not help the attacker: {} vs {}",
+            poisoned.agreement,
+            clean.agreement
+        );
+    }
+
+    #[test]
+    fn bigger_budget_steals_better() {
+        let (victim, _, test) = victim_and_data();
+        let transfer = synth_digits(1500, 0.2, 779);
+        let small = extraction_attack(&victim, Poisoner::None, &transfer, &test, &attack_cfg(100));
+        let large = extraction_attack(&victim, Poisoner::None, &transfer, &test, &attack_cfg(1500));
+        assert!(
+            large.agreement > small.agreement,
+            "budget {} → {} vs budget {} → {}",
+            large.queries,
+            large.agreement,
+            small.queries,
+            small.agreement
+        );
+    }
+
+    #[test]
+    fn report_names_defense() {
+        let (victim, _, test) = victim_and_data();
+        let transfer = synth_digits(200, 0.2, 780);
+        let r = extraction_attack(
+            &victim,
+            Poisoner::Round { decimals: 1 },
+            &transfer,
+            &test,
+            &attack_cfg(200),
+        );
+        assert_eq!(r.defense, "round1");
+        assert_eq!(r.queries, 200);
+    }
+}

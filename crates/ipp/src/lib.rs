@@ -1,0 +1,51 @@
+//! Model intellectual-property protection (paper §V).
+//!
+//! §V: *"A trained machine learning model can represent a significant
+//! intellectual value for the owner … unscrupulous actors might try to
+//! steal the trained model."* The paper's defense menu, implemented:
+//!
+//! * [`encrypt`] — model encryption at rest/in transit with per-device key
+//!   wrapping ("The model is then decrypted as it is loaded in memory").
+//! * [`watermark`] — **static** white-box watermarking (a secret
+//!   projection of the weights encodes the owner's bitstring, embedded
+//!   with a training-time regularizer) and **dynamic** black-box
+//!   watermarking (trigger-set backdooring), with the paper's
+//!   fidelity / robustness / capacity evaluation axes.
+//! * [`poison`] — prediction poisoning against *indirect* stealing: from
+//!   the paper's "as simple as rounding the confidence values" to
+//!   label-only APIs and reverse-sigmoid noise.
+//! * [`extract`] — the student–teacher **extraction attack** itself
+//!   (black-box query + distillation), because a defense you haven't
+//!   attacked is a defense you don't understand. Used by experiment E12.
+
+pub mod encrypt;
+pub mod extract;
+pub mod poison;
+pub mod scramble;
+pub mod watermark;
+
+pub use encrypt::{decrypt_model, encrypt_model, EncryptedModel};
+pub use extract::{extraction_attack, AttackReport, ExtractConfig};
+pub use poison::Poisoner;
+pub use scramble::{descramble, scramble, unlock_checked};
+pub use watermark::{DynamicWatermark, StaticWatermark, WatermarkReport};
+
+/// Errors from IP-protection operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IppError {
+    /// Decryption failed (wrong key or tampered ciphertext).
+    DecryptionFailed,
+    /// The model bytes inside a container were malformed.
+    BadModel(String),
+}
+
+impl std::fmt::Display for IppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IppError::DecryptionFailed => write!(f, "decryption failed"),
+            IppError::BadModel(why) => write!(f, "bad model: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for IppError {}

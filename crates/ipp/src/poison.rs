@@ -1,0 +1,243 @@
+//! Prediction poisoning: perturbing the served outputs to sabotage
+//! extraction attacks without hurting honest users.
+//!
+//! §V: *"Prediction poisoning … takes a proactive approach by actively
+//! perturbing the outputs of the model that is returned to the user. These
+//! perturbations are carefully designed to retain the model accuracy while
+//! introducing sufficient noise to disturb the training process of a
+//! derivative model. Prediction poisoning can be as simple as rounding the
+//! confidence values."* All poisoners here preserve the argmax, so the
+//! top-1 answer an honest user sees is untouched.
+
+use serde::{Deserialize, Serialize};
+use tinymlops_tensor::Tensor;
+
+/// An output-perturbation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Poisoner {
+    /// Serve exact probabilities (no defense).
+    None,
+    /// Round probabilities to `decimals` places, renormalize
+    /// (the paper's "as simple as rounding the confidence values").
+    Round {
+        /// Decimal places kept.
+        decimals: u32,
+    },
+    /// Serve only the top-1 probability; all other mass spread uniformly.
+    TopOnly,
+    /// Serve only the label (one-hot output).
+    LabelOnly,
+    /// Reverse-sigmoid-style deceptive perturbation (Lee et al.): add a
+    /// sign-alternating distortion that preserves argmax but bends the
+    /// soft-probability surface a student would fit.
+    ReverseSigmoid {
+        /// Perturbation magnitude β.
+        beta: f32,
+    },
+}
+
+impl Poisoner {
+    /// Stable name for experiment tables.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            Poisoner::None => "none".into(),
+            Poisoner::Round { decimals } => format!("round{decimals}"),
+            Poisoner::TopOnly => "top1".into(),
+            Poisoner::LabelOnly => "label-only".into(),
+            Poisoner::ReverseSigmoid { beta } => format!("revsig{beta:.1}"),
+        }
+    }
+
+    /// Apply the policy to a batch of probability rows.
+    #[must_use]
+    pub fn apply(self, probs: &Tensor) -> Tensor {
+        match self {
+            Poisoner::None => probs.clone(),
+            Poisoner::Round { decimals } => {
+                let scale = 10f32.powi(decimals as i32);
+                let mut out = probs.clone();
+                for r in 0..out.rows() {
+                    let arg = argmax_row(probs.row(r));
+                    let row = out.row_mut(r);
+                    for v in row.iter_mut() {
+                        *v = (*v * scale).round() / scale;
+                    }
+                    renormalize_keep_argmax(row, arg);
+                }
+                out
+            }
+            Poisoner::TopOnly => {
+                let mut out = Tensor::zeros(probs.shape());
+                for r in 0..probs.rows() {
+                    let row_in = probs.row(r);
+                    let arg = argmax_row(row_in);
+                    let top = row_in[arg];
+                    let k = row_in.len();
+                    let rest = (1.0 - top) / (k - 1).max(1) as f32;
+                    let row = out.row_mut(r);
+                    for (i, v) in row.iter_mut().enumerate() {
+                        *v = if i == arg { top } else { rest };
+                    }
+                }
+                out
+            }
+            Poisoner::LabelOnly => {
+                let mut out = Tensor::zeros(probs.shape());
+                for r in 0..probs.rows() {
+                    let arg = argmax_row(probs.row(r));
+                    out.row_mut(r)[arg] = 1.0;
+                }
+                out
+            }
+            Poisoner::ReverseSigmoid { beta } => {
+                let mut out = probs.clone();
+                for r in 0..out.rows() {
+                    let arg = argmax_row(probs.row(r));
+                    let row = out.row_mut(r);
+                    for (i, v) in row.iter_mut().enumerate() {
+                        // Deceptive bend: push non-max probabilities toward
+                        // a flipped ranking while keeping them positive.
+                        if i != arg {
+                            let bent = *v + beta * (0.5 - *v) * (1.0 - *v);
+                            *v = bent.clamp(1e-6, 0.999);
+                        }
+                    }
+                    renormalize_keep_argmax(row, arg);
+                }
+                out
+            }
+        }
+    }
+}
+
+fn argmax_row(row: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Renormalize a probability row to sum 1 while guaranteeing `arg` stays
+/// the (strict) argmax.
+fn renormalize_keep_argmax(row: &mut [f32], arg: usize) {
+    let sum: f32 = row.iter().sum();
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    // Enforce argmax preservation against rounding artifacts.
+    let max_other = row
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != arg)
+        .map(|(_, &v)| v)
+        .fold(0.0f32, f32::max);
+    if row[arg] <= max_other {
+        row[arg] = max_other + 1e-4;
+        let sum: f32 = row.iter().sum();
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs() -> Tensor {
+        Tensor::from_vec(
+            vec![
+                0.613, 0.207, 0.12, 0.06, //
+                0.251, 0.249, 0.25, 0.25,
+            ],
+            &[2, 4],
+        )
+    }
+
+    #[test]
+    fn all_poisoners_preserve_argmax() {
+        let p = probs();
+        let before = p.argmax_rows();
+        for poisoner in [
+            Poisoner::None,
+            Poisoner::Round { decimals: 1 },
+            Poisoner::TopOnly,
+            Poisoner::LabelOnly,
+            Poisoner::ReverseSigmoid { beta: 0.8 },
+        ] {
+            let out = poisoner.apply(&p);
+            assert_eq!(out.argmax_rows(), before, "{} broke argmax", poisoner.name());
+        }
+    }
+
+    #[test]
+    fn outputs_remain_distributions() {
+        let p = probs();
+        for poisoner in [
+            Poisoner::Round { decimals: 1 },
+            Poisoner::TopOnly,
+            Poisoner::LabelOnly,
+            Poisoner::ReverseSigmoid { beta: 0.8 },
+        ] {
+            let out = poisoner.apply(&p);
+            for r in 0..out.rows() {
+                let sum: f32 = out.row(r).iter().sum();
+                assert!((sum - 1.0).abs() < 1e-3, "{} row sum {sum}", poisoner.name());
+                assert!(out.row(r).iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_coarsens_information() {
+        let p = probs();
+        let out = Poisoner::Round { decimals: 1 }.apply(&p);
+        // Distinct fine-grained values collapse onto the 0.1 grid (up to
+        // the renormalization): count distinct values drops.
+        let distinct = |t: &Tensor| {
+            let mut v: Vec<i32> = t.data().iter().map(|x| (x * 1e4).round() as i32).collect();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        assert!(distinct(&out) <= distinct(&p));
+    }
+
+    #[test]
+    fn label_only_is_one_hot() {
+        let out = Poisoner::LabelOnly.apply(&probs());
+        for r in 0..out.rows() {
+            let ones = out.row(r).iter().filter(|&&v| v == 1.0).count();
+            let zeros = out.row(r).iter().filter(|&&v| v == 0.0).count();
+            assert_eq!((ones, zeros), (1, 3));
+        }
+    }
+
+    #[test]
+    fn reverse_sigmoid_distorts_runner_up_ordering_information() {
+        let p = Tensor::from_vec(vec![0.5, 0.3, 0.15, 0.05], &[1, 4]);
+        let out = Poisoner::ReverseSigmoid { beta: 0.9 }.apply(&p);
+        // The KL between served and true distribution should be material.
+        let kl: f32 = p
+            .row(0)
+            .iter()
+            .zip(out.row(0))
+            .map(|(&t, &s)| t * (t / s.max(1e-9)).ln())
+            .sum();
+        assert!(kl > 0.01, "revsig KL {kl}");
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let p = probs();
+        assert_eq!(Poisoner::None.apply(&p), p);
+    }
+}

@@ -1,0 +1,232 @@
+//! Hash-chained, HMAC-sealed audit log.
+//!
+//! Every metered event appends an entry whose hash covers the previous
+//! entry's hash — editing, inserting, reordering or truncating history
+//! breaks the chain. Sealing each link with a device-specific HMAC key
+//! means a tamperer without the key cannot even *re-mint* a consistent
+//! forged chain.
+
+use serde::{Deserialize, Serialize};
+use tinymlops_crypto::{hmac_sha256, Digest};
+
+use crate::MeterError;
+
+/// What kind of event an audit entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryKind {
+    /// A metered model query.
+    Query,
+    /// A voucher redemption adding quota.
+    Redeem,
+    /// A sync checkpoint acknowledged by the server.
+    Checkpoint,
+}
+
+/// One link in the audit chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// Monotonic sequence number (0-based).
+    pub seq: u64,
+    /// Event kind.
+    pub kind: EntryKind,
+    /// Small payload (e.g. voucher serial, query count).
+    pub payload: u64,
+    /// Simulated timestamp (ms).
+    pub time_ms: u64,
+    /// HMAC over (seq ‖ kind ‖ payload ‖ time ‖ prev_link).
+    pub link: [u8; 32],
+}
+
+fn entry_mac(key: &[u8; 32], seq: u64, kind: EntryKind, payload: u64, time_ms: u64, prev: &Digest) -> Digest {
+    let mut msg = Vec::with_capacity(8 + 1 + 8 + 8 + 32);
+    msg.extend_from_slice(&seq.to_le_bytes());
+    msg.push(match kind {
+        EntryKind::Query => 0,
+        EntryKind::Redeem => 1,
+        EntryKind::Checkpoint => 2,
+    });
+    msg.extend_from_slice(&payload.to_le_bytes());
+    msg.extend_from_slice(&time_ms.to_le_bytes());
+    msg.extend_from_slice(prev);
+    hmac_sha256(key, &msg)
+}
+
+/// An append-only audit log sealed under a device key.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+    #[serde(skip)]
+    key: [u8; 32],
+}
+
+const GENESIS: Digest = [0u8; 32];
+
+impl AuditLog {
+    /// New empty log sealed under `key` (derive per-device via HKDF).
+    #[must_use]
+    pub fn new(key: [u8; 32]) -> Self {
+        AuditLog {
+            entries: Vec::new(),
+            key,
+        }
+    }
+
+    /// Re-attach the sealing key after deserialization.
+    pub fn set_key(&mut self, key: [u8; 32]) {
+        self.key = key;
+    }
+
+    /// Append an event; returns the new head link.
+    pub fn append(&mut self, kind: EntryKind, payload: u64, time_ms: u64) -> Digest {
+        let seq = self.entries.len() as u64;
+        let prev = self.head();
+        let link = entry_mac(&self.key, seq, kind, payload, time_ms, &prev);
+        self.entries.push(AuditEntry {
+            seq,
+            kind,
+            payload,
+            time_ms,
+            link,
+        });
+        link
+    }
+
+    /// Current head link (genesis hash when empty).
+    #[must_use]
+    pub fn head(&self) -> Digest {
+        self.entries.last().map_or(GENESIS, |e| e.link)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no events are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries (read-only).
+    #[must_use]
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Verify the whole chain under `key`. O(n) HMACs.
+    pub fn verify(&self, key: &[u8; 32]) -> Result<(), MeterError> {
+        let mut prev = GENESIS;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.seq != i as u64 {
+                return Err(MeterError::ChainBroken { at_seq: i as u64 });
+            }
+            let want = entry_mac(key, e.seq, e.kind, e.payload, e.time_ms, &prev);
+            if !tinymlops_crypto::ct_eq(&want, &e.link) {
+                return Err(MeterError::ChainBroken { at_seq: e.seq });
+            }
+            prev = e.link;
+        }
+        Ok(())
+    }
+
+    /// Count of query events (for billing reconciliation).
+    #[must_use]
+    pub fn query_count(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == EntryKind::Query)
+            .map(|e| e.payload)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> [u8; 32] {
+        [7u8; 32]
+    }
+
+    fn sample_log(n: usize) -> AuditLog {
+        let mut log = AuditLog::new(key());
+        for i in 0..n {
+            log.append(EntryKind::Query, 1, i as u64 * 10);
+        }
+        log
+    }
+
+    #[test]
+    fn verify_accepts_honest_chain() {
+        let log = sample_log(100);
+        log.verify(&key()).unwrap();
+        assert_eq!(log.query_count(), 100);
+    }
+
+    #[test]
+    fn edit_breaks_chain() {
+        let mut log = sample_log(50);
+        log.entries[20].payload = 0; // understate usage
+        let err = log.verify(&key()).unwrap_err();
+        assert_eq!(err, MeterError::ChainBroken { at_seq: 20 });
+    }
+
+    #[test]
+    fn reorder_breaks_chain() {
+        let mut log = sample_log(10);
+        log.entries.swap(3, 4);
+        assert!(log.verify(&key()).is_err());
+    }
+
+    #[test]
+    fn deletion_breaks_chain() {
+        let mut log = sample_log(10);
+        log.entries.remove(5);
+        assert!(log.verify(&key()).is_err());
+    }
+
+    #[test]
+    fn truncation_is_internally_valid_but_changes_head() {
+        // Pure truncation keeps a valid prefix — that's exactly why the
+        // sync server must remember heads (see sync.rs).
+        let mut log = sample_log(10);
+        let head_before = log.head();
+        log.entries.truncate(5);
+        log.verify(&key()).unwrap();
+        assert_ne!(log.head(), head_before);
+    }
+
+    #[test]
+    fn forger_without_key_cannot_remint() {
+        let mut log = sample_log(10);
+        // Attacker edits and recomputes links with a guessed key.
+        let fake_key = [8u8; 32];
+        log.entries[2].payload = 0;
+        let mut prev = GENESIS;
+        for e in &mut log.entries {
+            e.link = entry_mac(&fake_key, e.seq, e.kind, e.payload, e.time_ms, &prev);
+            prev = e.link;
+        }
+        assert!(log.verify(&key()).is_err(), "verifier uses the real key");
+    }
+
+    #[test]
+    fn empty_log_verifies() {
+        let log = AuditLog::new(key());
+        log.verify(&key()).unwrap();
+        assert_eq!(log.head(), GENESIS);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn mixed_kinds_count_only_queries() {
+        let mut log = AuditLog::new(key());
+        log.append(EntryKind::Redeem, 1000, 0);
+        log.append(EntryKind::Query, 3, 1);
+        log.append(EntryKind::Checkpoint, 0, 2);
+        log.append(EntryKind::Query, 2, 3);
+        assert_eq!(log.query_count(), 5);
+    }
+}

@@ -1,0 +1,132 @@
+//! Rate cards and invoice generation.
+//!
+//! §III-C cites Google Cloud Vision: *"$1.50 per 1,000 requests"*. The
+//! billing engine turns reconciled audit logs into invoices at such rates,
+//! with volume tiers because real rate cards have them.
+
+use serde::{Deserialize, Serialize};
+
+/// A tiered per-1000-queries rate card. Amounts are in micro-dollars to
+/// keep billing exact in integer arithmetic (no floating-point money).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateCard {
+    /// `(threshold, price_per_1k_microdollars)` — the price applies to
+    /// queries *beyond* the threshold, evaluated in order. The first tier
+    /// must start at 0.
+    pub tiers: Vec<(u64, u64)>,
+    /// Free quota per billing period.
+    pub free_queries: u64,
+}
+
+impl RateCard {
+    /// The paper's example: flat $1.50 per 1 000 requests, first 1 000 free
+    /// (Cloud Vision's actual free tier).
+    #[must_use]
+    pub fn cloud_vision_like() -> Self {
+        RateCard {
+            tiers: vec![(0, 1_500_000)], // $1.50 = 1.5e6 µ$
+            free_queries: 1000,
+        }
+    }
+
+    /// Cost of `queries` in micro-dollars.
+    #[must_use]
+    pub fn cost_microdollars(&self, queries: u64) -> u64 {
+        let billable = queries.saturating_sub(self.free_queries);
+        if billable == 0 {
+            return 0;
+        }
+        let mut total: u64 = 0;
+        for (i, &(threshold, price)) in self.tiers.iter().enumerate() {
+            let upper = self
+                .tiers
+                .get(i + 1)
+                .map_or(u64::MAX, |&(next_threshold, _)| next_threshold);
+            if billable <= threshold {
+                break;
+            }
+            let in_tier = billable.min(upper) - threshold;
+            // ceil(in_tier * price / 1000) charged pro-rata per query.
+            total += in_tier * price / 1000;
+        }
+        total
+    }
+}
+
+/// An invoice for one device over one billing period.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Invoice {
+    /// Device billed.
+    pub device_id: u32,
+    /// Queries reconciled this period.
+    pub queries: u64,
+    /// Amount due, micro-dollars.
+    pub amount_microdollars: u64,
+}
+
+impl Invoice {
+    /// Build an invoice from a reconciled query count.
+    #[must_use]
+    pub fn compute(device_id: u32, queries: u64, rates: &RateCard) -> Self {
+        Invoice {
+            device_id,
+            queries,
+            amount_microdollars: rates.cost_microdollars(queries),
+        }
+    }
+
+    /// Dollar amount as a display string (exact, no float rounding).
+    #[must_use]
+    pub fn amount_display(&self) -> String {
+        let dollars = self.amount_microdollars / 1_000_000;
+        let cents = (self.amount_microdollars % 1_000_000) / 10_000;
+        format!("${dollars}.{cents:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rate_one_thousand_queries() {
+        let r = RateCard::cloud_vision_like();
+        // First 1000 free, next 1000 at $1.50/1k.
+        assert_eq!(r.cost_microdollars(1000), 0);
+        assert_eq!(r.cost_microdollars(2000), 1_500_000);
+    }
+
+    #[test]
+    fn per_query_proration() {
+        let r = RateCard::cloud_vision_like();
+        // 1 billable query = $0.0015 = 1500 µ$.
+        assert_eq!(r.cost_microdollars(1001), 1500);
+    }
+
+    #[test]
+    fn tiered_pricing() {
+        // First 10k billable at $1.50/1k, beyond at $1.00/1k.
+        let r = RateCard {
+            tiers: vec![(0, 1_500_000), (10_000, 1_000_000)],
+            free_queries: 0,
+        };
+        assert_eq!(r.cost_microdollars(10_000), 15_000_000);
+        assert_eq!(r.cost_microdollars(12_000), 15_000_000 + 2_000_000);
+    }
+
+    #[test]
+    fn invoice_display() {
+        let r = RateCard::cloud_vision_like();
+        let inv = Invoice::compute(3, 2000, &r);
+        assert_eq!(inv.amount_display(), "$1.50");
+        assert_eq!(inv.queries, 2000);
+    }
+
+    #[test]
+    fn zero_usage_zero_invoice() {
+        let r = RateCard::cloud_vision_like();
+        let inv = Invoice::compute(1, 0, &r);
+        assert_eq!(inv.amount_microdollars, 0);
+        assert_eq!(inv.amount_display(), "$0.00");
+    }
+}

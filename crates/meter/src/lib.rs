@@ -1,0 +1,65 @@
+//! Offline-first pay-per-query metering (paper §III-C).
+//!
+//! §III-C: *"We could offer prepaid packages where the user purchases the
+//! right to perform a certain number of model calls. The application then
+//! needs to keep track of how many requests the user has executed and will
+//! deny access if this exceeds the number of requests the user has paid
+//! for. Doing this in a secure offline way on untrusted hardware is however
+//! not trivial and would be a very useful feature for a TinyMLOps
+//! solution."*
+//!
+//! The device is untrusted, so prevention is impossible without hardware;
+//! what a software TinyMLOps layer *can* deliver is **tamper evidence**:
+//!
+//! * [`quota`] — prepaid packages and local enforcement (deny at zero).
+//! * [`audit`] — a hash-chained, HMAC-sealed audit log: every metered query
+//!   appends an entry; editing, reordering or truncating the history
+//!   breaks the chain.
+//! * [`voucher`] — HMAC-signed prepaid vouchers with server-side
+//!   double-spend detection at sync time.
+//! * [`sync`] — fork/rollback detection: the backend remembers each
+//!   device's last chain head; a device that restores an old snapshot
+//!   cannot extend the chain it previously reported.
+//! * [`billing`] — rate cards (the paper cites Google Cloud Vision's $1.50
+//!   per 1 000 requests) and invoice reconciliation from audit logs.
+
+pub mod audit;
+pub mod billing;
+pub mod quota;
+pub mod sync;
+pub mod voucher;
+
+pub use audit::{AuditEntry, AuditLog, EntryKind};
+pub use billing::{Invoice, RateCard};
+pub use quota::{QuotaManager, QuotaStatus};
+pub use sync::{SyncOutcome, SyncServer};
+pub use voucher::{Voucher, VoucherIssuer, VoucherLedger};
+
+/// Errors from metering operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeterError {
+    /// Quota exhausted: the query must be denied (§III-C).
+    QuotaExhausted,
+    /// Audit chain failed verification (tampering or corruption).
+    ChainBroken {
+        /// Sequence number where verification failed.
+        at_seq: u64,
+    },
+    /// A voucher failed authentication or was already redeemed.
+    BadVoucher(&'static str),
+    /// A device presented a history inconsistent with the server's record.
+    ForkDetected,
+}
+
+impl std::fmt::Display for MeterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeterError::QuotaExhausted => write!(f, "quota exhausted"),
+            MeterError::ChainBroken { at_seq } => write!(f, "audit chain broken at seq {at_seq}"),
+            MeterError::BadVoucher(why) => write!(f, "bad voucher: {why}"),
+            MeterError::ForkDetected => write!(f, "device history fork detected (rollback?)"),
+        }
+    }
+}
+
+impl std::error::Error for MeterError {}

@@ -1,0 +1,142 @@
+//! Prepaid quota enforcement.
+
+use crate::audit::{AuditLog, EntryKind};
+use crate::MeterError;
+use serde::{Deserialize, Serialize};
+
+/// Result of a quota check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuotaStatus {
+    /// Queries remain.
+    Ok {
+        /// Remaining prepaid queries.
+        remaining: u64,
+    },
+    /// Balance is zero; queries are denied until a top-up.
+    Exhausted,
+}
+
+/// Local prepaid-query balance, coupled to the audit log: every consume
+/// appends a chain entry, so the balance is always reconstructible from
+/// (redemptions − consumed) and auditable by the backend.
+#[derive(Debug)]
+pub struct QuotaManager {
+    balance: u64,
+    log: AuditLog,
+}
+
+impl QuotaManager {
+    /// New manager with zero balance and an empty audit chain.
+    #[must_use]
+    pub fn new(device_key: [u8; 32]) -> Self {
+        QuotaManager {
+            balance: 0,
+            log: AuditLog::new(device_key),
+        }
+    }
+
+    /// Current balance.
+    #[must_use]
+    pub fn balance(&self) -> u64 {
+        self.balance
+    }
+
+    /// Current quota status.
+    #[must_use]
+    pub fn status(&self) -> QuotaStatus {
+        if self.balance > 0 {
+            QuotaStatus::Ok {
+                remaining: self.balance,
+            }
+        } else {
+            QuotaStatus::Exhausted
+        }
+    }
+
+    /// Add `n` prepaid queries (called by voucher redemption; `serial`
+    /// lands in the audit trail).
+    pub fn credit(&mut self, n: u64, serial: u64, time_ms: u64) {
+        self.balance += n;
+        self.log.append(EntryKind::Redeem, serial, time_ms);
+    }
+
+    /// Consume quota for `n` queries, appending to the audit chain.
+    /// Denies (without partial consumption) when the balance is short —
+    /// the §III-C "deny access" behaviour.
+    pub fn consume(&mut self, n: u64, time_ms: u64) -> Result<QuotaStatus, MeterError> {
+        if self.balance < n {
+            return Err(MeterError::QuotaExhausted);
+        }
+        self.balance -= n;
+        self.log.append(EntryKind::Query, n, time_ms);
+        Ok(self.status())
+    }
+
+    /// Borrow the audit log (for sync/billing).
+    #[must_use]
+    pub fn log(&self) -> &AuditLog {
+        &self.log
+    }
+
+    /// Record a server-acknowledged checkpoint in the chain.
+    pub fn checkpoint(&mut self, time_ms: u64) {
+        self.log.append(EntryKind::Checkpoint, self.balance, time_ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> QuotaManager {
+        QuotaManager::new([1u8; 32])
+    }
+
+    #[test]
+    fn consume_until_denied() {
+        let mut m = mgr();
+        m.credit(3, 42, 0);
+        assert_eq!(m.consume(1, 1).unwrap(), QuotaStatus::Ok { remaining: 2 });
+        assert_eq!(m.consume(2, 2).unwrap(), QuotaStatus::Exhausted);
+        assert_eq!(m.consume(1, 3), Err(MeterError::QuotaExhausted));
+        assert_eq!(m.balance(), 0);
+    }
+
+    #[test]
+    fn short_balance_denies_without_partial_burn() {
+        let mut m = mgr();
+        m.credit(5, 1, 0);
+        assert!(m.consume(10, 1).is_err());
+        assert_eq!(m.balance(), 5, "denied consume must not burn quota");
+    }
+
+    #[test]
+    fn every_consume_is_audited() {
+        let mut m = mgr();
+        m.credit(10, 9, 0);
+        for t in 0..7 {
+            m.consume(1, t).unwrap();
+        }
+        assert_eq!(m.log().query_count(), 7);
+        m.log().verify(&[1u8; 32]).unwrap();
+    }
+
+    #[test]
+    fn balance_reconstructible_from_log() {
+        let mut m = mgr();
+        m.credit(100, 5, 0);
+        m.consume(30, 1).unwrap();
+        m.consume(20, 2).unwrap();
+        let credited: u64 = 100; // known from the voucher ledger
+        let consumed = m.log().query_count();
+        assert_eq!(m.balance(), credited - consumed);
+    }
+
+    #[test]
+    fn zero_consume_is_fine() {
+        let mut m = mgr();
+        m.credit(1, 1, 0);
+        assert!(m.consume(0, 0).is_ok());
+        assert_eq!(m.balance(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests: metering invariants under arbitrary usage and
+//! tampering patterns.
+
+use proptest::prelude::*;
+use tinymlops_meter::audit::{AuditLog, EntryKind};
+use tinymlops_meter::{QuotaManager, RateCard, SyncServer};
+
+proptest! {
+    /// Balance always equals credited − consumed, and never goes negative,
+    /// for any interleaving of credits and consume attempts.
+    #[test]
+    fn quota_balance_invariant(ops in proptest::collection::vec((any::<bool>(), 1u64..50), 0..80)) {
+        let mut q = QuotaManager::new([1u8; 32]);
+        let mut credited = 0u64;
+        let mut consumed = 0u64;
+        for (i, (credit, amount)) in ops.iter().enumerate() {
+            if *credit {
+                q.credit(*amount, i as u64, i as u64);
+                credited += amount;
+            } else if q.consume(*amount, i as u64).is_ok() {
+                consumed += amount;
+            }
+            prop_assert_eq!(q.balance(), credited - consumed);
+        }
+        prop_assert_eq!(q.log().query_count(), consumed);
+        q.log().verify(&[1u8; 32]).unwrap();
+    }
+
+    /// Any single-field corruption of any entry breaks chain verification.
+    #[test]
+    fn any_single_edit_is_caught(
+        len in 2usize..40,
+        idx_seed in any::<usize>(),
+        field in 0u8..3,
+        delta in 1u64..1000,
+    ) {
+        let key = [2u8; 32];
+        let mut log = AuditLog::new(key);
+        for t in 0..len as u64 {
+            log.append(EntryKind::Query, 1 + t % 3, t * 10);
+        }
+        let idx = idx_seed % len;
+        // Tamper through the serialized form (the attacker edits flash).
+        let mut json: serde_json::Value = serde_json::to_value(&log).unwrap();
+        match field {
+            0 => json["entries"][idx]["payload"] = serde_json::json!(delta + 10_000),
+            1 => json["entries"][idx]["time_ms"] = serde_json::json!(delta + 10_000),
+            _ => json["entries"][idx]["seq"] = serde_json::json!(delta + 10_000),
+        }
+        let tampered: AuditLog = serde_json::from_value(json).unwrap();
+        prop_assert!(tampered.verify(&key).is_err());
+    }
+
+    /// Sync accepts exactly the honest extension pattern: any prefix-
+    /// preserving growth reconciles, any truncation is a fork.
+    #[test]
+    fn sync_accepts_extensions_rejects_truncations(
+        first in 1usize..30,
+        extra in 1usize..30,
+        cut in 1usize..30,
+    ) {
+        let key = [3u8; 32];
+        let mut server = SyncServer::new();
+        server.provision(1, key);
+        let mut log = AuditLog::new(key);
+        for t in 0..first as u64 {
+            log.append(EntryKind::Query, 1, t);
+        }
+        server.sync(1, &log).unwrap();
+        // Honest extension always reconciles.
+        for t in 0..extra as u64 {
+            log.append(EntryKind::Query, 1, first as u64 + t);
+        }
+        let outcome = server.sync(1, &log).unwrap();
+        prop_assert_eq!(outcome.new_queries, extra as u64);
+        // A rebuilt shorter history never does.
+        let cut = cut.min(first + extra - 1);
+        let mut rolled = AuditLog::new(key);
+        for t in 0..cut as u64 {
+            rolled.append(EntryKind::Query, 1, t);
+        }
+        prop_assert!(server.sync(1, &rolled).is_err());
+    }
+
+    /// Billing is monotone in usage and exact at tier boundaries.
+    #[test]
+    fn billing_monotone(q1 in 0u64..200_000, q2 in 0u64..200_000) {
+        let rates = RateCard::cloud_vision_like();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(rates.cost_microdollars(lo) <= rates.cost_microdollars(hi));
+        // Exactness: billable × 1500 µ$ per query.
+        let billable = hi.saturating_sub(1000);
+        prop_assert_eq!(rates.cost_microdollars(hi), billable * 1500);
+    }
+}

@@ -1,0 +1,380 @@
+//! 2-D convolution and max-pooling.
+//!
+//! Naive direct convolution — at TinyML scale (8×8 – 32×32 inputs, a few
+//! thousand channels·pixels) the direct loop beats im2col's allocation
+//! traffic, and it quantizes transparently in `tinymlops-quant`.
+//! Layout: `[batch, channels, height, width]`.
+
+use serde::{Deserialize, Serialize};
+use tinymlops_tensor::{Tensor, TensorRng};
+
+/// 2-D convolution, stride 1, optional zero padding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Kernels, `[c_out, c_in, kh, kw]`.
+    pub w: Tensor,
+    /// Per-output-channel bias, `[c_out]`.
+    pub b: Tensor,
+    /// Zero-padding applied on all four sides.
+    pub padding: usize,
+    /// Accumulated kernel gradient.
+    #[serde(skip)]
+    pub grad_w: Option<Tensor>,
+    /// Accumulated bias gradient.
+    #[serde(skip)]
+    pub grad_b: Option<Tensor>,
+    #[serde(skip)]
+    cache_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Kaiming-initialized convolution.
+    #[must_use]
+    pub fn new(c_in: usize, c_out: usize, k: usize, padding: usize, rng: &mut TensorRng) -> Self {
+        let fan_in = c_in * k * k;
+        let std = (2.0 / fan_in as f32).sqrt();
+        Conv2d {
+            w: rng.normal(&[c_out, c_in, k, k], 0.0, std),
+            b: Tensor::zeros(&[c_out]),
+            padding,
+            grad_w: None,
+            grad_b: None,
+            cache_input: None,
+        }
+    }
+
+    fn dims(&self) -> (usize, usize, usize) {
+        let s = self.w.shape();
+        (s[0], s[1], s[2]) // (c_out, c_in, k) — kernels are square
+    }
+
+    /// Output spatial size for an input of side `h`.
+    #[must_use]
+    pub fn out_side(&self, h: usize) -> usize {
+        let (_, _, k) = self.dims();
+        h + 2 * self.padding + 1 - k
+    }
+
+    /// Inference forward pass.
+    #[must_use]
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (c_out, c_in, k) = self.dims();
+        let sh = x.shape();
+        assert_eq!(sh.len(), 4, "conv input must be [b,c,h,w], got {sh:?}");
+        let (batch, cin_x, h, w) = (sh[0], sh[1], sh[2], sh[3]);
+        assert_eq!(cin_x, c_in, "conv channel mismatch");
+        let p = self.padding;
+        let oh = h + 2 * p + 1 - k;
+        let ow = w + 2 * p + 1 - k;
+        let mut out = Tensor::zeros(&[batch, c_out, oh, ow]);
+        let xd = x.data();
+        let wd = self.w.data();
+        let bd = self.b.data();
+        let od = out.data_mut();
+        for bi in 0..batch {
+            for co in 0..c_out {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bd[co];
+                        for ci in 0..c_in {
+                            for ky in 0..k {
+                                let iy = (oy + ky) as isize - p as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = (ox + kx) as isize - p as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((bi * c_in + ci) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((co * c_in + ci) * k + ky) * k + kx;
+                                    acc += xd[xi] * wd[wi];
+                                }
+                            }
+                        }
+                        od[((bi * c_out + co) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        self.cache_input = Some(x.clone());
+        self.forward(x)
+    }
+
+    pub(crate) fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_input.take().expect("conv backward without forward");
+        let (c_out, c_in, k) = self.dims();
+        let sh = x.shape();
+        let (batch, h, w) = (sh[0], sh[2], sh[3]);
+        let p = self.padding;
+        let osh = grad_out.shape();
+        let (oh, ow) = (osh[2], osh[3]);
+        let mut gw = Tensor::zeros(self.w.shape());
+        let mut gb = Tensor::zeros(self.b.shape());
+        let mut gx = Tensor::zeros(x.shape());
+        let xd = x.data();
+        let wd = self.w.data();
+        let god = grad_out.data();
+        let gwd = gw.data_mut();
+        {
+            let gbd = gb.data_mut();
+            for bi in 0..batch {
+                for co in 0..c_out {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            gbd[co] += god[((bi * c_out + co) * oh + oy) * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+        let gxd = gx.data_mut();
+        for bi in 0..batch {
+            for co in 0..c_out {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = god[((bi * c_out + co) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ci in 0..c_in {
+                            for ky in 0..k {
+                                let iy = (oy + ky) as isize - p as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = (ox + kx) as isize - p as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((bi * c_in + ci) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((co * c_in + ci) * k + ky) * k + kx;
+                                    gwd[wi] += g * xd[xi];
+                                    gxd[xi] += g * wd[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        match &mut self.grad_w {
+            Some(acc) => acc.axpy(1.0, &gw).expect("conv grad shape"),
+            None => self.grad_w = Some(gw),
+        }
+        match &mut self.grad_b {
+            Some(acc) => acc.axpy(1.0, &gb).expect("conv bias grad shape"),
+            None => self.grad_b = Some(gb),
+        }
+        gx
+    }
+
+    pub(crate) fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Option<Tensor>)> {
+        vec![(&mut self.w, &mut self.grad_w), (&mut self.b, &mut self.grad_b)]
+    }
+
+    pub(crate) fn params(&self) -> Vec<&Tensor> {
+        vec![&self.w, &self.b]
+    }
+}
+
+/// 2×2 max pooling with stride 2. Odd trailing rows/columns are dropped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    #[serde(skip)]
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (input shape, argmax indices)
+}
+
+impl Default for MaxPool2d {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MaxPool2d {
+    /// New 2×2/stride-2 pool.
+    #[must_use]
+    pub fn new() -> Self {
+        MaxPool2d { cache: None }
+    }
+
+    /// Inference forward pass.
+    #[must_use]
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.pool(x).0
+    }
+
+    fn pool(&self, x: &Tensor) -> (Tensor, Vec<usize>) {
+        let sh = x.shape();
+        assert_eq!(sh.len(), 4, "pool input must be [b,c,h,w]");
+        let (batch, c, h, w) = (sh[0], sh[1], sh[2], sh[3]);
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor::zeros(&[batch, c, oh, ow]);
+        let mut arg = vec![0usize; batch * c * oh * ow];
+        let xd = x.data();
+        let od = out.data_mut();
+        for bi in 0..batch {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let iy = oy * 2 + dy;
+                                let ix = ox * 2 + dx;
+                                let xi = ((bi * c + ci) * h + iy) * w + ix;
+                                if xd[xi] > best {
+                                    best = xd[xi];
+                                    best_idx = xi;
+                                }
+                            }
+                        }
+                        let oi = ((bi * c + ci) * oh + oy) * ow + ox;
+                        od[oi] = best;
+                        arg[oi] = best_idx;
+                    }
+                }
+            }
+        }
+        (out, arg)
+    }
+
+    pub(crate) fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let (out, arg) = self.pool(x);
+        self.cache = Some((x.shape().to_vec(), arg));
+        out
+    }
+
+    pub(crate) fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (in_shape, arg) = self.cache.take().expect("pool backward without forward");
+        let mut gx = Tensor::zeros(&in_shape);
+        let gxd = gx.data_mut();
+        for (oi, &xi) in arg.iter().enumerate() {
+            gxd[xi] += grad_out.data()[oi];
+        }
+        gx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        let mut c = Conv2d::new(1, 1, 1, 0, &mut TensorRng::seed(1));
+        c.w = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]);
+        c.b = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec((0..9).map(|i| i as f32).collect(), &[1, 1, 3, 3]);
+        let y = c.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_known_3x3_sum_kernel() {
+        let mut c = Conv2d::new(1, 1, 3, 0, &mut TensorRng::seed(1));
+        c.w = Tensor::full(&[1, 1, 3, 3], 1.0);
+        c.b = Tensor::zeros(&[1]);
+        let x = Tensor::full(&[1, 1, 3, 3], 2.0);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[18.0]);
+    }
+
+    #[test]
+    fn conv_padding_preserves_size() {
+        let c = Conv2d::new(1, 2, 3, 1, &mut TensorRng::seed(2));
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 8, 8]);
+    }
+
+    #[test]
+    fn conv_gradient_check_small() {
+        let mut rng = TensorRng::seed(3);
+        let mut c = Conv2d::new(1, 1, 2, 0, &mut rng);
+        let x = rng.uniform(&[1, 1, 3, 3], -1.0, 1.0);
+        let y = c.forward_train(&x);
+        let _gx = c.backward(&y.clone()); // loss = sum(y²)/2
+        let analytic = c.grad_w.clone().unwrap();
+        let eps = 1e-3;
+        for idx in 0..c.w.len() {
+            let orig = c.w.data()[idx];
+            c.w.data_mut()[idx] = orig + eps;
+            let lp: f32 = c.forward(&x).data().iter().map(|v| v * v).sum::<f32>() / 2.0;
+            c.w.data_mut()[idx] = orig - eps;
+            let lm: f32 = c.forward(&x).data().iter().map(|v| v * v).sum::<f32>() / 2.0;
+            c.w.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data()[idx]).abs() < 1e-2,
+                "gw[{idx}]: {numeric} vs {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_input_gradient_check() {
+        let mut rng = TensorRng::seed(4);
+        let mut c = Conv2d::new(1, 1, 2, 0, &mut rng);
+        let x = rng.uniform(&[1, 1, 3, 3], -1.0, 1.0);
+        let y = c.forward_train(&x);
+        let gx = c.backward(&y);
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = c.forward(&xp).data().iter().map(|v| v * v).sum::<f32>() / 2.0;
+            let lm: f32 = c.forward(&xm).data().iter().map(|v| v * v).sum::<f32>() / 2.0;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.data()[idx]).abs() < 1e-2,
+                "gx[{idx}]: {numeric} vs {}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn pool_takes_max_and_routes_gradient() {
+        let mut p = MaxPool2d::new();
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let y = p.forward_train(&x);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+        let g = p.backward(&Tensor::full(&[1, 1, 2, 2], 1.0));
+        // Gradient lands only on the max positions.
+        let nonzero: Vec<usize> = g
+            .data()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(nonzero, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn pool_drops_odd_edges() {
+        let p = MaxPool2d::new();
+        let x = Tensor::zeros(&[1, 1, 5, 5]);
+        assert_eq!(p.forward(&x).shape(), &[1, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,462 @@
+//! Datasets and synthetic data generators.
+//!
+//! The sandbox has no MNIST/TIMIT, so per DESIGN.md's substitution table we
+//! generate procedural tasks with the same *shape* as the paper's examples:
+//! small-image 10-class recognition ([`synth_digits`]), low-dimensional
+//! sensor classification ([`gaussian_blobs`], [`two_moons`], [`spirals`])
+//! and keyword-spotting-style audio features ([`keyword_features`]).
+//! Drift-injection helpers feed the §III-B observability experiments.
+
+use serde::{Deserialize, Serialize};
+use tinymlops_tensor::{Tensor, TensorRng};
+
+/// A labelled classification dataset: features `[n, d…]`, labels `0..k`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature tensor; first dimension indexes examples.
+    pub x: Tensor,
+    /// Integer class labels, one per example.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset, checking label/feature counts agree.
+    #[must_use]
+    pub fn new(x: Tensor, y: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(x.rows(), y.len(), "one label per feature row");
+        assert!(y.iter().all(|&c| c < num_classes), "label out of range");
+        Dataset { x, y, num_classes }
+    }
+
+    /// Number of examples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset holds no examples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimensionality (product of trailing dims).
+    #[must_use]
+    pub fn feature_dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Split into `(train, test)` with `train_frac` of examples in train,
+    /// after a seeded shuffle.
+    #[must_use]
+    pub fn split(&self, train_frac: f32, seed: u64) -> (Dataset, Dataset) {
+        let n = self.len();
+        let n_train = ((n as f32) * train_frac).round() as usize;
+        let perm = TensorRng::seed(seed).permutation(n);
+        let take = |idx: &[usize]| -> Dataset {
+            let cols = self.x.cols();
+            let mut xd = Vec::with_capacity(idx.len() * cols);
+            let mut yd = Vec::with_capacity(idx.len());
+            for &i in idx {
+                xd.extend_from_slice(self.x.row(i));
+                yd.push(self.y[i]);
+            }
+            let mut shape = self.x.shape().to_vec();
+            shape[0] = idx.len();
+            Dataset::new(Tensor::from_vec(xd, &shape), yd, self.num_classes)
+        };
+        (take(&perm[..n_train]), take(&perm[n_train..]))
+    }
+
+    /// Select the examples at `indices` (used by federated partitioners).
+    #[must_use]
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let cols = self.x.cols();
+        let mut xd = Vec::with_capacity(indices.len() * cols);
+        let mut yd = Vec::with_capacity(indices.len());
+        for &i in indices {
+            xd.extend_from_slice(self.x.row(i));
+            yd.push(self.y[i]);
+        }
+        let mut shape = self.x.shape().to_vec();
+        shape[0] = indices.len();
+        Dataset::new(Tensor::from_vec(xd, &shape), yd, self.num_classes)
+    }
+
+    /// Iterate over shuffled mini-batches as `(x, y)` pairs.
+    #[must_use]
+    pub fn batches(&self, batch_size: usize, seed: u64) -> Vec<(Tensor, Vec<usize>)> {
+        let perm = TensorRng::seed(seed).permutation(self.len());
+        perm.chunks(batch_size)
+            .map(|chunk| {
+                let b = self.subset(chunk);
+                (b.x, b.y)
+            })
+            .collect()
+    }
+
+    /// Per-class example counts (used to measure non-iid skew).
+    #[must_use]
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &c in &self.y {
+            h[c] += 1;
+        }
+        h
+    }
+
+    /// Apply an additive shift to every feature — the covariate-drift
+    /// injection used by experiment E4.
+    #[must_use]
+    pub fn with_covariate_shift(&self, delta: f32) -> Dataset {
+        Dataset {
+            x: self.x.map(|v| v + delta),
+            y: self.y.clone(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Add Gaussian feature noise (sensor degradation drift).
+    #[must_use]
+    pub fn with_noise(&self, std: f32, seed: u64) -> Dataset {
+        let noise = TensorRng::seed(seed).normal(self.x.shape(), 0.0, std);
+        Dataset {
+            x: self.x.add(&noise).expect("same shape"),
+            y: self.y.clone(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Concatenate two datasets with identical feature shapes.
+    #[must_use]
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.x.cols(), other.x.cols());
+        assert_eq!(self.num_classes, other.num_classes);
+        let mut xd = self.x.data().to_vec();
+        xd.extend_from_slice(other.x.data());
+        let mut yd = self.y.clone();
+        yd.extend_from_slice(&other.y);
+        let mut shape = self.x.shape().to_vec();
+        shape[0] = self.len() + other.len();
+        Dataset::new(Tensor::from_vec(xd, &shape), yd, self.num_classes)
+    }
+}
+
+/// Isotropic Gaussian class clusters in `dim` dimensions.
+#[must_use]
+pub fn gaussian_blobs(n: usize, classes: usize, dim: usize, spread: f32, seed: u64) -> Dataset {
+    let mut rng = TensorRng::seed(seed);
+    // Class centers on a scaled hypercube corner pattern.
+    let centers: Vec<Vec<f32>> = (0..classes)
+        .map(|c| {
+            (0..dim)
+                .map(|d| if (c >> (d % 8)) & 1 == 1 { 2.0 } else { -2.0 } * (1.0 + 0.1 * d as f32))
+                .collect()
+        })
+        .collect();
+    let mut xd = Vec::with_capacity(n * dim);
+    let mut yd = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % classes;
+        for d in 0..dim {
+            xd.push(centers[c][d] + spread * rng.next_gaussian());
+        }
+        yd.push(c);
+    }
+    Dataset::new(Tensor::from_vec(xd, &[n, dim]), yd, classes)
+}
+
+/// The classic two-interleaved-half-moons binary task.
+#[must_use]
+pub fn two_moons(n: usize, noise: f32, seed: u64) -> Dataset {
+    let mut rng = TensorRng::seed(seed);
+    let mut xd = Vec::with_capacity(n * 2);
+    let mut yd = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % 2;
+        let t = rng.next_f32() * std::f32::consts::PI;
+        let (mut x, mut y) = if c == 0 {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        x += noise * rng.next_gaussian();
+        y += noise * rng.next_gaussian();
+        xd.push(x);
+        xd.push(y);
+        yd.push(c);
+    }
+    Dataset::new(Tensor::from_vec(xd, &[n, 2]), yd, 2)
+}
+
+/// `classes` interleaved spirals — a hard low-dimensional benchmark.
+#[must_use]
+pub fn spirals(n: usize, classes: usize, noise: f32, seed: u64) -> Dataset {
+    let mut rng = TensorRng::seed(seed);
+    let mut xd = Vec::with_capacity(n * 2);
+    let mut yd = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % classes;
+        let t = 0.3 + rng.next_f32() * 2.2; // radius parameter
+        let angle = t * 3.0 + (c as f32) * 2.0 * std::f32::consts::PI / classes as f32;
+        xd.push(t * angle.cos() + noise * rng.next_gaussian());
+        xd.push(t * angle.sin() + noise * rng.next_gaussian());
+        yd.push(c);
+    }
+    Dataset::new(Tensor::from_vec(xd, &[n, 2]), yd, classes)
+}
+
+/// 8×8 glyph bitmaps for the digits 0–9 (1 bit per pixel, row-major).
+const DIGIT_GLYPHS: [[u8; 8]; 10] = [
+    // 0
+    [0b00111100, 0b01100110, 0b01100110, 0b01101110, 0b01110110, 0b01100110, 0b01100110, 0b00111100],
+    // 1
+    [0b00011000, 0b00111000, 0b00011000, 0b00011000, 0b00011000, 0b00011000, 0b00011000, 0b01111110],
+    // 2
+    [0b00111100, 0b01100110, 0b00000110, 0b00001100, 0b00011000, 0b00110000, 0b01100000, 0b01111110],
+    // 3
+    [0b00111100, 0b01100110, 0b00000110, 0b00011100, 0b00000110, 0b00000110, 0b01100110, 0b00111100],
+    // 4
+    [0b00001100, 0b00011100, 0b00111100, 0b01101100, 0b01111110, 0b00001100, 0b00001100, 0b00001100],
+    // 5
+    [0b01111110, 0b01100000, 0b01100000, 0b01111100, 0b00000110, 0b00000110, 0b01100110, 0b00111100],
+    // 6
+    [0b00111100, 0b01100110, 0b01100000, 0b01111100, 0b01100110, 0b01100110, 0b01100110, 0b00111100],
+    // 7
+    [0b01111110, 0b00000110, 0b00001100, 0b00011000, 0b00110000, 0b00110000, 0b00110000, 0b00110000],
+    // 8
+    [0b00111100, 0b01100110, 0b01100110, 0b00111100, 0b01100110, 0b01100110, 0b01100110, 0b00111100],
+    // 9
+    [0b00111100, 0b01100110, 0b01100110, 0b01100110, 0b00111110, 0b00000110, 0b01100110, 0b00111100],
+];
+
+/// Procedural "MNIST-like" digits: 8×8 glyphs with per-example random
+/// sub-pixel shift, pixel dropout and Gaussian noise. Flattened to 64
+/// features in `[0,1]`.
+#[must_use]
+pub fn synth_digits(n: usize, noise: f32, seed: u64) -> Dataset {
+    let mut rng = TensorRng::seed(seed);
+    let mut xd = Vec::with_capacity(n * 64);
+    let mut yd = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % 10;
+        let glyph = &DIGIT_GLYPHS[c];
+        // Random integer shift in {-1, 0, 1}².
+        let dy = rng.next_usize(3) as isize - 1;
+        let dx = rng.next_usize(3) as isize - 1;
+        for y in 0..8isize {
+            for x in 0..8isize {
+                let sy = y - dy;
+                let sx = x - dx;
+                let bit = if (0..8).contains(&sy) && (0..8).contains(&sx) {
+                    (glyph[sy as usize] >> (7 - sx)) & 1
+                } else {
+                    0
+                };
+                let mut v = bit as f32;
+                // Pixel dropout: 3% of on-pixels flicker off.
+                if v > 0.5 && rng.next_f32() < 0.03 {
+                    v = 0.0;
+                }
+                v += noise * rng.next_gaussian();
+                xd.push(v.clamp(0.0, 1.0));
+            }
+        }
+        yd.push(c);
+    }
+    Dataset::new(Tensor::from_vec(xd, &[n, 64]), yd, 10)
+}
+
+/// Like [`synth_digits`] but shaped `[n, 1, 8, 8]` for convolutional models.
+#[must_use]
+pub fn synth_digits_2d(n: usize, noise: f32, seed: u64) -> Dataset {
+    let d = synth_digits(n, noise, seed);
+    Dataset {
+        x: d.x.reshape(&[n, 1, 8, 8]).expect("64 = 1*8*8"),
+        y: d.y,
+        num_classes: 10,
+    }
+}
+
+/// Synthetic keyword-spotting features: each class is a mixture of sine
+/// "formants"; features are 16 band energies of a 64-sample frame — the
+/// shape of a real KWS front-end without shipping audio.
+#[must_use]
+pub fn keyword_features(n: usize, classes: usize, seed: u64) -> Dataset {
+    keyword_features_noisy(n, classes, 0.25, seed)
+}
+
+/// [`keyword_features`] with a controllable audio-noise level — high noise
+/// (≥1.0) makes the task genuinely hard, which federated/personalization
+/// experiments need to show meaningful differences.
+#[must_use]
+pub fn keyword_features_noisy(n: usize, classes: usize, noise: f32, seed: u64) -> Dataset {
+    let mut rng = TensorRng::seed(seed);
+    let bands = 16;
+    let frame = 64;
+    let mut xd = Vec::with_capacity(n * bands);
+    let mut yd = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % classes;
+        // Two class-specific formant frequencies (bins).
+        let f1 = 2.0 + (c as f32) * 1.7;
+        let f2 = 5.0 + (c as f32) * 2.3;
+        let phase = rng.next_f32() * std::f32::consts::TAU;
+        let gain = 0.8 + 0.4 * rng.next_f32();
+        let samples: Vec<f32> = (0..frame)
+            .map(|t| {
+                let t = t as f32 / frame as f32;
+                gain * ((std::f32::consts::TAU * f1 * t + phase).sin()
+                    + 0.6 * (std::f32::consts::TAU * f2 * t).sin())
+                    + noise * rng.next_gaussian()
+            })
+            .collect();
+        // Goertzel-style band energies.
+        for b in 0..bands {
+            let freq = b as f32 + 0.5;
+            let (mut re, mut im) = (0.0f32, 0.0f32);
+            for (t, &s) in samples.iter().enumerate() {
+                let ang = std::f32::consts::TAU * freq * t as f32 / frame as f32;
+                re += s * ang.cos();
+                im += s * ang.sin();
+            }
+            xd.push(((re * re + im * im) / frame as f32).ln_1p());
+        }
+        yd.push(c);
+    }
+    Dataset::new(Tensor::from_vec(xd, &[n, bands]), yd, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_have_balanced_classes() {
+        let d = gaussian_blobs(300, 3, 4, 0.5, 1);
+        assert_eq!(d.class_histogram(), vec![100, 100, 100]);
+        assert_eq!(d.feature_dim(), 4);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = gaussian_blobs(100, 2, 3, 0.5, 2);
+        let (tr, te) = d.split(0.8, 0);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(te.len(), 20);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = gaussian_blobs(50, 2, 3, 0.5, 3);
+        let (a, _) = d.split(0.5, 7);
+        let (b, _) = d.split(0.5, 7);
+        assert_eq!(a.y, b.y);
+    }
+
+    #[test]
+    fn subset_picks_rows() {
+        let d = gaussian_blobs(10, 2, 2, 0.1, 4);
+        let s = d.subset(&[0, 5]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.x.row(1), d.x.row(5));
+        assert_eq!(s.y[1], d.y[5]);
+    }
+
+    #[test]
+    fn batches_cover_dataset() {
+        let d = gaussian_blobs(25, 5, 2, 0.1, 5);
+        let batches = d.batches(8, 0);
+        let total: usize = batches.iter().map(|(_, y)| y.len()).sum();
+        assert_eq!(total, 25);
+        assert_eq!(batches.len(), 4); // 8+8+8+1
+    }
+
+    #[test]
+    fn digits_are_in_unit_range_with_ten_classes() {
+        let d = synth_digits(200, 0.05, 6);
+        assert_eq!(d.num_classes, 10);
+        assert_eq!(d.feature_dim(), 64);
+        assert!(d.x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Every class appears.
+        assert!(d.class_histogram().iter().all(|&c| c == 20));
+    }
+
+    #[test]
+    fn digits_classes_are_distinguishable() {
+        // Mean images of distinct digits should differ meaningfully.
+        let d = synth_digits(500, 0.02, 7);
+        let mean_img = |cls: usize| -> Vec<f32> {
+            let idx: Vec<usize> = (0..d.len()).filter(|&i| d.y[i] == cls).collect();
+            let sub = d.subset(&idx);
+            let mut m = vec![0.0f32; 64];
+            for r in 0..sub.len() {
+                for (mm, v) in m.iter_mut().zip(sub.x.row(r)) {
+                    *mm += v;
+                }
+            }
+            m.iter().map(|v| v / sub.len() as f32).collect()
+        };
+        let m0 = mean_img(0);
+        let m1 = mean_img(1);
+        let dist: f32 = m0
+            .iter()
+            .zip(&m1)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f32>()
+            .sqrt();
+        assert!(dist > 1.0, "digit means too close: {dist}");
+    }
+
+    #[test]
+    fn digits_2d_shape() {
+        let d = synth_digits_2d(10, 0.0, 8);
+        assert_eq!(d.x.shape(), &[10, 1, 8, 8]);
+    }
+
+    #[test]
+    fn keyword_features_class_separation() {
+        let d = keyword_features(200, 4, 9);
+        assert_eq!(d.feature_dim(), 16);
+        // Features of the same class should correlate more than across
+        // classes: check mean vectors differ.
+        let mean_of = |cls: usize| -> Vec<f32> {
+            let idx: Vec<usize> = (0..d.len()).filter(|&i| d.y[i] == cls).collect();
+            let sub = d.subset(&idx);
+            (0..16)
+                .map(|j| (0..sub.len()).map(|r| sub.x.row(r)[j]).sum::<f32>() / sub.len() as f32)
+                .collect()
+        };
+        let m0 = mean_of(0);
+        let m3 = mean_of(3);
+        let dist: f32 = m0.iter().zip(&m3).map(|(a, b)| (a - b).powi(2)).sum();
+        assert!(dist > 0.5, "keyword classes too close: {dist}");
+    }
+
+    #[test]
+    fn covariate_shift_moves_means() {
+        let d = gaussian_blobs(50, 2, 2, 0.1, 10);
+        let shifted = d.with_covariate_shift(3.0);
+        assert!((shifted.x.mean() - d.x.mean() - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = gaussian_blobs(10, 2, 2, 0.1, 11);
+        let b = gaussian_blobs(6, 2, 2, 0.1, 12);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 16);
+        assert_eq!(c.x.row(10), b.x.row(0));
+    }
+
+    #[test]
+    fn moons_and_spirals_generate() {
+        let m = two_moons(100, 0.05, 13);
+        assert_eq!(m.num_classes, 2);
+        let s = spirals(90, 3, 0.02, 14);
+        assert_eq!(s.num_classes, 3);
+        assert_eq!(s.class_histogram(), vec![30, 30, 30]);
+    }
+}

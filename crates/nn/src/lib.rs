@@ -1,0 +1,55 @@
+//! Neural-network training and inference substrate.
+//!
+//! The paper assumes "the ML model is a deep neural network" (§I). This
+//! crate is the runtime that every operational subsystem wraps: define a
+//! [`Sequential`] model from [`Layer`]s, train it with [`optim`] against a
+//! [`loss`], and ship it. Federated learning (`tinymlops-fed`),
+//! quantization (`tinymlops-quant`), watermarking (`tinymlops-ipp`) and
+//! verifiable execution (`tinymlops-verify`) all operate on these models.
+//!
+//! Design choices:
+//! * Layers are an **enum**, not trait objects — models serialize with
+//!   serde, clone cheaply, and ship across the simulated fleet.
+//! * Training caches live inside the layer and are `#[serde(skip)]`ped;
+//!   a serialized model is pure architecture + weights.
+//! * Parameters are reachable as flat `f32` vectors
+//!   ([`Sequential::flat_params`]) because federated averaging, watermark
+//!   embedding and quantization all want the "bag of weights" view.
+
+pub mod conv;
+pub mod data;
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod profile;
+pub mod train;
+
+pub use conv::{Conv2d, MaxPool2d};
+pub use data::Dataset;
+pub use layer::{Dense, Dropout, Layer};
+pub use loss::{cross_entropy, mse, Loss};
+pub use model::Sequential;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use profile::LayerProfile;
+pub use train::{evaluate, fit, train_epoch, FitConfig};
+
+/// Errors from model construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// Input shape does not match what a layer expects.
+    ShapeMismatch(String),
+    /// Model (de)serialization failed.
+    Serialization(String),
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            NnError::Serialization(msg) => write!(f, "serialization: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}

@@ -1,0 +1,171 @@
+//! Loss functions returning `(loss, grad_wrt_logits)` pairs.
+
+use tinymlops_tensor::Tensor;
+
+/// A differentiable training objective.
+pub trait Loss {
+    /// Compute the mean loss and its gradient with respect to `logits`.
+    fn compute(&self, logits: &Tensor, targets: &[usize]) -> (f32, Tensor);
+}
+
+/// Softmax cross-entropy against integer class labels.
+///
+/// Returns the mean loss over the batch and `∂L/∂logits` (already divided
+/// by the batch size, so optimizer steps are batch-size invariant).
+#[must_use]
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    let batch = logits.rows();
+    assert_eq!(batch, targets.len(), "one label per row");
+    let probs = logits.softmax_rows();
+    let mut grad = probs.clone();
+    let mut loss = 0.0f32;
+    let inv_b = 1.0 / batch as f32;
+    for (r, &t) in targets.iter().enumerate() {
+        let p = probs.row(r)[t].max(1e-12);
+        loss -= p.ln();
+        let row = grad.row_mut(r);
+        row[t] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_b;
+        }
+    }
+    (loss * inv_b, grad)
+}
+
+/// Mean squared error against dense targets of the same shape.
+#[must_use]
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shapes must match");
+    let n = pred.len() as f32;
+    let diff = pred.sub(target).expect("shapes checked");
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Soft-label cross-entropy with temperature — the knowledge-distillation
+/// objective (§II "knowledge distillation", §V student–teacher stealing).
+///
+/// `teacher_probs` are the soft targets (already softmaxed at temperature
+/// `t`); the student's logits are softened by the same temperature. The
+/// returned gradient includes the standard `t²` correction so distillation
+/// and hard-label losses can be mixed.
+#[must_use]
+pub fn distillation(student_logits: &Tensor, teacher_probs: &Tensor, t: f32) -> (f32, Tensor) {
+    assert_eq!(student_logits.shape(), teacher_probs.shape());
+    let batch = student_logits.rows() as f32;
+    let soft = student_logits.scale(1.0 / t).softmax_rows();
+    let mut loss = 0.0f32;
+    for r in 0..student_logits.rows() {
+        for (p_teacher, p_student) in teacher_probs.row(r).iter().zip(soft.row(r)) {
+            if *p_teacher > 0.0 {
+                loss -= p_teacher * p_student.max(1e-12).ln();
+            }
+        }
+    }
+    // ∂L/∂logits = (softened_student − teacher) · t² / (t · batch) = t/batch · diff
+    let grad = soft
+        .sub(teacher_probs)
+        .expect("shapes checked")
+        .scale(t / batch);
+    (loss / batch, grad)
+}
+
+/// Struct adapters so losses can be passed as trait objects.
+pub struct CrossEntropy;
+
+impl Loss for CrossEntropy {
+    fn compute(&self, logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+        cross_entropy(logits, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], &[2, 3]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let (loss, _) = cross_entropy(&logits, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_numeric() {
+        let logits = Tensor::from_vec(vec![0.2, -0.5, 1.0], &[1, 3]);
+        let (_, grad) = cross_entropy(&logits, &[1]);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let numeric =
+                (cross_entropy(&lp, &[1]).0 - cross_entropy(&lm, &[1]).0) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "grad[{i}]: {numeric} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let (_, grad) = cross_entropy(&logits, &[0, 2]);
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Tensor::vector(&[1.0, 2.0]);
+        let t = Tensor::vector(&[0.0, 0.0]);
+        let (loss, grad) = mse(&p, &t);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn distillation_zero_when_matching_teacher() {
+        let logits = Tensor::from_vec(vec![2.0, 0.0], &[1, 2]);
+        let teacher = logits.scale(1.0 / 2.0).softmax_rows();
+        let (_, grad) = distillation(&logits, &teacher, 2.0);
+        assert!(grad.norm() < 1e-6);
+    }
+
+    #[test]
+    fn distillation_gradient_matches_numeric() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 0.1], &[1, 3]);
+        let teacher = Tensor::from_vec(vec![0.6, 0.3, 0.1], &[1, 3]);
+        let t = 3.0;
+        let (_, grad) = distillation(&logits, &teacher, t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let numeric =
+                (distillation(&lp, &teacher, t).0 - distillation(&lm, &teacher, t).0) / (2.0 * eps);
+            // The t² correction is intentionally included in grad but not in
+            // the scalar loss, so compare against t²-scaled numeric.
+            assert!(
+                (numeric * t * t - grad.data()[i]).abs() < 2e-2,
+                "grad[{i}]: {numeric} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Optimizers: SGD (with momentum and weight decay) and Adam.
+//!
+//! Optimizers keep their state (velocities, moments) keyed by parameter
+//! index, so one optimizer instance must stay paired with one model — the
+//! same contract as every mainstream framework.
+
+use crate::model::Sequential;
+
+/// A gradient-descent update rule over a [`Sequential`]'s parameters.
+pub trait Optimizer {
+    /// Apply one update step from the accumulated gradients, then leave the
+    /// gradients untouched (call [`Sequential::zero_grad`] afterwards).
+    fn step(&mut self, model: &mut Sequential);
+}
+
+/// Stochastic gradient descent with momentum and decoupled weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay (0 disables).
+    pub weight_decay: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    #[must_use]
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut Sequential) {
+        let mut idx = 0;
+        for layer in &mut model.layers {
+            for (p, g) in layer.params_mut() {
+                if self.velocity.len() <= idx {
+                    self.velocity.push(vec![0.0; p.len()]);
+                }
+                if let Some(g) = g {
+                    let v = &mut self.velocity[idx];
+                    let pd = p.data_mut();
+                    for ((pv, gv), vv) in pd.iter_mut().zip(g.data()).zip(v.iter_mut()) {
+                        let grad = gv + self.weight_decay * *pv;
+                        *vv = self.momentum * *vv + grad;
+                        *pv -= self.lr * *vv;
+                    }
+                }
+                idx += 1;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with standard defaults (β₁=0.9, β₂=0.999, ε=1e-8).
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut Sequential) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let mut idx = 0;
+        for layer in &mut model.layers {
+            for (p, g) in layer.params_mut() {
+                if self.m.len() <= idx {
+                    self.m.push(vec![0.0; p.len()]);
+                    self.v.push(vec![0.0; p.len()]);
+                }
+                if let Some(g) = g {
+                    let m = &mut self.m[idx];
+                    let v = &mut self.v[idx];
+                    let pd = p.data_mut();
+                    for i in 0..pd.len() {
+                        let gi = g.data()[i];
+                        m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * gi;
+                        v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * gi * gi;
+                        let m_hat = m[i] / bc1;
+                        let v_hat = v[i] / bc2;
+                        pd[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                    }
+                }
+                idx += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Layer};
+    use crate::loss::cross_entropy;
+    use tinymlops_tensor::{Tensor, TensorRng};
+
+    fn toy_problem() -> (Sequential, Tensor, Vec<usize>) {
+        let mut rng = TensorRng::seed(21);
+        let model = Sequential::new(vec![
+            Layer::Dense(Dense::new(2, 8, &mut rng)),
+            Layer::Tanh,
+            Layer::Dense(Dense::new(8, 2, &mut rng)),
+        ]);
+        // XOR-ish: class = x0*x1 > 0.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..64 {
+            let a = rng.next_f32() * 2.0 - 1.0;
+            let b = rng.next_f32() * 2.0 - 1.0;
+            xs.push(a);
+            xs.push(b);
+            ys.push(usize::from(a * b > 0.0));
+        }
+        (model, Tensor::from_vec(xs, &[64, 2]), ys)
+    }
+
+    fn train_with(opt: &mut dyn Optimizer, iters: usize) -> f32 {
+        let (mut model, x, y) = toy_problem();
+        let mut loss = 0.0;
+        for _ in 0..iters {
+            model.zero_grad();
+            let logits = model.forward_train(&x);
+            let (l, grad) = cross_entropy(&logits, &y);
+            model.backward(&grad);
+            opt.step(&mut model);
+            loss = l;
+        }
+        loss
+    }
+
+    #[test]
+    fn sgd_converges_on_xor() {
+        let mut opt = Sgd::with_momentum(0.3, 0.9);
+        let loss = train_with(&mut opt, 300);
+        assert!(loss < 0.25, "SGD final loss {loss}");
+    }
+
+    #[test]
+    fn adam_converges_on_xor() {
+        let mut opt = Adam::new(0.02);
+        let loss = train_with(&mut opt, 300);
+        assert!(loss < 0.2, "Adam final loss {loss}");
+    }
+
+    #[test]
+    fn momentum_accelerates_over_plain_sgd() {
+        let mut plain = Sgd::new(0.05);
+        let mut mom = Sgd::with_momentum(0.05, 0.9);
+        let loss_plain = train_with(&mut plain, 120);
+        let loss_mom = train_with(&mut mom, 120);
+        assert!(
+            loss_mom < loss_plain + 0.05,
+            "momentum {loss_mom} vs plain {loss_plain}"
+        );
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let (mut model, x, y) = toy_problem();
+        let before = model
+            .flat_params()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>();
+        let mut opt = Sgd::new(0.01);
+        opt.weight_decay = 0.5;
+        for _ in 0..50 {
+            model.zero_grad();
+            let logits = model.forward_train(&x);
+            let (_, grad) = cross_entropy(&logits, &y);
+            model.backward(&grad);
+            opt.step(&mut model);
+        }
+        let after = model.flat_params().iter().map(|v| v * v).sum::<f32>();
+        assert!(after < before, "decay should shrink norm: {after} vs {before}");
+    }
+
+    #[test]
+    fn step_without_gradients_is_noop() {
+        let (mut model, _, _) = toy_problem();
+        let before = model.flat_params();
+        let mut opt = Adam::new(0.1);
+        model.zero_grad();
+        opt.step(&mut model);
+        assert_eq!(model.flat_params(), before);
+    }
+}

@@ -1,0 +1,148 @@
+//! Static model profiling: per-layer FLOPs, parameter and activation sizes.
+//!
+//! The deployment layer (§III-A model selection, §IV edge/cloud split)
+//! needs to know *before running anything* how expensive each layer is and
+//! how many bytes cross the wire if the model is cut at a given point.
+
+use crate::layer::Layer;
+use crate::model::Sequential;
+use serde::{Deserialize, Serialize};
+
+/// Static cost profile of one layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Layer name (e.g. `dense`, `conv2d`).
+    pub name: String,
+    /// Multiply-accumulate operations for a batch-1 forward pass.
+    pub macs: u64,
+    /// Trainable parameter count.
+    pub params: u64,
+    /// Elements in this layer's output (batch 1).
+    pub output_len: u64,
+    /// Output shape (batch dimension omitted).
+    pub output_shape: Vec<usize>,
+}
+
+/// Profile every layer of `model` for a single example with the given
+/// per-example input shape (no batch dimension), e.g. `&[64]` or `&[1,8,8]`.
+#[must_use]
+pub fn profile(model: &Sequential, input_shape: &[usize]) -> Vec<LayerProfile> {
+    let mut shape = input_shape.to_vec();
+    let mut out = Vec::with_capacity(model.layers.len());
+    for layer in &model.layers {
+        let (macs, params, new_shape) = match layer {
+            Layer::Dense(d) => {
+                let in_dim = d.in_dim() as u64;
+                let out_dim = d.out_dim() as u64;
+                (in_dim * out_dim, in_dim * out_dim + out_dim, vec![d.out_dim()])
+            }
+            Layer::Conv2d(c) => {
+                let s = c.w.shape(); // [c_out, c_in, k, k]
+                let (c_out, c_in, k) = (s[0], s[1], s[2]);
+                assert_eq!(shape.len(), 3, "conv needs [c,h,w] input, got {shape:?}");
+                let (h, w) = (shape[1], shape[2]);
+                let oh = h + 2 * c.padding + 1 - k;
+                let ow = w + 2 * c.padding + 1 - k;
+                let macs = (c_out * c_in * k * k * oh * ow) as u64;
+                let params = (c_out * c_in * k * k + c_out) as u64;
+                (macs, params, vec![c_out, oh, ow])
+            }
+            Layer::MaxPool2d(_) => {
+                assert_eq!(shape.len(), 3, "pool needs [c,h,w] input");
+                let new = vec![shape[0], shape[1] / 2, shape[2] / 2];
+                let elems: usize = new.iter().product();
+                (elems as u64 * 4, 0, new) // 4 comparisons per output
+            }
+            Layer::Flatten => {
+                let elems: usize = shape.iter().product();
+                (0, 0, vec![elems])
+            }
+            // Element-wise layers: one op per element, no params.
+            _ => {
+                let elems: usize = shape.iter().product();
+                (elems as u64, 0, shape.clone())
+            }
+        };
+        let output_len: usize = new_shape.iter().product();
+        out.push(LayerProfile {
+            name: layer.name().to_string(),
+            macs,
+            params,
+            output_len: output_len as u64,
+            output_shape: new_shape.clone(),
+        });
+        shape = new_shape;
+    }
+    out
+}
+
+/// Total MACs for a batch-1 forward pass.
+#[must_use]
+pub fn total_macs(model: &Sequential, input_shape: &[usize]) -> u64 {
+    profile(model, input_shape).iter().map(|l| l.macs).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{Conv2d, MaxPool2d};
+    use crate::layer::Dense;
+    use crate::model::mlp;
+    use tinymlops_tensor::TensorRng;
+
+    #[test]
+    fn mlp_profile_counts() {
+        let mut rng = TensorRng::seed(0);
+        let m = mlp(&[64, 32, 10], &mut rng);
+        let p = profile(&m, &[64]);
+        assert_eq!(p.len(), 3); // dense, relu, dense
+        assert_eq!(p[0].macs, 64 * 32);
+        assert_eq!(p[0].params, 64 * 32 + 32);
+        assert_eq!(p[1].name, "relu");
+        assert_eq!(p[1].macs, 32);
+        assert_eq!(p[2].output_shape, vec![10]);
+        assert_eq!(total_macs(&m, &[64]), 64 * 32 + 32 + 32 * 10);
+    }
+
+    #[test]
+    fn conv_profile_matches_formula() {
+        let mut rng = TensorRng::seed(1);
+        let m = Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(1, 4, 3, 1, &mut rng)),
+            Layer::Relu,
+            Layer::MaxPool2d(MaxPool2d::new()),
+            Layer::Flatten,
+            Layer::Dense(Dense::new(4 * 4 * 4, 10, &mut rng)),
+        ]);
+        let p = profile(&m, &[1, 8, 8]);
+        assert_eq!(p[0].output_shape, vec![4, 8, 8]); // padding keeps size
+        assert_eq!(p[0].macs, (4 * 1 * 9 * 64) as u64);
+        assert_eq!(p[2].output_shape, vec![4, 4, 4]);
+        assert_eq!(p[3].output_shape, vec![64]);
+        assert_eq!(p[4].output_shape, vec![10]);
+    }
+
+    use crate::model::Sequential;
+
+    #[test]
+    fn profile_matches_real_forward_shapes() {
+        let mut rng = TensorRng::seed(2);
+        let m = Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(1, 2, 3, 0, &mut rng)),
+            Layer::Relu,
+            Layer::Flatten,
+            Layer::Dense(Dense::new(2 * 6 * 6, 5, &mut rng)),
+        ]);
+        let p = profile(&m, &[1, 8, 8]);
+        let x = tinymlops_tensor::Tensor::zeros(&[1, 1, 8, 8]);
+        let acts = m.forward_collect(&x);
+        for (i, lp) in p.iter().enumerate() {
+            assert_eq!(
+                acts[i + 1].len() as u64,
+                lp.output_len,
+                "layer {i} ({}) output size",
+                lp.name
+            );
+        }
+    }
+}

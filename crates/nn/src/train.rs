@@ -1,0 +1,161 @@
+//! Training loops and evaluation helpers.
+
+use crate::data::Dataset;
+use crate::loss::cross_entropy;
+use crate::model::Sequential;
+use crate::optim::Optimizer;
+
+/// Configuration for [`fit`].
+#[derive(Debug, Clone)]
+pub struct FitConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Base seed for batch shuffling (advanced per epoch).
+    pub seed: u64,
+    /// Print nothing; callers collect the returned history.
+    pub verbose: bool,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        FitConfig {
+            epochs: 10,
+            batch_size: 32,
+            seed: 0,
+            verbose: false,
+        }
+    }
+}
+
+/// One epoch of mini-batch SGD with cross-entropy; returns the mean loss.
+pub fn train_epoch(
+    model: &mut Sequential,
+    data: &Dataset,
+    opt: &mut dyn Optimizer,
+    batch_size: usize,
+    seed: u64,
+) -> f32 {
+    let mut total = 0.0f32;
+    let mut count = 0usize;
+    for (x, y) in data.batches(batch_size, seed) {
+        model.zero_grad();
+        let logits = model.forward_train(&x);
+        let (loss, grad) = cross_entropy(&logits, &y);
+        model.backward(&grad);
+        opt.step(model);
+        total += loss * y.len() as f32;
+        count += y.len();
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f32
+    }
+}
+
+/// Train for `cfg.epochs`; returns per-epoch mean losses.
+pub fn fit(
+    model: &mut Sequential,
+    data: &Dataset,
+    opt: &mut dyn Optimizer,
+    cfg: &FitConfig,
+) -> Vec<f32> {
+    (0..cfg.epochs)
+        .map(|e| train_epoch(model, data, opt, cfg.batch_size, cfg.seed.wrapping_add(e as u64)))
+        .collect()
+}
+
+/// Classification accuracy of `model` on `data`, in `[0,1]`.
+#[must_use]
+pub fn evaluate(model: &Sequential, data: &Dataset) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let pred = model.predict(&data.x);
+    let correct = pred.iter().zip(&data.y).filter(|(p, y)| p == y).count();
+    correct as f32 / data.len() as f32
+}
+
+/// Mean cross-entropy of `model` on `data` (no gradients).
+#[must_use]
+pub fn eval_loss(model: &Sequential, data: &Dataset) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let logits = model.forward(&data.x);
+    cross_entropy(&logits, &data.y).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{gaussian_blobs, synth_digits};
+    use crate::model::mlp;
+    use crate::optim::{Adam, Sgd};
+    use tinymlops_tensor::TensorRng;
+
+    #[test]
+    fn fit_learns_blobs() {
+        let data = gaussian_blobs(400, 3, 4, 0.6, 42);
+        let (train, test) = data.split(0.8, 0);
+        let mut rng = TensorRng::seed(0);
+        let mut model = mlp(&[4, 16, 3], &mut rng);
+        let mut opt = Adam::new(0.01);
+        let losses = fit(
+            &mut model,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 15,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
+        assert!(losses.last().unwrap() < &losses[0], "loss should decrease");
+        let acc = evaluate(&model, &test);
+        assert!(acc > 0.95, "blobs accuracy {acc}");
+    }
+
+    #[test]
+    fn fit_learns_synth_digits() {
+        let data = synth_digits(1500, 0.08, 7);
+        let (train, test) = data.split(0.85, 1);
+        let mut rng = TensorRng::seed(1);
+        let mut model = mlp(&[64, 32, 10], &mut rng);
+        let mut opt = Adam::new(0.005);
+        fit(
+            &mut model,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 25,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
+        let acc = evaluate(&model, &test);
+        assert!(acc > 0.9, "digit accuracy {acc}");
+    }
+
+    #[test]
+    fn evaluate_on_empty_dataset_is_zero() {
+        let data = gaussian_blobs(10, 2, 2, 0.5, 3);
+        let empty = data.subset(&[]);
+        let mut rng = TensorRng::seed(2);
+        let model = mlp(&[2, 2], &mut rng);
+        assert_eq!(evaluate(&model, &empty), 0.0);
+        assert_eq!(eval_loss(&model, &empty), 0.0);
+    }
+
+    #[test]
+    fn train_epoch_returns_finite_loss() {
+        let data = gaussian_blobs(64, 2, 3, 0.5, 4);
+        let mut rng = TensorRng::seed(3);
+        let mut model = mlp(&[3, 8, 2], &mut rng);
+        let mut opt = Sgd::new(0.1);
+        let loss = train_epoch(&mut model, &data, &mut opt, 16, 0);
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-feature anomaly scoring.
+//!
+//! §III-B: *"We can also store anomalous data points for analysis or
+//! retraining the model."* The scorer learns per-feature means/variances
+//! from in-distribution data and scores new points by normalized distance;
+//! the platform keeps a bounded local buffer of the highest scorers.
+
+use serde::{Deserialize, Serialize};
+use tinymlops_tensor::stats::RunningStats;
+
+/// A diagonal-covariance (per-feature z-score) anomaly scorer.
+#[derive(Debug, Clone, Default)]
+pub struct AnomalyScorer {
+    features: Vec<RunningStats>,
+}
+
+impl AnomalyScorer {
+    /// New scorer for `dim`-dimensional inputs.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        AnomalyScorer {
+            features: (0..dim).map(|_| RunningStats::new()).collect(),
+        }
+    }
+
+    /// Learn from an in-distribution example.
+    pub fn fit_one(&mut self, x: &[f32]) {
+        assert_eq!(x.len(), self.features.len(), "dimension mismatch");
+        for (s, &v) in self.features.iter_mut().zip(x) {
+            s.push(f64::from(v));
+        }
+    }
+
+    /// Number of fitted examples.
+    #[must_use]
+    pub fn fitted(&self) -> u64 {
+        self.features.first().map_or(0, RunningStats::count)
+    }
+
+    /// Anomaly score: root-mean-squared per-feature z-score. ~1 for
+    /// in-distribution points, growing with distance.
+    #[must_use]
+    pub fn score(&self, x: &[f32]) -> f64 {
+        assert_eq!(x.len(), self.features.len(), "dimension mismatch");
+        if self.fitted() < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (s, &v) in self.features.iter().zip(x) {
+            let std = s.std_dev().max(1e-9);
+            let z = (f64::from(v) - s.mean()) / std;
+            sum += z * z;
+        }
+        (sum / self.features.len() as f64).sqrt()
+    }
+
+    /// Whether a point is anomalous at the given z-threshold (e.g. 3.0).
+    #[must_use]
+    pub fn is_anomalous(&self, x: &[f32], threshold: f64) -> bool {
+        self.score(x) > threshold
+    }
+}
+
+/// A bounded buffer retaining the `cap` highest-scoring anomalies locally
+/// (privacy: raw data never leaves the device; §III-B).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnomalyBuffer {
+    cap: usize,
+    /// `(score, example)` pairs, ascending by score.
+    items: Vec<(f64, Vec<f32>)>,
+}
+
+impl AnomalyBuffer {
+    /// Buffer retaining at most `cap` examples.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        AnomalyBuffer {
+            cap,
+            items: Vec::new(),
+        }
+    }
+
+    /// Offer an example; kept only if it beats the current minimum.
+    pub fn offer(&mut self, score: f64, example: &[f32]) {
+        if self.items.len() < self.cap {
+            self.items.push((score, example.to_vec()));
+            self.items
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            return;
+        }
+        if let Some(first) = self.items.first() {
+            if score > first.0 {
+                self.items[0] = (score, example.to_vec());
+                self.items
+                    .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            }
+        }
+    }
+
+    /// Retained examples, ascending by score.
+    #[must_use]
+    pub fn items(&self) -> &[(f64, Vec<f32>)] {
+        &self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fit_normal(scorer: &mut AnomalyScorer, n: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            let x: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            scorer.fit_one(&x);
+        }
+    }
+
+    #[test]
+    fn in_distribution_scores_low() {
+        let mut s = AnomalyScorer::new(4);
+        fit_normal(&mut s, 500, 1);
+        let normal = [0.1f32, -0.2, 0.3, 0.0];
+        let weird = [10.0f32, -8.0, 12.0, 9.0];
+        assert!(s.score(&normal) < 1.5);
+        assert!(s.score(&weird) > 5.0);
+        assert!(!s.is_anomalous(&normal, 3.0));
+        assert!(s.is_anomalous(&weird, 3.0));
+    }
+
+    #[test]
+    fn unfitted_scorer_returns_zero() {
+        let s = AnomalyScorer::new(3);
+        assert_eq!(s.score(&[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_checked() {
+        let s = AnomalyScorer::new(2);
+        let _ = s.score(&[1.0]);
+    }
+
+    #[test]
+    fn buffer_keeps_top_scorers() {
+        let mut b = AnomalyBuffer::new(3);
+        for (score, v) in [(1.0, 1.0f32), (5.0, 5.0), (2.0, 2.0), (9.0, 9.0), (0.5, 0.5)] {
+            b.offer(score, &[v]);
+        }
+        let kept: Vec<f64> = b.items().iter().map(|(s, _)| *s).collect();
+        assert_eq!(kept, vec![2.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn buffer_respects_capacity() {
+        let mut b = AnomalyBuffer::new(2);
+        for i in 0..100 {
+            b.offer(f64::from(i), &[i as f32]);
+        }
+        assert_eq!(b.items().len(), 2);
+        assert_eq!(b.items()[1].0, 99.0);
+    }
+}

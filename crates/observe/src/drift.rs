@@ -1,0 +1,359 @@
+//! Streaming data-drift detectors.
+//!
+//! §III-B: observability solutions "typically monitor the distribution of
+//! input values to detect data drift. This allows machine learning
+//! engineers to detect model performance degradation early on." All three
+//! detectors run in bounded memory on a scalar input statistic (e.g. one
+//! feature, an embedding norm, or a model confidence).
+
+use serde::{Deserialize, Serialize};
+use tinymlops_tensor::stats::{ks_p_value, ks_statistic, psi, Histogram};
+
+/// Outcome of feeding one observation to a detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftStatus {
+    /// Not enough data yet to judge.
+    Warmup,
+    /// Distribution consistent with the reference.
+    Stable,
+    /// Drift signalled.
+    Drift,
+}
+
+/// A streaming drift detector over scalar observations.
+pub trait DriftDetector {
+    /// Feed one observation; returns the current status.
+    fn observe(&mut self, x: f64) -> DriftStatus;
+    /// Current status without feeding data.
+    fn status(&self) -> DriftStatus;
+    /// Reset to the warmup state (e.g. after a model update).
+    fn reset(&mut self);
+    /// Detector name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Two-sample Kolmogorov–Smirnov detector: first `window` points become the
+/// frozen reference; the most recent `window` points are compared to it.
+#[derive(Debug, Clone)]
+pub struct KsDetector {
+    window: usize,
+    alpha: f64,
+    reference: Vec<f64>,
+    recent: Vec<f64>,
+    pos: usize,
+    filled: bool,
+    status: DriftStatus,
+}
+
+impl KsDetector {
+    /// `window` reference/comparison size, `alpha` significance level.
+    #[must_use]
+    pub fn new(window: usize, alpha: f64) -> Self {
+        assert!(window >= 8, "KS window too small to be meaningful");
+        KsDetector {
+            window,
+            alpha,
+            reference: Vec::with_capacity(window),
+            recent: vec![0.0; window],
+            pos: 0,
+            filled: false,
+            status: DriftStatus::Warmup,
+        }
+    }
+}
+
+impl DriftDetector for KsDetector {
+    fn observe(&mut self, x: f64) -> DriftStatus {
+        if self.reference.len() < self.window {
+            self.reference.push(x);
+            self.status = DriftStatus::Warmup;
+            return self.status;
+        }
+        self.recent[self.pos] = x;
+        self.pos = (self.pos + 1) % self.window;
+        // Judge once per *non-overlapping* window: overlapping judgements
+        // multiply the effective test count and inflate false alarms.
+        if self.pos == 0 {
+            self.filled = true;
+            let d = ks_statistic(&self.reference, &self.recent);
+            let p = ks_p_value(d, self.reference.len(), self.recent.len());
+            self.status = if p < self.alpha {
+                DriftStatus::Drift
+            } else {
+                DriftStatus::Stable
+            };
+        } else if !self.filled {
+            self.status = DriftStatus::Warmup;
+        }
+        self.status
+    }
+
+    fn status(&self) -> DriftStatus {
+        self.status
+    }
+
+    fn reset(&mut self) {
+        self.reference.clear();
+        self.pos = 0;
+        self.filled = false;
+        self.status = DriftStatus::Warmup;
+    }
+
+    fn name(&self) -> &'static str {
+        "ks"
+    }
+}
+
+/// Population-Stability-Index detector over fixed bins. The first `window`
+/// observations freeze the reference histogram; PSI of the rolling recent
+/// histogram above `threshold` (industry rule of thumb: 0.25) is drift.
+#[derive(Debug, Clone)]
+pub struct PsiDetector {
+    window: usize,
+    threshold: f64,
+    reference: Histogram,
+    recent: Histogram,
+    seen: usize,
+    status: DriftStatus,
+}
+
+impl PsiDetector {
+    /// Bins cover `[lo, hi]`; `window` controls both phases.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize, window: usize, threshold: f64) -> Self {
+        PsiDetector {
+            window,
+            threshold,
+            reference: Histogram::new(lo, hi, bins),
+            recent: Histogram::new(lo, hi, bins),
+            seen: 0,
+            status: DriftStatus::Warmup,
+        }
+    }
+}
+
+impl DriftDetector for PsiDetector {
+    fn observe(&mut self, x: f64) -> DriftStatus {
+        self.seen += 1;
+        if self.seen <= self.window {
+            self.reference.push(x);
+            self.status = DriftStatus::Warmup;
+            return self.status;
+        }
+        self.recent.push(x);
+        if self.recent.total() as usize >= self.window {
+            // Judge on full non-overlapping windows only: partial windows
+            // make PSI wildly noisy (empty-bin smoothing dominates).
+            let value = psi(
+                &self.reference.probabilities(0.5),
+                &self.recent.probabilities(0.5),
+            );
+            self.status = if value > self.threshold {
+                DriftStatus::Drift
+            } else {
+                DriftStatus::Stable
+            };
+            self.recent.clear();
+        } else if self.seen == self.window + 1 {
+            // First post-reference observation: leave warmup only when a
+            // verdict exists; until then stay at the last known status.
+            self.status = DriftStatus::Warmup;
+        }
+        self.status
+    }
+
+    fn status(&self) -> DriftStatus {
+        self.status
+    }
+
+    fn reset(&mut self) {
+        self.reference.clear();
+        self.recent.clear();
+        self.seen = 0;
+        self.status = DriftStatus::Warmup;
+    }
+
+    fn name(&self) -> &'static str {
+        "psi"
+    }
+}
+
+/// Page–Hinkley mean-shift detector: cumulative deviation from the running
+/// mean, with drift when the deviation exceeds `lambda`.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    delta: f64,
+    lambda: f64,
+    min_samples: usize,
+    n: usize,
+    mean: f64,
+    cum: f64,
+    min_cum: f64,
+    status: DriftStatus,
+}
+
+impl PageHinkley {
+    /// `delta` tolerated drift magnitude, `lambda` alarm threshold.
+    #[must_use]
+    pub fn new(delta: f64, lambda: f64, min_samples: usize) -> Self {
+        PageHinkley {
+            delta,
+            lambda,
+            min_samples,
+            n: 0,
+            mean: 0.0,
+            cum: 0.0,
+            min_cum: 0.0,
+            status: DriftStatus::Warmup,
+        }
+    }
+}
+
+impl DriftDetector for PageHinkley {
+    fn observe(&mut self, x: f64) -> DriftStatus {
+        self.n += 1;
+        self.mean += (x - self.mean) / self.n as f64;
+        self.cum += x - self.mean - self.delta;
+        self.min_cum = self.min_cum.min(self.cum);
+        if self.n < self.min_samples {
+            self.status = DriftStatus::Warmup;
+        } else if self.cum - self.min_cum > self.lambda {
+            self.status = DriftStatus::Drift;
+        } else {
+            self.status = DriftStatus::Stable;
+        }
+        self.status
+    }
+
+    fn status(&self) -> DriftStatus {
+        self.status
+    }
+
+    fn reset(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.cum = 0.0;
+        self.min_cum = 0.0;
+        self.status = DriftStatus::Warmup;
+    }
+
+    fn name(&self) -> &'static str {
+        "page-hinkley"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_stream(rng: &mut StdRng, mean: f64, std: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                mean + std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            })
+            .collect()
+    }
+
+    /// Feed `stable_n` in-distribution points then shifted ones; return
+    /// (false alarms during stable phase, detection delay after shift).
+    fn run_detector(
+        det: &mut dyn DriftDetector,
+        shift: f64,
+        stable_n: usize,
+        shifted_n: usize,
+        seed: u64,
+    ) -> (usize, Option<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut false_alarms = 0;
+        for x in gaussian_stream(&mut rng, 0.0, 1.0, stable_n) {
+            if det.observe(x) == DriftStatus::Drift {
+                false_alarms += 1;
+            }
+        }
+        let mut delay = None;
+        for (i, x) in gaussian_stream(&mut rng, shift, 1.0, shifted_n)
+            .into_iter()
+            .enumerate()
+        {
+            if det.observe(x) == DriftStatus::Drift && delay.is_none() {
+                delay = Some(i + 1);
+            }
+        }
+        (false_alarms, delay)
+    }
+
+    #[test]
+    fn ks_detects_mean_shift() {
+        let mut det = KsDetector::new(64, 0.001);
+        let (fa, delay) = run_detector(&mut det, 2.0, 500, 200, 1);
+        assert_eq!(fa, 0, "no false alarms in stable phase");
+        assert!(delay.is_some(), "shift must be detected");
+        assert!(delay.unwrap() <= 128, "delay {delay:?}");
+    }
+
+    #[test]
+    fn ks_quiet_without_shift() {
+        let mut det = KsDetector::new(64, 0.001);
+        let (fa, delay) = run_detector(&mut det, 0.0, 500, 500, 2);
+        assert_eq!(fa, 0);
+        assert!(delay.is_none(), "no drift expected, got {delay:?}");
+    }
+
+    #[test]
+    fn psi_detects_shift() {
+        let mut det = PsiDetector::new(-4.0, 4.0, 8, 128, 0.25);
+        let (fa, delay) = run_detector(&mut det, 2.0, 400, 300, 3);
+        assert_eq!(fa, 0);
+        assert!(delay.is_some());
+    }
+
+    #[test]
+    fn psi_quiet_without_shift() {
+        let mut det = PsiDetector::new(-4.0, 4.0, 8, 128, 0.25);
+        let (fa, delay) = run_detector(&mut det, 0.0, 600, 600, 6);
+        assert_eq!(fa, 0);
+        assert!(delay.is_none(), "got {delay:?}");
+    }
+
+    #[test]
+    fn page_hinkley_detects_upward_shift() {
+        let mut det = PageHinkley::new(0.05, 20.0, 30);
+        let (fa, delay) = run_detector(&mut det, 1.0, 500, 500, 4);
+        assert_eq!(fa, 0);
+        assert!(delay.is_some());
+    }
+
+    #[test]
+    fn reset_returns_to_warmup() {
+        let mut det = KsDetector::new(16, 0.05);
+        for i in 0..40 {
+            det.observe(i as f64);
+        }
+        det.reset();
+        assert_eq!(det.status(), DriftStatus::Warmup);
+        assert_eq!(det.observe(1.0), DriftStatus::Warmup);
+    }
+
+    #[test]
+    fn detectors_report_names() {
+        assert_eq!(KsDetector::new(16, 0.05).name(), "ks");
+        assert_eq!(PsiDetector::new(0.0, 1.0, 4, 16, 0.25).name(), "psi");
+        assert_eq!(PageHinkley::new(0.01, 10.0, 10).name(), "page-hinkley");
+    }
+
+    #[test]
+    fn subtle_shift_takes_longer_than_large_shift() {
+        let delay_for = |shift: f64| {
+            let mut det = KsDetector::new(64, 0.01);
+            run_detector(&mut det, shift, 400, 400, 5).1
+        };
+        let small = delay_for(0.8);
+        let large = delay_for(3.0);
+        assert!(large.is_some() && small.is_some());
+        assert!(large.unwrap() <= small.unwrap());
+    }
+}

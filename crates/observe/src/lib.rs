@@ -1,0 +1,32 @@
+//! Edge observability (paper §III-B) and query-pattern attack detection
+//! (paper §V).
+//!
+//! §III-B: *"monitoring and observability are key to ensuring that a model
+//! keeps performing as expected … typically monitor the distribution of
+//! input values to detect data drift."* On the edge this must run with
+//! bounded memory, no raw-data exfiltration, and uploads deferred to
+//! unmetered links. This crate provides:
+//!
+//! * [`telemetry`] — bounded-memory counters/histograms/timers, serialized
+//!   into compact reports, with a WiFi-deferred upload queue.
+//! * [`drift`] — three streaming drift detectors (two-sample KS, PSI over
+//!   binned references, Page–Hinkley mean-shift) with a common trait.
+//! * [`anomaly`] — per-feature z-score anomaly scoring for flagging and
+//!   locally retaining "anomalous data points for analysis or retraining".
+//! * [`privacy`] — Laplace-mechanism differentially private aggregation so
+//!   basic statistics can be shared "in an anonymized way".
+//! * [`stealing`] — PRADA-style detection of model-extraction query
+//!   patterns plus a confidence-margin detector (§V "detecting stealing
+//!   queries patterns").
+
+pub mod anomaly;
+pub mod drift;
+pub mod privacy;
+pub mod stealing;
+pub mod telemetry;
+
+pub use anomaly::AnomalyScorer;
+pub use drift::{DriftDetector, DriftStatus, KsDetector, PageHinkley, PsiDetector};
+pub use privacy::{laplace_noise, PrivateAggregator};
+pub use stealing::{MarginDetector, PradaDetector, StealingVerdict};
+pub use telemetry::{Telemetry, TelemetryReport, UploadQueue};

@@ -1,0 +1,132 @@
+//! Differentially private aggregation of telemetry.
+//!
+//! §III-B: *"We could record some basic statistics on the data locally and
+//! share these with the cloud in an anonymized way."* The Laplace mechanism
+//! gives that anonymization a precise meaning: ε-differential privacy for
+//! count and bounded-mean queries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One sample of Laplace(0, scale) noise.
+#[must_use]
+pub fn laplace_noise(rng: &mut StdRng, scale: f64) -> f64 {
+    // Inverse-CDF sampling: u ∈ (−0.5, 0.5), x = −b·sgn(u)·ln(1−2|u|).
+    let u: f64 = rng.gen_range(-0.499_999_9..0.499_999_9);
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// An ε-DP aggregator for counts and bounded means.
+#[derive(Debug)]
+pub struct PrivateAggregator {
+    epsilon: f64,
+    rng: StdRng,
+}
+
+impl PrivateAggregator {
+    /// Aggregator with privacy budget `epsilon` per released statistic.
+    #[must_use]
+    pub fn new(epsilon: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        PrivateAggregator {
+            epsilon,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// ε-DP count release (sensitivity 1).
+    pub fn private_count(&mut self, true_count: u64) -> f64 {
+        true_count as f64 + laplace_noise(&mut self.rng, 1.0 / self.epsilon)
+    }
+
+    /// ε-DP mean of values clamped to `[lo, hi]` (sensitivity (hi−lo)/n).
+    pub fn private_mean(&mut self, values: &[f64], lo: f64, hi: f64) -> f64 {
+        assert!(hi > lo, "bounds must be ordered");
+        if values.is_empty() {
+            return 0.0;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().map(|v| v.clamp(lo, hi)).sum::<f64>() / n;
+        let sensitivity = (hi - lo) / n;
+        mean + laplace_noise(&mut self.rng, sensitivity / self.epsilon)
+    }
+
+    /// ε-DP histogram release (parallel composition: each bin sees each
+    /// record at most once, so the whole histogram costs one ε).
+    pub fn private_histogram(&mut self, counts: &[u64]) -> Vec<f64> {
+        counts
+            .iter()
+            .map(|&c| (c as f64 + laplace_noise(&mut self.rng, 1.0 / self.epsilon)).max(0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplace_noise_is_centered() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20000;
+        let mean: f64 = (0..n).map(|_| laplace_noise(&mut rng, 1.0)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn laplace_scale_controls_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spread = |scale: f64, rng: &mut StdRng| {
+            (0..5000)
+                .map(|_| laplace_noise(rng, scale).abs())
+                .sum::<f64>()
+                / 5000.0
+        };
+        let narrow = spread(0.5, &mut rng);
+        let wide = spread(5.0, &mut rng);
+        assert!(wide > narrow * 5.0, "wide {wide} vs narrow {narrow}");
+    }
+
+    #[test]
+    fn private_count_is_close_at_large_epsilon() {
+        let mut agg = PrivateAggregator::new(10.0, 2);
+        let released = agg.private_count(1000);
+        assert!((released - 1000.0).abs() < 5.0, "released {released}");
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_noise() {
+        let err_at = |eps: f64| {
+            let mut agg = PrivateAggregator::new(eps, 3);
+            (0..2000)
+                .map(|_| (agg.private_count(100) - 100.0).abs())
+                .sum::<f64>()
+                / 2000.0
+        };
+        assert!(err_at(0.1) > 3.0 * err_at(1.0));
+    }
+
+    #[test]
+    fn private_mean_clamps_outliers() {
+        // A malicious value can't blow up the released mean beyond bounds
+        // plus noise: clamp first.
+        let mut agg = PrivateAggregator::new(100.0, 4);
+        let vals = vec![0.5, 0.6, 1e9];
+        let m = agg.private_mean(&vals, 0.0, 1.0);
+        assert!(m < 1.5, "released {m}");
+    }
+
+    #[test]
+    fn private_histogram_is_nonnegative() {
+        let mut agg = PrivateAggregator::new(0.5, 5);
+        let released = agg.private_histogram(&[0, 1, 100, 3]);
+        assert_eq!(released.len(), 4);
+        assert!(released.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        let mut agg = PrivateAggregator::new(1.0, 6);
+        assert_eq!(agg.private_mean(&[], 0.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Model-extraction (stealing) query-pattern detection.
+//!
+//! §V: *"There are different techniques that analyze the distribution of
+//! sequential queries (PRADA) or that measure the information gain from
+//! different queries to try to detect indirect model stealing."* and:
+//! *"Although it is not supported yet by any of the TinyML frameworks, it
+//! seems feasible to perform stealing queries patterns detection … on edge
+//! devices."* This module makes it exist:
+//!
+//! * [`PradaDetector`] — follows PRADA (Juuti et al. 2019): benign queries'
+//!   minimum pairwise distances are approximately Gaussian; synthetic
+//!   attack queries skew that distribution. We track per-class
+//!   min-distance samples in bounded memory and test departure from
+//!   normality with a skewness/kurtosis (D'Agostino-style) statistic.
+//! * [`MarginDetector`] — extraction attacks concentrate queries where the
+//!   model is uncertain; a collapsing mean confidence margin over a window
+//!   is the complementary signal.
+
+use serde::{Deserialize, Serialize};
+
+/// Verdict after feeding a query to a detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StealingVerdict {
+    /// Not enough evidence yet.
+    Undecided,
+    /// Traffic looks like organic usage.
+    Benign,
+    /// Query pattern consistent with a model-extraction attack.
+    Attack,
+}
+
+/// PRADA-style detector over query feature vectors.
+#[derive(Debug, Clone)]
+pub struct PradaDetector {
+    /// Per-class retained query history (bounded).
+    history: Vec<Vec<Vec<f32>>>,
+    /// Per-class growing-set minimum distances.
+    distances: Vec<Vec<f64>>,
+    max_history: usize,
+    min_samples: usize,
+    /// Normality threshold on the combined |skew|+|excess kurtosis| score;
+    /// benign Gaussian-ish distances stay well below it.
+    threshold: f64,
+    verdict: StealingVerdict,
+}
+
+impl PradaDetector {
+    /// `classes` output classes; `max_history` queries kept per class;
+    /// `min_samples` distances required before judging; `threshold` on the
+    /// non-normality score (2.0 is a good default).
+    #[must_use]
+    pub fn new(classes: usize, max_history: usize, min_samples: usize, threshold: f64) -> Self {
+        PradaDetector {
+            history: vec![Vec::new(); classes],
+            distances: vec![Vec::new(); classes],
+            max_history,
+            min_samples,
+            threshold,
+            verdict: StealingVerdict::Undecided,
+        }
+    }
+
+    /// Feed one query and the class the model predicted for it.
+    pub fn observe(&mut self, features: &[f32], predicted_class: usize) -> StealingVerdict {
+        let hist = &mut self.history[predicted_class];
+        if !hist.is_empty() {
+            let d = hist
+                .iter()
+                .map(|h| l2(h, features))
+                .fold(f64::INFINITY, f64::min);
+            // Log-transform: benign nearest-neighbour distances are
+            // right-skewed (roughly Weibull); their logs are close to
+            // Gaussian, which is the null hypothesis the normality test
+            // needs. Synthetic attack trains (grid walks, line searches)
+            // produce near-constant or few-valued distances whose logs are
+            // degenerate — maximally non-Gaussian.
+            self.distances[predicted_class].push((d.max(1e-12)).ln());
+            if self.distances[predicted_class].len() > self.max_history {
+                self.distances[predicted_class].remove(0);
+            }
+        }
+        if hist.len() < self.max_history {
+            hist.push(features.to_vec());
+        } else {
+            // Reservoir-ish: overwrite cyclically to stay bounded.
+            let idx = self.distances[predicted_class].len() % self.max_history;
+            hist[idx] = features.to_vec();
+        }
+        self.verdict = self.judge();
+        self.verdict
+    }
+
+    /// Current verdict.
+    #[must_use]
+    pub fn verdict(&self) -> StealingVerdict {
+        self.verdict
+    }
+
+    /// The current non-normality score across classes (max over classes
+    /// with enough samples), for diagnostics and experiment tables.
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        self.distances
+            .iter()
+            .filter(|d| d.len() >= self.min_samples)
+            .map(|d| non_normality(d))
+            .fold(0.0, f64::max)
+    }
+
+    fn judge(&self) -> StealingVerdict {
+        let mut any_ready = false;
+        for d in &self.distances {
+            if d.len() < self.min_samples {
+                continue;
+            }
+            any_ready = true;
+            if non_normality(d) > self.threshold {
+                return StealingVerdict::Attack;
+            }
+        }
+        if any_ready {
+            StealingVerdict::Benign
+        } else {
+            StealingVerdict::Undecided
+        }
+    }
+}
+
+fn l2(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Combined non-normality score: |skewness| + |excess kurtosis| / 2,
+/// normalized by their asymptotic standard errors (D'Agostino flavour).
+/// Near 0 for Gaussian samples; large for multi-modal or degenerate
+/// (constant-step) distance distributions produced by synthetic queries.
+#[must_use]
+pub fn non_normality(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if n < 8.0 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n;
+    let m2 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    // Degenerate (near-constant) samples are maximally non-Gaussian. The
+    // floor is relative and sits orders of magnitude above f32 rounding
+    // noise (~1e-10) yet far below any organic distance spread (~1e-1),
+    // so float jitter cannot hide constancy.
+    if m2 < 1e-8 * (1.0 + mean * mean) {
+        return f64::INFINITY;
+    }
+    let m3 = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n;
+    let m4 = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n;
+    let skew = m3 / m2.powf(1.5);
+    let ex_kurt = m4 / (m2 * m2) - 3.0;
+    let se_skew = (6.0 / n).sqrt();
+    let se_kurt = (24.0 / n).sqrt();
+    (skew.abs() / se_skew + ex_kurt.abs() / se_kurt) / 2.0
+}
+
+/// Confidence-margin detector: flags windows whose mean top-1 − top-2
+/// probability margin collapses below `margin_floor`.
+#[derive(Debug, Clone)]
+pub struct MarginDetector {
+    window: usize,
+    margin_floor: f64,
+    recent: Vec<f64>,
+    verdict: StealingVerdict,
+}
+
+impl MarginDetector {
+    /// `window` queries per judgement, alarm when mean margin < floor.
+    #[must_use]
+    pub fn new(window: usize, margin_floor: f64) -> Self {
+        MarginDetector {
+            window,
+            margin_floor,
+            recent: Vec::new(),
+            verdict: StealingVerdict::Undecided,
+        }
+    }
+
+    /// Feed the model's output probabilities for one query.
+    pub fn observe(&mut self, probs: &[f32]) -> StealingVerdict {
+        let mut top1 = 0.0f32;
+        let mut top2 = 0.0f32;
+        for &p in probs {
+            if p > top1 {
+                top2 = top1;
+                top1 = p;
+            } else if p > top2 {
+                top2 = p;
+            }
+        }
+        self.recent.push(f64::from(top1 - top2));
+        if self.recent.len() >= self.window {
+            let mean = self.recent.iter().sum::<f64>() / self.recent.len() as f64;
+            self.verdict = if mean < self.margin_floor {
+                StealingVerdict::Attack
+            } else {
+                StealingVerdict::Benign
+            };
+            self.recent.clear();
+        }
+        self.verdict
+    }
+
+    /// Current verdict.
+    #[must_use]
+    pub fn verdict(&self) -> StealingVerdict {
+        self.verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        mean + std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    #[test]
+    fn non_normality_low_for_gaussian() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..500).map(|_| gaussian(&mut rng, 5.0, 1.0)).collect();
+        assert!(non_normality(&xs) < 2.0, "score {}", non_normality(&xs));
+    }
+
+    #[test]
+    fn non_normality_high_for_bimodal_and_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bimodal: Vec<f64> = (0..400)
+            .map(|i| gaussian(&mut rng, if i % 2 == 0 { 0.0 } else { 50.0 }, 0.3))
+            .collect();
+        assert!(non_normality(&bimodal) > 2.0);
+        let constant = vec![3.0; 100];
+        assert!(non_normality(&constant).is_infinite());
+    }
+
+    /// Benign traffic: queries cluster around class prototypes with
+    /// Gaussian spread — min-distances come out unimodal.
+    #[test]
+    fn prada_stays_quiet_on_benign_traffic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut det = PradaDetector::new(2, 256, 40, 3.5);
+        let mut attack_seen = false;
+        for i in 0..600 {
+            let class = i % 2;
+            let center = if class == 0 { -2.0 } else { 2.0 };
+            let q: Vec<f32> = (0..8)
+                .map(|_| gaussian(&mut rng, center, 1.0) as f32)
+                .collect();
+            if det.observe(&q, class) == StealingVerdict::Attack {
+                attack_seen = true;
+            }
+        }
+        assert!(!attack_seen, "benign traffic flagged, score {}", det.score());
+    }
+
+    /// Attack traffic à la line-search/JbDA: deterministic grid points with
+    /// fixed step sizes — distances collapse onto a few values.
+    #[test]
+    fn prada_flags_synthetic_attack_queries() {
+        let mut det = PradaDetector::new(2, 256, 40, 3.5);
+        let mut flagged_at = None;
+        for i in 0..600 {
+            let class = i % 2;
+            // Grid walk with a constant step: classic synthetic query train.
+            let base = (i / 2) as f32 * 0.05;
+            let q: Vec<f32> = (0..8).map(|d| base + d as f32).collect();
+            if det.observe(&q, class) == StealingVerdict::Attack && flagged_at.is_none() {
+                flagged_at = Some(i);
+            }
+        }
+        assert!(flagged_at.is_some(), "attack not flagged, score {}", det.score());
+    }
+
+    #[test]
+    fn prada_memory_is_bounded() {
+        let mut det = PradaDetector::new(1, 64, 10, 3.0);
+        for i in 0..10_000 {
+            let q = vec![i as f32; 4];
+            det.observe(&q, 0);
+        }
+        assert!(det.history[0].len() <= 64);
+        assert!(det.distances[0].len() <= 64);
+    }
+
+    #[test]
+    fn margin_detector_flags_low_margin_traffic() {
+        let mut det = MarginDetector::new(50, 0.3);
+        // Benign: confident predictions.
+        for _ in 0..50 {
+            det.observe(&[0.9, 0.05, 0.05]);
+        }
+        assert_eq!(det.verdict(), StealingVerdict::Benign);
+        // Attack: boundary-hugging queries.
+        for _ in 0..50 {
+            det.observe(&[0.4, 0.38, 0.22]);
+        }
+        assert_eq!(det.verdict(), StealingVerdict::Attack);
+    }
+
+    #[test]
+    fn margin_detector_undecided_before_window() {
+        let mut det = MarginDetector::new(100, 0.3);
+        for _ in 0..99 {
+            assert_eq!(det.observe(&[0.9, 0.1]), StealingVerdict::Undecided);
+        }
+    }
+}

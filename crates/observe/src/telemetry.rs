@@ -1,0 +1,311 @@
+//! On-device telemetry with bounded memory and deferred upload.
+//!
+//! §III-B: *"we are also interested in monitoring the number of requests a
+//! user has made and the execution time of the model … record the actual
+//! execution time, memory and energy consumption on the end-user's device.
+//! … We might decide to store these statistics locally and transmit them to
+//! the cloud when the device is connected to WiFi."*
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tinymlops_tensor::stats::RunningStats;
+
+/// A bounded-memory telemetry sink: counters and streaming statistics.
+/// Thread-safe; inference threads record while an uploader drains.
+#[derive(Default)]
+pub struct Telemetry {
+    inner: Mutex<TelemetryInner>,
+}
+
+#[derive(Default)]
+struct TelemetryInner {
+    counters: BTreeMap<String, u64>,
+    timers: BTreeMap<String, RunningStats>,
+}
+
+/// A compact, serializable snapshot of telemetry state.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TelemetryReport {
+    /// Monotonic counters (e.g. `queries`, `errors`).
+    pub counters: BTreeMap<String, u64>,
+    /// Timer summaries: `(count, mean, std, min, max)` per metric.
+    pub timers: BTreeMap<String, TimerSummary>,
+}
+
+/// Five-number summary of a timer/value series.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TimerSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl Telemetry {
+    /// New empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Increment a named counter.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Add `n` to a named counter.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Record a timing/measurement sample (ms, mJ, bytes — caller's units).
+    pub fn record(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock();
+        inner
+            .timers
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    /// Current value of a counter (0 if never written).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot the current state without clearing it.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetryReport {
+        let inner = self.inner.lock();
+        TelemetryReport {
+            counters: inner.counters.clone(),
+            timers: inner
+                .timers
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.clone(),
+                        TimerSummary {
+                            count: s.count(),
+                            mean: s.mean(),
+                            std: s.std_dev(),
+                            min: s.min(),
+                            max: s.max(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Snapshot and reset — the "flush" an uploader calls.
+    #[must_use]
+    pub fn drain(&self) -> TelemetryReport {
+        let report = self.snapshot();
+        let mut inner = self.inner.lock();
+        inner.counters.clear();
+        inner.timers.clear();
+        report
+    }
+}
+
+impl TelemetryReport {
+    /// Approximate wire size in bytes (summaries only — the point of
+    /// on-device aggregation is that this is *constant* in query count).
+    #[must_use]
+    pub fn wire_bytes(&self) -> usize {
+        // counter: key + 8 bytes; timer: key + 5 × 8 bytes.
+        self.counters.iter().map(|(k, _)| k.len() + 8).sum::<usize>()
+            + self.timers.iter().map(|(k, _)| k.len() + 40).sum::<usize>()
+    }
+
+    /// Merge another report into this one (server-side aggregation).
+    pub fn merge(&mut self, other: &TelemetryReport) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, t) in &other.timers {
+            match self.timers.get_mut(k) {
+                None => {
+                    self.timers.insert(k.clone(), t.clone());
+                }
+                Some(mine) => {
+                    // Weighted merge of means; std merged approximately via
+                    // pooled variance (exact requires raw moments).
+                    let n1 = mine.count as f64;
+                    let n2 = t.count as f64;
+                    if n1 + n2 > 0.0 {
+                        let mean = (mine.mean * n1 + t.mean * n2) / (n1 + n2);
+                        let var = (n1 * (mine.std.powi(2) + (mine.mean - mean).powi(2))
+                            + n2 * (t.std.powi(2) + (t.mean - mean).powi(2)))
+                            / (n1 + n2);
+                        mine.mean = mean;
+                        mine.std = var.sqrt();
+                    }
+                    mine.count += t.count;
+                    mine.min = mine.min.min(t.min);
+                    mine.max = mine.max.max(t.max);
+                }
+            }
+        }
+    }
+}
+
+/// A store-and-forward queue that holds reports until the link policy
+/// allows bulk upload (§III-B's "transmit … when connected to WiFi").
+#[derive(Debug, Default)]
+pub struct UploadQueue {
+    pending: Vec<TelemetryReport>,
+    /// Total reports ever uploaded.
+    pub uploaded: usize,
+    /// Total bytes ever uploaded.
+    pub uploaded_bytes: usize,
+}
+
+impl UploadQueue {
+    /// New empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        UploadQueue::default()
+    }
+
+    /// Enqueue a report for later upload.
+    pub fn push(&mut self, report: TelemetryReport) {
+        self.pending.push(report);
+    }
+
+    /// Number of reports waiting.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Attempt an upload: if `bulk_ok` (e.g. unmetered WiFi) drain all
+    /// pending reports and return them; otherwise keep buffering.
+    pub fn try_upload(&mut self, bulk_ok: bool) -> Vec<TelemetryReport> {
+        if !bulk_ok {
+            return Vec::new();
+        }
+        let out = std::mem::take(&mut self.pending);
+        self.uploaded += out.len();
+        self.uploaded_bytes += out.iter().map(TelemetryReport::wire_bytes).sum::<usize>();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = Telemetry::new();
+        t.incr("queries");
+        t.add("queries", 4);
+        assert_eq!(t.counter("queries"), 5);
+        assert_eq!(t.counter("missing"), 0);
+    }
+
+    #[test]
+    fn timers_summarize() {
+        let t = Telemetry::new();
+        for v in [10.0, 20.0, 30.0] {
+            t.record("latency_ms", v);
+        }
+        let snap = t.snapshot();
+        let s = &snap.timers["latency_ms"];
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 20.0).abs() < 1e-9);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 30.0);
+    }
+
+    #[test]
+    fn drain_resets() {
+        let t = Telemetry::new();
+        t.incr("q");
+        let first = t.drain();
+        assert_eq!(first.counters["q"], 1);
+        assert_eq!(t.counter("q"), 0);
+        assert!(t.drain().counters.is_empty());
+    }
+
+    #[test]
+    fn wire_bytes_constant_in_query_count() {
+        let t = Telemetry::new();
+        for _ in 0..10 {
+            t.record("lat", 1.0);
+        }
+        let small = t.snapshot().wire_bytes();
+        for _ in 0..10_000 {
+            t.record("lat", 1.0);
+        }
+        let big = t.snapshot().wire_bytes();
+        assert_eq!(small, big, "aggregation keeps reports constant-size");
+    }
+
+    #[test]
+    fn merge_pools_statistics() {
+        let t1 = Telemetry::new();
+        let t2 = Telemetry::new();
+        for v in [1.0, 2.0, 3.0] {
+            t1.record("x", v);
+        }
+        for v in [4.0, 5.0] {
+            t2.record("x", v);
+        }
+        t1.incr("n");
+        t2.add("n", 2);
+        let mut a = t1.snapshot();
+        a.merge(&t2.snapshot());
+        assert_eq!(a.counters["n"], 3);
+        let s = &a.timers["x"];
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn upload_queue_defers_until_wifi() {
+        let t = Telemetry::new();
+        t.incr("q");
+        let mut q = UploadQueue::new();
+        q.push(t.drain());
+        assert!(q.try_upload(false).is_empty(), "metered link: hold");
+        assert_eq!(q.pending(), 1);
+        let sent = q.try_upload(true);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(q.pending(), 0);
+        assert!(q.uploaded_bytes > 0);
+    }
+
+    #[test]
+    fn telemetry_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let t = Arc::new(Telemetry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        t.incr("q");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.counter("q"), 4000);
+    }
+}

@@ -1,0 +1,97 @@
+//! Activation-range calibration for static quantization.
+//!
+//! Static quantization needs a representative input batch: we run the f32
+//! model, record per-layer input ranges, and derive symmetric int8 scales.
+//! A percentile option clips outliers, which usually buys accuracy at low
+//! bit widths.
+
+use tinymlops_nn::Sequential;
+use tinymlops_tensor::Tensor;
+
+/// Per-layer activation scales captured from a calibration batch.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Symmetric int8 scale of the *input* to each layer
+    /// (`x_q = round(x / scale)`), indexed by layer position.
+    pub input_scales: Vec<f32>,
+}
+
+impl Calibration {
+    /// Run `model` on `calib` and record per-layer input scales.
+    ///
+    /// `percentile ∈ (0, 1]` — 1.0 uses the absolute max; 0.999 clips the
+    /// top 0.1% of magnitudes (robust to outliers).
+    #[must_use]
+    pub fn capture(model: &Sequential, calib: &Tensor, percentile: f32) -> Self {
+        assert!(
+            percentile > 0.0 && percentile <= 1.0,
+            "percentile must be in (0,1]"
+        );
+        let acts = model.forward_collect(calib);
+        // acts[i] is the input of layer i.
+        let input_scales = acts[..model.layers.len()]
+            .iter()
+            .map(|a| {
+                let amax = percentile_abs_max(a.data(), percentile);
+                if amax == 0.0 {
+                    1.0
+                } else {
+                    amax / 127.0
+                }
+            })
+            .collect();
+        Calibration { input_scales }
+    }
+}
+
+fn percentile_abs_max(data: &[f32], percentile: f32) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    if percentile >= 1.0 {
+        return data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    }
+    let mut mags: Vec<f32> = data.iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((mags.len() as f32 * percentile).ceil() as usize)
+        .clamp(1, mags.len())
+        - 1;
+    mags[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_nn::model::mlp;
+    use tinymlops_tensor::TensorRng;
+
+    #[test]
+    fn capture_produces_one_scale_per_layer() {
+        let mut rng = TensorRng::seed(0);
+        let m = mlp(&[4, 8, 2], &mut rng);
+        let calib = rng.uniform(&[16, 4], -1.0, 1.0);
+        let c = Calibration::capture(&m, &calib, 1.0);
+        assert_eq!(c.input_scales.len(), m.layers.len());
+        assert!(c.input_scales.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn percentile_clips_outliers() {
+        let mut data = vec![0.5f32; 999];
+        data.push(100.0); // one outlier
+        let full = percentile_abs_max(&data, 1.0);
+        let clipped = percentile_abs_max(&data, 0.99);
+        assert_eq!(full, 100.0);
+        assert_eq!(clipped, 0.5);
+    }
+
+    #[test]
+    fn first_scale_matches_input_range() {
+        let mut rng = TensorRng::seed(1);
+        let m = mlp(&[4, 4], &mut rng);
+        let calib = rng.uniform(&[32, 4], -2.0, 2.0);
+        let c = Calibration::capture(&m, &calib, 1.0);
+        let amax = calib.data().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        assert!((c.input_scales[0] - amax / 127.0).abs() < 1e-6);
+    }
+}

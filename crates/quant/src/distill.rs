@@ -1,0 +1,162 @@
+//! Knowledge distillation: train a small student to mimic a teacher.
+//!
+//! Used two ways in the paper: as a §II compression technique (the
+//! registry's optimization pipeline emits distilled variants for weak
+//! devices) and — adversarially — as the §V *indirect model stealing*
+//! attack, where the "teacher" is a victim queried through its public API.
+//! `tinymlops-ipp` builds the attack on this exact routine.
+
+use tinymlops_nn::loss::distillation;
+use tinymlops_nn::{Adam, Optimizer, Sequential};
+use tinymlops_tensor::Tensor;
+
+/// Configuration for [`distill`].
+#[derive(Debug, Clone)]
+pub struct DistillConfig {
+    /// Softmax temperature for soft targets.
+    pub temperature: f32,
+    /// Training epochs over the transfer set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig {
+            temperature: 3.0,
+            epochs: 30,
+            batch_size: 32,
+            lr: 0.005,
+            seed: 0,
+        }
+    }
+}
+
+/// Train `student` in place so its outputs match `teacher_probs_fn`'s
+/// (already-softened) probabilities on the transfer inputs `x`.
+///
+/// `teacher_probs_fn` abstracts the oracle: for benign distillation it is
+/// the teacher's tempered softmax; for the stealing attack it is whatever
+/// the victim's (possibly poisoned) prediction API returns.
+pub fn distill(
+    student: &mut Sequential,
+    x: &Tensor,
+    teacher_probs: &Tensor,
+    cfg: &DistillConfig,
+) -> Vec<f32> {
+    assert_eq!(
+        x.rows(),
+        teacher_probs.rows(),
+        "one teacher distribution per transfer input"
+    );
+    let n = x.rows();
+    let mut opt = Adam::new(cfg.lr);
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    for e in 0..cfg.epochs {
+        let perm =
+            tinymlops_tensor::TensorRng::seed(cfg.seed.wrapping_add(e as u64)).permutation(n);
+        let mut total = 0.0f32;
+        let mut seen = 0usize;
+        for chunk in perm.chunks(cfg.batch_size) {
+            let xb = gather_rows(x, chunk);
+            let tb = gather_rows(teacher_probs, chunk);
+            student.zero_grad();
+            let logits = student.forward_train(&xb);
+            let (loss, grad) = distillation(&logits, &tb, cfg.temperature);
+            student.backward(&grad);
+            opt.step(student);
+            total += loss * chunk.len() as f32;
+            seen += chunk.len();
+        }
+        losses.push(if seen == 0 { 0.0 } else { total / seen as f32 });
+    }
+    losses
+}
+
+/// Tempered teacher probabilities for benign distillation.
+#[must_use]
+pub fn teacher_soft_targets(teacher: &Sequential, x: &Tensor, temperature: f32) -> Tensor {
+    teacher.forward(x).scale(1.0 / temperature).softmax_rows()
+}
+
+fn gather_rows(t: &Tensor, idx: &[usize]) -> Tensor {
+    let cols = t.cols();
+    let mut data = Vec::with_capacity(idx.len() * cols);
+    for &i in idx {
+        data.extend_from_slice(t.row(i));
+    }
+    Tensor::from_vec(data, &[idx.len(), cols])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_nn::data::synth_digits;
+    use tinymlops_nn::model::mlp;
+    use tinymlops_nn::train::{evaluate, fit, FitConfig};
+    use tinymlops_tensor::TensorRng;
+
+    #[test]
+    fn student_approaches_teacher_accuracy() {
+        let data = synth_digits(1200, 0.08, 55);
+        let (train, test) = data.split(0.85, 0);
+        let mut rng = TensorRng::seed(20);
+        let mut teacher = mlp(&[64, 48, 10], &mut rng);
+        let mut opt = Adam::new(0.005);
+        fit(&mut teacher, &train, &mut opt, &FitConfig { epochs: 20, batch_size: 32, ..Default::default() });
+        let teacher_acc = evaluate(&teacher, &test);
+
+        // Student is 3x smaller.
+        let mut student = mlp(&[64, 16, 10], &mut rng);
+        let soft = teacher_soft_targets(&teacher, &train.x, 3.0);
+        let losses = distill(&mut student, &train.x, &soft, &DistillConfig::default());
+        let student_acc = evaluate(&student, &test);
+
+        assert!(losses.last().unwrap() < &losses[0], "distill loss decreases");
+        assert!(
+            student_acc > teacher_acc - 0.12,
+            "student {student_acc} vs teacher {teacher_acc}"
+        );
+        assert!(student.num_params() < teacher.num_params());
+    }
+
+    #[test]
+    fn distill_panics_on_mismatched_rows() {
+        let mut rng = TensorRng::seed(1);
+        let mut s = mlp(&[4, 2], &mut rng);
+        let x = Tensor::zeros(&[3, 4]);
+        let t = Tensor::zeros(&[2, 2]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            distill(&mut s, &x, &t, &DistillConfig::default())
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn agreement_between_student_and_teacher() {
+        // Even on unlabeled transfer data, student should agree with the
+        // teacher's argmax most of the time — this is the metric the §V
+        // stealing experiments report.
+        let data = synth_digits(800, 0.05, 66);
+        let mut rng = TensorRng::seed(2);
+        let mut teacher = mlp(&[64, 32, 10], &mut rng);
+        let mut opt = Adam::new(0.005);
+        fit(&mut teacher, &data, &mut opt, &FitConfig { epochs: 15, batch_size: 32, ..Default::default() });
+
+        let transfer = synth_digits(800, 0.2, 77); // different distribution
+        let soft = teacher_soft_targets(&teacher, &transfer.x, 3.0);
+        let mut student = mlp(&[64, 24, 10], &mut rng);
+        distill(&mut student, &transfer.x, &soft, &DistillConfig { epochs: 25, ..Default::default() });
+
+        let t_pred = teacher.predict(&data.x);
+        let s_pred = student.predict(&data.x);
+        let agree = t_pred.iter().zip(&s_pred).filter(|(a, b)| a == b).count() as f32
+            / t_pred.len() as f32;
+        assert!(agree > 0.7, "agreement {agree}");
+    }
+}

@@ -1,0 +1,452 @@
+//! Quantized dense kernels: packed int8/int4/int2 and binary XNOR.
+
+use serde::{Deserialize, Serialize};
+use tinymlops_tensor::Tensor;
+
+/// Round a weight row onto a symmetric `bits`-bit grid in place.
+///
+/// The grid has `2^(bits−1) − 1` positive levels (e.g. 127 for int8, 1 for
+/// 2-bit); the scale is chosen from the row's max magnitude.
+pub fn fake_quantize_tensor(row: &mut [f32], bits: u32) {
+    let qmax = ((1i32 << (bits - 1)) - 1).max(1) as f32;
+    let amax = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if amax == 0.0 {
+        return;
+    }
+    let scale = amax / qmax;
+    for v in row.iter_mut() {
+        *v = (*v / scale).round().clamp(-qmax, qmax) * scale;
+    }
+}
+
+/// A dense layer with `bits`-bit symmetric weights (per-output-channel
+/// scales), int8 input quantization and i32 accumulation.
+///
+/// Weights are stored **packed** (2 values/byte at 4 bits, 4 at 2 bits) —
+/// what a flash image would hold — and unpacked row-by-row into a scratch
+/// buffer during the integer kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QDense {
+    /// Packed weight bytes, rows concatenated.
+    pub packed: Vec<u8>,
+    /// Bits per weight: 8, 4 or 2.
+    pub bits: u32,
+    /// Per-output-row weight scales.
+    pub w_scales: Vec<f32>,
+    /// Input activation scale (from calibration).
+    pub in_scale: f32,
+    /// f32 bias per output.
+    pub bias: Vec<f32>,
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+}
+
+fn qmax_for(bits: u32) -> i32 {
+    (1i32 << (bits - 1)) - 1
+}
+
+/// Values per packed byte for a given bit width.
+fn per_byte(bits: u32) -> usize {
+    (8 / bits) as usize
+}
+
+/// Bytes needed per row of `in_dim` weights at `bits` bits.
+fn row_bytes(in_dim: usize, bits: u32) -> usize {
+    in_dim.div_ceil(per_byte(bits))
+}
+
+fn pack_row(q: &[i8], bits: u32, out: &mut Vec<u8>) {
+    match bits {
+        8 => out.extend(q.iter().map(|&v| v as u8)),
+        4 => {
+            for pair in q.chunks(2) {
+                let lo = (pair[0] as u8) & 0x0f;
+                let hi = if pair.len() > 1 { (pair[1] as u8) & 0x0f } else { 0 };
+                out.push(lo | (hi << 4));
+            }
+        }
+        2 => {
+            for quad in q.chunks(4) {
+                let mut b = 0u8;
+                for (i, &v) in quad.iter().enumerate() {
+                    b |= ((v as u8) & 0x03) << (2 * i);
+                }
+                out.push(b);
+            }
+        }
+        _ => panic!("unsupported bit width {bits}"),
+    }
+}
+
+fn unpack_row(packed: &[u8], bits: u32, in_dim: usize, out: &mut [i8]) {
+    match bits {
+        8 => {
+            for (o, &b) in out.iter_mut().zip(packed) {
+                *o = b as i8;
+            }
+        }
+        4 => {
+            for i in 0..in_dim {
+                let b = packed[i / 2];
+                let nib = if i % 2 == 0 { b & 0x0f } else { b >> 4 };
+                // Sign-extend 4-bit two's complement.
+                out[i] = ((nib << 4) as i8) >> 4;
+            }
+        }
+        2 => {
+            for i in 0..in_dim {
+                let b = packed[i / 4];
+                let two = (b >> (2 * (i % 4))) & 0x03;
+                out[i] = ((two << 6) as i8) >> 6;
+            }
+        }
+        _ => panic!("unsupported bit width {bits}"),
+    }
+}
+
+impl QDense {
+    /// Quantize an f32 weight matrix `[out,in]` + bias, with `in_scale`
+    /// taken from calibration of this layer's input activations.
+    #[must_use]
+    pub fn quantize(w: &Tensor, bias: &Tensor, bits: u32, in_scale: f32) -> Self {
+        assert!(matches!(bits, 8 | 4 | 2), "QDense supports 8/4/2 bits");
+        let (out_dim, in_dim) = (w.shape()[0], w.shape()[1]);
+        let qmax = qmax_for(bits) as f32;
+        let mut packed = Vec::with_capacity(out_dim * row_bytes(in_dim, bits));
+        let mut w_scales = Vec::with_capacity(out_dim);
+        let mut qrow = vec![0i8; in_dim];
+        for r in 0..out_dim {
+            let row = w.row(r);
+            let amax = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let scale = if amax == 0.0 { 1.0 } else { amax / qmax };
+            for (q, &v) in qrow.iter_mut().zip(row) {
+                *q = (v / scale).round().clamp(-qmax, qmax) as i8;
+            }
+            pack_row(&qrow, bits, &mut packed);
+            w_scales.push(scale);
+        }
+        QDense {
+            packed,
+            bits,
+            w_scales,
+            in_scale: if in_scale <= 0.0 { 1.0 } else { in_scale },
+            bias: bias.data().to_vec(),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Integer-kernel forward pass: `x [batch,in] → y [batch,out]`.
+    #[must_use]
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let batch = x.rows();
+        assert_eq!(x.cols(), self.in_dim, "QDense input width");
+        let q_in_max = 127.0f32;
+        // Quantize activations to int8 with the calibrated scale.
+        let mut xq = vec![0i8; batch * self.in_dim];
+        for (q, &v) in xq.iter_mut().zip(x.data()) {
+            *q = (v / self.in_scale).round().clamp(-q_in_max, q_in_max) as i8;
+        }
+        let rb = row_bytes(self.in_dim, self.bits);
+        let mut wrow = vec![0i8; self.in_dim];
+        let mut out = vec![0.0f32; batch * self.out_dim];
+        for r in 0..self.out_dim {
+            unpack_row(&self.packed[r * rb..(r + 1) * rb], self.bits, self.in_dim, &mut wrow);
+            let dequant = self.in_scale * self.w_scales[r];
+            for b in 0..batch {
+                let xrow = &xq[b * self.in_dim..(b + 1) * self.in_dim];
+                let mut acc: i32 = 0;
+                for (xv, wv) in xrow.iter().zip(wrow.iter()) {
+                    acc += (*xv as i32) * (*wv as i32);
+                }
+                out[b * self.out_dim + r] = acc as f32 * dequant + self.bias[r];
+            }
+        }
+        Tensor::from_vec(out, &[batch, self.out_dim])
+    }
+
+    /// Deployment size in bytes: packed weights + scales + bias.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.packed.len() + 4 * (self.w_scales.len() + self.bias.len()) + 4
+    }
+
+    /// Unpack the full integer weight matrix `[out,in]` (row-major i8) —
+    /// used by the verifiable-execution layer, whose sum-check operates on
+    /// the exact integers the kernel multiplies.
+    #[must_use]
+    pub fn unpack_matrix(&self) -> Vec<i8> {
+        let rb = row_bytes(self.in_dim, self.bits);
+        let mut out = vec![0i8; self.out_dim * self.in_dim];
+        for r in 0..self.out_dim {
+            unpack_row(
+                &self.packed[r * rb..(r + 1) * rb],
+                self.bits,
+                self.in_dim,
+                &mut out[r * self.in_dim..(r + 1) * self.in_dim],
+            );
+        }
+        out
+    }
+
+    /// Quantize an activation batch to the layer's int8 input grid —
+    /// exposed so a verifier can reproduce the exact kernel inputs.
+    #[must_use]
+    pub fn quantize_input(&self, x: &Tensor) -> Vec<i8> {
+        x.data()
+            .iter()
+            .map(|&v| (v / self.in_scale).round().clamp(-127.0, 127.0) as i8)
+            .collect()
+    }
+
+    /// Integer accumulator matmul: `acc[b][r] = Σ_j xq[b][j]·w[r][j]` —
+    /// the exact integers the proof system commits to.
+    #[must_use]
+    pub fn int_accumulate(&self, xq: &[i8], batch: usize) -> Vec<i32> {
+        let w = self.unpack_matrix();
+        let mut acc = vec![0i32; batch * self.out_dim];
+        for b in 0..batch {
+            let xrow = &xq[b * self.in_dim..(b + 1) * self.in_dim];
+            for r in 0..self.out_dim {
+                let wrow = &w[r * self.in_dim..(r + 1) * self.in_dim];
+                let mut s = 0i32;
+                for (xv, wv) in xrow.iter().zip(wrow) {
+                    s += i32::from(*xv) * i32::from(*wv);
+                }
+                acc[b * self.out_dim + r] = s;
+            }
+        }
+        acc
+    }
+
+    /// Dequantize accumulators to f32 outputs (`acc·scale + bias`), the
+    /// elementwise step a verifier re-executes cheaply.
+    #[must_use]
+    pub fn dequantize_acc(&self, acc: &[i32], batch: usize) -> Tensor {
+        let mut out = vec![0.0f32; batch * self.out_dim];
+        for b in 0..batch {
+            for r in 0..self.out_dim {
+                out[b * self.out_dim + r] = acc[b * self.out_dim + r] as f32
+                    * (self.in_scale * self.w_scales[r])
+                    + self.bias[r];
+            }
+        }
+        Tensor::from_vec(out, &[batch, self.out_dim])
+    }
+}
+
+/// A binary (1-bit) dense layer: sign weights packed into `u64` words with
+/// an XNOR-popcount kernel and per-row scaling factors (XNOR-Net style).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinaryDense {
+    /// Sign bits, `words_per_row` u64 words per output row (1 = +1, 0 = −1).
+    pub w_bits: Vec<u64>,
+    /// Per-row scale α = mean |w|.
+    pub alpha: Vec<f32>,
+    /// f32 bias per output.
+    pub bias: Vec<f32>,
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+}
+
+fn words_per_row(in_dim: usize) -> usize {
+    in_dim.div_ceil(64)
+}
+
+impl BinaryDense {
+    /// Binarize an f32 weight matrix `[out,in]`.
+    #[must_use]
+    pub fn quantize(w: &Tensor, bias: &Tensor) -> Self {
+        let (out_dim, in_dim) = (w.shape()[0], w.shape()[1]);
+        let wpr = words_per_row(in_dim);
+        let mut w_bits = vec![0u64; out_dim * wpr];
+        let mut alpha = Vec::with_capacity(out_dim);
+        for r in 0..out_dim {
+            let row = w.row(r);
+            let a = row.iter().map(|v| v.abs()).sum::<f32>() / in_dim as f32;
+            alpha.push(a);
+            for (i, &v) in row.iter().enumerate() {
+                if v >= 0.0 {
+                    w_bits[r * wpr + i / 64] |= 1u64 << (i % 64);
+                }
+            }
+        }
+        BinaryDense {
+            w_bits,
+            alpha,
+            bias: bias.data().to_vec(),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// XNOR-popcount forward pass. Inputs are binarized by sign with a
+    /// per-example scale β = mean |x| (XNOR-Net), so `y ≈ α·β·(x_b ⊙ w_b)`.
+    #[must_use]
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let batch = x.rows();
+        assert_eq!(x.cols(), self.in_dim, "BinaryDense input width");
+        let wpr = words_per_row(self.in_dim);
+        let n = self.in_dim as i32;
+        // Mask of valid bits in the last word (padding bits must not count).
+        let tail_bits = self.in_dim % 64;
+        let tail_mask: u64 = if tail_bits == 0 { !0u64 } else { (1u64 << tail_bits) - 1 };
+        let mut out = vec![0.0f32; batch * self.out_dim];
+        let mut x_bits = vec![0u64; wpr];
+        for b in 0..batch {
+            let xrow = x.row(b);
+            let beta = xrow.iter().map(|v| v.abs()).sum::<f32>() / self.in_dim as f32;
+            x_bits.fill(0);
+            for (i, &v) in xrow.iter().enumerate() {
+                if v >= 0.0 {
+                    x_bits[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+            for r in 0..self.out_dim {
+                let wrow = &self.w_bits[r * wpr..(r + 1) * wpr];
+                let mut same: i32 = 0;
+                for wi in 0..wpr {
+                    let mask = if wi + 1 == wpr { tail_mask } else { !0u64 };
+                    // XNOR = matching signs; count within valid lanes.
+                    same += (!(x_bits[wi] ^ wrow[wi]) & mask).count_ones() as i32;
+                }
+                // dot(sign(x), sign(w)) = same − (n − same) = 2·same − n
+                let dot = (2 * same - n) as f32;
+                out[b * self.out_dim + r] = self.alpha[r] * beta * dot + self.bias[r];
+            }
+        }
+        Tensor::from_vec(out, &[batch, self.out_dim])
+    }
+
+    /// Deployment size in bytes: bit-planes + scales + bias.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.w_bits.len() * 8 + 4 * (self.alpha.len() + self.bias.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_tensor::TensorRng;
+
+    #[test]
+    fn pack_unpack_round_trip_all_widths() {
+        for bits in [8u32, 4, 2] {
+            let qmax = qmax_for(bits) as i16;
+            let vals: Vec<i8> = (0..37i16)
+                .map(|i| ((i * 7) % (2 * qmax + 1) - qmax) as i8)
+                .collect();
+            let mut packed = Vec::new();
+            pack_row(&vals, bits, &mut packed);
+            assert_eq!(packed.len(), row_bytes(vals.len(), bits));
+            let mut out = vec![0i8; vals.len()];
+            unpack_row(&packed, bits, vals.len(), &mut out);
+            assert_eq!(out, vals, "round trip at {bits} bits");
+        }
+    }
+
+    #[test]
+    fn qdense_int8_close_to_f32() {
+        let mut rng = TensorRng::seed(1);
+        let w = rng.uniform(&[6, 10], -1.0, 1.0);
+        let b = rng.uniform(&[6], -0.1, 0.1);
+        let x = rng.uniform(&[4, 10], -1.0, 1.0);
+        let q = QDense::quantize(&w, &b, 8, 1.0 / 127.0 * 1.0);
+        let got = q.forward(&x);
+        let want = x.matmul_nt(&w).unwrap().add_row_vector(&b).unwrap();
+        for (g, w_) in got.data().iter().zip(want.data()) {
+            assert!((g - w_).abs() < 0.05, "int8: {g} vs {w_}");
+        }
+    }
+
+    #[test]
+    fn qdense_error_grows_as_bits_shrink() {
+        let mut rng = TensorRng::seed(2);
+        let w = rng.uniform(&[8, 16], -1.0, 1.0);
+        let b = Tensor::zeros(&[8]);
+        let x = rng.uniform(&[8, 16], -1.0, 1.0);
+        let want = x.matmul_nt(&w).unwrap();
+        let err_at = |bits: u32| -> f32 {
+            let q = QDense::quantize(&w, &b, bits, 1.0 / 127.0);
+            let got = q.forward(&x);
+            got.sub(&want).unwrap().norm() / want.norm()
+        };
+        let (e8, e4, e2) = (err_at(8), err_at(4), err_at(2));
+        assert!(e8 < e4 && e4 < e2, "errors: 8b={e8} 4b={e4} 2b={e2}");
+        assert!(e8 < 0.02, "int8 relative error {e8}");
+    }
+
+    #[test]
+    fn qdense_size_shrinks_with_bits() {
+        let mut rng = TensorRng::seed(3);
+        let w = rng.uniform(&[32, 64], -1.0, 1.0);
+        let b = Tensor::zeros(&[32]);
+        let s8 = QDense::quantize(&w, &b, 8, 0.01).size_bytes();
+        let s4 = QDense::quantize(&w, &b, 4, 0.01).size_bytes();
+        let s2 = QDense::quantize(&w, &b, 2, 0.01).size_bytes();
+        assert!(s4 < s8 && s2 < s4);
+        // Weight payloads should be exactly 1×, ½×, ¼×.
+        assert_eq!(s8 - s4, 32 * 64 / 2);
+    }
+
+    #[test]
+    fn binary_dense_sign_agreement() {
+        // With ±1 inputs the XNOR kernel must reproduce the exact dot
+        // product of the sign matrices.
+        let mut rng = TensorRng::seed(4);
+        let w = rng.uniform(&[5, 70], -1.0, 1.0); // >64 exercises multi-word
+        let b = Tensor::zeros(&[5]);
+        let q = BinaryDense::quantize(&w, &b);
+        let x = rng.uniform(&[3, 70], -1.0, 1.0).map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+        let got = q.forward(&x);
+        // Reference: sign(w) dot x, scaled by alpha (beta = 1 for ±1 x).
+        let w_sign = w.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+        let want = x.matmul_nt(&w_sign).unwrap();
+        for r in 0..3 {
+            for c in 0..5 {
+                let g = got.at(r, c);
+                let alpha = q.alpha[c];
+                let wnt = want.at(r, c) * alpha;
+                assert!((g - wnt).abs() < 1e-4, "({r},{c}): {g} vs {wnt}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_padding_bits_do_not_leak() {
+        // in_dim = 65: one padding-heavy word. All-(-1) weights and inputs
+        // must give dot = +65, not polluted by the 63 padding lanes.
+        let w = Tensor::full(&[1, 65], -1.0);
+        let b = Tensor::zeros(&[1]);
+        let q = BinaryDense::quantize(&w, &b);
+        let x = Tensor::full(&[1, 65], -1.0);
+        let y = q.forward(&x);
+        // alpha = 1, beta = 1, dot = 65.
+        assert!((y.data()[0] - 65.0).abs() < 1e-4, "got {}", y.data()[0]);
+    }
+
+    #[test]
+    fn binary_size_is_one_eighth() {
+        let mut rng = TensorRng::seed(5);
+        let w = rng.uniform(&[16, 128], -1.0, 1.0);
+        let b = Tensor::zeros(&[16]);
+        let q = BinaryDense::quantize(&w, &b);
+        // 128 bits = 2 words = 16 bytes per row.
+        assert_eq!(q.w_bits.len() * 8, 16 * 16);
+        assert!(q.size_bytes() < 16 * 128); // ≪ 8 KiB of f32
+    }
+
+    #[test]
+    fn fake_quantize_tensor_is_idempotent() {
+        let mut row = vec![0.9f32, -0.4, 0.1, 0.0];
+        fake_quantize_tensor(&mut row, 4);
+        let once = row.clone();
+        fake_quantize_tensor(&mut row, 4);
+        assert_eq!(row, once);
+    }
+}

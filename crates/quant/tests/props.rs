@@ -1,0 +1,121 @@
+//! Property-based tests: quantization invariants over arbitrary weights.
+
+use proptest::prelude::*;
+use tinymlops_quant::{fake_quantize_tensor, BinaryDense, QDense, SparseDense};
+use tinymlops_tensor::Tensor;
+
+proptest! {
+    /// Fake quantization is idempotent and bounded: the error of one round
+    /// trip never exceeds half a quantization step.
+    #[test]
+    fn fake_quant_idempotent_and_bounded(
+        mut row in proptest::collection::vec(-10.0f32..10.0, 1..128),
+        bits in 2u32..9,
+    ) {
+        let orig = row.clone();
+        fake_quantize_tensor(&mut row, bits);
+        let once = row.clone();
+        fake_quantize_tensor(&mut row, bits);
+        prop_assert_eq!(&row, &once, "idempotent");
+        let amax = orig.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if amax > 0.0 {
+            let qmax = ((1i64 << (bits - 1)) - 1) as f32;
+            let step = amax / qmax;
+            for (o, q) in orig.iter().zip(&once) {
+                prop_assert!((o - q).abs() <= step / 2.0 + 1e-5, "{o} vs {q} step {step}");
+            }
+        }
+    }
+
+    /// The int8 integer kernel approximates the f32 product within the
+    /// combined quantization error bound.
+    #[test]
+    fn qdense_int8_error_bounded(
+        out_dim in 1usize..8,
+        in_dim in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+        let w = rng.uniform(&[out_dim, in_dim], -1.0, 1.0);
+        let b = rng.uniform(&[out_dim], -0.5, 0.5);
+        let x = rng.uniform(&[3, in_dim], -1.0, 1.0);
+        let q = QDense::quantize(&w, &b, 8, 1.0 / 127.0);
+        let got = q.forward(&x);
+        let want = x.matmul_nt(&w).unwrap().add_row_vector(&b).unwrap();
+        // Error bound: per-term quantization error ~ (1/127)(|x|+|w|max);
+        // loose bound: 0.02 per input dimension.
+        let bound = 0.02 * in_dim as f32 + 0.01;
+        for (g, t) in got.data().iter().zip(want.data()) {
+            prop_assert!((g - t).abs() < bound, "{g} vs {t} (bound {bound})");
+        }
+    }
+
+    /// CSR forward equals dense forward for any sparsity pattern.
+    #[test]
+    fn csr_equals_dense(
+        out_dim in 1usize..8,
+        in_dim in 1usize..16,
+        seed in any::<u64>(),
+        zero_prob in 0.0f64..1.0,
+    ) {
+        let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+        let mut w = rng.uniform(&[out_dim, in_dim], -2.0, 2.0);
+        for v in w.data_mut() {
+            if f64::from(v.abs() % 1.0) < zero_prob {
+                *v = 0.0;
+            }
+        }
+        let b = rng.uniform(&[out_dim], -1.0, 1.0);
+        let x = rng.uniform(&[4, in_dim], -1.0, 1.0);
+        let sp = SparseDense::from_dense(&w, &b);
+        let dense_y = x.matmul_nt(&w).unwrap().add_row_vector(&b).unwrap();
+        let sparse_y = sp.forward(&x);
+        for (a, c) in dense_y.data().iter().zip(sparse_y.data()) {
+            prop_assert!((a - c).abs() < 1e-4);
+        }
+    }
+
+    /// The XNOR kernel reproduces sign-matrix products exactly for ±1
+    /// inputs, at any width (including multi-word and padded tails).
+    #[test]
+    fn binary_kernel_exact_on_signs(
+        out_dim in 1usize..6,
+        in_dim in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+        let w = rng.uniform(&[out_dim, in_dim], -1.0, 1.0);
+        let b = Tensor::zeros(&[out_dim]);
+        let q = BinaryDense::quantize(&w, &b);
+        let x = rng
+            .uniform(&[2, in_dim], -1.0, 1.0)
+            .map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+        let got = q.forward(&x);
+        let w_sign = w.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+        let want = x.matmul_nt(&w_sign).unwrap();
+        for r in 0..2 {
+            for c in 0..out_dim {
+                let expect = want.at(r, c) * q.alpha[c];
+                prop_assert!((got.at(r, c) - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Packed storage round-trips exactly through the public matrix view.
+    #[test]
+    fn packed_unpack_round_trip(
+        out_dim in 1usize..6,
+        in_dim in 1usize..40,
+        bits in prop::sample::select(vec![8u32, 4, 2]),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+        let w = rng.uniform(&[out_dim, in_dim], -1.0, 1.0);
+        let b = Tensor::zeros(&[out_dim]);
+        let q = QDense::quantize(&w, &b, bits, 0.01);
+        let ints = q.unpack_matrix();
+        prop_assert_eq!(ints.len(), out_dim * in_dim);
+        let qmax = ((1i32 << (bits - 1)) - 1) as i8;
+        prop_assert!(ints.iter().all(|&v| v >= -qmax && v <= qmax));
+    }
+}

@@ -1,0 +1,55 @@
+//! Model registry: versioned, content-addressed model storage with lineage
+//! tracking and an automatically-triggered optimization pipeline.
+//!
+//! §III-A: *"Existing solutions for storing models in a centralized
+//! repository will therefore have to be extended to track the relationship
+//! between different versions of the models, recording what optimizations
+//! are applied to every instance. If the base model is updated or
+//! retrained, we also have to automatically trigger the execution of the
+//! optimization pipeline that generates different quantized or pruned
+//! versions of the base model."*
+//!
+//! * [`store`] — content-addressed blob store (SHA-256 keys): identical
+//!   artifacts deduplicate, corruption is detectable.
+//! * [`record`] — [`ModelRecord`]s: semantic version, format, lineage
+//!   parent, measured metrics.
+//! * [`registry`] — the [`Registry`]: register/fetch/query + lineage walks.
+//! * [`pipeline`] — the [`OptimizationPipeline`]: on every new base
+//!   version, regenerates the full variant matrix (quantized at four bit
+//!   widths, pruned, pruned+quantized) with measured accuracy.
+
+pub mod pipeline;
+pub mod record;
+pub mod registry;
+pub mod store;
+
+pub use pipeline::{OptimizationPipeline, PipelineConfig, VariantSpec};
+pub use record::{ModelFormat, ModelId, ModelRecord, SemVer};
+pub use registry::Registry;
+pub use store::ArtifactStore;
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// Lookup failed.
+    NotFound(String),
+    /// An artifact's bytes do not match its recorded digest.
+    CorruptArtifact(String),
+    /// Serialization failure while storing a model.
+    Serialization(String),
+    /// The optimization pipeline could not produce a requested variant.
+    Pipeline(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::NotFound(what) => write!(f, "not found: {what}"),
+            RegistryError::CorruptArtifact(what) => write!(f, "corrupt artifact: {what}"),
+            RegistryError::Serialization(what) => write!(f, "serialization: {what}"),
+            RegistryError::Pipeline(what) => write!(f, "pipeline: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}

@@ -1,0 +1,356 @@
+//! The automatically-triggered optimization pipeline.
+//!
+//! §III-A: *"If the base model is updated or retrained, we also have to
+//! automatically trigger the execution of the optimization pipeline that
+//! generates different quantized or pruned versions of the base model."*
+//!
+//! [`OptimizationPipeline::process_base`] is that trigger: hand it a new
+//! base model and it registers the base plus the full variant matrix —
+//! four quantization bit-widths, pruning levels (with mask-preserving
+//! fine-tuning), and pruned-then-quantized combinations — each with
+//! measured accuracy, size and MAC count, and lineage pointing at the base.
+
+use crate::record::{ModelFormat, ModelId, SemVer};
+use crate::registry::Registry;
+use crate::RegistryError;
+use std::collections::BTreeMap;
+use tinymlops_nn::{profile, Dataset, Sequential};
+use tinymlops_quant::{
+    finetune_pruned, magnitude_prune, sparsity_of, QuantScheme, QuantizedModel,
+};
+
+/// A requested variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VariantSpec {
+    /// Quantize to a scheme.
+    Quantize(QuantScheme),
+    /// Prune to a sparsity and fine-tune.
+    Prune {
+        /// Target sparsity.
+        sparsity: f32,
+    },
+    /// Prune then quantize.
+    PruneQuantize {
+        /// Target sparsity.
+        sparsity: f32,
+        /// Quantization scheme applied after pruning.
+        scheme: QuantScheme,
+    },
+}
+
+/// Pipeline configuration: which variants to generate per base model.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Variants to produce.
+    pub variants: Vec<VariantSpec>,
+    /// Fine-tuning epochs after pruning.
+    pub finetune_epochs: usize,
+    /// Fine-tuning learning rate.
+    pub finetune_lr: f32,
+    /// Seed for fine-tuning shuffles.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            variants: vec![
+                VariantSpec::Quantize(QuantScheme::Int8),
+                VariantSpec::Quantize(QuantScheme::Int4),
+                VariantSpec::Quantize(QuantScheme::Int2),
+                VariantSpec::Quantize(QuantScheme::Binary),
+                VariantSpec::Prune { sparsity: 0.5 },
+                VariantSpec::Prune { sparsity: 0.8 },
+                VariantSpec::PruneQuantize {
+                    sparsity: 0.5,
+                    scheme: QuantScheme::Int8,
+                },
+            ],
+            finetune_epochs: 2,
+            finetune_lr: 0.002,
+            seed: 0,
+        }
+    }
+}
+
+/// The pipeline runner.
+pub struct OptimizationPipeline {
+    config: PipelineConfig,
+}
+
+impl OptimizationPipeline {
+    /// Pipeline with the given config.
+    #[must_use]
+    pub fn new(config: PipelineConfig) -> Self {
+        OptimizationPipeline { config }
+    }
+
+    /// Pipeline with the default variant matrix.
+    #[must_use]
+    pub fn standard() -> Self {
+        OptimizationPipeline {
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// Register `base` as a new base version of `name` and auto-generate
+    /// all configured variants. Returns `(base_id, variant_ids)`.
+    pub fn process_base(
+        &self,
+        registry: &Registry,
+        name: &str,
+        base: &Sequential,
+        version: SemVer,
+        train: &Dataset,
+        test: &Dataset,
+        created_ms: u64,
+    ) -> Result<(ModelId, Vec<ModelId>), RegistryError> {
+        let input_shape = [train.feature_dim()];
+        let base_macs = profile::total_macs(base, &input_shape);
+        let base_acc = f64::from(tinymlops_nn::evaluate(base, test));
+        let base_bytes = base
+            .to_bytes()
+            .map_err(|e| RegistryError::Serialization(e.to_string()))?;
+        let base_size = base_bytes.len() as u64;
+        let base_id = registry.register(
+            name,
+            version,
+            ModelFormat::F32,
+            None,
+            base_bytes,
+            base.param_bytes() as u64,
+            base_macs,
+            metrics(base_acc),
+            vec![],
+            created_ms,
+        );
+        let _ = base_size;
+
+        let mut variant_ids = Vec::with_capacity(self.config.variants.len());
+        for spec in &self.config.variants {
+            let id = self.build_variant(
+                registry, name, base, base_id, version, spec, train, test, base_macs, created_ms,
+            )?;
+            variant_ids.push(id);
+        }
+        Ok((base_id, variant_ids))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_variant(
+        &self,
+        registry: &Registry,
+        name: &str,
+        base: &Sequential,
+        base_id: ModelId,
+        version: SemVer,
+        spec: &VariantSpec,
+        train: &Dataset,
+        test: &Dataset,
+        base_macs: u64,
+        created_ms: u64,
+    ) -> Result<ModelId, RegistryError> {
+        match spec {
+            VariantSpec::Quantize(scheme) => {
+                let q = QuantizedModel::quantize(base, &train.x, *scheme)
+                    .map_err(|e| RegistryError::Pipeline(e.to_string()))?;
+                let acc = f64::from(q.accuracy(&test.x, &test.y));
+                let bytes = serde_json::to_vec(&q)
+                    .map_err(|e| RegistryError::Serialization(e.to_string()))?;
+                let size = q.size_bytes() as u64;
+                Ok(registry.register(
+                    name,
+                    version,
+                    ModelFormat::Quantized {
+                        bits: scheme.bits(),
+                    },
+                    Some(base_id),
+                    bytes,
+                    size,
+                    base_macs, // same MAC count; cheaper per-MAC
+                    metrics(acc),
+                    vec![format!("scheme:{}", scheme.name())],
+                    created_ms,
+                ))
+            }
+            VariantSpec::Prune { sparsity } => {
+                let pruned = self.pruned_model(base, *sparsity, train);
+                let acc = f64::from(tinymlops_nn::evaluate(&pruned, test));
+                let bytes = pruned
+                    .to_bytes()
+                    .map_err(|e| RegistryError::Serialization(e.to_string()))?;
+                let effective_macs =
+                    (base_macs as f64 * f64::from(1.0 - sparsity_of(&pruned))) as u64;
+                Ok(registry.register(
+                    name,
+                    version,
+                    ModelFormat::Pruned {
+                        sparsity: *sparsity,
+                    },
+                    Some(base_id),
+                    bytes,
+                    (pruned.param_bytes() as f64 * f64::from(1.0 - sparsity) * 2.0) as u64,
+                    effective_macs,
+                    metrics(acc),
+                    vec![],
+                    created_ms,
+                ))
+            }
+            VariantSpec::PruneQuantize { sparsity, scheme } => {
+                let pruned = self.pruned_model(base, *sparsity, train);
+                let q = QuantizedModel::quantize(&pruned, &train.x, *scheme)
+                    .map_err(|e| RegistryError::Pipeline(e.to_string()))?;
+                let acc = f64::from(q.accuracy(&test.x, &test.y));
+                let bytes = serde_json::to_vec(&q)
+                    .map_err(|e| RegistryError::Serialization(e.to_string()))?;
+                let size = q.size_bytes() as u64;
+                let effective_macs = (base_macs as f64 * f64::from(1.0 - sparsity)) as u64;
+                Ok(registry.register(
+                    name,
+                    version,
+                    ModelFormat::PrunedQuantized {
+                        sparsity: *sparsity,
+                        bits: scheme.bits(),
+                    },
+                    Some(base_id),
+                    bytes,
+                    size,
+                    effective_macs,
+                    metrics(acc),
+                    vec![format!("scheme:{}", scheme.name())],
+                    created_ms,
+                ))
+            }
+        }
+    }
+
+    fn pruned_model(&self, base: &Sequential, sparsity: f32, train: &Dataset) -> Sequential {
+        let mut pruned = base.clone();
+        magnitude_prune(&mut pruned, sparsity);
+        if self.config.finetune_epochs > 0 {
+            finetune_pruned(
+                &mut pruned,
+                train,
+                self.config.finetune_epochs,
+                self.config.finetune_lr,
+                self.config.seed,
+            );
+        }
+        pruned
+    }
+}
+
+fn metrics(accuracy: f64) -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
+    m.insert("accuracy".to_string(), accuracy);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_nn::data::synth_digits;
+    use tinymlops_nn::model::mlp;
+    use tinymlops_nn::train::{fit, FitConfig};
+    use tinymlops_nn::Adam;
+    use tinymlops_tensor::TensorRng;
+
+    fn trained_base() -> (Sequential, Dataset, Dataset) {
+        let data = synth_digits(900, 0.08, 11);
+        let (train, test) = data.split(0.85, 0);
+        let mut rng = TensorRng::seed(2);
+        let mut model = mlp(&[64, 24, 10], &mut rng);
+        let mut opt = Adam::new(0.005);
+        fit(&mut model, &train, &mut opt, &FitConfig { epochs: 12, batch_size: 32, ..Default::default() });
+        (model, train, test)
+    }
+
+    #[test]
+    fn process_base_generates_full_variant_matrix() {
+        let (model, train, test) = trained_base();
+        let reg = Registry::new();
+        let pipeline = OptimizationPipeline::standard();
+        let (base_id, variants) = pipeline
+            .process_base(&reg, "digits", &model, SemVer::new(1, 0, 0), &train, &test, 0)
+            .unwrap();
+        assert_eq!(variants.len(), 7);
+        assert_eq!(reg.count(), 8);
+        // All variants descend from the base.
+        for v in &variants {
+            let rec = reg.get(*v).unwrap();
+            assert_eq!(rec.parent, Some(base_id));
+            assert!(rec.accuracy() > 0.1, "variant {} acc {}", rec.format.name(), rec.accuracy());
+        }
+    }
+
+    #[test]
+    fn quantized_variants_shrink_with_bits() {
+        let (model, train, test) = trained_base();
+        let reg = Registry::new();
+        let (_, _) = OptimizationPipeline::standard()
+            .process_base(&reg, "digits", &model, SemVer::new(1, 0, 0), &train, &test, 0)
+            .unwrap();
+        let size_of = |fmt: &str| {
+            reg.all()
+                .into_iter()
+                .find(|r| r.format.name() == fmt)
+                .unwrap()
+                .size_bytes
+        };
+        assert!(size_of("int8") > size_of("int4"));
+        assert!(size_of("int4") > size_of("int2"));
+        assert!(size_of("int2") > size_of("int1") || size_of("int2") > size_of("f32") / 8);
+    }
+
+    #[test]
+    fn retrain_triggers_new_generation() {
+        let (model, train, test) = trained_base();
+        let reg = Registry::new();
+        let pipeline = OptimizationPipeline::standard();
+        let v1 = SemVer::new(1, 0, 0);
+        pipeline
+            .process_base(&reg, "digits", &model, v1, &train, &test, 0)
+            .unwrap();
+        let count_v1 = reg.count();
+        // "Retrain" (same weights suffice for the bookkeeping test).
+        let v2 = v1.bump_minor();
+        pipeline
+            .process_base(&reg, "digits", &model, v2, &train, &test, 100)
+            .unwrap();
+        assert_eq!(reg.count(), count_v1 * 2, "second generation registered");
+        assert_eq!(reg.latest_base("digits").unwrap().version, v2);
+        assert_eq!(reg.family_at("digits", v2).len(), count_v1);
+    }
+
+    #[test]
+    fn lineage_of_variant_is_base_then_variant() {
+        let (model, train, test) = trained_base();
+        let reg = Registry::new();
+        let (base_id, variants) = OptimizationPipeline::standard()
+            .process_base(&reg, "digits", &model, SemVer::new(1, 0, 0), &train, &test, 0)
+            .unwrap();
+        let chain = reg.lineage(variants[0]).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].id, base_id);
+    }
+
+    #[test]
+    fn int8_variant_accuracy_close_to_base() {
+        let (model, train, test) = trained_base();
+        let reg = Registry::new();
+        let (base_id, _) = OptimizationPipeline::standard()
+            .process_base(&reg, "digits", &model, SemVer::new(1, 0, 0), &train, &test, 0)
+            .unwrap();
+        let base_acc = reg.get(base_id).unwrap().accuracy();
+        let int8 = reg
+            .all()
+            .into_iter()
+            .find(|r| r.format.name() == "int8")
+            .unwrap();
+        assert!(
+            int8.accuracy() > base_acc - 0.05,
+            "int8 {} vs base {base_acc}",
+            int8.accuracy()
+        );
+    }
+}

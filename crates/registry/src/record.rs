@@ -1,0 +1,186 @@
+//! Model records: identity, version, format, lineage and metrics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Registry-unique model identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModelId(pub u64);
+
+/// Semantic version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SemVer {
+    /// Breaking-change counter.
+    pub major: u32,
+    /// Feature counter.
+    pub minor: u32,
+    /// Patch counter.
+    pub patch: u32,
+}
+
+impl SemVer {
+    /// Construct a version.
+    #[must_use]
+    pub fn new(major: u32, minor: u32, patch: u32) -> Self {
+        SemVer {
+            major,
+            minor,
+            patch,
+        }
+    }
+
+    /// Next minor version (the default bump for a retrained base model).
+    #[must_use]
+    pub fn bump_minor(self) -> SemVer {
+        SemVer {
+            major: self.major,
+            minor: self.minor + 1,
+            patch: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for SemVer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+    }
+}
+
+/// The numeric/structural format of a stored model instance — §III-A's
+/// "recording what optimizations are applied to every instance".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelFormat {
+    /// Full-precision float reference model.
+    F32,
+    /// Statically quantized; `bits` ∈ {8,4,2,1}.
+    Quantized {
+        /// Bits per weight.
+        bits: u32,
+    },
+    /// Magnitude-pruned to the given sparsity, stored dense-f32.
+    Pruned {
+        /// Fraction of zeroed weights.
+        sparsity: f32,
+    },
+    /// Pruned then quantized.
+    PrunedQuantized {
+        /// Fraction of zeroed weights.
+        sparsity: f32,
+        /// Bits per weight.
+        bits: u32,
+    },
+    /// Distilled into a smaller architecture.
+    Distilled,
+}
+
+impl ModelFormat {
+    /// Stable name used in reports and selection tables.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            ModelFormat::F32 => "f32".to_string(),
+            ModelFormat::Quantized { bits } => format!("int{bits}"),
+            ModelFormat::Pruned { sparsity } => format!("pruned{:.0}", sparsity * 100.0),
+            ModelFormat::PrunedQuantized { sparsity, bits } => {
+                format!("pruned{:.0}-int{bits}", sparsity * 100.0)
+            }
+            ModelFormat::Distilled => "distilled".to_string(),
+        }
+    }
+}
+
+/// One registered model instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelRecord {
+    /// Registry-unique id.
+    pub id: ModelId,
+    /// Logical model family name (e.g. `wake-word`).
+    pub name: String,
+    /// Version of the *base* model this instance derives from.
+    pub version: SemVer,
+    /// Optimization format of this instance.
+    pub format: ModelFormat,
+    /// Lineage parent (None for base models).
+    pub parent: Option<ModelId>,
+    /// SHA-256 of the stored artifact.
+    pub artifact: [u8; 32],
+    /// Deployment size in bytes.
+    pub size_bytes: u64,
+    /// MACs per inference (batch 1).
+    pub macs: u64,
+    /// Measured metrics (accuracy, etc.) — name → value.
+    pub metrics: BTreeMap<String, f64>,
+    /// Free-form tags (`watermark:alice`, `target:mcu-m4`, …).
+    pub tags: Vec<String>,
+    /// Registration time, simulated ms.
+    pub created_ms: u64,
+}
+
+impl ModelRecord {
+    /// Convenience accessor for the measured accuracy (0 when absent).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        self.metrics.get("accuracy").copied().unwrap_or(0.0)
+    }
+
+    /// Whether the record carries a given tag.
+    #[must_use]
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semver_ordering() {
+        assert!(SemVer::new(1, 0, 0) < SemVer::new(1, 0, 1));
+        assert!(SemVer::new(1, 9, 0) < SemVer::new(2, 0, 0));
+        assert_eq!(SemVer::new(1, 2, 3).to_string(), "1.2.3");
+    }
+
+    #[test]
+    fn bump_minor_resets_patch() {
+        let v = SemVer::new(1, 2, 7).bump_minor();
+        assert_eq!(v, SemVer::new(1, 3, 0));
+    }
+
+    #[test]
+    fn format_names() {
+        assert_eq!(ModelFormat::F32.name(), "f32");
+        assert_eq!(ModelFormat::Quantized { bits: 4 }.name(), "int4");
+        assert_eq!(ModelFormat::Pruned { sparsity: 0.5 }.name(), "pruned50");
+        assert_eq!(
+            ModelFormat::PrunedQuantized {
+                sparsity: 0.8,
+                bits: 8
+            }
+            .name(),
+            "pruned80-int8"
+        );
+    }
+
+    #[test]
+    fn record_accessors() {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("accuracy".to_string(), 0.93);
+        let r = ModelRecord {
+            id: ModelId(1),
+            name: "kws".into(),
+            version: SemVer::new(1, 0, 0),
+            format: ModelFormat::F32,
+            parent: None,
+            artifact: [0; 32],
+            size_bytes: 1000,
+            macs: 5000,
+            metrics,
+            tags: vec!["target:mcu-m4".into()],
+            created_ms: 0,
+        };
+        assert!((r.accuracy() - 0.93).abs() < 1e-12);
+        assert!(r.has_tag("target:mcu-m4"));
+        assert!(!r.has_tag("missing"));
+    }
+}

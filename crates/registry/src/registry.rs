@@ -1,0 +1,276 @@
+//! The registry façade: records + artifacts + lineage queries.
+
+use crate::record::{ModelFormat, ModelId, ModelRecord, SemVer};
+use crate::store::ArtifactStore;
+use crate::RegistryError;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use tinymlops_nn::Sequential;
+
+/// A thread-safe model registry.
+///
+/// Records are immutable once registered (new knowledge = new record),
+/// matching MLOps lineage expectations: you can always answer "what exactly
+/// ran on device X last Tuesday".
+#[derive(Default)]
+pub struct Registry {
+    store: ArtifactStore,
+    records: RwLock<BTreeMap<ModelId, ModelRecord>>,
+    next_id: RwLock<u64>,
+}
+
+impl Registry {
+    /// New empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register an artifact with its metadata; returns the new id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register(
+        &self,
+        name: &str,
+        version: SemVer,
+        format: ModelFormat,
+        parent: Option<ModelId>,
+        artifact_bytes: Vec<u8>,
+        size_bytes: u64,
+        macs: u64,
+        metrics: BTreeMap<String, f64>,
+        tags: Vec<String>,
+        created_ms: u64,
+    ) -> ModelId {
+        let digest = self.store.put(artifact_bytes);
+        let mut next = self.next_id.write();
+        let id = ModelId(*next);
+        *next += 1;
+        let record = ModelRecord {
+            id,
+            name: name.to_string(),
+            version,
+            format,
+            parent,
+            artifact: digest,
+            size_bytes,
+            macs,
+            metrics,
+            tags,
+            created_ms,
+        };
+        self.records.write().insert(id, record);
+        id
+    }
+
+    /// Fetch a record by id.
+    pub fn get(&self, id: ModelId) -> Result<ModelRecord, RegistryError> {
+        self.records
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound(format!("model {id:?}")))
+    }
+
+    /// Fetch an artifact's raw bytes (integrity-checked).
+    pub fn artifact(&self, id: ModelId) -> Result<Vec<u8>, RegistryError> {
+        let record = self.get(id)?;
+        self.store.get(&record.artifact)
+    }
+
+    /// Deserialize an f32 [`Sequential`] artifact.
+    pub fn load_model(&self, id: ModelId) -> Result<Sequential, RegistryError> {
+        let bytes = self.artifact(id)?;
+        Sequential::from_bytes(&bytes).map_err(|e| RegistryError::Serialization(e.to_string()))
+    }
+
+    /// All records (sorted by id).
+    #[must_use]
+    pub fn all(&self) -> Vec<ModelRecord> {
+        self.records.read().values().cloned().collect()
+    }
+
+    /// Total registered model instances.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Direct children (variants derived from `id`).
+    #[must_use]
+    pub fn children(&self, id: ModelId) -> Vec<ModelRecord> {
+        self.records
+            .read()
+            .values()
+            .filter(|r| r.parent == Some(id))
+            .cloned()
+            .collect()
+    }
+
+    /// Lineage from the root base model down to `id` (inclusive).
+    pub fn lineage(&self, id: ModelId) -> Result<Vec<ModelRecord>, RegistryError> {
+        let mut chain = Vec::new();
+        let mut cursor = Some(id);
+        while let Some(cur) = cursor {
+            let record = self.get(cur)?;
+            cursor = record.parent;
+            chain.push(record);
+            if chain.len() > 10_000 {
+                return Err(RegistryError::Pipeline("lineage cycle detected".into()));
+            }
+        }
+        chain.reverse();
+        Ok(chain)
+    }
+
+    /// The newest base (parent-less) record for a model family.
+    #[must_use]
+    pub fn latest_base(&self, name: &str) -> Option<ModelRecord> {
+        self.records
+            .read()
+            .values()
+            .filter(|r| r.name == name && r.parent.is_none())
+            .max_by_key(|r| r.version)
+            .cloned()
+    }
+
+    /// Every record of a family at a specific version (base + variants).
+    #[must_use]
+    pub fn family_at(&self, name: &str, version: SemVer) -> Vec<ModelRecord> {
+        self.records
+            .read()
+            .values()
+            .filter(|r| r.name == name && r.version == version)
+            .cloned()
+            .collect()
+    }
+
+    /// Records matching a tag (e.g. `target:mcu-m4`).
+    #[must_use]
+    pub fn tagged(&self, tag: &str) -> Vec<ModelRecord> {
+        self.records
+            .read()
+            .values()
+            .filter(|r| r.has_tag(tag))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_nn::model::mlp;
+    use tinymlops_tensor::TensorRng;
+
+    fn register_simple(reg: &Registry, name: &str, version: SemVer, parent: Option<ModelId>) -> ModelId {
+        reg.register(
+            name,
+            version,
+            ModelFormat::F32,
+            parent,
+            format!("{name}-{version}-{parent:?}").into_bytes(),
+            100,
+            1000,
+            BTreeMap::new(),
+            vec![],
+            0,
+        )
+    }
+
+    #[test]
+    fn register_and_fetch() {
+        let reg = Registry::new();
+        let id = register_simple(&reg, "kws", SemVer::new(1, 0, 0), None);
+        let rec = reg.get(id).unwrap();
+        assert_eq!(rec.name, "kws");
+        assert!(reg.artifact(id).is_ok());
+    }
+
+    #[test]
+    fn missing_id_errors() {
+        let reg = Registry::new();
+        assert!(reg.get(ModelId(99)).is_err());
+    }
+
+    #[test]
+    fn lineage_walks_to_root() {
+        let reg = Registry::new();
+        let base = register_simple(&reg, "kws", SemVer::new(1, 0, 0), None);
+        let child = register_simple(&reg, "kws", SemVer::new(1, 0, 0), Some(base));
+        let grandchild = register_simple(&reg, "kws", SemVer::new(1, 0, 0), Some(child));
+        let chain = reg.lineage(grandchild).unwrap();
+        let ids: Vec<ModelId> = chain.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![base, child, grandchild]);
+    }
+
+    #[test]
+    fn children_enumerates_variants() {
+        let reg = Registry::new();
+        let base = register_simple(&reg, "kws", SemVer::new(1, 0, 0), None);
+        for _ in 0..3 {
+            register_simple(&reg, "kws", SemVer::new(1, 0, 0), Some(base));
+        }
+        assert_eq!(reg.children(base).len(), 3);
+    }
+
+    #[test]
+    fn latest_base_picks_highest_version() {
+        let reg = Registry::new();
+        register_simple(&reg, "kws", SemVer::new(1, 0, 0), None);
+        let v2 = register_simple(&reg, "kws", SemVer::new(1, 1, 0), None);
+        register_simple(&reg, "other", SemVer::new(9, 0, 0), None);
+        assert_eq!(reg.latest_base("kws").unwrap().id, v2);
+        assert!(reg.latest_base("absent").is_none());
+    }
+
+    #[test]
+    fn model_round_trip_through_registry() {
+        let reg = Registry::new();
+        let mut rng = TensorRng::seed(0);
+        let model = mlp(&[4, 8, 2], &mut rng);
+        let bytes = model.to_bytes().unwrap();
+        let id = reg.register(
+            "m",
+            SemVer::new(1, 0, 0),
+            ModelFormat::F32,
+            None,
+            bytes,
+            model.param_bytes() as u64,
+            0,
+            BTreeMap::new(),
+            vec![],
+            0,
+        );
+        let loaded = reg.load_model(id).unwrap();
+        let x = rng.uniform(&[2, 4], -1.0, 1.0);
+        assert_eq!(model.forward(&x), loaded.forward(&x));
+    }
+
+    #[test]
+    fn tagged_query() {
+        let reg = Registry::new();
+        let id = reg.register(
+            "m",
+            SemVer::new(1, 0, 0),
+            ModelFormat::F32,
+            None,
+            vec![1],
+            1,
+            1,
+            BTreeMap::new(),
+            vec!["watermark:alice".into()],
+            0,
+        );
+        assert_eq!(reg.tagged("watermark:alice")[0].id, id);
+        assert!(reg.tagged("watermark:bob").is_empty());
+    }
+
+    #[test]
+    fn identical_artifacts_share_storage() {
+        let reg = Registry::new();
+        register_simple(&reg, "a", SemVer::new(1, 0, 0), None);
+        register_simple(&reg, "a", SemVer::new(1, 0, 0), None);
+        // Same artifact bytes → deduplicated in the store but two records.
+        assert_eq!(reg.count(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Content-addressed artifact storage.
+
+use crate::RegistryError;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use tinymlops_crypto::{sha256, to_hex, Digest};
+
+/// A thread-safe, content-addressed blob store. Keys are SHA-256 digests
+/// of the content, so identical artifacts are stored once and any
+/// corruption is detectable on read.
+#[derive(Default)]
+pub struct ArtifactStore {
+    blobs: RwLock<HashMap<Digest, Vec<u8>>>,
+}
+
+impl ArtifactStore {
+    /// New empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        ArtifactStore::default()
+    }
+
+    /// Store `bytes`, returning their digest. Idempotent.
+    pub fn put(&self, bytes: Vec<u8>) -> Digest {
+        let digest = sha256(&bytes);
+        self.blobs.write().entry(digest).or_insert(bytes);
+        digest
+    }
+
+    /// Fetch and integrity-check an artifact.
+    pub fn get(&self, digest: &Digest) -> Result<Vec<u8>, RegistryError> {
+        let blobs = self.blobs.read();
+        let bytes = blobs
+            .get(digest)
+            .ok_or_else(|| RegistryError::NotFound(format!("artifact {}", to_hex(digest))))?;
+        if sha256(bytes) != *digest {
+            return Err(RegistryError::CorruptArtifact(to_hex(digest)));
+        }
+        Ok(bytes.clone())
+    }
+
+    /// Whether a digest is present.
+    #[must_use]
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.blobs.read().contains_key(digest)
+    }
+
+    /// Number of distinct artifacts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blobs.read().len()
+    }
+
+    /// True when the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blobs.read().is_empty()
+    }
+
+    /// Total stored bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.blobs.read().values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = ArtifactStore::new();
+        let d = s.put(b"model weights".to_vec());
+        assert_eq!(s.get(&d).unwrap(), b"model weights");
+    }
+
+    #[test]
+    fn identical_content_deduplicates() {
+        let s = ArtifactStore::new();
+        let d1 = s.put(vec![1, 2, 3]);
+        let d2 = s.put(vec![1, 2, 3]);
+        assert_eq!(d1, d2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_bytes(), 3);
+    }
+
+    #[test]
+    fn missing_digest_is_not_found() {
+        let s = ArtifactStore::new();
+        assert!(matches!(
+            s.get(&[0u8; 32]),
+            Err(RegistryError::NotFound(_))
+        ));
+        assert!(!s.contains(&[0u8; 32]));
+    }
+
+    #[test]
+    fn concurrent_puts_are_safe() {
+        use std::sync::Arc;
+        let s = Arc::new(ArtifactStore::new());
+        let handles: Vec<_> = (0..8u8)
+            .map(|i| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || s.put(vec![i; 100]))
+            })
+            .collect();
+        let digests: Vec<Digest> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(s.len(), 8);
+        for d in digests {
+            assert!(s.contains(&d));
+        }
+    }
+}

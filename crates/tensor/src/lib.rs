@@ -1,0 +1,310 @@
+//! Dense tensor math for TinyML workloads.
+//!
+//! A deliberately small, allocation-conscious tensor library: row-major
+//! `f32` storage, shape-checked operations, a rayon-parallel blocked GEMM
+//! (the hot kernel of every experiment), and the statistics helpers the
+//! observability stack builds on. No autograd here — gradients live in
+//! `tinymlops-nn` where layer semantics are known.
+
+pub mod matmul;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+use serde::{Deserialize, Serialize};
+
+/// Errors from shape-checked tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Left/first operand shape.
+        lhs: Vec<usize>,
+        /// Right/second operand shape.
+        rhs: Vec<usize>,
+    },
+    /// A reshape changed the element count.
+    BadReshape {
+        /// Source element count.
+        from: usize,
+        /// Target element count.
+        to: usize,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: shape mismatch {lhs:?} vs {rhs:?}")
+            }
+            TensorError::BadReshape { from, to } => {
+                write!(f, "reshape: element count {from} != {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// A dense, row-major `f32` tensor.
+///
+/// ```
+/// use tinymlops_tensor::Tensor;
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b).unwrap();
+/// assert_eq!(c.data(), a.data());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Zero-filled tensor of the given shape.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Tensor filled with a constant.
+    #[must_use]
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; shape.iter().product()],
+        }
+    }
+
+    /// Identity matrix of size `n × n`.
+    #[must_use]
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Build a tensor from existing data; panics if the element count does
+    /// not match the shape (programmer error, not runtime input).
+    #[must_use]
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "from_vec: data length {} != shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// 1-D tensor from a slice.
+    #[must_use]
+    pub fn vector(data: &[f32]) -> Self {
+        Tensor::from_vec(data.to_vec(), &[data.len()])
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows (first dimension); 1 for scalars.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.shape.first().copied().unwrap_or(1)
+    }
+
+    /// Number of columns: product of all trailing dimensions (the length
+    /// for a vector).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        match self.shape.len() {
+            0 => 1,
+            1 => self.shape[0],
+            _ => self.shape[1..].iter().product(),
+        }
+    }
+
+    /// Immutable view of the underlying data.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its data buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at 2-D index `(r, c)`.
+    #[must_use]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(self.shape.len() == 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Set element at 2-D index `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(self.shape.len() == 2);
+        let cols = self.shape[1];
+        self.data[r * cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice (matrix rows; for N-D, leading-dim slabs).
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let cols = self.cols();
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutably borrow row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let cols = self.cols();
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Reinterpret the data with a new shape of equal element count.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, TensorError> {
+        let to: usize = shape.iter().product();
+        if to != self.data.len() {
+            return Err(TensorError::BadReshape {
+                from: self.data.len(),
+                to,
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        })
+    }
+
+    /// Matrix transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires a matrix");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Extract rows `[start, end)` as a new tensor.
+    #[must_use]
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.rows(), "slice_rows out of range");
+        let cols = self.cols();
+        let mut shape = self.shape.clone();
+        shape[0] = end - start;
+        Tensor::from_vec(self.data[start * cols..end * cols].to_vec(), &shape)
+    }
+}
+
+pub use rng::TensorRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(&[3], 2.5);
+        assert_eq!(f.data(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn eye_diagonal() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.at(0, 0), 1.0);
+        assert_eq!(i.at(1, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_shape_checked() {
+        let _ = Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn reshape_checks_count() {
+        let t = Tensor::zeros(&[4]);
+        assert!(t.reshape(&[2, 2]).is_ok());
+        assert!(t.reshape(&[3, 2]).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let tt = t.transpose().transpose();
+        assert_eq!(tt, t);
+    }
+
+    #[test]
+    fn transpose_values() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let tr = t.transpose();
+        assert_eq!(tr.shape(), &[3, 2]);
+        assert_eq!(tr.at(0, 1), 4.0);
+        assert_eq!(tr.at(2, 0), 3.0);
+    }
+
+    #[test]
+    fn row_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_rows_extracts_block() {
+        let t = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[4, 3]);
+        let s = t.slice_rows(1, 3);
+        assert_eq!(s.shape(), &[2, 3]);
+        assert_eq!(s.row(0), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tensor::from_vec(vec![1.5, -2.5], &[2]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

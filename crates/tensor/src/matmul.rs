@@ -1,0 +1,230 @@
+//! Blocked, rayon-parallel matrix multiplication.
+//!
+//! GEMM dominates both training (federated rounds, watermark embedding) and
+//! inference (every experiment), so this is the one kernel we tune: cache
+//! blocking over K, row-parallelism over M via rayon, and an inner loop the
+//! compiler can vectorize (contiguous `b` rows, no bounds checks in the hot
+//! path thanks to slice windows).
+
+use crate::{Tensor, TensorError};
+use rayon::prelude::*;
+
+/// Rows-per-task threshold below which the sequential kernel is used;
+/// spawning rayon tasks for tiny matrices costs more than it saves.
+const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
+
+impl Tensor {
+    /// Matrix product `self · rhs` for `[m,k] × [k,n] → [m,n]`.
+    ///
+    /// A `[k]` vector `rhs` is treated as `[k,1]` (result `[m]`), and a
+    /// `[k]` vector `self` as `[1,k]`.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, k1) = two_d(self);
+        let (k2, n) = two_d(rhs);
+        if k1 != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm(self.data(), rhs.data(), &mut out, m, k1, n);
+        let shape: Vec<usize> = match (self.shape().len(), rhs.shape().len()) {
+            (1, _) => vec![n],
+            (_, 1) => vec![m],
+            _ => vec![m, n],
+        };
+        Ok(Tensor::from_vec(out, &shape))
+    }
+
+    /// `self · rhsᵀ` without materializing the transpose: `[m,k] × [n,k] → [m,n]`.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, k1) = two_d(self);
+        let (n, k2) = two_d(rhs);
+        if k1 != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let b = rhs.data();
+        let k = k1;
+        let body = |(i, out_row): (usize, &mut [f32])| {
+            let a_row = &a[i * k..(i + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                *o = dot(a_row, b_row);
+            }
+        };
+        if m * n * k >= PAR_MIN_FLOPS {
+            out.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(n).enumerate().for_each(body);
+        }
+        Ok(Tensor::from_vec(out, &[m, n]))
+    }
+}
+
+/// Interpret a 1-D or 2-D tensor as a matrix: vectors on the left are rows,
+/// on the right columns — matching the dispatch in [`Tensor::matmul`].
+fn two_d(t: &Tensor) -> (usize, usize) {
+    match t.shape().len() {
+        1 => (t.shape()[0], 1),
+        2 => (t.shape()[0], t.shape()[1]),
+        _ => panic!("matmul operands must be 1-D or 2-D, got {:?}", t.shape()),
+    }
+}
+
+/// Dot product with 4-way unrolling (reliably auto-vectorized).
+#[inline]
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let base = i * 4;
+        s0 += a[base] * b[base];
+        s1 += a[base + 1] * b[base + 1];
+        s2 += a[base + 2] * b[base + 2];
+        s3 += a[base + 3] * b[base + 3];
+    }
+    let mut sum = s0 + s1 + s2 + s3;
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Raw GEMM: `c[m×n] = a[m×k] · b[k×n]`, with `c` pre-zeroed.
+///
+/// The k-loop is the outer loop inside each row so accesses to `b` stream
+/// contiguously; rayon splits rows of `c` across the pool when the problem
+/// is large enough to amortize task spawn.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let row_kernel = |(i, c_row): (usize, &mut [f32])| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (l, &a_val) in a_row.iter().enumerate() {
+            if a_val == 0.0 {
+                continue; // pruned-model fast path
+            }
+            let b_row = &b[l * n..(l + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += a_val * bv;
+            }
+        }
+    };
+    if m * k * n >= PAR_MIN_FLOPS && m > 1 {
+        c.par_chunks_mut(n).enumerate().for_each(row_kernel);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(row_kernel);
+    }
+}
+
+/// Sequential reference GEMM used by tests and benchmarks as ground truth.
+pub fn gemm_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += a[i * k + l] * b[l * n + j];
+            }
+            c[i * n + j] = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = TensorRng::seed(7);
+        let a = rng.uniform(&[5, 5], -1.0, 1.0);
+        let c = a.matmul(&Tensor::eye(5)).unwrap();
+        for (x, y) in a.data().iter().zip(c.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matvec_shapes() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0], &[2, 2]);
+        let x = Tensor::vector(&[3.0, 4.0]);
+        let y = a.matmul(&x).unwrap();
+        assert_eq!(y.shape(), &[2]);
+        assert_eq!(y.data(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn gemm_matches_naive_on_random_matrices() {
+        let mut rng = TensorRng::seed(42);
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 9, 23), (64, 32, 16)] {
+            let a = rng.uniform(&[m, k], -2.0, 2.0);
+            let b = rng.uniform(&[k, n], -2.0, 2.0);
+            let mut want = vec![0.0; m * n];
+            gemm_naive(a.data(), b.data(), &mut want, m, k, n);
+            let got = a.matmul(&b).unwrap();
+            for (g, w) in got.data().iter().zip(&want) {
+                assert!((g - w).abs() < 1e-4, "mismatch {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential() {
+        let mut rng = TensorRng::seed(11);
+        let (m, k, n) = (80, 70, 90); // above PAR_MIN_FLOPS
+        let a = rng.uniform(&[m, k], -1.0, 1.0);
+        let b = rng.uniform(&[k, n], -1.0, 1.0);
+        let mut want = vec![0.0; m * n];
+        gemm_naive(a.data(), b.data(), &mut want, m, k, n);
+        let got = a.matmul(&b).unwrap();
+        for (g, w) in got.data().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = TensorRng::seed(3);
+        let a = rng.uniform(&[6, 8], -1.0, 1.0);
+        let b = rng.uniform(&[5, 8], -1.0, 1.0);
+        let want = a.matmul(&b.transpose()).unwrap();
+        let got = a.matmul_nt(&b).unwrap();
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 2.0, 2.0, 2.0, 2.0];
+        assert_eq!(dot(&a, &b), 30.0);
+    }
+}

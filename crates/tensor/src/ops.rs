@@ -1,0 +1,299 @@
+//! Element-wise and reduction operations.
+
+use crate::{Tensor, TensorError};
+
+impl Tensor {
+    /// Element-wise addition.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(rhs, "mul", |a, b| a * b)
+    }
+
+    /// Apply `f` to every element, producing a new tensor.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.data().iter().map(|&x| f(x)).collect(), self.shape())
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.data_mut() {
+            *x = f(*x);
+        }
+    }
+
+    /// Multiply every element by a scalar.
+    #[must_use]
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// `self += alpha * rhs` in place (the AXPY of every optimizer step).
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) -> Result<(), TensorError> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        for (a, b) in self.data_mut().iter_mut().zip(rhs.data()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Add a `[n]` bias vector to every row of an `[m,n]` matrix.
+    pub fn add_row_vector(&self, bias: &Tensor) -> Result<Tensor, TensorError> {
+        let n = self.cols();
+        if bias.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_row_vector",
+                lhs: self.shape().to_vec(),
+                rhs: bias.shape().to_vec(),
+            });
+        }
+        let mut out = self.clone();
+        let b = bias.data();
+        for r in 0..out.rows() {
+            for (x, bv) in out.row_mut(r).iter_mut().zip(b) {
+                *x += bv;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum of all elements.
+    #[must_use]
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for empty tensors).
+    #[must_use]
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for empty tensors).
+    #[must_use]
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Squared L2 norm.
+    #[must_use]
+    pub fn norm_sq(&self) -> f32 {
+        self.data().iter().map(|x| x * x).sum()
+    }
+
+    /// L2 norm.
+    #[must_use]
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Index of the maximum element of a vector (first on ties).
+    #[must_use]
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data().iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Per-row argmax for a matrix: `[m,n] → Vec` of length `m`.
+    #[must_use]
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows())
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0;
+                let mut best_v = f32::NEG_INFINITY;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > best_v {
+                        best_v = v;
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Numerically-stable row-wise softmax.
+    #[must_use]
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Column-wise sum of a matrix: `[m,n] → [n]`.
+    #[must_use]
+    pub fn sum_rows(&self) -> Tensor {
+        let n = self.cols();
+        let mut out = vec![0.0; n];
+        for r in 0..self.rows() {
+            for (o, v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(out, &[n])
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        Ok(Tensor::from_vec(
+            self.data()
+                .iter()
+                .zip(rhs.data())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            self.shape(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::vector(v)
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[3.0, 5.0]);
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[1.0, 2.0, 3.0]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0]);
+        a.axpy(2.0, &t(&[1.0, 3.0])).unwrap();
+        assert_eq!(a.data(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn add_row_vector_broadcasts() {
+        let m = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], &[2, 2]);
+        let b = t(&[10.0, 20.0]);
+        let out = m.add_row_vector(&b).unwrap();
+        assert_eq!(out.data(), &[10.0, 20.0, 11.0, 21.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[1.0, -2.0, 3.0]);
+        assert_eq!(a.sum(), 2.0);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -2.0);
+        assert!((a.mean() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((a.norm_sq() - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(t(&[1.0, 3.0, 3.0]).argmax(), 1);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let s = m.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Uniform logits → uniform distribution.
+        for &v in s.row(1) {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let m = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let s = m.softmax_rows();
+        assert!(s.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn argmax_rows_per_row() {
+        let m = Tensor::from_vec(vec![0.0, 9.0, 5.0, 1.0], &[2, 2]);
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn sum_rows_collapses_columns() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(m.sum_rows().data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let a = t(&[1.0, -1.0]);
+        assert_eq!(a.map(f32::abs).data(), &[1.0, 1.0]);
+        assert_eq!(a.scale(3.0).data(), &[3.0, -3.0]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Seeded random tensor generation.
+//!
+//! Every stochastic component in the workspace takes an explicit seed so
+//! experiments are reproducible run-to-run (DESIGN.md §3 "Determinism").
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG wrapper with tensor-shaped sampling helpers.
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Create from a fixed seed.
+    #[must_use]
+    pub fn seed(seed: u64) -> Self {
+        TensorRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform samples in `[lo, hi)`.
+    #[must_use]
+    pub fn uniform(&mut self, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|_| self.rng.gen_range(lo..hi)).collect(), shape)
+    }
+
+    /// Standard-normal samples scaled by `std` (Box–Muller).
+    #[must_use]
+    pub fn normal(&mut self, shape: &[usize], mean: f32, std: f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|_| mean + std * self.next_gaussian()).collect(), shape)
+    }
+
+    /// Kaiming/He initialization for a `[fan_out, fan_in]` weight matrix.
+    #[must_use]
+    pub fn kaiming(&mut self, fan_out: usize, fan_in: usize) -> Tensor {
+        let std = (2.0 / fan_in as f32).sqrt();
+        self.normal(&[fan_out, fan_in], 0.0, std)
+    }
+
+    /// One standard-normal sample.
+    #[must_use]
+    pub fn next_gaussian(&mut self) -> f32 {
+        // Box–Muller; discard the second value for simplicity.
+        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Uniform f32 in `[0,1)`.
+    #[must_use]
+    pub fn next_f32(&mut self) -> f32 {
+        self.rng.gen_range(0.0..1.0)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    #[must_use]
+    pub fn next_usize(&mut self, bound: usize) -> usize {
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Borrow the underlying rand RNG for ad-hoc sampling.
+    pub fn inner(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Fisher–Yates shuffle of an index range `0..n`.
+    #[must_use]
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = TensorRng::seed(5).uniform(&[10], 0.0, 1.0);
+        let b = TensorRng::seed(5).uniform(&[10], 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = TensorRng::seed(1).uniform(&[1000], -2.0, 3.0);
+        assert!(t.data().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let t = TensorRng::seed(2).normal(&[20000], 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = TensorRng::seed(3).permutation(50);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kaiming_per_element_std_shrinks_with_fan_in() {
+        let mut rng = TensorRng::seed(4);
+        let wide = rng.kaiming(8, 1000);
+        let narrow = rng.kaiming(8, 10);
+        let rms = |t: &crate::Tensor| t.norm() / (t.len() as f32).sqrt();
+        assert!(rms(&wide) < rms(&narrow));
+        // He init: rms ≈ sqrt(2/fan_in).
+        assert!((rms(&wide) - (2.0f32 / 1000.0).sqrt()).abs() < 0.01);
+    }
+}

@@ -1,0 +1,378 @@
+//! Streaming and batch statistics shared across the workspace.
+//!
+//! The observability crate (drift detection, §III-B) and the experiment
+//! harness both need robust summary statistics; they live here next to the
+//! data they summarize.
+
+/// Streaming mean/variance via Welford's algorithm — O(1) memory, numerically
+/// stable, suitable for on-device telemetry.
+#[derive(Debug, Clone)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningStats {
+    /// Fresh accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Absorb one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (+∞ when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n_total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n_total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
+        self.n = n_total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-bin histogram over a known range; out-of-range values clamp to the
+/// edge bins so nothing is silently dropped.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width bins over `[lo, hi)`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo, "histogram needs bins > 0 and hi > lo");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let pos = (x - self.lo) / (self.hi - self.lo) * bins as f64;
+        let idx = (pos.floor().max(0.0) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Normalized bin probabilities with Laplace smoothing `eps` (so
+    /// divergence measures stay finite on empty bins).
+    #[must_use]
+    pub fn probabilities(&self, eps: f64) -> Vec<f64> {
+        let k = self.counts.len() as f64;
+        let denom = self.total as f64 + eps * k;
+        self.counts
+            .iter()
+            .map(|&c| (c as f64 + eps) / denom)
+            .collect()
+    }
+
+    /// Reset counts while keeping the binning.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic (maximum ECDF distance).
+#[must_use]
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        if sa[i] < sb[j] {
+            i += 1;
+        } else if sb[j] < sa[i] {
+            j += 1;
+        } else {
+            // Tie: advance both ECDFs past the shared value.
+            let v = sa[i];
+            while i < sa.len() && sa[i] == v {
+                i += 1;
+            }
+            while j < sb.len() && sb[j] == v {
+                j += 1;
+            }
+        }
+        let fa = i as f64 / sa.len() as f64;
+        let fb = j as f64 / sb.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Asymptotic p-value for the two-sample KS statistic.
+#[must_use]
+pub fn ks_p_value(d: f64, n1: usize, n2: usize) -> f64 {
+    if n1 == 0 || n2 == 0 {
+        return 1.0;
+    }
+    let n_eff = (n1 as f64 * n2 as f64) / (n1 + n2) as f64;
+    let lambda = (n_eff.sqrt() + 0.12 + 0.11 / n_eff.sqrt()) * d;
+    // Kolmogorov distribution tail series.
+    let mut p = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64 * lambda).powi(2)).exp();
+        p += if k % 2 == 1 { 2.0 * term } else { -2.0 * term };
+    }
+    p.clamp(0.0, 1.0)
+}
+
+/// Population Stability Index between two binned distributions.
+#[must_use]
+pub fn psi(expected: &[f64], actual: &[f64]) -> f64 {
+    expected
+        .iter()
+        .zip(actual)
+        .map(|(&e, &a)| {
+            let e = e.max(1e-9);
+            let a = a.max(1e-9);
+            (a - e) * (a / e).ln()
+        })
+        .sum()
+}
+
+/// Jensen–Shannon divergence (natural log) between two distributions.
+#[must_use]
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    let kl = |x: &[f64], y: &[f64]| -> f64 {
+        x.iter()
+            .zip(y)
+            .filter(|(&a, _)| a > 0.0)
+            .map(|(&a, &b)| a * (a / b.max(1e-12)).ln())
+            .sum()
+    };
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl(p, &m) + 0.5 * kl(q, &m)
+}
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+#[must_use]
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_batch_formulae() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push(0.5);
+        h.push(9.99);
+        h.push(-3.0); // clamps to first bin
+        h.push(42.0); // clamps to last bin
+        assert_eq!(h.counts(), &[2, 0, 0, 0, 2]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_probabilities_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for i in 0..10 {
+            h.push(i as f64 / 10.0);
+        }
+        let p = h.probabilities(0.5);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_zero_for_identical_samples() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert!(ks_statistic(&a, &a) < 1e-9);
+    }
+
+    #[test]
+    fn ks_large_for_disjoint_samples() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (100..150).map(|i| i as f64).collect();
+        assert!(ks_statistic(&a, &b) > 0.99);
+    }
+
+    #[test]
+    fn ks_p_value_monotone_in_d() {
+        assert!(ks_p_value(0.05, 100, 100) > ks_p_value(0.5, 100, 100));
+    }
+
+    #[test]
+    fn psi_zero_when_identical() {
+        let p = [0.25, 0.25, 0.25, 0.25];
+        assert!(psi(&p, &p).abs() < 1e-9);
+        let q = [0.7, 0.1, 0.1, 0.1];
+        assert!(psi(&p, &q) > 0.25, "large shift should exceed alert level");
+    }
+
+    #[test]
+    fn js_divergence_bounds() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        let d = js_divergence(&p, &q);
+        assert!(d > 0.0 && d <= std::f64::consts::LN_2 + 1e-9);
+        assert!(js_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_detects_sign() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-9);
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-9);
+    }
+}

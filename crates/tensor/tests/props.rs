@@ -1,0 +1,113 @@
+//! Property-based tests: tensor algebra invariants over arbitrary inputs.
+
+use proptest::prelude::*;
+use tinymlops_tensor::matmul::gemm_naive;
+use tinymlops_tensor::stats::RunningStats;
+use tinymlops_tensor::Tensor;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-100.0f32..100.0).prop_map(|v| v)
+}
+
+proptest! {
+    /// The blocked/parallel GEMM agrees with the naive reference for any
+    /// shape and contents.
+    #[test]
+    fn gemm_matches_naive(
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+        let a = rng.uniform(&[m, k], -3.0, 3.0);
+        let b = rng.uniform(&[k, n], -3.0, 3.0);
+        let mut want = vec![0.0f32; m * n];
+        gemm_naive(a.data(), b.data(), &mut want, m, k, n);
+        let got = a.matmul(&b).unwrap();
+        for (g, w) in got.data().iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(
+        r in 1usize..10,
+        c in 1usize..10,
+        data in proptest::collection::vec(finite_f32(), 1..100),
+    ) {
+        prop_assume!(data.len() >= r * c);
+        let t = Tensor::from_vec(data[..r * c].to_vec(), &[r, c]);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    /// `matmul_nt(a, b) == matmul(a, bᵀ)` always.
+    #[test]
+    fn matmul_nt_equivalence(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in any::<u64>()) {
+        let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+        let a = rng.uniform(&[m, k], -2.0, 2.0);
+        let b = rng.uniform(&[n, k], -2.0, 2.0);
+        let via_nt = a.matmul_nt(&b).unwrap();
+        let via_t = a.matmul(&b.transpose()).unwrap();
+        for (x, y) in via_nt.data().iter().zip(via_t.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax rows always sum to 1 and stay in (0,1], whatever the logits.
+    #[test]
+    fn softmax_is_a_distribution(
+        rows in 1usize..6,
+        cols in 1usize..8,
+        data in proptest::collection::vec(-50.0f32..50.0, 1..48),
+    ) {
+        prop_assume!(data.len() >= rows * cols);
+        let t = Tensor::from_vec(data[..rows * cols].to_vec(), &[rows, cols]);
+        let s = t.softmax_rows();
+        for r in 0..rows {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| v > 0.0 && v <= 1.0 + 1e-6));
+        }
+    }
+
+    /// Welford merge equals feeding the concatenated stream.
+    #[test]
+    fn running_stats_merge_associative(
+        xs in proptest::collection::vec(-1e4f64..1e4, 0..64),
+        ys in proptest::collection::vec(-1e4f64..1e4, 0..64),
+    ) {
+        let mut all = RunningStats::new();
+        for &v in xs.iter().chain(&ys) {
+            all.push(v);
+        }
+        let mut left = RunningStats::new();
+        for &v in &xs {
+            left.push(v);
+        }
+        let mut right = RunningStats::new();
+        for &v in &ys {
+            right.push(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        if all.count() > 0 {
+            prop_assert!((left.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+            prop_assert!((left.variance() - all.variance()).abs() < 1e-5 * (1.0 + all.variance()));
+        }
+    }
+
+    /// axpy then axpy-inverse restores the original.
+    #[test]
+    fn axpy_inverse(data in proptest::collection::vec(finite_f32(), 1..64), alpha in -4.0f32..4.0) {
+        let orig = Tensor::vector(&data);
+        let delta = orig.map(|v| v * 0.5 + 1.0);
+        let mut t = orig.clone();
+        t.axpy(alpha, &delta).unwrap();
+        t.axpy(-alpha, &delta).unwrap();
+        for (a, b) in t.data().iter().zip(orig.data()) {
+            prop_assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()));
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The Goldilocks prime field, `p = 2^64 − 2^32 + 1`.
+//!
+//! Chosen because (a) every `i64` TinyML accumulator embeds injectively,
+//! (b) reduction needs only `u128` arithmetic, no big integers, and (c) it
+//! is the field real proof systems (Plonky2 etc.) use at this scale.
+
+use serde::{Deserialize, Serialize};
+
+/// Field modulus: 2^64 − 2^32 + 1.
+pub const P: u64 = 0xFFFF_FFFF_0000_0001;
+
+/// An element of the Goldilocks field (canonical representative < P).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fp(u64);
+
+impl Fp {
+    /// Additive identity.
+    pub const ZERO: Fp = Fp(0);
+    /// Multiplicative identity.
+    pub const ONE: Fp = Fp(1);
+
+    /// Construct from a canonical or non-canonical u64.
+    #[must_use]
+    pub fn new(v: u64) -> Self {
+        Fp(if v >= P { v - P } else { v })
+    }
+
+    /// Embed a signed integer (negative values wrap to `P − |v|`).
+    #[must_use]
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Fp::new(v as u64)
+        } else {
+            Fp::new(P.wrapping_sub(v.unsigned_abs()))
+        }
+    }
+
+    /// Canonical u64 representative.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Recover a small signed integer (|v| < 2^62) from its embedding.
+    #[must_use]
+    pub fn to_i64(self) -> i64 {
+        if self.0 > P / 2 {
+            -((P - self.0) as i64)
+        } else {
+            self.0 as i64
+        }
+    }
+
+    /// Field addition.
+    #[must_use]
+    pub fn add(self, rhs: Fp) -> Fp {
+        let (sum, over) = self.0.overflowing_add(rhs.0);
+        let mut s = sum;
+        if over || s >= P {
+            s = s.wrapping_sub(P);
+        }
+        Fp(s)
+    }
+
+    /// Field subtraction.
+    #[must_use]
+    pub fn sub(self, rhs: Fp) -> Fp {
+        if self.0 >= rhs.0 {
+            Fp(self.0 - rhs.0)
+        } else {
+            // self + P − rhs: the u64 intermediate may exceed 2^64 but the
+            // true result is < P, so wrapping arithmetic is exact.
+            Fp(self.0.wrapping_add(P).wrapping_sub(rhs.0))
+        }
+    }
+
+    /// Field multiplication via u128 + Goldilocks reduction.
+    #[must_use]
+    pub fn mul(self, rhs: Fp) -> Fp {
+        reduce128(u128::from(self.0) * u128::from(rhs.0))
+    }
+
+    /// Field negation.
+    #[must_use]
+    pub fn neg(self) -> Fp {
+        if self.0 == 0 {
+            Fp(0)
+        } else {
+            Fp(P - self.0)
+        }
+    }
+
+    /// Exponentiation by squaring.
+    #[must_use]
+    pub fn pow(self, mut e: u64) -> Fp {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse (panics on zero).
+    #[must_use]
+    pub fn inv(self) -> Fp {
+        assert!(self.0 != 0, "zero has no inverse");
+        self.pow(P - 2)
+    }
+}
+
+/// Reduce a 128-bit product modulo P using the Goldilocks identity
+/// `2^64 ≡ 2^32 − 1 (mod p)`.
+fn reduce128(x: u128) -> Fp {
+    let lo = x as u64;
+    let hi = (x >> 64) as u64;
+    let hi_lo = hi & 0xFFFF_FFFF; // low 32 bits of hi
+    let hi_hi = hi >> 32; // high 32 bits of hi
+    // x = lo + 2^64·hi_lo' where hi = hi_hi·2^32 + hi_lo
+    // 2^64 ≡ 2^32 − 1, 2^96 ≡ −1 (mod p)
+    let mut t = lo;
+    // subtract hi_hi (2^96 term ≡ −1)
+    if t >= hi_hi {
+        t -= hi_hi;
+    } else {
+        t = t.wrapping_add(P).wrapping_sub(hi_hi);
+    }
+    // add hi_lo · (2^32 − 1)
+    let mid = hi_lo * 0xFFFF_FFFF; // < 2^64, no overflow: (2^32−1)² < 2^64
+    let (sum, over) = t.overflowing_add(mid);
+    let mut s = sum;
+    if over || s >= P {
+        s = s.wrapping_sub(P);
+    }
+    if s >= P {
+        s -= P;
+    }
+    Fp(s)
+}
+
+impl std::ops::Add for Fp {
+    type Output = Fp;
+    fn add(self, rhs: Fp) -> Fp {
+        Fp::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for Fp {
+    type Output = Fp;
+    fn sub(self, rhs: Fp) -> Fp {
+        Fp::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for Fp {
+    type Output = Fp;
+    fn mul(self, rhs: Fp) -> Fp {
+        Fp::mul(self, rhs)
+    }
+}
+
+impl std::ops::Neg for Fp {
+    type Output = Fp;
+    fn neg(self) -> Fp {
+        Fp::neg(self)
+    }
+}
+
+impl std::iter::Sum for Fp {
+    fn sum<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ZERO, Fp::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_canonicalize() {
+        assert_eq!(Fp::new(P), Fp::ZERO);
+        assert_eq!(Fp::new(P + 5), Fp::new(5));
+    }
+
+    #[test]
+    fn signed_embedding_round_trips() {
+        for v in [-1_000_000i64, -1, 0, 1, 123_456_789] {
+            assert_eq!(Fp::from_i64(v).to_i64(), v);
+        }
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = Fp::new(0xDEAD_BEEF_CAFE_F00D % P);
+        let b = Fp::new(0x1234_5678_9ABC_DEF0);
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(a.sub(a), Fp::ZERO);
+        assert_eq!(a.add(a.neg()), Fp::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_small_integers() {
+        assert_eq!(Fp::new(7).mul(Fp::new(6)), Fp::new(42));
+        assert_eq!(Fp::from_i64(-3).mul(Fp::from_i64(5)).to_i64(), -15);
+    }
+
+    #[test]
+    fn mul_near_modulus() {
+        // (P−1)² = P² − 2P + 1 ≡ 1 (mod P): (−1)·(−1) = 1.
+        let pm1 = Fp::new(P - 1);
+        assert_eq!(pm1.mul(pm1), Fp::ONE);
+    }
+
+    #[test]
+    fn field_axioms_sampled() {
+        // Distributivity and associativity over pseudo-random samples.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            Fp::new(x)
+        };
+        for _ in 0..200 {
+            let (a, b, c) = (next(), next(), next());
+            assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+            assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+            assert_eq!(a.add(b), b.add(a));
+        }
+    }
+
+    #[test]
+    fn inverse_works() {
+        for v in [1u64, 2, 3, 0xFFFF_FFFF, P - 2] {
+            let a = Fp::new(v);
+            assert_eq!(a.mul(a.inv()), Fp::ONE, "inv of {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn zero_inverse_panics() {
+        let _ = Fp::ZERO.inv();
+    }
+
+    #[test]
+    fn pow_fermat() {
+        let a = Fp::new(123_456_789);
+        assert_eq!(a.pow(P - 1), Fp::ONE, "Fermat's little theorem");
+    }
+
+    #[test]
+    fn i32_products_accumulate_exactly() {
+        // The proof system's core assumption: int8 matmul accumulators
+        // (≤ 127·127·n) embed and add exactly in the field.
+        let mut acc_int: i64 = 0;
+        let mut acc_fp = Fp::ZERO;
+        for i in 0..10_000i64 {
+            let a = ((i * 37) % 255) - 127;
+            let b = ((i * 91) % 255) - 127;
+            acc_int += a * b;
+            acc_fp = acc_fp.add(Fp::from_i64(a).mul(Fp::from_i64(b)));
+        }
+        assert_eq!(acc_fp.to_i64(), acc_int);
+    }
+}

@@ -1,0 +1,68 @@
+//! Verifiable execution on untrusted devices (paper §VI).
+//!
+//! §VI: *"This allows an agent to provably (and cheaply) verify that an
+//! untrusted party has performed the computations correctly … the most
+//! interesting approaches evaluate the model and provide a small (in terms
+//! of number of bits) mathematical proof of the correctness of the
+//! result."* Two routes, exactly as the paper lays out:
+//!
+//! 1. **Interactive proofs** ([`sumcheck`], [`snet`]) — SafetyNets-style:
+//!    every dense layer of a *quantized* network is an exact integer
+//!    matmul, which embeds losslessly in the Goldilocks prime field
+//!    ([`field`]). The device proves each layer's accumulator matrix with
+//!    the sum-check protocol over multilinear extensions ([`mle`]); the
+//!    verifier checks in time sublinear in the matmul (amortized over a
+//!    batch) and never re-executes it. Fiat–Shamir ([`transcript`]) makes
+//!    it non-interactive.
+//! 2. **Secure Processing Environments** ([`spe`]) — MLCapsule-style
+//!    simulated enclave: measured code identity, sealed storage, HMAC
+//!    attestation reports, and a calibrated slowdown factor (the paper
+//!    quotes ~2× for MobileNet-class models).
+//!
+//! Experiment E13 reports prover overhead, proof size and verifier-vs-
+//! re-execution time from these modules.
+
+pub mod field;
+pub mod mle;
+pub mod snet;
+pub mod spe;
+pub mod sumcheck;
+pub mod transcript;
+
+pub use field::Fp;
+pub use snet::{InferenceProof, VerifiableModel};
+pub use spe::{AttestationReport, Enclave};
+pub use sumcheck::{MatMulProof, ProverTimings};
+pub use transcript::Transcript;
+
+/// Errors from verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A sum-check round was inconsistent with the running claim.
+    SumcheckRound {
+        /// Which round failed.
+        round: usize,
+    },
+    /// The final multilinear-extension check failed.
+    FinalCheck,
+    /// Claimed outputs do not match the proven accumulators.
+    OutputMismatch,
+    /// Proof structure malformed (wrong round count, etc.).
+    Malformed(&'static str),
+    /// Enclave attestation failed.
+    Attestation(&'static str),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::SumcheckRound { round } => write!(f, "sum-check failed at round {round}"),
+            VerifyError::FinalCheck => write!(f, "final MLE evaluation check failed"),
+            VerifyError::OutputMismatch => write!(f, "claimed outputs mismatch accumulators"),
+            VerifyError::Malformed(why) => write!(f, "malformed proof: {why}"),
+            VerifyError::Attestation(why) => write!(f, "attestation failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}

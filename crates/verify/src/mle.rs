@@ -1,0 +1,231 @@
+//! Multilinear extensions over the boolean hypercube.
+//!
+//! A vector `v` of length `2^k` defines the unique multilinear polynomial
+//! `ṽ : F^k → F` with `ṽ(b) = v[b]` for boolean points. Sum-check reduces
+//! matmul claims to evaluations of these extensions at random points.
+//! Index convention: bit 0 of the index is the **first** variable.
+
+use crate::field::Fp;
+
+/// Pad a vector with zeros to the next power of two.
+#[must_use]
+pub fn pad_pow2(mut v: Vec<Fp>) -> Vec<Fp> {
+    let n = v.len().max(1).next_power_of_two();
+    v.resize(n, Fp::ZERO);
+    v
+}
+
+/// Number of variables for a (padded) vector length.
+#[must_use]
+pub fn num_vars(len: usize) -> usize {
+    len.next_power_of_two().trailing_zeros() as usize
+}
+
+/// Evaluate the MLE of `values` (length 2^k) at `point` (length k) in
+/// O(2^k) time and O(2^k) scratch, by successive variable folding.
+#[must_use]
+pub fn mle_eval(values: &[Fp], point: &[Fp]) -> Fp {
+    assert_eq!(
+        values.len(),
+        1usize << point.len(),
+        "values length must be 2^point-len"
+    );
+    let mut table = values.to_vec();
+    for &r in point {
+        let half = table.len() / 2;
+        for i in 0..half {
+            // f(r, rest) = (1−r)·f(0, rest) + r·f(1, rest)
+            let f0 = table[2 * i];
+            let f1 = table[2 * i + 1];
+            table[i] = f0.add(r.mul(f1.sub(f0)));
+        }
+        table.truncate(half);
+    }
+    table[0]
+}
+
+/// Fold the first variable of a table at challenge `r`, halving it.
+pub fn fold_variable(table: &mut Vec<Fp>, r: Fp) {
+    let half = table.len() / 2;
+    for i in 0..half {
+        let f0 = table[2 * i];
+        let f1 = table[2 * i + 1];
+        table[i] = f0.add(r.mul(f1.sub(f0)));
+    }
+    table.truncate(half);
+}
+
+/// The equality polynomial table: `eq(r, b)` for all boolean `b` — the
+/// Lagrange basis over the hypercube, built in O(2^k).
+#[must_use]
+pub fn eq_table(point: &[Fp]) -> Vec<Fp> {
+    let mut table = vec![Fp::ONE];
+    for &r in point {
+        // Variable k lands at index bit k (matching mle_eval's fold order):
+        // the already-built low bits keep their positions, the new
+        // variable doubles the table into a high half.
+        let half = table.len();
+        let mut next = vec![Fp::ZERO; half * 2];
+        for (i, &t) in table.iter().enumerate() {
+            next[i] = t.mul(Fp::ONE.sub(r));
+            next[i + half] = t.mul(r);
+        }
+        table = next;
+    }
+    table
+}
+
+/// Evaluate the MLE of a row-major matrix `[rows × cols]` (each dim padded
+/// to powers of two) at `(r_row, r_col)`: `Σ_{i,j} eq(r_row,i)·eq(r_col,j)·M[i,j]`.
+#[must_use]
+pub fn matrix_mle_eval(
+    matrix: &[Fp],
+    rows: usize,
+    cols: usize,
+    r_row: &[Fp],
+    r_col: &[Fp],
+) -> Fp {
+    assert_eq!(1usize << r_row.len(), rows.next_power_of_two());
+    assert_eq!(1usize << r_col.len(), cols.next_power_of_two());
+    let eq_r = eq_table(r_row);
+    let eq_c = eq_table(r_col);
+    let mut acc = Fp::ZERO;
+    for i in 0..rows {
+        let w = eq_r[i];
+        if w == Fp::ZERO {
+            continue;
+        }
+        let row = &matrix[i * cols..(i + 1) * cols];
+        let mut row_acc = Fp::ZERO;
+        for (j, &m) in row.iter().enumerate() {
+            row_acc = row_acc.add(eq_c[j].mul(m));
+        }
+        acc = acc.add(w.mul(row_acc));
+    }
+    acc
+}
+
+/// Build the partial table `t[j] = M̃(r_row, j)` for all (padded) columns j
+/// — the prover's precomputation for a matmul sum-check; O(rows·cols).
+#[must_use]
+pub fn row_folded_table(matrix: &[Fp], rows: usize, cols: usize, r_row: &[Fp]) -> Vec<Fp> {
+    let padded_cols = cols.next_power_of_two();
+    let eq_r = eq_table(r_row);
+    let mut out = vec![Fp::ZERO; padded_cols];
+    for i in 0..rows {
+        let w = eq_r[i];
+        if w == Fp::ZERO {
+            continue;
+        }
+        let row = &matrix[i * cols..(i + 1) * cols];
+        for (j, &m) in row.iter().enumerate() {
+            out[j] = out[j].add(w.mul(m));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(v: i64) -> Fp {
+        Fp::from_i64(v)
+    }
+
+    #[test]
+    fn mle_agrees_on_boolean_points() {
+        let values: Vec<Fp> = (0..8).map(fp).collect();
+        for b in 0..8usize {
+            let point: Vec<Fp> = (0..3).map(|k| fp(((b >> k) & 1) as i64)).collect();
+            assert_eq!(mle_eval(&values, &point), values[b], "point {b:03b}");
+        }
+    }
+
+    #[test]
+    fn mle_is_multilinear() {
+        // f(r) must be linear in each coordinate: f(t) = (1−t)f(0)+t·f(1).
+        let values: Vec<Fp> = [3, -1, 4, 1, -5, 9, 2, 6].iter().map(|&v| fp(v)).collect();
+        let r1 = fp(12345);
+        let r2 = fp(678);
+        let at = |t: Fp| mle_eval(&values, &[t, r1, r2]);
+        let t = fp(99);
+        let lhs = at(t);
+        let rhs = Fp::ONE.sub(t).mul(at(Fp::ZERO)).add(t.mul(at(Fp::ONE)));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn eq_table_is_lagrange_basis() {
+        let point = [fp(7), fp(13)];
+        let table = eq_table(&point);
+        assert_eq!(table.len(), 4);
+        // Σ_b eq(r,b) = 1 for any r.
+        let sum: Fp = table.iter().copied().sum();
+        assert_eq!(sum, Fp::ONE);
+        // eq(r, b) at boolean r is a delta.
+        let bool_point = [Fp::ONE, Fp::ZERO]; // b = (1,0) → index 0b01 = 1
+        let t2 = eq_table(&bool_point);
+        assert_eq!(t2[1], Fp::ONE);
+        assert_eq!(t2[0], Fp::ZERO);
+    }
+
+    #[test]
+    fn mle_eval_equals_eq_inner_product() {
+        let values: Vec<Fp> = (0..16).map(|v| fp(v * v - 7)).collect();
+        let point = [fp(3), fp(1412), fp(-9), fp(77)];
+        let via_fold = mle_eval(&values, &point);
+        let eq = eq_table(&point);
+        let via_eq: Fp = values.iter().zip(&eq).map(|(&v, &e)| v.mul(e)).sum();
+        assert_eq!(via_fold, via_eq);
+    }
+
+    #[test]
+    fn matrix_mle_matches_vector_mle() {
+        // A 4×4 matrix flattened row-major: M̃(r_i, r_j) via the matrix
+        // helper equals the MLE of the flat vector at (r_j ‖ r_i)
+        // (column bits are the low-order index bits).
+        let m: Vec<Fp> = (0..16).map(|v| fp(v + 1)).collect();
+        let r_row = [fp(5), fp(-3)];
+        let r_col = [fp(11), fp(2)];
+        let a = matrix_mle_eval(&m, 4, 4, &r_row, &r_col);
+        let mut point = r_col.to_vec();
+        point.extend_from_slice(&r_row);
+        let b = mle_eval(&m, &point);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn row_folded_table_consistency() {
+        // t[j] = M̃(r_row, j); evaluating t's MLE at r_col must equal the
+        // full matrix MLE at (r_row, r_col).
+        let m: Vec<Fp> = (0..32).map(|v| fp(3 * v - 11)).collect();
+        let (rows, cols) = (4, 8);
+        let r_row = [fp(9), fp(-2)];
+        let r_col = [fp(4), fp(0), fp(123)];
+        let table = row_folded_table(&m, rows, cols, &r_row);
+        let via_table = mle_eval(&table, &r_col);
+        let direct = matrix_mle_eval(&m, rows, cols, &r_row, &r_col);
+        assert_eq!(via_table, direct);
+    }
+
+    #[test]
+    fn fold_variable_matches_eval_prefix() {
+        let values: Vec<Fp> = (0..8).map(|v| fp(v * 7 + 1)).collect();
+        let point = [fp(42), fp(-5), fp(19)];
+        let mut table = values.clone();
+        fold_variable(&mut table, point[0]);
+        fold_variable(&mut table, point[1]);
+        fold_variable(&mut table, point[2]);
+        assert_eq!(table[0], mle_eval(&values, &point));
+    }
+
+    #[test]
+    fn padding_preserves_prefix() {
+        let v = pad_pow2(vec![fp(1), fp(2), fp(3)]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[3], Fp::ZERO);
+        assert_eq!(num_vars(3), 2);
+        assert_eq!(num_vars(8), 3);
+    }
+}

@@ -1,0 +1,300 @@
+//! Verifiable inference over a quantized dense network (SafetyNets-style).
+//!
+//! The device runs the int8 network and produces, per dense layer, the
+//! integer accumulator matrix plus a sum-check proof that it equals
+//! `X_q·W_qᵀ`. The verifier — who holds the registered model and the input
+//! batch — re-derives every *elementwise* step (quantization, dequant,
+//! ReLU) in O(batch·width) and checks every *matmul* via sum-check instead
+//! of re-executing it.
+//!
+//! §VI caveat, faithfully inherited: this proves *the registered model
+//! produced this output for this input*; it does not attest the input
+//! itself ("it is still possible that … the user has provided a forged
+//! input to the model").
+
+use crate::sumcheck::{prove_matmul, verify_matmul, MatMulProof};
+use crate::transcript::Transcript;
+use crate::VerifyError;
+use serde::{Deserialize, Serialize};
+use tinymlops_quant::{QDense, QuantizedModel};
+use tinymlops_quant::qmodel::QLayer;
+use tinymlops_tensor::Tensor;
+
+/// Elementwise activation between provable layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActKind {
+    /// No activation (final layer).
+    None,
+    /// Rectified linear unit.
+    Relu,
+}
+
+/// A quantized dense network with proof support.
+pub struct VerifiableModel {
+    layers: Vec<(QDense, ActKind)>,
+}
+
+/// Proof of one batched inference.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferenceProof {
+    /// Claimed integer accumulators per layer (`[batch × out]`).
+    pub accs: Vec<Vec<i32>>,
+    /// Sum-check proof per layer.
+    pub matmuls: Vec<MatMulProof>,
+    /// Batch size proven.
+    pub batch: usize,
+}
+
+impl InferenceProof {
+    /// Total proof size in bytes (accumulators + sum-check rounds).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.accs.iter().map(|a| a.len() * 4).sum::<usize>()
+            + self.matmuls.iter().map(MatMulProof::size_bytes).sum::<usize>()
+            + 8
+    }
+}
+
+impl VerifiableModel {
+    /// Build from an int8-quantized model. Dense layers become provable;
+    /// ReLU passthroughs become elementwise checks; anything else is
+    /// rejected (the §VI proof system covers dense int8 chains).
+    pub fn from_quantized(model: &QuantizedModel) -> Result<Self, VerifyError> {
+        let mut layers: Vec<(QDense, ActKind)> = Vec::new();
+        for layer in &model.layers {
+            match layer {
+                QLayer::Dense(d) => layers.push((d.clone(), ActKind::None)),
+                QLayer::Passthrough(p) => match p.name() {
+                    "relu" => {
+                        let Some(last) = layers.last_mut() else {
+                            return Err(VerifyError::Malformed("activation before first layer"));
+                        };
+                        last.1 = ActKind::Relu;
+                    }
+                    "flatten" => {}
+                    other => {
+                        let _ = other;
+                        return Err(VerifyError::Malformed(
+                            "only relu/flatten passthroughs are provable",
+                        ));
+                    }
+                },
+                QLayer::BinaryDense(_) => {
+                    return Err(VerifyError::Malformed(
+                        "binary layers need a different arithmetization",
+                    ))
+                }
+            }
+        }
+        if layers.is_empty() {
+            return Err(VerifyError::Malformed("no dense layers"));
+        }
+        Ok(VerifiableModel { layers })
+    }
+
+    /// Number of provable layers.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Plain (unproven) forward pass — the baseline for overhead numbers.
+    #[must_use]
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let batch = x.rows();
+        let mut h = x.clone();
+        for (layer, act) in &self.layers {
+            let xq = layer.quantize_input(&h);
+            let acc = layer.int_accumulate(&xq, batch);
+            h = layer.dequantize_acc(&acc, batch);
+            if *act == ActKind::Relu {
+                h.map_inplace(|v| v.max(0.0));
+            }
+        }
+        h
+    }
+
+    /// Run inference *and* produce the proof.
+    #[must_use]
+    pub fn prove(&self, x: &Tensor) -> (Tensor, InferenceProof) {
+        let batch = x.rows();
+        let mut transcript = Transcript::new(b"tinymlops.inference");
+        let mut h = x.clone();
+        let mut accs = Vec::with_capacity(self.layers.len());
+        let mut matmuls = Vec::with_capacity(self.layers.len());
+        for (layer, act) in &self.layers {
+            let xq = layer.quantize_input(&h);
+            let acc = layer.int_accumulate(&xq, batch);
+            let w = layer.unpack_matrix();
+            let w64: Vec<i64> = w.iter().map(|&v| i64::from(v)).collect();
+            let x64: Vec<i64> = xq.iter().map(|&v| i64::from(v)).collect();
+            let c64: Vec<i64> = acc.iter().map(|&v| i64::from(v)).collect();
+            let (proof, _) = prove_matmul(
+                &w64,
+                &x64,
+                &c64,
+                layer.out_dim,
+                layer.in_dim,
+                batch,
+                &mut transcript,
+            );
+            matmuls.push(proof);
+            h = layer.dequantize_acc(&acc, batch);
+            if *act == ActKind::Relu {
+                h.map_inplace(|v| v.max(0.0));
+            }
+            accs.push(acc);
+        }
+        (
+            h,
+            InferenceProof {
+                accs,
+                matmuls,
+                batch,
+            },
+        )
+    }
+
+    /// Verify a proof against the registered model, the input batch and
+    /// the claimed output. No O(m·n·b) matmul is executed.
+    pub fn verify(
+        &self,
+        x: &Tensor,
+        claimed_output: &Tensor,
+        proof: &InferenceProof,
+    ) -> Result<(), VerifyError> {
+        let batch = x.rows();
+        if proof.batch != batch
+            || proof.accs.len() != self.layers.len()
+            || proof.matmuls.len() != self.layers.len()
+        {
+            return Err(VerifyError::Malformed("structure mismatch"));
+        }
+        let mut transcript = Transcript::new(b"tinymlops.inference");
+        let mut h = x.clone();
+        for (i, (layer, act)) in self.layers.iter().enumerate() {
+            let acc = &proof.accs[i];
+            if acc.len() != batch * layer.out_dim {
+                return Err(VerifyError::Malformed("accumulator shape"));
+            }
+            // Elementwise (cheap, O(b·n)): reproduce the exact kernel input.
+            let xq = layer.quantize_input(&h);
+            // Sum-check (replaces the O(b·m·n) matmul).
+            let w = layer.unpack_matrix();
+            let w64: Vec<i64> = w.iter().map(|&v| i64::from(v)).collect();
+            let x64: Vec<i64> = xq.iter().map(|&v| i64::from(v)).collect();
+            let c64: Vec<i64> = acc.iter().map(|&v| i64::from(v)).collect();
+            verify_matmul(
+                &w64,
+                &x64,
+                &c64,
+                layer.out_dim,
+                layer.in_dim,
+                batch,
+                &mut transcript,
+                &proof.matmuls[i],
+            )?;
+            // Elementwise dequant + activation from the *proven* accs.
+            h = layer.dequantize_acc(acc, batch);
+            if *act == ActKind::Relu {
+                h.map_inplace(|v| v.max(0.0));
+            }
+        }
+        // The claimed output must match the derived one bit-for-bit (both
+        // sides run the identical deterministic dequant chain).
+        if h != *claimed_output {
+            return Err(VerifyError::OutputMismatch);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_nn::data::synth_digits;
+    use tinymlops_nn::model::mlp;
+    use tinymlops_nn::train::{fit, FitConfig};
+    use tinymlops_nn::Adam;
+    use tinymlops_quant::QuantScheme;
+    use tinymlops_tensor::TensorRng;
+
+    fn verifiable_digits_model() -> (VerifiableModel, Tensor) {
+        let data = synth_digits(600, 0.08, 50);
+        let (train, test) = data.split(0.9, 0);
+        let mut rng = TensorRng::seed(3);
+        let mut model = mlp(&[64, 24, 10], &mut rng);
+        let mut opt = Adam::new(0.005);
+        fit(&mut model, &train, &mut opt, &FitConfig { epochs: 8, batch_size: 32, ..Default::default() });
+        let q = QuantizedModel::quantize(&model, &train.x, QuantScheme::Int8).unwrap();
+        let vm = VerifiableModel::from_quantized(&q).unwrap();
+        (vm, test.x.slice_rows(0, 8))
+    }
+
+    #[test]
+    fn prove_verify_round_trip() {
+        let (vm, x) = verifiable_digits_model();
+        let (y, proof) = vm.prove(&x);
+        vm.verify(&x, &y, &proof).unwrap();
+        assert_eq!(vm.depth(), 2);
+        assert!(proof.size_bytes() > 0);
+    }
+
+    #[test]
+    fn proof_output_matches_plain_forward() {
+        let (vm, x) = verifiable_digits_model();
+        let plain = vm.forward(&x);
+        let (proven, _) = vm.prove(&x);
+        assert_eq!(plain, proven, "proving must not change the computation");
+    }
+
+    #[test]
+    fn tampered_output_rejected() {
+        let (vm, x) = verifiable_digits_model();
+        let (y, proof) = vm.prove(&x);
+        let mut forged = y.clone();
+        // The §VI scenario: flip the prediction to trick a downstream
+        // payment-authorization step.
+        forged.data_mut()[0] += 10.0;
+        assert_eq!(vm.verify(&x, &forged, &proof), Err(VerifyError::OutputMismatch));
+    }
+
+    #[test]
+    fn tampered_accumulator_rejected() {
+        let (vm, x) = verifiable_digits_model();
+        let (y, mut proof) = vm.prove(&x);
+        proof.accs[0][3] += 1;
+        assert!(vm.verify(&x, &y, &proof).is_err());
+    }
+
+    #[test]
+    fn different_input_rejected() {
+        let (vm, x) = verifiable_digits_model();
+        let (y, proof) = vm.prove(&x);
+        let other = x.map(|v| v * 0.5);
+        assert!(vm.verify(&other, &y, &proof).is_err());
+    }
+
+    #[test]
+    fn wrong_batch_size_rejected() {
+        let (vm, x) = verifiable_digits_model();
+        let (y, proof) = vm.prove(&x);
+        let smaller = x.slice_rows(0, 4);
+        let y_small = y.slice_rows(0, 4);
+        assert_eq!(
+            vm.verify(&smaller, &y_small, &proof),
+            Err(VerifyError::Malformed("structure mismatch"))
+        );
+    }
+
+    #[test]
+    fn binary_models_rejected_with_reason() {
+        let data = synth_digits(200, 0.05, 51);
+        let mut rng = TensorRng::seed(5);
+        let mut model = mlp(&[64, 8, 10], &mut rng);
+        let mut opt = Adam::new(0.01);
+        fit(&mut model, &data, &mut opt, &FitConfig { epochs: 2, batch_size: 32, ..Default::default() });
+        let q = QuantizedModel::quantize(&model, &data.x, QuantScheme::Binary).unwrap();
+        assert!(VerifiableModel::from_quantized(&q).is_err());
+    }
+}

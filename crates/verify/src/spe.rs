@@ -1,0 +1,232 @@
+//! Simulated Secure Processing Environment (MLCapsule-style).
+//!
+//! §VI: *"Alternative solutions for verifiable execution require the
+//! support of Secure Processing Environments (SPE) such as Intel SGX or
+//! ARM TrustZone … An especially promising approach in this area is
+//! MLCapsule which provides a proof-of-concept on Intel SGX. Modern neural
+//! networks … have an overhead of around 2X when implemented using their
+//! approach."*
+//!
+//! DESIGN.md substitution: no SGX in the sandbox, so the enclave is
+//! simulated with real cryptography (sealed model storage, measured code
+//! identity, HMAC attestation) and a *calibrated cost model* — a
+//! configurable slowdown factor (default 2.0 per the MLCapsule figure)
+//! plus a per-call boundary-crossing cost. Experiment E13/E10 report
+//! predicted enclave latencies from this model.
+
+use crate::VerifyError;
+use tinymlops_crypto::{hmac_sha256, sha256, Digest, SealedBox};
+use tinymlops_nn::Sequential;
+use tinymlops_tensor::Tensor;
+
+/// An attestation report binding (model, input, output) to the enclave key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestationReport {
+    /// Measurement (hash) of the loaded model.
+    pub measurement: Digest,
+    /// Hash of the input batch.
+    pub input_digest: Digest,
+    /// Hash of the produced output.
+    pub output_digest: Digest,
+    /// Caller-supplied freshness nonce.
+    pub nonce: u64,
+    /// HMAC over all of the above under the enclave's attestation key.
+    pub mac: Digest,
+}
+
+/// A simulated enclave holding one sealed model.
+pub struct Enclave {
+    sealed: SealedBox,
+    storage_key: [u8; 32],
+    attestation_key: [u8; 32],
+    measurement: Digest,
+    /// Multiplicative compute slowdown inside the enclave (MLCapsule ≈ 2).
+    pub slowdown: f64,
+    /// Fixed per-call boundary-crossing cost in milliseconds.
+    pub call_overhead_ms: f64,
+}
+
+fn tensor_digest(t: &Tensor) -> Digest {
+    let mut bytes = Vec::with_capacity(t.len() * 4);
+    for v in t.data() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    sha256(&bytes)
+}
+
+fn report_mac(key: &[u8; 32], r: &AttestationReport) -> Digest {
+    let mut msg = Vec::with_capacity(32 * 3 + 8);
+    msg.extend_from_slice(&r.measurement);
+    msg.extend_from_slice(&r.input_digest);
+    msg.extend_from_slice(&r.output_digest);
+    msg.extend_from_slice(&r.nonce.to_le_bytes());
+    hmac_sha256(key, &msg)
+}
+
+impl Enclave {
+    /// Provision an enclave: seal the model under the enclave storage key
+    /// and record its measurement.
+    #[must_use]
+    pub fn provision(
+        model: &Sequential,
+        storage_key: [u8; 32],
+        attestation_key: [u8; 32],
+        slowdown: f64,
+    ) -> Self {
+        let bytes = model.to_bytes().expect("model serializes");
+        let measurement = sha256(&bytes);
+        let sealed = SealedBox::seal(&storage_key, [0x5e; 12], b"enclave-model", &bytes);
+        Enclave {
+            sealed,
+            storage_key,
+            attestation_key,
+            measurement,
+            slowdown,
+            call_overhead_ms: 0.05,
+        }
+    }
+
+    /// The enclave's code+data identity.
+    #[must_use]
+    pub fn measurement(&self) -> Digest {
+        self.measurement
+    }
+
+    /// Run inference inside the enclave: unseal, execute, attest.
+    /// Returns the output, the attestation report, and the *simulated*
+    /// enclave latency for a baseline latency of `base_ms`.
+    pub fn infer(
+        &self,
+        x: &Tensor,
+        nonce: u64,
+        base_ms: f64,
+    ) -> Result<(Tensor, AttestationReport, f64), VerifyError> {
+        let bytes = self
+            .sealed
+            .open(&self.storage_key, b"enclave-model")
+            .map_err(|_| VerifyError::Attestation("unseal failed"))?;
+        // Integrity: the sealed blob must still match the measurement.
+        if sha256(&bytes) != self.measurement {
+            return Err(VerifyError::Attestation("measurement mismatch"));
+        }
+        let model = Sequential::from_bytes(&bytes)
+            .map_err(|_| VerifyError::Attestation("model decode"))?;
+        let y = model.forward(x);
+        let mut report = AttestationReport {
+            measurement: self.measurement,
+            input_digest: tensor_digest(x),
+            output_digest: tensor_digest(&y),
+            nonce,
+            mac: [0u8; 32],
+        };
+        report.mac = report_mac(&self.attestation_key, &report);
+        let simulated_ms = base_ms * self.slowdown + self.call_overhead_ms;
+        Ok((y, report, simulated_ms))
+    }
+
+    /// Verify an attestation report (relying-party side).
+    pub fn verify_report(
+        report: &AttestationReport,
+        attestation_key: &[u8; 32],
+        expected_measurement: &Digest,
+        expected_nonce: u64,
+    ) -> Result<(), VerifyError> {
+        if report.measurement != *expected_measurement {
+            return Err(VerifyError::Attestation("unexpected measurement"));
+        }
+        if report.nonce != expected_nonce {
+            return Err(VerifyError::Attestation("stale nonce (replay?)"));
+        }
+        let want = report_mac(attestation_key, report);
+        if !tinymlops_crypto::ct_eq(&want, &report.mac) {
+            return Err(VerifyError::Attestation("bad mac"));
+        }
+        Ok(())
+    }
+
+    /// Partial-SPE latency model (§V "evaluate only a part of the model on
+    /// the trusted environment"): first `k` of `total` layers run inside.
+    /// `per_layer_ms` are baseline per-layer latencies.
+    #[must_use]
+    pub fn partial_latency_ms(&self, per_layer_ms: &[f64], k: usize) -> f64 {
+        let inside: f64 = per_layer_ms[..k.min(per_layer_ms.len())].iter().sum();
+        let outside: f64 = per_layer_ms[k.min(per_layer_ms.len())..].iter().sum();
+        inside * self.slowdown + outside + if k > 0 { self.call_overhead_ms } else { 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinymlops_nn::model::mlp;
+    use tinymlops_tensor::TensorRng;
+
+    fn enclave() -> (Enclave, Sequential) {
+        let model = mlp(&[4, 8, 2], &mut TensorRng::seed(1));
+        let e = Enclave::provision(&model, [1u8; 32], [2u8; 32], 2.0);
+        (e, model)
+    }
+
+    #[test]
+    fn infer_matches_plain_model_and_attests() {
+        let (e, model) = enclave();
+        let x = TensorRng::seed(2).uniform(&[3, 4], -1.0, 1.0);
+        let (y, report, ms) = e.infer(&x, 42, 10.0).unwrap();
+        assert_eq!(y, model.forward(&x));
+        Enclave::verify_report(&report, &[2u8; 32], &e.measurement(), 42).unwrap();
+        assert!((ms - 20.05).abs() < 1e-9, "2x slowdown + crossing: {ms}");
+    }
+
+    #[test]
+    fn report_rejects_wrong_key() {
+        let (e, _) = enclave();
+        let x = Tensor::zeros(&[1, 4]);
+        let (_, report, _) = e.infer(&x, 1, 1.0).unwrap();
+        assert!(Enclave::verify_report(&report, &[9u8; 32], &e.measurement(), 1).is_err());
+    }
+
+    #[test]
+    fn report_rejects_replayed_nonce() {
+        let (e, _) = enclave();
+        let x = Tensor::zeros(&[1, 4]);
+        let (_, report, _) = e.infer(&x, 7, 1.0).unwrap();
+        assert!(matches!(
+            Enclave::verify_report(&report, &[2u8; 32], &e.measurement(), 8),
+            Err(VerifyError::Attestation("stale nonce (replay?)"))
+        ));
+    }
+
+    #[test]
+    fn report_rejects_swapped_model() {
+        let (e, _) = enclave();
+        let other = mlp(&[4, 8, 2], &mut TensorRng::seed(99));
+        let other_measurement = sha256(&other.to_bytes().unwrap());
+        let x = Tensor::zeros(&[1, 4]);
+        let (_, report, _) = e.infer(&x, 1, 1.0).unwrap();
+        assert!(Enclave::verify_report(&report, &[2u8; 32], &other_measurement, 1).is_err());
+    }
+
+    #[test]
+    fn tampered_report_fields_fail_mac() {
+        let (e, _) = enclave();
+        let x = Tensor::zeros(&[1, 4]);
+        let (_, mut report, _) = e.infer(&x, 1, 1.0).unwrap();
+        report.output_digest[0] ^= 1;
+        assert!(matches!(
+            Enclave::verify_report(&report, &[2u8; 32], &e.measurement(), 1),
+            Err(VerifyError::Attestation("bad mac"))
+        ));
+    }
+
+    #[test]
+    fn partial_spe_interpolates_between_extremes() {
+        let (e, _) = enclave();
+        let layers = [10.0, 10.0, 10.0, 10.0];
+        let none = e.partial_latency_ms(&layers, 0);
+        let all = e.partial_latency_ms(&layers, 4);
+        let half = e.partial_latency_ms(&layers, 2);
+        assert!((none - 40.0).abs() < 1e-9);
+        assert!((all - (80.0 + e.call_overhead_ms)).abs() < 1e-9);
+        assert!(none < half && half < all, "{none} < {half} < {all}");
+    }
+}

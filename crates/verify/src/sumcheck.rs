@@ -1,0 +1,290 @@
+//! Sum-check protocol for quantized matmul claims.
+//!
+//! Claim: `C = X·Aᵀ` for integer matrices `A [m×n]` (weights), `X [b×n]`
+//! (quantized input batch) and `C [b×m]` (accumulators) — the exact
+//! arithmetic of `tinymlops-quant`'s integer kernel, embedded in the
+//! Goldilocks field.
+//!
+//! Reduction: Fiat–Shamir picks `(r_b, r_m)`; the verifier evaluates
+//! `C̃(r_b, r_m)` itself (O(bm)), then a log₂(n)-round sum-check over the
+//! shared dimension reduces the claim to evaluations `Ã(r_m, r')` and
+//! `X̃(r_b, r')`, which the verifier computes in O(mn) and O(bn).
+//! Soundness: each round is a degree-2 polynomial identity; cheating
+//! survives with probability ≤ 2·log₂(n)/|F| ≈ 2⁻⁵⁸ per layer.
+//!
+//! Verifier cost O(mn + bn + bm) vs re-execution O(b·m·n): the O(mn) term
+//! is paid **once per batch**, which is where SafetyNets' "cheap" comes
+//! from (experiment E13 sweeps `b` to show the crossover).
+
+use crate::field::Fp;
+use crate::mle::{fold_variable, matrix_mle_eval, num_vars, row_folded_table};
+use crate::transcript::Transcript;
+use crate::VerifyError;
+use serde::{Deserialize, Serialize};
+
+/// A non-interactive sum-check proof for one matmul.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatMulProof {
+    /// Per-round quadratic evaluations `(g(0), g(1), g(2))`.
+    pub rounds: Vec<[Fp; 3]>,
+}
+
+impl MatMulProof {
+    /// Proof size in bytes (3 field elements per round).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.rounds.len() * 3 * 8
+    }
+}
+
+/// Prover-side cost counters (for experiment tables).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProverTimings {
+    /// Field multiplications spent building the folded tables.
+    pub table_mults: u64,
+    /// Field multiplications spent in sum-check rounds.
+    pub round_mults: u64,
+}
+
+fn absorb_header(t: &mut Transcript, c: &[Fp], m: usize, n: usize, b: usize) {
+    t.absorb(b"dims", &[m as u8, n as u8, b as u8, (m >> 8) as u8, (n >> 8) as u8, (b >> 8) as u8]);
+    t.absorb_fps(b"claimed-output", c);
+}
+
+/// Pad a row-major `[rows×cols]` integer matrix into a power-of-two field
+/// matrix.
+fn to_field_padded(data: &[i64], rows: usize, cols: usize) -> (Vec<Fp>, usize, usize) {
+    let r2 = rows.next_power_of_two();
+    let c2 = cols.next_power_of_two();
+    let mut out = vec![Fp::ZERO; r2 * c2];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[r * c2 + c] = Fp::from_i64(data[r * cols + c]);
+        }
+    }
+    (out, r2, c2)
+}
+
+/// Generate the proof that `c[b×m] = x[b×n] · a[m×n]ᵀ` (integer inputs).
+#[must_use]
+pub fn prove_matmul(
+    a: &[i64],
+    x: &[i64],
+    c: &[i64],
+    m: usize,
+    n: usize,
+    b: usize,
+    transcript: &mut Transcript,
+) -> (MatMulProof, ProverTimings) {
+    let mut timings = ProverTimings::default();
+    let (af, m2, n2a) = to_field_padded(a, m, n);
+    let (xf, b2, n2x) = to_field_padded(x, b, n);
+    let (cf, _cb2, _cm2) = to_field_padded(c, b, m);
+    debug_assert_eq!(n2a, n2x);
+    let n2 = n2a;
+    absorb_header(transcript, &cf, m, n, b);
+    let r_b = transcript.challenges_fp(b"r-batch", num_vars(b2));
+    let r_m = transcript.challenges_fp(b"r-row", num_vars(m2));
+    // Prover tables: t_a[j] = Ã(r_m, j), t_x[j] = X̃(r_b, j).
+    let mut t_a = row_folded_table(&af, m2, n2, &r_m);
+    let mut t_x = row_folded_table(&xf, b2, n2, &r_b);
+    timings.table_mults += (m2 * n2 + b2 * n2) as u64;
+    let rounds_count = num_vars(n2);
+    let mut rounds = Vec::with_capacity(rounds_count);
+    let two = Fp::new(2);
+    for _ in 0..rounds_count {
+        let half = t_a.len() / 2;
+        let (mut g0, mut g1, mut g2) = (Fp::ZERO, Fp::ZERO, Fp::ZERO);
+        for i in 0..half {
+            let a0 = t_a[2 * i];
+            let a1 = t_a[2 * i + 1];
+            let x0 = t_x[2 * i];
+            let x1 = t_x[2 * i + 1];
+            g0 = g0.add(a0.mul(x0));
+            g1 = g1.add(a1.mul(x1));
+            // g(2): extrapolate each factor linearly, 2·f(1) − f(0).
+            let a2 = two.mul(a1).sub(a0);
+            let x2 = two.mul(x1).sub(x0);
+            g2 = g2.add(a2.mul(x2));
+        }
+        timings.round_mults += 3 * half as u64;
+        transcript.absorb_fps(b"round", &[g0, g1, g2]);
+        let r = transcript.challenge_fp(b"challenge");
+        fold_variable(&mut t_a, r);
+        fold_variable(&mut t_x, r);
+        rounds.push([g0, g1, g2]);
+    }
+    (MatMulProof { rounds }, timings)
+}
+
+/// Evaluate the quadratic through `(0,g0) (1,g1) (2,g2)` at `t`.
+fn quadratic_eval(g: &[Fp; 3], t: Fp) -> Fp {
+    // Lagrange over {0,1,2}: L0 = (t−1)(t−2)/2, L1 = −t(t−2), L2 = t(t−1)/2.
+    let one = Fp::ONE;
+    let two = Fp::new(2);
+    let inv2 = two.inv();
+    let l0 = t.sub(one).mul(t.sub(two)).mul(inv2);
+    let l1 = t.mul(t.sub(two)).neg();
+    let l2 = t.mul(t.sub(one)).mul(inv2);
+    g[0].mul(l0).add(g[1].mul(l1)).add(g[2].mul(l2))
+}
+
+/// Verify a matmul proof. The verifier holds `a`, `x` and the claimed `c`
+/// and never performs the O(b·m·n) multiplication.
+pub fn verify_matmul(
+    a: &[i64],
+    x: &[i64],
+    c: &[i64],
+    m: usize,
+    n: usize,
+    b: usize,
+    transcript: &mut Transcript,
+    proof: &MatMulProof,
+) -> Result<(), VerifyError> {
+    let (af, m2, n2) = to_field_padded(a, m, n);
+    let (xf, b2, _) = to_field_padded(x, b, n);
+    let (cf, cb2, cm2) = to_field_padded(c, b, m);
+    absorb_header(transcript, &cf, m, n, b);
+    let r_b = transcript.challenges_fp(b"r-batch", num_vars(b2));
+    let r_m = transcript.challenges_fp(b"r-row", num_vars(m2));
+    // The verifier's own evaluation of the claimed output — O(bm).
+    let mut claim = matrix_mle_eval(&cf, cb2, cm2, &r_b, &r_m);
+    let rounds_count = num_vars(n2);
+    if proof.rounds.len() != rounds_count {
+        return Err(VerifyError::Malformed("wrong round count"));
+    }
+    let mut r_shared = Vec::with_capacity(rounds_count);
+    for (round, g) in proof.rounds.iter().enumerate() {
+        if g[0].add(g[1]) != claim {
+            return Err(VerifyError::SumcheckRound { round });
+        }
+        transcript.absorb_fps(b"round", g);
+        let r = transcript.challenge_fp(b"challenge");
+        claim = quadratic_eval(g, r);
+        r_shared.push(r);
+    }
+    // Final check: claim == Ã(r_m, r') · X̃(r_b, r').
+    let a_eval = matrix_mle_eval(&af, m2, n2, &r_m, &r_shared);
+    let x_eval = matrix_mle_eval(&xf, b2, n2, &r_b, &r_shared);
+    if a_eval.mul(x_eval) != claim {
+        return Err(VerifyError::FinalCheck);
+    }
+    Ok(())
+}
+
+/// Reference integer matmul `c = x·aᵀ` used by tests and the prover.
+#[must_use]
+pub fn int_matmul(a: &[i64], x: &[i64], m: usize, n: usize, b: usize) -> Vec<i64> {
+    let mut c = vec![0i64; b * m];
+    for bi in 0..b {
+        for r in 0..m {
+            let mut s = 0i64;
+            for j in 0..n {
+                s += x[bi * n + j] * a[r * n + j];
+            }
+            c[bi * m + r] = s;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(m: usize, n: usize, b: usize, seed: i64) -> (Vec<i64>, Vec<i64>, Vec<i64>) {
+        let a: Vec<i64> = (0..m * n).map(|i| ((i as i64 * 31 + seed) % 255) - 127).collect();
+        let x: Vec<i64> = (0..b * n).map(|i| ((i as i64 * 17 + seed * 3) % 255) - 127).collect();
+        let c = int_matmul(&a, &x, m, n, b);
+        (a, x, c)
+    }
+
+    #[test]
+    fn honest_proof_verifies() {
+        for &(m, n, b) in &[(4, 8, 2), (10, 64, 5), (32, 32, 1), (3, 7, 3)] {
+            let (a, x, c) = sample(m, n, b, 1);
+            let mut pt = Transcript::new(b"matmul");
+            let (proof, _) = prove_matmul(&a, &x, &c, m, n, b, &mut pt);
+            let mut vt = Transcript::new(b"matmul");
+            verify_matmul(&a, &x, &c, m, n, b, &mut vt, &proof)
+                .unwrap_or_else(|e| panic!("({m},{n},{b}): {e}"));
+        }
+    }
+
+    #[test]
+    fn tampered_output_rejected() {
+        let (a, x, mut c) = sample(8, 16, 4, 2);
+        let mut pt = Transcript::new(b"matmul");
+        let (proof, _) = prove_matmul(&a, &x, &c, 8, 16, 4, &mut pt);
+        c[5] += 1; // device lies about one accumulator
+        let mut vt = Transcript::new(b"matmul");
+        assert!(verify_matmul(&a, &x, &c, 8, 16, 4, &mut vt, &proof).is_err());
+    }
+
+    #[test]
+    fn proof_for_wrong_computation_rejected() {
+        // Prover computes with modified weights but claims the registry's.
+        let (a, x, _) = sample(8, 16, 2, 3);
+        let mut a_evil = a.clone();
+        a_evil[0] += 1;
+        let c_evil = int_matmul(&a_evil, &x, 8, 16, 2);
+        let mut pt = Transcript::new(b"matmul");
+        let (proof, _) = prove_matmul(&a_evil, &x, &c_evil, 8, 16, 2, &mut pt);
+        let mut vt = Transcript::new(b"matmul");
+        assert!(
+            verify_matmul(&a, &x, &c_evil, 8, 16, 2, &mut vt, &proof).is_err(),
+            "†running a different model must not verify against the registered one"
+        );
+    }
+
+    #[test]
+    fn tampered_round_polynomial_rejected() {
+        let (a, x, c) = sample(4, 16, 2, 4);
+        let mut pt = Transcript::new(b"matmul");
+        let (mut proof, _) = prove_matmul(&a, &x, &c, 4, 16, 2, &mut pt);
+        proof.rounds[1][0] = proof.rounds[1][0].add(Fp::ONE);
+        let mut vt = Transcript::new(b"matmul");
+        assert!(verify_matmul(&a, &x, &c, 4, 16, 2, &mut vt, &proof).is_err());
+    }
+
+    #[test]
+    fn wrong_round_count_rejected() {
+        let (a, x, c) = sample(4, 16, 2, 5);
+        let mut pt = Transcript::new(b"matmul");
+        let (mut proof, _) = prove_matmul(&a, &x, &c, 4, 16, 2, &mut pt);
+        proof.rounds.pop();
+        let mut vt = Transcript::new(b"matmul");
+        assert_eq!(
+            verify_matmul(&a, &x, &c, 4, 16, 2, &mut vt, &proof),
+            Err(VerifyError::Malformed("wrong round count"))
+        );
+    }
+
+    #[test]
+    fn proof_is_logarithmic_in_width() {
+        let (a, x, c) = sample(4, 256, 2, 6);
+        let mut pt = Transcript::new(b"matmul");
+        let (proof, _) = prove_matmul(&a, &x, &c, 4, 256, 2, &mut pt);
+        assert_eq!(proof.rounds.len(), 8); // log2(256)
+        assert_eq!(proof.size_bytes(), 8 * 3 * 8);
+    }
+
+    #[test]
+    fn negative_values_work() {
+        let a: Vec<i64> = vec![-127, 100, -50, 25, 0, -1];
+        let x: Vec<i64> = vec![-128, 127, -64, 3, 2, 1];
+        let c = int_matmul(&a, &x, 2, 3, 2);
+        let mut pt = Transcript::new(b"matmul");
+        let (proof, _) = prove_matmul(&a, &x, &c, 2, 3, 2, &mut pt);
+        let mut vt = Transcript::new(b"matmul");
+        verify_matmul(&a, &x, &c, 2, 3, 2, &mut vt, &proof).unwrap();
+    }
+
+    #[test]
+    fn quadratic_eval_interpolates() {
+        // g(t) = 3t² − 2t + 5 → g(0)=5, g(1)=6, g(2)=13.
+        let g = [Fp::from_i64(5), Fp::from_i64(6), Fp::from_i64(13)];
+        assert_eq!(quadratic_eval(&g, Fp::from_i64(3)), Fp::from_i64(26));
+        assert_eq!(quadratic_eval(&g, Fp::ZERO), Fp::from_i64(5));
+    }
+}

@@ -1,0 +1,135 @@
+//! Fiat–Shamir transcript over SHA-256.
+//!
+//! Turns the interactive sum-check into a non-interactive proof: every
+//! prover message is absorbed; verifier challenges are squeezed from the
+//! running hash, so the prover cannot adapt messages to future challenges.
+
+use crate::field::{Fp, P};
+use tinymlops_crypto::Sha256;
+
+/// A running Fiat–Shamir transcript.
+#[derive(Clone)]
+pub struct Transcript {
+    state: [u8; 32],
+    counter: u64,
+}
+
+impl Transcript {
+    /// Start a transcript under a domain-separation label.
+    #[must_use]
+    pub fn new(label: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"tinymlops.transcript.v1");
+        h.update(label);
+        Transcript {
+            state: h.finalize(),
+            counter: 0,
+        }
+    }
+
+    /// Absorb labelled bytes.
+    pub fn absorb(&mut self, label: &[u8], data: &[u8]) {
+        let mut h = Sha256::new();
+        h.update(&self.state);
+        h.update(&(label.len() as u64).to_le_bytes());
+        h.update(label);
+        h.update(&(data.len() as u64).to_le_bytes());
+        h.update(data);
+        self.state = h.finalize();
+    }
+
+    /// Absorb a field element.
+    pub fn absorb_fp(&mut self, label: &[u8], v: Fp) {
+        self.absorb(label, &v.as_u64().to_le_bytes());
+    }
+
+    /// Absorb a slice of field elements.
+    pub fn absorb_fps(&mut self, label: &[u8], vs: &[Fp]) {
+        let mut bytes = Vec::with_capacity(vs.len() * 8);
+        for v in vs {
+            bytes.extend_from_slice(&v.as_u64().to_le_bytes());
+        }
+        self.absorb(label, &bytes);
+    }
+
+    /// Squeeze a uniformly-distributed field challenge (rejection-sampled
+    /// so the distribution over `[0, P)` is exact).
+    pub fn challenge_fp(&mut self, label: &[u8]) -> Fp {
+        loop {
+            let mut h = Sha256::new();
+            h.update(&self.state);
+            h.update(label);
+            h.update(&self.counter.to_le_bytes());
+            self.counter += 1;
+            let digest = h.finalize();
+            let v = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
+            if v < P {
+                // Fold the squeeze back in so successive challenges chain.
+                self.state = digest;
+                return Fp::new(v);
+            }
+        }
+    }
+
+    /// Squeeze `n` challenges.
+    pub fn challenges_fp(&mut self, label: &[u8], n: usize) -> Vec<Fp> {
+        (0..n).map(|_| self.challenge_fp(label)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_absorptions() {
+        let mut a = Transcript::new(b"test");
+        let mut b = Transcript::new(b"test");
+        a.absorb(b"x", b"hello");
+        b.absorb(b"x", b"hello");
+        assert_eq!(a.challenge_fp(b"c").as_u64(), b.challenge_fp(b"c").as_u64());
+    }
+
+    #[test]
+    fn different_data_different_challenges() {
+        let mut a = Transcript::new(b"test");
+        let mut b = Transcript::new(b"test");
+        a.absorb(b"x", b"hello");
+        b.absorb(b"x", b"world");
+        assert_ne!(a.challenge_fp(b"c"), b.challenge_fp(b"c"));
+    }
+
+    #[test]
+    fn label_separation_matters() {
+        let mut a = Transcript::new(b"proto-a");
+        let mut b = Transcript::new(b"proto-b");
+        assert_ne!(a.challenge_fp(b"c"), b.challenge_fp(b"c"));
+    }
+
+    #[test]
+    fn successive_challenges_differ() {
+        let mut t = Transcript::new(b"test");
+        let c1 = t.challenge_fp(b"c");
+        let c2 = t.challenge_fp(b"c");
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn challenges_are_valid_field_elements() {
+        let mut t = Transcript::new(b"bounds");
+        for _ in 0..100 {
+            assert!(t.challenge_fp(b"c").as_u64() < P);
+        }
+    }
+
+    #[test]
+    fn absorbing_after_squeeze_changes_future() {
+        let mut a = Transcript::new(b"test");
+        let mut b = Transcript::new(b"test");
+        let _ = a.challenge_fp(b"c");
+        let _ = b.challenge_fp(b"c");
+        a.absorb(b"m", b"1");
+        b.absorb(b"m", b"2");
+        assert_ne!(a.challenge_fp(b"d"), b.challenge_fp(b"d"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests: proof-system invariants over random instances.
+
+use proptest::prelude::*;
+use tinymlops_verify::field::{Fp, P};
+use tinymlops_verify::mle::{eq_table, mle_eval};
+use tinymlops_verify::sumcheck::{int_matmul, prove_matmul, verify_matmul};
+use tinymlops_verify::Transcript;
+
+proptest! {
+    /// Field axioms hold for arbitrary elements.
+    #[test]
+    fn field_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (Fp::new(a % P), Fp::new(b % P), Fp::new(c % P));
+        prop_assert_eq!(a.add(b), b.add(a));
+        prop_assert_eq!(a.mul(b), b.mul(a));
+        prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+        prop_assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+        prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+        prop_assert_eq!(a.sub(a), Fp::ZERO);
+        if a != Fp::ZERO {
+            prop_assert_eq!(a.mul(a.inv()), Fp::ONE);
+        }
+    }
+
+    /// Signed embedding round-trips and respects ring operations.
+    #[test]
+    fn signed_embedding_homomorphic(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        prop_assert_eq!(Fp::from_i64(a).add(Fp::from_i64(b)).to_i64(), a + b);
+        prop_assert_eq!(Fp::from_i64(a).mul(Fp::from_i64(b)).to_i64(), a * b);
+    }
+
+    /// The MLE interpolates its table exactly on every boolean point.
+    #[test]
+    fn mle_interpolates(values in proptest::collection::vec(-1000i64..1000, 1..17)) {
+        let k = values.len().next_power_of_two().trailing_zeros() as usize;
+        let mut padded: Vec<Fp> = values.iter().map(|&v| Fp::from_i64(v)).collect();
+        padded.resize(1 << k, Fp::ZERO);
+        for idx in 0..padded.len() {
+            let point: Vec<Fp> = (0..k)
+                .map(|bit| Fp::from_i64(((idx >> bit) & 1) as i64))
+                .collect();
+            prop_assert_eq!(mle_eval(&padded, &point), padded[idx]);
+        }
+    }
+
+    /// eq-table rows always sum to one (partition of unity).
+    #[test]
+    fn eq_table_partition_of_unity(point in proptest::collection::vec(-5000i64..5000, 0..6)) {
+        let fp_point: Vec<Fp> = point.iter().map(|&v| Fp::from_i64(v)).collect();
+        let table = eq_table(&fp_point);
+        let sum = table.into_iter().fold(Fp::ZERO, Fp::add);
+        prop_assert_eq!(sum, Fp::ONE);
+    }
+
+    /// Completeness: honest proofs over random int8 matrices always verify.
+    #[test]
+    fn sumcheck_completeness(
+        m in 1usize..10,
+        n in 1usize..20,
+        b in 1usize..5,
+        seed in any::<i64>(),
+    ) {
+        let a: Vec<i64> = (0..m * n).map(|i| ((i as i64).wrapping_mul(31).wrapping_add(seed)) % 128).collect();
+        let x: Vec<i64> = (0..b * n).map(|i| ((i as i64).wrapping_mul(17).wrapping_sub(seed)) % 128).collect();
+        let c = int_matmul(&a, &x, m, n, b);
+        let mut pt = Transcript::new(b"prop");
+        let (proof, _) = prove_matmul(&a, &x, &c, m, n, b, &mut pt);
+        let mut vt = Transcript::new(b"prop");
+        prop_assert!(verify_matmul(&a, &x, &c, m, n, b, &mut vt, &proof).is_ok());
+    }
+
+    /// Soundness: perturbing any output cell makes verification fail.
+    #[test]
+    fn sumcheck_soundness(
+        m in 1usize..8,
+        n in 1usize..16,
+        b in 1usize..4,
+        cell in any::<usize>(),
+        delta in 1i64..1000,
+    ) {
+        let a: Vec<i64> = (0..m * n).map(|i| (i as i64 * 7) % 100 - 50).collect();
+        let x: Vec<i64> = (0..b * n).map(|i| (i as i64 * 13) % 100 - 50).collect();
+        let mut c = int_matmul(&a, &x, m, n, b);
+        let mut pt = Transcript::new(b"prop");
+        let (proof, _) = prove_matmul(&a, &x, &c, m, n, b, &mut pt);
+        let idx = cell % c.len();
+        c[idx] += delta;
+        let mut vt = Transcript::new(b"prop");
+        prop_assert!(verify_matmul(&a, &x, &c, m, n, b, &mut vt, &proof).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Quickstart: run the full TinyMLOps lifecycle (paper Figure 1) once and
+//! print the per-stage outcomes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tinymlops::core::{run_lifecycle, LifecycleConfig};
+
+fn main() {
+    let cfg = LifecycleConfig {
+        fleet_size: 60,
+        dataset_size: 1200,
+        fl_clients: 8,
+        fl_rounds: 5,
+        seed: 42,
+    };
+    println!("TinyMLOps quickstart — Figure-1 lifecycle (seed {})", cfg.seed);
+    println!("{:-<78}", "");
+    let report = run_lifecycle(&cfg).expect("lifecycle should complete");
+    for stage in &report.stages {
+        println!(
+            "  [{}] {:<18} {}",
+            if stage.ok { "ok" } else { "!!" },
+            stage.stage,
+            stage.detail
+        );
+    }
+    println!("{:-<78}", "");
+    println!(
+        "base model accuracy {:.3}; all stages ok: {}",
+        report.base_accuracy,
+        report.all_ok()
+    );
+}

@@ -1,0 +1,139 @@
+//! A "paid vision API on the edge" scenario: the §III-C pay-per-query
+//! business model plus the §V/§VI protection stack, end to end on one
+//! untrusted device.
+//!
+//! Walkthrough:
+//!   1. the vendor encrypts the model for the device and signs the capsule,
+//!   2. the user buys a prepaid package (voucher), goes offline, queries,
+//!   3. quota enforcement denies at zero; sync detects rollback fraud,
+//!   4. an attacker mounts an extraction attack; prediction poisoning and
+//!      PRADA-style detection respond,
+//!   5. a payment-authorizing backend demands a sum-check proof of an
+//!      unmodified model run.
+//!
+//! ```sh
+//! cargo run --release --example secure_vision_api
+//! ```
+
+use tinymlops::ipp::{extraction_attack, ExtractConfig, Poisoner};
+use tinymlops::quant::DistillConfig;
+use tinymlops::meter::{QuotaManager, RateCard, SyncServer, VoucherIssuer};
+use tinymlops::nn::data::synth_digits;
+use tinymlops::nn::model::mlp;
+use tinymlops::nn::train::{evaluate, fit, FitConfig};
+use tinymlops::nn::Adam;
+use tinymlops::observe::{PradaDetector, StealingVerdict};
+use tinymlops::quant::{QuantScheme, QuantizedModel};
+use tinymlops::tensor::TensorRng;
+use tinymlops::verify::VerifiableModel;
+
+fn main() {
+    let seed = 33u64;
+    // Vendor trains the "vision" model.
+    let data = synth_digits(1500, 0.08, seed);
+    let (train, test) = data.split(0.85, 0);
+    let mut rng = TensorRng::seed(seed);
+    let mut model = mlp(&[64, 32, 10], &mut rng);
+    let mut opt = Adam::new(0.005);
+    fit(&mut model, &train, &mut opt, &FitConfig { epochs: 15, batch_size: 32, ..Default::default() });
+    println!("vendor model accuracy: {:.3}", evaluate(&model, &test));
+
+    // 1. Encrypt for device 42.
+    let master = [9u8; 32];
+    let enc = tinymlops::ipp::encrypt_model(&model, &master, 42, [1u8; 12]);
+    println!(
+        "model encrypted for device 42 ({} bytes on flash)",
+        enc.sealed.wire_len()
+    );
+    let device_model = tinymlops::ipp::decrypt_model(&enc, &master).expect("device unwraps");
+
+    // 2. Prepaid package: 100 queries at the paper's $1.50/1k rate.
+    let device_key = tinymlops::ipp::encrypt::device_key(&master, 42);
+    let mut issuer = VoucherIssuer::new([7u8; 32]);
+    let voucher = issuer.issue(100, 42);
+    let mut quota = QuotaManager::new(device_key);
+    quota.credit(voucher.quota, voucher.serial, 0);
+    let mut backend = SyncServer::new();
+    backend.provision(42, device_key);
+
+    // Offline inference burns quota.
+    let mut served = 0u64;
+    for start in (0..100).step_by(20) {
+        let x = test.x.slice_rows(start, start + 20);
+        if quota.consume(20, served).is_ok() {
+            let _ = device_model.predict(&x);
+            served += 20;
+        }
+    }
+    println!("served {served} offline queries; balance {}", quota.balance());
+
+    // 3. Denial at zero + rollback detection at sync.
+    let denied = quota.consume(1, 999).is_err();
+    println!("101st query denied: {denied}");
+    backend.sync(42, quota.log()).expect("honest sync");
+    let rates = RateCard::cloud_vision_like();
+    let invoice = tinymlops::meter::Invoice::compute(42, backend.billed(42), &rates);
+    println!("invoice for {} queries: {}", invoice.queries, invoice.amount_display());
+    // The fraudster restores a pre-purchase snapshot:
+    let fresh = QuotaManager::new(device_key);
+    let fraud = backend.sync(42, fresh.log());
+    println!("rollback sync rejected: {}", fraud.is_err());
+
+    // 4. Extraction attack vs defenses.
+    let transfer = synth_digits(1000, 0.2, seed + 1);
+    for poisoner in [Poisoner::None, Poisoner::Round { decimals: 1 }, Poisoner::LabelOnly] {
+        let report = extraction_attack(
+            &device_model,
+            poisoner,
+            &transfer,
+            &test,
+            &ExtractConfig {
+                query_budget: 1000,
+                distill: DistillConfig {
+                    epochs: 25,
+                    ..Default::default()
+                },
+                surrogate_widths: vec![64, 24, 10],
+                seed,
+            },
+        );
+        println!(
+            "extraction vs {:<10} → surrogate agreement {:.3}, task acc {:.3}",
+            report.defense, report.agreement, report.surrogate_accuracy
+        );
+    }
+    // PRADA-style detection of the synthetic query train.
+    let mut det = PradaDetector::new(10, 256, 40, 6.0);
+    let mut alarm_at = None;
+    for i in 0..1200 {
+        let base = i as f32 * 0.01;
+        let q: Vec<f32> = (0..64).map(|d| (base + d as f32 * 0.015) % 1.0).collect();
+        // The detector keys on the class the *model* assigns the query.
+        let qt = tinymlops::tensor::Tensor::from_vec(q.clone(), &[1, 64]);
+        let class = device_model.predict(&qt)[0];
+        if det.observe(&q, class) == StealingVerdict::Attack && alarm_at.is_none() {
+            alarm_at = Some(i);
+        }
+    }
+    println!(
+        "PRADA-style detector alarm after {:?} synthetic queries",
+        alarm_at
+    );
+
+    // 5. Verifiable execution gate before payment authorization (§VI).
+    let q = QuantizedModel::quantize(&device_model, &train.x, QuantScheme::Int8).expect("int8");
+    let vm = VerifiableModel::from_quantized(&q).expect("provable");
+    let batch = test.x.slice_rows(0, 4);
+    let (y, proof) = vm.prove(&batch);
+    println!(
+        "inference proof: {} bytes for a 4-image batch; backend verification: {:?}",
+        proof.size_bytes(),
+        vm.verify(&batch, &y, &proof).is_ok()
+    );
+    let mut forged = y.clone();
+    forged.data_mut()[0] += 3.0;
+    println!(
+        "forged 'authorized' output rejected: {}",
+        vm.verify(&batch, &forged, &proof).is_err()
+    );
+}

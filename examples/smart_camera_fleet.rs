@@ -1,0 +1,139 @@
+//! Smart-surveillance fleet scenario (one of the paper's §I motivating
+//! applications): a vendor operates hundreds of heterogeneous cameras.
+//!
+//! Demonstrates, across the fragmented fleet of §IV:
+//!   1. publishing a detector and auto-generating optimized variants,
+//!   2. per-device variant selection as battery/connectivity churns,
+//!   3. edge-cloud split planning for the weakest devices,
+//!   4. marketplace offload for over-deadline workloads,
+//!   5. drift monitoring when scene statistics change.
+//!
+//! ```sh
+//! cargo run --release --example smart_camera_fleet
+//! ```
+
+use tinymlops::core::{Platform, PlatformConfig};
+use tinymlops::deploy::{best_split, local_execution, Marketplace, Requirements, Workload};
+use tinymlops::device::{DeviceClass, NetworkKind, NumericScheme};
+use tinymlops::nn::data::synth_digits;
+use tinymlops::nn::model::mlp;
+use tinymlops::nn::profile::profile;
+use tinymlops::nn::train::{evaluate, fit, FitConfig};
+use tinymlops::nn::Adam;
+use tinymlops::observe::{DriftDetector, DriftStatus, KsDetector};
+use tinymlops::registry::SemVer;
+use tinymlops::tensor::TensorRng;
+
+fn main() {
+    let seed = 7u64;
+    let mut platform = Platform::new(&PlatformConfig {
+        fleet_size: 200,
+        seed,
+        signer_height: 6,
+    });
+
+    // 1. Train and publish the "object detector" (synthetic 10-class task).
+    let data = synth_digits(1500, 0.08, seed);
+    let (train, test) = data.split(0.85, 0);
+    let mut rng = TensorRng::seed(seed);
+    let mut model = mlp(&[64, 48, 10], &mut rng);
+    let mut opt = Adam::new(0.005);
+    fit(&mut model, &train, &mut opt, &FitConfig { epochs: 15, batch_size: 32, ..Default::default() });
+    println!("detector accuracy: {:.3}", evaluate(&model, &test));
+    let (_base, variants) = platform
+        .publish("camera-detector", &model, SemVer::new(1, 0, 0), &train, &test)
+        .expect("publish");
+    println!("registry holds 1 base + {} variants", variants.len());
+
+    // 2. Roll out under a tight latency budget, then churn the fleet and
+    //    watch selections change with state.
+    let req = Requirements {
+        max_latency_ms: 5.0,
+        max_download_ms: 60_000.0,
+        min_accuracy: 0.5,
+        max_energy_mj: f64::INFINITY,
+    };
+    let before = platform.rollout_plan("camera-detector", &req);
+    for _ in 0..10 {
+        platform.fleet.step();
+    }
+    let after = platform.rollout_plan("camera-detector", &req);
+    let changed = before
+        .iter()
+        .zip(&after)
+        .filter(|(a, b)| match (a, b) {
+            (Some(x), Some(y)) => x.record.id != y.record.id,
+            (None, None) => false,
+            _ => true,
+        })
+        .count();
+    let served = after.iter().filter(|s| s.is_some()).count();
+    println!(
+        "rollout: {served}/200 cameras served; {changed} selections changed after state churn"
+    );
+
+    // 3. Edge-cloud split planning for the high-resolution enhancement
+    //    pipeline (a bottleneck feature extractor), M0-class camera.
+    let enhance = mlp(&[1024, 64, 512, 256, 10], &mut TensorRng::seed(seed + 1));
+    let prof = profile(&enhance, &[1024]);
+    let m0_rate = DeviceClass::McuM0.profile().macs_per_sec;
+    println!("edge-cloud split (M0-class camera, cloud = 1e11 MACs/s):");
+    for kind in [NetworkKind::Ble, NetworkKind::Cellular, NetworkKind::Wifi] {
+        let plan = best_split(&prof, 1024 * 4, m0_rate, 1e11, &kind.model()).expect("plan");
+        println!(
+            "  {:<9} → run {:>2}/{} layers on-device, total {:>8.2} ms",
+            kind.name(),
+            plan.split,
+            prof.len(),
+            plan.total_ms
+        );
+    }
+
+    // 4. Marketplace offload: a burst workload misses the local deadline on
+    //    weak cameras; the market places it on a gateway.
+    let weak = platform
+        .fleet
+        .devices
+        .iter()
+        .find(|d| d.profile.class == DeviceClass::McuM0)
+        .expect("fleet has M0 cameras")
+        .clone();
+    let market = Marketplace::spawn(platform.fleet.devices.clone());
+    let burst = Workload {
+        macs: 80_000_000,
+        input_bytes: 8192,
+        scheme: NumericScheme::Int8,
+        deadline_ms: 500.0,
+    };
+    match (local_execution(&weak, &burst), market.place(&burst)) {
+        (None, Ok(bid)) => println!(
+            "burst workload: infeasible locally on camera {}, marketplace node {} delivers in {:.1} ms for {} µ$",
+            weak.id, bid.node, bid.latency_ms, bid.price_microdollars
+        ),
+        (Some(local), Ok(bid)) => println!(
+            "burst workload: local {:.1} ms vs marketplace {:.1} ms ({} µ$)",
+            local.latency_ms, bid.latency_ms, bid.price_microdollars
+        ),
+        (_, Err(e)) => println!("marketplace could not place workload: {e}"),
+    }
+    market.shutdown();
+
+    // 5. Scene drift: night-time illumination shift trips the detector.
+    let mut det = KsDetector::new(64, 0.001);
+    for r in 0..test.len().min(300) {
+        let mean = test.x.row(r).iter().sum::<f32>() / 64.0;
+        det.observe(f64::from(mean));
+    }
+    let night = test.with_covariate_shift(-0.3); // darker frames
+    let mut fired_at = None;
+    for r in 0..night.len().min(300) {
+        let mean = night.x.row(r).iter().sum::<f32>() / 64.0;
+        if det.observe(f64::from(mean)) == DriftStatus::Drift && fired_at.is_none() {
+            fired_at = Some(r);
+        }
+    }
+    match fired_at {
+        Some(r) => println!("scene drift detected after {r} night-time frames"),
+        None => println!("scene drift NOT detected (unexpected)"),
+    }
+}

@@ -1,0 +1,52 @@
+//! # tinymlops
+//!
+//! An operational platform for edge AI, reproducing the system called for
+//! by *"TinyMLOps: Operational Challenges for Widespread Edge AI
+//! Adoption"* (Leroux et al., 2022). The paper enumerates what a TinyMLOps
+//! platform must do; this workspace builds all of it:
+//!
+//! | Module (re-export) | Paper section | What it provides |
+//! |---|---|---|
+//! | [`nn`], [`tensor`] | §I | The on-device DNN runtime: training, inference, synthetic datasets |
+//! | [`quant`] | §II, §III-A | int8/int4/int2/binary kernels, pruning, distillation |
+//! | [`registry`] | §III-A | Versioned model store, lineage, auto-triggered optimization pipeline |
+//! | [`observe`] | §III-B | Drift detectors, bounded telemetry, DP aggregation, stealing detection |
+//! | [`meter`] | §III-C | Offline pay-per-query: quotas, tamper-evident audit chains, vouchers, billing |
+//! | [`fed`] | §III-D | FedAvg/FedProx, non-iid partitioners, update compression, secure aggregation, personalization |
+//! | [`device`] | §IV | The simulated fragmented fleet: capabilities, batteries, networks |
+//! | [`deploy`] | §III-A, §IV | Constraint-aware selection, signed capsules, pipeline VM, marketplace, edge-cloud split |
+//! | [`ipp`] | §V | Model encryption, static/dynamic watermarking, prediction poisoning, extraction attacks |
+//! | [`verify`] | §VI | Sum-check verifiable inference, simulated secure enclaves |
+//! | [`crypto`] | substrate | SHA-256, HMAC/HKDF, ChaCha20, hash-based signatures |
+//! | [`core`] | Fig. 1 | The platform hub and the end-to-end lifecycle |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tinymlops::core::{run_lifecycle, LifecycleConfig};
+//! let report = run_lifecycle(&LifecycleConfig {
+//!     fleet_size: 20,
+//!     dataset_size: 600,
+//!     fl_clients: 4,
+//!     fl_rounds: 2,
+//!     seed: 1,
+//! }).expect("lifecycle");
+//! assert!(report.all_ok());
+//! ```
+//!
+//! See `examples/` for domain scenarios and `crates/bench` for the
+//! experiment harness regenerating every table in EXPERIMENTS.md.
+
+pub use tinymlops_core as core;
+pub use tinymlops_crypto as crypto;
+pub use tinymlops_deploy as deploy;
+pub use tinymlops_device as device;
+pub use tinymlops_fed as fed;
+pub use tinymlops_ipp as ipp;
+pub use tinymlops_meter as meter;
+pub use tinymlops_nn as nn;
+pub use tinymlops_observe as observe;
+pub use tinymlops_quant as quant;
+pub use tinymlops_registry as registry;
+pub use tinymlops_tensor as tensor;
+pub use tinymlops_verify as verify;

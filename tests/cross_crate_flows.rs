@@ -1,0 +1,198 @@
+//! Integration tests spanning multiple crates — the seams DESIGN.md calls
+//! out: registry→deploy, quant→verify, ipp→observe, meter→crypto, fed→nn.
+
+use tinymlops::deploy::{select_variant, Capsule, CapsuleMeta, Pipeline, Requirements};
+use tinymlops::device::{default_mix, Fleet};
+use tinymlops::ipp::{decrypt_model, encrypt_model, Poisoner, StaticWatermark};
+use tinymlops::nn::data::synth_digits;
+use tinymlops::nn::model::mlp;
+use tinymlops::nn::train::{evaluate, fit, FitConfig};
+use tinymlops::nn::Adam;
+use tinymlops::quant::{QuantScheme, QuantizedModel};
+use tinymlops::registry::{OptimizationPipeline, Registry, SemVer};
+use tinymlops::tensor::TensorRng;
+use tinymlops::verify::VerifiableModel;
+
+fn trained_model() -> (
+    tinymlops::nn::Sequential,
+    tinymlops::nn::Dataset,
+    tinymlops::nn::Dataset,
+) {
+    let data = synth_digits(1000, 0.08, 1234);
+    let (train, test) = data.split(0.85, 0);
+    let mut rng = TensorRng::seed(9);
+    let mut model = mlp(&[64, 32, 10], &mut rng);
+    let mut opt = Adam::new(0.005);
+    fit(
+        &mut model,
+        &train,
+        &mut opt,
+        &FitConfig {
+            epochs: 12,
+            batch_size: 32,
+            ..Default::default()
+        },
+    );
+    (model, train, test)
+}
+
+/// Registry → deploy: variants produced by the pipeline are selectable for
+/// every device class that has a supported scheme, and the artifact loaded
+/// from the registry actually runs.
+#[test]
+fn registry_variants_deploy_across_fleet() {
+    let (model, train, test) = trained_model();
+    let registry = Registry::new();
+    OptimizationPipeline::standard()
+        .process_base(&registry, "m", &model, SemVer::new(1, 0, 0), &train, &test, 0)
+        .unwrap();
+    let family = registry.family_at("m", SemVer::new(1, 0, 0));
+    let fleet = Fleet::generate(60, &default_mix(), 3);
+    let req = Requirements {
+        max_latency_ms: 1e6,
+        max_download_ms: f64::INFINITY,
+        min_accuracy: 0.0,
+        max_energy_mj: f64::INFINITY,
+    };
+    let mut served = 0;
+    for device in &fleet.devices {
+        if let Ok(sel) = select_variant(&family, device, &req) {
+            served += 1;
+            // The artifact must load and predict.
+            if sel.record.format.name() == "f32" {
+                let m = registry.load_model(sel.record.id).unwrap();
+                assert_eq!(m.predict(&test.x.slice_rows(0, 4)).len(), 4);
+            }
+        }
+    }
+    assert!(served >= 55, "nearly all devices served, got {served}/60");
+}
+
+/// Quant → verify: the registry's int8 variant is exactly the model the
+/// proof system verifies — registry bytes → QuantizedModel → proof.
+#[test]
+fn registry_int8_artifact_is_provable() {
+    let (model, train, test) = trained_model();
+    let registry = Registry::new();
+    OptimizationPipeline::standard()
+        .process_base(&registry, "m", &model, SemVer::new(1, 0, 0), &train, &test, 0)
+        .unwrap();
+    let int8 = registry
+        .all()
+        .into_iter()
+        .find(|r| r.format.name() == "int8")
+        .unwrap();
+    let bytes = registry.artifact(int8.id).unwrap();
+    let q: QuantizedModel = serde_json::from_slice(&bytes).unwrap();
+    let vm = VerifiableModel::from_quantized(&q).unwrap();
+    let x = test.x.slice_rows(0, 6);
+    let (y, proof) = vm.prove(&x);
+    vm.verify(&x, &y, &proof).unwrap();
+}
+
+/// IPP → quant: a watermark embedded in f32 survives the int8 pipeline the
+/// registry would apply (the §V "TinyMLOps platforms have to keep track of
+/// the different versions … to associate different watermarks" flow).
+#[test]
+fn watermark_survives_int8_quantization() {
+    let (mut model, train, _) = trained_model();
+    let wm = StaticWatermark::random(32, 404);
+    wm.embed(&mut model, &train, 0.05, 6, 0.01, 0);
+    assert_eq!(wm.ber(&model), 0.0);
+    // Quantize weights (fake-quant keeps the architecture, so the
+    // white-box extraction still applies).
+    let quantized = tinymlops::quant::fake_quantize(&model, 8);
+    let ber = wm.ber(&quantized);
+    assert!(ber < 0.1, "int8 rounding should keep BER low, got {ber}");
+}
+
+/// Capsule ↔ crypto: a capsule signed by one vendor chain verifies with
+/// its root across serialization, and an attacker's re-signed capsule
+/// does not.
+#[test]
+fn capsule_signing_chain_of_trust() {
+    let (model, _, _) = trained_model();
+    let mut vendor = tinymlops::crypto::MerkleSigner::generate(
+        &mut tinymlops::crypto::Drbg::from_u64(5, b"vendor"),
+        3,
+    );
+    let root = vendor.public_key();
+    let capsule = Capsule::build(
+        CapsuleMeta {
+            name: "m".into(),
+            version: "1.0.0".into(),
+            scheme: "f32".into(),
+            target: "any".into(),
+        },
+        &Pipeline::standard_classifier(0.0, 1.0),
+        model.to_bytes().unwrap(),
+        &mut vendor,
+    )
+    .unwrap();
+    let wire = capsule.to_bytes();
+    let parsed = Capsule::from_bytes(&wire).unwrap();
+    parsed.verify(&root).unwrap();
+
+    // Attacker swaps the model and re-signs with their own chain.
+    let mut attacker = tinymlops::crypto::MerkleSigner::generate(
+        &mut tinymlops::crypto::Drbg::from_u64(666, b"attacker"),
+        3,
+    );
+    let evil = Capsule::build(
+        parsed.meta.clone(),
+        &Pipeline::standard_classifier(0.0, 1.0),
+        parsed.model_bytes.clone(),
+        &mut attacker,
+    )
+    .unwrap();
+    assert!(evil.verify(&root).is_err(), "foreign signature rejected");
+}
+
+/// IPP → nn: encryption round-trips through model serialization without
+/// touching behaviour, and the poisoned API still matches argmax.
+#[test]
+fn protected_serving_preserves_top1() {
+    let (model, _, test) = trained_model();
+    let enc = encrypt_model(&model, &[3u8; 32], 1, [1u8; 12]);
+    let served = decrypt_model(&enc, &[3u8; 32]).unwrap();
+    let x = test.x.slice_rows(0, 32);
+    let clean = served.predict_proba(&x);
+    for poisoner in [
+        Poisoner::Round { decimals: 1 },
+        Poisoner::TopOnly,
+        Poisoner::LabelOnly,
+        Poisoner::ReverseSigmoid { beta: 0.8 },
+    ] {
+        let out = poisoner.apply(&clean);
+        assert_eq!(
+            out.argmax_rows(),
+            clean.argmax_rows(),
+            "{} must not change answers for honest users",
+            poisoner.name()
+        );
+    }
+}
+
+/// Quantized accuracy ordering across the whole pipeline (the E1 shape, as
+/// an invariant): f32 ≥ int8 ≥ int2 up to small noise, and sizes strictly
+/// shrink.
+#[test]
+fn quantization_accuracy_and_size_shape() {
+    let (model, train, test) = trained_model();
+    let f32_acc = evaluate(&model, &test);
+    let acc = |s: QuantScheme| {
+        QuantizedModel::quantize(&model, &train.x, s)
+            .unwrap()
+            .accuracy(&test.x, &test.y)
+    };
+    let size = |s: QuantScheme| {
+        QuantizedModel::quantize(&model, &train.x, s)
+            .unwrap()
+            .size_bytes()
+    };
+    assert!(acc(QuantScheme::Int8) > f32_acc - 0.03);
+    assert!(acc(QuantScheme::Int8) >= acc(QuantScheme::Int2) - 0.02);
+    assert!(size(QuantScheme::Int8) > size(QuantScheme::Int4));
+    assert!(size(QuantScheme::Int4) > size(QuantScheme::Int2));
+    assert!(size(QuantScheme::Int2) > size(QuantScheme::Binary));
+}

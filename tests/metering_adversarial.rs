@@ -1,0 +1,98 @@
+//! Adversarial integration tests for the §III-C metering stack: every
+//! fraud path the paper worries about ("secure offline way on untrusted
+//! hardware") must be caught at sync time.
+
+use tinymlops::meter::{
+    audit::{AuditLog, EntryKind},
+    QuotaManager, RateCard, SyncServer, VoucherIssuer, VoucherLedger,
+};
+
+const DEVICE_KEY: [u8; 32] = [11u8; 32];
+
+fn provisioned_backend() -> SyncServer {
+    let mut s = SyncServer::new();
+    s.provision(1, DEVICE_KEY);
+    s
+}
+
+#[test]
+fn honest_device_lifecycle_bills_correctly() {
+    let mut backend = provisioned_backend();
+    let mut issuer = VoucherIssuer::new([2u8; 32]);
+    let mut ledger = VoucherLedger::new();
+    let mut quota = QuotaManager::new(DEVICE_KEY);
+
+    // Two purchase/consume/sync cycles.
+    let mut t = 0u64;
+    for cycle in 0..2 {
+        let v = issuer.issue(1500, 1);
+        ledger.register(v.serial).unwrap();
+        quota.credit(v.quota, v.serial, t);
+        for _ in 0..15 {
+            quota.consume(100, t).unwrap();
+            t += 1;
+        }
+        let outcome = backend.sync(1, quota.log()).unwrap();
+        assert_eq!(outcome.new_queries, 1500, "cycle {cycle}");
+    }
+    let invoice = tinymlops::meter::Invoice::compute(1, backend.billed(1), &RateCard::cloud_vision_like());
+    assert_eq!(invoice.queries, 3000);
+    // 3000 − 1000 free = 2000 billable at $1.50/1k.
+    assert_eq!(invoice.amount_display(), "$3.00");
+}
+
+#[test]
+fn understating_usage_breaks_the_chain() {
+    let mut backend = provisioned_backend();
+    let mut quota = QuotaManager::new(DEVICE_KEY);
+    quota.credit(100, 1, 0);
+    for t in 0..10 {
+        quota.consume(10, t).unwrap();
+    }
+    backend.sync(1, quota.log()).unwrap();
+
+    // Attacker fabricates a log claiming only 1 query, sealed with a
+    // guessed key.
+    let mut forged = AuditLog::new([0u8; 32]);
+    forged.append(EntryKind::Query, 1, 0);
+    assert!(backend.sync(1, &forged).is_err());
+}
+
+#[test]
+fn rollback_to_presync_state_is_a_fork() {
+    let mut backend = provisioned_backend();
+    let mut quota = QuotaManager::new(DEVICE_KEY);
+    quota.credit(50, 1, 0);
+    quota.consume(50, 1).unwrap();
+    backend.sync(1, quota.log()).unwrap();
+
+    // Restore the device image from before the consumption.
+    let mut restored = QuotaManager::new(DEVICE_KEY);
+    restored.credit(50, 1, 0); // replays the same voucher state
+    assert!(
+        backend.sync(1, restored.log()).is_err(),
+        "restored snapshot must not reconcile"
+    );
+}
+
+#[test]
+fn voucher_cloning_across_devices_is_caught() {
+    let mut issuer = VoucherIssuer::new([2u8; 32]);
+    let mut ledger = VoucherLedger::new();
+    let v = issuer.issue(1000, 0); // bearer voucher
+    // Device A redeems and syncs.
+    ledger.register(v.serial).unwrap();
+    // Device B presents the same serial.
+    assert!(ledger.register(v.serial).is_err());
+}
+
+#[test]
+fn quota_denial_is_exact_not_approximate() {
+    let mut quota = QuotaManager::new(DEVICE_KEY);
+    quota.credit(7, 1, 0);
+    assert!(quota.consume(7, 1).is_ok());
+    assert!(quota.consume(1, 2).is_err());
+    // Audit trail shows exactly 7 queries, no phantom denials.
+    assert_eq!(quota.log().query_count(), 7);
+    quota.log().verify(&DEVICE_KEY).unwrap();
+}
