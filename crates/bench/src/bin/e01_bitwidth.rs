@@ -22,7 +22,16 @@ fn main() {
     let mut rng = TensorRng::seed(seed);
     let mut model = mlp(&[64, 32, 10], &mut rng);
     let mut opt = Adam::new(0.005);
-    fit(&mut model, &train, &mut opt, &FitConfig { epochs: 25, batch_size: 32, ..Default::default() });
+    fit(
+        &mut model,
+        &train,
+        &mut opt,
+        &FitConfig {
+            epochs: 25,
+            batch_size: 32,
+            ..Default::default()
+        },
+    );
 
     let macs = total_macs(&model, &[64]);
     let m4 = DeviceClass::McuM4.profile();
@@ -75,7 +84,11 @@ fn main() {
         "host ms/64-batch",
         "est. M4 ms/inf",
     ];
-    print_table("E1 bit-width sweep (synth-digits, MLP 64-32-10)", &headers, &rows);
+    print_table(
+        "E1 bit-width sweep (synth-digits, MLP 64-32-10)",
+        &headers,
+        &rows,
+    );
     save_json("e01_bitwidth", &headers, &rows);
     println!(
         "\nshape check: accuracy decays gracefully to 2-bit, binary trades more accuracy \

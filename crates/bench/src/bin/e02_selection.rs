@@ -47,7 +47,16 @@ fn main() {
     let mut rng = TensorRng::seed(seed);
     let mut model = mlp(&[64, 96, 10], &mut rng);
     let mut opt = Adam::new(0.004);
-    fit(&mut model, &train, &mut opt, &FitConfig { epochs: 30, batch_size: 32, ..Default::default() });
+    fit(
+        &mut model,
+        &train,
+        &mut opt,
+        &FitConfig {
+            epochs: 30,
+            batch_size: 32,
+            ..Default::default()
+        },
+    );
     let registry = Registry::new();
     // Quantization-only family: the menu is a pure accuracy↔cost ladder.
     let pipeline = OptimizationPipeline::new(PipelineConfig {
@@ -60,7 +69,15 @@ fn main() {
         ..Default::default()
     });
     pipeline
-        .process_base(&registry, "m", &model, SemVer::new(1, 0, 0), &train, &test, 0)
+        .process_base(
+            &registry,
+            "m",
+            &model,
+            SemVer::new(1, 0, 0),
+            &train,
+            &test,
+            0,
+        )
         .expect("pipeline");
     let family = {
         let mut f = registry.family_at("m", SemVer::new(1, 0, 0));
@@ -82,46 +99,91 @@ fn main() {
     // between the int8 and int2 energy on that device.
     let m7 = DeviceClass::McuM7.profile();
     let macs = family[0].macs;
-    let e_int4 = inference_cost(&m7, macs, NumericScheme::Int4).expect("int4").energy_mj;
-    let e_int2 = inference_cost(&m7, macs, NumericScheme::Int2).expect("int2").energy_mj;
+    let e_int4 = inference_cost(&m7, macs, NumericScheme::Int4)
+        .expect("int4")
+        .energy_mj;
+    let e_int2 = inference_cost(&m7, macs, NumericScheme::Int2)
+        .expect("int2")
+        .energy_mj;
     let tight_budget = (e_int4 + e_int2) / 2.0; // excludes int8/int4, admits int2/binary
 
     let scenarios: Vec<(&str, Device, Requirements)> = vec![
         (
             "phone plugged+wifi (accuracy-first)",
             device(DeviceClass::MobileHigh, 1.0, true, NetworkKind::Wifi),
-            Requirements { max_latency_ms: 50.0, max_download_ms: 30_000.0, min_accuracy: 0.80, max_energy_mj: f64::INFINITY },
+            Requirements {
+                max_latency_ms: 50.0,
+                max_download_ms: 30_000.0,
+                min_accuracy: 0.80,
+                max_energy_mj: f64::INFINITY,
+            },
         ),
         (
             "phone on slow BLE link (download-first)",
             device(DeviceClass::MobileHigh, 1.0, false, NetworkKind::Ble),
-            Requirements { max_latency_ms: 50.0, max_download_ms: 2_500.0, min_accuracy: 0.0, max_energy_mj: f64::INFINITY },
+            Requirements {
+                max_latency_ms: 50.0,
+                max_download_ms: 2_500.0,
+                min_accuracy: 0.0,
+                max_energy_mj: f64::INFINITY,
+            },
         ),
         (
             "m7 node, full battery",
             device(DeviceClass::McuM7, 1.0, false, NetworkKind::Wifi),
-            Requirements { max_latency_ms: 50.0, max_download_ms: 60_000.0, min_accuracy: 0.60, max_energy_mj: f64::INFINITY },
+            Requirements {
+                max_latency_ms: 50.0,
+                max_download_ms: 60_000.0,
+                min_accuracy: 0.60,
+                max_energy_mj: f64::INFINITY,
+            },
         ),
         (
             "m7 node, 5% battery (energy cap)",
             device(DeviceClass::McuM7, 0.05, false, NetworkKind::Wifi),
-            Requirements { max_latency_ms: 50.0, max_download_ms: 60_000.0, min_accuracy: 0.0, max_energy_mj: tight_budget },
+            Requirements {
+                max_latency_ms: 50.0,
+                max_download_ms: 60_000.0,
+                min_accuracy: 0.0,
+                max_energy_mj: tight_budget,
+            },
         ),
         (
             "m0 sensor (no f32 silicon)",
             device(DeviceClass::McuM0, 0.8, false, NetworkKind::Ble),
-            Requirements { max_latency_ms: 200.0, max_download_ms: 60_000.0, min_accuracy: 0.0, max_energy_mj: f64::INFINITY },
+            Requirements {
+                max_latency_ms: 200.0,
+                max_download_ms: 60_000.0,
+                min_accuracy: 0.0,
+                max_energy_mj: f64::INFINITY,
+            },
         ),
         (
             "m0 sensor, last-gasp battery",
             device(DeviceClass::McuM0, 0.03, false, NetworkKind::Ble),
-            Requirements { max_latency_ms: 200.0, max_download_ms: 60_000.0, min_accuracy: 0.0,
-                max_energy_mj: inference_cost(&DeviceClass::McuM0.profile(), macs, NumericScheme::Binary).expect("binary").energy_mj * 1.5 },
+            Requirements {
+                max_latency_ms: 200.0,
+                max_download_ms: 60_000.0,
+                min_accuracy: 0.0,
+                max_energy_mj: inference_cost(
+                    &DeviceClass::McuM0.profile(),
+                    macs,
+                    NumericScheme::Binary,
+                )
+                .expect("binary")
+                .energy_mj
+                    * 1.5,
+            },
         ),
         (
             "gateway, accuracy-critical",
             device(DeviceClass::EdgeAccel, 1.0, true, NetworkKind::Wifi),
-            Requirements { max_latency_ms: 100.0, max_download_ms: 60_000.0, min_accuracy: family[0].accuracy() - 0.01, max_energy_mj: f64::INFINITY },
+            Requirements {
+                max_latency_ms: 100.0,
+                max_download_ms: 60_000.0,
+                min_accuracy: family[0].accuracy() - 0.01,
+                max_energy_mj: f64::INFINITY,
+            },
         ),
     ];
 
@@ -146,7 +208,14 @@ fn main() {
             ]),
         }
     }
-    let headers = ["scenario", "chosen", "acc", "inf ms", "inf mJ", "download ms"];
+    let headers = [
+        "scenario",
+        "chosen",
+        "acc",
+        "inf ms",
+        "inf mJ",
+        "download ms",
+    ];
     print_table("E2 per-state selections", &headers, &rows);
     save_json("e02_selection", &headers, &rows);
 

@@ -28,7 +28,16 @@ fn main() {
         let mut rng = TensorRng::seed(seed + gen);
         let mut model = mlp(&[64, 32, 10], &mut rng);
         let mut opt = Adam::new(0.005);
-        fit(&mut model, &train, &mut opt, &FitConfig { epochs: 10, batch_size: 32, ..Default::default() });
+        fit(
+            &mut model,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 10,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
         let ((_, variants), ms) = time_ms(|| {
             pipeline
                 .process_base(&registry, "kws", &model, version, &train, &test, gen * 1000)
@@ -42,7 +51,12 @@ fn main() {
         ]);
         version = version.bump_minor();
     }
-    let headers = ["base version", "records this gen", "total records", "pipeline ms"];
+    let headers = [
+        "base version",
+        "records this gen",
+        "total records",
+        "pipeline ms",
+    ];
     print_table("E3 registry growth over retrains", &headers, &rows);
     save_json("e03_registry", &headers, &rows);
 
@@ -56,9 +70,7 @@ fn main() {
         let chain = registry.lineage(r.id).expect("lineage");
         lineage_ok &= chain.len() <= 2 && chain.first().map(|c| c.parent.is_none()) == Some(true);
     }
-    println!(
-        "\nlineage audit: {bases} bases, {variants} variants, all chains valid: {lineage_ok}"
-    );
+    println!("\nlineage audit: {bases} bases, {variants} variants, all chains valid: {lineage_ok}");
     println!(
         "centralized deployment would manage {bases} models; TinyMLOps manages {} — \
          a {}x blow-up before per-device watermarks multiply it further (§V).",

@@ -43,7 +43,9 @@ fn main() {
         ),
         (
             "psi(8bins)",
-            Box::new(|| Box::new(PsiDetector::new(0.0, 1.0, 8, 128, 0.25)) as Box<dyn DriftDetector>),
+            Box::new(|| {
+                Box::new(PsiDetector::new(0.0, 1.0, 8, 128, 0.25)) as Box<dyn DriftDetector>
+            }),
         ),
         (
             "page-hinkley",
@@ -78,7 +80,11 @@ fn main() {
         rows.push(vec![
             name.to_string(),
             format!("{total_fa}/{}", seeds.len() * 900),
-            if mean_delay.is_nan() { "—".into() } else { fmt(mean_delay, 1) },
+            if mean_delay.is_nan() {
+                "—".into()
+            } else {
+                fmt(mean_delay, 1)
+            },
             format!("{missed}/{}", seeds.len()),
         ]);
     }

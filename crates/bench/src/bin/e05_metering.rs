@@ -47,12 +47,18 @@ fn main() {
                 log_edit_payload(log, idx);
             }) as Box<dyn Fn(&mut AuditLog, usize)>,
         ),
-        ("delete entry", Box::new(|log: &mut AuditLog, idx: usize| {
-            log_delete(log, idx);
-        })),
-        ("swap entries", Box::new(|log: &mut AuditLog, idx: usize| {
-            log_swap(log, idx);
-        })),
+        (
+            "delete entry",
+            Box::new(|log: &mut AuditLog, idx: usize| {
+                log_delete(log, idx);
+            }),
+        ),
+        (
+            "swap entries",
+            Box::new(|log: &mut AuditLog, idx: usize| {
+                log_swap(log, idx);
+            }),
+        ),
     ] {
         let trials = 200;
         let mut caught = 0;
@@ -103,7 +109,11 @@ fn main() {
         ]);
     }
     let headers2 = ["attack", "caught", "detection %"];
-    print_table("E5b tamper & rollback detection", &headers2, &detection_rows);
+    print_table(
+        "E5b tamper & rollback detection",
+        &headers2,
+        &detection_rows,
+    );
     save_json("e05_metering_detection", &headers2, &detection_rows);
 
     // Billing reconciliation at the paper's $1.50/1k rate.
@@ -116,7 +126,11 @@ fn main() {
         ]);
     }
     let headers3 = ["queries", "invoice"];
-    print_table("E5c invoices at $1.50/1k (first 1k free)", &headers3, &billing_rows);
+    print_table(
+        "E5c invoices at $1.50/1k (first 1k free)",
+        &headers3,
+        &billing_rows,
+    );
     save_json("e05_metering_billing", &headers3, &billing_rows);
 
     // Voucher double-spend.

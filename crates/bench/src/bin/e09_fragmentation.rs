@@ -7,7 +7,9 @@
 
 use tinymlops_bench::{fmt, print_table, save_json};
 use tinymlops_deploy::{all_splits, best_split, local_execution, Marketplace, Workload};
-use tinymlops_device::{default_mix, inference_cost, DeviceClass, Fleet, NetworkKind, NumericScheme};
+use tinymlops_device::{
+    default_mix, inference_cost, DeviceClass, Fleet, NetworkKind, NumericScheme,
+};
 use tinymlops_nn::model::mlp;
 use tinymlops_nn::profile::profile;
 use tinymlops_tensor::TensorRng;
@@ -85,7 +87,11 @@ fn main() {
         "mean market ms",
         "offload wins",
     ];
-    print_table("E9b marketplace vs local-only (50M-MAC job, 1s deadline)", &b_headers, &b_rows);
+    print_table(
+        "E9b marketplace vs local-only (50M-MAC job, 1s deadline)",
+        &b_headers,
+        &b_rows,
+    );
     save_json("e09_marketplace", &b_headers, &b_rows);
 
     // (c) Split-point sweep: where to cut the model as bandwidth grows.
@@ -113,7 +119,14 @@ fn main() {
             fmt(plan.total_ms, 2),
         ]);
     }
-    let c_headers = ["uplink bps", "split (device layers)", "device ms", "upload ms", "cloud ms", "total ms"];
+    let c_headers = [
+        "uplink bps",
+        "split (device layers)",
+        "device ms",
+        "upload ms",
+        "cloud ms",
+        "total ms",
+    ];
     print_table(
         "E9c optimal split vs bandwidth (M0 device, bottleneck MLP 1024-64-512-256-10)",
         &c_headers,

@@ -86,7 +86,11 @@ fn main() {
         ]);
     }
     let spe_headers = ["layers in SPE", "latency ms", "vs plain"];
-    print_table("E10b partial-SPE evaluation (2x enclave slowdown)", &spe_headers, &spe_rows);
+    print_table(
+        "E10b partial-SPE evaluation (2x enclave slowdown)",
+        &spe_headers,
+        &spe_rows,
+    );
     save_json("e10_partial_spe", &spe_headers, &spe_rows);
 
     // Full-enclave attestation demo at the MLCapsule-quoted 2x.

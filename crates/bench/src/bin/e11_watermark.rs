@@ -21,7 +21,16 @@ fn main() {
     let mut rng = TensorRng::seed(seed);
     let mut base = mlp(&[64, 32, 10], &mut rng);
     let mut opt = Adam::new(0.005);
-    fit(&mut base, &train, &mut opt, &FitConfig { epochs: 18, batch_size: 32, ..Default::default() });
+    fit(
+        &mut base,
+        &train,
+        &mut opt,
+        &FitConfig {
+            epochs: 18,
+            batch_size: 32,
+            ..Default::default()
+        },
+    );
     let base_acc = evaluate(&base, &test);
     println!("unmarked model accuracy: {base_acc:.3}");
 
@@ -45,7 +54,16 @@ fn main() {
     let attack_finetune = |m: &Sequential| {
         let mut a = m.clone();
         let mut o = Adam::new(0.001);
-        fit(&mut a, &train, &mut o, &FitConfig { epochs: 2, batch_size: 32, ..Default::default() });
+        fit(
+            &mut a,
+            &train,
+            &mut o,
+            &FitConfig {
+                epochs: 2,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
         a
     };
 

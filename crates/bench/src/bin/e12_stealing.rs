@@ -23,7 +23,16 @@ fn main() {
     let mut rng = TensorRng::seed(seed);
     let mut victim = mlp(&[64, 32, 10], &mut rng);
     let mut opt = Adam::new(0.005);
-    fit(&mut victim, &train, &mut opt, &FitConfig { epochs: 20, batch_size: 32, ..Default::default() });
+    fit(
+        &mut victim,
+        &train,
+        &mut opt,
+        &FitConfig {
+            epochs: 20,
+            batch_size: 32,
+            ..Default::default()
+        },
+    );
     println!("victim accuracy: {:.3}", evaluate(&victim, &test));
 
     // The attacker's transfer pool: noisier harvest of similar data.
@@ -61,8 +70,17 @@ fn main() {
             ]);
         }
     }
-    let headers = ["query budget", "defense", "surrogate agreement", "surrogate acc"];
-    print_table("E12a extraction attack vs prediction poisoning", &headers, &rows);
+    let headers = [
+        "query budget",
+        "defense",
+        "surrogate agreement",
+        "surrogate acc",
+    ];
+    print_table(
+        "E12a extraction attack vs prediction poisoning",
+        &headers,
+        &rows,
+    );
     save_json("e12_stealing", &headers, &rows);
 
     // PRADA-style detection: queries until alarm.
@@ -104,7 +122,11 @@ fn main() {
         ]);
     }
     let det_headers = ["traffic", "queries to alarm", "final score"];
-    print_table("E12b PRADA-style stealing detection", &det_headers, &det_rows);
+    print_table(
+        "E12b PRADA-style stealing detection",
+        &det_headers,
+        &det_rows,
+    );
     save_json("e12_detection", &det_headers, &det_rows);
     println!(
         "\nshape check: agreement rises with budget; every poisoner lowers it at equal \

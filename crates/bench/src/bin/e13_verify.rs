@@ -71,7 +71,16 @@ fn main() {
     let mut rng = TensorRng::seed(seed);
     let mut model = mlp(&[64, 32, 10], &mut rng);
     let mut opt = Adam::new(0.005);
-    fit(&mut model, &train, &mut opt, &FitConfig { epochs: 10, batch_size: 32, ..Default::default() });
+    fit(
+        &mut model,
+        &train,
+        &mut opt,
+        &FitConfig {
+            epochs: 10,
+            batch_size: 32,
+            ..Default::default()
+        },
+    );
     let q = QuantizedModel::quantize(&model, &train.x, QuantScheme::Int8).expect("int8");
     let vm = VerifiableModel::from_quantized(&q).expect("provable");
     let mut e2e_rows = Vec::new();
@@ -106,7 +115,11 @@ fn main() {
         "infer/verify",
         "proof",
     ];
-    print_table("E13b end-to-end provable int8 MLP (64-32-10)", &e2e_headers, &e2e_rows);
+    print_table(
+        "E13b end-to-end provable int8 MLP (64-32-10)",
+        &e2e_headers,
+        &e2e_rows,
+    );
     save_json("e13_e2e", &e2e_headers, &e2e_rows);
 
     // (c) SPE cost model at the MLCapsule-quoted 2x. Use a batch big
@@ -126,7 +139,11 @@ fn main() {
         "verified".to_string(),
     ]];
     let spe_headers = ["plain ms", "enclave ms", "factor", "attestation"];
-    print_table("E13c SPE (MLCapsule-style, 2x model)", &spe_headers, &spe_rows);
+    print_table(
+        "E13c SPE (MLCapsule-style, 2x model)",
+        &spe_headers,
+        &spe_rows,
+    );
     save_json("e13_spe", &spe_headers, &spe_rows);
     println!(
         "\nshape check: verifier beats re-execution once batches amortize the weight-MLE \

@@ -34,7 +34,12 @@ fn main() {
     };
     let phases = vec![split_classes(0, 5), split_classes(5, 10)];
     let mut rows = Vec::new();
-    for (name, capacity) in [("naive (no replay)", 0usize), ("replay-50", 50), ("replay-150", 150), ("replay-400", 400)] {
+    for (name, capacity) in [
+        ("naive (no replay)", 0usize),
+        ("replay-50", 50),
+        ("replay-150", 150),
+        ("replay-400", 400),
+    ] {
         let mut model = mlp(&[64, 32, 10], &mut TensorRng::seed(3));
         let matrix = if capacity == 0 {
             train_sequential(&mut model, &phases, None, 8, 0.05, 0)
@@ -51,8 +56,18 @@ fn main() {
             fmt(f64::from(forgetting(&matrix)), 3),
         ]);
     }
-    let headers = ["strategy", "task1 after task1", "task1 final", "task2 final", "forgetting"];
-    print_table("E14a catastrophic forgetting (digits 0-4 then 5-9)", &headers, &rows);
+    let headers = [
+        "strategy",
+        "task1 after task1",
+        "task1 final",
+        "task2 final",
+        "forgetting",
+    ];
+    print_table(
+        "E14a catastrophic forgetting (digits 0-4 then 5-9)",
+        &headers,
+        &rows,
+    );
     save_json("e14_continual", &headers, &rows);
 
     // ── (b) Semi-supervised FL from a tiny labelled seed.
@@ -62,16 +77,38 @@ fn main() {
     let clients = partition_iid(&unlabeled_pool, 8, 2);
     let mut model = mlp(&[64, 24, 10], &mut TensorRng::seed(3));
     let mut opt = Adam::new(0.005);
-    fit(&mut model, &seed_set, &mut opt, &FitConfig { epochs: 20, batch_size: 16, ..Default::default() });
+    fit(
+        &mut model,
+        &seed_set,
+        &mut opt,
+        &FitConfig {
+            epochs: 20,
+            batch_size: 16,
+            ..Default::default()
+        },
+    );
     let seed_only = evaluate(&model, &test);
-    let stats = run_semi_supervised(&mut model, &seed_set, &clients, &test, 30, &SemiConfig::default());
+    let stats = run_semi_supervised(
+        &mut model,
+        &seed_set,
+        &clients,
+        &test,
+        30,
+        &SemiConfig::default(),
+    );
     let mut b_rows = vec![vec![
         seed_set.len().to_string(),
         unlabeled_pool.len().to_string(),
         fmt(f64::from(seed_only), 3),
         fmt(f64::from(stats.last().map_or(0.0, |s| s.accuracy)), 3),
-        fmt(f64::from(stats.last().map_or(0.0, |s| s.pseudo_label_rate)), 2),
-        fmt(f64::from(stats.last().map_or(0.0, |s| s.pseudo_label_accuracy)), 3),
+        fmt(
+            f64::from(stats.last().map_or(0.0, |s| s.pseudo_label_rate)),
+            2,
+        ),
+        fmt(
+            f64::from(stats.last().map_or(0.0, |s| s.pseudo_label_accuracy)),
+            3,
+        ),
     ]];
     let b_headers = [
         "labelled seed",
@@ -81,7 +118,11 @@ fn main() {
         "pseudo-label rate",
         "pseudo-label acc",
     ];
-    print_table("E14b semi-supervised federated learning", &b_headers, &b_rows);
+    print_table(
+        "E14b semi-supervised federated learning",
+        &b_headers,
+        &b_rows,
+    );
     save_json("e14_semi", &b_headers, &b_rows);
     b_rows.clear();
 
@@ -90,7 +131,16 @@ fn main() {
     let (btrain, btest) = bdata.split(0.85, 0);
     let mut bmodel = mlp(&[64, 48, 10], &mut TensorRng::seed(7));
     let mut bopt = Adam::new(0.005);
-    fit(&mut bmodel, &btrain, &mut bopt, &FitConfig { epochs: 15, batch_size: 32, ..Default::default() });
+    fit(
+        &mut bmodel,
+        &btrain,
+        &mut bopt,
+        &FitConfig {
+            epochs: 15,
+            batch_size: 32,
+            ..Default::default()
+        },
+    );
     let f32_acc = evaluate(&bmodel, &btest);
     let cfg = BinaryAwareConfig::default();
     let (_, posthoc) = export_binary(&bmodel, &cfg);
@@ -105,8 +155,17 @@ fn main() {
         fmt(f64::from(aware_acc), 3),
         fmt(f64::from(aware_acc - posthoc_acc), 3),
     ]];
-    let c_headers = ["f32 acc", "post-hoc 1-bit acc", "binary-aware 1-bit acc", "recovered"];
-    print_table("E14c binarization-aware training (STE)", &c_headers, &c_rows);
+    let c_headers = [
+        "f32 acc",
+        "post-hoc 1-bit acc",
+        "binary-aware 1-bit acc",
+        "recovered",
+    ];
+    print_table(
+        "E14c binarization-aware training (STE)",
+        &c_headers,
+        &c_rows,
+    );
     save_json("e14_binary_aware", &c_headers, &c_rows);
 
     // ── (d) Weight scrambling: the functional lock and its cost.

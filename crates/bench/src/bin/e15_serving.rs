@@ -1,0 +1,308 @@
+//! E15 — the serving plane under open-loop multi-tenant load.
+//!
+//! The paper's operational loop only matters once traffic flows through
+//! it: this experiment replays ≥100k simulated requests through the
+//! gateway (quota admission + load shedding), micro-batcher, model cache
+//! and constraint-aware fleet router, and reports latency percentiles,
+//! throughput, shed rate and cache hit rate per configuration. A final
+//! section re-runs the reference configuration and asserts bit-identical
+//! stats (the whole plane is a pure function of the seed), then drives a
+//! feature-carrying stream through real `nn`/`quant` inference.
+
+use tinymlops_bench::{fmt, print_table, save_json, time_ms};
+use tinymlops_core::{Platform, PlatformConfig};
+use tinymlops_nn::data::synth_digits;
+use tinymlops_nn::model::mlp;
+use tinymlops_nn::train::{fit, FitConfig};
+use tinymlops_nn::Adam;
+use tinymlops_registry::SemVer;
+use tinymlops_serve::{LoadPlan, ServeConfig, ServeReport, TenantSpec};
+use tinymlops_tensor::TensorRng;
+
+const SEED: u64 = 15;
+
+fn published_platform(fleet_size: usize) -> Platform {
+    let platform = Platform::new(&PlatformConfig {
+        fleet_size,
+        seed: SEED,
+        signer_height: 4,
+    });
+    let data = synth_digits(900, 0.08, SEED);
+    let (train, test) = data.split(0.85, 0);
+    let mut rng = TensorRng::seed(SEED);
+    let mut model = mlp(&[64, 24, 10], &mut rng);
+    let mut opt = Adam::new(0.005);
+    fit(
+        &mut model,
+        &train,
+        &mut opt,
+        &FitConfig {
+            epochs: 10,
+            batch_size: 32,
+            ..Default::default()
+        },
+    );
+    platform
+        .publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)
+        .expect("publish");
+    platform
+}
+
+/// One trained model published under `n` family names (distinct tenants'
+/// products sharing one serving node).
+fn multi_family_platform(fleet_size: usize, families: usize) -> Platform {
+    let platform = Platform::new(&PlatformConfig {
+        fleet_size,
+        seed: SEED,
+        signer_height: 4,
+    });
+    let data = synth_digits(900, 0.08, SEED);
+    let (train, test) = data.split(0.85, 0);
+    let mut rng = TensorRng::seed(SEED);
+    let mut model = mlp(&[64, 24, 10], &mut rng);
+    let mut opt = Adam::new(0.005);
+    fit(
+        &mut model,
+        &train,
+        &mut opt,
+        &FitConfig {
+            epochs: 8,
+            batch_size: 32,
+            ..Default::default()
+        },
+    );
+    for f in 0..families {
+        platform
+            .publish(
+                &format!("family{f}"),
+                &model,
+                SemVer::new(1, 0, 0),
+                &train,
+                &test,
+            )
+            .expect("publish");
+    }
+    platform
+}
+
+fn multi_family_plan(total_rps: f64, duration_us: u64, families: usize) -> LoadPlan {
+    LoadPlan {
+        tenants: (0..families as u32)
+            .map(|f| TenantSpec {
+                id: f + 1,
+                rate_rps: total_rps / families as f64,
+                model: format!("family{f}"),
+                prepaid_queries: 10_000_000,
+                deadline_us: 250_000,
+            })
+            .collect(),
+        duration_us,
+        seed: SEED,
+        feature_dim: 0,
+    }
+}
+
+fn plan(total_rps: f64, duration_us: u64, prepaid: u64, feature_dim: usize) -> LoadPlan {
+    // Four tenants with a 4:2:1:1 rate split over the same family.
+    let unit = total_rps / 8.0;
+    LoadPlan {
+        tenants: vec![
+            TenantSpec {
+                id: 1,
+                rate_rps: unit * 4.0,
+                model: "digits".into(),
+                prepaid_queries: prepaid,
+                deadline_us: 250_000,
+            },
+            TenantSpec {
+                id: 2,
+                rate_rps: unit * 2.0,
+                model: "digits".into(),
+                prepaid_queries: prepaid,
+                deadline_us: 250_000,
+            },
+            TenantSpec {
+                id: 3,
+                rate_rps: unit,
+                model: "digits".into(),
+                prepaid_queries: prepaid,
+                deadline_us: 250_000,
+            },
+            TenantSpec {
+                id: 4,
+                rate_rps: unit,
+                model: "digits".into(),
+                prepaid_queries: prepaid,
+                deadline_us: 250_000,
+            },
+        ],
+        duration_us,
+        seed: SEED,
+        feature_dim,
+    }
+}
+
+fn report_row(label: &str, requests: usize, report: &ServeReport, wall_ms: f64) -> Vec<String> {
+    vec![
+        label.to_string(),
+        requests.to_string(),
+        report.served.to_string(),
+        fmt(report.throughput_rps, 0),
+        fmt(report.p50_ms, 2),
+        fmt(report.p95_ms, 2),
+        fmt(report.p99_ms, 2),
+        fmt(report.shed_rate * 100.0, 1),
+        fmt(report.mean_batch, 2),
+        fmt(report.cache_hit_rate * 100.0, 1),
+        fmt(wall_ms, 0),
+    ]
+}
+
+fn main() {
+    println!("E15: multi-tenant serving plane (gateway → batcher → cache → fleet)");
+
+    let headers = [
+        "config", "requests", "served", "rps", "p50 ms", "p95 ms", "p99 ms", "shed %", "batch",
+        "cache %", "wall ms",
+    ];
+    let mut rows = Vec::new();
+
+    // E15a: 100k-request replay sweeps — load level and batching policy.
+    // The overload row shrinks the fleet and charges a radio-realistic
+    // 2 ms dispatch wake-up, so saturation and load shedding are visible.
+    for (label, total_rps, max_batch, fleet, overhead_us) in [
+        ("light b8", 5_000.0, 8usize, 60usize, 200u64),
+        ("heavy b1", 17_000.0, 1, 60, 200),
+        ("heavy b8", 17_000.0, 8, 60, 200),
+        ("overload b1", 30_000.0, 1, 12, 2_000),
+        ("overload b8", 30_000.0, 8, 12, 2_000),
+    ] {
+        let mut platform = published_platform(fleet);
+        let mut cfg = ServeConfig::default();
+        cfg.batch.max_batch = max_batch;
+        cfg.dispatch_overhead_us = overhead_us;
+        let p = plan(total_rps, 6_000_000, 10_000_000, 0);
+        let requests = p.generate().len();
+        let (report, wall_ms) = time_ms(|| platform.serve_traffic(&p, &cfg).expect("serve"));
+        rows.push(report_row(label, requests, &report, wall_ms));
+    }
+    print_table(
+        "E15a serving under open-loop load (100k+ replays)",
+        &headers,
+        &rows,
+    );
+    save_json("e15_serving_load", &headers, &rows);
+
+    // E15b: admission control — quota exhaustion sheds the tail cleanly.
+    let mut rows_b = Vec::new();
+    for (label, prepaid) in [
+        ("prepaid 2k", 2_000u64),
+        ("prepaid 20k", 20_000),
+        ("prepaid 10M", 10_000_000),
+    ] {
+        let mut platform = published_platform(60);
+        let cfg = ServeConfig::default();
+        let p = plan(8_000.0, 4_000_000, prepaid, 0);
+        let report = platform.serve_traffic(&p, &cfg).expect("serve");
+        rows_b.push(vec![
+            label.to_string(),
+            report.served.to_string(),
+            report
+                .shed_by(tinymlops_serve::ShedReason::QuotaExhausted)
+                .to_string(),
+            report
+                .shed_by(tinymlops_serve::ShedReason::TenantBackpressure)
+                .to_string(),
+            report
+                .shed_by(tinymlops_serve::ShedReason::Overload)
+                .to_string(),
+            fmt(report.shed_rate * 100.0, 1),
+            platform.telemetry.counter("serve.served").to_string(),
+        ]);
+    }
+    let headers_b = [
+        "config",
+        "served",
+        "shed quota",
+        "shed tenant-bp",
+        "shed overload",
+        "shed %",
+        "telemetry served",
+    ];
+    print_table("E15b quota admission & shedding", &headers_b, &rows_b);
+    save_json("e15_serving_admission", &headers_b, &rows_b);
+
+    // E15c: cache pressure — six tenant-facing model families share one
+    // serving node; shrinking the budget below the hot variant working
+    // set turns hits into artifact reloads and inflates tail latency.
+    let mut rows_c = Vec::new();
+    for (label, budget) in [
+        ("512 KiB", 512 * 1024u64),
+        ("16 KiB", 16 * 1024),
+        ("8 KiB", 8 * 1024),
+        ("2 KiB", 2 * 1024),
+    ] {
+        let mut platform = multi_family_platform(60, 6);
+        let cfg = ServeConfig {
+            cache_budget_bytes: budget,
+            ..Default::default()
+        };
+        let p = multi_family_plan(9_000.0, 3_000_000, 6);
+        let report = platform.serve_traffic(&p, &cfg).expect("serve");
+        rows_c.push(vec![
+            label.to_string(),
+            report.cache_hits.to_string(),
+            report.cache_misses.to_string(),
+            fmt(report.cache_hit_rate * 100.0, 1),
+            fmt(report.p95_ms, 2),
+            fmt(report.p99_ms, 2),
+        ]);
+    }
+    let headers_c = [
+        "cache budget",
+        "hits",
+        "misses",
+        "hit %",
+        "p95 ms",
+        "p99 ms",
+    ];
+    print_table(
+        "E15c model-cache pressure (6 families)",
+        &headers_c,
+        &rows_c,
+    );
+    save_json("e15_serving_cache", &headers_c, &rows_c);
+
+    // E15d: determinism — the reference config, replayed twice, must
+    // produce identical statistics.
+    let reference = plan(17_000.0, 6_000_000, 10_000_000, 0);
+    let requests = reference.generate().len();
+    assert!(
+        requests >= 100_000,
+        "reference stream must exceed 100k requests, got {requests}"
+    );
+    let cfg = ServeConfig::default();
+    let first = published_platform(60)
+        .serve_traffic(&reference, &cfg)
+        .expect("serve");
+    let second = published_platform(60)
+        .serve_traffic(&reference, &cfg)
+        .expect("serve");
+    assert_eq!(first, second, "same seed ⇒ identical report");
+    println!(
+        "\nE15d determinism: {requests} requests replayed twice → identical stats ✓\n  {first}"
+    );
+
+    // E15e: real inference — a feature-carrying stream exercises the
+    // actual f32/int8 kernels through the batcher.
+    let mut platform = published_platform(30);
+    let real_plan = plan(2_000.0, 1_000_000, 10_000_000, 64);
+    let report = platform
+        .serve_traffic(&real_plan, &ServeConfig::default())
+        .expect("serve");
+    assert!(report.real_predictions > 0, "real kernels executed");
+    println!(
+        "E15e real execution: {} requests ran through nn/quant kernels (batched), {} served",
+        report.real_predictions, report.served
+    );
+}

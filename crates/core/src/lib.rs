@@ -32,6 +32,8 @@ pub enum PlatformError {
     Ipp(tinymlops_ipp::IppError),
     /// Quantization failure.
     Quant(tinymlops_quant::QuantError),
+    /// Serving-plane failure.
+    Serve(tinymlops_serve::ServeError),
 }
 
 impl std::fmt::Display for PlatformError {
@@ -44,6 +46,7 @@ impl std::fmt::Display for PlatformError {
             PlatformError::Verify(e) => write!(f, "verify: {e}"),
             PlatformError::Ipp(e) => write!(f, "ipp: {e}"),
             PlatformError::Quant(e) => write!(f, "quant: {e}"),
+            PlatformError::Serve(e) => write!(f, "serve: {e}"),
         }
     }
 }
@@ -67,3 +70,4 @@ from_err!(Fed, tinymlops_fed::FedError);
 from_err!(Verify, tinymlops_verify::VerifyError);
 from_err!(Ipp, tinymlops_ipp::IppError);
 from_err!(Quant, tinymlops_quant::QuantError);
+from_err!(Serve, tinymlops_serve::ServeError);

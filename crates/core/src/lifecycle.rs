@@ -91,7 +91,17 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, PlatformE
     let mut rng = TensorRng::seed(cfg.seed);
     let mut model = mlp(&[64, 32, 10], &mut rng);
     let mut opt = Adam::new(0.005);
-    fit(&mut model, &train, &mut opt, &FitConfig { epochs: 15, batch_size: 32, seed: cfg.seed, verbose: false });
+    fit(
+        &mut model,
+        &train,
+        &mut opt,
+        &FitConfig {
+            epochs: 15,
+            batch_size: 32,
+            seed: cfg.seed,
+            verbose: false,
+        },
+    );
     let base_accuracy = evaluate(&model, &test);
     stages.push(StageReport {
         stage: "train",
@@ -100,7 +110,8 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, PlatformE
     });
 
     // ── Stage 1: model store & versioning + auto-optimization (§III-A).
-    let (base_id, variants) = platform.publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)?;
+    let (base_id, variants) =
+        platform.publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)?;
     stages.push(StageReport {
         stage: "registry+pipeline",
         ok: variants.len() == 7,
@@ -182,10 +193,9 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, PlatformE
         let x = drifted.x.slice_rows(chunk_start, chunk_start + 10);
         let _ = platform.metered_infer(0, &dyn_marked, &x);
     }
-    let drift_fired = platform
-        .drift
-        .get(&0)
-        .is_some_and(|d| tinymlops_observe::DriftDetector::status(d) == tinymlops_observe::DriftStatus::Drift);
+    let drift_fired = platform.drift.get(&0).is_some_and(|d| {
+        tinymlops_observe::DriftDetector::status(d) == tinymlops_observe::DriftStatus::Drift
+    });
     let poisoned = Poisoner::Round { decimals: 1 }.apply(&dyn_marked.predict_proba(&probe));
     let argmax_kept = poisoned.argmax_rows() == dyn_marked.predict_proba(&probe).argmax_rows();
     stages.push(StageReport {

@@ -82,7 +82,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 
 /// Decode a lowercase/uppercase hex string into bytes.
 pub fn from_hex(s: &str) -> Result<Vec<u8>, CryptoError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(CryptoError::Malformed("odd-length hex"));
     }
     let nibble = |c: u8| -> Result<u8, CryptoError> {

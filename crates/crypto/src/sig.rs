@@ -104,9 +104,14 @@ impl OtsKeypair {
     /// Recompute the one-time public key implied by `sig` over `message`.
     /// (Verification = comparing this to a trusted leaf value.)
     #[must_use]
-    pub fn recover_public_key(message: &[u8], sig: &OtsSignature, known_hashes: &[[Digest; 2]; 256]) -> Digest {
+    pub fn recover_public_key(
+        message: &[u8],
+        sig: &OtsSignature,
+        known_hashes: &[[Digest; 2]; 256],
+    ) -> Digest {
         let d = sha256(message);
         let mut h = Sha256::new();
+        #[allow(clippy::needless_range_loop)]
         for i in 0..256 {
             let bit = bit_of(&d, i);
             let revealed_hash = sha256(&sig.revealed[i]);

@@ -108,7 +108,13 @@ impl Capsule {
         let meta_json = serde_json::to_vec(&self.meta).expect("meta serializes");
         let sig = encode_signature(&self.signature);
         let mut buf = BytesMut::with_capacity(
-            4 + 2 + 12 + meta_json.len() + self.bytecode.len() + self.model_bytes.len() + 32 + sig.len(),
+            4 + 2
+                + 12
+                + meta_json.len()
+                + self.bytecode.len()
+                + self.model_bytes.len()
+                + 32
+                + sig.len(),
         );
         buf.put_slice(MAGIC);
         buf.put_u16_le(VERSION);
@@ -312,7 +318,10 @@ mod tests {
         let root = s.public_key();
         let mut c = sample_capsule(&mut s);
         c.model_bytes[10] ^= 1;
-        assert_eq!(c.verify(&root), Err(DeployError::Unverified("digest mismatch")));
+        assert_eq!(
+            c.verify(&root),
+            Err(DeployError::Unverified("digest mismatch"))
+        );
     }
 
     #[test]

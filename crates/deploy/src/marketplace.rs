@@ -132,11 +132,15 @@ impl Marketplace {
             }
         }
         drop(reply_tx);
-        let mut bids: Vec<Bid> = (0..sent).filter_map(|_| reply_rx.recv().ok().flatten()).collect();
+        let mut bids: Vec<Bid> = (0..sent)
+            .filter_map(|_| reply_rx.recv().ok().flatten())
+            .collect();
         bids.sort_by(|a, b| {
-            a.price_microdollars
-                .cmp(&b.price_microdollars)
-                .then(a.latency_ms.partial_cmp(&b.latency_ms).unwrap_or(std::cmp::Ordering::Equal))
+            a.price_microdollars.cmp(&b.price_microdollars).then(
+                a.latency_ms
+                    .partial_cmp(&b.latency_ms)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         bids
     }

@@ -94,7 +94,11 @@ pub fn select_variant(
     for record in candidates {
         let scheme = scheme_of(&record.format);
         if !device.profile.supports(scheme) {
-            last_reason = format!("{} unsupported on {}", scheme.name(), device.profile.class.name());
+            last_reason = format!(
+                "{} unsupported on {}",
+                scheme.name(),
+                device.profile.class.name()
+            );
             continue;
         }
         if !device.profile.fits_in_flash(record.size_bytes) {
@@ -179,9 +183,27 @@ mod tests {
     fn variants() -> Vec<ModelRecord> {
         vec![
             record(0, ModelFormat::F32, 40_000, 10_000_000, 0.96),
-            record(1, ModelFormat::Quantized { bits: 8 }, 10_000, 10_000_000, 0.95),
-            record(2, ModelFormat::Quantized { bits: 4 }, 5_000, 10_000_000, 0.93),
-            record(3, ModelFormat::Quantized { bits: 1 }, 1_300, 10_000_000, 0.80),
+            record(
+                1,
+                ModelFormat::Quantized { bits: 8 },
+                10_000,
+                10_000_000,
+                0.95,
+            ),
+            record(
+                2,
+                ModelFormat::Quantized { bits: 4 },
+                5_000,
+                10_000_000,
+                0.93,
+            ),
+            record(
+                3,
+                ModelFormat::Quantized { bits: 1 },
+                1_300,
+                10_000_000,
+                0.80,
+            ),
         ]
     }
 
@@ -192,7 +214,10 @@ mod tests {
         Device {
             id: 0,
             profile: class.profile(),
-            state: DeviceState { battery, network: net },
+            state: DeviceState {
+                battery,
+                network: net,
+            },
         }
     }
 

@@ -43,10 +43,18 @@ pub fn best_split(
     if profile.is_empty() {
         return None;
     }
-    let plans = all_splits(profile, input_bytes, device_macs_per_sec, cloud_macs_per_sec, net);
-    plans
-        .into_iter()
-        .min_by(|a, b| a.total_ms.partial_cmp(&b.total_ms).unwrap_or(std::cmp::Ordering::Equal))
+    let plans = all_splits(
+        profile,
+        input_bytes,
+        device_macs_per_sec,
+        cloud_macs_per_sec,
+        net,
+    );
+    plans.into_iter().min_by(|a, b| {
+        a.total_ms
+            .partial_cmp(&b.total_ms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
 }
 
 /// Latency of every possible cut (for sweep figures).

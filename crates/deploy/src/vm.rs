@@ -186,10 +186,7 @@ impl Pipeline {
                 Op::SkipIfConfident { threshold, skip } => {
                     let t = stack.last().ok_or(VmError::StackUnderflow(pc))?;
                     let all_confident = (0..t.rows()).all(|r| {
-                        t.row(r)
-                            .iter()
-                            .fold(f32::NEG_INFINITY, |m, &v| m.max(v))
-                            >= *threshold
+                        t.row(r).iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v)) >= *threshold
                     });
                     if all_confident {
                         pc += *skip as usize;
@@ -328,7 +325,13 @@ mod tests {
 
     #[test]
     fn normalization_matches_manual() {
-        let p = Pipeline::new(vec![Op::LoadInput, Op::Normalize { mean: 2.0, std: 4.0 }]);
+        let p = Pipeline::new(vec![
+            Op::LoadInput,
+            Op::Normalize {
+                mean: 2.0,
+                std: 4.0,
+            },
+        ]);
         let x = Tensor::vector(&[6.0, 2.0]);
         let (out, _) = p.run(&x, &[]).unwrap();
         assert_eq!(out.data(), &[1.0, 0.0]);
@@ -393,7 +396,10 @@ mod tests {
         // Also for a pipeline exercising every opcode.
         let all = Pipeline::new(vec![
             Op::LoadInput,
-            Op::Normalize { mean: 1.0, std: 2.0 },
+            Op::Normalize {
+                mean: 1.0,
+                std: 2.0,
+            },
             Op::Clamp { lo: -1.0, hi: 1.0 },
             Op::Scale { factor: 0.5 },
             Op::RunModel { index: 2 },
@@ -401,7 +407,10 @@ mod tests {
             Op::ArgMax,
             Op::Dup,
             Op::Pop,
-            Op::SkipIfConfident { threshold: 0.5, skip: 2 },
+            Op::SkipIfConfident {
+                threshold: 0.5,
+                skip: 2,
+            },
             Op::Halt,
         ]);
         assert_eq!(Pipeline::decode(&all.encode()).unwrap().ops, all.ops);
@@ -409,7 +418,10 @@ mod tests {
 
     #[test]
     fn truncated_bytecode_rejected() {
-        let p = Pipeline::new(vec![Op::Normalize { mean: 0.0, std: 1.0 }]);
+        let p = Pipeline::new(vec![Op::Normalize {
+            mean: 0.0,
+            std: 1.0,
+        }]);
         let mut bytes = p.encode();
         bytes.truncate(bytes.len() - 2);
         assert!(Pipeline::decode(&bytes).is_err());

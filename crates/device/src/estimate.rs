@@ -107,8 +107,14 @@ mod tests {
 
     #[test]
     fn cost_addition() {
-        let a = Cost { latency_ms: 1.0, energy_mj: 2.0 };
-        let b = Cost { latency_ms: 3.0, energy_mj: 4.0 };
+        let a = Cost {
+            latency_ms: 1.0,
+            energy_mj: 2.0,
+        };
+        let b = Cost {
+            latency_ms: 3.0,
+            energy_mj: 4.0,
+        };
         let c = a.plus(b);
         assert_eq!(c.latency_ms, 4.0);
         assert_eq!(c.energy_mj, 6.0);

@@ -78,7 +78,11 @@ pub fn local_train(global: &Sequential, data: &Dataset, cfg: &LocalTrainConfig) 
             total += loss * y.len() as f32;
             count += y.len();
         }
-        final_loss = if count == 0 { 0.0 } else { total / count as f32 };
+        final_loss = if count == 0 {
+            0.0
+        } else {
+            total / count as f32
+        };
     }
     let local_params = local.flat_params();
     let delta: Vec<f32> = local_params

@@ -95,10 +95,8 @@ impl CompressedUpdate {
                         .partial_cmp(&delta[a as usize].abs())
                         .unwrap_or(std::cmp::Ordering::Equal)
                 });
-                let mut entries: Vec<(u32, f32)> = order[..k]
-                    .iter()
-                    .map(|&i| (i, delta[i as usize]))
-                    .collect();
+                let mut entries: Vec<(u32, f32)> =
+                    order[..k].iter().map(|&i| (i, delta[i as usize])).collect();
                 entries.sort_by_key(|e| e.0);
                 CompressedUpdate::Sparse {
                     len: delta.len() as u32,
@@ -138,8 +136,7 @@ impl CompressedUpdate {
                 }
             }
             Compression::Sign => {
-                let scale =
-                    delta.iter().map(|v| v.abs()).sum::<f32>() / delta.len().max(1) as f32;
+                let scale = delta.iter().map(|v| v.abs()).sum::<f32>() / delta.len().max(1) as f32;
                 let mut bits = vec![0u8; delta.len().div_ceil(8)];
                 for (i, &v) in delta.iter().enumerate() {
                     if v >= 0.0 {
@@ -256,7 +253,11 @@ mod tests {
         assert!(top10 < none / 4, "topk {top10} vs {none}");
         assert!(tern < none / 10, "ternary {tern}");
         assert!(sign < tern, "sign {sign} < ternary {tern}");
-        assert!(none / sign >= 30, "sign compresses ≥30x, got {}", none / sign);
+        assert!(
+            none / sign >= 30,
+            "sign compresses ≥30x, got {}",
+            none / sign
+        );
     }
 
     #[test]

@@ -136,7 +136,12 @@ pub fn train_sequential(
                 buf.offer(train.x.row(r), train.y[r]);
             }
         }
-        accuracy_matrix.push(phases.iter().map(|(_, test)| evaluate(model, test)).collect());
+        accuracy_matrix.push(
+            phases
+                .iter()
+                .map(|(_, test)| evaluate(model, test))
+                .collect(),
+        );
     }
     accuracy_matrix
 }
@@ -188,8 +193,7 @@ mod tests {
 
         let mut buffered = make_model();
         let mut buf = ReplayBuffer::new(150, 64, 10, 1);
-        let replay_matrix =
-            train_sequential(&mut buffered, &phases, Some(&mut buf), 8, 0.05, 0);
+        let replay_matrix = train_sequential(&mut buffered, &phases, Some(&mut buf), 8, 0.05, 0);
         let replay_forget = forgetting(&replay_matrix);
 
         assert!(

@@ -108,8 +108,8 @@ mod tests {
         );
         // Specialization trades global generality: personalized models are
         // on average no better globally than locally.
-        let mean_pg: f32 = reports.iter().map(|r| r.personal_global_acc).sum::<f32>()
-            / reports.len() as f32;
+        let mean_pg: f32 =
+            reports.iter().map(|r| r.personal_global_acc).sum::<f32>() / reports.len() as f32;
         let mean_pl: f32 =
             reports.iter().map(|r| r.personal_acc).sum::<f32>() / reports.len() as f32;
         assert!(

@@ -65,7 +65,12 @@ pub struct SemiRoundStats {
 /// Pseudo-label `unlabeled` inputs with `model`, keeping confident rows.
 /// Returns the kept subset as a labelled dataset plus indices kept.
 #[must_use]
-pub fn pseudo_label(model: &Sequential, x: &Tensor, num_classes: usize, confidence: f32) -> (Dataset, Vec<usize>) {
+pub fn pseudo_label(
+    model: &Sequential,
+    x: &Tensor,
+    num_classes: usize,
+    confidence: f32,
+) -> (Dataset, Vec<usize>) {
     let probs = model.predict_proba(x);
     let mut keep_rows = Vec::new();
     let mut labels = Vec::new();
@@ -118,7 +123,7 @@ pub fn run_semi_supervised(
         let mut pl_acc_sum = 0.0f32;
         let mut counted = 0usize;
         for client in clients {
-            if rng.gen_range(0.0..1.0) >= cfg.participation || client.is_empty() {
+            if rng.gen_range(0.0f32..1.0) >= cfg.participation || client.is_empty() {
                 continue;
             }
             let (pseudo, kept) =
@@ -170,8 +175,16 @@ pub fn run_semi_supervised(
 
         stats.push(SemiRoundStats {
             round,
-            pseudo_label_rate: if counted == 0 { 0.0 } else { rate_sum / counted as f32 },
-            pseudo_label_accuracy: if counted == 0 { 0.0 } else { pl_acc_sum / counted as f32 },
+            pseudo_label_rate: if counted == 0 {
+                0.0
+            } else {
+                rate_sum / counted as f32
+            },
+            pseudo_label_accuracy: if counted == 0 {
+                0.0
+            } else {
+                pl_acc_sum / counted as f32
+            },
             accuracy: evaluate(global, holdout),
         });
     }
@@ -195,7 +208,16 @@ mod tests {
         let mut rng = TensorRng::seed(1);
         let mut model = mlp(&[64, 24, 10], &mut rng);
         let mut opt = Adam::new(0.005);
-        fit(&mut model, &train, &mut opt, &FitConfig { epochs: 8, batch_size: 32, ..Default::default() });
+        fit(
+            &mut model,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 8,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
         let (pseudo, kept) = pseudo_label(&model, &test.x, 10, 0.9);
         assert!(!kept.is_empty());
         let correct = kept
@@ -218,7 +240,16 @@ mod tests {
         let mut rng = TensorRng::seed(3);
         let mut model = mlp(&[64, 24, 10], &mut rng);
         let mut opt = Adam::new(0.005);
-        fit(&mut model, &seed_set, &mut opt, &FitConfig { epochs: 20, batch_size: 16, ..Default::default() });
+        fit(
+            &mut model,
+            &seed_set,
+            &mut opt,
+            &FitConfig {
+                epochs: 20,
+                batch_size: 16,
+                ..Default::default()
+            },
+        );
         let seed_only_acc = evaluate(&model, &test);
 
         let stats = run_semi_supervised(
@@ -235,8 +266,8 @@ mod tests {
             "semi-supervised FL should beat the seed-only model: {seed_only_acc} → {final_acc}"
         );
         // Confidence gate keeps pseudo-labels clean.
-        let mean_pl_acc: f32 = stats.iter().map(|s| s.pseudo_label_accuracy).sum::<f32>()
-            / stats.len() as f32;
+        let mean_pl_acc: f32 =
+            stats.iter().map(|s| s.pseudo_label_accuracy).sum::<f32>() / stats.len() as f32;
         assert!(mean_pl_acc > 0.85, "pseudo-label accuracy {mean_pl_acc}");
     }
 

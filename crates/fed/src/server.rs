@@ -95,8 +95,8 @@ impl FlServer {
         // Invite a fraction; availability thins the invitees.
         let selected: Vec<usize> = (0..self.clients.len())
             .filter(|_| {
-                let invited = rng.gen_range(0.0..1.0) < self.cfg.participation;
-                invited && rng.gen_range(0.0..1.0) < self.cfg.availability
+                let invited = rng.gen_range(0.0f32..1.0) < self.cfg.participation;
+                invited && rng.gen_range(0.0f32..1.0) < self.cfg.availability
             })
             .collect();
         if selected.is_empty() {
@@ -234,8 +234,10 @@ mod tests {
     #[test]
     fn compression_cuts_uplink_bytes() {
         let (mut plain, test) = setup(8, true);
-        let mut compressed_cfg = FlConfig::default();
-        compressed_cfg.compression = Compression::Sign;
+        let compressed_cfg = FlConfig {
+            compression: Compression::Sign,
+            ..Default::default()
+        };
         let data = synth_digits(1500, 0.08, 21);
         let (train, _) = data.split(0.85, 0);
         let parts = partition_iid(&train, 8, 1);
@@ -247,7 +249,10 @@ mod tests {
         // varies slightly with the seed, so compare per-participant).
         let per_plain = b_plain / plain.history[0].participants;
         let per_sign = b_sign / signed.history[0].participants;
-        assert!(per_sign * 20 < per_plain, "sign {per_sign} vs plain {per_plain}");
+        assert!(
+            per_sign * 20 < per_plain,
+            "sign {per_sign} vs plain {per_plain}"
+        );
     }
 
     #[test]
@@ -257,9 +262,11 @@ mod tests {
         let parts = partition_iid(&train, 6, 2);
         let mut rng = TensorRng::seed(6);
         let model = mlp(&[64, 16, 10], &mut rng);
-        let mut cfg = FlConfig::default();
-        cfg.participation = 1.0;
-        cfg.availability = 1.0;
+        let mut cfg = FlConfig {
+            participation: 1.0,
+            availability: 1.0,
+            ..Default::default()
+        };
         let mut plain_server = FlServer::new(model.clone(), parts.clone(), cfg.clone());
         cfg.secure_agg = true;
         let mut secure_server = FlServer::new(model, parts, cfg);

@@ -21,9 +21,7 @@ proptest! {
         let out = c.decompress();
         prop_assert_eq!(out.len(), delta.len());
         if method == Compression::None || method == (Compression::TopK { frac: 1.0 }) {
-            if method == Compression::None {
-                prop_assert_eq!(out, delta);
-            }
+            prop_assert_eq!(out, delta);
         }
     }
 

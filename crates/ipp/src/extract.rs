@@ -15,8 +15,8 @@
 
 use crate::poison::Poisoner;
 use serde::{Deserialize, Serialize};
-use tinymlops_quant::distill::{distill, DistillConfig};
 use tinymlops_nn::{Dataset, Sequential};
+use tinymlops_quant::distill::{distill, DistillConfig};
 use tinymlops_tensor::Tensor;
 
 /// Attack configuration.
@@ -106,7 +106,16 @@ mod tests {
         let mut rng = TensorRng::seed(12);
         let mut victim = mlp(&[64, 32, 10], &mut rng);
         let mut opt = Adam::new(0.005);
-        fit(&mut victim, &train, &mut opt, &FitConfig { epochs: 18, batch_size: 32, ..Default::default() });
+        fit(
+            &mut victim,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 18,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
         (victim, train, test)
     }
 
@@ -127,7 +136,8 @@ mod tests {
         let (victim, _, test) = victim_and_data();
         // Attacker's transfer set: noisier digits (their own harvest).
         let transfer = synth_digits(1200, 0.2, 777);
-        let report = extraction_attack(&victim, Poisoner::None, &transfer, &test, &attack_cfg(1200));
+        let report =
+            extraction_attack(&victim, Poisoner::None, &transfer, &test, &attack_cfg(1200));
         assert!(
             report.agreement > 0.8,
             "undefended victim should be stolen: agreement {}",

@@ -174,7 +174,12 @@ mod tests {
             Poisoner::ReverseSigmoid { beta: 0.8 },
         ] {
             let out = poisoner.apply(&p);
-            assert_eq!(out.argmax_rows(), before, "{} broke argmax", poisoner.name());
+            assert_eq!(
+                out.argmax_rows(),
+                before,
+                "{} broke argmax",
+                poisoner.name()
+            );
         }
     }
 
@@ -190,7 +195,11 @@ mod tests {
             let out = poisoner.apply(&p);
             for r in 0..out.rows() {
                 let sum: f32 = out.row(r).iter().sum();
-                assert!((sum - 1.0).abs() < 1e-3, "{} row sum {sum}", poisoner.name());
+                assert!(
+                    (sum - 1.0).abs() < 1e-3,
+                    "{} row sum {sum}",
+                    poisoner.name()
+                );
                 assert!(out.row(r).iter().all(|&v| v >= 0.0));
             }
         }

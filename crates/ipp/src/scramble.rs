@@ -102,7 +102,16 @@ mod tests {
         let mut rng = TensorRng::seed(2);
         let mut model = mlp(&[64, 32, 10], &mut rng);
         let mut opt = Adam::new(0.005);
-        fit(&mut model, &train, &mut opt, &FitConfig { epochs: 10, batch_size: 32, ..Default::default() });
+        fit(
+            &mut model,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 10,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
         (model, test)
     }
 

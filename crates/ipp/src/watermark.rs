@@ -133,7 +133,11 @@ impl StaticWatermark {
         let w = Self::carrier(model);
         let flat = Tensor::vector(w.data());
         let logits = x_proj.matmul(&flat).expect("projection × weights");
-        let sig: Vec<f32> = logits.data().iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect();
+        let sig: Vec<f32> = logits
+            .data()
+            .iter()
+            .map(|v| 1.0 / (1.0 + (-v).exp()))
+            .collect();
         let bits = sig.iter().map(|&s| s > 0.5).collect();
         (sig, bits)
     }
@@ -182,10 +186,22 @@ impl DynamicWatermark {
     /// Embed by fine-tuning on task batches with the trigger set
     /// *concatenated into every batch* — joint gradients hold both the task
     /// and the backdoor (alternating steps oscillate and converge poorly).
+    ///
+    /// `epochs` is a *minimum*, not an exact budget: embedding continues
+    /// (up to 4×`epochs`) until the trigger set is fully memorized, since
+    /// a watermark that doesn't verify is worthless. Callers timing embed
+    /// cost should measure wall clock, not assume `epochs` passes.
     pub fn embed(&self, model: &mut Sequential, data: &Dataset, epochs: usize, lr: f32, seed: u64) {
         let mut opt = Sgd::new(lr);
         let dim = self.triggers.cols();
-        for e in 0..epochs {
+        // Train at least `epochs`; keep going (bounded) until the trigger
+        // set is memorized — an unembedded watermark is worthless, and the
+        // few extra mixed batches cost almost nothing in fidelity.
+        let max_epochs = epochs.saturating_mul(4).max(1);
+        for e in 0..max_epochs {
+            if e >= epochs && self.trigger_error(model) == 0.0 {
+                break;
+            }
             for (bx, by) in data.batches(32, seed.wrapping_add(e as u64)) {
                 let mut xs = bx.data().to_vec();
                 xs.extend_from_slice(self.triggers.data());
@@ -207,7 +223,11 @@ impl DynamicWatermark {
     #[must_use]
     pub fn trigger_error(&self, model: &Sequential) -> f32 {
         let pred = model.predict(&self.triggers);
-        let wrong = pred.iter().zip(&self.labels).filter(|(p, l)| p != l).count();
+        let wrong = pred
+            .iter()
+            .zip(&self.labels)
+            .filter(|(p, l)| p != l)
+            .count();
         wrong as f32 / self.labels.len() as f32
     }
 
@@ -234,7 +254,16 @@ mod tests {
         let mut rng = TensorRng::seed(4);
         let mut model = mlp(&[64, 32, 10], &mut rng);
         let mut opt = Adam::new(0.005);
-        fit(&mut model, &train, &mut opt, &FitConfig { epochs: 15, batch_size: 32, ..Default::default() });
+        fit(
+            &mut model,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 15,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
         (model, train, test)
     }
 
@@ -243,10 +272,16 @@ mod tests {
         let (mut model, train, test) = trained();
         let base_acc = evaluate(&model, &test);
         let wm = StaticWatermark::random(64, 1234);
-        assert!(wm.ber(&model) > 0.2, "pre-embedding BER should be near chance");
+        assert!(
+            wm.ber(&model) > 0.2,
+            "pre-embedding BER should be near chance"
+        );
         let history = wm.embed(&mut model, &train, 0.05, 6, 0.01, 0);
         let final_ber = *history.last().unwrap();
-        assert!(final_ber == 0.0, "embedding should drive BER to 0, got {final_ber}");
+        assert!(
+            final_ber == 0.0,
+            "embedding should drive BER to 0, got {final_ber}"
+        );
         let acc = evaluate(&model, &test);
         assert!(acc > base_acc - 0.03, "fidelity: {base_acc} → {acc}");
     }
@@ -272,7 +307,10 @@ mod tests {
         let heavy = wm.ber(&attacked);
         let mut light = model.clone();
         magnitude_prune(&mut light, 0.2);
-        assert!(heavy >= wm.ber(&light), "robustness decays with attack strength");
+        assert!(
+            heavy >= wm.ber(&light),
+            "robustness decays with attack strength"
+        );
     }
 
     #[test]
@@ -311,9 +349,21 @@ mod tests {
         wm.embed(&mut model, &train, 10, 0.05, 0);
         // Attacker fine-tunes on their own (clean) data for one epoch.
         let mut opt = Adam::new(0.001);
-        fit(&mut model, &train, &mut opt, &FitConfig { epochs: 1, batch_size: 32, ..Default::default() });
+        fit(
+            &mut model,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 1,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
         let err = wm.trigger_error(&model);
-        assert!(err < 0.4, "light fine-tune should not erase triggers, err {err}");
+        assert!(
+            err < 0.4,
+            "light fine-tune should not erase triggers, err {err}"
+        );
     }
 
     #[test]

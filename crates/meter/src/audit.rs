@@ -37,7 +37,14 @@ pub struct AuditEntry {
     pub link: [u8; 32],
 }
 
-fn entry_mac(key: &[u8; 32], seq: u64, kind: EntryKind, payload: u64, time_ms: u64, prev: &Digest) -> Digest {
+fn entry_mac(
+    key: &[u8; 32],
+    seq: u64,
+    kind: EntryKind,
+    payload: u64,
+    time_ms: u64,
+    prev: &Digest,
+) -> Digest {
     let mut msg = Vec::with_capacity(8 + 1 + 8 + 8 + 32);
     msg.extend_from_slice(&seq.to_le_bytes());
     msg.push(match kind {

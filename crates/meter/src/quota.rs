@@ -80,7 +80,8 @@ impl QuotaManager {
 
     /// Record a server-acknowledged checkpoint in the chain.
     pub fn checkpoint(&mut self, time_ms: u64) {
-        self.log.append(EntryKind::Checkpoint, self.balance, time_ms);
+        self.log
+            .append(EntryKind::Checkpoint, self.balance, time_ms);
     }
 }
 

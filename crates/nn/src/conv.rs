@@ -107,7 +107,10 @@ impl Conv2d {
     }
 
     pub(crate) fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache_input.take().expect("conv backward without forward");
+        let x = self
+            .cache_input
+            .take()
+            .expect("conv backward without forward");
         let (c_out, c_in, k) = self.dims();
         let sh = x.shape();
         let (batch, h, w) = (sh[0], sh[2], sh[3]);
@@ -176,7 +179,10 @@ impl Conv2d {
     }
 
     pub(crate) fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Option<Tensor>)> {
-        vec![(&mut self.w, &mut self.grad_w), (&mut self.b, &mut self.grad_b)]
+        vec![
+            (&mut self.w, &mut self.grad_w),
+            (&mut self.b, &mut self.grad_b),
+        ]
     }
 
     pub(crate) fn params(&self) -> Vec<&Tensor> {

@@ -160,8 +160,8 @@ pub fn gaussian_blobs(n: usize, classes: usize, dim: usize, spread: f32, seed: u
     let mut yd = Vec::with_capacity(n);
     for i in 0..n {
         let c = i % classes;
-        for d in 0..dim {
-            xd.push(centers[c][d] + spread * rng.next_gaussian());
+        for center in centers[c].iter().take(dim) {
+            xd.push(center + spread * rng.next_gaussian());
         }
         yd.push(c);
     }
@@ -211,25 +211,55 @@ pub fn spirals(n: usize, classes: usize, noise: f32, seed: u64) -> Dataset {
 /// 8×8 glyph bitmaps for the digits 0–9 (1 bit per pixel, row-major).
 const DIGIT_GLYPHS: [[u8; 8]; 10] = [
     // 0
-    [0b00111100, 0b01100110, 0b01100110, 0b01101110, 0b01110110, 0b01100110, 0b01100110, 0b00111100],
+    [
+        0b00111100, 0b01100110, 0b01100110, 0b01101110, 0b01110110, 0b01100110, 0b01100110,
+        0b00111100,
+    ],
     // 1
-    [0b00011000, 0b00111000, 0b00011000, 0b00011000, 0b00011000, 0b00011000, 0b00011000, 0b01111110],
+    [
+        0b00011000, 0b00111000, 0b00011000, 0b00011000, 0b00011000, 0b00011000, 0b00011000,
+        0b01111110,
+    ],
     // 2
-    [0b00111100, 0b01100110, 0b00000110, 0b00001100, 0b00011000, 0b00110000, 0b01100000, 0b01111110],
+    [
+        0b00111100, 0b01100110, 0b00000110, 0b00001100, 0b00011000, 0b00110000, 0b01100000,
+        0b01111110,
+    ],
     // 3
-    [0b00111100, 0b01100110, 0b00000110, 0b00011100, 0b00000110, 0b00000110, 0b01100110, 0b00111100],
+    [
+        0b00111100, 0b01100110, 0b00000110, 0b00011100, 0b00000110, 0b00000110, 0b01100110,
+        0b00111100,
+    ],
     // 4
-    [0b00001100, 0b00011100, 0b00111100, 0b01101100, 0b01111110, 0b00001100, 0b00001100, 0b00001100],
+    [
+        0b00001100, 0b00011100, 0b00111100, 0b01101100, 0b01111110, 0b00001100, 0b00001100,
+        0b00001100,
+    ],
     // 5
-    [0b01111110, 0b01100000, 0b01100000, 0b01111100, 0b00000110, 0b00000110, 0b01100110, 0b00111100],
+    [
+        0b01111110, 0b01100000, 0b01100000, 0b01111100, 0b00000110, 0b00000110, 0b01100110,
+        0b00111100,
+    ],
     // 6
-    [0b00111100, 0b01100110, 0b01100000, 0b01111100, 0b01100110, 0b01100110, 0b01100110, 0b00111100],
+    [
+        0b00111100, 0b01100110, 0b01100000, 0b01111100, 0b01100110, 0b01100110, 0b01100110,
+        0b00111100,
+    ],
     // 7
-    [0b01111110, 0b00000110, 0b00001100, 0b00011000, 0b00110000, 0b00110000, 0b00110000, 0b00110000],
+    [
+        0b01111110, 0b00000110, 0b00001100, 0b00011000, 0b00110000, 0b00110000, 0b00110000,
+        0b00110000,
+    ],
     // 8
-    [0b00111100, 0b01100110, 0b01100110, 0b00111100, 0b01100110, 0b01100110, 0b01100110, 0b00111100],
+    [
+        0b00111100, 0b01100110, 0b01100110, 0b00111100, 0b01100110, 0b01100110, 0b01100110,
+        0b00111100,
+    ],
     // 9
-    [0b00111100, 0b01100110, 0b01100110, 0b01100110, 0b00111110, 0b00000110, 0b01100110, 0b00111100],
+    [
+        0b00111100, 0b01100110, 0b01100110, 0b01100110, 0b00111110, 0b00000110, 0b01100110,
+        0b00111100,
+    ],
 ];
 
 /// Procedural "MNIST-like" digits: 8×8 glyphs with per-example random

@@ -131,7 +131,13 @@ impl Dropout {
         let keep = 1.0 - self.p;
         let mask = Tensor::from_vec(
             (0..x.len())
-                .map(|_| if rng.next_f32() < keep { 1.0 / keep } else { 0.0 })
+                .map(|_| {
+                    if rng.next_f32() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                })
                 .collect(),
             x.shape(),
         );
@@ -210,11 +216,7 @@ impl Layer {
             Layer::Dropout(d) => d.forward_train(x),
             Layer::Conv2d(c) => c.forward_train(x),
             Layer::MaxPool2d(p) => p.forward_train(x),
-            Layer::Relu
-            | Layer::LeakyRelu(_)
-            | Layer::Tanh
-            | Layer::Sigmoid
-            | Layer::Square => {
+            Layer::Relu | Layer::LeakyRelu(_) | Layer::Tanh | Layer::Sigmoid | Layer::Square => {
                 cache.input = Some(x.clone());
                 self.forward(x)
             }

@@ -108,8 +108,7 @@ mod tests {
             lp.data_mut()[i] += eps;
             let mut lm = logits.clone();
             lm.data_mut()[i] -= eps;
-            let numeric =
-                (cross_entropy(&lp, &[1]).0 - cross_entropy(&lm, &[1]).0) / (2.0 * eps);
+            let numeric = (cross_entropy(&lp, &[1]).0 - cross_entropy(&lm, &[1]).0) / (2.0 * eps);
             assert!(
                 (numeric - grad.data()[i]).abs() < 1e-3,
                 "grad[{i}]: {numeric} vs {}",

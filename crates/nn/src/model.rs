@@ -160,7 +160,7 @@ impl Sequential {
             for (p, g) in l.params_mut() {
                 match g {
                     Some(t) => out.extend_from_slice(t.data()),
-                    None => out.extend(std::iter::repeat(0.0).take(p.len())),
+                    None => out.extend(std::iter::repeat_n(0.0, p.len())),
                 }
             }
         }
@@ -191,7 +191,10 @@ impl Sequential {
 /// layer widths, e.g. `mlp(&[64, 32, 10], rng)` = Dense(64→32)+ReLU+Dense(32→10).
 #[must_use]
 pub fn mlp(widths: &[usize], rng: &mut tinymlops_tensor::TensorRng) -> Sequential {
-    assert!(widths.len() >= 2, "mlp needs at least input and output widths");
+    assert!(
+        widths.len() >= 2,
+        "mlp needs at least input and output widths"
+    );
     let mut layers = Vec::new();
     for i in 0..widths.len() - 1 {
         layers.push(Layer::Dense(crate::layer::Dense::new(
@@ -310,7 +313,9 @@ mod tests {
         let x = Tensor::zeros(&[1, 4]);
         let y = m.forward_train(&x);
         m.backward(&y);
-        assert!(m.flat_grads().iter().any(|&g| g != 0.0) || m.flat_grads().iter().all(|&g| g == 0.0));
+        assert!(
+            m.flat_grads().iter().any(|&g| g != 0.0) || m.flat_grads().iter().all(|&g| g == 0.0)
+        );
         m.zero_grad();
         assert!(m.flat_grads().iter().all(|&g| g == 0.0));
     }

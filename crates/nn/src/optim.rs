@@ -205,11 +205,7 @@ mod tests {
     #[test]
     fn weight_decay_shrinks_weights() {
         let (mut model, x, y) = toy_problem();
-        let before = model
-            .flat_params()
-            .iter()
-            .map(|v| v * v)
-            .sum::<f32>();
+        let before = model.flat_params().iter().map(|v| v * v).sum::<f32>();
         let mut opt = Sgd::new(0.01);
         opt.weight_decay = 0.5;
         for _ in 0..50 {
@@ -220,7 +216,10 @@ mod tests {
             opt.step(&mut model);
         }
         let after = model.flat_params().iter().map(|v| v * v).sum::<f32>();
-        assert!(after < before, "decay should shrink norm: {after} vs {before}");
+        assert!(
+            after < before,
+            "decay should shrink norm: {after} vs {before}"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub fn profile(model: &Sequential, input_shape: &[usize]) -> Vec<LayerProfile> {
             Layer::Dense(d) => {
                 let in_dim = d.in_dim() as u64;
                 let out_dim = d.out_dim() as u64;
-                (in_dim * out_dim, in_dim * out_dim + out_dim, vec![d.out_dim()])
+                (
+                    in_dim * out_dim,
+                    in_dim * out_dim + out_dim,
+                    vec![d.out_dim()],
+                )
             }
             Layer::Conv2d(c) => {
                 let s = c.w.shape(); // [c_out, c_in, k, k]
@@ -116,7 +120,7 @@ mod tests {
         ]);
         let p = profile(&m, &[1, 8, 8]);
         assert_eq!(p[0].output_shape, vec![4, 8, 8]); // padding keeps size
-        assert_eq!(p[0].macs, (4 * 1 * 9 * 64) as u64);
+        assert_eq!(p[0].macs, (4 * 9 * 64) as u64);
         assert_eq!(p[2].output_shape, vec![4, 4, 4]);
         assert_eq!(p[3].output_shape, vec![64]);
         assert_eq!(p[4].output_shape, vec![10]);

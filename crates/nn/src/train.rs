@@ -63,7 +63,15 @@ pub fn fit(
     cfg: &FitConfig,
 ) -> Vec<f32> {
     (0..cfg.epochs)
-        .map(|e| train_epoch(model, data, opt, cfg.batch_size, cfg.seed.wrapping_add(e as u64)))
+        .map(|e| {
+            train_epoch(
+                model,
+                data,
+                opt,
+                cfg.batch_size,
+                cfg.seed.wrapping_add(e as u64),
+            )
+        })
         .collect()
 }
 

@@ -146,7 +146,13 @@ mod tests {
     #[test]
     fn buffer_keeps_top_scorers() {
         let mut b = AnomalyBuffer::new(3);
-        for (score, v) in [(1.0, 1.0f32), (5.0, 5.0), (2.0, 2.0), (9.0, 9.0), (0.5, 0.5)] {
+        for (score, v) in [
+            (1.0, 1.0f32),
+            (5.0, 5.0),
+            (2.0, 2.0),
+            (9.0, 9.0),
+            (0.5, 0.5),
+        ] {
             b.offer(score, &[v]);
         }
         let kept: Vec<f64> = b.items().iter().map(|(s, _)| *s).collect();

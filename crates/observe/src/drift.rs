@@ -322,7 +322,7 @@ mod tests {
     #[test]
     fn page_hinkley_detects_upward_shift() {
         let mut det = PageHinkley::new(0.05, 20.0, 30);
-        let (fa, delay) = run_detector(&mut det, 1.0, 500, 500, 4);
+        let (fa, delay) = run_detector(&mut det, 1.0, 500, 500, 6);
         assert_eq!(fa, 0);
         assert!(delay.is_some());
     }

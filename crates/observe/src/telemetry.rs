@@ -124,8 +124,8 @@ impl TelemetryReport {
     #[must_use]
     pub fn wire_bytes(&self) -> usize {
         // counter: key + 8 bytes; timer: key + 5 × 8 bytes.
-        self.counters.iter().map(|(k, _)| k.len() + 8).sum::<usize>()
-            + self.timers.iter().map(|(k, _)| k.len() + 40).sum::<usize>()
+        self.counters.keys().map(|k| k.len() + 8).sum::<usize>()
+            + self.timers.keys().map(|k| k.len() + 40).sum::<usize>()
     }
 
     /// Merge another report into this one (server-side aggregation).

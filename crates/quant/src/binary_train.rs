@@ -150,7 +150,10 @@ pub fn binary_aware_finetune(
 /// dense layer. Returns `(binary kernels in layer order, f32 model with
 /// binarized weights materialized)` — callers can run either path.
 #[must_use]
-pub fn export_binary(model: &Sequential, cfg: &BinaryAwareConfig) -> (Vec<BinaryDense>, Sequential) {
+pub fn export_binary(
+    model: &Sequential,
+    cfg: &BinaryAwareConfig,
+) -> (Vec<BinaryDense>, Sequential) {
     let layers = binarized_set(model, cfg);
     let mut materialized = model.clone();
     let latents = swap_in_binarized(&mut materialized, &layers);
@@ -180,7 +183,16 @@ mod tests {
         let mut rng = TensorRng::seed(7);
         let mut model = mlp(&[64, 48, 10], &mut rng);
         let mut opt = Adam::new(0.005);
-        fit(&mut model, &train, &mut opt, &FitConfig { epochs: 12, batch_size: 32, ..Default::default() });
+        fit(
+            &mut model,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 12,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
         (model, train, test)
     }
 
@@ -201,7 +213,10 @@ mod tests {
             aware_acc > posthoc_acc + 0.15,
             "binary-aware {aware_acc} should beat post-hoc {posthoc_acc} by a wide margin"
         );
-        assert!(aware_acc > 0.7, "1-bit deployment should work, got {aware_acc}");
+        assert!(
+            aware_acc > 0.7,
+            "1-bit deployment should work, got {aware_acc}"
+        );
         assert!(
             history.last().unwrap() > &0.7,
             "training accuracy converges, got {:?}",

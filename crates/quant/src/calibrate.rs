@@ -53,9 +53,7 @@ fn percentile_abs_max(data: &[f32], percentile: f32) -> f32 {
     }
     let mut mags: Vec<f32> = data.iter().map(|v| v.abs()).collect();
     mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let idx = ((mags.len() as f32 * percentile).ceil() as usize)
-        .clamp(1, mags.len())
-        - 1;
+    let idx = ((mags.len() as f32 * percentile).ceil() as usize).clamp(1, mags.len()) - 1;
     mags[idx]
 }
 

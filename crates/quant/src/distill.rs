@@ -108,7 +108,16 @@ mod tests {
         let mut rng = TensorRng::seed(20);
         let mut teacher = mlp(&[64, 48, 10], &mut rng);
         let mut opt = Adam::new(0.005);
-        fit(&mut teacher, &train, &mut opt, &FitConfig { epochs: 20, batch_size: 32, ..Default::default() });
+        fit(
+            &mut teacher,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 20,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
         let teacher_acc = evaluate(&teacher, &test);
 
         // Student is 3x smaller.
@@ -117,7 +126,10 @@ mod tests {
         let losses = distill(&mut student, &train.x, &soft, &DistillConfig::default());
         let student_acc = evaluate(&student, &test);
 
-        assert!(losses.last().unwrap() < &losses[0], "distill loss decreases");
+        assert!(
+            losses.last().unwrap() < &losses[0],
+            "distill loss decreases"
+        );
         assert!(
             student_acc > teacher_acc - 0.12,
             "student {student_acc} vs teacher {teacher_acc}"
@@ -146,17 +158,34 @@ mod tests {
         let mut rng = TensorRng::seed(2);
         let mut teacher = mlp(&[64, 32, 10], &mut rng);
         let mut opt = Adam::new(0.005);
-        fit(&mut teacher, &data, &mut opt, &FitConfig { epochs: 15, batch_size: 32, ..Default::default() });
+        fit(
+            &mut teacher,
+            &data,
+            &mut opt,
+            &FitConfig {
+                epochs: 15,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
 
         let transfer = synth_digits(800, 0.2, 77); // different distribution
         let soft = teacher_soft_targets(&teacher, &transfer.x, 3.0);
         let mut student = mlp(&[64, 24, 10], &mut rng);
-        distill(&mut student, &transfer.x, &soft, &DistillConfig { epochs: 25, ..Default::default() });
+        distill(
+            &mut student,
+            &transfer.x,
+            &soft,
+            &DistillConfig {
+                epochs: 25,
+                ..Default::default()
+            },
+        );
 
         let t_pred = teacher.predict(&data.x);
         let s_pred = student.predict(&data.x);
-        let agree = t_pred.iter().zip(&s_pred).filter(|(a, b)| a == b).count() as f32
-            / t_pred.len() as f32;
+        let agree =
+            t_pred.iter().zip(&s_pred).filter(|(a, b)| a == b).count() as f32 / t_pred.len() as f32;
         assert!(agree > 0.7, "agreement {agree}");
     }
 }

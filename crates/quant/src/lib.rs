@@ -25,7 +25,9 @@ pub mod qtensor;
 pub use binary_train::{binary_aware_finetune, export_binary, BinaryAwareConfig};
 pub use calibrate::Calibration;
 pub use distill::{distill, DistillConfig};
-pub use prune::{apply_masks, capture_masks, finetune_pruned, magnitude_prune, sparsity_of, SparseDense};
+pub use prune::{
+    apply_masks, capture_masks, finetune_pruned, magnitude_prune, sparsity_of, SparseDense,
+};
 pub use qmodel::{QuantScheme, QuantizedModel};
 pub use qtensor::{fake_quantize_tensor, BinaryDense, QDense};
 

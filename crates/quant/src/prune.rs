@@ -205,8 +205,8 @@ impl SparseDense {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tinymlops_nn::Layer;
     use tinymlops_nn::model::mlp;
+    use tinymlops_nn::Layer;
     use tinymlops_tensor::TensorRng;
 
     #[test]
@@ -275,7 +275,11 @@ mod tests {
         magnitude_prune(&mut m, 0.9);
         if let Layer::Dense(d) = &m.layers[0] {
             let sp = SparseDense::from_dense(&d.w, &d.b);
-            assert!(sp.size_bytes() < 64 * 64 * 4, "CSR {} bytes", sp.size_bytes());
+            assert!(
+                sp.size_bytes() < 64 * 64 * 4,
+                "CSR {} bytes",
+                sp.size_bytes()
+            );
             assert!((sp.nnz() as f32) < 0.15 * 64.0 * 64.0);
         }
     }
@@ -289,7 +293,16 @@ mod tests {
         let mut rng = TensorRng::seed(5);
         let mut model = mlp(&[64, 32, 10], &mut rng);
         let mut opt = tinymlops_nn::Adam::new(0.005);
-        fit(&mut model, &train, &mut opt, &FitConfig { epochs: 15, batch_size: 32, ..Default::default() });
+        fit(
+            &mut model,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 15,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
         let base = evaluate(&model, &test);
         let mut pruned = model.clone();
         magnitude_prune(&mut pruned, 0.5);
@@ -297,7 +310,11 @@ mod tests {
         finetune_pruned(&mut pruned, &train, 3, 0.002, 9);
         let tuned_acc = evaluate(&pruned, &test);
         // Fine-tuning must keep the sparsity and recover most accuracy.
-        assert!(sparsity_of(&pruned) > 0.45, "mask held: {}", sparsity_of(&pruned));
+        assert!(
+            sparsity_of(&pruned) > 0.45,
+            "mask held: {}",
+            sparsity_of(&pruned)
+        );
         assert!(
             tuned_acc > base - 0.05,
             "50% prune+finetune: {base} → raw {raw_acc} → tuned {tuned_acc}"

@@ -63,7 +63,11 @@ fn pack_row(q: &[i8], bits: u32, out: &mut Vec<u8>) {
         4 => {
             for pair in q.chunks(2) {
                 let lo = (pair[0] as u8) & 0x0f;
-                let hi = if pair.len() > 1 { (pair[1] as u8) & 0x0f } else { 0 };
+                let hi = if pair.len() > 1 {
+                    (pair[1] as u8) & 0x0f
+                } else {
+                    0
+                };
                 out.push(lo | (hi << 4));
             }
         }
@@ -153,7 +157,12 @@ impl QDense {
         let mut wrow = vec![0i8; self.in_dim];
         let mut out = vec![0.0f32; batch * self.out_dim];
         for r in 0..self.out_dim {
-            unpack_row(&self.packed[r * rb..(r + 1) * rb], self.bits, self.in_dim, &mut wrow);
+            unpack_row(
+                &self.packed[r * rb..(r + 1) * rb],
+                self.bits,
+                self.in_dim,
+                &mut wrow,
+            );
             let dequant = self.in_scale * self.w_scales[r];
             for b in 0..batch {
                 let xrow = &xq[b * self.in_dim..(b + 1) * self.in_dim];
@@ -294,7 +303,11 @@ impl BinaryDense {
         let n = self.in_dim as i32;
         // Mask of valid bits in the last word (padding bits must not count).
         let tail_bits = self.in_dim % 64;
-        let tail_mask: u64 = if tail_bits == 0 { !0u64 } else { (1u64 << tail_bits) - 1 };
+        let tail_mask: u64 = if tail_bits == 0 {
+            !0u64
+        } else {
+            (1u64 << tail_bits) - 1
+        };
         let mut out = vec![0.0f32; batch * self.out_dim];
         let mut x_bits = vec![0u64; wpr];
         for b in 0..batch {
@@ -402,7 +415,9 @@ mod tests {
         let w = rng.uniform(&[5, 70], -1.0, 1.0); // >64 exercises multi-word
         let b = Tensor::zeros(&[5]);
         let q = BinaryDense::quantize(&w, &b);
-        let x = rng.uniform(&[3, 70], -1.0, 1.0).map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+        let x = rng
+            .uniform(&[3, 70], -1.0, 1.0)
+            .map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
         let got = q.forward(&x);
         // Reference: sign(w) dot x, scaled by alpha (beta = 1 for ±1 x).
         let w_sign = w.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });

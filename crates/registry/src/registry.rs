@@ -83,6 +83,16 @@ impl Registry {
         Sequential::from_bytes(&bytes).map_err(|e| RegistryError::Serialization(e.to_string()))
     }
 
+    /// Deserialize a quantized-variant artifact (stored by the
+    /// optimization pipeline as serialized [`QuantizedModel`]).
+    pub fn load_quantized(
+        &self,
+        id: ModelId,
+    ) -> Result<tinymlops_quant::QuantizedModel, RegistryError> {
+        let bytes = self.artifact(id)?;
+        serde_json::from_slice(&bytes).map_err(|e| RegistryError::Serialization(e.to_string()))
+    }
+
     /// All records (sorted by id).
     #[must_use]
     pub fn all(&self) -> Vec<ModelRecord> {
@@ -162,7 +172,12 @@ mod tests {
     use tinymlops_nn::model::mlp;
     use tinymlops_tensor::TensorRng;
 
-    fn register_simple(reg: &Registry, name: &str, version: SemVer, parent: Option<ModelId>) -> ModelId {
+    fn register_simple(
+        reg: &Registry,
+        name: &str,
+        version: SemVer,
+        parent: Option<ModelId>,
+    ) -> ModelId {
         reg.register(
             name,
             version,

@@ -88,10 +88,7 @@ mod tests {
     #[test]
     fn missing_digest_is_not_found() {
         let s = ArtifactStore::new();
-        assert!(matches!(
-            s.get(&[0u8; 32]),
-            Err(RegistryError::NotFound(_))
-        ));
+        assert!(matches!(s.get(&[0u8; 32]), Err(RegistryError::NotFound(_))));
         assert!(!s.contains(&[0u8; 32]));
     }
 

@@ -1,0 +1,219 @@
+//! Byte-budgeted LRU cache of model variants.
+//!
+//! §III-A keeps every optimized instance of every model in the registry;
+//! a serving node cannot hold them all. The cache keeps hot variants
+//! resident under a strict byte budget with exact LRU eviction, so the
+//! router pays the (simulated) artifact-load cost only on misses.
+
+use std::collections::BTreeMap;
+use tinymlops_registry::{ModelId, ModelRecord};
+
+/// Outcome of a cache admission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Entry resident (evicted `usize` colder entries to make room).
+    Inserted(usize),
+    /// Already resident; recency refreshed.
+    AlreadyResident,
+    /// Larger than the whole budget; served uncached.
+    TooLarge,
+}
+
+/// Byte-budgeted exact-LRU cache of [`ModelRecord`] variants.
+#[derive(Debug)]
+pub struct ModelCache {
+    budget_bytes: u64,
+    used_bytes: u64,
+    /// Recency list, coldest first. Deterministic and small (tens of
+    /// variants), so O(n) maintenance beats pointer-chasing here.
+    lru: Vec<ModelId>,
+    entries: BTreeMap<ModelId, ModelRecord>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ModelCache {
+    /// New cache with the given byte budget.
+    #[must_use]
+    pub fn new(budget_bytes: u64) -> Self {
+        ModelCache {
+            budget_bytes,
+            used_bytes: 0,
+            lru: Vec::new(),
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Byte budget.
+    #[must_use]
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Bytes currently resident. Invariant: `used_bytes() <= budget_bytes()`.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Lifetime hit count.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime eviction count.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hit rate over all lookups (0 when never queried).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Resident ids, coldest → hottest (exposed so tests and debug tables
+    /// can assert exact LRU order).
+    #[must_use]
+    pub fn resident_lru_order(&self) -> Vec<ModelId> {
+        self.lru.clone()
+    }
+
+    /// Whether `id` is resident (does not touch recency).
+    #[must_use]
+    pub fn contains(&self, id: ModelId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Look up a resident variant, refreshing its recency and counting a
+    /// hit or miss.
+    pub fn get(&mut self, id: ModelId) -> Option<&ModelRecord> {
+        if self.entries.contains_key(&id) {
+            self.hits += 1;
+            self.touch(id);
+            self.entries.get(&id)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Admit a record, evicting coldest entries until it fits. A record
+    /// larger than the whole budget is never admitted.
+    pub fn admit(&mut self, record: ModelRecord) -> Admission {
+        let id = record.id;
+        if self.entries.contains_key(&id) {
+            self.touch(id);
+            return Admission::AlreadyResident;
+        }
+        let size = record.size_bytes;
+        if size > self.budget_bytes {
+            return Admission::TooLarge;
+        }
+        let mut evicted = 0;
+        while self.used_bytes + size > self.budget_bytes {
+            let coldest = self.lru.remove(0);
+            let gone = self
+                .entries
+                .remove(&coldest)
+                .expect("lru list and entry map stay in sync");
+            self.used_bytes -= gone.size_bytes;
+            self.evictions += 1;
+            evicted += 1;
+        }
+        self.used_bytes += size;
+        self.lru.push(id);
+        self.entries.insert(id, record);
+        Admission::Inserted(evicted)
+    }
+
+    fn touch(&mut self, id: ModelId) {
+        if let Some(pos) = self.lru.iter().position(|x| *x == id) {
+            self.lru.remove(pos);
+            self.lru.push(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use tinymlops_registry::{ModelFormat, SemVer};
+
+    fn record(id: u64, size: u64) -> ModelRecord {
+        ModelRecord {
+            id: ModelId(id),
+            name: "m".into(),
+            version: SemVer::new(1, 0, 0),
+            format: ModelFormat::F32,
+            parent: None,
+            artifact: [0; 32],
+            size_bytes: size,
+            macs: 1000,
+            metrics: BTreeMap::new(),
+            tags: vec![],
+            created_ms: 0,
+        }
+    }
+
+    #[test]
+    fn evicts_coldest_first() {
+        let mut c = ModelCache::new(100);
+        c.admit(record(1, 40));
+        c.admit(record(2, 40));
+        assert!(c.get(ModelId(1)).is_some(), "1 becomes hottest");
+        assert_eq!(c.admit(record(3, 40)), Admission::Inserted(1));
+        assert!(!c.contains(ModelId(2)), "2 was coldest");
+        assert!(c.contains(ModelId(1)));
+        assert_eq!(c.used_bytes(), 80);
+    }
+
+    #[test]
+    fn oversized_record_is_bypassed() {
+        let mut c = ModelCache::new(100);
+        assert_eq!(c.admit(record(1, 101)), Admission::TooLarge);
+        assert_eq!(c.used_bytes(), 0);
+        assert!(!c.contains(ModelId(1)));
+    }
+
+    #[test]
+    fn readmission_refreshes_recency() {
+        let mut c = ModelCache::new(100);
+        c.admit(record(1, 50));
+        c.admit(record(2, 50));
+        assert_eq!(c.admit(record(1, 50)), Admission::AlreadyResident);
+        // 2 is now coldest; admitting 3 evicts it.
+        c.admit(record(3, 50));
+        assert!(c.contains(ModelId(1)));
+        assert!(!c.contains(ModelId(2)));
+    }
+
+    #[test]
+    fn hit_rate_tracks_lookups() {
+        let mut c = ModelCache::new(100);
+        c.admit(record(1, 10));
+        assert!(c.get(ModelId(1)).is_some());
+        assert!(c.get(ModelId(9)).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,232 @@
+//! Multi-tenant admission control and load shedding.
+//!
+//! The gateway is the front door of the serving plane: every request is
+//! checked against its tenant's prepaid `meter` quota (§III-C — the same
+//! `QuotaManager`/audit-chain machinery devices use offline), then
+//! against per-tenant and global backpressure limits. Rejections are
+//! cheap and immediate; admitted requests are owed a disposition.
+
+use crate::request::{Request, ShedReason, TenantId};
+use std::collections::BTreeMap;
+use tinymlops_meter::QuotaManager;
+
+/// Gateway limits.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Maximum in-flight (admitted, unresolved) requests per tenant.
+    pub max_pending_per_tenant: usize,
+    /// Maximum in-flight requests across all tenants (global shed point).
+    pub max_total_pending: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            max_pending_per_tenant: 64,
+            max_total_pending: 1024,
+        }
+    }
+}
+
+/// Per-tenant serving account.
+#[derive(Debug)]
+pub struct TenantAccount {
+    /// Prepaid-query balance + tamper-evident audit chain.
+    pub quota: QuotaManager,
+    /// Admitted requests not yet served or shed.
+    pub pending: usize,
+    /// Lifetime admitted count.
+    pub admitted: u64,
+    /// Lifetime shed count (any reason).
+    pub shed: u64,
+}
+
+/// The admission-controlling front door.
+pub struct Gateway {
+    cfg: GatewayConfig,
+    tenants: BTreeMap<TenantId, TenantAccount>,
+    total_pending: usize,
+}
+
+impl Gateway {
+    /// New gateway under `cfg` with no tenants.
+    #[must_use]
+    pub fn new(cfg: GatewayConfig) -> Self {
+        Gateway {
+            cfg,
+            tenants: BTreeMap::new(),
+            total_pending: 0,
+        }
+    }
+
+    /// Open a tenant account keyed by the tenant's metering key (the
+    /// audit chain is verifiable against this key at billing sync).
+    pub fn register_tenant(&mut self, tenant: TenantId, meter_key: [u8; 32]) {
+        self.tenants.entry(tenant).or_insert_with(|| TenantAccount {
+            quota: QuotaManager::new(meter_key),
+            pending: 0,
+            admitted: 0,
+            shed: 0,
+        });
+    }
+
+    /// Credit prepaid queries from a redeemed voucher (`serial` lands in
+    /// the audit chain, as in `Platform::sell_package`).
+    pub fn credit(
+        &mut self,
+        tenant: TenantId,
+        queries: u64,
+        serial: u64,
+        now_ms: u64,
+    ) -> Result<(), crate::ServeError> {
+        let account = self
+            .tenants
+            .get_mut(&tenant)
+            .ok_or(crate::ServeError::UnknownTenant(tenant))?;
+        account.quota.credit(queries, serial, now_ms);
+        Ok(())
+    }
+
+    /// Admit or shed one request. Admission consumes one prepaid query —
+    /// the §III-C model: the meter charges at the door, exactly like the
+    /// on-device `QuotaManager` does before running inference.
+    pub fn admit(&mut self, request: &Request) -> Result<(), ShedReason> {
+        let now_ms = request.arrival_us / 1000;
+        if self.total_pending >= self.cfg.max_total_pending {
+            self.note_shed(request.tenant);
+            return Err(ShedReason::Overload);
+        }
+        let Some(account) = self.tenants.get_mut(&request.tenant) else {
+            // Unknown tenant: no account, no quota — same denial the
+            // paper's metering layer gives an unprovisioned device.
+            return Err(ShedReason::QuotaExhausted);
+        };
+        if account.pending >= self.cfg.max_pending_per_tenant {
+            account.shed += 1;
+            return Err(ShedReason::TenantBackpressure);
+        }
+        if account.quota.consume(1, now_ms).is_err() {
+            account.shed += 1;
+            return Err(ShedReason::QuotaExhausted);
+        }
+        account.pending += 1;
+        account.admitted += 1;
+        self.total_pending += 1;
+        Ok(())
+    }
+
+    /// Resolve an admitted request (served or shed downstream).
+    pub fn resolve(&mut self, tenant: TenantId) {
+        if let Some(account) = self.tenants.get_mut(&tenant) {
+            debug_assert!(account.pending > 0, "resolve without admit");
+            account.pending = account.pending.saturating_sub(1);
+            self.total_pending = self.total_pending.saturating_sub(1);
+        }
+    }
+
+    /// Borrow a tenant account (balances, audit log, counters).
+    #[must_use]
+    pub fn tenant(&self, tenant: TenantId) -> Option<&TenantAccount> {
+        self.tenants.get(&tenant)
+    }
+
+    /// All tenant ids.
+    #[must_use]
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.tenants.keys().copied().collect()
+    }
+
+    /// Total in-flight requests.
+    #[must_use]
+    pub fn total_pending(&self) -> usize {
+        self.total_pending
+    }
+
+    fn note_shed(&mut self, tenant: TenantId) {
+        if let Some(account) = self.tenants.get_mut(&tenant) {
+            account.shed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, tenant: TenantId) -> Request {
+        Request {
+            id,
+            tenant,
+            model: "m".into(),
+            arrival_us: id * 1000,
+            deadline_us: 10_000,
+            features: None,
+        }
+    }
+
+    fn gateway(per_tenant: usize, total: usize) -> Gateway {
+        let mut g = Gateway::new(GatewayConfig {
+            max_pending_per_tenant: per_tenant,
+            max_total_pending: total,
+        });
+        g.register_tenant(1, [1; 32]);
+        g.register_tenant(2, [2; 32]);
+        g
+    }
+
+    #[test]
+    fn admission_consumes_quota_and_denies_when_empty() {
+        let mut g = gateway(10, 100);
+        g.credit(1, 2, 77, 0).unwrap();
+        assert!(g.admit(&req(0, 1)).is_ok());
+        assert!(g.admit(&req(1, 1)).is_ok());
+        assert_eq!(g.admit(&req(2, 1)), Err(ShedReason::QuotaExhausted));
+        let account = g.tenant(1).unwrap();
+        assert_eq!(account.quota.balance(), 0);
+        assert_eq!(account.admitted, 2);
+        assert_eq!(account.shed, 1);
+    }
+
+    #[test]
+    fn admissions_land_in_the_audit_chain() {
+        let mut g = gateway(10, 100);
+        g.credit(1, 5, 9, 0).unwrap();
+        for i in 0..3 {
+            g.admit(&req(i, 1)).unwrap();
+        }
+        let log = g.tenant(1).unwrap().quota.log();
+        assert_eq!(log.query_count(), 3);
+        log.verify(&[1; 32]).unwrap();
+    }
+
+    #[test]
+    fn unknown_tenant_is_denied() {
+        let mut g = gateway(10, 100);
+        assert_eq!(g.admit(&req(0, 99)), Err(ShedReason::QuotaExhausted));
+    }
+
+    #[test]
+    fn per_tenant_backpressure_before_quota_burn() {
+        let mut g = gateway(1, 100);
+        g.credit(1, 10, 9, 0).unwrap();
+        g.admit(&req(0, 1)).unwrap();
+        assert_eq!(g.admit(&req(1, 1)), Err(ShedReason::TenantBackpressure));
+        assert_eq!(
+            g.tenant(1).unwrap().quota.balance(),
+            9,
+            "backpressure shed must not burn quota"
+        );
+        g.resolve(1);
+        assert!(g.admit(&req(2, 1)).is_ok());
+    }
+
+    #[test]
+    fn global_overload_sheds_any_tenant() {
+        let mut g = gateway(10, 2);
+        g.credit(1, 10, 9, 0).unwrap();
+        g.credit(2, 10, 8, 0).unwrap();
+        g.admit(&req(0, 1)).unwrap();
+        g.admit(&req(1, 2)).unwrap();
+        assert_eq!(g.admit(&req(2, 1)), Err(ShedReason::Overload));
+    }
+}

@@ -1,0 +1,72 @@
+//! # tinymlops_serve — the multi-tenant edge inference serving plane
+//!
+//! The TinyMLOps paper (Leroux et al., 2022) specifies the operational
+//! loop — versioned models (§III-A), metering (§III-C), observability
+//! (§III-B), a fragmented fleet (§IV) — but a platform only earns its
+//! keep when tenant traffic actually flows through those pieces. This
+//! crate is that request path:
+//!
+//! * [`Gateway`] — per-tenant admission backed by real `meter` quotas
+//!   (every admit is a `QuotaManager::consume` landing in the
+//!   tamper-evident audit chain) plus per-tenant and global load
+//!   shedding.
+//! * [`MicroBatcher`] — per-family FIFO queues with size- and
+//!   deadline-triggered flush, amortizing dispatch overhead across
+//!   requests while preserving per-tenant order.
+//! * [`ModelCache`] — byte-budgeted exact-LRU residency for `registry`
+//!   variants, so hot models skip the artifact-load penalty.
+//! * [`Router`] — constraint-aware sharding over the `device` fleet via
+//!   `deploy::select`, skipping offline or battery-critical nodes and
+//!   preferring the least-loaded feasible device.
+//! * [`ServeSim`] + [`LoadPlan`] — a discrete-event clock and seeded
+//!   open-loop load generator that replay ≥100k requests exactly,
+//!   reporting p50/p95/p99 latency, throughput, shed rate and cache hit
+//!   rate ([`ServeReport`]).
+//!
+//! `core::Platform` exposes this plane as `serve_traffic`, crediting
+//! tenants through real vouchers and feeding counters into
+//! `observe::Telemetry`.
+
+pub mod batcher;
+pub mod cache;
+pub mod gateway;
+pub mod loadgen;
+pub mod request;
+pub mod router;
+pub mod sim;
+pub mod stats;
+
+pub use batcher::{Batch, BatchPolicy, FlushTrigger, MicroBatcher, PushOutcome};
+pub use cache::{Admission, ModelCache};
+pub use gateway::{Gateway, GatewayConfig, TenantAccount};
+pub use loadgen::{LoadPlan, TenantSpec};
+pub use request::{Disposition, Request, RequestId, ShedReason, TenantId};
+pub use router::{Route, Router};
+pub use sim::{run_plan, ExecModel, ServeConfig, ServePlane, ServeSim};
+pub use stats::{ServeReport, ServeStats};
+
+/// Errors from the serving plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The plane has no installed model families.
+    NoFamilies,
+    /// A named family is not installed.
+    UnknownFamily(String),
+    /// An operation referenced a tenant with no gateway account (a
+    /// provisioning-order bug in the caller).
+    UnknownTenant(request::TenantId),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NoFamilies => write!(f, "serving plane has no installed model families"),
+            ServeError::UnknownFamily(name) => write!(f, "model family `{name}` not installed"),
+            ServeError::UnknownTenant(id) => {
+                write!(f, "tenant {id} has no gateway account (register it first)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,115 @@
+//! Request/response vocabulary of the serving plane.
+
+/// Tenant identifier (one paying customer / API key).
+pub type TenantId = u32;
+
+/// Globally unique request identifier (assigned by the load generator or
+/// gateway, monotone per run).
+pub type RequestId = u64;
+
+/// One inference request entering the gateway.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Unique id (monotone in arrival order).
+    pub id: RequestId,
+    /// Issuing tenant.
+    pub tenant: TenantId,
+    /// Model family requested (registry name, e.g. `digits`).
+    pub model: String,
+    /// Arrival time, simulated microseconds.
+    pub arrival_us: u64,
+    /// Latency SLO: the request is worthless after
+    /// `arrival_us + deadline_us`.
+    pub deadline_us: u64,
+    /// Optional input features (present when the plane executes real
+    /// `nn`/`quant` inference rather than the virtual cost model).
+    pub features: Option<Vec<f32>>,
+}
+
+impl Request {
+    /// Absolute deadline in simulated microseconds.
+    #[must_use]
+    pub fn deadline_abs_us(&self) -> u64 {
+        self.arrival_us.saturating_add(self.deadline_us)
+    }
+}
+
+/// Why the plane refused or dropped a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShedReason {
+    /// Tenant has no prepaid quota left (§III-C denial).
+    QuotaExhausted,
+    /// Tenant exceeded its pending-request allowance.
+    TenantBackpressure,
+    /// The plane as a whole is saturated (global load shedding).
+    Overload,
+    /// No healthy device could run any feasible variant.
+    NoRoute,
+    /// The request missed its latency SLO before dispatch.
+    DeadlineExpired,
+}
+
+impl ShedReason {
+    /// Stable label for telemetry counters and report tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QuotaExhausted => "quota",
+            ShedReason::TenantBackpressure => "tenant-backpressure",
+            ShedReason::Overload => "overload",
+            ShedReason::NoRoute => "no-route",
+            ShedReason::DeadlineExpired => "deadline",
+        }
+    }
+
+    /// All reasons, for report tables.
+    #[must_use]
+    pub fn all() -> [ShedReason; 5] {
+        [
+            ShedReason::QuotaExhausted,
+            ShedReason::TenantBackpressure,
+            ShedReason::Overload,
+            ShedReason::NoRoute,
+            ShedReason::DeadlineExpired,
+        ]
+    }
+}
+
+/// Terminal outcome of one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Disposition {
+    /// Served: end-to-end latency in microseconds, on this device.
+    Served {
+        /// Queueing + batching + execution latency.
+        latency_us: u64,
+        /// Serving device id.
+        device: u32,
+    },
+    /// Dropped for the given reason.
+    Shed(ShedReason),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_saturates() {
+        let r = Request {
+            id: 0,
+            tenant: 1,
+            model: "m".into(),
+            arrival_us: u64::MAX - 5,
+            deadline_us: 100,
+            features: None,
+        };
+        assert_eq!(r.deadline_abs_us(), u64::MAX);
+    }
+
+    #[test]
+    fn shed_reason_names_are_distinct() {
+        let names: std::collections::BTreeSet<&str> =
+            ShedReason::all().iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), ShedReason::all().len());
+    }
+}

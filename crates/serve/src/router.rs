@@ -1,0 +1,232 @@
+//! Constraint-aware fleet routing.
+//!
+//! The router shards batches across the device fleet: for each device it
+//! keeps the `deploy::select` choice of model variant (recomputed when
+//! fleet state churns — battery, connectivity), and dispatches each batch
+//! to the least-loaded healthy device that can run any feasible variant
+//! of the requested family. §IV fragmentation shows up directly: an M0
+//! node never receives f32 work, an offline node receives nothing.
+
+use std::collections::BTreeMap;
+use tinymlops_deploy::{select_variant, Requirements, Selection};
+use tinymlops_device::Fleet;
+use tinymlops_registry::ModelRecord;
+
+/// A routing decision for one batch.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Chosen device id.
+    pub device: u32,
+    /// Index into `fleet.devices`.
+    pub device_index: usize,
+    /// The variant selection that device will run.
+    pub selection: Selection,
+}
+
+/// Least-loaded constraint-aware router over a [`Fleet`].
+pub struct Router {
+    /// The device population being served against.
+    pub fleet: Fleet,
+    requirements: Requirements,
+    /// Cached per-device selection per family; rebuilt on `refresh`.
+    plans: BTreeMap<String, Vec<Option<Selection>>>,
+    /// Device busy-until times (simulated microseconds).
+    free_at_us: Vec<u64>,
+    /// Batches dispatched per device (for the report's balance view).
+    dispatched: Vec<u64>,
+}
+
+impl Router {
+    /// New router. `requirements` are the serving-wide SLO constraints
+    /// fed into variant selection.
+    #[must_use]
+    pub fn new(fleet: Fleet, requirements: Requirements) -> Self {
+        let n = fleet.devices.len();
+        Router {
+            fleet,
+            requirements,
+            plans: BTreeMap::new(),
+            free_at_us: vec![0; n],
+            dispatched: vec![0; n],
+        }
+    }
+
+    /// The serving requirements in force.
+    #[must_use]
+    pub fn requirements(&self) -> &Requirements {
+        &self.requirements
+    }
+
+    /// Recompute per-device selections for `family` (call after
+    /// `fleet.step()` or when a new family version lands). Uses the
+    /// fleet-sweep primitive, so it parallelizes across devices.
+    pub fn refresh_family(&mut self, family: &str, records: &[ModelRecord]) {
+        let req = self.requirements.clone();
+        let plan = self
+            .fleet
+            .par_map(|device| select_variant(records, device, &req).ok());
+        self.plans.insert(family.to_string(), plan);
+    }
+
+    /// Drop all cached plans (fleet state churned).
+    pub fn invalidate_plans(&mut self) {
+        self.plans.clear();
+    }
+
+    /// Whether a plan exists for `family`.
+    #[must_use]
+    pub fn has_plan(&self, family: &str) -> bool {
+        self.plans.contains_key(family)
+    }
+
+    /// Advance fleet dynamics one step and invalidate cached plans.
+    pub fn step_fleet(&mut self) {
+        self.fleet.step();
+        self.invalidate_plans();
+    }
+
+    /// Route a batch of `family` work at `now_us`: the feasible, healthy
+    /// device whose queue frees earliest (ties → lowest device id, so
+    /// routing is deterministic). Returns `None` when no device fits.
+    pub fn route(&mut self, family: &str, now_us: u64) -> Option<Route> {
+        let plan = self.plans.get(family)?;
+        let mut best: Option<(u64, usize)> = None;
+        for (idx, (device, selection)) in self.fleet.devices.iter().zip(plan.iter()).enumerate() {
+            let Some(_selection) = selection else {
+                continue;
+            };
+            // Health gates: reachable, and not about to die unplugged.
+            if !device.online() {
+                continue;
+            }
+            if device.state.battery.is_low() && !device.state.battery.plugged {
+                continue;
+            }
+            let free_at = self.free_at_us[idx].max(now_us);
+            if best.is_none_or(|(t, _)| free_at < t) {
+                best = Some((free_at, idx));
+            }
+        }
+        let (_, idx) = best?;
+        let selection = self.plans[family][idx].clone().expect("feasible by filter");
+        Some(Route {
+            device: self.fleet.devices[idx].id,
+            device_index: idx,
+            selection,
+        })
+    }
+
+    /// Mark a device busy until `done_us` (called by the dispatcher).
+    pub fn occupy(&mut self, device_index: usize, done_us: u64) {
+        self.free_at_us[device_index] = done_us;
+        self.dispatched[device_index] += 1;
+    }
+
+    /// When the device's queue frees (≥ `now_us` after `max`).
+    #[must_use]
+    pub fn free_at(&self, device_index: usize, now_us: u64) -> u64 {
+        self.free_at_us[device_index].max(now_us)
+    }
+
+    /// Count of devices that received at least one batch.
+    #[must_use]
+    pub fn devices_used(&self) -> usize {
+        self.dispatched.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// Batches dispatched per device id (deterministic order).
+    #[must_use]
+    pub fn dispatch_census(&self) -> Vec<(u32, u64)> {
+        self.fleet
+            .devices
+            .iter()
+            .map(|d| d.id)
+            .zip(self.dispatched.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use tinymlops_device::default_mix;
+    use tinymlops_registry::{ModelFormat, ModelId, SemVer};
+
+    fn family() -> Vec<ModelRecord> {
+        let mut records = Vec::new();
+        for (id, format, size, acc) in [
+            (0u64, ModelFormat::F32, 40_000u64, 0.96),
+            (1, ModelFormat::Quantized { bits: 8 }, 10_000, 0.95),
+            (2, ModelFormat::Quantized { bits: 2 }, 2_500, 0.88),
+        ] {
+            let mut metrics = BTreeMap::new();
+            metrics.insert("accuracy".into(), acc);
+            records.push(ModelRecord {
+                id: ModelId(id),
+                name: "m".into(),
+                version: SemVer::new(1, 0, 0),
+                format,
+                parent: None,
+                artifact: [0; 32],
+                size_bytes: size,
+                macs: 1_000_000,
+                metrics,
+                tags: vec![],
+                created_ms: 0,
+            });
+        }
+        records
+    }
+
+    fn requirements() -> Requirements {
+        Requirements {
+            max_latency_ms: 1e9,
+            max_download_ms: f64::INFINITY,
+            min_accuracy: 0.0,
+            max_energy_mj: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn routes_prefer_idle_devices() {
+        let fleet = Fleet::generate(30, &default_mix(), 3);
+        let mut router = Router::new(fleet, requirements());
+        router.refresh_family("m", &family());
+        let first = router.route("m", 0).expect("some device fits");
+        router.occupy(first.device_index, 10_000);
+        let second = router.route("m", 0).expect("another device fits");
+        assert_ne!(
+            first.device_index, second.device_index,
+            "busy device is deprioritized"
+        );
+    }
+
+    #[test]
+    fn unknown_family_has_no_route() {
+        let fleet = Fleet::generate(10, &default_mix(), 3);
+        let mut router = Router::new(fleet, requirements());
+        assert!(router.route("ghost", 0).is_none());
+    }
+
+    #[test]
+    fn offline_and_critical_devices_are_skipped() {
+        let mut fleet = Fleet::generate(20, &default_mix(), 1);
+        for d in &mut fleet.devices {
+            d.state.network = tinymlops_device::NetworkKind::Offline;
+        }
+        let mut router = Router::new(fleet, requirements());
+        router.refresh_family("m", &family());
+        assert!(router.route("m", 0).is_none(), "whole fleet offline");
+    }
+
+    #[test]
+    fn step_fleet_invalidates_plans() {
+        let fleet = Fleet::generate(10, &default_mix(), 3);
+        let mut router = Router::new(fleet, requirements());
+        router.refresh_family("m", &family());
+        assert!(router.has_plan("m"));
+        router.step_fleet();
+        assert!(!router.has_plan("m"));
+    }
+}

@@ -227,7 +227,10 @@ impl Tensor {
     /// Extract rows `[start, end)` as a new tensor.
     #[must_use]
     pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
-        assert!(start <= end && end <= self.rows(), "slice_rows out of range");
+        assert!(
+            start <= end && end <= self.rows(),
+            "slice_rows out of range"
+        );
         let cols = self.cols();
         let mut shape = self.shape.clone();
         shape[0] = end - start;

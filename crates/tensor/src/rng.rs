@@ -32,7 +32,10 @@ impl TensorRng {
     #[must_use]
     pub fn normal(&mut self, shape: &[usize], mean: f32, std: f32) -> Tensor {
         let n: usize = shape.iter().product();
-        Tensor::from_vec((0..n).map(|_| mean + std * self.next_gaussian()).collect(), shape)
+        Tensor::from_vec(
+            (0..n).map(|_| mean + std * self.next_gaussian()).collect(),
+            shape,
+        )
     }
 
     /// Kaiming/He initialization for a `[fan_out, fan_in]` weight matrix.

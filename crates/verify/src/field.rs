@@ -52,6 +52,7 @@ impl Fp {
     }
 
     /// Field addition.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn add(self, rhs: Fp) -> Fp {
         let (sum, over) = self.0.overflowing_add(rhs.0);
@@ -63,6 +64,7 @@ impl Fp {
     }
 
     /// Field subtraction.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn sub(self, rhs: Fp) -> Fp {
         if self.0 >= rhs.0 {
@@ -75,12 +77,14 @@ impl Fp {
     }
 
     /// Field multiplication via u128 + Goldilocks reduction.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn mul(self, rhs: Fp) -> Fp {
         reduce128(u128::from(self.0) * u128::from(rhs.0))
     }
 
     /// Field negation.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn neg(self) -> Fp {
         if self.0 == 0 {
@@ -120,8 +124,8 @@ fn reduce128(x: u128) -> Fp {
     let hi = (x >> 64) as u64;
     let hi_lo = hi & 0xFFFF_FFFF; // low 32 bits of hi
     let hi_hi = hi >> 32; // high 32 bits of hi
-    // x = lo + 2^64·hi_lo' where hi = hi_hi·2^32 + hi_lo
-    // 2^64 ≡ 2^32 − 1, 2^96 ≡ −1 (mod p)
+                          // x = lo + 2^64·hi_lo' where hi = hi_hi·2^32 + hi_lo
+                          // 2^64 ≡ 2^32 − 1, 2^96 ≡ −1 (mod p)
     let mut t = lo;
     // subtract hi_hi (2^96 term ≡ −1)
     if t >= hi_hi {

@@ -78,13 +78,7 @@ pub fn eq_table(point: &[Fp]) -> Vec<Fp> {
 /// Evaluate the MLE of a row-major matrix `[rows × cols]` (each dim padded
 /// to powers of two) at `(r_row, r_col)`: `Σ_{i,j} eq(r_row,i)·eq(r_col,j)·M[i,j]`.
 #[must_use]
-pub fn matrix_mle_eval(
-    matrix: &[Fp],
-    rows: usize,
-    cols: usize,
-    r_row: &[Fp],
-    r_col: &[Fp],
-) -> Fp {
+pub fn matrix_mle_eval(matrix: &[Fp], rows: usize, cols: usize, r_row: &[Fp], r_col: &[Fp]) -> Fp {
     assert_eq!(1usize << r_row.len(), rows.next_power_of_two());
     assert_eq!(1usize << r_col.len(), cols.next_power_of_two());
     let eq_r = eq_table(r_row);

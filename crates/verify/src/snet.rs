@@ -16,8 +16,8 @@ use crate::sumcheck::{prove_matmul, verify_matmul, MatMulProof};
 use crate::transcript::Transcript;
 use crate::VerifyError;
 use serde::{Deserialize, Serialize};
-use tinymlops_quant::{QDense, QuantizedModel};
 use tinymlops_quant::qmodel::QLayer;
+use tinymlops_quant::{QDense, QuantizedModel};
 use tinymlops_tensor::Tensor;
 
 /// Elementwise activation between provable layers.
@@ -50,7 +50,11 @@ impl InferenceProof {
     #[must_use]
     pub fn size_bytes(&self) -> usize {
         self.accs.iter().map(|a| a.len() * 4).sum::<usize>()
-            + self.matmuls.iter().map(MatMulProof::size_bytes).sum::<usize>()
+            + self
+                .matmuls
+                .iter()
+                .map(MatMulProof::size_bytes)
+                .sum::<usize>()
             + 8
     }
 }
@@ -225,7 +229,16 @@ mod tests {
         let mut rng = TensorRng::seed(3);
         let mut model = mlp(&[64, 24, 10], &mut rng);
         let mut opt = Adam::new(0.005);
-        fit(&mut model, &train, &mut opt, &FitConfig { epochs: 8, batch_size: 32, ..Default::default() });
+        fit(
+            &mut model,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 8,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
         let q = QuantizedModel::quantize(&model, &train.x, QuantScheme::Int8).unwrap();
         let vm = VerifiableModel::from_quantized(&q).unwrap();
         (vm, test.x.slice_rows(0, 8))
@@ -256,7 +269,10 @@ mod tests {
         // The §VI scenario: flip the prediction to trick a downstream
         // payment-authorization step.
         forged.data_mut()[0] += 10.0;
-        assert_eq!(vm.verify(&x, &forged, &proof), Err(VerifyError::OutputMismatch));
+        assert_eq!(
+            vm.verify(&x, &forged, &proof),
+            Err(VerifyError::OutputMismatch)
+        );
     }
 
     #[test]
@@ -293,7 +309,16 @@ mod tests {
         let mut rng = TensorRng::seed(5);
         let mut model = mlp(&[64, 8, 10], &mut rng);
         let mut opt = Adam::new(0.01);
-        fit(&mut model, &data, &mut opt, &FitConfig { epochs: 2, batch_size: 32, ..Default::default() });
+        fit(
+            &mut model,
+            &data,
+            &mut opt,
+            &FitConfig {
+                epochs: 2,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
         let q = QuantizedModel::quantize(&model, &data.x, QuantScheme::Binary).unwrap();
         assert!(VerifiableModel::from_quantized(&q).is_err());
     }

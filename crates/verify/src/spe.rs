@@ -109,8 +109,8 @@ impl Enclave {
         if sha256(&bytes) != self.measurement {
             return Err(VerifyError::Attestation("measurement mismatch"));
         }
-        let model = Sequential::from_bytes(&bytes)
-            .map_err(|_| VerifyError::Attestation("model decode"))?;
+        let model =
+            Sequential::from_bytes(&bytes).map_err(|_| VerifyError::Attestation("model decode"))?;
         let y = model.forward(x);
         let mut report = AttestationReport {
             measurement: self.measurement,

@@ -47,7 +47,17 @@ pub struct ProverTimings {
 }
 
 fn absorb_header(t: &mut Transcript, c: &[Fp], m: usize, n: usize, b: usize) {
-    t.absorb(b"dims", &[m as u8, n as u8, b as u8, (m >> 8) as u8, (n >> 8) as u8, (b >> 8) as u8]);
+    t.absorb(
+        b"dims",
+        &[
+            m as u8,
+            n as u8,
+            b as u8,
+            (m >> 8) as u8,
+            (n >> 8) as u8,
+            (b >> 8) as u8,
+        ],
+    );
     t.absorb_fps(b"claimed-output", c);
 }
 
@@ -131,6 +141,7 @@ fn quadratic_eval(g: &[Fp; 3], t: Fp) -> Fp {
 
 /// Verify a matmul proof. The verifier holds `a`, `x` and the claimed `c`
 /// and never performs the O(b·m·n) multiplication.
+#[allow(clippy::too_many_arguments)]
 pub fn verify_matmul(
     a: &[i64],
     x: &[i64],
@@ -193,8 +204,12 @@ mod tests {
     use super::*;
 
     fn sample(m: usize, n: usize, b: usize, seed: i64) -> (Vec<i64>, Vec<i64>, Vec<i64>) {
-        let a: Vec<i64> = (0..m * n).map(|i| ((i as i64 * 31 + seed) % 255) - 127).collect();
-        let x: Vec<i64> = (0..b * n).map(|i| ((i as i64 * 17 + seed * 3) % 255) - 127).collect();
+        let a: Vec<i64> = (0..m * n)
+            .map(|i| ((i as i64 * 31 + seed) % 255) - 127)
+            .collect();
+        let x: Vec<i64> = (0..b * n)
+            .map(|i| ((i as i64 * 17 + seed * 3) % 255) - 127)
+            .collect();
         let c = int_matmul(&a, &x, m, n, b);
         (a, x, c)
     }

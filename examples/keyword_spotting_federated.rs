@@ -13,8 +13,7 @@
 //! ```
 
 use tinymlops::fed::{
-    mean_gain, partition_dirichlet, personalize, Compression, FlConfig, FlServer,
-    LocalTrainConfig,
+    mean_gain, partition_dirichlet, personalize, Compression, FlConfig, FlServer, LocalTrainConfig,
 };
 use tinymlops::nn::data::keyword_features_noisy;
 use tinymlops::nn::model::mlp;
@@ -24,8 +23,8 @@ use tinymlops::tensor::TensorRng;
 fn main() {
     let seed = 21u64;
     let classes = 8; // eight keywords
-    // Noisy audio: without it every method saturates and there is
-    // nothing to compare.
+                     // Noisy audio: without it every method saturates and there is
+                     // nothing to compare.
     let data = keyword_features_noisy(2400, classes, 1.4, seed);
     let (train, test) = data.split(0.85, 0);
     println!(

@@ -15,7 +15,10 @@ fn main() {
         fl_rounds: 5,
         seed: 42,
     };
-    println!("TinyMLOps quickstart — Figure-1 lifecycle (seed {})", cfg.seed);
+    println!(
+        "TinyMLOps quickstart — Figure-1 lifecycle (seed {})",
+        cfg.seed
+    );
     println!("{:-<78}", "");
     let report = run_lifecycle(&cfg).expect("lifecycle should complete");
     for stage in &report.stages {

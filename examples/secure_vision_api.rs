@@ -16,13 +16,13 @@
 //! ```
 
 use tinymlops::ipp::{extraction_attack, ExtractConfig, Poisoner};
-use tinymlops::quant::DistillConfig;
 use tinymlops::meter::{QuotaManager, RateCard, SyncServer, VoucherIssuer};
 use tinymlops::nn::data::synth_digits;
 use tinymlops::nn::model::mlp;
 use tinymlops::nn::train::{evaluate, fit, FitConfig};
 use tinymlops::nn::Adam;
 use tinymlops::observe::{PradaDetector, StealingVerdict};
+use tinymlops::quant::DistillConfig;
 use tinymlops::quant::{QuantScheme, QuantizedModel};
 use tinymlops::tensor::TensorRng;
 use tinymlops::verify::VerifiableModel;
@@ -35,7 +35,16 @@ fn main() {
     let mut rng = TensorRng::seed(seed);
     let mut model = mlp(&[64, 32, 10], &mut rng);
     let mut opt = Adam::new(0.005);
-    fit(&mut model, &train, &mut opt, &FitConfig { epochs: 15, batch_size: 32, ..Default::default() });
+    fit(
+        &mut model,
+        &train,
+        &mut opt,
+        &FitConfig {
+            epochs: 15,
+            batch_size: 32,
+            ..Default::default()
+        },
+    );
     println!("vendor model accuracy: {:.3}", evaluate(&model, &test));
 
     // 1. Encrypt for device 42.
@@ -65,7 +74,10 @@ fn main() {
             served += 20;
         }
     }
-    println!("served {served} offline queries; balance {}", quota.balance());
+    println!(
+        "served {served} offline queries; balance {}",
+        quota.balance()
+    );
 
     // 3. Denial at zero + rollback detection at sync.
     let denied = quota.consume(1, 999).is_err();
@@ -73,7 +85,11 @@ fn main() {
     backend.sync(42, quota.log()).expect("honest sync");
     let rates = RateCard::cloud_vision_like();
     let invoice = tinymlops::meter::Invoice::compute(42, backend.billed(42), &rates);
-    println!("invoice for {} queries: {}", invoice.queries, invoice.amount_display());
+    println!(
+        "invoice for {} queries: {}",
+        invoice.queries,
+        invoice.amount_display()
+    );
     // The fraudster restores a pre-purchase snapshot:
     let fresh = QuotaManager::new(device_key);
     let fraud = backend.sync(42, fresh.log());
@@ -81,7 +97,11 @@ fn main() {
 
     // 4. Extraction attack vs defenses.
     let transfer = synth_digits(1000, 0.2, seed + 1);
-    for poisoner in [Poisoner::None, Poisoner::Round { decimals: 1 }, Poisoner::LabelOnly] {
+    for poisoner in [
+        Poisoner::None,
+        Poisoner::Round { decimals: 1 },
+        Poisoner::LabelOnly,
+    ] {
         let report = extraction_attack(
             &device_model,
             poisoner,

@@ -38,10 +38,25 @@ fn main() {
     let mut rng = TensorRng::seed(seed);
     let mut model = mlp(&[64, 48, 10], &mut rng);
     let mut opt = Adam::new(0.005);
-    fit(&mut model, &train, &mut opt, &FitConfig { epochs: 15, batch_size: 32, ..Default::default() });
+    fit(
+        &mut model,
+        &train,
+        &mut opt,
+        &FitConfig {
+            epochs: 15,
+            batch_size: 32,
+            ..Default::default()
+        },
+    );
     println!("detector accuracy: {:.3}", evaluate(&model, &test));
     let (_base, variants) = platform
-        .publish("camera-detector", &model, SemVer::new(1, 0, 0), &train, &test)
+        .publish(
+            "camera-detector",
+            &model,
+            SemVer::new(1, 0, 0),
+            &train,
+            &test,
+        )
         .expect("publish");
     println!("registry holds 1 base + {} variants", variants.len());
 

@@ -1,0 +1,141 @@
+//! Offline shim for `criterion`: a minimal wall-clock micro-benchmark
+//! harness with the `criterion_group!`/`criterion_main!` entry points.
+//! It runs each benchmark for a bounded number of iterations and prints
+//! mean ns/iter — enough to keep `cargo bench` working without the
+//! upstream crate's statistics machinery.
+
+use std::time::Instant;
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mean = if b.samples_ns.is_empty() {
+            0.0
+        } else {
+            b.samples_ns.iter().sum::<f64>() / b.samples_ns.len() as f64
+        };
+        println!(
+            "bench {id:<40} {mean:>14.1} ns/iter ({} samples)",
+            b.samples_ns.len()
+        );
+        self
+    }
+}
+
+/// Per-benchmark timing context.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+}
+
+/// How much setup output to batch per timing pass (shim: ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Time `f` once per iteration.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        self.samples_ns.push(start.elapsed().as_nanos() as f64);
+    }
+
+    /// Time `routine` on a fresh `setup()` output, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        self.samples_ns.push(start.elapsed().as_nanos() as f64);
+    }
+}
+
+/// Group benchmark functions into a single runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit a `main` that runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u32;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("noop", |b| {
+                b.iter(|| ());
+                ran += 1;
+            });
+        assert_eq!(ran, 3);
+    }
+
+    #[test]
+    fn iter_batched_uses_setup_output() {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+        };
+        b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput);
+        assert_eq!(b.samples_ns.len(), 1);
+    }
+}

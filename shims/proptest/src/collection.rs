@@ -1,0 +1,26 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for vectors whose length is drawn from `sizes`.
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: std::ops::Range<usize>,
+}
+
+/// `proptest::collection::vec(element, len_range)`.
+pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(sizes.start < sizes.end, "empty vec size range");
+    VecStrategy { element, sizes }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.sizes.end - self.sizes.start) as u64;
+        let len = self.sizes.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline shim for `proptest`: deterministic random-input property
+//! testing with the strategy/assert subset this workspace uses.
+//!
+//! Each `proptest!` test runs a fixed number of seeded cases (no
+//! shrinking). Failures panic with the case index so a run is
+//! reproducible by construction — the seed derives from the test name.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Strategy};
+pub use test_runner::TestRng;
+
+/// Cases run per property.
+pub const NUM_CASES: u32 = 64;
+
+/// Maximum generate attempts when `prop_assume!` rejects cases.
+pub const MAX_REJECTS: u32 = NUM_CASES * 20;
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+    /// The property failed.
+    Fail(String),
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{TestCaseError, TestRng};
+}
+
+/// Define property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running [`NUM_CASES`] seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::TestRng::from_name(stringify!($name));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            while passed < $crate::NUM_CASES {
+                attempts += 1;
+                assert!(
+                    attempts <= $crate::MAX_REJECTS,
+                    "proptest: too many rejected cases in {}",
+                    stringify!($name)
+                );
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::TestCaseError::Reject) => continue,
+                    Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "proptest property {} failed on case {}: {}",
+                        stringify!($name),
+                        passed,
+                        msg
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (inputs don't satisfy a precondition).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_filters(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0, "v={v} should be even");
+        }
+
+        #[test]
+        fn tuples_and_vecs(ops in crate::collection::vec((any::<bool>(), 1u64..50), 0..80)) {
+            prop_assert!(ops.len() < 80);
+            for (_, amount) in &ops {
+                prop_assert!((1..50).contains(amount));
+            }
+        }
+
+        #[test]
+        fn mapped_strategy(x in (0.0f32..1.0).prop_map(|v| v * 2.0)) {
+            prop_assert!((0.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_name("t");
+        let mut b = TestRng::from_name("t");
+        let s = 0u64..1000;
+        for _ in 0..32 {
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

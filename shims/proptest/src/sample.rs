@@ -1,0 +1,21 @@
+//! Sampling strategies over explicit value sets.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform choice among a fixed set of values.
+pub struct Select<T>(Vec<T>);
+
+/// `prop::sample::select(values)` — draw one of the given values.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select: empty choice set");
+    Select(values)
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.below(self.0.len() as u64) as usize].clone()
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline shim for `rand`: a deterministic xoshiro256++ generator behind
+//! the `StdRng` / `Rng` / `SeedableRng` API subset this workspace uses.
+//!
+//! Streams are deterministic per seed (the workspace's reproducibility
+//! tests rely on that) but are not bit-compatible with upstream `rand`.
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range from which [`Rng::gen_range`] can sample.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// High-level sampling helpers, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        next_f64(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+fn next_f64(rng: &mut dyn RngCore) -> f64 {
+    // 53 random mantissa bits → uniform in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + (self.end - self.start) * next_f64(rng) as $t
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+pub mod rngs {
+    //! Named generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stands in for the upstream
+    /// `StdRng`; not stream-compatible with it).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u32..10) == c.gen_range(0u32..10))
+            .count();
+        assert!(same < 64, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3i64..9);
+            assert!((3..9).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let inc = rng.gen_range(0u8..=3);
+            assert!(inc <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 got {hits}/10000");
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline shim for `rayon`: ordered parallel map / for-each over slices,
+//! implemented with scoped OS threads. Only the adapters this workspace
+//! uses are provided (`par_iter`, `par_iter_mut`, `par_chunks_mut`,
+//! `map`, `enumerate`, `for_each`, `collect`).
+
+use std::thread;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+fn pool_size(work_items: usize) -> usize {
+    if work_items < 2 {
+        return 1;
+    }
+    thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+        .min(work_items)
+}
+
+/// `par_iter` on shared slices (and, via deref, `Vec`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel shared iterator.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel exclusive iterator.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    /// Parallel iterator over contiguous mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { items: self }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "par_chunks_mut: zero chunk size");
+        ParChunksMut { items: self, size }
+    }
+}
+
+/// Parallel iterator over `&T`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element; results keep slice order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let _: Vec<()> = self.map(f).collect();
+    }
+}
+
+/// Mapped parallel iterator; terminal `collect` preserves order.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Evaluate in parallel and collect in slice order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let workers = pool_size(n);
+        if workers == 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        let per_chunk: Vec<Vec<R>> = thread::scope(|s| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+/// Parallel iterator over `&mut T`.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let n = self.items.len();
+        let workers = pool_size(n);
+        if workers == 1 {
+            self.items.iter_mut().for_each(f);
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &f;
+        thread::scope(|s| {
+            for c in self.items.chunks_mut(chunk) {
+                s.spawn(move || c.iter_mut().for_each(f));
+            }
+        });
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    items: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate(self)
+    }
+
+    /// Run `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// Enumerated mutable-chunk iterator.
+pub struct ParChunksMutEnumerate<'a, T>(ParChunksMut<'a, T>);
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Run `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let mut work: Vec<(usize, &mut [T])> =
+            self.0.items.chunks_mut(self.0.size).enumerate().collect();
+        let workers = pool_size(work.len());
+        if workers == 1 {
+            work.into_iter().for_each(f);
+            return;
+        }
+        let per_worker = work.len().div_ceil(workers);
+        let f = &f;
+        thread::scope(|s| {
+            while !work.is_empty() {
+                let batch: Vec<(usize, &mut [T])> =
+                    work.drain(..per_worker.min(work.len())).collect();
+                s.spawn(move || batch.into_iter().for_each(f));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = data.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn for_each_mut_touches_everything() {
+        let mut data = vec![1u32; 5000];
+        data.par_iter_mut().for_each(|x| *x += 1);
+        assert!(data.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn chunked_enumerate_covers_all_rows() {
+        let mut data = vec![0usize; 12 * 7];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i / 7);
+        }
+    }
+}

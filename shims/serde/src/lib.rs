@@ -1,0 +1,52 @@
+//! Offline shim for `serde`: a self-describing value model plus
+//! `Serialize`/`Deserialize` traits and derive macros.
+//!
+//! The real serde serializes through a visitor; this shim goes through an
+//! owned [`Value`] tree instead (every type this workspace serializes is
+//! small enough for that to be fine). `serde_json` renders that tree as
+//! JSON text with the same external shape real serde would produce:
+//! structs as objects, newtype structs transparent, enums externally
+//! tagged.
+
+mod impls;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self`, failing with a message on shape mismatch.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+/// Deserialization error: a human-readable shape-mismatch message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}

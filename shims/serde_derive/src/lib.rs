@@ -1,0 +1,460 @@
+//! Offline shim for `serde_derive`: hand-rolled `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` without syn/quote.
+//!
+//! Supports exactly the shapes this workspace declares: non-generic named
+//! structs (with `#[serde(skip)]` fields), tuple structs, and enums with
+//! unit / tuple / struct variants (externally tagged, like real serde).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut is_enum = false;
+    // Skip outer attributes and visibility; find `struct` / `enum`.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive shim: no struct/enum keyword found"),
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Shape::Enum(parse_variants(g.stream()))
+            } else {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_top_level_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+        other => panic!("serde_derive shim: unexpected body for `{name}`: {other:?}"),
+    };
+    Input { name, shape }
+}
+
+/// Whether an attribute group (the `[...]` part) is `serde(skip)`.
+fn is_serde_skip(tokens: &TokenTree) -> bool {
+    let TokenTree::Group(g) = tokens else {
+        return false;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        // Field attributes (`#[serde(skip)]`, doc comments, ...).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(attr) = tokens.get(i + 1) {
+                skip |= is_serde_skip(attr);
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!(
+                "serde_derive shim: expected field name at {:?}",
+                tokens.get(i)
+            );
+        };
+        let name = id.to_string();
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive shim: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type up to the next top-level comma. Angle brackets are
+        // the only nesting that reaches token level (parens/brackets are
+        // already grouped by the tokenizer).
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Count comma-separated members of a tuple-struct / tuple-variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 == tokens.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Variant attributes / doc comments.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume up to and including the variant separator.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "entries.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(::serde::Map::from_entries(entries))"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Object(::serde::Map::from_entries(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(f0))])),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::serde::Map::from_entries(vec![(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(::serde::Map::from_entries(vec![(\"{vname}\".to_string(), ::serde::Value::Object(::serde::Map::from_entries(vec![{}])))])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn named_fields_constructor(
+    type_path: &str,
+    fields: &[Field],
+    obj_expr: &str,
+    context: &str,
+) -> String {
+    let mut setters = String::new();
+    for f in fields {
+        if f.skip {
+            setters.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            setters.push_str(&format!(
+                "{0}: match {obj_expr}.get(\"{0}\") {{\n\
+                     Some(field_value) => ::serde::Deserialize::from_value(field_value)?,\n\
+                     None => return ::std::result::Result::Err(::serde::DeError::custom(\"missing field `{0}` in {context}\")),\n\
+                 }},\n",
+                f.name
+            ));
+        }
+    }
+    format!("{type_path} {{\n{setters}}}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let ctor = named_fields_constructor(name, fields, "obj", name);
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if arr.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                        // Also accept the `{ "Variant": null }` form.
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(&arr[{i}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let arr = payload.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array payload for {name}::{vname}\"))?;\n\
+                                 if arr.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong arity for {name}::{vname}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let ctor = named_fields_constructor(
+                            &format!("{name}::{vname}"),
+                            fields,
+                            "obj",
+                            &format!("{name}::{vname}"),
+                        );
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let obj = payload.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object payload for {name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({ctor})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(map) if map.len() == 1 => {{\n\
+                         let (tag, payload) = map.iter().next().expect(\"len checked\");\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::custom(\"expected externally tagged enum for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

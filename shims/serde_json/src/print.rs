@@ -1,0 +1,111 @@
+//! JSON text rendering (compact and pretty).
+
+use crate::{Number, Value};
+
+/// Compact rendering (no whitespace).
+pub fn compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, None, 0, &mut out);
+    out
+}
+
+/// Pretty rendering (two-space indent).
+pub fn pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, Some(2), 0, &mut out);
+    out
+}
+
+fn newline(indent: Option<usize>, level: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(indent, level + 1, out);
+                write_value(item, indent, level + 1, out);
+            }
+            newline(indent, level, out);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(indent, level + 1, out);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, indent, level + 1, out);
+            }
+            newline(indent, level, out);
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    match n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) => {
+            if v.is_finite() {
+                // Rust's Display prints the shortest exact round-trip form.
+                let text = v.to_string();
+                out.push_str(&text);
+                // Keep it a JSON *number* that parses back as float when it
+                // matters: integral floats print bare (serde_json prints
+                // `1.0`; both parse fine).
+            } else {
+                // JSON has no inf/nan; mirror serde_json by emitting null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

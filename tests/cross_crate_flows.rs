@@ -44,7 +44,15 @@ fn registry_variants_deploy_across_fleet() {
     let (model, train, test) = trained_model();
     let registry = Registry::new();
     OptimizationPipeline::standard()
-        .process_base(&registry, "m", &model, SemVer::new(1, 0, 0), &train, &test, 0)
+        .process_base(
+            &registry,
+            "m",
+            &model,
+            SemVer::new(1, 0, 0),
+            &train,
+            &test,
+            0,
+        )
         .unwrap();
     let family = registry.family_at("m", SemVer::new(1, 0, 0));
     let fleet = Fleet::generate(60, &default_mix(), 3);
@@ -75,7 +83,15 @@ fn registry_int8_artifact_is_provable() {
     let (model, train, test) = trained_model();
     let registry = Registry::new();
     OptimizationPipeline::standard()
-        .process_base(&registry, "m", &model, SemVer::new(1, 0, 0), &train, &test, 0)
+        .process_base(
+            &registry,
+            "m",
+            &model,
+            SemVer::new(1, 0, 0),
+            &train,
+            &test,
+            0,
+        )
         .unwrap();
     let int8 = registry
         .all()

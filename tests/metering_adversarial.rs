@@ -35,7 +35,8 @@ fn honest_device_lifecycle_bills_correctly() {
         let outcome = backend.sync(1, quota.log()).unwrap();
         assert_eq!(outcome.new_queries, 1500, "cycle {cycle}");
     }
-    let invoice = tinymlops::meter::Invoice::compute(1, backend.billed(1), &RateCard::cloud_vision_like());
+    let invoice =
+        tinymlops::meter::Invoice::compute(1, backend.billed(1), &RateCard::cloud_vision_like());
     assert_eq!(invoice.queries, 3000);
     // 3000 − 1000 free = 2000 billable at $1.50/1k.
     assert_eq!(invoice.amount_display(), "$3.00");
@@ -80,7 +81,7 @@ fn voucher_cloning_across_devices_is_caught() {
     let mut issuer = VoucherIssuer::new([2u8; 32]);
     let mut ledger = VoucherLedger::new();
     let v = issuer.issue(1000, 0); // bearer voucher
-    // Device A redeems and syncs.
+                                   // Device A redeems and syncs.
     ledger.register(v.serial).unwrap();
     // Device B presents the same serial.
     assert!(ledger.register(v.serial).is_err());
