@@ -1,0 +1,448 @@
+//! B01 — kernel and serving-plane performance, as a tracked artifact.
+//!
+//! The ROADMAP's "as fast as the hardware allows" is unfalsifiable without
+//! numbers: this harness times the hot kernels every experiment funnels
+//! through — f32 GEMM (packed tiles vs the seed row-streaming kernel, on
+//! shapes spanning the parallelism threshold and remainder tiles), QDense
+//! integer forward at 8/4/2 bits (restructured vs the seed scalar loop),
+//! whole-model `Sequential`/`QuantizedModel` forwards, and an end-to-end
+//! e15-style serving replay — and appends one run record to
+//! `results/BENCH_kernels.json`. The schema is before/after-friendly:
+//! entries carry stable ids, so any later perf PR reruns this binary and
+//! diffs the same ids across runs.
+//!
+//! `--quick` shrinks shapes and reps to CI-smoke size (the JSON is still
+//! written and self-parsed, so the harness cannot rot unnoticed).
+
+use std::time::Instant;
+use tinymlops_bench::{fmt, print_table};
+use tinymlops_nn::model::mlp;
+use tinymlops_quant::{QDense, QuantScheme, QuantizedModel};
+use tinymlops_serve::{LoadPlan, ServeConfig, ServePlane, ServeSim, TenantSpec};
+use tinymlops_tensor::matmul::{gemm, gemm_naive, gemm_packed, gemm_row_stream};
+use tinymlops_tensor::{Tensor, TensorRng};
+
+const SEED: u64 = 101;
+const RESULTS_PATH: &str = "results/BENCH_kernels.json";
+
+/// One benchmark datapoint; `baseline_id`/`speedup_vs_baseline` tie an
+/// optimized kernel to the seed kernel measured in the same run.
+struct Entry {
+    id: String,
+    group: &'static str,
+    shape: String,
+    reps: usize,
+    ns_per_op: f64,
+    /// `None` for entries where FLOP/s is not meaningful (serving replay).
+    gflops: Option<f64>,
+    baseline_id: Option<String>,
+    speedup_vs_baseline: Option<f64>,
+}
+
+/// Mean ns per call over `reps` calls (after one warmup call).
+fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / reps as f64
+}
+
+/// Reps that keep one measurement around `target_ms`, clamped to ≥ 1.
+fn reps_for(ns_estimate: f64, target_ms: f64) -> usize {
+    ((target_ms * 1e6 / ns_estimate).ceil() as usize).max(1)
+}
+
+type GemmFn = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+
+fn bench_gemm_f32(quick: bool, entries: &mut Vec<Entry>) {
+    let shapes: &[(usize, usize, usize)] = if quick {
+        &[(32, 32, 32), (96, 80, 72)]
+    } else {
+        // Spans the PAR/packing thresholds, remainder tiles (non-multiples
+        // of MR/NR/KC) and the 256³ acceptance shape.
+        &[
+            (48, 48, 48),
+            (128, 128, 128),
+            (192, 176, 200),
+            (256, 256, 256),
+            (384, 300, 256),
+        ]
+    };
+    let mut rng = TensorRng::seed(SEED);
+    for &(m, k, n) in shapes {
+        let a = rng.uniform(&[m, k], -1.0, 1.0);
+        let b = rng.uniform(&[k, n], -1.0, 1.0);
+        let mut c = vec![0.0f32; m * n];
+        let flops = 2.0 * (m * k * n) as f64;
+        let shape = format!("{m}x{k}x{n}");
+        let probe = time_ns(1, || {
+            c.fill(0.0);
+            gemm_row_stream(a.data(), b.data(), &mut c, m, k, n);
+        });
+        let reps = if quick { 1 } else { reps_for(probe, 60.0) };
+
+        let variants: &[(&str, GemmFn)] = &[
+            ("rowstream", gemm_row_stream),
+            ("packed", gemm_packed),
+            ("dispatch", gemm),
+        ];
+        let mut row_ns = 0.0;
+        for (tag, f) in variants {
+            let ns = time_ns(reps, || {
+                c.fill(0.0);
+                f(a.data(), b.data(), &mut c, m, k, n);
+            });
+            if *tag == "rowstream" {
+                row_ns = ns;
+            }
+            // The packed path must agree with the naive reference.
+            if *tag == "packed" {
+                let mut want = vec![0.0f32; m * n];
+                gemm_naive(a.data(), b.data(), &mut want, m, k, n);
+                let worst = c
+                    .iter()
+                    .zip(&want)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(worst < 1e-2 * k as f32 / 64.0, "packed vs naive: {worst}");
+            }
+            entries.push(Entry {
+                id: format!("gemm_f32_{shape}_{tag}"),
+                group: "gemm_f32",
+                shape: shape.clone(),
+                reps,
+                ns_per_op: ns,
+                gflops: Some(flops / ns),
+                baseline_id: (*tag != "rowstream").then(|| format!("gemm_f32_{shape}_rowstream")),
+                speedup_vs_baseline: (*tag != "rowstream").then(|| row_ns / ns),
+            });
+        }
+    }
+
+    // Sparse A (~85% zeros): the dispatcher must keep the row-stream skip.
+    let (m, k, n) = if quick { (64, 64, 64) } else { (256, 256, 256) };
+    let a = rng
+        .uniform(&[m, k], -1.0, 1.0)
+        .map(|v| if v.abs() < 0.85 { 0.0 } else { v });
+    let b = rng.uniform(&[k, n], -1.0, 1.0);
+    let mut c = vec![0.0f32; m * n];
+    let shape = format!("{m}x{k}x{n}@85%zero");
+    let reps = if quick { 1 } else { 20 };
+    let flops = 2.0 * (m * k * n) as f64;
+    let sparse: &[(&str, GemmFn)] = &[("packed", gemm_packed), ("dispatch", gemm)];
+    let mut packed_ns = 0.0;
+    for (tag, f) in sparse {
+        let ns = time_ns(reps, || {
+            c.fill(0.0);
+            f(a.data(), b.data(), &mut c, m, k, n);
+        });
+        if *tag == "packed" {
+            packed_ns = ns;
+        }
+        entries.push(Entry {
+            id: format!("gemm_f32_sparse_{tag}"),
+            group: "gemm_f32_sparse",
+            shape: shape.clone(),
+            reps,
+            ns_per_op: ns,
+            gflops: Some(flops / ns),
+            baseline_id: (*tag == "dispatch").then(|| "gemm_f32_sparse_packed".to_string()),
+            speedup_vs_baseline: (*tag == "dispatch").then(|| packed_ns / ns),
+        });
+    }
+}
+
+fn bench_qdense(quick: bool, entries: &mut Vec<Entry>) {
+    let (out_d, in_d) = if quick { (64, 64) } else { (256, 256) };
+    let batches: &[usize] = if quick { &[8] } else { &[1, 32, 64] };
+    let mut rng = TensorRng::seed(SEED + 1);
+    let w = rng.uniform(&[out_d, in_d], -1.0, 1.0);
+    let bias = rng.uniform(&[out_d], -0.1, 0.1);
+    for &batch in batches {
+        let x = rng.uniform(&[batch, in_d], -1.0, 1.0);
+        for bits in [8u32, 4, 2] {
+            let q = QDense::quantize(&w, &bias, bits, 1.0 / 127.0);
+            let shape = format!("b{batch}x{in_d}->{out_d}");
+            let macs = (batch * in_d * out_d) as f64;
+            let probe = time_ns(1, || {
+                std::hint::black_box(q.forward_reference(&x));
+            });
+            let reps = if quick { 1 } else { reps_for(probe, 40.0) };
+            let ref_ns = time_ns(reps, || {
+                std::hint::black_box(q.forward_reference(&x));
+            });
+            let new_ns = time_ns(reps, || {
+                std::hint::black_box(q.forward(&x));
+            });
+            // The restructured kernel is bit-identical, not just close.
+            assert_eq!(
+                q.forward(&x).data(),
+                q.forward_reference(&x).data(),
+                "int{bits} kernels diverge"
+            );
+            let ref_id = format!("qdense_int{bits}_{shape}_reference");
+            entries.push(Entry {
+                id: ref_id.clone(),
+                group: "qdense",
+                shape: shape.clone(),
+                reps,
+                ns_per_op: ref_ns,
+                gflops: Some(2.0 * macs / ref_ns),
+                baseline_id: None,
+                speedup_vs_baseline: None,
+            });
+            entries.push(Entry {
+                id: format!("qdense_int{bits}_{shape}_tuned"),
+                group: "qdense",
+                shape,
+                reps,
+                ns_per_op: new_ns,
+                gflops: Some(2.0 * macs / new_ns),
+                baseline_id: Some(ref_id),
+                speedup_vs_baseline: Some(ref_ns / new_ns),
+            });
+        }
+    }
+}
+
+fn bench_model_forward(quick: bool, entries: &mut Vec<Entry>) {
+    let widths: &[usize] = if quick {
+        &[64, 32, 10]
+    } else {
+        &[64, 128, 64, 10]
+    };
+    let batch = if quick { 8 } else { 64 };
+    let mut rng = TensorRng::seed(SEED + 2);
+    let model = mlp(widths, &mut rng);
+    let x = rng.uniform(&[batch, widths[0]], -1.0, 1.0);
+    let calib = rng.uniform(&[32, widths[0]], -1.0, 1.0);
+    let q8 = QuantizedModel::quantize(&model, &calib, QuantScheme::Int8).expect("dense mlp");
+    let shape = format!("b{batch}-{widths:?}");
+    let reps = if quick { 1 } else { 400 };
+    for (tag, f) in [
+        (
+            "f32",
+            Box::new(|| std::hint::black_box(model.forward(&x))) as Box<dyn Fn() -> Tensor>,
+        ),
+        ("int8", Box::new(|| std::hint::black_box(q8.forward(&x)))),
+    ] {
+        let mut g = f;
+        let ns = time_ns(reps, || {
+            std::hint::black_box(&mut g)();
+        });
+        entries.push(Entry {
+            id: format!("model_forward_{tag}"),
+            group: "model_forward",
+            shape: shape.clone(),
+            reps,
+            ns_per_op: ns,
+            gflops: None,
+            baseline_id: None,
+            speedup_vs_baseline: None,
+        });
+    }
+}
+
+fn bench_serving_replay(quick: bool, entries: &mut Vec<Entry>) {
+    use std::collections::BTreeMap;
+    use tinymlops_device::{default_mix, Fleet};
+    use tinymlops_registry::{ModelFormat, ModelId, ModelRecord, SemVer};
+
+    let family = |name: &str, base: u64| -> Vec<ModelRecord> {
+        [
+            (ModelFormat::F32, 40_000u64, 0.96),
+            (ModelFormat::Quantized { bits: 8 }, 10_000, 0.95),
+            (ModelFormat::Quantized { bits: 2 }, 2_500, 0.88),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, (format, size, acc))| {
+            let mut metrics = BTreeMap::new();
+            metrics.insert("accuracy".into(), acc);
+            ModelRecord {
+                id: ModelId(base + i as u64),
+                name: name.into(),
+                version: SemVer::new(1, 0, 0),
+                format,
+                parent: None,
+                artifact: [0; 32],
+                size_bytes: size,
+                macs: 100_000,
+                metrics,
+                tags: vec![],
+                created_ms: 0,
+            }
+        })
+        .collect()
+    };
+
+    let cfg = ServeConfig::default();
+    let fleet = Fleet::generate(if quick { 8 } else { 40 }, &default_mix(), SEED);
+    let mut plane = ServePlane::new(&cfg, fleet);
+    plane.install_family("kws", family("kws", 0));
+    plane.install_family("vision", family("vision", 100));
+    let rps = if quick { 2_000.0 } else { 25_000.0 };
+    let duration_us = if quick { 500_000 } else { 4_000_000 };
+    let plan = LoadPlan {
+        tenants: vec![
+            TenantSpec {
+                id: 1,
+                rate_rps: rps * 0.6,
+                model: "kws".into(),
+                prepaid_queries: u64::MAX / 2,
+                deadline_us: 200_000,
+            },
+            TenantSpec {
+                id: 2,
+                rate_rps: rps * 0.4,
+                model: "vision".into(),
+                prepaid_queries: u64::MAX / 2,
+                deadline_us: 200_000,
+            },
+        ],
+        duration_us,
+        seed: SEED,
+        feature_dim: 0,
+    };
+    let sim = ServeSim::new(cfg, None);
+    sim.provision(&mut plane, &plan);
+    let stream = plan.generate();
+    let start = Instant::now();
+    let report = sim.run(&mut plane, &stream).expect("families installed");
+    let wall_s = start.elapsed().as_secs_f64();
+    let reqs = stream.len() as f64;
+    println!(
+        "serving replay: {} requests in {:.1} ms wall ({:.0} req/s; served {}, shed rate {:.2})",
+        stream.len(),
+        wall_s * 1e3,
+        reqs / wall_s,
+        report.served,
+        report.shed_rate
+    );
+    entries.push(Entry {
+        id: "serve_replay_e15".into(),
+        group: "serving",
+        shape: format!("{}req-2tenant", stream.len()),
+        reps: 1,
+        ns_per_op: wall_s * 1e9 / reqs,
+        gflops: None,
+        baseline_id: None,
+        speedup_vs_baseline: None,
+    });
+}
+
+/// Append this run to `results/BENCH_kernels.json` (creating the file on
+/// first run), then read it back and parse it as a self-check.
+fn save_and_verify(mode: &str, entries: &[Entry]) {
+    let entry_values: Vec<serde_json::Value> = entries
+        .iter()
+        .map(|e| {
+            serde_json::json!({
+                "id": e.id.clone(),
+                "group": e.group,
+                "shape": e.shape.clone(),
+                "reps": e.reps as u64,
+                "ns_per_op": e.ns_per_op,
+                "gflops": e.gflops.map_or(serde_json::Value::Null, |g| serde_json::json!(g)),
+                "baseline_id": e.baseline_id.clone()
+                    .map_or(serde_json::Value::Null, |b| serde_json::json!(b)),
+                "speedup_vs_baseline": e.speedup_vs_baseline
+                    .map_or(serde_json::Value::Null, |s| serde_json::json!(s)),
+            })
+        })
+        .collect();
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let run = serde_json::json!({
+        "mode": mode,
+        "unix_time_s": unix_s,
+        "entries": entry_values,
+    });
+
+    // Append to the existing trajectory when the file parses; start a
+    // fresh one otherwise (first run, or a corrupt artifact).
+    let mut runs: Vec<serde_json::Value> = std::fs::read(RESULTS_PATH)
+        .ok()
+        .and_then(|bytes| serde_json::from_slice::<serde_json::Value>(&bytes).ok())
+        .and_then(|v| v.as_object().and_then(|o| o.get("runs").cloned()))
+        .and_then(|r| r.as_array().cloned())
+        .unwrap_or_default();
+    runs.push(run);
+    let payload = serde_json::json!({
+        "bench": "b01_kernels",
+        "schema_version": 1u64,
+        "runs": runs,
+    });
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write(
+        RESULTS_PATH,
+        serde_json::to_vec_pretty(&payload).expect("encode"),
+    )
+    .expect("write results");
+
+    // Self-check: the artifact on disk must parse and contain this run.
+    let bytes = std::fs::read(RESULTS_PATH).expect("re-read results");
+    let parsed: serde_json::Value =
+        serde_json::from_slice(&bytes).expect("BENCH_kernels.json must parse");
+    let n = parsed
+        .as_object()
+        .and_then(|o| o.get("runs"))
+        .and_then(|r| r.as_array().map(Vec::len))
+        .expect("runs array");
+    assert!(n >= 1, "no runs recorded");
+    println!("[saved {RESULTS_PATH}: {n} run(s)]");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    println!("b01_kernels ({mode} mode)");
+
+    let mut entries = Vec::new();
+    bench_gemm_f32(quick, &mut entries);
+    bench_qdense(quick, &mut entries);
+    bench_model_forward(quick, &mut entries);
+    bench_serving_replay(quick, &mut entries);
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.id.clone(),
+                e.shape.clone(),
+                format!("{}", e.reps),
+                fmt(e.ns_per_op, 0),
+                e.gflops.map_or("-".into(), |g| fmt(g, 2)),
+                e.speedup_vs_baseline
+                    .map_or("-".into(), |s| format!("{}x", fmt(s, 2))),
+            ]
+        })
+        .collect();
+    print_table(
+        "B01 kernel & serving benchmarks",
+        &["id", "shape", "reps", "ns/op", "GFLOP/s", "speedup"],
+        &rows,
+    );
+
+    save_and_verify(mode, &entries);
+
+    // Acceptance gates (informational in quick mode: tiny shapes and 1 rep
+    // are noise-dominated, so CI only checks that the harness runs).
+    let speedup_of = |id: &str| {
+        entries
+            .iter()
+            .find(|e| e.id == id)
+            .and_then(|e| e.speedup_vs_baseline)
+    };
+    if !quick {
+        let gemm = speedup_of("gemm_f32_256x256x256_packed").unwrap_or(0.0);
+        let q8 = speedup_of("qdense_int8_b32x256->256_tuned").unwrap_or(0.0);
+        println!(
+            "acceptance: gemm 256^3 packed {gemm:.2}x (need >= 2), qdense int8 b32 {q8:.2}x (need >= 2)"
+        );
+    }
+}

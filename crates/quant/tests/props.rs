@@ -119,3 +119,55 @@ proptest! {
         prop_assert!(ints.iter().all(|&v| v >= -qmax && v <= qmax));
     }
 }
+
+mod restructured_kernels {
+    use super::*;
+
+    proptest! {
+        /// The restructured forward (cached unpack, AVX2-dispatched dot,
+        /// batch parallelism) is bit-for-bit identical to the seed scalar
+        /// loop — not merely close: i32 accumulation is associative, so any
+        /// divergence is a kernel bug.
+        #[test]
+        fn forward_is_bit_identical_to_reference(
+            out_dim in 1usize..20,
+            in_dim in 1usize..48,
+            batch in 1usize..12,
+            bits in prop::sample::select(vec![8u32, 4, 2]),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+            let w = rng.uniform(&[out_dim, in_dim], -1.5, 1.5);
+            let b = rng.uniform(&[out_dim], -0.5, 0.5);
+            let x = rng.uniform(&[batch, in_dim], -2.0, 2.0);
+            let q = QDense::quantize(&w, &b, bits, 0.02);
+            let fast = q.forward(&x);
+            let slow = q.forward_reference(&x);
+            prop_assert_eq!(fast.shape(), slow.shape());
+            prop_assert_eq!(fast.data(), slow.data(), "int{} outputs diverge", bits);
+        }
+
+        /// `quantize_input` and the activations the kernel consumes are the
+        /// same expression: feeding the verifier's integers through
+        /// `int_accumulate` + `dequantize_acc` reproduces `forward` exactly.
+        #[test]
+        fn verifier_path_reproduces_forward(
+            out_dim in 1usize..12,
+            in_dim in 1usize..32,
+            batch in 1usize..6,
+            bits in prop::sample::select(vec![8u32, 4, 2]),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+            let w = rng.uniform(&[out_dim, in_dim], -1.0, 1.0);
+            let b = rng.uniform(&[out_dim], -0.2, 0.2);
+            let x = rng.uniform(&[batch, in_dim], -1.0, 1.0);
+            let q = QDense::quantize(&w, &b, bits, 0.01);
+            let xq = q.quantize_input(&x);
+            let acc = q.int_accumulate(&xq, batch);
+            let rebuilt = q.dequantize_acc(&acc, batch);
+            let direct = q.forward(&x);
+            prop_assert_eq!(rebuilt.data(), direct.data());
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! router pays the (simulated) artifact-load cost only on misses.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use tinymlops_registry::{ModelId, ModelRecord};
 
 /// Outcome of a cache admission attempt.
@@ -27,7 +28,9 @@ pub struct ModelCache {
     /// Recency list, coldest first. Deterministic and small (tens of
     /// variants), so O(n) maintenance beats pointer-chasing here.
     lru: Vec<ModelId>,
-    entries: BTreeMap<ModelId, ModelRecord>,
+    /// Entries are shared, not owned: admission takes an `Arc` so the hot
+    /// path never deep-copies a record's name/tags/metrics.
+    entries: BTreeMap<ModelId, Arc<ModelRecord>>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -90,10 +93,11 @@ impl ModelCache {
     }
 
     /// Resident ids, coldest → hottest (exposed so tests and debug tables
-    /// can assert exact LRU order).
+    /// can assert exact LRU order). A borrow — callers that need ownership
+    /// copy explicitly instead of every caller paying for a clone.
     #[must_use]
-    pub fn resident_lru_order(&self) -> Vec<ModelId> {
-        self.lru.clone()
+    pub fn resident_lru_order(&self) -> &[ModelId] {
+        &self.lru
     }
 
     /// Whether `id` is resident (does not touch recency).
@@ -104,7 +108,7 @@ impl ModelCache {
 
     /// Look up a resident variant, refreshing its recency and counting a
     /// hit or miss.
-    pub fn get(&mut self, id: ModelId) -> Option<&ModelRecord> {
+    pub fn get(&mut self, id: ModelId) -> Option<&Arc<ModelRecord>> {
         if self.entries.contains_key(&id) {
             self.hits += 1;
             self.touch(id);
@@ -116,8 +120,11 @@ impl ModelCache {
     }
 
     /// Admit a record, evicting coldest entries until it fits. A record
-    /// larger than the whole budget is never admitted.
-    pub fn admit(&mut self, record: ModelRecord) -> Admission {
+    /// larger than the whole budget is never admitted. Accepts anything
+    /// convertible to `Arc<ModelRecord>`, so callers already holding a
+    /// shared record admit it without a deep copy.
+    pub fn admit(&mut self, record: impl Into<Arc<ModelRecord>>) -> Admission {
+        let record: Arc<ModelRecord> = record.into();
         let id = record.id;
         if self.entries.contains_key(&id) {
             self.touch(id);

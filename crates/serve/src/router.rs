@@ -8,6 +8,7 @@
 //! node never receives f32 work, an offline node receives nothing.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use tinymlops_deploy::{select_variant, Requirements, Selection};
 use tinymlops_device::Fleet;
 use tinymlops_registry::ModelRecord;
@@ -19,8 +20,10 @@ pub struct Route {
     pub device: u32,
     /// Index into `fleet.devices`.
     pub device_index: usize,
-    /// The variant selection that device will run.
-    pub selection: Selection,
+    /// The variant selection that device will run — shared with the plan
+    /// cache, so routing a batch costs one refcount bump instead of a deep
+    /// copy of the record's name/tags/metrics.
+    pub selection: Arc<Selection>,
 }
 
 /// Least-loaded constraint-aware router over a [`Fleet`].
@@ -29,7 +32,7 @@ pub struct Router {
     pub fleet: Fleet,
     requirements: Requirements,
     /// Cached per-device selection per family; rebuilt on `refresh`.
-    plans: BTreeMap<String, Vec<Option<Selection>>>,
+    plans: BTreeMap<String, Vec<Option<Arc<Selection>>>>,
     /// Device busy-until times (simulated microseconds).
     free_at_us: Vec<u64>,
     /// Batches dispatched per device (for the report's balance view).
@@ -64,7 +67,7 @@ impl Router {
         let req = self.requirements.clone();
         let plan = self
             .fleet
-            .par_map(|device| select_variant(records, device, &req).ok());
+            .par_map(|device| select_variant(records, device, &req).ok().map(Arc::new));
         self.plans.insert(family.to_string(), plan);
     }
 
@@ -88,7 +91,7 @@ impl Router {
     /// Route a batch of `family` work at `now_us`: the feasible, healthy
     /// device whose queue frees earliest (ties → lowest device id, so
     /// routing is deterministic). Returns `None` when no device fits.
-    pub fn route(&mut self, family: &str, now_us: u64) -> Option<Route> {
+    pub fn route(&self, family: &str, now_us: u64) -> Option<Route> {
         let plan = self.plans.get(family)?;
         let mut best: Option<(u64, usize)> = None;
         for (idx, (device, selection)) in self.fleet.devices.iter().zip(plan.iter()).enumerate() {
@@ -108,7 +111,11 @@ impl Router {
             }
         }
         let (_, idx) = best?;
-        let selection = self.plans[family][idx].clone().expect("feasible by filter");
+        let selection = Arc::clone(
+            self.plans[family][idx]
+                .as_ref()
+                .expect("feasible by filter"),
+        );
         Some(Route {
             device: self.fleet.devices[idx].id,
             device_index: idx,
@@ -205,7 +212,7 @@ mod tests {
     #[test]
     fn unknown_family_has_no_route() {
         let fleet = Fleet::generate(10, &default_mix(), 3);
-        let mut router = Router::new(fleet, requirements());
+        let router = Router::new(fleet, requirements());
         assert!(router.route("ghost", 0).is_none());
     }
 

@@ -111,3 +111,98 @@ proptest! {
         }
     }
 }
+
+mod packed_gemm {
+    use super::*;
+    use tinymlops_tensor::matmul::{gemm_naive, gemm_packed, gemm_packed_nt, KC, MR, NR};
+
+    proptest! {
+        /// The packed-tile kernel agrees with the naive reference on any
+        /// shape — remainder tiles (m,n not multiples of MR/NR) included —
+        /// even when the size heuristic in `gemm` would route elsewhere.
+        #[test]
+        fn packed_matches_naive_on_any_shape(
+            m in 1usize..3 * MR + 2,
+            k in 1usize..48,
+            n in 1usize..3 * NR + 3,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+            let a = rng.uniform(&[m, k], -2.0, 2.0);
+            let b = rng.uniform(&[k, n], -2.0, 2.0);
+            let mut want = vec![0.0f32; m * n];
+            gemm_naive(a.data(), b.data(), &mut want, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            gemm_packed(a.data(), b.data(), &mut got, m, k, n);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-3, "{g} vs {w} at {m}x{k}x{n}");
+            }
+        }
+
+        /// Same across the KC blocking boundary (k slightly above/below the
+        /// K-block size exercises the remainder K-panel).
+        #[test]
+        fn packed_matches_naive_across_kc_boundary(
+            m in 1usize..8,
+            k in KC - 2..KC + 6,
+            n in 1usize..20,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+            let a = rng.uniform(&[m, k], -1.0, 1.0);
+            let b = rng.uniform(&[k, n], -1.0, 1.0);
+            let mut want = vec![0.0f32; m * n];
+            gemm_naive(a.data(), b.data(), &mut want, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            gemm_packed(a.data(), b.data(), &mut got, m, k, n);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 5e-3, "{g} vs {w} at {m}x{k}x{n}");
+            }
+        }
+
+        /// The transposed-B packing feeds the identical micro-kernel: it
+        /// must match naive on the explicit transpose, remainders included.
+        #[test]
+        fn packed_nt_matches_naive(
+            m in 1usize..2 * MR + 3,
+            k in 1usize..40,
+            n in 1usize..2 * NR + 5,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+            let a = rng.uniform(&[m, k], -2.0, 2.0);
+            let bt = rng.uniform(&[n, k], -2.0, 2.0);
+            let b = bt.transpose();
+            let mut want = vec![0.0f32; m * n];
+            gemm_naive(a.data(), b.data(), &mut want, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            gemm_packed_nt(a.data(), bt.data(), &mut got, m, k, n);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-3, "{g} vs {w} at {m}x{k}x{n}");
+            }
+        }
+
+        /// The sparse fast path (row-stream dispatch for mostly-zero A)
+        /// computes the same product as the dense reference.
+        #[test]
+        fn sparse_dispatch_matches_naive(
+            m in 1usize..24,
+            k in 1usize..24,
+            n in 1usize..24,
+            cutoff in 0.5f32..0.95,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+            let a = rng
+                .uniform(&[m, k], -1.0, 1.0)
+                .map(|v| if v.abs() < cutoff { 0.0 } else { v });
+            let b = rng.uniform(&[k, n], -1.0, 1.0);
+            let mut want = vec![0.0f32; m * n];
+            gemm_naive(a.data(), b.data(), &mut want, m, k, n);
+            let got = a.matmul(&b).unwrap();
+            for (g, w) in got.data().iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+            }
+        }
+    }
+}
