@@ -6,6 +6,7 @@
 //! `results/` so EXPERIMENTS.md numbers are regenerable and diffable.
 
 use std::time::Instant;
+use tinymlops_registry::{ModelFormat, ModelId, ModelRecord, SemVer};
 
 /// Render an aligned ASCII table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -55,6 +56,40 @@ pub fn save_json(name: &str, headers: &[&str], rows: &[Vec<String>]) {
         Ok(()) => println!("[saved {path}]"),
         Err(e) => eprintln!("[warn: could not save {path}: {e}]"),
     }
+}
+
+/// The shared synthetic model family used by serving benchmarks and the
+/// sharding experiment: one fat f32, one mid int8, one small int2 record
+/// (40 KB / 10 KB / 2.5 KB). One definition, so `b01_kernels`'
+/// `serving_sharded` datapoint and `e16_sharding`'s affinity A/B measure
+/// the same catalog.
+#[must_use]
+pub fn synthetic_family(name: &str, base_id: u64) -> Vec<ModelRecord> {
+    [
+        (ModelFormat::F32, 40_000u64, 0.96),
+        (ModelFormat::Quantized { bits: 8 }, 10_000, 0.95),
+        (ModelFormat::Quantized { bits: 2 }, 2_500, 0.88),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, (format, size, acc))| {
+        let mut metrics = std::collections::BTreeMap::new();
+        metrics.insert("accuracy".into(), acc);
+        ModelRecord {
+            id: ModelId(base_id + i as u64),
+            name: name.into(),
+            version: SemVer::new(1, 0, 0),
+            format,
+            parent: None,
+            artifact: [0; 32],
+            size_bytes: size,
+            macs: 100_000,
+            metrics,
+            tags: vec![],
+            created_ms: 0,
+        }
+    })
+    .collect()
 }
 
 /// Time a closure, returning `(result, milliseconds)`.

@@ -326,6 +326,83 @@ impl Platform {
         let report = sim.run(&mut plane, &stream)?;
         Ok(report)
     }
+
+    /// Assemble a multi-node serving fabric over this platform's fleet:
+    /// the fleet is partitioned into one device sub-fleet per node, every
+    /// family named by `plan` is installed on every node (with real
+    /// executables, as in [`Platform::build_serving`]), and each tenant is
+    /// provisioned on its shard-router-assigned home node with prepaid
+    /// quota through real vouchers.
+    pub fn build_fabric(
+        &mut self,
+        plan: &tinymlops_serve::LoadPlan,
+        cfg: &tinymlops_serve::FabricConfig,
+    ) -> Result<tinymlops_serve::ServeFabric, PlatformError> {
+        let fleets = self.fleet.partition(cfg.node_weights.len());
+        let mut fabric = tinymlops_serve::ServeFabric::new(cfg, fleets);
+        let families: std::collections::BTreeSet<&str> =
+            plan.tenants.iter().map(|t| t.model.as_str()).collect();
+        for name in families {
+            let base = self
+                .registry
+                .latest_base(name)
+                .ok_or_else(|| tinymlops_serve::ServeError::UnknownFamily(name.to_string()))?;
+            let mut records = self.registry.family_at(name, base.version);
+            records.sort_by_key(|r| r.id);
+            for record in &records {
+                match record.format {
+                    tinymlops_registry::ModelFormat::F32 => {
+                        if let Ok(model) = self.registry.load_model(record.id) {
+                            fabric.install_executable(
+                                record.id,
+                                tinymlops_serve::ExecModel::F32(model),
+                            );
+                        }
+                    }
+                    tinymlops_registry::ModelFormat::Quantized { .. } => {
+                        if let Ok(q) = self.registry.load_quantized(record.id) {
+                            fabric.install_executable(
+                                record.id,
+                                tinymlops_serve::ExecModel::Quantized(q),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            fabric.install_family(name, records);
+        }
+        let now_ms = self.clock.now().0;
+        for tenant in &plan.tenants {
+            let key = tinymlops_ipp::encrypt::device_key(&self.master_key, tenant.id);
+            fabric.register_tenant(tenant.id, &tenant.model, key);
+            let voucher = self.issuer.issue(tenant.prepaid_queries, tenant.id);
+            tinymlops_meter::voucher::validate_for_device(&voucher, &self.voucher_key, tenant.id)?;
+            self.ledger.register(voucher.serial)?;
+            fabric.credit(tenant.id, voucher.quota, voucher.serial, now_ms)?;
+            self.telemetry.incr("metering.packages_sold");
+        }
+        Ok(fabric)
+    }
+
+    /// Replay a traffic plan through a freshly built serving fabric
+    /// ([`Platform::build_fabric`]): the shard router fans tenants out to
+    /// their home nodes, each node replays its share on its own
+    /// discrete-event clock, and the merged fleet report's counters land
+    /// in this platform's telemetry. Deterministic per plan seed.
+    pub fn serve_traffic_sharded(
+        &mut self,
+        plan: &tinymlops_serve::LoadPlan,
+        cfg: &tinymlops_serve::FabricConfig,
+    ) -> Result<tinymlops_serve::FabricReport, PlatformError> {
+        let mut fabric = self.build_fabric(plan, cfg)?;
+        let stream = plan.generate();
+        let report = fabric.run(&stream)?;
+        for (name, value) in &report.telemetry.counters {
+            self.telemetry.add(name, *value);
+        }
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +539,65 @@ mod tests {
         // Determinism: replay through a freshly built plane.
         let again = p.serve_traffic(&plan, &ServeConfig::default()).unwrap();
         assert_eq!(report, again);
+    }
+
+    #[test]
+    fn sharded_fabric_serves_published_family_end_to_end() {
+        use tinymlops_serve::{FabricConfig, LoadPlan, TenantSpec};
+        let mut p = platform();
+        let (model, train, test) = trained();
+        p.publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)
+            .unwrap();
+        let plan = LoadPlan {
+            tenants: (0..6u32)
+                .map(|i| TenantSpec {
+                    id: i + 1,
+                    rate_rps: 150.0,
+                    model: "digits".into(),
+                    prepaid_queries: 1_000,
+                    deadline_us: 500_000,
+                })
+                .collect(),
+            duration_us: 1_000_000,
+            seed: 33,
+            feature_dim: 0,
+        };
+        let cfg = FabricConfig::default();
+        let report = p.serve_traffic_sharded(&plan, &cfg).unwrap();
+        assert!(
+            report.fleet.served > 200,
+            "traffic flowed: {}",
+            report.fleet
+        );
+        assert_eq!(report.per_node.len(), 3, "three nodes reported");
+        assert!(
+            report.refunds_balance(),
+            "refunds exactly match downstream sheds"
+        );
+        assert_eq!(
+            p.telemetry.counter("serve.served"),
+            report.fleet.served,
+            "merged fleet counters land in platform telemetry"
+        );
+        // Every tenant's chain verifies under its real provisioning key —
+        // checked on a fabric that actually replayed the traffic, so the
+        // verified chains carry real Query entries, not just the Redeems.
+        let mut fabric = p.build_fabric(&plan, &cfg).unwrap();
+        fabric.run(&plan.generate()).unwrap();
+        let master = p.master_key();
+        let checked = fabric
+            .verify_chains(|t| tinymlops_ipp::encrypt::device_key(&master, t))
+            .unwrap();
+        assert_eq!(checked, 6);
+        assert!(
+            fabric.quota_census().iter().any(|q| q.consumed > 0),
+            "verified chains must carry real query entries"
+        );
+        // Determinism: a fresh platform replays to the identical report.
+        let mut q = platform();
+        q.publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)
+            .unwrap();
+        assert_eq!(q.serve_traffic_sharded(&plan, &cfg).unwrap(), report);
     }
 
     #[test]

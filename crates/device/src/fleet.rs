@@ -168,6 +168,28 @@ impl Fleet {
         });
     }
 
+    /// Split the fleet into `n` disjoint sub-fleets, round-robin by index
+    /// so each keeps roughly the same class mix. Device ids are preserved
+    /// (they stay fleet-unique across the partition); each sub-fleet gets
+    /// a distinct derived seed so later churn streams stay independent.
+    #[must_use]
+    pub fn partition(&self, n: usize) -> Vec<Fleet> {
+        assert!(n > 0, "cannot partition into zero fleets");
+        let mut parts: Vec<Vec<Device>> = vec![Vec::new(); n];
+        for (i, device) in self.devices.iter().enumerate() {
+            parts[i % n].push(device.clone());
+        }
+        parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, devices)| Fleet {
+                devices,
+                seed: self.seed.wrapping_add(i as u64 + 1),
+                step: self.step,
+            })
+            .collect()
+    }
+
     /// Count of devices per class, index-aligned with [`DeviceClass::all`].
     #[must_use]
     pub fn class_census(&self) -> [usize; 6] {
@@ -219,6 +241,22 @@ mod tests {
         assert!(mcus > 1300, "mcu share {mcus}/2000");
         // Some accelerators exist but are rare.
         assert!(census[5] > 0 && census[5] < 120, "accel {}", census[5]);
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_exhaustive() {
+        let f = Fleet::generate(50, &default_mix(), 11);
+        let parts = f.partition(3);
+        assert_eq!(parts.len(), 3);
+        let mut seen: Vec<u32> = parts
+            .iter()
+            .flat_map(|p| p.devices.iter().map(|d| d.id))
+            .collect();
+        seen.sort_unstable();
+        let all: Vec<u32> = f.devices.iter().map(|d| d.id).collect();
+        assert_eq!(seen, all, "every device lands in exactly one sub-fleet");
+        let sizes: Vec<usize> = parts.iter().map(|p| p.devices.len()).collect();
+        assert_eq!(sizes, vec![17, 17, 16], "round-robin keeps sizes even");
     }
 
     #[test]

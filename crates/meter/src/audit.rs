@@ -20,6 +20,11 @@ pub enum EntryKind {
     Redeem,
     /// A sync checkpoint acknowledged by the server.
     Checkpoint,
+    /// Prepaid queries returned to the balance because admitted work was
+    /// shed downstream (NoRoute / deadline) before being served. Refunds
+    /// are chain entries, not edits: billing reconciles the *net* count,
+    /// and a tamperer cannot mint refunds without the sealing key.
+    Refund,
 }
 
 /// One link in the audit chain.
@@ -51,6 +56,7 @@ fn entry_mac(
         EntryKind::Query => 0,
         EntryKind::Redeem => 1,
         EntryKind::Checkpoint => 2,
+        EntryKind::Refund => 3,
     });
     msg.extend_from_slice(&payload.to_le_bytes());
     msg.extend_from_slice(&time_ms.to_le_bytes());
@@ -147,6 +153,23 @@ impl AuditLog {
             .map(|e| e.payload)
             .sum()
     }
+
+    /// Count of refunded queries (admitted work shed before service).
+    #[must_use]
+    pub fn refund_count(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == EntryKind::Refund)
+            .map(|e| e.payload)
+            .sum()
+    }
+
+    /// Billable queries: consumed minus refunded. This is the number the
+    /// backend invoices against — shed-then-refunded work costs nothing.
+    #[must_use]
+    pub fn net_query_count(&self) -> u64 {
+        self.query_count().saturating_sub(self.refund_count())
+    }
 }
 
 #[cfg(test)]
@@ -235,5 +258,35 @@ mod tests {
         log.append(EntryKind::Checkpoint, 0, 2);
         log.append(EntryKind::Query, 2, 3);
         assert_eq!(log.query_count(), 5);
+    }
+
+    #[test]
+    fn refunds_are_chained_and_net_out_of_billing() {
+        let mut log = AuditLog::new(key());
+        log.append(EntryKind::Redeem, 1000, 0);
+        log.append(EntryKind::Query, 5, 1);
+        log.append(EntryKind::Refund, 2, 2);
+        log.verify(&key()).unwrap();
+        assert_eq!(log.query_count(), 5);
+        assert_eq!(log.refund_count(), 2);
+        assert_eq!(log.net_query_count(), 3);
+        // A forged refund (understating usage) breaks the chain.
+        let mut forged = log.clone();
+        forged.entries[2].payload = 5;
+        assert!(forged.verify(&key()).is_err());
+    }
+
+    #[test]
+    fn refund_kind_is_domain_separated_from_query() {
+        // Same payload/time, different kind ⇒ different link: a tamperer
+        // cannot relabel a Query entry as a Refund in place.
+        let mut as_query = AuditLog::new(key());
+        as_query.append(EntryKind::Query, 7, 9);
+        let mut as_refund = AuditLog::new(key());
+        as_refund.append(EntryKind::Refund, 7, 9);
+        assert_ne!(as_query.head(), as_refund.head());
+        let mut relabeled = as_query.clone();
+        relabeled.entries[0].kind = EntryKind::Refund;
+        assert!(relabeled.verify(&key()).is_err());
     }
 }

@@ -72,6 +72,16 @@ impl QuotaManager {
         Ok(self.status())
     }
 
+    /// Return `n` prepaid queries to the balance because admitted work was
+    /// shed downstream before being served (NoRoute, deadline expiry).
+    /// Appends a `Refund` entry so the chain stays tamper-evident and the
+    /// backend bills the net count — prepaid queries are never silently
+    /// burned by a shed the platform caused.
+    pub fn refund(&mut self, n: u64, time_ms: u64) {
+        self.balance += n;
+        self.log.append(EntryKind::Refund, n, time_ms);
+    }
+
     /// Borrow the audit log (for sync/billing).
     #[must_use]
     pub fn log(&self) -> &AuditLog {
@@ -131,6 +141,19 @@ mod tests {
         let credited: u64 = 100; // known from the voucher ledger
         let consumed = m.log().query_count();
         assert_eq!(m.balance(), credited - consumed);
+    }
+
+    #[test]
+    fn refund_restores_balance_and_stays_verifiable() {
+        let mut m = mgr();
+        m.credit(10, 1, 0);
+        m.consume(4, 1).unwrap();
+        m.refund(2, 2);
+        assert_eq!(m.balance(), 8, "consumed 4, refunded 2");
+        assert_eq!(m.log().query_count(), 4);
+        assert_eq!(m.log().refund_count(), 2);
+        assert_eq!(m.log().net_query_count(), 2);
+        m.log().verify(&[1u8; 32]).unwrap();
     }
 
     #[test]

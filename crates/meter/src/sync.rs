@@ -53,7 +53,10 @@ impl SyncServer {
             .get(&device_id)
             .ok_or(MeterError::BadVoucher("unprovisioned device"))?;
         log.verify(key)?;
-        let total_queries = log.query_count();
+        // Bill the net count: refunded (shed-after-admission) queries are
+        // chain entries too, so they survive verification and reduce the
+        // invoice instead of being silently burned.
+        let total_queries = log.net_query_count();
         let entry_count = log.len() as u64;
         match self.state.get(&device_id) {
             None => {}
@@ -151,6 +154,19 @@ mod tests {
         // Forged chain is internally valid but its head differs from the
         // recorded one → fork detected.
         assert!(srv.sync(1, &forged).is_err());
+    }
+
+    #[test]
+    fn refunds_reduce_the_billable_delta() {
+        let mut srv = server();
+        let mut log = AuditLog::new(key());
+        for t in 0..10 {
+            log.append(EntryKind::Query, 1, t);
+        }
+        log.append(EntryKind::Refund, 3, 10);
+        let o = srv.sync(1, &log).unwrap();
+        assert_eq!(o.new_queries, 7, "10 consumed − 3 refunded");
+        assert_eq!(srv.billed(1), 7);
     }
 
     #[test]

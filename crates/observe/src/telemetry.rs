@@ -119,6 +119,27 @@ impl Telemetry {
 }
 
 impl TelemetryReport {
+    /// An empty report (merge identity).
+    #[must_use]
+    pub fn empty() -> Self {
+        TelemetryReport {
+            counters: BTreeMap::new(),
+            timers: BTreeMap::new(),
+        }
+    }
+
+    /// Fold many per-node reports into one fleet-level report — the
+    /// server-side aggregation path a multi-node serving fabric uses to
+    /// present one pane of glass over N nodes' counters and timers.
+    #[must_use]
+    pub fn merged(reports: impl IntoIterator<Item = TelemetryReport>) -> Self {
+        let mut out = TelemetryReport::empty();
+        for report in reports {
+            out.merge(&report);
+        }
+        out
+    }
+
     /// Approximate wire size in bytes (summaries only — the point of
     /// on-device aggregation is that this is *constant* in query count).
     #[must_use]
@@ -273,6 +294,22 @@ mod tests {
         assert!((s.mean - 3.0).abs() < 1e-9);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn merged_folds_many_node_reports() {
+        let reports: Vec<TelemetryReport> = (0..3)
+            .map(|i| {
+                let t = Telemetry::new();
+                t.add("served", 10 + i);
+                t.record("latency_ms", i as f64);
+                t.drain()
+            })
+            .collect();
+        let fleet = TelemetryReport::merged(reports);
+        assert_eq!(fleet.counters["served"], 33);
+        assert_eq!(fleet.timers["latency_ms"].count, 3);
+        assert_eq!(TelemetryReport::merged([]).counters.len(), 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! The result exports directly to the XNOR [`BinaryDense`] kernel, closing
 //! the loop: train binary-aware → deploy 1-bit → accuracy survives.
 
+use crate::qmodel::{QLayer, QuantScheme, QuantizedModel};
 use crate::qtensor::BinaryDense;
 use tinymlops_nn::loss::cross_entropy;
 use tinymlops_nn::{Dataset, Layer, Optimizer, Sequential};
@@ -168,6 +169,36 @@ pub fn export_binary(
     (kernels, materialized)
 }
 
+/// Package a binary-aware-trained model as a deployable
+/// [`QuantizedModel`]: binarized layers become XNOR [`BinaryDense`]
+/// kernels; activations and the (optional) full-precision head run as
+/// passthrough layers. This is what the registry's optimization pipeline
+/// stores for the int1 variant, so the artifact that ships is exactly the
+/// network whose accuracy was measured — same serialization, loading and
+/// serving path as every other `QuantizedModel`.
+#[must_use]
+pub fn export_quantized(model: &Sequential, cfg: &BinaryAwareConfig) -> QuantizedModel {
+    let binarized = binarized_set(model, cfg);
+    let layers = model
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| match l {
+            Layer::Dense(d) if binarized.contains(&i) => {
+                // Weight-only binarization: STE training prepared the
+                // network for ±α weights with f32 activations, not for
+                // sign-crushed activations — ship the kernel it trained as.
+                QLayer::BinaryDense(BinaryDense::quantize_weight_only(&d.w, &d.b))
+            }
+            other => QLayer::Passthrough(other.clone()),
+        })
+        .collect();
+    QuantizedModel {
+        layers,
+        scheme: QuantScheme::Binary,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +293,31 @@ mod tests {
                 "latent weights must not be binarized in place"
             );
         }
+    }
+
+    #[test]
+    fn export_quantized_matches_materialized_accuracy() {
+        let (mut model, train, test) = trained();
+        let cfg = BinaryAwareConfig {
+            epochs: 5,
+            ..Default::default()
+        };
+        binary_aware_finetune(&mut model, &train, &cfg);
+        let q = export_quantized(&model, &cfg);
+        assert_eq!(q.scheme, QuantScheme::Binary);
+        let (_, materialized) = export_binary(&model, &cfg);
+        let q_acc = q.accuracy(&test.x, &test.y);
+        let m_acc = evaluate(&materialized, &test);
+        // XNOR kernels binarize activations too, so allow a small gap —
+        // but the deployable artifact must track the measured network.
+        assert!(
+            (q_acc - m_acc).abs() < 0.15,
+            "deployed {q_acc} vs materialized {m_acc}"
+        );
+        // Round-trips through serde like every other registry artifact.
+        let bytes = serde_json::to_vec(&q).unwrap();
+        let back: QuantizedModel = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back.accuracy(&test.x, &test.y), q_acc);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod prune;
 pub mod qmodel;
 pub mod qtensor;
 
-pub use binary_train::{binary_aware_finetune, export_binary, BinaryAwareConfig};
+pub use binary_train::{binary_aware_finetune, export_binary, export_quantized, BinaryAwareConfig};
 pub use calibrate::Calibration;
 pub use distill::{distill, DistillConfig};
 pub use prune::{

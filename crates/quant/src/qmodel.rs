@@ -130,7 +130,10 @@ impl QuantizedModel {
         self.forward(x).argmax_rows()
     }
 
-    /// Deployment size in bytes (packed weights + scales + biases).
+    /// Deployment size in bytes (packed weights + scales + biases). A
+    /// passthrough dense layer — e.g. the full-precision head a
+    /// binary-aware export keeps — ships its f32 parameters, so it counts;
+    /// parameter-free passthroughs (activations, reshapes) are free.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
         self.layers
@@ -138,6 +141,9 @@ impl QuantizedModel {
             .map(|l| match l {
                 QLayer::Dense(d) => d.size_bytes(),
                 QLayer::BinaryDense(b) => b.size_bytes(),
+                QLayer::Passthrough(Layer::Dense(d)) => {
+                    (d.w.data().len() + d.b.data().len()) * std::mem::size_of::<f32>()
+                }
                 QLayer::Passthrough(_) => 0,
             })
             .sum()

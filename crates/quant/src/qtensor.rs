@@ -413,6 +413,12 @@ pub struct BinaryDense {
     pub in_dim: usize,
     /// Output dimension.
     pub out_dim: usize,
+    /// `true` = XNOR-Net: activations are also binarized by sign (the
+    /// cheapest kernel, the post-hoc collapse E1 measures). `false` =
+    /// weight-only binarization (BinaryConnect-style): the packed ±α
+    /// weights multiply f32 activations — what binary-aware training
+    /// prepares the network for, so int1 deployment keeps its accuracy.
+    pub binarize_input: bool,
 }
 
 fn words_per_row(in_dim: usize) -> usize {
@@ -443,13 +449,30 @@ impl BinaryDense {
             bias: bias.data().to_vec(),
             in_dim,
             out_dim,
+            binarize_input: true,
         }
     }
 
-    /// XNOR-popcount forward pass. Inputs are binarized by sign with a
-    /// per-example scale β = mean |x| (XNOR-Net), so `y ≈ α·β·(x_b ⊙ w_b)`.
+    /// Binarize weights only ([`BinaryDense::binarize_input`] = `false`):
+    /// same 1-bit packed storage, f32 activations at execution.
+    #[must_use]
+    pub fn quantize_weight_only(w: &Tensor, bias: &Tensor) -> Self {
+        BinaryDense {
+            binarize_input: false,
+            ..Self::quantize(w, bias)
+        }
+    }
+
+    /// Forward pass: XNOR-popcount when [`BinaryDense::binarize_input`]
+    /// is set (inputs binarized by sign with a per-example scale
+    /// β = mean |x|, XNOR-Net: `y ≈ α·β·(x_b ⊙ w_b)`), otherwise the
+    /// weight-only kernel `y = α·(Σ₊x − Σ₋x) + bias` over the same packed
+    /// sign bits.
     #[must_use]
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        if !self.binarize_input {
+            return self.forward_weight_only(x);
+        }
         let batch = x.rows();
         assert_eq!(x.cols(), self.in_dim, "BinaryDense input width");
         let wpr = words_per_row(self.in_dim);
@@ -483,6 +506,32 @@ impl BinaryDense {
                 // dot(sign(x), sign(w)) = same − (n − same) = 2·same − n
                 let dot = (2 * same - n) as f32;
                 out[b * self.out_dim + r] = self.alpha[r] * beta * dot + self.bias[r];
+            }
+        }
+        Tensor::from_vec(out, &[batch, self.out_dim])
+    }
+
+    /// Weight-only kernel: per output row, split the f32 input sum by the
+    /// weight sign bits — `dot(x, ±α) = α·(2·Σ₊x − Σx)` — so the packed
+    /// representation is still the only weight storage touched.
+    fn forward_weight_only(&self, x: &Tensor) -> Tensor {
+        let batch = x.rows();
+        assert_eq!(x.cols(), self.in_dim, "BinaryDense input width");
+        let wpr = words_per_row(self.in_dim);
+        let mut out = vec![0.0f32; batch * self.out_dim];
+        for b in 0..batch {
+            let xrow = x.row(b);
+            let sum_all: f32 = xrow.iter().sum();
+            for r in 0..self.out_dim {
+                let wrow = &self.w_bits[r * wpr..(r + 1) * wpr];
+                let mut sum_plus = 0.0f32;
+                for (i, &v) in xrow.iter().enumerate() {
+                    if wrow[i / 64] & (1u64 << (i % 64)) != 0 {
+                        sum_plus += v;
+                    }
+                }
+                out[b * self.out_dim + r] =
+                    self.alpha[r] * (2.0 * sum_plus - sum_all) + self.bias[r];
             }
         }
         Tensor::from_vec(out, &[batch, self.out_dim])

@@ -15,7 +15,10 @@ use crate::registry::Registry;
 use crate::RegistryError;
 use std::collections::BTreeMap;
 use tinymlops_nn::{profile, Dataset, Sequential};
-use tinymlops_quant::{finetune_pruned, magnitude_prune, sparsity_of, QuantScheme, QuantizedModel};
+use tinymlops_quant::{
+    binary_aware_finetune, export_quantized, finetune_pruned, magnitude_prune, sparsity_of,
+    BinaryAwareConfig, QuantScheme, QuantizedModel,
+};
 
 /// A requested variant.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +50,12 @@ pub struct PipelineConfig {
     pub finetune_lr: f32,
     /// Seed for fine-tuning shuffles.
     pub seed: u64,
+    /// Binarization-aware fine-tuning for the int1 variant. Post-hoc 1-bit
+    /// conversion collapses to chance (the Courbariaux result E1 measures
+    /// honestly), so the pipeline trains the int1 variant with the
+    /// straight-through estimator before export; set `epochs: 0` to fall
+    /// back to honest post-hoc conversion.
+    pub binary: BinaryAwareConfig,
 }
 
 impl Default for PipelineConfig {
@@ -67,6 +76,10 @@ impl Default for PipelineConfig {
             finetune_epochs: 2,
             finetune_lr: 0.002,
             seed: 0,
+            binary: BinaryAwareConfig {
+                epochs: 15,
+                ..Default::default()
+            },
         }
     }
 }
@@ -151,8 +164,21 @@ impl OptimizationPipeline {
     ) -> Result<ModelId, RegistryError> {
         match spec {
             VariantSpec::Quantize(scheme) => {
-                let q = QuantizedModel::quantize(base, &train.x, *scheme)
-                    .map_err(|e| RegistryError::Pipeline(e.to_string()))?;
+                let q = if *scheme == QuantScheme::Binary && self.config.binary.epochs > 0 {
+                    // Binary-aware retraining (STE on latent f32 weights)
+                    // instead of post-hoc conversion: the exported XNOR
+                    // kernels keep deployable accuracy at 1 bit.
+                    let mut tuned = base.clone();
+                    let cfg = BinaryAwareConfig {
+                        seed: self.config.seed,
+                        ..self.config.binary.clone()
+                    };
+                    binary_aware_finetune(&mut tuned, train, &cfg);
+                    export_quantized(&tuned, &cfg)
+                } else {
+                    QuantizedModel::quantize(base, &train.x, *scheme)
+                        .map_err(|e| RegistryError::Pipeline(e.to_string()))?
+                };
                 let acc = f64::from(q.accuracy(&test.x, &test.y));
                 let bytes = serde_json::to_vec(&q)
                     .map_err(|e| RegistryError::Serialization(e.to_string()))?;
@@ -291,22 +317,23 @@ mod tests {
             .unwrap();
         assert_eq!(variants.len(), 7);
         assert_eq!(reg.count(), 8);
-        // All variants descend from the base.
+        // All variants descend from the base, and every one — including
+        // int1, now trained binarization-aware by the pipeline instead of
+        // converted post-hoc — keeps deployable accuracy. (Post-hoc 1-bit
+        // conversion collapses to ~0.1 on this MLP; E1 still measures that
+        // collapse via direct `QuantizedModel::quantize`.)
         for v in &variants {
             let rec = reg.get(*v).unwrap();
             assert_eq!(rec.parent, Some(base_id));
-            // Binary post-training quantization without binary-aware
-            // retraining (quant::binary_train) collapses to ~chance (0.1
-            // for 10 classes) on this small MLP; the pipeline still
-            // records it honestly, so hold it to a near-chance floor.
+            assert!(
+                rec.metrics.contains_key("accuracy"),
+                "accuracy must be measured and recorded"
+            );
             if rec.format.name() == "int1" {
                 assert!(
-                    rec.metrics.contains_key("accuracy"),
-                    "int1 accuracy must be measured and recorded"
-                );
-                assert!(
-                    rec.accuracy() > 0.05,
-                    "int1 acc {} collapsed below chance",
+                    rec.accuracy() > 0.5,
+                    "binary-aware int1 acc {} should sit far above the \
+                     ~0.1 post-hoc collapse",
                     rec.accuracy()
                 );
             } else {
@@ -344,7 +371,16 @@ mod tests {
         };
         assert!(size_of("int8") > size_of("int4"));
         assert!(size_of("int4") > size_of("int2"));
-        assert!(size_of("int2") > size_of("int1") || size_of("int2") > size_of("f32") / 8);
+        // The int1 variant carries an f32 classifier head (standard BNN
+        // practice, what binary-aware export ships), so it is not the
+        // smallest artifact — but body-at-1-bit plus the small head must
+        // still undercut the full int8 model.
+        assert!(
+            size_of("int1") < size_of("int8"),
+            "int1 {} !< int8 {}",
+            size_of("int1"),
+            size_of("int8")
+        );
     }
 
     #[test]

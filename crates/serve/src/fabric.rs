@@ -1,0 +1,641 @@
+//! The multi-node serving fabric: shard router over N serving planes.
+//!
+//! [`ServeFabric`] is the fleet-scale refactor of the single-node
+//! [`ServePlane`]: a [`ShardRouter`] consistent-hashes every tenant onto a
+//! home node (weighted by node capacity, with model-family affinity), each
+//! node runs the full gateway → batcher → cache → device-router stack over
+//! its own device fleet, and the fabric presents one pane of glass back:
+//!
+//! * **Partitioned quotas** — a tenant's prepaid balance and audit chain
+//!   live on its home node's gateway only. Node join/leave rebalances by
+//!   moving whole [`crate::TenantAccount`]s, so the chain stays intact and
+//!   billing sync still verifies end-to-end.
+//! * **Refunded sheds** — admission charges at the door; a downstream
+//!   NoRoute/deadline shed refunds the query through an
+//!   [`tinymlops_meter::EntryKind::Refund`] chain entry
+//!   ([`crate::Gateway::resolve_shed`]), so prepaid queries are never
+//!   silently burned by a shed the platform caused.
+//! * **Merged telemetry** — each node records into its own
+//!   [`Telemetry`] sink; a run drains them into one fleet-level
+//!   [`TelemetryReport`] and merges per-node latency accumulators, so
+//!   fleet percentiles are exact, not percentile-of-percentiles.
+
+use crate::request::{Request, ShedReason, TenantId};
+use crate::shard::{NodeId, ShardNode, ShardRouter};
+use crate::sim::{ExecModel, ServeConfig, ServePlane, ServeSim};
+use crate::stats::{ServeReport, ServeStats};
+use crate::ServeError;
+use std::collections::BTreeMap;
+use tinymlops_device::Fleet;
+use tinymlops_meter::MeterError;
+use tinymlops_observe::{Telemetry, TelemetryReport};
+use tinymlops_registry::{ModelId, ModelRecord};
+
+/// Fabric construction parameters.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// One relative capacity weight per serving node (also fixes N).
+    pub node_weights: Vec<f64>,
+    /// Family-affinity blend for tenant placement (see [`ShardRouter`]).
+    pub tenant_affinity: f64,
+    /// Per-node serving configuration (every node runs the same policy).
+    pub serve: ServeConfig,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            node_weights: vec![1.0; 3],
+            tenant_affinity: 0.5,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// One serving node: a full [`ServePlane`] plus its local telemetry sink.
+pub struct FabricNode {
+    /// Fabric-unique id (stable across join/leave).
+    pub id: NodeId,
+    /// The node's serving stack.
+    pub plane: ServePlane,
+    /// The node's local telemetry (drained and merged per run).
+    pub telemetry: Telemetry,
+}
+
+/// One tenant's quota position, as seen by fleet-level billing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Its current home node.
+    pub node: NodeId,
+    /// Remaining prepaid balance.
+    pub balance: u64,
+    /// Queries consumed (audit-chain `Query` entries).
+    pub consumed: u64,
+    /// Queries refunded (audit-chain `Refund` entries).
+    pub refunded: u64,
+}
+
+/// Fleet-level run report: per-node views plus exact merged statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricReport {
+    /// Merged across all nodes; percentiles are computed over the union
+    /// of per-node latency samples, so they are exact.
+    pub fleet: ServeReport,
+    /// Per-node reports, in node-id order.
+    pub per_node: Vec<(NodeId, ServeReport)>,
+    /// Per-node telemetry sinks drained and merged into one report.
+    pub telemetry: TelemetryReport,
+    /// Tenants homed per node at run time, in node-id order.
+    pub tenants_per_node: Vec<(NodeId, usize)>,
+    /// Refund chain entries appended during this run (across all nodes).
+    pub refunds: u64,
+}
+
+impl FabricReport {
+    /// Downstream sheds (admitted, then NoRoute/deadline) in this run.
+    #[must_use]
+    pub fn downstream_sheds(&self) -> u64 {
+        self.fleet.shed_by(ShedReason::NoRoute) + self.fleet.shed_by(ShedReason::DeadlineExpired)
+    }
+
+    /// Admitted-then-shed queries whose prepayment was *not* returned.
+    /// The refund path exists precisely so this is always zero. Checked
+    /// two-sided via [`FabricReport::refunds_balance`] in tests/benches so
+    /// an over-refunding bug (minting free quota) cannot hide behind the
+    /// saturation here.
+    #[must_use]
+    pub fn unrefunded_sheds(&self) -> u64 {
+        self.downstream_sheds().saturating_sub(self.refunds)
+    }
+
+    /// `true` iff refunds exactly match downstream sheds — neither lost
+    /// (burned) nor minted (over-refunded) prepaid queries.
+    #[must_use]
+    pub fn refunds_balance(&self) -> bool {
+        self.refunds == self.downstream_sheds()
+    }
+}
+
+/// The assembled multi-node serving fabric.
+pub struct ServeFabric {
+    /// Tenant → node placement (weighted rendezvous + family affinity).
+    pub shard_router: ShardRouter,
+    nodes: Vec<FabricNode>,
+    /// tenant → (home node, model family) — the fabric's routing table,
+    /// updated on provision and rebalance.
+    assignments: BTreeMap<TenantId, (NodeId, String)>,
+    /// Installed families, kept so joining nodes get the same catalog.
+    families: BTreeMap<String, Vec<ModelRecord>>,
+    /// Installed executables, ditto.
+    exec: BTreeMap<ModelId, ExecModel>,
+    serve_cfg: ServeConfig,
+    next_node_id: NodeId,
+}
+
+impl ServeFabric {
+    /// Assemble a fabric with one node per `cfg.node_weights` entry, each
+    /// over its own device fleet. Panics when the fleet count does not
+    /// match the weight count (a wiring bug, not a load state).
+    #[must_use]
+    pub fn new(cfg: &FabricConfig, fleets: Vec<Fleet>) -> Self {
+        assert_eq!(
+            cfg.node_weights.len(),
+            fleets.len(),
+            "one fleet per node weight"
+        );
+        let shard_nodes: Vec<ShardNode> = cfg
+            .node_weights
+            .iter()
+            .enumerate()
+            .map(|(i, &weight)| ShardNode {
+                id: i as NodeId,
+                weight,
+            })
+            .collect();
+        let nodes: Vec<FabricNode> = fleets
+            .into_iter()
+            .enumerate()
+            .map(|(i, fleet)| FabricNode {
+                id: i as NodeId,
+                plane: ServePlane::new(&cfg.serve, fleet),
+                telemetry: Telemetry::new(),
+            })
+            .collect();
+        let next_node_id = nodes.len() as NodeId;
+        ServeFabric {
+            shard_router: ShardRouter::new(shard_nodes, cfg.tenant_affinity),
+            nodes,
+            assignments: BTreeMap::new(),
+            families: BTreeMap::new(),
+            exec: BTreeMap::new(),
+            serve_cfg: cfg.serve.clone(),
+            next_node_id,
+        }
+    }
+
+    /// Number of serving nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The nodes, in id order.
+    #[must_use]
+    pub fn nodes(&self) -> &[FabricNode] {
+        &self.nodes
+    }
+
+    /// Mutable node access (platform wiring, tests).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut FabricNode> {
+        self.nodes.iter_mut().find(|n| n.id == id)
+    }
+
+    /// A tenant's current home node.
+    #[must_use]
+    pub fn home_node(&self, tenant: TenantId) -> Option<NodeId> {
+        self.assignments.get(&tenant).map(|(node, _)| *node)
+    }
+
+    /// Install a model family on every node (and remember it for joiners).
+    pub fn install_family(&mut self, name: &str, records: Vec<ModelRecord>) {
+        for node in &mut self.nodes {
+            node.plane.install_family(name, records.clone());
+        }
+        self.families.insert(name.to_string(), records);
+    }
+
+    /// Install a real executable on every node (and remember it for
+    /// joiners).
+    pub fn install_executable(&mut self, id: ModelId, model: ExecModel) {
+        for node in &mut self.nodes {
+            node.plane.install_executable(id, model.clone());
+        }
+        self.exec.insert(id, model);
+    }
+
+    /// Open a tenant account on the tenant's home node (placement by the
+    /// shard router) and record the assignment. Returns the home node.
+    pub fn register_tenant(
+        &mut self,
+        tenant: TenantId,
+        family: &str,
+        meter_key: [u8; 32],
+    ) -> NodeId {
+        let home = self.shard_router.assign(tenant, family);
+        self.assignments.insert(tenant, (home, family.to_string()));
+        self.node_mut(home)
+            .expect("assigned node exists")
+            .plane
+            .gateway
+            .register_tenant(tenant, meter_key);
+        home
+    }
+
+    /// Credit prepaid queries on the tenant's home shard.
+    pub fn credit(
+        &mut self,
+        tenant: TenantId,
+        queries: u64,
+        serial: u64,
+        now_ms: u64,
+    ) -> Result<(), ServeError> {
+        let home = self
+            .home_node(tenant)
+            .ok_or(ServeError::UnknownTenant(tenant))?;
+        self.node_mut(home)
+            .expect("assigned node exists")
+            .plane
+            .gateway
+            .credit(tenant, queries, serial, now_ms)
+    }
+
+    /// Provision tenants from a plan with test-grade meter keys (serial =
+    /// tenant id), mirroring [`ServeSim::provision`]; `core::Platform`
+    /// wires real vouchers instead.
+    pub fn provision(&mut self, plan: &crate::loadgen::LoadPlan) {
+        for t in &plan.tenants {
+            let mut key = [0u8; 32];
+            key[..4].copy_from_slice(&t.id.to_le_bytes());
+            self.register_tenant(t.id, &t.model, key);
+            self.credit(t.id, t.prepaid_queries, u64::from(t.id), 0)
+                .expect("account just opened");
+        }
+    }
+
+    /// Add a serving node (join): installs the current catalog, registers
+    /// the node with the shard router and rebalances. Returns the new
+    /// node's id and how many tenants moved onto it.
+    pub fn add_node(&mut self, weight: f64, fleet: Fleet) -> (NodeId, usize) {
+        let id = self.next_node_id;
+        self.next_node_id += 1;
+        let mut plane = ServePlane::new(&self.serve_cfg, fleet);
+        for (name, records) in &self.families {
+            plane.install_family(name, records.clone());
+        }
+        for (mid, exec) in &self.exec {
+            plane.install_executable(*mid, exec.clone());
+        }
+        self.nodes.push(FabricNode {
+            id,
+            plane,
+            telemetry: Telemetry::new(),
+        });
+        self.shard_router.add_node(ShardNode { id, weight });
+        let moved = self.rebalance();
+        (id, moved)
+    }
+
+    /// Remove a serving node (leave): its tenants are rebalanced onto the
+    /// survivors (whole accounts move, audit chains intact), then the node
+    /// is dropped. Returns how many tenants moved.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<usize, ServeError> {
+        let Some(pos) = self.nodes.iter().position(|n| n.id == id) else {
+            return Err(ServeError::UnknownNode(id));
+        };
+        assert!(self.nodes.len() > 1, "cannot remove the last node");
+        self.shard_router.remove_node(id);
+        let moved = self.rebalance();
+        let node = self.nodes.remove(pos);
+        debug_assert_eq!(
+            node.plane.gateway.total_pending(),
+            0,
+            "rebalance happens between runs"
+        );
+        Ok(moved)
+    }
+
+    /// Re-derive every tenant's home from the current topology and move
+    /// the accounts whose home changed. Balances, counters and audit
+    /// chains travel with the account ([`crate::Gateway::remove_tenant`] /
+    /// [`crate::Gateway::adopt_tenant`]). Returns the number of moves.
+    fn rebalance(&mut self) -> usize {
+        let mut moved = 0;
+        let tenants: Vec<(TenantId, NodeId, String)> = self
+            .assignments
+            .iter()
+            .map(|(t, (node, family))| (*t, *node, family.clone()))
+            .collect();
+        for (tenant, old_home, family) in tenants {
+            let new_home = self.shard_router.assign(tenant, &family);
+            if new_home == old_home {
+                continue;
+            }
+            let account = self
+                .node_mut(old_home)
+                .expect("old home exists during rebalance")
+                .plane
+                .gateway
+                .remove_tenant(tenant)
+                .expect("assigned tenant has an account");
+            self.node_mut(new_home)
+                .expect("new home exists")
+                .plane
+                .gateway
+                .adopt_tenant(tenant, account);
+            self.assignments.insert(tenant, (new_home, family));
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Every tenant's quota position, in tenant order (fleet billing view).
+    #[must_use]
+    pub fn quota_census(&self) -> Vec<TenantQuota> {
+        let mut out = Vec::with_capacity(self.assignments.len());
+        for (tenant, (node, _)) in &self.assignments {
+            let Some(fnode) = self.nodes.iter().find(|n| n.id == *node) else {
+                continue;
+            };
+            if let Some(account) = fnode.plane.gateway.tenant(*tenant) {
+                out.push(TenantQuota {
+                    tenant: *tenant,
+                    node: *node,
+                    balance: account.quota.balance(),
+                    consumed: account.quota.log().query_count(),
+                    refunded: account.quota.log().refund_count(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Verify every tenant's audit chain under `key_of(tenant)`. Returns
+    /// the number of chains checked; the first broken chain aborts.
+    pub fn verify_chains(
+        &self,
+        key_of: impl Fn(TenantId) -> [u8; 32],
+    ) -> Result<usize, MeterError> {
+        let mut checked = 0;
+        for node in &self.nodes {
+            for (tenant, account) in node.plane.gateway.accounts() {
+                account.quota.log().verify(&key_of(tenant))?;
+                checked += 1;
+            }
+        }
+        Ok(checked)
+    }
+
+    /// Replay an arrival-ordered stream through the fabric. The shard
+    /// router fans requests out to their tenants' home nodes; each node
+    /// runs its own discrete-event simulation (nodes share nothing, so
+    /// per-node replays compose deterministically); per-node stats and
+    /// telemetry are merged into the fleet view.
+    pub fn run(&mut self, stream: &[Request]) -> Result<FabricReport, ServeError> {
+        // Fan out by reference — the admission-time copy inside the sim
+        // stays the only per-request clone. Unknown tenants are still
+        // routed (by the same hash) so the owning gateway records the
+        // denial, exactly like one node handling an unprovisioned key.
+        let mut per_node_streams: BTreeMap<NodeId, Vec<&Request>> =
+            self.nodes.iter().map(|n| (n.id, Vec::new())).collect();
+        for request in stream {
+            let home = match self.assignments.get(&request.tenant) {
+                Some((node, _)) => *node,
+                None => self.shard_router.assign(request.tenant, &request.model),
+            };
+            per_node_streams
+                .get_mut(&home)
+                .expect("router only yields live nodes")
+                .push(request);
+        }
+
+        let refunded_before: u64 = self.refunded_total();
+        let mut fleet_stats = ServeStats::new();
+        let mut per_node = Vec::with_capacity(self.nodes.len());
+        let mut node_reports_telemetry = Vec::with_capacity(self.nodes.len());
+        let mut fleet_hits = 0;
+        let mut fleet_misses = 0;
+        let mut fleet_devices = 0;
+        for node in &mut self.nodes {
+            let sub_stream = &per_node_streams[&node.id];
+            let sim = ServeSim::new(self.serve_cfg.clone(), Some(&node.telemetry));
+            let stats = sim.run_collect(&mut node.plane, sub_stream)?;
+            let report = stats.report(
+                node.plane.cache.hits(),
+                node.plane.cache.misses(),
+                node.plane.router.devices_used(),
+            );
+            fleet_hits += node.plane.cache.hits();
+            fleet_misses += node.plane.cache.misses();
+            fleet_devices += node.plane.router.devices_used();
+            fleet_stats.merge(&stats);
+            per_node.push((node.id, report));
+            node_reports_telemetry.push(node.telemetry.drain());
+        }
+        let fleet = fleet_stats.report(fleet_hits, fleet_misses, fleet_devices);
+        let tenants_per_node = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let count = self
+                    .assignments
+                    .values()
+                    .filter(|(node, _)| *node == n.id)
+                    .count();
+                (n.id, count)
+            })
+            .collect();
+        Ok(FabricReport {
+            fleet,
+            per_node,
+            telemetry: TelemetryReport::merged(node_reports_telemetry),
+            tenants_per_node,
+            refunds: self.refunded_total() - refunded_before,
+        })
+    }
+
+    fn refunded_total(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.plane
+                    .gateway
+                    .accounts()
+                    .map(|(_, a)| a.refunded)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::{LoadPlan, TenantSpec};
+    use std::collections::BTreeMap;
+    use tinymlops_device::{default_mix, NetworkKind};
+    use tinymlops_registry::{ModelFormat, SemVer};
+
+    fn family(name: &str, base_id: u64) -> Vec<ModelRecord> {
+        let mut records = Vec::new();
+        for (i, (format, size, acc)) in [
+            (ModelFormat::F32, 40_000u64, 0.96),
+            (ModelFormat::Quantized { bits: 8 }, 10_000, 0.95),
+            (ModelFormat::Quantized { bits: 2 }, 2_500, 0.88),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut metrics = BTreeMap::new();
+            metrics.insert("accuracy".into(), acc);
+            records.push(ModelRecord {
+                id: ModelId(base_id + i as u64),
+                name: name.into(),
+                version: SemVer::new(1, 0, 0),
+                format,
+                parent: None,
+                artifact: [0; 32],
+                size_bytes: size,
+                macs: 100_000,
+                metrics,
+                tags: vec![],
+                created_ms: 0,
+            });
+        }
+        records
+    }
+
+    fn plan(seed: u64, rps: f64, prepaid: u64, tenants: u32) -> LoadPlan {
+        LoadPlan {
+            tenants: (0..tenants)
+                .map(|i| TenantSpec {
+                    id: i + 1,
+                    rate_rps: rps / f64::from(tenants),
+                    model: if i % 2 == 0 { "kws" } else { "vision" }.into(),
+                    prepaid_queries: prepaid,
+                    deadline_us: 200_000,
+                })
+                .collect(),
+            duration_us: 1_000_000,
+            seed,
+            feature_dim: 0,
+        }
+    }
+
+    fn fabric(cfg: &FabricConfig, fleet_size: usize, seed: u64) -> ServeFabric {
+        let fleets =
+            Fleet::generate(fleet_size, &default_mix(), seed).partition(cfg.node_weights.len());
+        let mut f = ServeFabric::new(cfg, fleets);
+        f.install_family("kws", family("kws", 0));
+        f.install_family("vision", family("vision", 100));
+        f
+    }
+
+    #[test]
+    fn fleet_report_is_the_sum_of_node_reports() {
+        let cfg = FabricConfig::default();
+        let p = plan(11, 3_000.0, 1_000_000, 12);
+        let mut f = fabric(&cfg, 60, 9);
+        f.provision(&p);
+        let report = f.run(&p.generate()).unwrap();
+        let node_served: u64 = report.per_node.iter().map(|(_, r)| r.served).sum();
+        assert_eq!(report.fleet.served, node_served);
+        assert!(
+            report.fleet.served > 500,
+            "traffic flowed: {}",
+            report.fleet
+        );
+        let node_shed: u64 = report.per_node.iter().map(|(_, r)| r.shed_total).sum();
+        assert_eq!(report.fleet.shed_total, node_shed);
+        let homed: usize = report.tenants_per_node.iter().map(|(_, n)| n).sum();
+        assert_eq!(homed, 12, "every tenant has exactly one home");
+        assert!(
+            report.per_node.iter().filter(|(_, r)| r.served > 0).count() > 1,
+            "load actually spreads across nodes"
+        );
+        assert_eq!(
+            report.telemetry.counters.get("serve.served").copied(),
+            Some(report.fleet.served),
+            "merged telemetry agrees with merged stats"
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_fresh_fabrics() {
+        let cfg = FabricConfig::default();
+        let p = plan(21, 2_000.0, 1_000_000, 8);
+        let stream = p.generate();
+        let mut a = fabric(&cfg, 45, 5);
+        a.provision(&p);
+        let mut b = fabric(&cfg, 45, 5);
+        b.provision(&p);
+        assert_eq!(a.run(&stream).unwrap(), b.run(&stream).unwrap());
+    }
+
+    #[test]
+    fn downstream_sheds_are_fully_refunded() {
+        // An all-offline fleet: every admitted batch hits NoRoute.
+        let cfg = FabricConfig::default();
+        let mut fleets = Fleet::generate(30, &default_mix(), 2).partition(3);
+        for fleet in &mut fleets {
+            for d in &mut fleet.devices {
+                d.state.network = NetworkKind::Offline;
+            }
+        }
+        let mut f = ServeFabric::new(&cfg, fleets);
+        f.install_family("kws", family("kws", 0));
+        f.install_family("vision", family("vision", 100));
+        let p = plan(3, 500.0, 10_000, 6);
+        f.provision(&p);
+        let report = f.run(&p.generate()).unwrap();
+        assert_eq!(report.fleet.served, 0);
+        assert!(report.downstream_sheds() > 0, "no-route sheds happened");
+        assert!(
+            report.refunds_balance(),
+            "refunds ({}) must exactly match downstream sheds ({})",
+            report.refunds,
+            report.downstream_sheds()
+        );
+        assert_eq!(report.unrefunded_sheds(), 0, "every shed was refunded");
+        // Refunds restored every balance: nothing was consumed net.
+        for q in f.quota_census() {
+            assert_eq!(q.balance, 10_000, "tenant {} lost quota", q.tenant);
+            assert_eq!(q.consumed, q.refunded);
+        }
+        // And the chains still verify under the provisioning keys.
+        let checked = f
+            .verify_chains(|t| {
+                let mut key = [0u8; 32];
+                key[..4].copy_from_slice(&t.to_le_bytes());
+                key
+            })
+            .unwrap();
+        assert_eq!(checked, 6);
+    }
+
+    #[test]
+    fn join_and_leave_move_whole_accounts() {
+        let cfg = FabricConfig::default();
+        let p = plan(17, 1_000.0, 5_000, 16);
+        let mut f = fabric(&cfg, 60, 7);
+        f.provision(&p);
+        f.run(&p.generate()).unwrap();
+        let balance_sum =
+            |f: &ServeFabric| -> u64 { f.quota_census().iter().map(|q| q.balance).sum() };
+        let before = balance_sum(&f);
+        let extra_fleet = Fleet::generate(20, &default_mix(), 99);
+        let (new_id, moved_in) = f.add_node(1.0, extra_fleet);
+        assert!(moved_in < 16, "join must not reshuffle everyone");
+        assert_eq!(balance_sum(&f), before, "join conserves prepaid quota");
+        for q in f.quota_census() {
+            assert_eq!(f.home_node(q.tenant), Some(q.node));
+        }
+        let moved_out = f.remove_node(new_id).unwrap();
+        assert_eq!(moved_out, moved_in, "leave returns exactly the joiners");
+        assert_eq!(balance_sum(&f), before, "leave conserves prepaid quota");
+        // Accounts still serve after two migrations.
+        let report = f.run(&p.generate()).unwrap();
+        assert!(report.fleet.served > 0);
+    }
+
+    #[test]
+    fn unknown_node_removal_errors() {
+        let cfg = FabricConfig::default();
+        let mut f = fabric(&cfg, 30, 1);
+        assert!(matches!(
+            f.remove_node(42),
+            Err(ServeError::UnknownNode(42))
+        ));
+    }
+}

@@ -39,6 +39,8 @@ pub struct TenantAccount {
     pub admitted: u64,
     /// Lifetime shed count (any reason).
     pub shed: u64,
+    /// Prepaid queries refunded for admitted-then-shed work.
+    pub refunded: u64,
 }
 
 /// The admission-controlling front door.
@@ -67,7 +69,27 @@ impl Gateway {
             pending: 0,
             admitted: 0,
             shed: 0,
+            refunded: 0,
         });
+    }
+
+    /// Detach a tenant's whole account — balance, counters and the audit
+    /// chain travel together. Used by the shard fabric when a rebalance
+    /// moves the tenant to another node's gateway; the chain stays intact
+    /// so billing sync still verifies end-to-end.
+    pub fn remove_tenant(&mut self, tenant: TenantId) -> Option<TenantAccount> {
+        let account = self.tenants.remove(&tenant)?;
+        self.total_pending = self.total_pending.saturating_sub(account.pending);
+        Some(account)
+    }
+
+    /// Attach an account detached from another gateway (rebalance landing
+    /// side). Replaces any existing account for the tenant.
+    pub fn adopt_tenant(&mut self, tenant: TenantId, account: TenantAccount) {
+        self.total_pending += account.pending;
+        if let Some(old) = self.tenants.insert(tenant, account) {
+            self.total_pending = self.total_pending.saturating_sub(old.pending);
+        }
     }
 
     /// Credit prepaid queries from a redeemed voucher (`serial` lands in
@@ -115,12 +137,28 @@ impl Gateway {
         Ok(())
     }
 
-    /// Resolve an admitted request (served or shed downstream).
+    /// Resolve an admitted request that was served.
     pub fn resolve(&mut self, tenant: TenantId) {
         if let Some(account) = self.tenants.get_mut(&tenant) {
             debug_assert!(account.pending > 0, "resolve without admit");
             account.pending = account.pending.saturating_sub(1);
             self.total_pending = self.total_pending.saturating_sub(1);
+        }
+    }
+
+    /// Resolve an admitted request that was shed downstream (NoRoute or
+    /// deadline expiry after admission). Admission charged one prepaid
+    /// query at the door; the work was never served, so the query is
+    /// refunded through the audit chain (`EntryKind::Refund`) instead of
+    /// being silently burned.
+    pub fn resolve_shed(&mut self, tenant: TenantId, now_ms: u64) {
+        if let Some(account) = self.tenants.get_mut(&tenant) {
+            debug_assert!(account.pending > 0, "resolve without admit");
+            account.pending = account.pending.saturating_sub(1);
+            self.total_pending = self.total_pending.saturating_sub(1);
+            account.quota.refund(1, now_ms);
+            account.refunded += 1;
+            account.shed += 1;
         }
     }
 
@@ -134,6 +172,11 @@ impl Gateway {
     #[must_use]
     pub fn tenant_ids(&self) -> Vec<TenantId> {
         self.tenants.keys().copied().collect()
+    }
+
+    /// Iterate all accounts (for fleet-level quota/billing aggregation).
+    pub fn accounts(&self) -> impl Iterator<Item = (TenantId, &TenantAccount)> {
+        self.tenants.iter().map(|(t, a)| (*t, a))
     }
 
     /// Total in-flight requests.
@@ -218,6 +261,47 @@ mod tests {
         );
         g.resolve(1);
         assert!(g.admit(&req(2, 1)).is_ok());
+    }
+
+    #[test]
+    fn downstream_shed_refunds_quota_through_the_chain() {
+        let mut g = gateway(10, 100);
+        g.credit(1, 2, 77, 0).unwrap();
+        g.admit(&req(0, 1)).unwrap();
+        g.admit(&req(1, 1)).unwrap();
+        assert_eq!(g.tenant(1).unwrap().quota.balance(), 0);
+        // First request is served, second sheds downstream.
+        g.resolve(1);
+        g.resolve_shed(1, 5);
+        let account = g.tenant(1).unwrap();
+        assert_eq!(account.quota.balance(), 1, "shed query returned");
+        assert_eq!(account.refunded, 1);
+        assert_eq!(account.pending, 0);
+        let log = account.quota.log();
+        assert_eq!(log.query_count(), 2);
+        assert_eq!(log.refund_count(), 1);
+        assert_eq!(log.net_query_count(), 1, "billing sees only served work");
+        log.verify(&[1; 32]).unwrap();
+        // The refunded query is re-admittable.
+        assert!(g.admit(&req(2, 1)).is_ok());
+    }
+
+    #[test]
+    fn account_moves_between_gateways_with_chain_intact() {
+        let mut a = gateway(10, 100);
+        a.credit(1, 5, 9, 0).unwrap();
+        a.admit(&req(0, 1)).unwrap();
+        a.resolve(1);
+        let account = a.remove_tenant(1).expect("registered");
+        assert!(a.tenant(1).is_none());
+        let mut b = gateway(10, 100);
+        b.adopt_tenant(1, account);
+        let moved = b.tenant(1).unwrap();
+        assert_eq!(moved.quota.balance(), 4);
+        assert_eq!(moved.admitted, 1);
+        moved.quota.log().verify(&[1; 32]).unwrap();
+        // The adopted account keeps serving on the new gateway.
+        assert!(b.admit(&req(1, 1)).is_ok());
     }
 
     #[test]

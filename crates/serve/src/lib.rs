@@ -23,25 +23,40 @@
 //!   reporting p50/p95/p99 latency, throughput, shed rate and cache hit
 //!   rate ([`ServeReport`]).
 //!
-//! `core::Platform` exposes this plane as `serve_traffic`, crediting
-//! tenants through real vouchers and feeding counters into
-//! `observe::Telemetry`.
+//! One plane is one serving node. The **fabric** layer scales that out:
+//!
+//! * [`ShardRouter`] — weighted rendezvous placement of tenants onto
+//!   nodes, with model-family affinity and minimal movement on node
+//!   join/leave.
+//! * [`ServeFabric`] — N planes behind one shard router: partitioned
+//!   quotas (whole accounts move on rebalance, audit chains intact),
+//!   refunds for admitted-then-shed work
+//!   (`tinymlops_meter::EntryKind::Refund`), and per-node telemetry
+//!   merged into exact fleet-level statistics ([`FabricReport`]).
+//!
+//! `core::Platform` exposes these as `serve_traffic` (one node) and
+//! `serve_traffic_sharded` (fabric), crediting tenants through real
+//! vouchers and feeding counters into `observe::Telemetry`.
 
 pub mod batcher;
 pub mod cache;
+pub mod fabric;
 pub mod gateway;
 pub mod loadgen;
 pub mod request;
 pub mod router;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 
 pub use batcher::{Batch, BatchPolicy, FlushTrigger, MicroBatcher, PushOutcome};
 pub use cache::{Admission, ModelCache};
+pub use fabric::{FabricConfig, FabricNode, FabricReport, ServeFabric, TenantQuota};
 pub use gateway::{Gateway, GatewayConfig, TenantAccount};
 pub use loadgen::{LoadPlan, TenantSpec};
 pub use request::{Disposition, Request, RequestId, ShedReason, TenantId};
 pub use router::{Route, Router};
+pub use shard::{NodeId, ShardNode, ShardRouter};
 pub use sim::{run_plan, ExecModel, ServeConfig, ServePlane, ServeSim};
 pub use stats::{ServeReport, ServeStats};
 
@@ -55,6 +70,8 @@ pub enum ServeError {
     /// An operation referenced a tenant with no gateway account (a
     /// provisioning-order bug in the caller).
     UnknownTenant(request::TenantId),
+    /// An operation referenced a serving node not in the fabric.
+    UnknownNode(shard::NodeId),
 }
 
 impl std::fmt::Display for ServeError {
@@ -64,6 +81,9 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownFamily(name) => write!(f, "model family `{name}` not installed"),
             ServeError::UnknownTenant(id) => {
                 write!(f, "tenant {id} has no gateway account (register it first)")
+            }
+            ServeError::UnknownNode(id) => {
+                write!(f, "serving node {id} is not part of the fabric")
             }
         }
     }

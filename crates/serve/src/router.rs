@@ -7,6 +7,7 @@
 //! of the requested family. §IV fragmentation shows up directly: an M0
 //! node never receives f32 work, an offline node receives nothing.
 
+use crate::cache::ModelCache;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use tinymlops_deploy::{select_variant, Requirements, Selection};
@@ -92,10 +93,46 @@ impl Router {
     /// device whose queue frees earliest (ties → lowest device id, so
     /// routing is deterministic). Returns `None` when no device fits.
     pub fn route(&self, family: &str, now_us: u64) -> Option<Route> {
+        self.route_scored(family, now_us, |_| 0)
+    }
+
+    /// Affinity-aware routing: like [`Router::route`], but a device whose
+    /// selected variant is *not* resident in this node's [`ModelCache`] is
+    /// charged the artifact-load time it would actually cost
+    /// (`size_bytes / load_bytes_per_ms`). The dispatcher then prefers a
+    /// slightly-busier device that can start on a cache hit over an idle
+    /// one that would trigger an eviction-reload cycle — which is exactly
+    /// the LRU churn E15c exposed when device classes disagree on the
+    /// variant to run under a small byte budget.
+    pub fn route_affine(
+        &self,
+        family: &str,
+        now_us: u64,
+        cache: &ModelCache,
+        load_bytes_per_ms: u64,
+    ) -> Option<Route> {
+        self.route_scored(family, now_us, |selection| {
+            if cache.contains(selection.record.id) {
+                0
+            } else {
+                let ms = selection.record.size_bytes as f64 / load_bytes_per_ms.max(1) as f64;
+                (ms * 1000.0) as u64
+            }
+        })
+    }
+
+    /// Shared core of the routing policies: minimize estimated start time
+    /// (`free_at` plus a policy-supplied penalty), ties → lowest index.
+    fn route_scored(
+        &self,
+        family: &str,
+        now_us: u64,
+        penalty_us: impl Fn(&Selection) -> u64,
+    ) -> Option<Route> {
         let plan = self.plans.get(family)?;
         let mut best: Option<(u64, usize)> = None;
         for (idx, (device, selection)) in self.fleet.devices.iter().zip(plan.iter()).enumerate() {
-            let Some(_selection) = selection else {
+            let Some(selection) = selection else {
                 continue;
             };
             // Health gates: reachable, and not about to die unplugged.
@@ -105,9 +142,9 @@ impl Router {
             if device.state.battery.is_low() && !device.state.battery.plugged {
                 continue;
             }
-            let free_at = self.free_at_us[idx].max(now_us);
-            if best.is_none_or(|(t, _)| free_at < t) {
-                best = Some((free_at, idx));
+            let score = self.free_at_us[idx].max(now_us) + penalty_us(selection);
+            if best.is_none_or(|(t, _)| score < t) {
+                best = Some((score, idx));
             }
         }
         let (_, idx) = best?;
@@ -206,6 +243,41 @@ mod tests {
         assert_ne!(
             first.device_index, second.device_index,
             "busy device is deprioritized"
+        );
+    }
+
+    #[test]
+    fn affinity_routing_prefers_resident_variant_over_idle_miss() {
+        let fleet = Fleet::generate(30, &default_mix(), 3);
+        let mut router = Router::new(fleet, requirements());
+        router.refresh_family("m", &family());
+        // Dispatch once least-loaded to learn a concrete (device, variant).
+        let first = router.route("m", 0).expect("some device fits");
+        let resident_id = first.selection.record.id;
+        let mut cache = ModelCache::new(1 << 20);
+        cache.admit(first.selection.record.clone());
+        // Busy the warm device by less than the smallest possible miss
+        // penalty (the 2 500-byte int2 variant loads in 1 250 µs): affinity
+        // routing must still land on a resident variant, while least-loaded
+        // routing walks to whatever idle device is cheapest by queue alone.
+        let load_bytes_per_ms = 2_000;
+        router.occupy(first.device_index, 600);
+        let affine = router
+            .route_affine("m", 0, &cache, load_bytes_per_ms)
+            .expect("route exists");
+        assert_eq!(
+            affine.selection.record.id, resident_id,
+            "affinity routes onto the resident variant"
+        );
+        // Once the warm device's backlog dwarfs any artifact-load cost,
+        // load wins again: affinity is a bounded preference, not pinning.
+        router.occupy(first.device_index, 10_000_000);
+        let rebalanced = router
+            .route_affine("m", 0, &cache, load_bytes_per_ms)
+            .expect("route exists");
+        assert_ne!(
+            rebalanced.device_index, first.device_index,
+            "overloaded warm device is abandoned"
         );
     }
 

@@ -1,0 +1,277 @@
+//! Tenant → serving-node assignment for the multi-node fabric.
+//!
+//! One `ServePlane` models one serving node; "heavy traffic from millions
+//! of users" needs many. The [`ShardRouter`] sits above the per-node
+//! gateways and maps every tenant to a home node with **weighted
+//! rendezvous hashing** (highest-random-weight): each node scores every
+//! `(tenant, family)` key and the best score wins. Rendezvous hashing
+//! gives the two properties a fleet operator actually wants:
+//!
+//! * **Weighted capacities** — a node with twice the weight is assigned
+//!   (in expectation) twice the tenants, via the standard
+//!   `−weight / ln(u)` transform of a per-(node, key) uniform draw.
+//! * **Minimal movement** — adding a node moves only the tenants whose
+//!   new best score *is* that node (≈ its weight share); removing a node
+//!   moves only its own tenants. No ring, no token rebalancing.
+//!
+//! **Model-family affinity** blends a family-keyed draw into the score:
+//! at `affinity = 0` tenants hash independently; as it rises, tenants of
+//! the same model family cluster onto the same nodes, so each node's
+//! `ModelCache` serves fewer distinct families under the same byte budget
+//! (the fleet-level analogue of the per-device affinity in
+//! [`crate::Router::route_affine`]).
+
+use crate::request::TenantId;
+
+/// One serving node visible to the shard router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardNode {
+    /// Fabric-unique node id.
+    pub id: NodeId,
+    /// Relative capacity (expected tenant share is `weight / Σ weights`).
+    pub weight: f64,
+}
+
+/// Fabric-unique serving-node identifier.
+pub type NodeId = u32;
+
+/// Weighted rendezvous router with model-family affinity.
+///
+/// Weight-proportional placement is exact at `affinity` 0 (pure tenant
+/// draws) and 1 (pure family draws): there `−ln(u)` is Exp(1) and the
+/// `−w/ln(u)` transform wins with probability `w / Σw`. At intermediate
+/// blends the mixed `a·ln(u_f) + (1−a)·ln(u_t)` is Gamma-shaped, which
+/// *biases* the weighted shares (equal weights stay exactly balanced;
+/// unequal weights land between proportional and uniform). The fabric's
+/// default (0.5, equal node weights) is unaffected; operators leaning on
+/// capacity weights should run near-0 affinity or weigh the bias in —
+/// see `load_spreads_roughly_by_weight` for the exact-regime check.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    /// Nodes, sorted by id (deterministic iteration ⇒ deterministic
+    /// tie-breaks).
+    nodes: Vec<ShardNode>,
+    /// Family-affinity blend in `[0, 1]`: 0 = pure per-tenant hashing,
+    /// 1 = all tenants of a family share one node.
+    affinity: f64,
+}
+
+/// SplitMix64 finalizer: cheap, well-mixed, and stable across platforms —
+/// assignment must never depend on `std` hasher internals.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the family name (stable string hash).
+fn hash_family(family: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in family.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Map a hash to a uniform draw in the open interval (0, 1).
+fn unit(h: u64) -> f64 {
+    ((h >> 11) as f64 + 1.0) / ((1u64 << 53) as f64 + 2.0)
+}
+
+impl ShardRouter {
+    /// New router over `nodes` with the given family-affinity blend
+    /// (clamped to `[0, 1]`). Panics on empty node lists, duplicate ids or
+    /// non-positive weights — those are provisioning bugs, not load states.
+    #[must_use]
+    pub fn new(mut nodes: Vec<ShardNode>, affinity: f64) -> Self {
+        assert!(!nodes.is_empty(), "fabric needs at least one node");
+        nodes.sort_by_key(|n| n.id);
+        for pair in nodes.windows(2) {
+            assert_ne!(pair[0].id, pair[1].id, "duplicate node id {}", pair[0].id);
+        }
+        assert!(
+            nodes.iter().all(|n| n.weight > 0.0 && n.weight.is_finite()),
+            "node weights must be positive and finite"
+        );
+        ShardRouter {
+            nodes,
+            affinity: affinity.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The nodes currently in the fabric, sorted by id.
+    #[must_use]
+    pub fn nodes(&self) -> &[ShardNode] {
+        &self.nodes
+    }
+
+    /// The family-affinity blend in force.
+    #[must_use]
+    pub fn affinity(&self) -> f64 {
+        self.affinity
+    }
+
+    /// Add a node (join). Existing tenants move only if the new node wins
+    /// their rendezvous score — ≈ `weight / Σ weights` of them.
+    pub fn add_node(&mut self, node: ShardNode) {
+        assert!(
+            node.weight > 0.0 && node.weight.is_finite(),
+            "node weights must be positive and finite"
+        );
+        assert!(
+            !self.nodes.iter().any(|n| n.id == node.id),
+            "duplicate node id {}",
+            node.id
+        );
+        self.nodes.push(node);
+        self.nodes.sort_by_key(|n| n.id);
+    }
+
+    /// Remove a node (leave). Only its own tenants are reassigned. Returns
+    /// `false` when the id is unknown; panics rather than empty the fabric.
+    pub fn remove_node(&mut self, id: NodeId) -> bool {
+        let Some(pos) = self.nodes.iter().position(|n| n.id == id) else {
+            return false;
+        };
+        assert!(self.nodes.len() > 1, "cannot remove the last node");
+        self.nodes.remove(pos);
+        true
+    }
+
+    /// The home node for `(tenant, family)`: highest weighted rendezvous
+    /// score. Pure function of the topology, so every caller — gateway
+    /// fan-out, rebalancer, billing aggregation — agrees without
+    /// coordination.
+    #[must_use]
+    pub fn assign(&self, tenant: TenantId, family: &str) -> NodeId {
+        let fam = hash_family(family);
+        let ten = splitmix64(u64::from(tenant) ^ 0x5851_f42d_4c95_7f2d);
+        let mut best: Option<(f64, NodeId)> = None;
+        for node in &self.nodes {
+            let hn = splitmix64(u64::from(node.id).wrapping_mul(0xff51_afd7_ed55_8ccd));
+            // Blend the family- and tenant-keyed draws in log space: the
+            // blend of two ln(u) values is still negative, so the weighted
+            // rendezvous transform below stays order-correct.
+            let ln_f = unit(splitmix64(hn ^ fam)).ln();
+            let ln_t = unit(splitmix64(hn ^ ten)).ln();
+            let blended = self.affinity * ln_f + (1.0 - self.affinity) * ln_t;
+            let score = -node.weight / blended;
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, node.id));
+            }
+        }
+        best.expect("router is never empty").1
+    }
+
+    /// Tenant counts per node for a tenant population (capacity check).
+    #[must_use]
+    pub fn census<'a>(
+        &self,
+        tenants: impl IntoIterator<Item = (TenantId, &'a str)>,
+    ) -> Vec<(NodeId, usize)> {
+        let mut counts: Vec<(NodeId, usize)> = self.nodes.iter().map(|n| (n.id, 0)).collect();
+        for (tenant, family) in tenants {
+            let home = self.assign(tenant, family);
+            if let Some(slot) = counts.iter_mut().find(|(id, _)| *id == home) {
+                slot.1 += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<ShardNode> {
+        (0..n).map(|id| ShardNode { id, weight: 1.0 }).collect()
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_total() {
+        let r = ShardRouter::new(nodes(4), 0.5);
+        for tenant in 0..200u32 {
+            let a = r.assign(tenant, "kws");
+            let b = r.assign(tenant, "kws");
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn load_spreads_roughly_by_weight() {
+        let r = ShardRouter::new(
+            vec![
+                ShardNode { id: 0, weight: 1.0 },
+                ShardNode { id: 1, weight: 1.0 },
+                ShardNode { id: 2, weight: 2.0 },
+            ],
+            0.0,
+        );
+        let census = r.census((0..4000u32).map(|t| (t, "m")));
+        let count_of = |id| census.iter().find(|(n, _)| *n == id).unwrap().1 as f64;
+        // Node 2 has half the total weight: expect ~2000 of 4000, and the
+        // unit-weight nodes ~1000 each. Allow generous sampling slack.
+        assert!((1600.0..2400.0).contains(&count_of(2)), "{census:?}");
+        assert!((700.0..1300.0).contains(&count_of(0)), "{census:?}");
+        assert!((700.0..1300.0).contains(&count_of(1)), "{census:?}");
+    }
+
+    #[test]
+    fn join_moves_only_to_the_new_node() {
+        let mut r = ShardRouter::new(nodes(3), 0.4);
+        let before: Vec<NodeId> = (0..500u32).map(|t| r.assign(t, "vision")).collect();
+        r.add_node(ShardNode { id: 9, weight: 1.0 });
+        let mut moved = 0;
+        for (t, old) in before.iter().enumerate() {
+            let new = r.assign(t as u32, "vision");
+            if new != *old {
+                assert_eq!(new, 9, "movers may only land on the joining node");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "a joining node takes some share");
+        assert!(moved < 500, "a joining node must not take everything");
+    }
+
+    #[test]
+    fn leave_moves_only_the_departed_nodes_tenants() {
+        let mut r = ShardRouter::new(nodes(4), 0.4);
+        let before: Vec<NodeId> = (0..500u32).map(|t| r.assign(t, "kws")).collect();
+        assert!(r.remove_node(2));
+        for (t, old) in before.iter().enumerate() {
+            let new = r.assign(t as u32, "kws");
+            if *old != 2 {
+                assert_eq!(new, *old, "tenant {t} moved without cause");
+            } else {
+                assert_ne!(new, 2);
+            }
+        }
+        assert!(!r.remove_node(77), "unknown id is a no-op");
+    }
+
+    #[test]
+    fn affinity_clusters_families_onto_fewer_nodes() {
+        let spread_of = |affinity: f64| -> usize {
+            let r = ShardRouter::new(nodes(8), affinity);
+            // 64 tenants of one family: how many distinct nodes host them?
+            let homes: std::collections::BTreeSet<NodeId> =
+                (0..64u32).map(|t| r.assign(t, "shared-family")).collect();
+            homes.len()
+        };
+        assert_eq!(spread_of(1.0), 1, "full affinity pins a family");
+        assert!(
+            spread_of(0.0) > spread_of(0.9),
+            "affinity shrinks a family's node footprint"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_fabric_rejected() {
+        let _ = ShardRouter::new(vec![], 0.5);
+    }
+}

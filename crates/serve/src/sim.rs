@@ -42,6 +42,11 @@ pub struct ServeConfig {
     pub cache_load_bytes_per_ms: u64,
     /// Fleet churn period (battery/connectivity), microseconds; 0 = off.
     pub fleet_step_period_us: u64,
+    /// Weigh "variant already resident in this node's [`ModelCache`]"
+    /// against queue depth when picking a device
+    /// ([`Router::route_affine`]); `false` restores the pure least-loaded
+    /// policy (kept for A/B comparison in `b01_kernels`/`e16_sharding`).
+    pub affinity_routing: bool,
 }
 
 impl Default for ServeConfig {
@@ -61,12 +66,14 @@ impl Default for ServeConfig {
             dispatch_overhead_us: 200,
             cache_load_bytes_per_ms: 2_000,
             fleet_step_period_us: 0,
+            affinity_routing: true,
         }
     }
 }
 
 /// A deployable model executable — the real inference path the batcher
 /// feeds when requests carry features.
+#[derive(Clone)]
 pub enum ExecModel {
     /// Full-precision runtime.
     F32(Sequential),
@@ -182,6 +189,24 @@ impl<'a> ServeSim<'a> {
         plane: &mut ServePlane,
         stream: &[Request],
     ) -> Result<ServeReport, ServeError> {
+        let stats = self.run_collect(plane, stream)?;
+        Ok(stats.report(
+            plane.cache.hits(),
+            plane.cache.misses(),
+            plane.router.devices_used(),
+        ))
+    }
+
+    /// Replay `stream`, returning the raw accumulator instead of a report
+    /// — the fabric merges per-node accumulators so fleet percentiles are
+    /// exact rather than percentile-of-percentiles. Generic over borrowed
+    /// requests so the fabric's fan-out can pass `&[&Request]` and the
+    /// admission-time copy inside this loop stays the only clone.
+    pub(crate) fn run_collect<R: std::borrow::Borrow<Request>>(
+        &self,
+        plane: &mut ServePlane,
+        stream: &[R],
+    ) -> Result<ServeStats, ServeError> {
         if plane.families.is_empty() {
             return Err(ServeError::NoFamilies);
         }
@@ -205,7 +230,7 @@ impl<'a> ServeSim<'a> {
             // the same instant run first so a due flush precedes the
             // arrival that would join the next batch.
             let timer_time = timers.peek().map(|Reverse((t, _, _))| *t);
-            let arrival_time = stream.get(next).map(|r| r.arrival_us);
+            let arrival_time = stream.get(next).map(|r| r.borrow().arrival_us);
             let run_timer = match (timer_time, arrival_time) {
                 (None, None) => break,
                 (Some(_), None) => true,
@@ -260,7 +285,7 @@ impl<'a> ServeSim<'a> {
                     // Borrow the arrival for admission; shed requests (the
                     // bulk of overload runs) never pay for a clone — only
                     // admitted work is copied into the batcher's queue.
-                    let request = &stream[next];
+                    let request = stream[next].borrow();
                     next += 1;
                     let now = request.arrival_us;
                     stats.on_arrival(now);
@@ -305,11 +330,7 @@ impl<'a> ServeSim<'a> {
             }
         }
         debug_assert_eq!(plane.batcher.pending(), 0, "all queues drained");
-        Ok(stats.report(
-            plane.cache.hits(),
-            plane.cache.misses(),
-            plane.router.devices_used(),
-        ))
+        Ok(stats)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -323,16 +344,19 @@ impl<'a> ServeSim<'a> {
         seq: &mut u64,
         inflight: &mut Vec<Option<InFlight>>,
     ) {
-        // Expired-before-dispatch requests are shed, not executed.
+        // Expired-before-dispatch requests are shed, not executed. They
+        // were admitted (and charged) at the door, so the shed refunds the
+        // prepaid query through the audit chain.
         let (live, expired): (Vec<Request>, Vec<Request>) = batch
             .requests
             .into_iter()
             .partition(|r| r.deadline_abs_us() >= now);
         for r in &expired {
-            plane.gateway.resolve(r.tenant);
+            plane.gateway.resolve_shed(r.tenant, now / 1000);
             stats.on_shed(ShedReason::DeadlineExpired);
             if let Some(t) = self.telemetry {
                 t.incr("serve.shed.deadline");
+                t.incr("serve.refunded");
             }
         }
         if live.is_empty() {
@@ -344,12 +368,23 @@ impl<'a> ServeSim<'a> {
                 plane.router.refresh_family(&batch.model, records);
             }
         }
-        let Some(route) = plane.router.route(&batch.model, now) else {
+        let route = if self.cfg.affinity_routing {
+            plane.router.route_affine(
+                &batch.model,
+                now,
+                &plane.cache,
+                self.cfg.cache_load_bytes_per_ms,
+            )
+        } else {
+            plane.router.route(&batch.model, now)
+        };
+        let Some(route) = route else {
             for r in &live {
-                plane.gateway.resolve(r.tenant);
+                plane.gateway.resolve_shed(r.tenant, now / 1000);
                 stats.on_shed(ShedReason::NoRoute);
                 if let Some(t) = self.telemetry {
                     t.incr("serve.shed.no-route");
+                    t.incr("serve.refunded");
                 }
             }
             return;
@@ -518,11 +553,22 @@ mod tests {
     fn quota_exhaustion_sheds_the_tail() {
         let cfg = ServeConfig::default();
         let p = plan(7, 500.0, 50);
-        let report = run_plan(&mut plane(&cfg), &p, cfg, None).unwrap();
+        let mut pl = plane(&cfg);
+        let report = run_plan(&mut pl, &p, cfg, None).unwrap();
+        // Two tenants × 50 prepaid. Downstream sheds refund their query,
+        // so the conservation law is: served == credited − leftover, and
+        // every admitted-then-shed request shows up as a Refund entry.
+        let leftover: u64 = pl.gateway.accounts().map(|(_, a)| a.quota.balance()).sum();
         assert_eq!(
-            report.served + report.shed_by(ShedReason::DeadlineExpired),
+            report.served + leftover,
             100,
-            "two tenants × 50 prepaid: all admitted work accounted"
+            "prepaid queries are either served or still on balance"
+        );
+        let refunded: u64 = pl.gateway.accounts().map(|(_, a)| a.refunded).sum();
+        assert_eq!(
+            refunded,
+            report.shed_by(ShedReason::DeadlineExpired) + report.shed_by(ShedReason::NoRoute),
+            "no admitted-then-shed query is silently burned"
         );
         assert!(report.shed_by(ShedReason::QuotaExhausted) > 100);
         assert!(report.shed_rate > 0.5);

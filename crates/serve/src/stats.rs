@@ -49,6 +49,25 @@ impl ServeStats {
         self.batch_items += items as u64;
     }
 
+    /// Fold another node's accumulator into this one (fleet aggregation).
+    /// Latencies are concatenated, not summarized, so the merged report's
+    /// percentiles are exact — identical to a single accumulator having
+    /// observed every node's completions.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.latencies_us.extend_from_slice(&other.latencies_us);
+        for (k, v) in &other.shed {
+            *self.shed.entry(k).or_insert(0) += v;
+        }
+        self.batches += other.batches;
+        self.batch_items += other.batch_items;
+        self.first_arrival_us = match (self.first_arrival_us, other.first_arrival_us) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_completion_us = self.last_completion_us.max(other.last_completion_us);
+        self.real_predictions += other.real_predictions;
+    }
+
     /// Finish: compute the report. `cache` supplies hit/miss counts.
     #[must_use]
     pub fn report(&self, cache_hits: u64, cache_misses: u64, devices_used: usize) -> ServeReport {
@@ -184,6 +203,30 @@ mod tests {
         assert_eq!(percentile_us(&sorted, 100.0), 100.0);
         assert_eq!(percentile_us(&[], 50.0), 0.0);
         assert_eq!(percentile_us(&[7], 99.0), 7.0);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_one_accumulator() {
+        let mut a = ServeStats::new();
+        a.on_arrival(100);
+        a.on_served(1000, 5000);
+        a.on_shed(ShedReason::NoRoute);
+        a.on_batch(2);
+        let mut b = ServeStats::new();
+        b.on_arrival(50);
+        b.on_served(3000, 9000);
+        b.on_served(2000, 7000);
+        b.on_batch(3);
+        let mut whole = ServeStats::new();
+        whole.on_arrival(50);
+        whole.on_served(1000, 5000);
+        whole.on_served(3000, 9000);
+        whole.on_served(2000, 7000);
+        whole.on_shed(ShedReason::NoRoute);
+        whole.on_batch(2);
+        whole.on_batch(3);
+        a.merge(&b);
+        assert_eq!(a.report(0, 0, 1), whole.report(0, 0, 1));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Property-based tests for the sharding fabric: tenant placement must be
+//! stable under node join/leave (rendezvous minimal movement), and the
+//! quota refund path must keep every audit chain verifiable.
+
+use proptest::prelude::*;
+use tinymlops_serve::{Gateway, GatewayConfig, Request, ShardNode, ShardRouter};
+
+fn router(weights: &[f64], affinity: f64) -> ShardRouter {
+    ShardRouter::new(
+        weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| ShardNode {
+                id: i as u32,
+                weight: w,
+            })
+            .collect(),
+        affinity,
+    )
+}
+
+fn request(id: u64, tenant: u32, arrival_us: u64) -> Request {
+    Request {
+        id,
+        tenant,
+        model: "m".into(),
+        arrival_us,
+        deadline_us: 1_000_000,
+        features: None,
+    }
+}
+
+proptest! {
+    /// Node join: every tenant either keeps its node or moves *to the
+    /// joining node*, and (at affinity 0, where placements are
+    /// independent) only about its fair share `K/N` of tenants moves.
+    #[test]
+    fn join_is_minimal_movement(
+        node_count in 2usize..8,
+        new_weight in 0.5f64..2.0,
+        affinity in 0.0f64..0.9,
+        tenants in proptest::collection::vec((0u32..10_000, 0u8..6), 1..300),
+    ) {
+        let weights = vec![1.0; node_count];
+        let mut r = router(&weights, affinity);
+        let family_name = |f: u8| format!("family{f}");
+        let before: Vec<u32> = tenants
+            .iter()
+            .map(|(t, f)| r.assign(*t, &family_name(*f)))
+            .collect();
+        r.add_node(ShardNode { id: 1000, weight: new_weight });
+        let mut moved = 0usize;
+        for ((t, f), old) in tenants.iter().zip(&before) {
+            let new = r.assign(*t, &family_name(*f));
+            if new != *old {
+                prop_assert_eq!(new, 1000, "movers only land on the joiner");
+                moved += 1;
+            }
+        }
+        if affinity == 0.0 {
+            // Independent placements: expected share = w/(N+w). Allow wide
+            // sampling slack but rule out mass reshuffles.
+            let share = new_weight / (node_count as f64 + new_weight);
+            let bound = (share * 3.0 + 0.15) * tenants.len() as f64;
+            prop_assert!(
+                (moved as f64) <= bound,
+                "moved {} of {} (expected share {:.2})", moved, tenants.len(), share
+            );
+        }
+    }
+
+    /// Node leave: only tenants homed on the departed node move, and the
+    /// survivors' assignments are exactly what a fresh router over the
+    /// surviving topology computes (no history dependence).
+    #[test]
+    fn leave_is_minimal_movement_and_history_free(
+        node_count in 3usize..8,
+        victim in 0usize..8,
+        affinity in 0.0f64..0.9,
+        tenants in proptest::collection::vec((0u32..10_000, 0u8..6), 1..300),
+    ) {
+        let victim = (victim % node_count) as u32;
+        let weights = vec![1.0; node_count];
+        let mut r = router(&weights, affinity);
+        let family_name = |f: u8| format!("family{f}");
+        let before: Vec<u32> = tenants
+            .iter()
+            .map(|(t, f)| r.assign(*t, &family_name(*f)))
+            .collect();
+        prop_assert!(r.remove_node(victim));
+        let fresh = ShardRouter::new(
+            (0..node_count as u32)
+                .filter(|id| *id != victim)
+                .map(|id| ShardNode { id, weight: 1.0 })
+                .collect(),
+            affinity,
+        );
+        for ((t, f), old) in tenants.iter().zip(&before) {
+            let new = r.assign(*t, &family_name(*f));
+            if *old != victim {
+                prop_assert_eq!(new, *old, "survivor tenant {} moved", t);
+            } else {
+                prop_assert_ne!(new, victim);
+            }
+            prop_assert_eq!(new, fresh.assign(*t, &family_name(*f)));
+        }
+    }
+
+    /// Any interleaving of credits, admissions, serves and downstream
+    /// sheds keeps the audit chain verifiable, keeps the balance equal to
+    /// credited − consumed + refunded, and never refunds more than was
+    /// consumed.
+    #[test]
+    fn refund_path_keeps_chains_verifiable(
+        credits in proptest::collection::vec(1u64..50, 1..4),
+        // true = downstream shed (refund), false = served.
+        outcomes in proptest::collection::vec(any::<bool>(), 1..150),
+    ) {
+        let key = [42u8; 32];
+        let mut g = Gateway::new(GatewayConfig::default());
+        g.register_tenant(1, key);
+        for (serial, c) in credits.iter().enumerate() {
+            g.credit(1, *c, serial as u64, serial as u64).unwrap();
+        }
+        let credited: u64 = credits.iter().sum();
+        let mut admitted = 0u64;
+        for (i, shed_downstream) in outcomes.iter().enumerate() {
+            let req = request(i as u64, 1, i as u64 * 1000);
+            if g.admit(&req).is_err() {
+                continue;
+            }
+            admitted += 1;
+            if *shed_downstream {
+                g.resolve_shed(1, i as u64);
+            } else {
+                g.resolve(1);
+            }
+        }
+        let account = g.tenant(1).unwrap();
+        let log = account.quota.log();
+        log.verify(&key).expect("chain verifies with refund entries");
+        prop_assert_eq!(log.query_count(), admitted);
+        prop_assert_eq!(log.refund_count(), account.refunded);
+        prop_assert!(log.refund_count() <= log.query_count());
+        prop_assert_eq!(
+            account.quota.balance(),
+            credited + account.refunded - admitted,
+            "balance reconstructs from the chain"
+        );
+        prop_assert_eq!(
+            log.net_query_count(),
+            admitted - account.refunded,
+            "billing sees exactly the served work"
+        );
+    }
+}

@@ -184,9 +184,14 @@ pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
 enum BSource {
     /// `b` is `[k,n]` row-major: panel column `j` reads `b[l·n + j]`.
     Normal { n: usize },
-    /// `b` is `[n,k]` row-major (transposed operand): panel column `j`
-    /// reads `b[j·k + l]`.
+    /// `b` is `[n,k]` row-major (transposed operand), packed by a blocked
+    /// transpose: each source row streams contiguously into the panel's
+    /// strided column, so every cache line of B is read once, sequentially.
     Transposed { k: usize },
+    /// The pre-blocked-transpose `[n,k]` packing: panel rows gather one
+    /// element per source row (stride-k column reads). Retained only as
+    /// the `b01_kernels` baseline for [`gemm_packed_nt_gather`].
+    TransposedGather { k: usize },
 }
 
 /// Pack one `kc × nr` B-panel (zero-padded to NR columns) at `bp`, laid out
@@ -211,6 +216,24 @@ fn pack_b_panel(
             }
         }
         BSource::Transposed { k } => {
+            // Blocked transpose: read each of the nr source rows once,
+            // contiguously (`kc` sequential floats), scattering into the
+            // panel's NR-strided column. The writes all land in the same
+            // hot panel lines (≤ 16 KiB, reused across the whole M sweep),
+            // so streaming the reads is the win.
+            if nr < NR {
+                for row in bp.chunks_exact_mut(NR).take(kc) {
+                    row[nr..].fill(0.0);
+                }
+            }
+            for jj in 0..nr {
+                let src = &b[(j0 + jj) * k + l0..(j0 + jj) * k + l0 + kc];
+                for (l, &v) in src.iter().enumerate() {
+                    bp[l * NR + jj] = v;
+                }
+            }
+        }
+        BSource::TransposedGather { k } => {
             for l in 0..kc {
                 let dst = &mut bp[l * NR..l * NR + NR];
                 for (jj, d) in dst[..nr].iter_mut().enumerate() {
@@ -382,10 +405,18 @@ pub fn gemm_packed(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     gemm_packed_impl(a, b, BSource::Normal { n }, c, m, k, n);
 }
 
-/// Packed-tile GEMM over `b` in transposed `[n,k]` layout (same micro-kernel
-/// as [`gemm_packed`], different panel gather).
+/// Packed-tile GEMM over `b` in transposed `[n,k]` layout: same micro-kernel
+/// as [`gemm_packed`], B packed via a blocked transpose (contiguous source
+/// reads) instead of strided column gathers.
 pub fn gemm_packed_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     gemm_packed_impl(a, b, BSource::Transposed { k }, c, m, k, n);
+}
+
+/// The pre-blocked-transpose nt packing (stride-k column gathers). Kept
+/// exclusively so `b01_kernels` records an honest before/after datapoint
+/// for the packing change; all real callers go through [`gemm_packed_nt`].
+pub fn gemm_packed_nt_gather(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_packed_impl(a, b, BSource::TransposedGather { k }, c, m, k, n);
 }
 
 /// The seed row-streaming kernel: k-outer loop per C row with contiguous B
@@ -418,8 +449,9 @@ pub fn gemm_row_stream(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
 }
 
 /// Row-streaming transposed-B kernel (dot products over contiguous rows of
-/// both operands) — the small-shape fallback for [`gemm_nt`].
-fn gemm_nt_row_stream(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+/// both operands) — the small-shape fallback for [`gemm_nt`], and the seed
+/// baseline `b01_kernels` measures the packed nt path against.
+pub fn gemm_nt_row_stream(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let body = |(i, out_row): (usize, &mut [f32])| {
         let a_row = &a[i * k..(i + 1) * k];
         for (j, o) in out_row.iter_mut().enumerate() {
@@ -544,6 +576,27 @@ mod tests {
         gemm_packed_nt(a.data(), bt.data(), &mut got, m, k, n);
         for (g, w) in got.iter().zip(&want) {
             assert!((g - w).abs() < 1e-2, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_pack_is_bit_identical_to_gather_pack() {
+        // Same panels, different fill order: the packed nt product must be
+        // bit-for-bit the gather-pack product on every tile shape,
+        // including remainder columns and multi-KC K spans.
+        let mut rng = TensorRng::seed(29);
+        for &(m, k, n) in &[
+            (MR + 1, KC + 3, NR + 5),
+            (2 * MR, 2 * KC + 17, 3 * NR - 7),
+            (13, 40, NR),
+        ] {
+            let a = rng.uniform(&[m, k], -1.0, 1.0);
+            let bt = rng.uniform(&[n, k], -1.0, 1.0);
+            let mut blocked = vec![0.0; m * n];
+            gemm_packed_nt(a.data(), bt.data(), &mut blocked, m, k, n);
+            let mut gathered = vec![0.0; m * n];
+            gemm_packed_nt_gather(a.data(), bt.data(), &mut gathered, m, k, n);
+            assert_eq!(blocked, gathered, "{m}x{k}x{n}");
         }
     }
 
