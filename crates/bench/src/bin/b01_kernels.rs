@@ -14,12 +14,13 @@
 //! `--quick` shrinks shapes and reps to CI-smoke size (the JSON is still
 //! written and self-parsed, so the harness cannot rot unnoticed).
 
+use rayon::pool::{configure_threads, effective_threads, with_dispatch, Dispatch};
 use std::time::Instant;
 use tinymlops_bench::{fmt, print_table, synthetic_family};
 use tinymlops_nn::model::mlp;
 use tinymlops_quant::{QDense, QuantScheme, QuantizedModel};
 use tinymlops_serve::{
-    FabricConfig, LoadPlan, ServeConfig, ServeFabric, ServePlane, ServeSim, TenantSpec,
+    ExecConfig, FabricConfig, LoadPlan, ServeConfig, ServeFabric, ServePlane, ServeSim, TenantSpec,
 };
 use tinymlops_tensor::matmul::{
     gemm, gemm_naive, gemm_nt_row_stream, gemm_packed, gemm_packed_nt, gemm_packed_nt_gather,
@@ -472,6 +473,141 @@ fn bench_serving_sharded(quick: bool, entries: &mut Vec<Entry>) {
     }
 }
 
+/// Persistent-pool vs spawn-per-region dispatch, on the real packed GEMM.
+/// The pool is pinned to ≥2 threads for this process (see `main`), so
+/// even a 1-core CI host measures the dispatch mechanisms rather than two
+/// identical inline paths: `spawn` pays OS-thread creation per parallel
+/// region (per GEMM call × per K-block), `pool` reuses sleeping workers.
+/// `sequential` is the inline reference the other two are scored against.
+fn bench_pool_dispatch(quick: bool, entries: &mut Vec<Entry>) {
+    let (m, k, n) = if quick { (64, 64, 64) } else { (256, 256, 256) };
+    let mut rng = TensorRng::seed(SEED + 4);
+    let a = rng.uniform(&[m, k], -1.0, 1.0);
+    let b = rng.uniform(&[k, n], -1.0, 1.0);
+    let mut c = vec![0.0f32; m * n];
+    let flops = 2.0 * (m * k * n) as f64;
+    let shape = format!("{m}x{k}x{n}@{}t", effective_threads());
+    let probe = time_ns(1, || {
+        c.fill(0.0);
+        gemm_packed(a.data(), b.data(), &mut c, m, k, n);
+    });
+    let reps = if quick { 1 } else { reps_for(probe, 60.0) };
+    let rounds = if quick { 1 } else { 5 };
+    let modes = [
+        ("sequential", Dispatch::Sequential),
+        ("spawn", Dispatch::Spawn),
+        ("pool", Dispatch::Pool),
+    ];
+    let mut ns_of = [0.0f64; 3];
+    for (i, (tag, mode)) in modes.into_iter().enumerate() {
+        let ns = time_ns_best(rounds, reps, || {
+            with_dispatch(mode, || {
+                c.fill(0.0);
+                gemm_packed(a.data(), b.data(), &mut c, m, k, n);
+            });
+        });
+        ns_of[i] = ns;
+        // pool is scored against spawn (the dispatch this PR replaced);
+        // spawn against the inline reference.
+        let baseline = match tag {
+            "pool" => Some(("spawn", ns_of[1])),
+            "spawn" => Some(("sequential", ns_of[0])),
+            _ => None,
+        };
+        entries.push(Entry {
+            id: format!("gemm_dispatch_{tag}"),
+            group: "pool_dispatch",
+            shape: shape.clone(),
+            reps,
+            ns_per_op: ns,
+            gflops: Some(flops / ns),
+            baseline_id: baseline.map(|(b, _)| format!("gemm_dispatch_{b}")),
+            speedup_vs_baseline: baseline.map(|(_, base_ns)| base_ns / ns),
+        });
+    }
+}
+
+/// Wall-clock serving: the same fabric workload through the
+/// single-threaded simulator and the threaded live backend
+/// (`ExecMode::Replay` — reports are asserted bit-identical, so the only
+/// thing this measures is the pipeline itself). The tracked datapoint is
+/// wall ns per request; `speedup_vs_baseline` on the live entry is
+/// sim_wall / live_wall (> 1 once node parallelism beats queue-handoff
+/// overhead; expected ≲ 1 on a 1-core host).
+fn bench_serving_live(quick: bool, entries: &mut Vec<Entry>) {
+    use tinymlops_device::{default_mix, Fleet};
+
+    let families = 6u64;
+    let rps = if quick { 4_000.0 } else { 25_000.0 };
+    let duration_us = if quick { 500_000 } else { 3_000_000 };
+    let plan = LoadPlan {
+        tenants: (0..12u32)
+            .map(|i| TenantSpec {
+                id: i + 1,
+                rate_rps: rps / 12.0,
+                model: format!("family{}", u64::from(i) % families),
+                prepaid_queries: u64::MAX / 2,
+                deadline_us: 250_000,
+            })
+            .collect(),
+        duration_us,
+        seed: SEED,
+        feature_dim: 0,
+    };
+    let stream = plan.generate();
+    let build = || {
+        let cfg = FabricConfig {
+            node_weights: vec![1.0; 3],
+            tenant_affinity: 0.0,
+            serve: ServeConfig::default(),
+        };
+        let fleets =
+            Fleet::generate(if quick { 12 } else { 24 }, &default_mix(), SEED).partition(3);
+        let mut fabric = ServeFabric::new(&cfg, fleets);
+        for f in 0..families {
+            fabric.install_family(
+                &format!("family{f}"),
+                synthetic_family(&format!("family{f}"), f * 100),
+            );
+        }
+        fabric.provision(&plan);
+        fabric
+    };
+
+    let mut sim_fabric = build();
+    let start = Instant::now();
+    let sim_report = sim_fabric.run(&stream).expect("sim replay");
+    let sim_wall_s = start.elapsed().as_secs_f64();
+
+    let mut live_fabric = build();
+    let live = live_fabric
+        .run_live(&stream, &ExecConfig::default())
+        .expect("live replay");
+    assert_eq!(
+        live.fabric, sim_report,
+        "live backend must replay bit-identically"
+    );
+    let live_wall_s = live.wall_ms / 1e3;
+    println!(
+        "live serving: {} requests x2 over 3 node threads; sim {:.1} ms vs live {:.1} ms wall",
+        stream.len(),
+        sim_wall_s * 1e3,
+        live.wall_ms,
+    );
+    for (tag, wall_s) in [("sim", sim_wall_s), ("live", live_wall_s)] {
+        entries.push(Entry {
+            id: format!("serve_exec_{tag}_replay"),
+            group: "serving_live",
+            shape: format!("{}req-3node-replay", stream.len()),
+            reps: 1,
+            ns_per_op: wall_s * 1e9 / stream.len() as f64,
+            gflops: None,
+            baseline_id: (tag == "live").then(|| "serve_exec_sim_replay".to_string()),
+            speedup_vs_baseline: (tag == "live").then(|| sim_wall_s / live_wall_s),
+        });
+    }
+}
+
 /// Append this run to `results/BENCH_kernels.json` (creating the file on
 /// first run), then read it back and parse it as a self-check.
 fn save_and_verify(mode: &str, entries: &[Entry]) {
@@ -499,6 +635,7 @@ fn save_and_verify(mode: &str, entries: &[Entry]) {
     let run = serde_json::json!({
         "mode": mode,
         "unix_time_s": unix_s,
+        "pool_threads": effective_threads() as u64,
         "entries": entry_values,
     });
 
@@ -539,15 +676,32 @@ fn save_and_verify(mode: &str, entries: &[Entry]) {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mode = if quick { "quick" } else { "full" };
-    println!("b01_kernels ({mode} mode)");
+    // Pin the pool to ≥2 threads before first use so the pool-vs-spawn
+    // dispatch comparison measures real cross-thread dispatch even on a
+    // 1-core host (where the default pool would run inline on both
+    // sides). Recorded as `pool_threads` in the run artifact.
+    let _ = configure_threads(effective_threads().max(2));
+    println!(
+        "b01_kernels ({mode} mode, {} pool threads)",
+        effective_threads()
+    );
 
     let mut entries = Vec::new();
-    bench_gemm_f32(quick, &mut entries);
-    bench_gemm_nt(quick, &mut entries);
-    bench_qdense(quick, &mut entries);
-    bench_model_forward(quick, &mut entries);
-    bench_serving_replay(quick, &mut entries);
-    bench_serving_sharded(quick, &mut entries);
+    // The historical kernel groups run inline (`Dispatch::Sequential`) —
+    // identical execution to every pre-pool run on 1-core hosts, so the
+    // per-id trajectories in BENCH_kernels.json stay comparable. The
+    // threading backends are measured explicitly by `pool_dispatch` and
+    // `serving_live` below.
+    with_dispatch(Dispatch::Sequential, || {
+        bench_gemm_f32(quick, &mut entries);
+        bench_gemm_nt(quick, &mut entries);
+        bench_qdense(quick, &mut entries);
+        bench_model_forward(quick, &mut entries);
+        bench_serving_replay(quick, &mut entries);
+        bench_serving_sharded(quick, &mut entries);
+    });
+    bench_pool_dispatch(quick, &mut entries);
+    bench_serving_live(quick, &mut entries);
 
     let rows: Vec<Vec<String>> = entries
         .iter()

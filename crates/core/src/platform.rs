@@ -398,9 +398,34 @@ impl Platform {
         let mut fabric = self.build_fabric(plan, cfg)?;
         let stream = plan.generate();
         let report = fabric.run(&stream)?;
-        for (name, value) in &report.telemetry.counters {
-            self.telemetry.add(name, *value);
-        }
+        // Counters *and* merged timer summaries land in the platform
+        // sink (summaries via `Telemetry::record_summary`, so fleet
+        // latency statistics no longer stop at the fabric report).
+        self.telemetry.absorb_report(&report.telemetry);
+        Ok(report)
+    }
+
+    /// Serve a traffic plan on the wall-clock concurrent backend: a
+    /// freshly built fabric ([`Platform::build_fabric`]) where every
+    /// serving node runs on its own OS thread behind a bounded ingest
+    /// queue ([`tinymlops_serve::exec`]). With
+    /// [`tinymlops_serve::ExecMode::Replay`] (the default) the fleet
+    /// report is bit-identical to [`Platform::serve_traffic_sharded`]
+    /// for the same plan, while the returned
+    /// [`tinymlops_serve::LiveReport`] additionally measures real
+    /// elapsed time for the threaded pipeline. Merged counters and timer
+    /// summaries land in this platform's telemetry, exactly as in the
+    /// simulated path.
+    pub fn serve_traffic_live(
+        &mut self,
+        plan: &tinymlops_serve::LoadPlan,
+        cfg: &tinymlops_serve::FabricConfig,
+        exec: &tinymlops_serve::ExecConfig,
+    ) -> Result<tinymlops_serve::LiveReport, PlatformError> {
+        let mut fabric = self.build_fabric(plan, cfg)?;
+        let stream = plan.generate();
+        let report = fabric.run_live(&stream, exec)?;
+        self.telemetry.absorb_report(&report.fabric.telemetry);
         Ok(report)
     }
 }
@@ -598,6 +623,53 @@ mod tests {
         q.publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)
             .unwrap();
         assert_eq!(q.serve_traffic_sharded(&plan, &cfg).unwrap(), report);
+    }
+
+    #[test]
+    fn live_backend_matches_sim_replay_and_folds_timers() {
+        use tinymlops_serve::{ExecConfig, FabricConfig, LoadPlan, TenantSpec};
+        let mut p = platform();
+        let (model, train, test) = trained();
+        p.publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)
+            .unwrap();
+        let plan = LoadPlan {
+            tenants: (0..6u32)
+                .map(|i| TenantSpec {
+                    id: i + 1,
+                    rate_rps: 150.0,
+                    model: "digits".into(),
+                    prepaid_queries: 1_000,
+                    deadline_us: 500_000,
+                })
+                .collect(),
+            duration_us: 1_000_000,
+            seed: 33,
+            feature_dim: 0,
+        };
+        let cfg = FabricConfig::default();
+        let sim_report = p.serve_traffic_sharded(&plan, &cfg).unwrap();
+        let mut q = platform();
+        q.publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)
+            .unwrap();
+        let live = q
+            .serve_traffic_live(&plan, &cfg, &ExecConfig::default())
+            .unwrap();
+        assert_eq!(
+            live.fabric, sim_report,
+            "threaded replay is bit-identical to the simulator"
+        );
+        assert!(live.wall_ms > 0.0);
+        assert!(live.wall_throughput_rps() > 0.0);
+        // Timer summaries are no longer dropped at the fabric report:
+        // both paths fold `serve.latency_ms` into platform telemetry.
+        for platform in [&p, &q] {
+            let snap = platform.telemetry.snapshot();
+            let timer = snap
+                .timers
+                .get("serve.latency_ms")
+                .expect("fleet timer summaries land in platform telemetry");
+            assert_eq!(timer.count, sim_report.fleet.served);
+        }
     }
 
     #[test]

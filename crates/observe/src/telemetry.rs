@@ -76,6 +76,44 @@ impl Telemetry {
             .push(value);
     }
 
+    /// Fold an already-summarized timer series into this sink, as if the
+    /// underlying samples had been [`Telemetry::record`]ed here — exact
+    /// for count/mean/min/max, pooled-variance accurate for std. This is
+    /// the fleet-aggregation entry point: a serving fabric's per-node
+    /// sinks summarize locally, and the platform sink absorbs the merged
+    /// summaries instead of dropping them at the fabric report.
+    pub fn record_summary(&self, name: &str, summary: &TimerSummary) {
+        if summary.count == 0 {
+            return;
+        }
+        let incoming = RunningStats::from_summary(
+            summary.count,
+            summary.mean,
+            summary.std,
+            summary.min,
+            summary.max,
+        );
+        let mut inner = self.inner.lock();
+        inner
+            .timers
+            .entry(name.to_string())
+            .or_default()
+            .merge(&incoming);
+    }
+
+    /// Fold a whole [`TelemetryReport`] into this sink: counters add,
+    /// timer summaries merge via [`Telemetry::record_summary`]. Used by
+    /// `Platform` to land a fabric run's merged fleet telemetry —
+    /// counters *and* timers — in the platform-wide sink.
+    pub fn absorb_report(&self, report: &TelemetryReport) {
+        for (name, value) in &report.counters {
+            self.add(name, *value);
+        }
+        for (name, summary) in &report.timers {
+            self.record_summary(name, summary);
+        }
+    }
+
     /// Current value of a counter (0 if never written).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
@@ -272,6 +310,65 @@ mod tests {
         }
         let big = t.snapshot().wire_bytes();
         assert_eq!(small, big, "aggregation keeps reports constant-size");
+    }
+
+    #[test]
+    fn record_summary_matches_recording_the_samples() {
+        // One sink sees raw samples; the other absorbs per-node summaries
+        // (the `serve_traffic_sharded` / live-mode path). They must agree.
+        let raw = Telemetry::new();
+        let folded = Telemetry::new();
+        folded.record("serve.latency_ms", 5.0); // pre-existing local data
+        raw.record("serve.latency_ms", 5.0);
+        let node_series = [vec![1.0, 2.0, 3.0], vec![10.0, 20.0]];
+        for series in &node_series {
+            let node = Telemetry::new();
+            for &v in series {
+                node.record("serve.latency_ms", v);
+                raw.record("serve.latency_ms", v);
+            }
+            let report = node.drain();
+            folded.record_summary("serve.latency_ms", &report.timers["serve.latency_ms"]);
+        }
+        let want = &raw.snapshot().timers["serve.latency_ms"];
+        let got = &folded.snapshot().timers["serve.latency_ms"];
+        assert_eq!(got.count, want.count);
+        assert!((got.mean - want.mean).abs() < 1e-9);
+        assert!((got.std - want.std).abs() < 1e-6);
+        assert_eq!(got.min, want.min);
+        assert_eq!(got.max, want.max);
+        // Zero-count summaries are no-ops, not NaN factories.
+        folded.record_summary(
+            "serve.latency_ms",
+            &TimerSummary {
+                count: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            },
+        );
+        assert_eq!(
+            folded.snapshot().timers["serve.latency_ms"].count,
+            want.count
+        );
+    }
+
+    #[test]
+    fn absorb_report_lands_counters_and_timers() {
+        let node = Telemetry::new();
+        node.add("serve.served", 7);
+        node.record("serve.latency_ms", 4.0);
+        node.record("serve.latency_ms", 6.0);
+        let report = node.drain();
+        let platform = Telemetry::new();
+        platform.add("serve.served", 1);
+        platform.absorb_report(&report);
+        assert_eq!(platform.counter("serve.served"), 8);
+        let snap = platform.snapshot();
+        let t = &snap.timers["serve.latency_ms"];
+        assert_eq!(t.count, 2);
+        assert!((t.mean - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl Registry {
     }
 
     /// Deserialize a quantized-variant artifact (stored by the
-    /// optimization pipeline as serialized [`QuantizedModel`]).
+    /// optimization pipeline as a serialized [`tinymlops_quant::QuantizedModel`]).
     pub fn load_quantized(
         &self,
         id: ModelId,

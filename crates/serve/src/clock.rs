@@ -1,0 +1,125 @@
+//! Time sources for the serving drivers.
+//!
+//! The serving components ([`crate::Gateway`], [`crate::MicroBatcher`],
+//! [`crate::ModelCache`], [`crate::Router`]) and the event engine behind
+//! them are all parameterized by explicit microsecond timestamps — none
+//! of them reads a host clock. What differs between backends is how the
+//! *driver* produces those timestamps, and the [`Clock`] trait is that
+//! seam:
+//!
+//! * replay drivers ([`crate::ServeSim`], `exec`'s replay mode) take
+//!   timestamps straight from the stream — logical time, modeled by
+//!   [`VirtualClock`], where advancing is a free jump and exact
+//!   100k-request replays are a pure function of the seed;
+//! * the wall-clock executor ([`crate::exec`]) paces ingest and stamps
+//!   arrivals from a [`WallClock`] against `std::time::Instant` —
+//!   advancing really sleeps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotone microsecond time source shared by serving drivers.
+pub trait Clock: Send + Sync {
+    /// Current time in microseconds since the run origin.
+    fn now_us(&self) -> u64;
+
+    /// Block (wall) or jump (virtual) until `t_us`. A `t_us` in the past
+    /// is a no-op; the clock never moves backwards.
+    fn advance_to(&self, t_us: u64);
+}
+
+/// Simulated time: an atomic microsecond counter that only moves when a
+/// driver advances it. `advance_to` returns immediately, which is what
+/// makes a 100k-request replay run in milliseconds.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_us: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock at t = 0.
+    #[must_use]
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::Acquire)
+    }
+
+    fn advance_to(&self, t_us: u64) {
+        self.now_us.fetch_max(t_us, Ordering::AcqRel);
+    }
+}
+
+/// Wall-clock time: microseconds elapsed since the clock was created.
+/// `advance_to` really sleeps, so deadline-triggered batch flushes fire
+/// at honest wall times in the live backend.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl WallClock {
+    /// A wall clock whose origin (t = 0) is now.
+    #[must_use]
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Clock for WallClock {
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn advance_to(&self, t_us: u64) {
+        let now = self.now_us();
+        if t_us > now {
+            std::thread::sleep(Duration::from_micros(t_us - now));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_jumps_and_never_rewinds() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance_to(1_000_000);
+        assert_eq!(c.now_us(), 1_000_000);
+        c.advance_to(500); // stale advance must not rewind
+        assert_eq!(c.now_us(), 1_000_000);
+    }
+
+    #[test]
+    fn wall_clock_advances_and_sleeps() {
+        let c = WallClock::new();
+        let t0 = c.now_us();
+        c.advance_to(t0 + 2_000);
+        assert!(c.now_us() >= t0 + 2_000, "advance_to really slept");
+        c.advance_to(0); // past deadline: no-op
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let clocks: Vec<Box<dyn Clock>> =
+            vec![Box::new(VirtualClock::new()), Box::new(WallClock::new())];
+        for c in &clocks {
+            c.advance_to(c.now_us());
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! The wall-clock concurrent serving backend.
+//!
+//! [`crate::ServeSim`] replays traffic on a virtual clock, single-
+//! threaded. This module runs the *same* fabric for real: every
+//! [`crate::FabricNode`] gets its own OS thread driving its gateway →
+//! batcher → cache → device-router stack through the same crate-internal
+//! serving engine as the simulator, fed by a bounded, mutex-guarded
+//! [`IngestQueue`] per node (the fabric's ingest is sharded across nodes
+//! — one producer, N independent consumers, no shared serving state).
+//!
+//! Two execution modes ([`ExecMode`]):
+//!
+//! * [`ExecMode::Replay`] — node threads consume as fast as the host
+//!   allows, but every admission/flush/completion decision reads the
+//!   *stream's* timestamps (logical time — [`crate::VirtualClock`]'s
+//!   model). Because nodes share nothing and each node's event order is
+//!   fixed by its own sub-stream's timestamps,
+//!   the merged [`FabricReport`] is **bit-identical** to
+//!   [`crate::ServeFabric::run`] on the same stream — the property
+//!   `e17_live_serving` and the stress tests pin down. What the wall
+//!   clock measures is the real pipeline: ingest routing, queue handoff,
+//!   and N nodes working concurrently.
+//! * [`ExecMode::Wall`] — the feeder paces arrivals against a shared
+//!   [`WallClock`] and nodes stamp requests at the gateway door with real
+//!   elapsed time; batch flush deadlines and completions fire via timed
+//!   queue waits. Timing-dependent outcomes are no longer deterministic,
+//!   but the conservation laws (served + shed = arrivals, refunds match
+//!   downstream sheds, quota balances) still hold exactly.
+
+use crate::clock::{Clock, WallClock};
+use crate::fabric::{FabricReport, ServeFabric};
+use crate::request::Request;
+use crate::sim::{ServeConfig, ServeEngine, ServePlane};
+use crate::stats::ServeStats;
+use crate::ServeError;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tinymlops_observe::Telemetry;
+
+/// How the live executor treats time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Deterministic threaded replay: every decision reads the stream's
+    /// logical timestamps; results bit-identical to the simulator.
+    Replay,
+    /// Honest wall-clock serving: paced ingest, door-stamped arrivals,
+    /// timed flushes. Deterministic only in its conservation laws.
+    Wall,
+}
+
+/// Live-executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Time policy (see [`ExecMode`]).
+    pub mode: ExecMode,
+    /// Per-node ingest queue capacity; a full queue blocks the feeder
+    /// (backpressure) rather than dropping or buffering unboundedly.
+    pub queue_capacity: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            mode: ExecMode::Replay,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// A [`FabricReport`] plus what only a live run can measure: real elapsed
+/// time for the whole threaded pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveReport {
+    /// The merged fleet report — in [`ExecMode::Replay`], bit-identical
+    /// to the simulator's report for the same stream.
+    pub fabric: FabricReport,
+    /// Wall-clock time for feeder + all node threads, milliseconds.
+    pub wall_ms: f64,
+    /// Requests pushed through the ingest queues.
+    pub requests: usize,
+}
+
+impl LiveReport {
+    /// Requests ingested per real (wall) second — the live analogue of
+    /// the simulator's virtual-time throughput.
+    #[must_use]
+    pub fn wall_throughput_rps(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+/// Result of a queue pop with an optional timer deadline.
+enum Popped {
+    /// An arrival.
+    Item(Request),
+    /// The requested deadline passed with no arrival.
+    TimerDue,
+    /// Queue closed and drained: no more arrivals, ever.
+    Closed,
+}
+
+struct QueueState {
+    items: VecDeque<Request>,
+    closed: bool,
+}
+
+/// A bounded MPSC FIFO between the ingest feeder and one node thread.
+///
+/// Mutex + condvars rather than lock-free: the queue hands off whole
+/// requests at multi-microsecond service granularity, so the lock is
+/// never the bottleneck, and a bounded buffer gives real backpressure
+/// (a slow node stalls its producer instead of hiding behind RAM).
+pub struct IngestQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl IngestQueue {
+    /// A queue holding at most `capacity` requests.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        IngestQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue, blocking while the queue is full. Returns `false` (and
+    /// drops the request) iff the queue is closed.
+    pub fn push(&self, request: Request) -> bool {
+        let mut state = self.state.lock().unwrap();
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).unwrap();
+        }
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(request);
+        drop(state);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeue, blocking until an item arrives or the queue closes.
+    pub fn pop(&self) -> Option<Request> {
+        match self.pop_inner(None, None) {
+            Popped::Item(r) => Some(r),
+            Popped::Closed => None,
+            Popped::TimerDue => unreachable!("no deadline was set"),
+        }
+    }
+
+    /// Dequeue, or give up once `wall` reaches `deadline_us` (used by
+    /// wall-mode nodes to wake for due batch flushes and completions).
+    fn pop_until(&self, deadline_us: Option<u64>, wall: &WallClock) -> Popped {
+        self.pop_inner(deadline_us, Some(wall))
+    }
+
+    fn pop_inner(&self, deadline_us: Option<u64>, wall: Option<&WallClock>) -> Popped {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(request) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Popped::Item(request);
+            }
+            if state.closed {
+                return Popped::Closed;
+            }
+            match (deadline_us, wall) {
+                (Some(t), Some(wall)) => {
+                    let now = wall.now_us();
+                    if now >= t {
+                        return Popped::TimerDue;
+                    }
+                    let (guard, _) = self
+                        .not_empty
+                        .wait_timeout(state, Duration::from_micros(t - now))
+                        .unwrap();
+                    state = guard;
+                }
+                _ => {
+                    state = self.not_empty.wait(state).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Close the queue: pending items still drain, then pops return
+    /// `Closed` and pushes are refused.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// `true` when nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Closes a node's ingest queue when its worker exits — normally a no-op
+/// (the feeder closed it first), but on an early error return or a panic
+/// it flips the queue to refuse further pushes, so the bounded feeder
+/// cannot block forever against a consumer that will never drain it.
+struct CloseOnExit<'a>(&'a IngestQueue);
+
+impl Drop for CloseOnExit<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// One node thread: drain the ingest queue through the shared engine.
+fn node_worker(
+    plane: &mut ServePlane,
+    telemetry: &Telemetry,
+    serve_cfg: &ServeConfig,
+    queue: &IngestQueue,
+    mode: ExecMode,
+    wall: &WallClock,
+) -> Result<ServeStats, ServeError> {
+    let _close_guard = CloseOnExit(queue);
+    if plane.family_names().is_empty() {
+        return Err(ServeError::NoFamilies);
+    }
+    let mut engine = ServeEngine::new(serve_cfg.clone(), Some(telemetry));
+    match mode {
+        ExecMode::Replay => {
+            while let Some(request) = queue.pop() {
+                engine.run_timers_through(plane, request.arrival_us, true);
+                engine.on_arrival(plane, &request);
+            }
+            Ok(engine.finish(plane))
+        }
+        ExecMode::Wall => {
+            loop {
+                match queue.pop_until(engine.next_timer_us(), wall) {
+                    Popped::Item(mut request) => {
+                        let now = wall.now_us();
+                        engine.run_timers_through(plane, now, true);
+                        // Stamped at the gateway door: latency and batch
+                        // deadlines measure real elapsed time from here.
+                        request.arrival_us = now;
+                        engine.on_arrival(plane, &request);
+                    }
+                    Popped::TimerDue => {
+                        engine.run_timers_through(plane, wall.now_us(), true);
+                    }
+                    Popped::Closed => break,
+                }
+            }
+            Ok(engine.finish(plane))
+        }
+    }
+}
+
+/// Run `stream` through `fabric` with one OS thread per serving node.
+///
+/// The calling thread is the ingest feeder: it routes each request to its
+/// tenant's home node (same placement as [`ServeFabric::run`]) and pushes
+/// it onto that node's bounded queue, pacing against the wall clock in
+/// [`ExecMode::Wall`]. Node threads drain concurrently; their per-node
+/// accumulators merge into the same exact fleet report the simulator
+/// produces.
+pub fn run_fabric_live(
+    fabric: &mut ServeFabric,
+    stream: &[Request],
+    cfg: &ExecConfig,
+) -> Result<LiveReport, ServeError> {
+    let refunded_before = fabric.refunded_total();
+    let serve_cfg = fabric.serve_config().clone();
+    let mode = cfg.mode;
+    let wall = WallClock::new();
+    let start = Instant::now();
+
+    let (nodes, shard_router, assignments) = fabric.split_live();
+    let queues: Vec<IngestQueue> = nodes
+        .iter()
+        .map(|_| IngestQueue::new(cfg.queue_capacity))
+        .collect();
+    let index_of: BTreeMap<_, _> = nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+
+    let results: Vec<Result<ServeStats, ServeError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = nodes
+            .iter_mut()
+            .zip(&queues)
+            .map(|(node, queue)| {
+                let serve_cfg = &serve_cfg;
+                let wall = &wall;
+                let plane = &mut node.plane;
+                let telemetry = &node.telemetry;
+                s.spawn(move || node_worker(plane, telemetry, serve_cfg, queue, mode, wall))
+            })
+            .collect();
+
+        // The feeder: route at ingest time, in arrival order. Unknown
+        // tenants are still routed (by the same hash) so the owning
+        // gateway records the denial, exactly as in the simulator.
+        for request in stream {
+            let home = match assignments.get(&request.tenant) {
+                Some((node, _)) => *node,
+                None => shard_router.assign(request.tenant, &request.model),
+            };
+            if mode == ExecMode::Wall {
+                wall.advance_to(request.arrival_us);
+            }
+            // A `false` return means the node worker exited early (error
+            // or panic) and closed its queue; keep feeding the healthy
+            // nodes — the dead node's result surfaces after the join.
+            let _ = queues[index_of[&home]].push(request.clone());
+        }
+        for queue in &queues {
+            queue.close();
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    });
+
+    let node_ids: Vec<_> = fabric.nodes().iter().map(|n| n.id).collect();
+    let mut per_node = Vec::with_capacity(results.len());
+    for (id, result) in node_ids.into_iter().zip(results) {
+        per_node.push((id, result?));
+    }
+    let fabric_report = fabric.assemble_report(per_node, refunded_before);
+    Ok(LiveReport {
+        fabric: fabric_report,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        requests: stream.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn req(id: u64, arrival_us: u64) -> Request {
+        Request {
+            id,
+            tenant: 1,
+            model: "m".into(),
+            arrival_us,
+            deadline_us: 10_000,
+            features: None,
+        }
+    }
+
+    #[test]
+    fn queue_is_fifo_across_threads() {
+        let q = IngestQueue::new(8);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..1000 {
+                    assert!(q.push(req(i, i * 10)));
+                }
+                q.close();
+            });
+            let mut expected = 0;
+            while let Some(r) = q.pop() {
+                assert_eq!(r.id, expected, "FIFO order preserved");
+                expected += 1;
+            }
+            assert_eq!(expected, 1000);
+        });
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let q = IngestQueue::new(4);
+        let popped = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Slow consumer: the producer must block at capacity, not
+                // buffer all 64 requests.
+                while q.pop().is_some() {
+                    popped.fetch_add(1, Ordering::Relaxed);
+                    assert!(q.len() <= 4, "capacity bound holds");
+                    std::thread::yield_now();
+                }
+            });
+            for i in 0..64 {
+                assert!(q.push(req(i, 0)));
+            }
+            q.close();
+        });
+        assert_eq!(popped.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn closed_queue_drains_then_refuses() {
+        let q = IngestQueue::new(8);
+        assert!(q.push(req(0, 0)));
+        q.close();
+        assert!(!q.push(req(1, 1)), "closed queue refuses pushes");
+        assert!(q.pop().is_some(), "buffered item still drains");
+        assert!(q.pop().is_none(), "then the queue reports closed");
+    }
+
+    #[test]
+    fn pop_until_times_out_for_due_timers() {
+        let q = IngestQueue::new(8);
+        let wall = WallClock::new();
+        let due = wall.now_us() + 2_000;
+        match q.pop_until(Some(due), &wall) {
+            Popped::TimerDue => assert!(wall.now_us() >= due, "woke at or after the deadline"),
+            _ => panic!("empty queue with a deadline must report TimerDue"),
+        }
+    }
+}

@@ -401,16 +401,52 @@ impl ServeFabric {
         }
 
         let refunded_before: u64 = self.refunded_total();
-        let mut fleet_stats = ServeStats::new();
         let mut per_node = Vec::with_capacity(self.nodes.len());
-        let mut node_reports_telemetry = Vec::with_capacity(self.nodes.len());
-        let mut fleet_hits = 0;
-        let mut fleet_misses = 0;
-        let mut fleet_devices = 0;
         for node in &mut self.nodes {
             let sub_stream = &per_node_streams[&node.id];
             let sim = ServeSim::new(self.serve_cfg.clone(), Some(&node.telemetry));
             let stats = sim.run_collect(&mut node.plane, sub_stream)?;
+            per_node.push((node.id, stats));
+        }
+        Ok(self.assemble_report(per_node, refunded_before))
+    }
+
+    /// Run an arrival-ordered stream through the fabric's wall-clock
+    /// backend ([`crate::exec`]): one OS thread per node behind bounded
+    /// ingest queues. In [`crate::ExecMode::Replay`] the returned fleet
+    /// report is bit-identical to [`ServeFabric::run`] on the same
+    /// stream; the wall-clock side of the [`crate::LiveReport`] measures
+    /// the real threaded pipeline.
+    pub fn run_live(
+        &mut self,
+        stream: &[Request],
+        cfg: &crate::exec::ExecConfig,
+    ) -> Result<crate::exec::LiveReport, ServeError> {
+        crate::exec::run_fabric_live(self, stream, cfg)
+    }
+
+    /// Merge per-node accumulators into the fleet report — shared by the
+    /// simulated ([`ServeFabric::run`]) and live ([`crate::exec`])
+    /// backends so both produce the same exact statistics: percentiles
+    /// over the union of per-node latency samples, telemetry drained and
+    /// merged, refunds counted against the pre-run baseline.
+    pub(crate) fn assemble_report(
+        &mut self,
+        per_node: Vec<(NodeId, ServeStats)>,
+        refunded_before: u64,
+    ) -> FabricReport {
+        let mut fleet_stats = ServeStats::new();
+        let mut per_node_reports = Vec::with_capacity(per_node.len());
+        let mut node_reports_telemetry = Vec::with_capacity(per_node.len());
+        let mut fleet_hits = 0;
+        let mut fleet_misses = 0;
+        let mut fleet_devices = 0;
+        for (id, stats) in per_node {
+            let node = self
+                .nodes
+                .iter()
+                .find(|n| n.id == id)
+                .expect("stats come from live nodes");
             let report = stats.report(
                 node.plane.cache.hits(),
                 node.plane.cache.misses(),
@@ -420,7 +456,7 @@ impl ServeFabric {
             fleet_misses += node.plane.cache.misses();
             fleet_devices += node.plane.router.devices_used();
             fleet_stats.merge(&stats);
-            per_node.push((node.id, report));
+            per_node_reports.push((id, report));
             node_reports_telemetry.push(node.telemetry.drain());
         }
         let fleet = fleet_stats.report(fleet_hits, fleet_misses, fleet_devices);
@@ -436,16 +472,36 @@ impl ServeFabric {
                 (n.id, count)
             })
             .collect();
-        Ok(FabricReport {
+        FabricReport {
             fleet,
-            per_node,
+            per_node: per_node_reports,
             telemetry: TelemetryReport::merged(node_reports_telemetry),
             tenants_per_node,
             refunds: self.refunded_total() - refunded_before,
-        })
+        }
     }
 
-    fn refunded_total(&self) -> u64 {
+    /// Disjoint borrows for the live executor: mutable nodes (one per
+    /// worker thread) alongside the shared routing state the ingest
+    /// feeder reads concurrently.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn split_live(
+        &mut self,
+    ) -> (
+        &mut [FabricNode],
+        &ShardRouter,
+        &BTreeMap<TenantId, (NodeId, String)>,
+    ) {
+        (&mut self.nodes, &self.shard_router, &self.assignments)
+    }
+
+    /// The per-node serving configuration every node runs.
+    #[must_use]
+    pub fn serve_config(&self) -> &ServeConfig {
+        &self.serve_cfg
+    }
+
+    pub(crate) fn refunded_total(&self) -> u64 {
         self.nodes
             .iter()
             .map(|n| {

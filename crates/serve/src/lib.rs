@@ -40,6 +40,8 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod clock;
+pub mod exec;
 pub mod fabric;
 pub mod gateway;
 pub mod loadgen;
@@ -51,6 +53,8 @@ pub mod stats;
 
 pub use batcher::{Batch, BatchPolicy, FlushTrigger, MicroBatcher, PushOutcome};
 pub use cache::{Admission, ModelCache};
+pub use clock::{Clock, VirtualClock, WallClock};
+pub use exec::{ExecConfig, ExecMode, LiveReport};
 pub use fabric::{FabricConfig, FabricNode, FabricReport, ServeFabric, TenantQuota};
 pub use gateway::{Gateway, GatewayConfig, TenantAccount};
 pub use loadgen::{LoadPlan, TenantSpec};

@@ -1,11 +1,16 @@
-//! The serving plane and its discrete-event simulator.
+//! The serving plane, its event engine, and the discrete-event simulator.
 //!
 //! [`ServePlane`] wires the four serving components — gateway admission,
 //! micro-batcher, model cache, fleet router — around a model registry
-//! snapshot. [`ServeSim`] drives a request stream through the plane on a
-//! virtual clock: arrivals, deadline-triggered flushes, device
-//! completions and fleet churn are heap-ordered events, so a 100k-request
-//! replay is exact, fast, and a pure function of the seed.
+//! snapshot. `ServeEngine` (crate-internal) is the event core shared by
+//! both serving backends: arrivals, deadline-triggered flushes, device
+//! completions and fleet churn are heap-ordered events, all keyed by
+//! explicit timestamps — the engine never reads a clock. [`ServeSim`]
+//! drives the engine from a pre-generated stream (logical time; a
+//! 100k-request replay is exact, fast, and a pure function of the seed)
+//! while [`crate::exec`] drives the *same* engine from per-node OS
+//! threads behind real ingest queues, on logical or wall timestamps (see
+//! [`crate::clock`]).
 
 use crate::batcher::{Batch, BatchPolicy, MicroBatcher, PushOutcome};
 use crate::cache::ModelCache;
@@ -139,7 +144,7 @@ impl ServePlane {
     }
 }
 
-/// Heap-ordered simulator timer.
+/// Heap-ordered engine timer.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 enum Timer {
     /// Deadline-triggered flush check for a family queue.
@@ -155,7 +160,247 @@ struct InFlight {
     done_us: u64,
 }
 
-/// Discrete-event driver for a [`ServePlane`].
+/// The per-node serving event core, shared by both backends.
+///
+/// The engine owns the timer heap, in-flight batch slab and statistics
+/// accumulator; the *driver* owns the arrival source and the time source
+/// ([`crate::Clock`]): [`ServeSim`] feeds it a pre-generated stream,
+/// [`crate::exec`] feeds it from a live ingest queue. The engine itself
+/// is purely timestamp-driven — it never reads a clock — so identical
+/// inputs produce identical outputs on every driver, and a threaded
+/// replay is bit-identical to the simulated one.
+pub(crate) struct ServeEngine<'t> {
+    cfg: ServeConfig,
+    telemetry: Option<&'t Telemetry>,
+    stats: ServeStats,
+    timers: BinaryHeap<Reverse<(u64, u64, Timer)>>,
+    seq: u64,
+    inflight: Vec<Option<InFlight>>,
+}
+
+impl<'t> ServeEngine<'t> {
+    pub(crate) fn new(cfg: ServeConfig, telemetry: Option<&'t Telemetry>) -> Self {
+        let mut engine = ServeEngine {
+            cfg,
+            telemetry,
+            stats: ServeStats::new(),
+            timers: BinaryHeap::new(),
+            seq: 0,
+            inflight: Vec::new(),
+        };
+        if engine.cfg.fleet_step_period_us > 0 {
+            engine.arm(engine.cfg.fleet_step_period_us, Timer::FleetStep);
+        }
+        engine
+    }
+
+    fn arm(&mut self, at_us: u64, timer: Timer) {
+        self.timers.push(Reverse((at_us, self.seq, timer)));
+        self.seq += 1;
+    }
+
+    /// Earliest pending timer, if any (live drivers wait on this).
+    pub(crate) fn next_timer_us(&self) -> Option<u64> {
+        self.timers.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Pop and handle every timer due at or before `t_us`. Timers at the
+    /// same instant as an arrival run first, so a due flush precedes the
+    /// arrival that would join the next batch. `more_arrivals` tells
+    /// fleet churn whether to re-arm (the sim knows from its cursor; a
+    /// live driver from its queue state).
+    pub(crate) fn run_timers_through(
+        &mut self,
+        plane: &mut ServePlane,
+        t_us: u64,
+        more_arrivals: bool,
+    ) {
+        while self.next_timer_us().is_some_and(|t| t <= t_us) {
+            let Reverse((now, _, timer)) = self.timers.pop().expect("peeked");
+            match timer {
+                Timer::Flush(family) => {
+                    if let Some(batch) = plane.batcher.flush_due(&family, now) {
+                        self.dispatch(plane, batch, now);
+                    }
+                }
+                Timer::BatchDone(idx) => {
+                    let done = self.inflight[idx].take().expect("completes once");
+                    for r in &done.requests {
+                        plane.gateway.resolve(r.tenant);
+                        let latency = done.done_us - r.arrival_us;
+                        self.stats.on_served(latency, done.done_us);
+                        if let Some(t) = self.telemetry {
+                            t.incr("serve.served");
+                            t.record("serve.latency_ms", latency as f64 / 1000.0);
+                        }
+                    }
+                }
+                Timer::FleetStep => {
+                    plane.router.step_fleet();
+                    // Replan lazily; next route() refreshes.
+                    if more_arrivals || plane.batcher.pending() > 0 {
+                        self.arm(now + self.cfg.fleet_step_period_us, Timer::FleetStep);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Admit-or-shed one arrival at its own timestamp. The borrow is the
+    /// point: shed requests (the bulk of overload runs) never pay for a
+    /// clone — only admitted work is copied into the batcher's queue.
+    pub(crate) fn on_arrival(&mut self, plane: &mut ServePlane, request: &Request) {
+        let now = request.arrival_us;
+        self.stats.on_arrival(now);
+        match plane.gateway.admit(request) {
+            Err(reason) => {
+                self.stats.on_shed(reason);
+                if let Some(t) = self.telemetry {
+                    t.incr(&format!("serve.shed.{}", reason.name()));
+                }
+            }
+            Ok(()) => {
+                if let Some(t) = self.telemetry {
+                    t.incr("serve.admitted");
+                }
+                match plane.batcher.push(request.clone()) {
+                    PushOutcome::Flushed(batch) => {
+                        self.dispatch(plane, batch, now);
+                    }
+                    PushOutcome::Queued {
+                        flush_at_us: Some(flush_at_us),
+                    } => {
+                        self.arm(flush_at_us, Timer::Flush(request.model.clone()));
+                    }
+                    PushOutcome::Queued { flush_at_us: None } => {}
+                }
+            }
+        }
+    }
+
+    /// Drain every remaining timer (no more arrivals will come) and
+    /// return the statistics accumulator. The drain never waits:
+    /// remaining completion timestamps are already decided, so a
+    /// wall-clock driver does not sleep out a saturated run's queued
+    /// service time just to record it.
+    pub(crate) fn finish(mut self, plane: &mut ServePlane) -> ServeStats {
+        self.run_timers_through(plane, u64::MAX, false);
+        debug_assert_eq!(plane.batcher.pending(), 0, "all queues drained");
+        self.stats
+    }
+
+    fn dispatch(&mut self, plane: &mut ServePlane, batch: Batch, now: u64) {
+        // Expired-before-dispatch requests are shed, not executed. They
+        // were admitted (and charged) at the door, so the shed refunds the
+        // prepaid query through the audit chain.
+        let (live, expired): (Vec<Request>, Vec<Request>) = batch
+            .requests
+            .into_iter()
+            .partition(|r| r.deadline_abs_us() >= now);
+        for r in &expired {
+            plane.gateway.resolve_shed(r.tenant, now / 1000);
+            self.stats.on_shed(ShedReason::DeadlineExpired);
+            if let Some(t) = self.telemetry {
+                t.incr("serve.shed.deadline");
+                t.incr("serve.refunded");
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        // Route — replan lazily after fleet churn.
+        if !plane.router.has_plan(&batch.model) {
+            if let Some(records) = plane.families.get(&batch.model) {
+                plane.router.refresh_family(&batch.model, records);
+            }
+        }
+        let route = if self.cfg.affinity_routing {
+            plane.router.route_affine(
+                &batch.model,
+                now,
+                &plane.cache,
+                self.cfg.cache_load_bytes_per_ms,
+            )
+        } else {
+            plane.router.route(&batch.model, now)
+        };
+        let Some(route) = route else {
+            for r in &live {
+                plane.gateway.resolve_shed(r.tenant, now / 1000);
+                self.stats.on_shed(ShedReason::NoRoute);
+                if let Some(t) = self.telemetry {
+                    t.incr("serve.shed.no-route");
+                    t.incr("serve.refunded");
+                }
+            }
+            return;
+        };
+        self.stats.on_batch(live.len());
+        if let Some(t) = self.telemetry {
+            t.incr("serve.batches");
+            t.record("serve.batch_size", live.len() as f64);
+        }
+
+        // Cache: a miss charges the artifact load time before execution.
+        // The admitted record is deep-copied into an `Arc` once per miss
+        // (amortized by the simulated multi-ms artifact load it models);
+        // hits and repeat batches share the resident entry.
+        let record = &route.selection.record;
+        let load_us = if plane.cache.get(record.id).is_some() {
+            0
+        } else {
+            plane.cache.admit(record.clone());
+            let ms = record.size_bytes as f64 / self.cfg.cache_load_bytes_per_ms.max(1) as f64;
+            (ms * 1000.0) as u64
+        };
+
+        // Real inference when an executable is installed and the batch
+        // carries features: the micro-batcher feeds nn/quant directly.
+        if let Some(exec) = plane.exec.get(&record.id) {
+            let dim = live.iter().find_map(|r| r.features.as_ref().map(Vec::len));
+            if let Some(dim) = dim {
+                let rows: Vec<&Request> = live
+                    .iter()
+                    .filter(|r| r.features.as_ref().map(Vec::len) == Some(dim))
+                    .collect();
+                if !rows.is_empty() {
+                    let mut data = Vec::with_capacity(rows.len() * dim);
+                    for r in &rows {
+                        data.extend_from_slice(r.features.as_ref().expect("filtered"));
+                    }
+                    let x = Tensor::from_vec(data, &[rows.len(), dim]);
+                    let preds = exec.predict(&x);
+                    self.stats.real_predictions += preds.len() as u64;
+                }
+            }
+        }
+
+        // Virtual execution cost: per-batch overhead + artifact load +
+        // sequential per-item inference at the selected variant's speed.
+        let per_item_us = (route.selection.latency_ms * 1000.0) as u64;
+        let service_us = self.cfg.dispatch_overhead_us + load_us + per_item_us * live.len() as u64;
+        let start = plane.router.free_at(route.device_index, now);
+        let done_us = start + service_us.max(1);
+        plane.router.occupy(route.device_index, done_us);
+        // §IV: inference drains the device battery.
+        let energy = route.selection.energy_mj * live.len() as f64;
+        let _ = plane.router.fleet.devices[route.device_index]
+            .state
+            .battery
+            .drain_mj(energy);
+
+        let idx = self.inflight.len();
+        self.inflight.push(Some(InFlight {
+            requests: live,
+            done_us,
+        }));
+        self.arm(done_us, Timer::BatchDone(idx));
+    }
+}
+
+/// Discrete-event driver for a [`ServePlane`]: the shared serving engine
+/// fed from a pre-generated arrival stream (logical time — see
+/// [`crate::clock`]).
 pub struct ServeSim<'a> {
     cfg: ServeConfig,
     telemetry: Option<&'a Telemetry>,
@@ -201,7 +446,7 @@ impl<'a> ServeSim<'a> {
     /// — the fabric merges per-node accumulators so fleet percentiles are
     /// exact rather than percentile-of-percentiles. Generic over borrowed
     /// requests so the fabric's fan-out can pass `&[&Request]` and the
-    /// admission-time copy inside this loop stays the only clone.
+    /// admission-time copy inside the engine stays the only clone.
     pub(crate) fn run_collect<R: std::borrow::Borrow<Request>>(
         &self,
         plane: &mut ServePlane,
@@ -210,246 +455,13 @@ impl<'a> ServeSim<'a> {
         if plane.families.is_empty() {
             return Err(ServeError::NoFamilies);
         }
-        let mut stats = ServeStats::new();
-        let mut timers: BinaryHeap<Reverse<(u64, u64, Timer)>> = BinaryHeap::new();
-        let mut seq: u64 = 0;
-        let mut inflight: Vec<Option<InFlight>> = Vec::new();
-        let mut next = 0usize; // cursor into the arrival stream
-
-        if self.cfg.fleet_step_period_us > 0 {
-            timers.push(Reverse((
-                self.cfg.fleet_step_period_us,
-                seq,
-                Timer::FleetStep,
-            )));
-            seq += 1;
+        let mut engine = ServeEngine::new(self.cfg.clone(), self.telemetry);
+        for r in stream {
+            let request = r.borrow();
+            engine.run_timers_through(plane, request.arrival_us, true);
+            engine.on_arrival(plane, request);
         }
-
-        loop {
-            // Pick the earliest of (next timer, next arrival); timers at
-            // the same instant run first so a due flush precedes the
-            // arrival that would join the next batch.
-            let timer_time = timers.peek().map(|Reverse((t, _, _))| *t);
-            let arrival_time = stream.get(next).map(|r| r.borrow().arrival_us);
-            let run_timer = match (timer_time, arrival_time) {
-                (None, None) => break,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (Some(tt), Some(at)) => tt <= at,
-            };
-            match (run_timer, arrival_time) {
-                (true, _) => {
-                    let Reverse((now, _, timer)) = timers.pop().expect("peeked");
-                    match timer {
-                        Timer::Flush(family) => {
-                            if let Some(batch) = plane.batcher.flush_due(&family, now) {
-                                self.dispatch(
-                                    plane,
-                                    batch,
-                                    now,
-                                    &mut stats,
-                                    &mut timers,
-                                    &mut seq,
-                                    &mut inflight,
-                                );
-                            }
-                        }
-                        Timer::BatchDone(idx) => {
-                            let done = inflight[idx].take().expect("completes once");
-                            for r in &done.requests {
-                                plane.gateway.resolve(r.tenant);
-                                let latency = done.done_us - r.arrival_us;
-                                stats.on_served(latency, done.done_us);
-                                if let Some(t) = self.telemetry {
-                                    t.incr("serve.served");
-                                    t.record("serve.latency_ms", latency as f64 / 1000.0);
-                                }
-                            }
-                        }
-                        Timer::FleetStep => {
-                            plane.router.step_fleet();
-                            // Replan lazily; next route() refreshes.
-                            let more_work = next < stream.len() || plane.batcher.pending() > 0;
-                            if more_work {
-                                timers.push(Reverse((
-                                    now + self.cfg.fleet_step_period_us,
-                                    seq,
-                                    Timer::FleetStep,
-                                )));
-                                seq += 1;
-                            }
-                        }
-                    }
-                }
-                (false, _) => {
-                    // Borrow the arrival for admission; shed requests (the
-                    // bulk of overload runs) never pay for a clone — only
-                    // admitted work is copied into the batcher's queue.
-                    let request = stream[next].borrow();
-                    next += 1;
-                    let now = request.arrival_us;
-                    stats.on_arrival(now);
-                    match plane.gateway.admit(request) {
-                        Err(reason) => {
-                            stats.on_shed(reason);
-                            if let Some(t) = self.telemetry {
-                                t.incr(&format!("serve.shed.{}", reason.name()));
-                            }
-                        }
-                        Ok(()) => {
-                            if let Some(t) = self.telemetry {
-                                t.incr("serve.admitted");
-                            }
-                            match plane.batcher.push(request.clone()) {
-                                PushOutcome::Flushed(batch) => {
-                                    self.dispatch(
-                                        plane,
-                                        batch,
-                                        now,
-                                        &mut stats,
-                                        &mut timers,
-                                        &mut seq,
-                                        &mut inflight,
-                                    );
-                                }
-                                PushOutcome::Queued {
-                                    flush_at_us: Some(flush_at_us),
-                                } => {
-                                    timers.push(Reverse((
-                                        flush_at_us,
-                                        seq,
-                                        Timer::Flush(request.model.clone()),
-                                    )));
-                                    seq += 1;
-                                }
-                                PushOutcome::Queued { flush_at_us: None } => {}
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        debug_assert_eq!(plane.batcher.pending(), 0, "all queues drained");
-        Ok(stats)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn dispatch(
-        &self,
-        plane: &mut ServePlane,
-        batch: Batch,
-        now: u64,
-        stats: &mut ServeStats,
-        timers: &mut BinaryHeap<Reverse<(u64, u64, Timer)>>,
-        seq: &mut u64,
-        inflight: &mut Vec<Option<InFlight>>,
-    ) {
-        // Expired-before-dispatch requests are shed, not executed. They
-        // were admitted (and charged) at the door, so the shed refunds the
-        // prepaid query through the audit chain.
-        let (live, expired): (Vec<Request>, Vec<Request>) = batch
-            .requests
-            .into_iter()
-            .partition(|r| r.deadline_abs_us() >= now);
-        for r in &expired {
-            plane.gateway.resolve_shed(r.tenant, now / 1000);
-            stats.on_shed(ShedReason::DeadlineExpired);
-            if let Some(t) = self.telemetry {
-                t.incr("serve.shed.deadline");
-                t.incr("serve.refunded");
-            }
-        }
-        if live.is_empty() {
-            return;
-        }
-        // Route — replan lazily after fleet churn.
-        if !plane.router.has_plan(&batch.model) {
-            if let Some(records) = plane.families.get(&batch.model) {
-                plane.router.refresh_family(&batch.model, records);
-            }
-        }
-        let route = if self.cfg.affinity_routing {
-            plane.router.route_affine(
-                &batch.model,
-                now,
-                &plane.cache,
-                self.cfg.cache_load_bytes_per_ms,
-            )
-        } else {
-            plane.router.route(&batch.model, now)
-        };
-        let Some(route) = route else {
-            for r in &live {
-                plane.gateway.resolve_shed(r.tenant, now / 1000);
-                stats.on_shed(ShedReason::NoRoute);
-                if let Some(t) = self.telemetry {
-                    t.incr("serve.shed.no-route");
-                    t.incr("serve.refunded");
-                }
-            }
-            return;
-        };
-        stats.on_batch(live.len());
-        if let Some(t) = self.telemetry {
-            t.incr("serve.batches");
-            t.record("serve.batch_size", live.len() as f64);
-        }
-
-        // Cache: a miss charges the artifact load time before execution.
-        // The admitted record is deep-copied into an `Arc` once per miss
-        // (amortized by the simulated multi-ms artifact load it models);
-        // hits and repeat batches share the resident entry.
-        let record = &route.selection.record;
-        let load_us = if plane.cache.get(record.id).is_some() {
-            0
-        } else {
-            plane.cache.admit(record.clone());
-            let ms = record.size_bytes as f64 / self.cfg.cache_load_bytes_per_ms.max(1) as f64;
-            (ms * 1000.0) as u64
-        };
-
-        // Real inference when an executable is installed and the batch
-        // carries features: the micro-batcher feeds nn/quant directly.
-        if let Some(exec) = plane.exec.get(&record.id) {
-            let dim = live.iter().find_map(|r| r.features.as_ref().map(Vec::len));
-            if let Some(dim) = dim {
-                let rows: Vec<&Request> = live
-                    .iter()
-                    .filter(|r| r.features.as_ref().map(Vec::len) == Some(dim))
-                    .collect();
-                if !rows.is_empty() {
-                    let mut data = Vec::with_capacity(rows.len() * dim);
-                    for r in &rows {
-                        data.extend_from_slice(r.features.as_ref().expect("filtered"));
-                    }
-                    let x = Tensor::from_vec(data, &[rows.len(), dim]);
-                    let preds = exec.predict(&x);
-                    stats.real_predictions += preds.len() as u64;
-                }
-            }
-        }
-
-        // Virtual execution cost: per-batch overhead + artifact load +
-        // sequential per-item inference at the selected variant's speed.
-        let per_item_us = (route.selection.latency_ms * 1000.0) as u64;
-        let service_us = self.cfg.dispatch_overhead_us + load_us + per_item_us * live.len() as u64;
-        let start = plane.router.free_at(route.device_index, now);
-        let done_us = start + service_us.max(1);
-        plane.router.occupy(route.device_index, done_us);
-        // §IV: inference drains the device battery.
-        let energy = route.selection.energy_mj * live.len() as f64;
-        let _ = plane.router.fleet.devices[route.device_index]
-            .state
-            .battery
-            .drain_mj(energy);
-
-        let idx = inflight.len();
-        inflight.push(Some(InFlight {
-            requests: live,
-            done_us,
-        }));
-        timers.push(Reverse((done_us, *seq, Timer::BatchDone(idx))));
-        *seq += 1;
+        Ok(engine.finish(plane))
     }
 }
 

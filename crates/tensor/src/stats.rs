@@ -88,6 +88,26 @@ impl RunningStats {
         self.max
     }
 
+    /// Reconstruct an accumulator from a five-number summary
+    /// `(count, mean, population std, min, max)` — the inverse of reading
+    /// those fields off a finished accumulator. Lets an aggregator absorb
+    /// already-summarized remote series (e.g. per-node telemetry timer
+    /// summaries) into a running sink via [`RunningStats::merge`], exactly
+    /// for count/mean/min/max and to pooled-variance accuracy for std.
+    #[must_use]
+    pub fn from_summary(count: u64, mean: f64, std: f64, min: f64, max: f64) -> Self {
+        if count == 0 {
+            return RunningStats::new();
+        }
+        RunningStats {
+            n: count,
+            mean,
+            m2: std * std * count as f64,
+            min,
+            max,
+        }
+    }
+
     /// Merge another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.n == 0 {
@@ -310,6 +330,43 @@ mod tests {
         assert!((left.mean() - all.mean()).abs() < 1e-9);
         assert!((left.variance() - all.variance()).abs() < 1e-9);
         assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn from_summary_round_trips_through_merge() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64) * 0.7 - 3.0).collect();
+        let mut direct = RunningStats::new();
+        for &x in &xs {
+            direct.push(x);
+        }
+        let rebuilt = RunningStats::from_summary(
+            direct.count(),
+            direct.mean(),
+            direct.std_dev(),
+            direct.min(),
+            direct.max(),
+        );
+        assert_eq!(rebuilt.count(), direct.count());
+        assert!((rebuilt.mean() - direct.mean()).abs() < 1e-12);
+        assert!((rebuilt.std_dev() - direct.std_dev()).abs() < 1e-9);
+        // Absorbing a summary into a live sink equals having seen the
+        // samples (to pooled-variance accuracy).
+        let mut sink = RunningStats::new();
+        sink.push(100.0);
+        let mut expect = RunningStats::new();
+        expect.push(100.0);
+        for &x in &xs {
+            expect.push(x);
+        }
+        sink.merge(&rebuilt);
+        assert_eq!(sink.count(), expect.count());
+        assert!((sink.mean() - expect.mean()).abs() < 1e-9);
+        assert!((sink.std_dev() - expect.std_dev()).abs() < 1e-6);
+        assert_eq!(sink.min(), expect.min());
+        assert_eq!(sink.max(), expect.max());
+        // Empty summaries are merge identities.
+        let empty = RunningStats::from_summary(0, 0.0, 0.0, 0.0, 0.0);
+        assert_eq!(empty.count(), 0);
     }
 
     #[test]

@@ -1,24 +1,49 @@
-//! Offline shim for `rayon`: ordered parallel map / for-each over slices,
-//! implemented with scoped OS threads. Only the adapters this workspace
-//! uses are provided (`par_iter`, `par_iter_mut`, `par_chunks_mut`,
-//! `map`, `enumerate`, `for_each`, `collect`).
+//! Offline shim for `rayon`: ordered parallel map / for-each over slices
+//! plus `join`, executed on a persistent worker pool ([`pool`]) instead of
+//! spawning OS threads per region. Only the adapters this workspace uses
+//! are provided (`par_iter`, `par_iter_mut`, `par_chunks_mut`, `map`,
+//! `enumerate`, `for_each`, `collect`, `join`).
+//!
+//! Ordering guarantees (documented in `shims/README.md`): every adapter
+//! assigns each element/chunk a fixed index and each task writes only its
+//! own output slot, so results are bit-identical to a sequential run
+//! regardless of worker count or scheduling. Side effects still interleave
+//! nondeterministically, as with real rayon.
 
-use std::thread;
+pub mod pool;
+
+pub use pool::join;
+
+use pool::run_region;
 
 pub mod prelude {
     //! Glob-import surface, mirroring `rayon::prelude`.
     pub use crate::{ParallelSlice, ParallelSliceMut};
 }
 
-fn pool_size(work_items: usize) -> usize {
-    if work_items < 2 {
-        return 1;
+/// Pointer wrapper for handing disjoint `&mut` slots to pool tasks. Each
+/// index is claimed exactly once (see [`pool`]), so no two tasks alias.
+struct SendPtr<T>(*mut T);
+
+// SAFETY: tasks access disjoint offsets; the region completes before the
+// borrow the pointer came from ends.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Closures must call this (capturing the whole
+    /// wrapper) rather than touch `.0` — edition-2021 precise captures
+    /// would otherwise capture the bare `*mut T`, which is not `Sync`.
+    fn get(&self) -> *mut T {
+        self.0
     }
-    thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(8)
-        .min(work_items)
+}
+
+/// Contiguous index blocks: enough per-task work to amortize dispatch,
+/// enough blocks (4 per thread) for the atomic-index claim to balance
+/// uneven task costs.
+fn block_size(n: usize) -> usize {
+    n.div_ceil(pool::effective_threads() * 4).max(1)
 }
 
 /// `par_iter` on shared slices (and, via deref, `Vec`).
@@ -75,7 +100,14 @@ impl<'a, T: Sync> ParIter<'a, T> {
     where
         F: Fn(&'a T) + Sync,
     {
-        let _: Vec<()> = self.map(f).collect();
+        let items = self.items;
+        let n = items.len();
+        let bs = block_size(n);
+        run_region(n.div_ceil(bs), &|bi| {
+            for item in &items[bi * bs..((bi + 1) * bs).min(n)] {
+                f(item);
+            }
+        });
     }
 }
 
@@ -93,22 +125,25 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         F: Fn(&'a T) -> R + Sync,
         C: FromIterator<R>,
     {
-        let n = self.items.len();
-        let workers = pool_size(n);
-        if workers == 1 {
-            return self.items.iter().map(&self.f).collect();
-        }
-        let chunk = n.div_ceil(workers);
+        let items = self.items;
+        let n = items.len();
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(n, || None);
+        let out = SendPtr(slots.as_mut_ptr());
         let f = &self.f;
-        let per_chunk: Vec<Vec<R>> = thread::scope(|s| {
-            let handles: Vec<_> = self
-                .items
-                .chunks(chunk)
-                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let bs = block_size(n);
+        run_region(n.div_ceil(bs), &|bi| {
+            // One index drives a slice read and a disjoint slot write.
+            #[allow(clippy::needless_range_loop)]
+            for i in bi * bs..((bi + 1) * bs).min(n) {
+                // SAFETY: slot `i` belongs to exactly one block/task.
+                unsafe { *out.get().add(i) = Some(f(&items[i])) };
+            }
         });
-        per_chunk.into_iter().flatten().collect()
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index executed"))
+            .collect()
     }
 }
 
@@ -124,16 +159,13 @@ impl<'a, T: Send> ParIterMut<'a, T> {
         F: Fn(&mut T) + Sync,
     {
         let n = self.items.len();
-        let workers = pool_size(n);
-        if workers == 1 {
-            self.items.iter_mut().for_each(f);
-            return;
-        }
-        let chunk = n.div_ceil(workers);
-        let f = &f;
-        thread::scope(|s| {
-            for c in self.items.chunks_mut(chunk) {
-                s.spawn(move || c.iter_mut().for_each(f));
+        let base = SendPtr(self.items.as_mut_ptr());
+        let bs = block_size(n);
+        run_region(n.div_ceil(bs), &|bi| {
+            for i in bi * bs..((bi + 1) * bs).min(n) {
+                // SAFETY: element `i` belongs to exactly one block/task,
+                // and the region outlives no borrows (blocks until done).
+                f(unsafe { &mut *base.get().add(i) });
             }
         });
     }
@@ -164,32 +196,31 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
 pub struct ParChunksMutEnumerate<'a, T>(ParChunksMut<'a, T>);
 
 impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
-    /// Run `f` on every `(index, chunk)` pair in parallel.
+    /// Run `f` on every `(index, chunk)` pair in parallel. One chunk is
+    /// one pool task — chunks (GEMM M-tile slabs, QDense batch rows) are
+    /// already the caller's unit of useful work.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn((usize, &mut [T])) + Sync,
     {
-        let mut work: Vec<(usize, &mut [T])> =
-            self.0.items.chunks_mut(self.0.size).enumerate().collect();
-        let workers = pool_size(work.len());
-        if workers == 1 {
-            work.into_iter().for_each(f);
-            return;
-        }
-        let per_worker = work.len().div_ceil(workers);
-        let f = &f;
-        thread::scope(|s| {
-            while !work.is_empty() {
-                let batch: Vec<(usize, &mut [T])> =
-                    work.drain(..per_worker.min(work.len())).collect();
-                s.spawn(move || batch.into_iter().for_each(f));
-            }
+        let n = self.0.items.len();
+        let size = self.0.size;
+        let chunks = n.div_ceil(size);
+        let base = SendPtr(self.0.items.as_mut_ptr());
+        run_region(chunks, &|ci| {
+            let start = ci * size;
+            let len = size.min(n - start);
+            // SAFETY: chunk `ci` covers `[start, start + len)`, disjoint
+            // from every other chunk; one task per chunk.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), len) };
+            f((ci, chunk));
         });
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::pool::{with_dispatch, Dispatch};
     use super::prelude::*;
 
     #[test]
@@ -207,6 +238,17 @@ mod tests {
     }
 
     #[test]
+    fn for_each_shared_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let data: Vec<u64> = (0..4001).collect();
+        let sum = AtomicU64::new(0);
+        data.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4000 * 4001 / 2);
+    }
+
+    #[test]
     fn chunked_enumerate_covers_all_rows() {
         let mut data = vec![0usize; 12 * 7];
         data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
@@ -217,5 +259,16 @@ mod tests {
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, i / 7);
         }
+    }
+
+    #[test]
+    fn every_dispatch_mode_agrees() {
+        let data: Vec<i64> = (0..2500).map(|i| i * 3 - 700).collect();
+        let run = || -> Vec<i64> { data.par_iter().map(|x| x.wrapping_mul(17) ^ 5).collect() };
+        let pooled = run();
+        let spawned = with_dispatch(Dispatch::Spawn, run);
+        let sequential = with_dispatch(Dispatch::Sequential, run);
+        assert_eq!(pooled, sequential);
+        assert_eq!(spawned, sequential);
     }
 }
