@@ -424,6 +424,7 @@ fn bench_serving_sharded(quick: bool, entries: &mut Vec<Entry>) {
         let cfg = FabricConfig {
             node_weights: vec![1.0; 3],
             tenant_affinity: 0.0,
+            load_factor: f64::INFINITY,
             serve: ServeConfig {
                 cache_budget_bytes: budget,
                 affinity_routing,
@@ -559,6 +560,7 @@ fn bench_serving_live(quick: bool, entries: &mut Vec<Entry>) {
         let cfg = FabricConfig {
             node_weights: vec![1.0; 3],
             tenant_affinity: 0.0,
+            load_factor: f64::INFINITY,
             serve: ServeConfig::default(),
         };
         let fleets =

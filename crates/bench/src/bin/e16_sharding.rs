@@ -75,6 +75,7 @@ fn synthetic_fabric(
         // Spread every family across every node — the worst case for
         // per-node residency, where the device-level score must earn it.
         tenant_affinity: 0.0,
+        load_factor: f64::INFINITY,
         serve: ServeConfig {
             cache_budget_bytes,
             affinity_routing,

@@ -428,6 +428,61 @@ impl Platform {
         self.telemetry.absorb_report(&report.fabric.telemetry);
         Ok(report)
     }
+
+    /// Replay a traffic plan through a freshly built fabric while
+    /// executing operator-triggered live migrations
+    /// ([`tinymlops_serve::MigrationSpec`]) at their scheduled stream
+    /// instants: tenants move between serving nodes *with requests in
+    /// flight* — queued work spliced, dispatched work drained in place,
+    /// the quota partition and audit chain handed off atomically under a
+    /// `meter` handoff entry. Returns the fleet report plus one
+    /// [`tinymlops_serve::MigrationRecord`] per spec; deterministic per
+    /// plan seed.
+    pub fn serve_traffic_migrating(
+        &mut self,
+        plan: &tinymlops_serve::LoadPlan,
+        cfg: &tinymlops_serve::FabricConfig,
+        specs: &[tinymlops_serve::MigrationSpec],
+    ) -> Result<
+        (
+            tinymlops_serve::FabricReport,
+            Vec<tinymlops_serve::MigrationRecord>,
+        ),
+        PlatformError,
+    > {
+        let mut fabric = self.build_fabric(plan, cfg)?;
+        let stream = plan.generate();
+        let (report, records) = fabric.run_migrating(&stream, specs)?;
+        self.telemetry.absorb_report(&report.telemetry);
+        self.telemetry.add("serve.migrations", records.len() as u64);
+        Ok((report, records))
+    }
+
+    /// [`Platform::serve_traffic_migrating`] on the wall-clock backend:
+    /// the migrations execute across live node threads (drain/adopt
+    /// control entries through the bounded ingest queues). With
+    /// [`tinymlops_serve::ExecMode::Replay`] the report *and* the
+    /// migration records are bit-identical to the simulated path.
+    pub fn serve_traffic_live_migrating(
+        &mut self,
+        plan: &tinymlops_serve::LoadPlan,
+        cfg: &tinymlops_serve::FabricConfig,
+        exec: &tinymlops_serve::ExecConfig,
+        specs: &[tinymlops_serve::MigrationSpec],
+    ) -> Result<
+        (
+            tinymlops_serve::LiveReport,
+            Vec<tinymlops_serve::MigrationRecord>,
+        ),
+        PlatformError,
+    > {
+        let mut fabric = self.build_fabric(plan, cfg)?;
+        let stream = plan.generate();
+        let (report, records) = fabric.run_live_migrating(&stream, exec, specs)?;
+        self.telemetry.absorb_report(&report.fabric.telemetry);
+        self.telemetry.add("serve.migrations", records.len() as u64);
+        Ok((report, records))
+    }
 }
 
 #[cfg(test)]
@@ -670,6 +725,57 @@ mod tests {
                 .expect("fleet timer summaries land in platform telemetry");
             assert_eq!(timer.count, sim_report.fleet.served);
         }
+    }
+
+    #[test]
+    fn triggered_migration_moves_tenant_and_stays_bit_exact() {
+        use tinymlops_serve::{
+            ExecConfig, FabricConfig, LoadPlan, MigrationPhase, MigrationSpec, TenantSpec,
+        };
+        let mut p = platform();
+        let (model, train, test) = trained();
+        p.publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)
+            .unwrap();
+        let plan = LoadPlan {
+            tenants: (0..6u32)
+                .map(|i| TenantSpec {
+                    id: i + 1,
+                    rate_rps: 300.0,
+                    model: "digits".into(),
+                    prepaid_queries: 10_000,
+                    deadline_us: 500_000,
+                })
+                .collect(),
+            duration_us: 1_000_000,
+            seed: 33,
+            feature_dim: 0,
+        };
+        let cfg = FabricConfig::default();
+        // Find tenant 1's hash-derived home so the spec moves it for real.
+        let probe = p.build_fabric(&plan, &cfg).unwrap();
+        let from = probe.home_node(1).unwrap();
+        let to = (0..3).find(|n| *n != from).unwrap();
+        drop(probe);
+        let specs = [MigrationSpec {
+            tenant: 1,
+            to,
+            trigger_us: 400_000,
+        }];
+        let (report, records) = p.serve_traffic_migrating(&plan, &cfg, &specs).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].phase, MigrationPhase::Resumed);
+        assert_eq!((records[0].from, records[0].to), (from, to));
+        assert!(report.refunds_balance());
+        assert_eq!(p.telemetry.counter("serve.migrations"), 1);
+        // The threaded backend replays the same migration bit-exactly.
+        let mut q = platform();
+        q.publish("digits", &model, SemVer::new(1, 0, 0), &train, &test)
+            .unwrap();
+        let (live, live_records) = q
+            .serve_traffic_live_migrating(&plan, &cfg, &ExecConfig::default(), &specs)
+            .unwrap();
+        assert_eq!(live.fabric, report);
+        assert_eq!(live_records, records.clone());
     }
 
     #[test]

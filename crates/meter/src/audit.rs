@@ -25,6 +25,25 @@ pub enum EntryKind {
     /// are chain entries, not edits: billing reconciles the *net* count,
     /// and a tamperer cannot mint refunds without the sealing key.
     Refund,
+    /// The whole quota partition (balance + this chain) moved between
+    /// serving nodes in a live migration. The payload packs the source
+    /// and destination node ids (`from << 32 | to`), so billing can see
+    /// *where* every span of queries was metered and a tamperer cannot
+    /// silently re-home an account: the handoff is part of the sealed
+    /// history itself.
+    Handoff,
+}
+
+/// Pack a `(from, to)` node pair into a [`EntryKind::Handoff`] payload.
+#[must_use]
+pub fn handoff_payload(from: u32, to: u32) -> u64 {
+    (u64::from(from) << 32) | u64::from(to)
+}
+
+/// Unpack a [`EntryKind::Handoff`] payload into its `(from, to)` pair.
+#[must_use]
+pub fn handoff_nodes(payload: u64) -> (u32, u32) {
+    ((payload >> 32) as u32, payload as u32)
 }
 
 /// One link in the audit chain.
@@ -57,6 +76,7 @@ fn entry_mac(
         EntryKind::Redeem => 1,
         EntryKind::Checkpoint => 2,
         EntryKind::Refund => 3,
+        EntryKind::Handoff => 4,
     });
     msg.extend_from_slice(&payload.to_le_bytes());
     msg.extend_from_slice(&time_ms.to_le_bytes());
@@ -170,6 +190,15 @@ impl AuditLog {
     pub fn net_query_count(&self) -> u64 {
         self.query_count().saturating_sub(self.refund_count())
     }
+
+    /// Count of node-to-node handoff entries (live tenant migrations).
+    #[must_use]
+    pub fn handoff_count(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == EntryKind::Handoff)
+            .count() as u64
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +303,38 @@ mod tests {
         let mut forged = log.clone();
         forged.entries[2].payload = 5;
         assert!(forged.verify(&key()).is_err());
+    }
+
+    #[test]
+    fn handoff_entries_are_chained_and_billing_neutral() {
+        let mut log = AuditLog::new(key());
+        log.append(EntryKind::Redeem, 1000, 0);
+        log.append(EntryKind::Query, 5, 1);
+        log.append(EntryKind::Handoff, handoff_payload(2, 0), 2);
+        log.append(EntryKind::Query, 3, 3);
+        log.verify(&key()).unwrap();
+        assert_eq!(log.handoff_count(), 1);
+        assert_eq!(log.query_count(), 8, "queries span the handoff");
+        assert_eq!(log.net_query_count(), 8, "handoffs are billing-neutral");
+        assert_eq!(handoff_nodes(handoff_payload(2, 0)), (2, 0));
+        // Re-homing the account by editing the handoff breaks the chain.
+        let mut forged = log.clone();
+        forged.entries[2].payload = handoff_payload(2, 1);
+        assert!(forged.verify(&key()).is_err());
+    }
+
+    #[test]
+    fn handoff_kind_is_domain_separated() {
+        // Same payload/time, different kind ⇒ different link: a tamperer
+        // cannot relabel a Query as a Handoff (or vice versa) in place.
+        let mut as_query = AuditLog::new(key());
+        as_query.append(EntryKind::Query, 7, 9);
+        let mut as_handoff = AuditLog::new(key());
+        as_handoff.append(EntryKind::Handoff, 7, 9);
+        assert_ne!(as_query.head(), as_handoff.head());
+        let mut relabeled = as_query.clone();
+        relabeled.entries[0].kind = EntryKind::Handoff;
+        assert!(relabeled.verify(&key()).is_err());
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod quota;
 pub mod sync;
 pub mod voucher;
 
-pub use audit::{AuditEntry, AuditLog, EntryKind};
+pub use audit::{handoff_nodes, handoff_payload, AuditEntry, AuditLog, EntryKind};
 pub use billing::{Invoice, RateCard};
 pub use quota::{QuotaManager, QuotaStatus};
 pub use sync::{SyncOutcome, SyncServer};

@@ -82,6 +82,19 @@ impl QuotaManager {
         self.log.append(EntryKind::Refund, n, time_ms);
     }
 
+    /// Record a node-to-node handoff of this whole quota partition (live
+    /// tenant migration). The entry seals the re-homing into the chain:
+    /// balance and history are unchanged, but a verifier can see exactly
+    /// when the account moved and between which serving nodes, and a
+    /// tamperer without the key cannot forge or relocate the move.
+    pub fn handoff(&mut self, from_node: u32, to_node: u32, time_ms: u64) {
+        self.log.append(
+            EntryKind::Handoff,
+            crate::audit::handoff_payload(from_node, to_node),
+            time_ms,
+        );
+    }
+
     /// Borrow the audit log (for sync/billing).
     #[must_use]
     pub fn log(&self) -> &AuditLog {
@@ -153,6 +166,19 @@ mod tests {
         assert_eq!(m.log().query_count(), 4);
         assert_eq!(m.log().refund_count(), 2);
         assert_eq!(m.log().net_query_count(), 2);
+        m.log().verify(&[1u8; 32]).unwrap();
+    }
+
+    #[test]
+    fn handoff_preserves_balance_and_verifies() {
+        let mut m = mgr();
+        m.credit(10, 1, 0);
+        m.consume(3, 1).unwrap();
+        m.handoff(0, 2, 5);
+        m.consume(2, 6).unwrap();
+        assert_eq!(m.balance(), 5, "handoff moves, never mints or burns");
+        assert_eq!(m.log().handoff_count(), 1);
+        assert_eq!(m.log().query_count(), 5, "queries span the handoff");
         m.log().verify(&[1u8; 32]).unwrap();
     }
 

@@ -135,6 +135,52 @@ impl MicroBatcher {
             .min_by_key(|(_, t)| *t)
     }
 
+    /// Splice one tenant's queued requests out of every family queue,
+    /// preserving their relative arrival order. Used by the live-migration
+    /// drain: the spliced requests were already admitted (and charged) on
+    /// the draining node, so they travel with the tenant's account and
+    /// re-enter the destination node's queues without a second admission.
+    ///
+    /// Splicing can change a queue's oldest member; callers that armed a
+    /// deadline timer for the old front must re-arm from
+    /// [`MicroBatcher::next_deadline_us`] (stale timers are harmless, a
+    /// missing one stalls the queue).
+    pub fn splice_tenant(&mut self, tenant: crate::request::TenantId) -> Vec<Request> {
+        let mut spliced = Vec::new();
+        for queue in self.queues.values_mut() {
+            let mut kept = VecDeque::with_capacity(queue.len());
+            for request in queue.drain(..) {
+                if request.tenant == tenant {
+                    spliced.push(request);
+                } else {
+                    kept.push_back(request);
+                }
+            }
+            *queue = kept;
+        }
+        self.pending -= spliced.len();
+        spliced.sort_by_key(|r| (r.arrival_us, r.id));
+        spliced
+    }
+
+    /// Deadline-trigger times per non-empty family queue (front arrival +
+    /// delay budget) — what a scheduler must have armed for no queue to
+    /// stall. Used to re-arm after a splice changed queue fronts.
+    #[must_use]
+    pub fn flush_deadlines(&self) -> Vec<(String, u64)> {
+        self.queues
+            .iter()
+            .filter_map(|(family, q)| {
+                q.front().map(|r| {
+                    (
+                        family.clone(),
+                        r.arrival_us.saturating_add(self.policy.max_delay_us),
+                    )
+                })
+            })
+            .collect()
+    }
+
     /// Drain every queue (end of run), preserving FIFO order.
     pub fn drain(&mut self) -> Vec<Batch> {
         let families: Vec<String> = self
@@ -268,6 +314,26 @@ mod tests {
             }
         }
         panic!("batch never flushed");
+    }
+
+    #[test]
+    fn splice_extracts_one_tenant_in_arrival_order() {
+        let mut b = MicroBatcher::new(BatchPolicy {
+            max_batch: 8,
+            max_delay_us: 1_000,
+        });
+        b.push(req(0, 7, "a", 0));
+        b.push(req(1, 9, "a", 5));
+        b.push(req(2, 7, "b", 3));
+        b.push(req(3, 7, "a", 9));
+        let spliced = b.splice_tenant(7);
+        let ids: Vec<u64> = spliced.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 2, 3], "tenant 7's requests, arrival order");
+        assert_eq!(b.pending(), 1, "tenant 9 stays queued");
+        // Family a's front changed (id 0 → id 1): the re-arm schedule
+        // reflects the surviving front, family b is empty and absent.
+        assert_eq!(b.flush_deadlines(), vec![("a".to_string(), 1_005)]);
+        assert!(b.splice_tenant(7).is_empty(), "splice is idempotent");
     }
 
     #[test]

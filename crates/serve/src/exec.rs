@@ -26,14 +26,32 @@
 //!   queue waits. Timing-dependent outcomes are no longer deterministic,
 //!   but the conservation laws (served + shed = arrivals, refunds match
 //!   downstream sheds, quota balances) still hold exactly.
+//!
+//! **Live migration** rides the same queues: a scheduled
+//! [`crate::MigrationSpec`] makes the feeder inject a drain control
+//! entry into the source node's queue (in stream position, so the drain
+//! set is exactly what the simulator's would be), wait for the node
+//! thread to splice its batcher and detach the account, then hand the
+//! sealed handoff package (account + spliced work) to the destination's
+//! queue before any of the tenant's rerouted traffic. Replay-mode migrations
+//! are bit-identical to [`crate::ServeFabric::run_migrating`]; wall-mode
+//! migrations additionally splice the tenant's not-yet-ingested arrivals
+//! out of the source's [`IngestQueue`] ([`IngestQueue::splice`]) so even
+//! queued-but-unseen work follows the account without dropping or
+//! double-billing.
 
 use crate::clock::{Clock, WallClock};
-use crate::fabric::{FabricReport, ServeFabric};
-use crate::request::Request;
+use crate::fabric::{
+    adopt_destination, drain_source, FabricReport, HandoffPackage, MigrationPhase, MigrationRecord,
+    MigrationSpec, ServeFabric,
+};
+use crate::request::{Request, TenantId};
+use crate::shard::NodeId;
 use crate::sim::{ServeConfig, ServeEngine, ServePlane};
 use crate::stats::ServeStats;
 use crate::ServeError;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tinymlops_observe::Telemetry;
@@ -93,18 +111,43 @@ impl LiveReport {
     }
 }
 
+/// What flows through a node's ingest queue: ordinary arrivals plus the
+/// live-migration control entries. Controls ride *in stream position*,
+/// so a node thread executes them after exactly the same prefix of its
+/// traffic as the simulator would — that positional guarantee is what
+/// makes replay-mode migrations bit-identical.
+pub(crate) enum Ingest {
+    /// One routed inference request.
+    Arrival(Request),
+    /// Migration source side: drain the tenant at `at_us` and send the
+    /// sealed handoff package back to the coordinating feeder.
+    Drain {
+        tenant: TenantId,
+        from: NodeId,
+        to: NodeId,
+        at_us: u64,
+        reply: mpsc::Sender<HandoffPackage>,
+    },
+    /// Migration destination side: attach the account and re-enqueue the
+    /// spliced in-flight work.
+    Adopt {
+        tenant: TenantId,
+        package: HandoffPackage,
+    },
+}
+
 /// Result of a queue pop with an optional timer deadline.
-enum Popped {
-    /// An arrival.
-    Item(Request),
+enum Popped<T> {
+    /// An item arrived.
+    Item(T),
     /// The requested deadline passed with no arrival.
     TimerDue,
-    /// Queue closed and drained: no more arrivals, ever.
+    /// Queue closed and drained: no more items, ever.
     Closed,
 }
 
-struct QueueState {
-    items: VecDeque<Request>,
+struct QueueState<T> {
+    items: VecDeque<T>,
     closed: bool,
 }
 
@@ -114,15 +157,15 @@ struct QueueState {
 /// requests at multi-microsecond service granularity, so the lock is
 /// never the bottleneck, and a bounded buffer gives real backpressure
 /// (a slow node stalls its producer instead of hiding behind RAM).
-pub struct IngestQueue {
-    state: Mutex<QueueState>,
+pub struct IngestQueue<T> {
+    state: Mutex<QueueState<T>>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
 }
 
-impl IngestQueue {
-    /// A queue holding at most `capacity` requests.
+impl<T> IngestQueue<T> {
+    /// A queue holding at most `capacity` items.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         IngestQueue {
@@ -137,8 +180,8 @@ impl IngestQueue {
     }
 
     /// Enqueue, blocking while the queue is full. Returns `false` (and
-    /// drops the request) iff the queue is closed.
-    pub fn push(&self, request: Request) -> bool {
+    /// drops the item) iff the queue is closed.
+    pub fn push(&self, item: T) -> bool {
         let mut state = self.state.lock().unwrap();
         while state.items.len() >= self.capacity && !state.closed {
             state = self.not_full.wait(state).unwrap();
@@ -146,14 +189,14 @@ impl IngestQueue {
         if state.closed {
             return false;
         }
-        state.items.push_back(request);
+        state.items.push_back(item);
         drop(state);
         self.not_empty.notify_one();
         true
     }
 
     /// Dequeue, blocking until an item arrives or the queue closes.
-    pub fn pop(&self) -> Option<Request> {
+    pub fn pop(&self) -> Option<T> {
         match self.pop_inner(None, None) {
             Popped::Item(r) => Some(r),
             Popped::Closed => None,
@@ -163,17 +206,17 @@ impl IngestQueue {
 
     /// Dequeue, or give up once `wall` reaches `deadline_us` (used by
     /// wall-mode nodes to wake for due batch flushes and completions).
-    fn pop_until(&self, deadline_us: Option<u64>, wall: &WallClock) -> Popped {
+    fn pop_until(&self, deadline_us: Option<u64>, wall: &WallClock) -> Popped<T> {
         self.pop_inner(deadline_us, Some(wall))
     }
 
-    fn pop_inner(&self, deadline_us: Option<u64>, wall: Option<&WallClock>) -> Popped {
+    fn pop_inner(&self, deadline_us: Option<u64>, wall: Option<&WallClock>) -> Popped<T> {
         let mut state = self.state.lock().unwrap();
         loop {
-            if let Some(request) = state.items.pop_front() {
+            if let Some(item) = state.items.pop_front() {
                 drop(state);
                 self.not_full.notify_one();
-                return Popped::Item(request);
+                return Popped::Item(item);
             }
             if state.closed {
                 return Popped::Closed;
@@ -205,6 +248,45 @@ impl IngestQueue {
         self.not_full.notify_all();
     }
 
+    /// Close *and drop* everything still buffered. Used when this queue's
+    /// consumer is gone for good (node worker errored or panicked):
+    /// buffered items can never be processed, and dropping them releases
+    /// whatever they carry — in particular a buffered migration drain's
+    /// reply channel, which unblocks the coordinating feeder.
+    pub(crate) fn close_and_clear(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        state.items.clear();
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Remove and return every buffered item matching `pred`, preserving
+    /// order among both the spliced and the survivors. The wall-mode
+    /// migration path uses this to pull a draining tenant's
+    /// not-yet-ingested arrivals out of the source node's queue so they
+    /// can follow the account to its new home instead of being served by
+    /// (or lost with) the old one.
+    pub fn splice(&self, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut state = self.state.lock().unwrap();
+        let mut kept = VecDeque::with_capacity(state.items.len());
+        let mut spliced = Vec::new();
+        for item in state.items.drain(..) {
+            if pred(&item) {
+                spliced.push(item);
+            } else {
+                kept.push_back(item);
+            }
+        }
+        state.items = kept;
+        drop(state);
+        if !spliced.is_empty() {
+            self.not_full.notify_all();
+        }
+        spliced
+    }
+
     /// Items currently buffered.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -219,14 +301,16 @@ impl IngestQueue {
 }
 
 /// Closes a node's ingest queue when its worker exits — normally a no-op
-/// (the feeder closed it first), but on an early error return or a panic
-/// it flips the queue to refuse further pushes, so the bounded feeder
-/// cannot block forever against a consumer that will never drain it.
-struct CloseOnExit<'a>(&'a IngestQueue);
+/// (the feeder closed it first and the queue is empty), but on an early
+/// error return or a panic it flips the queue to refuse further pushes
+/// and drops whatever is buffered, so the bounded feeder cannot block
+/// forever against a consumer that will never drain it and a buffered
+/// drain control's reply channel is released.
+struct CloseOnExit<'a, T>(&'a IngestQueue<T>);
 
-impl Drop for CloseOnExit<'_> {
+impl<T> Drop for CloseOnExit<'_, T> {
     fn drop(&mut self) {
-        self.0.close();
+        self.0.close_and_clear();
     }
 }
 
@@ -235,7 +319,7 @@ fn node_worker(
     plane: &mut ServePlane,
     telemetry: &Telemetry,
     serve_cfg: &ServeConfig,
-    queue: &IngestQueue,
+    queue: &IngestQueue<Ingest>,
     mode: ExecMode,
     wall: &WallClock,
 ) -> Result<ServeStats, ServeError> {
@@ -244,34 +328,66 @@ fn node_worker(
         return Err(ServeError::NoFamilies);
     }
     let mut engine = ServeEngine::new(serve_cfg.clone(), Some(telemetry));
-    match mode {
-        ExecMode::Replay => {
-            while let Some(request) = queue.pop() {
-                engine.run_timers_through(plane, request.arrival_us, true);
-                engine.on_arrival(plane, &request);
-            }
-            Ok(engine.finish(plane))
-        }
-        ExecMode::Wall => {
-            loop {
-                match queue.pop_until(engine.next_timer_us(), wall) {
-                    Popped::Item(mut request) => {
-                        let now = wall.now_us();
-                        engine.run_timers_through(plane, now, true);
+    let handle = |engine: &mut ServeEngine<'_>, plane: &mut ServePlane, item: Ingest| {
+        match item {
+            Ingest::Arrival(mut request) => {
+                let now = match mode {
+                    ExecMode::Replay => request.arrival_us,
+                    ExecMode::Wall => {
                         // Stamped at the gateway door: latency and batch
                         // deadlines measure real elapsed time from here.
+                        let now = wall.now_us();
                         request.arrival_us = now;
-                        engine.on_arrival(plane, &request);
+                        now
                     }
-                    Popped::TimerDue => {
-                        engine.run_timers_through(plane, wall.now_us(), true);
-                    }
-                    Popped::Closed => break,
+                };
+                engine.run_timers_through(plane, now, true);
+                engine.on_arrival(plane, &request);
+            }
+            Ingest::Drain {
+                tenant,
+                from,
+                to,
+                at_us,
+                reply,
+            } => {
+                let now = match mode {
+                    ExecMode::Replay => at_us,
+                    ExecMode::Wall => wall.now_us(),
+                };
+                engine.run_timers_through(plane, now, true);
+                if let Some(package) = drain_source(engine, plane, tenant, from, to, now) {
+                    // A closed reply channel means the feeder gave up
+                    // (its own error path); the drop is safe either way.
+                    let _ = reply.send(package);
                 }
             }
-            Ok(engine.finish(plane))
+            Ingest::Adopt { tenant, package } => {
+                let at_us = match mode {
+                    ExecMode::Replay => package.handoff_us,
+                    ExecMode::Wall => wall.now_us(),
+                };
+                adopt_destination(engine, plane, tenant, package, at_us);
+            }
         }
+    };
+    match mode {
+        ExecMode::Replay => {
+            while let Some(item) = queue.pop() {
+                handle(&mut engine, plane, item);
+            }
+        }
+        ExecMode::Wall => loop {
+            match queue.pop_until(engine.next_timer_us(), wall) {
+                Popped::Item(item) => handle(&mut engine, plane, item),
+                Popped::TimerDue => {
+                    engine.run_timers_through(plane, wall.now_us(), true);
+                }
+                Popped::Closed => break,
+            }
+        },
     }
+    Ok(engine.finish(plane))
 }
 
 /// Run `stream` through `fabric` with one OS thread per serving node.
@@ -287,14 +403,38 @@ pub fn run_fabric_live(
     stream: &[Request],
     cfg: &ExecConfig,
 ) -> Result<LiveReport, ServeError> {
+    run_fabric_live_migrating(fabric, stream, cfg, &[]).map(|(report, _)| report)
+}
+
+/// [`run_fabric_live`] plus scheduled live migrations: the feeder
+/// doubles as migration coordinator, injecting drain/adopt control
+/// entries into the node queues at the specs' stream positions (see
+/// [`ServeFabric::run_live_migrating`]).
+pub fn run_fabric_live_migrating(
+    fabric: &mut ServeFabric,
+    stream: &[Request],
+    cfg: &ExecConfig,
+    specs: &[MigrationSpec],
+) -> Result<(LiveReport, Vec<MigrationRecord>), ServeError> {
+    for spec in specs {
+        if fabric.home_node(spec.tenant).is_none() {
+            return Err(ServeError::UnknownTenant(spec.tenant));
+        }
+        if !fabric.nodes().iter().any(|n| n.id == spec.to) {
+            return Err(ServeError::UnknownNode(spec.to));
+        }
+    }
     let refunded_before = fabric.refunded_total();
     let serve_cfg = fabric.serve_config().clone();
     let mode = cfg.mode;
     let wall = WallClock::new();
     let start = Instant::now();
+    let mut ordered: Vec<&MigrationSpec> = specs.iter().collect();
+    ordered.sort_by_key(|s| s.trigger_us);
+    let mut records: Vec<MigrationRecord> = Vec::with_capacity(specs.len());
 
     let (nodes, shard_router, assignments) = fabric.split_live();
-    let queues: Vec<IngestQueue> = nodes
+    let queues: Vec<IngestQueue<Ingest>> = nodes
         .iter()
         .map(|_| IngestQueue::new(cfg.queue_capacity))
         .collect();
@@ -313,10 +453,82 @@ pub fn run_fabric_live(
             })
             .collect();
 
-        // The feeder: route at ingest time, in arrival order. Unknown
+        // The feeder: route at ingest time, in arrival order, executing
+        // scheduled migrations at their stream positions. Unknown
         // tenants are still routed (by the same hash) so the owning
         // gateway records the denial, exactly as in the simulator.
+        let mut pending = ordered.into_iter().peekable();
+        let migrate = |spec: &MigrationSpec,
+                       at_us: u64,
+                       assignments: &mut BTreeMap<TenantId, (NodeId, String)>,
+                       shard_router: &mut crate::ShardRouter|
+         -> MigrationRecord {
+            let (from, family) = assignments
+                .get(&spec.tenant)
+                .cloned()
+                .expect("specs are validated before the run starts");
+            let mut record = MigrationRecord::planned(spec, from, at_us);
+            if from == spec.to {
+                record.phase = MigrationPhase::Resumed;
+                return record;
+            }
+            // Wall mode: the tenant's not-yet-ingested arrivals leave the
+            // source's queue now and follow the account (replay keeps
+            // them — the simulator's node already owns them).
+            let held: Vec<Ingest> = if mode == ExecMode::Wall {
+                queues[index_of[&from]]
+                    .splice(|i| matches!(i, Ingest::Arrival(r) if r.tenant == spec.tenant))
+            } else {
+                Vec::new()
+            };
+            let (reply, rx) = mpsc::channel();
+            let accepted = queues[index_of[&from]].push(Ingest::Drain {
+                tenant: spec.tenant,
+                from,
+                to: spec.to,
+                at_us,
+                reply,
+            });
+            if !accepted {
+                // Source worker already exited (error/panic); the node's
+                // failure surfaces after the join. The migration never
+                // started draining.
+                return record;
+            }
+            record.phase = MigrationPhase::Draining;
+            let Ok(package) = rx.recv() else {
+                // Source worker died mid-drain; its error surfaces after
+                // the join.
+                return record;
+            };
+            record.absorb(&package);
+            if !queues[index_of[&spec.to]].push(Ingest::Adopt {
+                tenant: spec.tenant,
+                package,
+            }) {
+                // Destination worker already exited; the account is gone
+                // with its queue and the node's failure ends the run.
+                return record;
+            }
+            record.phase = MigrationPhase::HandedOff;
+            assignments.insert(spec.tenant, (spec.to, family));
+            shard_router.pin(spec.tenant, spec.to);
+            record.queue_spliced = held.len();
+            for item in held {
+                let _ = queues[index_of[&spec.to]].push(item);
+            }
+            record.phase = MigrationPhase::Resumed;
+            record
+        };
+
         for request in stream {
+            while pending
+                .peek()
+                .is_some_and(|sp| sp.trigger_us <= request.arrival_us)
+            {
+                let spec = pending.next().expect("peeked");
+                records.push(migrate(spec, spec.trigger_us, assignments, shard_router));
+            }
             let home = match assignments.get(&request.tenant) {
                 Some((node, _)) => *node,
                 None => shard_router.assign(request.tenant, &request.model),
@@ -327,7 +539,13 @@ pub fn run_fabric_live(
             // A `false` return means the node worker exited early (error
             // or panic) and closed its queue; keep feeding the healthy
             // nodes — the dead node's result surfaces after the join.
-            let _ = queues[index_of[&home]].push(request.clone());
+            let _ = queues[index_of[&home]].push(Ingest::Arrival(request.clone()));
+        }
+        // Triggers past the last arrival execute at end of stream,
+        // mirroring the simulator.
+        let end_us = stream.last().map_or(0, |r| r.arrival_us);
+        for spec in pending {
+            records.push(migrate(spec, end_us, assignments, shard_router));
         }
         for queue in &queues {
             queue.close();
@@ -344,11 +562,14 @@ pub fn run_fabric_live(
         per_node.push((id, result?));
     }
     let fabric_report = fabric.assemble_report(per_node, refunded_before);
-    Ok(LiveReport {
-        fabric: fabric_report,
-        wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        requests: stream.len(),
-    })
+    Ok((
+        LiveReport {
+            fabric: fabric_report,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            requests: stream.len(),
+        },
+        records,
+    ))
 }
 
 #[cfg(test)]
@@ -419,8 +640,54 @@ mod tests {
     }
 
     #[test]
-    fn pop_until_times_out_for_due_timers() {
+    fn close_and_clear_drops_buffered_items() {
         let q = IngestQueue::new(8);
+        assert!(q.push(req(0, 0)));
+        assert!(q.push(req(1, 1)));
+        q.close_and_clear();
+        assert!(q.pop().is_none(), "cleared queue has nothing to drain");
+        assert!(!q.push(req(2, 2)));
+    }
+
+    #[test]
+    fn splice_extracts_matching_items_in_order() {
+        let q = IngestQueue::new(16);
+        for i in 0..10 {
+            assert!(q.push(req(i, i)));
+        }
+        let odd = q.splice(|r| r.id % 2 == 1);
+        assert_eq!(
+            odd.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [1, 3, 5, 7, 9]
+        );
+        q.close();
+        let mut survivors = Vec::new();
+        while let Some(r) = q.pop() {
+            survivors.push(r.id);
+        }
+        assert_eq!(survivors, [0, 2, 4, 6, 8], "survivors keep their order");
+    }
+
+    #[test]
+    fn splice_unblocks_a_full_queue_producer() {
+        let q = IngestQueue::new(2);
+        assert!(q.push(req(0, 0)));
+        assert!(q.push(req(1, 1)));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Queue is full: this blocks until the splice frees a slot.
+                assert!(q.push(req(2, 2)));
+            });
+            std::thread::yield_now();
+            let spliced = q.splice(|r| r.id == 0);
+            assert_eq!(spliced.len(), 1);
+        });
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_until_times_out_for_due_timers() {
+        let q: IngestQueue<Request> = IngestQueue::new(8);
         let wall = WallClock::new();
         let due = wall.now_us() + 2_000;
         match q.pop_until(Some(due), &wall) {

@@ -19,10 +19,20 @@
 //!   [`Telemetry`] sink; a run drains them into one fleet-level
 //!   [`TelemetryReport`] and merges per-node latency accumulators, so
 //!   fleet percentiles are exact, not percentile-of-percentiles.
+//! * **Live migration** — a [`MigrationSpec`] schedules a tenant's
+//!   drain/handoff to another node *mid-stream*: queued work is spliced
+//!   out of the source batcher, dispatched work drains in place, and
+//!   the whole quota partition moves atomically with a
+//!   [`tinymlops_meter::EntryKind::Handoff`] chain entry
+//!   ([`ServeFabric::run_migrating`]; the threaded analogue is
+//!   [`ServeFabric::run_live_migrating`]).
+//! * **Bounded load** — placement caps each node's tenant count at
+//!   [`FabricConfig::load_factor`] × its fair share; hot tenants
+//!   overflow to their next-best rendezvous node.
 
 use crate::request::{Request, ShedReason, TenantId};
 use crate::shard::{NodeId, ShardNode, ShardRouter};
-use crate::sim::{ExecModel, ServeConfig, ServePlane, ServeSim};
+use crate::sim::{ExecModel, ServeConfig, ServeEngine, ServePlane};
 use crate::stats::{ServeReport, ServeStats};
 use crate::ServeError;
 use std::collections::BTreeMap;
@@ -31,6 +41,74 @@ use tinymlops_meter::MeterError;
 use tinymlops_observe::{Telemetry, TelemetryReport};
 use tinymlops_registry::{ModelId, ModelRecord};
 
+/// One node's replay context inside the interleaved fabric loop: its
+/// serving stack plus the event engine driving it (the engine borrows
+/// the node's telemetry sink for the duration of the run).
+struct NodeCtx<'n> {
+    id: NodeId,
+    plane: &'n mut ServePlane,
+    engine: ServeEngine<'n>,
+}
+
+/// Disjoint mutable borrows of two slice elements (source and
+/// destination node of a migration).
+fn two_muts<T>(xs: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j, "migration source and destination must differ");
+    if i < j {
+        let (a, b) = xs.split_at_mut(j);
+        (&mut a[i], &mut b[0])
+    } else {
+        let (a, b) = xs.split_at_mut(i);
+        (&mut b[0], &mut a[j])
+    }
+}
+
+/// Execute one migration inside the simulator's interleaved loop,
+/// walking the full drain/handoff state machine at logical time `at_us`.
+fn execute_migration(
+    ctxs: &mut [NodeCtx<'_>],
+    index: &BTreeMap<NodeId, usize>,
+    assignments: &mut BTreeMap<TenantId, (NodeId, String)>,
+    shard_router: &mut ShardRouter,
+    spec: &MigrationSpec,
+    at_us: u64,
+) -> MigrationRecord {
+    let (from, family) = assignments
+        .get(&spec.tenant)
+        .cloned()
+        .expect("specs are validated before the run starts");
+    let mut record = MigrationRecord::planned(spec, from, at_us);
+    if from == spec.to {
+        // Already home (e.g. a repeated migration of the same tenant):
+        // nothing drains, nothing moves, the routing is already right.
+        record.phase = MigrationPhase::Resumed;
+        return record;
+    }
+    let (src, dst) = two_muts(ctxs, index[&from], index[&spec.to]);
+    // Mark-source-draining: bring the source to the trigger instant.
+    // New work cannot reach it past this point (the routing flip below
+    // is atomic within this same event), so the drain set is closed.
+    src.engine.run_timers_through(src.plane, at_us, true);
+    record.phase = MigrationPhase::Draining;
+    let package = drain_source(
+        &mut src.engine,
+        src.plane,
+        spec.tenant,
+        from,
+        spec.to,
+        at_us,
+    )
+    .expect("validated tenant has an account on its home node");
+    record.absorb(&package);
+    adopt_destination(&mut dst.engine, dst.plane, spec.tenant, package, at_us);
+    record.phase = MigrationPhase::HandedOff;
+    // Flip + pin the assignment; the tenant resumes on its new home.
+    assignments.insert(spec.tenant, (spec.to, family));
+    shard_router.pin(spec.tenant, spec.to);
+    record.phase = MigrationPhase::Resumed;
+    record
+}
+
 /// Fabric construction parameters.
 #[derive(Debug, Clone)]
 pub struct FabricConfig {
@@ -38,6 +116,12 @@ pub struct FabricConfig {
     pub node_weights: Vec<f64>,
     /// Family-affinity blend for tenant placement (see [`ShardRouter`]).
     pub tenant_affinity: f64,
+    /// Bounded-load factor for tenant placement: a node's tenant count is
+    /// capped at `load_factor ×` its weight-proportional share, and a hot
+    /// tenant overflows to its next-best rendezvous node
+    /// ([`ShardRouter::assign_bounded`]). `f64::INFINITY` (the default)
+    /// disables the bound (pure rendezvous); finite values must be ≥ 1.
+    pub load_factor: f64,
     /// Per-node serving configuration (every node runs the same policy).
     pub serve: ServeConfig,
 }
@@ -47,9 +131,172 @@ impl Default for FabricConfig {
         FabricConfig {
             node_weights: vec![1.0; 3],
             tenant_affinity: 0.5,
+            load_factor: f64::INFINITY,
             serve: ServeConfig::default(),
         }
     }
+}
+
+/// One scheduled live migration: move `tenant`'s account (and any
+/// in-flight work) to node `to`, starting the drain at `trigger_us` in
+/// the traffic stream's logical time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationSpec {
+    /// The tenant to move.
+    pub tenant: TenantId,
+    /// Destination node (must be live when the run starts).
+    pub to: NodeId,
+    /// Logical time at which the source node stops admitting the
+    /// tenant's new work and the drain begins. The migration executes
+    /// just before the first stream arrival at or after this instant (or
+    /// at end of stream if no arrival follows).
+    pub trigger_us: u64,
+}
+
+/// Where a migration is in its drain/handoff protocol. Phases advance
+/// strictly forward; a failed live node leaves the record frozen at the
+/// last phase it reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MigrationPhase {
+    /// Scheduled, not yet triggered.
+    Planned,
+    /// Source marked draining: the tenant's new arrivals no longer reach
+    /// the old home, queued work is being spliced out of its batcher.
+    Draining,
+    /// Quota partition + audit chain handed off atomically (sealed by a
+    /// [`tinymlops_meter::EntryKind::Handoff`] entry); spliced work
+    /// re-enqueued on the destination.
+    HandedOff,
+    /// Shard-router assignment flipped (and pinned); the tenant serves
+    /// from its new home.
+    Resumed,
+}
+
+/// What one executed migration did — the auditable trace of the
+/// [`MigrationSpec`]'s drain/handoff state machine. In
+/// [`crate::ExecMode::Replay`] these records are bit-identical between
+/// the simulator and the threaded backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// The migrated tenant.
+    pub tenant: TenantId,
+    /// Node the account left.
+    pub from: NodeId,
+    /// Node the account landed on.
+    pub to: NodeId,
+    /// Scheduled drain start (logical stream time).
+    pub trigger_us: u64,
+    /// When the handoff was sealed: `trigger_us` in replay, the real
+    /// elapsed door time in [`crate::ExecMode::Wall`].
+    pub handoff_us: u64,
+    /// Admitted-but-not-dispatched requests spliced from the source
+    /// batcher and re-enqueued on the destination (no drop, no re-bill).
+    pub spliced: usize,
+    /// Requests already dispatched on the source at the trigger: they
+    /// drain in place (completing on the source), and the account's
+    /// pending count sheds them before the handoff.
+    pub drained_in_flight: usize,
+    /// Wall-mode only: not-yet-ingested arrivals spliced out of the
+    /// source node's live ingest queue and re-routed (always 0 in replay,
+    /// where parity with the simulator pins ingested work to its node).
+    pub queue_spliced: usize,
+    /// The account's lifetime admitted counter at the handoff — the
+    /// destination's subsequent admissions count up from here, which is
+    /// how tests prove the tenant was *served on the new home*.
+    pub admitted_before_handoff: u64,
+    /// Furthest phase the protocol reached ([`MigrationPhase::Resumed`]
+    /// on success).
+    pub phase: MigrationPhase,
+}
+
+impl MigrationRecord {
+    /// The record skeleton both backends start from: spec echoed, phase
+    /// [`MigrationPhase::Planned`], nothing moved yet. Keeping this (and
+    /// [`MigrationRecord::absorb`]) in one place is what keeps the
+    /// simulator's and the live coordinator's records field-for-field
+    /// identical as the struct evolves.
+    pub(crate) fn planned(spec: &MigrationSpec, from: NodeId, at_us: u64) -> Self {
+        MigrationRecord {
+            tenant: spec.tenant,
+            from,
+            to: spec.to,
+            trigger_us: spec.trigger_us,
+            handoff_us: at_us,
+            spliced: 0,
+            drained_in_flight: 0,
+            queue_spliced: 0,
+            admitted_before_handoff: 0,
+            phase: MigrationPhase::Planned,
+        }
+    }
+
+    /// Copy what the source-side drain measured into the record.
+    pub(crate) fn absorb(&mut self, package: &HandoffPackage) {
+        self.handoff_us = package.handoff_us;
+        self.spliced = package.spliced.len();
+        self.drained_in_flight = package.drained_in_flight;
+        self.admitted_before_handoff = package.admitted_before_handoff;
+    }
+}
+
+/// Everything that travels in one atomic handoff: the whole tenant
+/// account (balance, counters, sealed audit chain — with the
+/// [`tinymlops_meter::EntryKind::Handoff`] entry already appended) plus
+/// the spliced not-yet-dispatched requests.
+pub(crate) struct HandoffPackage {
+    pub(crate) account: crate::gateway::TenantAccount,
+    pub(crate) spliced: Vec<Request>,
+    pub(crate) handoff_us: u64,
+    pub(crate) drained_in_flight: usize,
+    pub(crate) admitted_before_handoff: u64,
+}
+
+/// Source-side drain: splice queued work, shed in-flight dispatched
+/// requests from the detaching account's pending count (they finish on
+/// the source), seal the re-homing into the audit chain, and detach.
+/// Shared verbatim by the simulator and the live node workers — the
+/// protocol exists once. Returns `None` when the tenant has no account
+/// here (a routing bug surfaced by the caller).
+pub(crate) fn drain_source(
+    engine: &mut ServeEngine<'_>,
+    plane: &mut ServePlane,
+    tenant: TenantId,
+    from: NodeId,
+    to: NodeId,
+    handoff_us: u64,
+) -> Option<HandoffPackage> {
+    let spliced = engine.splice_tenant(plane, tenant);
+    let drained_in_flight = engine.inflight_pending(tenant);
+    let mut account = plane.gateway.remove_tenant(tenant)?;
+    // Dispatched batches keep running on the source and resolve there
+    // (as no-ops against the departed account), so the account leaves
+    // carrying only the spliced requests as pending work.
+    account.pending = account.pending.saturating_sub(drained_in_flight);
+    let admitted_before_handoff = account.admitted;
+    account.quota.handoff(from, to, handoff_us / 1000);
+    Some(HandoffPackage {
+        account,
+        spliced,
+        handoff_us,
+        drained_in_flight,
+        admitted_before_handoff,
+    })
+}
+
+/// Destination-side adopt: bring the node to the handoff instant, attach
+/// the account, and re-enqueue the spliced requests (pre-admitted — they
+/// bypass the gateway, so nothing is billed twice). Shared by the
+/// simulator and the live node workers.
+pub(crate) fn adopt_destination(
+    engine: &mut ServeEngine<'_>,
+    plane: &mut ServePlane,
+    tenant: TenantId,
+    package: HandoffPackage,
+    at_us: u64,
+) {
+    engine.run_timers_through(plane, at_us, true);
+    plane.gateway.adopt_tenant(tenant, package.account);
+    engine.adopt_spliced(plane, package.spliced, at_us);
 }
 
 /// One serving node: a full [`ServePlane`] plus its local telemetry sink.
@@ -131,6 +378,7 @@ pub struct ServeFabric {
     /// Installed executables, ditto.
     exec: BTreeMap<ModelId, ExecModel>,
     serve_cfg: ServeConfig,
+    load_factor: f64,
     next_node_id: NodeId,
 }
 
@@ -144,6 +392,10 @@ impl ServeFabric {
             cfg.node_weights.len(),
             fleets.len(),
             "one fleet per node weight"
+        );
+        assert!(
+            cfg.load_factor >= 1.0,
+            "load_factor below 1.0 cannot place every tenant"
         );
         let shard_nodes: Vec<ShardNode> = cfg
             .node_weights
@@ -171,6 +423,7 @@ impl ServeFabric {
             families: BTreeMap::new(),
             exec: BTreeMap::new(),
             serve_cfg: cfg.serve.clone(),
+            load_factor: cfg.load_factor,
             next_node_id,
         }
     }
@@ -215,15 +468,46 @@ impl ServeFabric {
         self.exec.insert(id, model);
     }
 
+    /// Current tenant count per node (the load the bounded-load cap is
+    /// measured against), in node-id order.
+    #[must_use]
+    pub fn tenant_loads(&self) -> Vec<(NodeId, usize)> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let count = self
+                    .assignments
+                    .values()
+                    .filter(|(node, _)| *node == n.id)
+                    .count();
+                (n.id, count)
+            })
+            .collect()
+    }
+
+    /// Bounded-load placement for one more tenant given the current
+    /// assignment table (pure rendezvous when `load_factor` is infinite).
+    fn place(&self, tenant: TenantId, family: &str) -> NodeId {
+        let total = self.assignments.len() + 1;
+        self.shard_router
+            .assign_bounded(tenant, family, total, self.load_factor, |id| {
+                self.assignments
+                    .values()
+                    .filter(|(node, _)| *node == id)
+                    .count()
+            })
+    }
+
     /// Open a tenant account on the tenant's home node (placement by the
-    /// shard router) and record the assignment. Returns the home node.
+    /// shard router, under the bounded-load cap) and record the
+    /// assignment. Returns the home node.
     pub fn register_tenant(
         &mut self,
         tenant: TenantId,
         family: &str,
         meter_key: [u8; 32],
     ) -> NodeId {
-        let home = self.shard_router.assign(tenant, family);
+        let home = self.place(tenant, family);
         self.assignments.insert(tenant, (home, family.to_string()));
         self.node_mut(home)
             .expect("assigned node exists")
@@ -252,8 +536,8 @@ impl ServeFabric {
     }
 
     /// Provision tenants from a plan with test-grade meter keys (serial =
-    /// tenant id), mirroring [`ServeSim::provision`]; `core::Platform`
-    /// wires real vouchers instead.
+    /// tenant id), mirroring [`crate::ServeSim::provision`];
+    /// `core::Platform` wires real vouchers instead.
     pub fn provision(&mut self, plan: &crate::loadgen::LoadPlan) {
         for t in &plan.tenants {
             let mut key = [0u8; 32];
@@ -309,7 +593,10 @@ impl ServeFabric {
     /// Re-derive every tenant's home from the current topology and move
     /// the accounts whose home changed. Balances, counters and audit
     /// chains travel with the account ([`crate::Gateway::remove_tenant`] /
-    /// [`crate::Gateway::adopt_tenant`]). Returns the number of moves.
+    /// [`crate::Gateway::adopt_tenant`]). Migration pins hold (a pinned
+    /// tenant only moves when its pinned node left); unpinned tenants
+    /// re-place in tenant-id order under the bounded-load cap, counting
+    /// the pinned population first. Returns the number of moves.
     fn rebalance(&mut self) -> usize {
         let mut moved = 0;
         let tenants: Vec<(TenantId, NodeId, String)> = self
@@ -317,8 +604,28 @@ impl ServeFabric {
             .iter()
             .map(|(t, (node, family))| (*t, *node, family.clone()))
             .collect();
+        let total = tenants.len();
+        // Pinned tenants occupy their slots before anyone re-places.
+        let mut placed: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (tenant, _, _) in &tenants {
+            if let Some(node) = self.shard_router.pinned(*tenant) {
+                *placed.entry(node).or_default() += 1;
+            }
+        }
         for (tenant, old_home, family) in tenants {
-            let new_home = self.shard_router.assign(tenant, &family);
+            let new_home = if let Some(pin) = self.shard_router.pinned(tenant) {
+                pin
+            } else {
+                let home = self.shard_router.assign_bounded(
+                    tenant,
+                    &family,
+                    total,
+                    self.load_factor,
+                    |id| placed.get(&id).copied().unwrap_or(0),
+                );
+                *placed.entry(home).or_default() += 1;
+                home
+            };
             if new_home == old_home {
                 continue;
             }
@@ -383,32 +690,119 @@ impl ServeFabric {
     /// per-node replays compose deterministically); per-node stats and
     /// telemetry are merged into the fleet view.
     pub fn run(&mut self, stream: &[Request]) -> Result<FabricReport, ServeError> {
-        // Fan out by reference — the admission-time copy inside the sim
-        // stays the only per-request clone. Unknown tenants are still
-        // routed (by the same hash) so the owning gateway records the
-        // denial, exactly like one node handling an unprovisioned key.
-        let mut per_node_streams: BTreeMap<NodeId, Vec<&Request>> =
-            self.nodes.iter().map(|n| (n.id, Vec::new())).collect();
-        for request in stream {
-            let home = match self.assignments.get(&request.tenant) {
-                Some((node, _)) => *node,
-                None => self.shard_router.assign(request.tenant, &request.model),
-            };
-            per_node_streams
-                .get_mut(&home)
-                .expect("router only yields live nodes")
-                .push(request);
-        }
+        self.run_migrating(stream, &[]).map(|(report, _)| report)
+    }
 
-        let refunded_before: u64 = self.refunded_total();
-        let mut per_node = Vec::with_capacity(self.nodes.len());
-        for node in &mut self.nodes {
-            let sub_stream = &per_node_streams[&node.id];
-            let sim = ServeSim::new(self.serve_cfg.clone(), Some(&node.telemetry));
-            let stats = sim.run_collect(&mut node.plane, sub_stream)?;
-            per_node.push((node.id, stats));
+    /// Replay an arrival-ordered stream while executing scheduled live
+    /// migrations ([`MigrationSpec`]) at their trigger instants. One
+    /// interleaved loop drives every node's event engine — each node
+    /// still sees exactly its own (timers, arrival) sequence, so with no
+    /// migrations this is bit-identical to the old per-node replay — and
+    /// a migration is a cross-node event in that loop: drain the source,
+    /// hand off atomically, adopt at the destination, flip + pin the
+    /// routing. Specs execute in trigger order (spec order breaks ties);
+    /// triggers past the last arrival execute at end of stream. Returns
+    /// the fleet report plus one [`MigrationRecord`] per spec.
+    pub fn run_migrating(
+        &mut self,
+        stream: &[Request],
+        specs: &[MigrationSpec],
+    ) -> Result<(FabricReport, Vec<MigrationRecord>), ServeError> {
+        for spec in specs {
+            if !self.assignments.contains_key(&spec.tenant) {
+                return Err(ServeError::UnknownTenant(spec.tenant));
+            }
+            if !self.nodes.iter().any(|n| n.id == spec.to) {
+                return Err(ServeError::UnknownNode(spec.to));
+            }
         }
-        Ok(self.assemble_report(per_node, refunded_before))
+        if self.nodes.iter().any(|n| n.plane.family_names().is_empty()) {
+            return Err(ServeError::NoFamilies);
+        }
+        let refunded_before: u64 = self.refunded_total();
+        let serve_cfg = self.serve_cfg.clone();
+        let mut ordered: Vec<&MigrationSpec> = specs.iter().collect();
+        ordered.sort_by_key(|s| s.trigger_us);
+        let mut records: Vec<MigrationRecord> = Vec::with_capacity(specs.len());
+
+        let per_node: Vec<(NodeId, ServeStats)> = {
+            let ServeFabric {
+                shard_router,
+                nodes,
+                assignments,
+                ..
+            } = self;
+            let mut ctxs: Vec<NodeCtx> = nodes
+                .iter_mut()
+                .map(|node| {
+                    let FabricNode {
+                        id,
+                        plane,
+                        telemetry,
+                    } = node;
+                    NodeCtx {
+                        id: *id,
+                        plane,
+                        engine: ServeEngine::new(serve_cfg.clone(), Some(&*telemetry)),
+                    }
+                })
+                .collect();
+            let index: BTreeMap<NodeId, usize> =
+                ctxs.iter().enumerate().map(|(i, c)| (c.id, i)).collect();
+
+            let mut pending = ordered.into_iter().peekable();
+            for request in stream {
+                while pending
+                    .peek()
+                    .is_some_and(|s| s.trigger_us <= request.arrival_us)
+                {
+                    let spec = pending.next().expect("peeked");
+                    records.push(execute_migration(
+                        &mut ctxs,
+                        &index,
+                        assignments,
+                        shard_router,
+                        spec,
+                        spec.trigger_us,
+                    ));
+                }
+                // Route at processing time (assignments move mid-stream).
+                // Unknown tenants are still routed (by the same hash) so
+                // the owning gateway records the denial, exactly like one
+                // node handling an unprovisioned key; the admission-time
+                // copy inside the engine stays the only per-request clone.
+                let home = match assignments.get(&request.tenant) {
+                    Some((node, _)) => *node,
+                    None => shard_router.assign(request.tenant, &request.model),
+                };
+                let ctx = &mut ctxs[index[&home]];
+                ctx.engine
+                    .run_timers_through(ctx.plane, request.arrival_us, true);
+                ctx.engine.on_arrival(ctx.plane, request);
+            }
+            // Triggers past the last arrival execute at end of stream —
+            // the drain instant is the stream's final timestamp, not the
+            // (possibly far-future) trigger, so timer replay stays
+            // bounded and the record shows when the move really happened.
+            let end_us = stream.last().map_or(0, |r| r.arrival_us);
+            for spec in pending {
+                records.push(execute_migration(
+                    &mut ctxs,
+                    &index,
+                    assignments,
+                    shard_router,
+                    spec,
+                    end_us,
+                ));
+            }
+            ctxs.into_iter()
+                .map(|ctx| {
+                    let NodeCtx { id, plane, engine } = ctx;
+                    (id, engine.finish(plane))
+                })
+                .collect()
+        };
+        Ok((self.assemble_report(per_node, refunded_before), records))
     }
 
     /// Run an arrival-ordered stream through the fabric's wall-clock
@@ -423,6 +817,23 @@ impl ServeFabric {
         cfg: &crate::exec::ExecConfig,
     ) -> Result<crate::exec::LiveReport, ServeError> {
         crate::exec::run_fabric_live(self, stream, cfg)
+    }
+
+    /// Run a stream on the wall-clock backend while executing scheduled
+    /// live migrations across the running node *threads*: the ingest
+    /// feeder coordinates the drain/handoff over the nodes' bounded
+    /// queues (control entries ride in stream position), so accounts and
+    /// spliced work move between live threads without stopping traffic.
+    /// In [`crate::ExecMode::Replay`] both the fleet report and the
+    /// migration records are bit-identical to
+    /// [`ServeFabric::run_migrating`] on the same stream and specs.
+    pub fn run_live_migrating(
+        &mut self,
+        stream: &[Request],
+        cfg: &crate::exec::ExecConfig,
+        specs: &[MigrationSpec],
+    ) -> Result<(crate::exec::LiveReport, Vec<MigrationRecord>), ServeError> {
+        crate::exec::run_fabric_live_migrating(self, stream, cfg, specs)
     }
 
     /// Merge per-node accumulators into the fleet report — shared by the
@@ -482,17 +893,22 @@ impl ServeFabric {
     }
 
     /// Disjoint borrows for the live executor: mutable nodes (one per
-    /// worker thread) alongside the shared routing state the ingest
-    /// feeder reads concurrently.
+    /// worker thread) alongside the routing state the ingest feeder owns
+    /// for the duration of the run (mutable so migrations can flip and
+    /// pin assignments mid-stream).
     #[allow(clippy::type_complexity)]
     pub(crate) fn split_live(
         &mut self,
     ) -> (
         &mut [FabricNode],
-        &ShardRouter,
-        &BTreeMap<TenantId, (NodeId, String)>,
+        &mut ShardRouter,
+        &mut BTreeMap<TenantId, (NodeId, String)>,
     ) {
-        (&mut self.nodes, &self.shard_router, &self.assignments)
+        (
+            &mut self.nodes,
+            &mut self.shard_router,
+            &mut self.assignments,
+        )
     }
 
     /// The per-node serving configuration every node runs.
@@ -693,5 +1109,181 @@ mod tests {
             f.remove_node(42),
             Err(ServeError::UnknownNode(42))
         ));
+    }
+
+    #[test]
+    fn live_migration_moves_a_tenant_mid_stream() {
+        let cfg = FabricConfig::default();
+        let p = plan(29, 6_000.0, 1_000_000, 10);
+        let stream = p.generate();
+        let mut f = fabric(&cfg, 60, 9);
+        f.provision(&p);
+        let tenant = 1u32;
+        let from = f.home_node(tenant).unwrap();
+        let to = (0..3).find(|n| *n != from).unwrap();
+        let specs = [MigrationSpec {
+            tenant,
+            to,
+            trigger_us: 500_000,
+        }];
+        let (report, records) = f.run_migrating(&stream, &specs).unwrap();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!((r.tenant, r.from, r.to), (tenant, from, to));
+        assert_eq!(r.phase, MigrationPhase::Resumed);
+        assert_eq!(r.handoff_us, 500_000);
+        assert_eq!(f.home_node(tenant), Some(to), "routing flipped");
+        // The account lives on the new home and kept serving there.
+        let account = f
+            .node_mut(to)
+            .unwrap()
+            .plane
+            .gateway
+            .tenant(tenant)
+            .expect("account landed on the destination");
+        assert!(
+            account.admitted > r.admitted_before_handoff,
+            "tenant was admitted on its new home after the handoff"
+        );
+        assert_eq!(account.quota.log().handoff_count(), 1);
+        // Conservation across the migration: every arrival accounted,
+        // every downstream shed refunded, quota neither burned nor minted.
+        assert_eq!(
+            report.fleet.served + report.fleet.shed_total,
+            stream.len() as u64
+        );
+        assert!(report.refunds_balance());
+        let census = f.quota_census();
+        assert_eq!(census.len(), 10, "no tenant lost in the move");
+        let spent: u64 = census.iter().map(|q| q.consumed - q.refunded).sum();
+        let left: u64 = census.iter().map(|q| q.balance).sum();
+        assert_eq!(spent + left, 1_000_000 * 10);
+        // And the chain (with its handoff entry) still verifies.
+        let checked = f
+            .verify_chains(|t| {
+                let mut key = [0u8; 32];
+                key[..4].copy_from_slice(&t.to_le_bytes());
+                key
+            })
+            .unwrap();
+        assert_eq!(checked, 10);
+    }
+
+    #[test]
+    fn migration_replays_bit_identically_on_the_live_backend() {
+        let cfg = FabricConfig::default();
+        let p = plan(31, 8_000.0, 1_000_000, 12);
+        let stream = p.generate();
+        let specs = [
+            MigrationSpec {
+                tenant: 2,
+                to: 2,
+                trigger_us: 300_000,
+            },
+            MigrationSpec {
+                tenant: 2,
+                to: 0,
+                trigger_us: 700_000,
+            },
+            MigrationSpec {
+                tenant: 5,
+                to: 1,
+                trigger_us: 300_000,
+            },
+        ];
+        let mut sim = fabric(&cfg, 45, 5);
+        sim.provision(&p);
+        let (sim_report, sim_records) = sim.run_migrating(&stream, &specs).unwrap();
+        let mut live = fabric(&cfg, 45, 5);
+        live.provision(&p);
+        let (live_report, live_records) = live
+            .run_live_migrating(&stream, &crate::exec::ExecConfig::default(), &specs)
+            .unwrap();
+        assert_eq!(live_report.fabric, sim_report, "reports bit-identical");
+        assert_eq!(live_records, sim_records, "records bit-identical");
+        assert_eq!(sim.quota_census(), live.quota_census());
+        assert_eq!(sim.home_node(2), live.home_node(2));
+    }
+
+    #[test]
+    fn migration_pin_survives_rebalance() {
+        let cfg = FabricConfig::default();
+        let p = plan(17, 1_000.0, 5_000, 8);
+        let mut f = fabric(&cfg, 60, 7);
+        f.provision(&p);
+        let stream = p.generate();
+        let tenant = 3u32;
+        let from = f.home_node(tenant).unwrap();
+        let to = (0..3).find(|n| *n != from).unwrap();
+        let specs = [MigrationSpec {
+            tenant,
+            to,
+            trigger_us: 100_000,
+        }];
+        f.run_migrating(&stream, &specs).unwrap();
+        assert_eq!(f.home_node(tenant), Some(to));
+        // A join-triggered rebalance must not snap the tenant back.
+        let (new_id, _) = f.add_node(1.0, Fleet::generate(20, &default_mix(), 99));
+        assert_eq!(f.home_node(tenant), Some(to), "pin holds through join");
+        f.remove_node(new_id).unwrap();
+        assert_eq!(f.home_node(tenant), Some(to), "pin holds through leave");
+    }
+
+    #[test]
+    fn migration_validation_rejects_unknowns() {
+        let cfg = FabricConfig::default();
+        let p = plan(3, 500.0, 1_000, 4);
+        let mut f = fabric(&cfg, 30, 2);
+        f.provision(&p);
+        let stream = p.generate();
+        assert!(matches!(
+            f.run_migrating(
+                &stream,
+                &[MigrationSpec {
+                    tenant: 99,
+                    to: 0,
+                    trigger_us: 0
+                }]
+            ),
+            Err(ServeError::UnknownTenant(99))
+        ));
+        assert!(matches!(
+            f.run_migrating(
+                &stream,
+                &[MigrationSpec {
+                    tenant: 1,
+                    to: 42,
+                    trigger_us: 0
+                }]
+            ),
+            Err(ServeError::UnknownNode(42))
+        ));
+    }
+
+    #[test]
+    fn bounded_load_caps_tenants_per_node() {
+        // One hot family + strong affinity: pure rendezvous would pile
+        // everyone onto one node; the bounded factor forces overflow to
+        // each tenant's next-best node.
+        let cfg = FabricConfig {
+            tenant_affinity: 1.0,
+            load_factor: 1.25,
+            ..Default::default()
+        };
+        let mut f = fabric(&cfg, 30, 4);
+        let tenants = 24u32;
+        for t in 0..tenants {
+            f.register_tenant(t + 1, "kws", [0u8; 32]);
+        }
+        let caps = f.shard_router.bounded_caps(tenants as usize, 1.25);
+        for (node, load) in f.tenant_loads() {
+            let cap = caps.iter().find(|(n, _)| *n == node).unwrap().1;
+            assert!(load <= cap, "node {node} holds {load} > cap {cap}");
+        }
+        let max_load = f.tenant_loads().iter().map(|(_, l)| *l).max().unwrap();
+        assert!(
+            max_load < tenants as usize,
+            "full-affinity placement must be split by the cap"
+        );
     }
 }

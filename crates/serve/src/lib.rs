@@ -26,17 +26,27 @@
 //! One plane is one serving node. The **fabric** layer scales that out:
 //!
 //! * [`ShardRouter`] — weighted rendezvous placement of tenants onto
-//!   nodes, with model-family affinity and minimal movement on node
-//!   join/leave.
+//!   nodes, with model-family affinity, minimal movement on node
+//!   join/leave, bounded-load overflow to a tenant's next-best node
+//!   ([`ShardRouter::assign_bounded`]) and migration pins.
 //! * [`ServeFabric`] — N planes behind one shard router: partitioned
 //!   quotas (whole accounts move on rebalance, audit chains intact),
 //!   refunds for admitted-then-shed work
 //!   (`tinymlops_meter::EntryKind::Refund`), and per-node telemetry
 //!   merged into exact fleet-level statistics ([`FabricReport`]).
+//! * **Live migration** — [`ServeFabric::run_migrating`] /
+//!   [`ServeFabric::run_live_migrating`] move a tenant between nodes
+//!   *with requests in flight*: queued work spliced, dispatched work
+//!   drained in place, the quota partition and audit chain handed off
+//!   atomically under a `tinymlops_meter::EntryKind::Handoff` entry
+//!   ([`MigrationSpec`] → [`MigrationRecord`]), bit-identically across
+//!   the simulated and threaded backends in [`ExecMode::Replay`].
 //!
-//! `core::Platform` exposes these as `serve_traffic` (one node) and
-//! `serve_traffic_sharded` (fabric), crediting tenants through real
-//! vouchers and feeding counters into `observe::Telemetry`.
+//! `core::Platform` exposes these as `serve_traffic` (one node),
+//! `serve_traffic_sharded` (fabric), `serve_traffic_live` (threaded)
+//! and `serve_traffic_migrating` / `serve_traffic_live_migrating`
+//! (triggered migrations), crediting tenants through real vouchers and
+//! feeding counters into `observe::Telemetry`.
 
 pub mod batcher;
 pub mod cache;
@@ -55,7 +65,10 @@ pub use batcher::{Batch, BatchPolicy, FlushTrigger, MicroBatcher, PushOutcome};
 pub use cache::{Admission, ModelCache};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use exec::{ExecConfig, ExecMode, LiveReport};
-pub use fabric::{FabricConfig, FabricNode, FabricReport, ServeFabric, TenantQuota};
+pub use fabric::{
+    FabricConfig, FabricNode, FabricReport, MigrationPhase, MigrationRecord, MigrationSpec,
+    ServeFabric, TenantQuota,
+};
 pub use gateway::{Gateway, GatewayConfig, TenantAccount};
 pub use loadgen::{LoadPlan, TenantSpec};
 pub use request::{Disposition, Request, RequestId, ShedReason, TenantId};

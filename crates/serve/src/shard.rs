@@ -22,6 +22,7 @@
 //! [`crate::Router::route_affine`]).
 
 use crate::request::TenantId;
+use std::collections::BTreeMap;
 
 /// One serving node visible to the shard router.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +55,10 @@ pub struct ShardRouter {
     /// Family-affinity blend in `[0, 1]`: 0 = pure per-tenant hashing,
     /// 1 = all tenants of a family share one node.
     affinity: f64,
+    /// Tenants whose assignment is pinned to a specific node — the result
+    /// of a live migration ([`crate::ServeFabric::run_migrating`]). Pins
+    /// override the rendezvous score until the pinned node leaves.
+    pins: BTreeMap<TenantId, NodeId>,
 }
 
 /// SplitMix64 finalizer: cheap, well-mixed, and stable across platforms —
@@ -98,6 +103,7 @@ impl ShardRouter {
         ShardRouter {
             nodes,
             affinity: affinity.clamp(0.0, 1.0),
+            pins: BTreeMap::new(),
         }
     }
 
@@ -129,40 +135,167 @@ impl ShardRouter {
         self.nodes.sort_by_key(|n| n.id);
     }
 
-    /// Remove a node (leave). Only its own tenants are reassigned. Returns
-    /// `false` when the id is unknown; panics rather than empty the fabric.
+    /// Remove a node (leave). Only its own tenants are reassigned (pins
+    /// to the departed node are dropped, so those tenants re-derive like
+    /// everyone else). Returns `false` when the id is unknown; panics
+    /// rather than empty the fabric.
     pub fn remove_node(&mut self, id: NodeId) -> bool {
         let Some(pos) = self.nodes.iter().position(|n| n.id == id) else {
             return false;
         };
         assert!(self.nodes.len() > 1, "cannot remove the last node");
         self.nodes.remove(pos);
+        self.pins.retain(|_, node| *node != id);
         true
     }
 
-    /// The home node for `(tenant, family)`: highest weighted rendezvous
-    /// score. Pure function of the topology, so every caller — gateway
-    /// fan-out, rebalancer, billing aggregation — agrees without
-    /// coordination.
+    /// Pin `tenant` to `node`, overriding its rendezvous placement until
+    /// the node leaves or the pin is lifted. A live migration ends with a
+    /// pin: the moved account must not snap back to its hash-derived home
+    /// on the next rebalance. Panics on unknown nodes (a wiring bug).
+    pub fn pin(&mut self, tenant: TenantId, node: NodeId) {
+        assert!(
+            self.nodes.iter().any(|n| n.id == node),
+            "cannot pin tenant {tenant} to unknown node {node}"
+        );
+        self.pins.insert(tenant, node);
+    }
+
+    /// Lift a tenant's pin (it re-derives from the hash on next assign).
+    pub fn unpin(&mut self, tenant: TenantId) {
+        self.pins.remove(&tenant);
+    }
+
+    /// The node a tenant is pinned to, if any.
+    #[must_use]
+    pub fn pinned(&self, tenant: TenantId) -> Option<NodeId> {
+        self.pins.get(&tenant).copied()
+    }
+
+    /// One node's rendezvous score for `(tenant, family)` under the
+    /// affinity blend (higher wins).
+    fn score(&self, node: &ShardNode, fam: u64, ten: u64) -> f64 {
+        let hn = splitmix64(u64::from(node.id).wrapping_mul(0xff51_afd7_ed55_8ccd));
+        // Blend the family- and tenant-keyed draws in log space: the
+        // blend of two ln(u) values is still negative, so the weighted
+        // rendezvous transform stays order-correct.
+        let ln_f = unit(splitmix64(hn ^ fam)).ln();
+        let ln_t = unit(splitmix64(hn ^ ten)).ln();
+        let blended = self.affinity * ln_f + (1.0 - self.affinity) * ln_t;
+        -node.weight / blended
+    }
+
+    fn hash_keys(tenant: TenantId, family: &str) -> (u64, u64) {
+        (
+            hash_family(family),
+            splitmix64(u64::from(tenant) ^ 0x5851_f42d_4c95_7f2d),
+        )
+    }
+
+    /// The home node for `(tenant, family)`: the tenant's pin if one is
+    /// set, else the highest weighted rendezvous score. A pure function
+    /// of topology + pins, so every caller — gateway fan-out, rebalancer,
+    /// billing aggregation — agrees without coordination. One
+    /// allocation-free max-scan: this runs per unknown-tenant request on
+    /// the ingest hot path.
     #[must_use]
     pub fn assign(&self, tenant: TenantId, family: &str) -> NodeId {
-        let fam = hash_family(family);
-        let ten = splitmix64(u64::from(tenant) ^ 0x5851_f42d_4c95_7f2d);
+        if let Some(node) = self.pinned(tenant) {
+            return node;
+        }
+        let (fam, ten) = Self::hash_keys(tenant, family);
         let mut best: Option<(f64, NodeId)> = None;
         for node in &self.nodes {
-            let hn = splitmix64(u64::from(node.id).wrapping_mul(0xff51_afd7_ed55_8ccd));
-            // Blend the family- and tenant-keyed draws in log space: the
-            // blend of two ln(u) values is still negative, so the weighted
-            // rendezvous transform below stays order-correct.
-            let ln_f = unit(splitmix64(hn ^ fam)).ln();
-            let ln_t = unit(splitmix64(hn ^ ten)).ln();
-            let blended = self.affinity * ln_f + (1.0 - self.affinity) * ln_t;
-            let score = -node.weight / blended;
+            let score = self.score(node, fam, ten);
             if best.is_none_or(|(s, _)| score > s) {
                 best = Some((score, node.id));
             }
         }
         best.expect("router is never empty").1
+    }
+
+    /// Every node in descending rendezvous-score order for `(tenant,
+    /// family)` — the tenant's full preference list. [`ShardRouter::
+    /// assign`] is the head (computed without the sort); bounded-load
+    /// overflow walks down this list, so overflowed tenants land on
+    /// their *second*-best node (preserving as much of the
+    /// family-affinity clustering as the cap allows) rather than hashing
+    /// somewhere arbitrary.
+    fn ranked(&self, tenant: TenantId, family: &str) -> impl Iterator<Item = NodeId> + '_ {
+        let (fam, ten) = Self::hash_keys(tenant, family);
+        let mut scored: Vec<(f64, NodeId)> = self
+            .nodes
+            .iter()
+            .map(|node| (self.score(node, fam, ten), node.id))
+            .collect();
+        // Descending score; nodes are id-sorted, so equal scores (never
+        // observed with 64-bit draws, but not impossible) break by id.
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+        scored.into_iter().map(|(_, id)| id)
+    }
+
+    /// Per-node tenant capacity under bounded load: `ceil(load_factor ×
+    /// expected share of `total`)`, where the expected share is weight-
+    /// proportional. With `load_factor ≥ 1` the caps sum to at least
+    /// `total`, so a bounded assignment always exists. A non-finite
+    /// factor means unbounded (pure rendezvous).
+    #[must_use]
+    pub fn bounded_caps(&self, total: usize, load_factor: f64) -> Vec<(NodeId, usize)> {
+        let weight_sum: f64 = self.nodes.iter().map(|n| n.weight).sum();
+        self.nodes
+            .iter()
+            .map(|n| {
+                let cap = if load_factor.is_finite() {
+                    (load_factor * total as f64 * n.weight / weight_sum).ceil() as usize
+                } else {
+                    usize::MAX
+                };
+                (n.id, cap)
+            })
+            .collect()
+    }
+
+    /// Bounded-load assignment: the best-scoring node whose current load
+    /// (per `load_of`) is below its cap for a population of `total`
+    /// tenants at `load_factor`; a hot home node overflows to the
+    /// tenant's *second*-best node, and so on down the preference list.
+    /// Pinned tenants ignore bounds (a migration pin is an operator
+    /// decision). Falls back to the unbounded winner if every node is at
+    /// cap (only possible when `load_of` already exceeds `total`).
+    #[must_use]
+    pub fn assign_bounded(
+        &self,
+        tenant: TenantId,
+        family: &str,
+        total: usize,
+        load_factor: f64,
+        mut load_of: impl FnMut(NodeId) -> usize,
+    ) -> NodeId {
+        if let Some(node) = self.pinned(tenant) {
+            return node;
+        }
+        if !load_factor.is_finite() {
+            return self.assign(tenant, family);
+        }
+        assert!(
+            load_factor >= 1.0,
+            "load_factor below 1.0 cannot place every tenant"
+        );
+        let caps = self.bounded_caps(total, load_factor);
+        let cap_of = |id: NodeId| {
+            caps.iter()
+                .find(|(n, _)| *n == id)
+                .map(|(_, c)| *c)
+                .unwrap_or(usize::MAX)
+        };
+        let mut first = None;
+        for node in self.ranked(tenant, family) {
+            first.get_or_insert(node);
+            if load_of(node) < cap_of(node) {
+                return node;
+            }
+        }
+        first.expect("router is never empty")
     }
 
     /// Tenant counts per node for a tenant population (capacity check).
@@ -273,5 +406,97 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_fabric_rejected() {
         let _ = ShardRouter::new(vec![], 0.5);
+    }
+
+    #[test]
+    fn pins_override_hash_until_the_node_leaves() {
+        let mut r = ShardRouter::new(nodes(4), 0.5);
+        let natural = r.assign(7, "kws");
+        let other = (natural + 1) % 4;
+        r.pin(7, other);
+        assert_eq!(r.assign(7, "kws"), other, "pin wins over the hash");
+        assert_eq!(r.pinned(7), Some(other));
+        assert_eq!(
+            r.assign_bounded(7, "kws", 1, 1.0, |_| usize::MAX),
+            other,
+            "pins ignore load bounds"
+        );
+        assert!(r.remove_node(other));
+        assert_eq!(r.pinned(7), None, "leave drops pins to the node");
+        r.pin(7, natural);
+        r.unpin(7);
+        assert_eq!(r.assign(7, "kws"), natural);
+    }
+
+    #[test]
+    fn bounded_assignment_caps_every_node() {
+        let r = ShardRouter::new(nodes(4), 0.5);
+        let factor = 1.25;
+        let total = 64usize;
+        let mut counts: std::collections::BTreeMap<NodeId, usize> = BTreeMap::new();
+        for tenant in 0..total as u32 {
+            // One shared family: full-affinity-free hashing would pile
+            // tenants up; bounded load must spread the overflow.
+            let home = r.assign_bounded(tenant, "hot-family", total, factor, |id| {
+                counts.get(&id).copied().unwrap_or(0)
+            });
+            *counts.entry(home).or_default() += 1;
+        }
+        let caps = r.bounded_caps(total, factor);
+        for (id, cap) in caps {
+            let load = counts.get(&id).copied().unwrap_or(0);
+            assert!(load <= cap, "node {id} holds {load} > cap {cap}");
+        }
+        assert_eq!(counts.values().sum::<usize>(), total);
+    }
+
+    #[test]
+    fn unbounded_factor_matches_pure_rendezvous() {
+        let r = ShardRouter::new(nodes(5), 0.4);
+        for tenant in 0..200u32 {
+            assert_eq!(
+                r.assign_bounded(tenant, "kws", 200, f64::INFINITY, |_| usize::MAX),
+                r.assign(tenant, "kws")
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_lands_on_the_next_best_node() {
+        let r = ShardRouter::new(nodes(3), 0.0);
+        let tenant = 11u32;
+        let best = r.assign(tenant, "m");
+        // Saturate only the best node: the bounded assignment must pick
+        // the runner-up, not an arbitrary node.
+        let overflowed =
+            r.assign_bounded(
+                tenant,
+                "m",
+                3,
+                1.0,
+                |id| {
+                    if id == best {
+                        usize::MAX
+                    } else {
+                        0
+                    }
+                },
+            );
+        assert_ne!(overflowed, best);
+        // And the runner-up is stable: same inputs, same node.
+        let again = r.assign_bounded(
+            tenant,
+            "m",
+            3,
+            1.0,
+            |id| {
+                if id == best {
+                    usize::MAX
+                } else {
+                    0
+                }
+            },
+        );
+        assert_eq!(overflowed, again);
     }
 }

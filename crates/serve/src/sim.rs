@@ -278,6 +278,63 @@ impl<'t> ServeEngine<'t> {
         }
     }
 
+    /// Live-migration drain, source side: splice the tenant's queued
+    /// (admitted, not yet dispatched) requests out of this node's
+    /// batcher, returning them for handoff. Queue fronts may change, so
+    /// every surviving family deadline is re-armed (stale timers are
+    /// no-ops; a missing one would stall a queue). Requests the tenant
+    /// already has *dispatched* stay: their completion timestamps are
+    /// decided, they finish (and are counted) on this node.
+    pub(crate) fn splice_tenant(
+        &mut self,
+        plane: &mut ServePlane,
+        tenant: crate::request::TenantId,
+    ) -> Vec<Request> {
+        let spliced = plane.batcher.splice_tenant(tenant);
+        if !spliced.is_empty() {
+            for (family, at_us) in plane.batcher.flush_deadlines() {
+                self.arm(at_us, Timer::Flush(family));
+            }
+        }
+        spliced
+    }
+
+    /// Requests of `tenant` inside dispatched in-flight batches — work
+    /// that will complete on this node after the account has moved away,
+    /// so the detaching account's pending count must shed it first.
+    pub(crate) fn inflight_pending(&self, tenant: crate::request::TenantId) -> usize {
+        self.inflight
+            .iter()
+            .flatten()
+            .map(|b| b.requests.iter().filter(|r| r.tenant == tenant).count())
+            .sum()
+    }
+
+    /// Live-migration handoff, destination side: re-enqueue requests
+    /// spliced from the source node's batcher. They were admitted (and
+    /// charged) there, so they enter the batcher directly — no second
+    /// trip through the gateway, no double billing. Their original
+    /// arrival stamps are kept (migration latency is real latency);
+    /// already-due deadline triggers fire on the next timer run at
+    /// `now_us`.
+    pub(crate) fn adopt_spliced(
+        &mut self,
+        plane: &mut ServePlane,
+        spliced: Vec<Request>,
+        now_us: u64,
+    ) {
+        for request in spliced {
+            let family = request.model.clone();
+            match plane.batcher.push(request) {
+                PushOutcome::Flushed(batch) => self.dispatch(plane, batch, now_us),
+                PushOutcome::Queued {
+                    flush_at_us: Some(flush_at_us),
+                } => self.arm(flush_at_us, Timer::Flush(family)),
+                PushOutcome::Queued { flush_at_us: None } => {}
+            }
+        }
+    }
+
     /// Drain every remaining timer (no more arrivals will come) and
     /// return the statistics accumulator. The drain never waits:
     /// remaining completion timestamps are already decided, so a

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Reproduce the full CI gate (.github/workflows/ci.yml) offline, in the
+# same order CI runs it: fmt, clippy, release build, tier-1 + workspace
+# tests, warning-free rustdoc, the experiment smokes with their jq
+# assertions, and the bench smoke + regression gate.
+#
+# Usage:
+#   scripts/ci_local.sh           # the whole gate
+#   scripts/ci_local.sh lint      # one stage: lint|build|test|docs|smoke|bench
+#
+# Requires: the repo's pinned stable Rust toolchain and `jq`. No network:
+# every dependency is vendored under shims/ (CARGO_NET_OFFLINE below
+# enforces it, exactly like CI).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_TERM_COLOR=${CARGO_TERM_COLOR:-always}
+export CARGO_NET_OFFLINE=true
+
+stage=${1:-all}
+run_stage() { [ "$stage" = all ] || [ "$stage" = "$1" ]; }
+
+banner() { printf '\n==== %s ====\n' "$*"; }
+
+if ! command -v jq >/dev/null 2>&1; then
+    echo "ci_local: jq is required (CI asserts on experiment artifacts with it)" >&2
+    exit 1
+fi
+
+if run_stage lint; then
+    banner "lint: rustfmt"
+    cargo fmt --all --check
+    banner "lint: clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+if run_stage build; then
+    banner "build (release)"
+    cargo build --release
+fi
+
+if run_stage test; then
+    banner "tier-1 tests"
+    cargo test -q
+    banner "workspace tests"
+    cargo test --workspace -q
+fi
+
+if run_stage docs; then
+    banner "rustdoc (deny warnings)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+fi
+
+if run_stage smoke; then
+    banner "e15 serving smoke"
+    cargo run --release -p tinymlops_bench --bin e15_serving
+    banner "e16 sharding smoke + asserts"
+    cargo run --release -p tinymlops_bench --bin e16_sharding -- --quick
+    jq -e '.rows | length >= 4' results/e16_sharding_fleet.json
+    jq -e '.rows[-1].node == "fleet"' results/e16_sharding_fleet.json
+    jq -e '.rows[0].unrefunded == "0"' results/e16_sharding_refunds.json
+    banner "e17 live serving smoke + asserts"
+    cargo run --release -p tinymlops_bench --bin e17_live_serving -- --quick
+    jq -e '.rows | length == 3' results/e17_live_parity.json
+    jq -e '.rows[-1].backend == "identical" and .rows[-1].served == "yes"' results/e17_live_parity.json
+    jq -e '.rows[-1].unrefunded == "0"' results/e17_live_parity.json
+    jq -e '.rows | length == 2' results/e17_live_throughput.json
+    jq -e '.rows[0].unrefunded == "0"' results/e17_live_wallmode.json
+    banner "e18 live migration smoke + asserts"
+    cargo run --release -p tinymlops_bench --bin e18_migration -- --quick
+    jq -e '.rows | length >= 1' results/e18_migration_handoff.json
+    jq -e '[.rows[] | select(.new_home_serves == "yes")] | length >= 1' results/e18_migration_handoff.json
+    jq -e '[.rows[] | select(.unrefunded != "0" or .census != "equal")] | length == 0' results/e18_migration_handoff.json
+    jq -e '.rows[-1].identical == "yes"' results/e18_migration_parity.json
+    jq -e '.rows[0]["victim load after"] == "0"' results/e18_migration_drain.json
+    jq -e '[.rows[] | select(.capped != "yes")] | length == 0' results/e18_migration_bounded.json
+    jq -e '.rows[0].unrefunded == "0"' results/e18_migration_wall.json
+fi
+
+if run_stage bench; then
+    banner "b01 kernel bench smoke + regression gate"
+    cargo run --release -p tinymlops_bench --bin b01_kernels -- --quick
+    jq -e '.schema_version == 1 and (.runs | length >= 1)' results/BENCH_kernels.json
+    cargo run --release -p tinymlops_bench --bin b01_compare
+fi
+
+banner "ci_local: PASS (stage: $stage)"

@@ -13,7 +13,7 @@
 //! | [`observe`] | §III-B | Drift detectors, bounded telemetry, DP aggregation, stealing detection |
 //! | [`meter`] | §III-C | Offline pay-per-query: quotas, tamper-evident audit chains, vouchers, billing |
 //! | [`fed`] | §III-D | FedAvg/FedProx, non-iid partitioners, update compression, secure aggregation, personalization |
-//! | [`serve`] | §III-A/C, §IV | The traffic plane: sharded multi-node fabric, tenant gateway + quota admission with shed refunds, micro-batching, model cache, affinity fleet routing, 100k-request replay — simulated or live (one OS thread per node, bit-identical replay) |
+//! | [`serve`] | §III-A/C, §IV | The traffic plane: sharded multi-node fabric, tenant gateway + quota admission with shed refunds, micro-batching, model cache, affinity fleet routing, bounded-load placement, live tenant migration (in-flight drain/handoff), 100k-request replay — simulated or live (one OS thread per node, bit-identical replay) |
 //! | [`device`] | §IV | The simulated fragmented fleet: capabilities, batteries, networks |
 //! | [`deploy`] | §III-A, §IV | Constraint-aware selection, signed capsules, pipeline VM, marketplace, edge-cloud split |
 //! | [`ipp`] | §V | Model encryption, static/dynamic watermarking, prediction poisoning, extraction attacks |
