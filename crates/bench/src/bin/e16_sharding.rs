@@ -81,6 +81,7 @@ fn synthetic_fabric(
             affinity_routing,
             ..Default::default()
         },
+        ..Default::default()
     };
     let fleets =
         tinymlops_device::Fleet::generate(fleet_size, &tinymlops_device::default_mix(), SEED)

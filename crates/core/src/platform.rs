@@ -402,6 +402,10 @@ impl Platform {
         // sink (summaries via `Telemetry::record_summary`, so fleet
         // latency statistics no longer stop at the fabric report).
         self.telemetry.absorb_report(&report.telemetry);
+        if !report.alarms.is_empty() {
+            self.telemetry
+                .add("serve.alarms", report.alarms.len() as u64);
+        }
         Ok(report)
     }
 
@@ -426,6 +430,10 @@ impl Platform {
         let stream = plan.generate();
         let report = fabric.run_live(&stream, exec)?;
         self.telemetry.absorb_report(&report.fabric.telemetry);
+        if !report.fabric.alarms.is_empty() {
+            self.telemetry
+                .add("serve.alarms", report.fabric.alarms.len() as u64);
+        }
         Ok(report)
     }
 
@@ -455,6 +463,10 @@ impl Platform {
         let (report, records) = fabric.run_migrating(&stream, specs)?;
         self.telemetry.absorb_report(&report.telemetry);
         self.telemetry.add("serve.migrations", records.len() as u64);
+        if !report.alarms.is_empty() {
+            self.telemetry
+                .add("serve.alarms", report.alarms.len() as u64);
+        }
         Ok((report, records))
     }
 
@@ -481,6 +493,10 @@ impl Platform {
         let (report, records) = fabric.run_live_migrating(&stream, exec, specs)?;
         self.telemetry.absorb_report(&report.fabric.telemetry);
         self.telemetry.add("serve.migrations", records.len() as u64);
+        if !report.fabric.alarms.is_empty() {
+            self.telemetry
+                .add("serve.alarms", report.fabric.alarms.len() as u64);
+        }
         Ok((report, records))
     }
 }

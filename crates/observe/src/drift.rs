@@ -7,7 +7,7 @@
 //! feature, an embedding norm, or a model confidence).
 
 use serde::{Deserialize, Serialize};
-use tinymlops_tensor::stats::{ks_p_value, ks_statistic, psi, Histogram};
+use tinymlops_tensor::stats::{ks_p_value, ks_statistic_sorted, psi, Histogram};
 
 /// Outcome of feeding one observation to a detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,8 +38,13 @@ pub trait DriftDetector {
 pub struct KsDetector {
     window: usize,
     alpha: f64,
+    /// Frozen after warmup, then kept sorted so judgements only sort the
+    /// recent window.
     reference: Vec<f64>,
     recent: Vec<f64>,
+    /// Judgement-time sort buffer for `recent` (reused, no per-judgement
+    /// allocation).
+    scratch: Vec<f64>,
     pos: usize,
     filled: bool,
     status: DriftStatus,
@@ -55,6 +60,7 @@ impl KsDetector {
             alpha,
             reference: Vec::with_capacity(window),
             recent: vec![0.0; window],
+            scratch: Vec::with_capacity(window),
             pos: 0,
             filled: false,
             status: DriftStatus::Warmup,
@@ -66,16 +72,29 @@ impl DriftDetector for KsDetector {
     fn observe(&mut self, x: f64) -> DriftStatus {
         if self.reference.len() < self.window {
             self.reference.push(x);
+            if self.reference.len() == self.window {
+                // Reference is frozen from here on: sort it once so each
+                // judgement only has to sort the recent window.
+                self.reference
+                    .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            }
             self.status = DriftStatus::Warmup;
             return self.status;
         }
         self.recent[self.pos] = x;
-        self.pos = (self.pos + 1) % self.window;
+        self.pos += 1;
+        if self.pos == self.window {
+            self.pos = 0;
+        }
         // Judge once per *non-overlapping* window: overlapping judgements
         // multiply the effective test count and inflate false alarms.
         if self.pos == 0 {
             self.filled = true;
-            let d = ks_statistic(&self.reference, &self.recent);
+            self.scratch.clear();
+            self.scratch.extend_from_slice(&self.recent);
+            self.scratch
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let d = ks_statistic_sorted(&self.reference, &self.scratch);
             let p = ks_p_value(d, self.reference.len(), self.recent.len());
             self.status = if p < self.alpha {
                 DriftStatus::Drift

@@ -1,0 +1,333 @@
+//! Log-bucketed (HDR-style) latency histograms with exact merge.
+//!
+//! §III-B wants true tail percentiles over fleets of devices without
+//! shipping raw samples. A [`LogHistogram`] has a *fixed* bucket layout
+//! shared by every instance: values below [`SUB_BUCKETS`] get unit-width
+//! buckets, and every octave `[2^e, 2^(e+1))` above that is split into
+//! [`SUB_BUCKETS`] equal sub-buckets. Because the layout is global,
+//! merging two histograms is a bucket-wise add — associative, commutative,
+//! and *exact* (unlike pooled-variance timer merges) — so fleet
+//! p50/p95/p99/p999 are computable from per-node histograms with bounded
+//! memory and bounded error (one bucket width, ~3% relative).
+
+use serde::{Deserialize, Serialize};
+
+/// log2 of the sub-bucket count per octave (resolution knob).
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave: relative quantile error is at most `1/SUB_BUCKETS`.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Total buckets needed to cover the whole `u64` range.
+const NUM_BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) * (SUB_BUCKETS as usize);
+
+/// Bucket index for a value (total order preserving).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // v in [2^exp, 2^(exp+1))
+    let shift = exp - SUB_BITS;
+    let sub = (v >> shift) - SUB_BUCKETS; // in [0, SUB_BUCKETS)
+    ((exp - SUB_BITS + 1) as u64 * SUB_BUCKETS + sub) as usize
+}
+
+/// Lower bound of the value range covered by bucket `index`.
+fn bucket_lower(index: usize) -> u64 {
+    let idx = index as u64;
+    if idx < SUB_BUCKETS {
+        return idx;
+    }
+    let block = idx / SUB_BUCKETS; // 1 + (exp - SUB_BITS)
+    let sub = idx % SUB_BUCKETS;
+    (SUB_BUCKETS + sub) << (block - 1)
+}
+
+/// Width (in value units) of the bucket containing `v`.
+#[must_use]
+pub fn bucket_width_at(v: u64) -> u64 {
+    if v < SUB_BUCKETS {
+        return 1;
+    }
+    let exp = 63 - v.leading_zeros();
+    1u64 << (exp - SUB_BITS)
+}
+
+/// Fixed-layout log-bucketed histogram over `u64` values (microseconds,
+/// bytes — caller's units). Bounded memory (~15 KiB), O(1) record,
+/// bucket-wise exact merge.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl PartialEq for LogHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total && self.sum == other.sum && self.counts == other.counts
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("total", &self.total)
+            .field("mean", &self.mean())
+            .field("p99", &self.quantile(99.0))
+            .finish()
+    }
+}
+
+impl LogHistogram {
+    /// New empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` observations of the same value.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        self.counts[bucket_index(v)] += n;
+        self.total += n;
+        self.sum += u128::from(v) * u128::from(n);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no observation has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean of all recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Bucket-wise exact merge: afterwards `self` reports as if it had
+    /// recorded both streams.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Nearest-rank quantile (same rank rule as the exact sorted-vector
+    /// path in `serve::stats`): returns the *lower bound* of the bucket
+    /// holding the ranked sample, so the true sample lies within
+    /// [`LogHistogram::quantile_width`] of the returned value.
+    #[must_use]
+    pub fn quantile(&self, pct: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * self.total as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower(i);
+            }
+        }
+        bucket_lower(NUM_BUCKETS - 1)
+    }
+
+    /// Width of the bucket that answers `quantile(pct)` — the error bound
+    /// on that quantile estimate.
+    #[must_use]
+    pub fn quantile_width(&self, pct: f64) -> u64 {
+        bucket_width_at(self.quantile(pct))
+    }
+
+    /// Sparse snapshot for wire transfer (only non-empty buckets).
+    #[must_use]
+    pub fn to_summary(&self) -> HistSummary {
+        HistSummary {
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| HistBucket {
+                    index: i as u32,
+                    count: c,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a dense histogram from a sparse wire snapshot.
+    #[must_use]
+    pub fn from_summary(summary: &HistSummary) -> Self {
+        let mut h = LogHistogram::new();
+        h.absorb_summary(summary);
+        h
+    }
+
+    /// Merge a sparse wire snapshot into this histogram.
+    pub fn absorb_summary(&mut self, summary: &HistSummary) {
+        for b in &summary.buckets {
+            let i = (b.index as usize).min(NUM_BUCKETS - 1);
+            self.counts[i] += b.count;
+            self.total += b.count;
+            self.sum += u128::from(bucket_lower(i)) * u128::from(b.count);
+        }
+    }
+}
+
+/// Sparse, serializable histogram snapshot: only the non-empty buckets of
+/// the fixed global layout. Merging summaries (via [`HistSummary::merge`])
+/// is exact because indices refer to the same layout everywhere.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct HistSummary {
+    /// Non-empty buckets, ascending by index.
+    pub buckets: Vec<HistBucket>,
+}
+
+/// One non-empty bucket of a [`HistSummary`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Index into the fixed global bucket layout.
+    pub index: u32,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+impl HistSummary {
+    /// Total observations across all buckets.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.count).sum()
+    }
+
+    /// Bucket-wise add of another summary (exact fleet aggregation).
+    pub fn merge(&mut self, other: &HistSummary) {
+        let mut dense = LogHistogram::from_summary(self);
+        dense.absorb_summary(other);
+        *self = dense.to_summary();
+    }
+
+    /// Nearest-rank quantile over the summarized buckets.
+    #[must_use]
+    pub fn quantile(&self, pct: f64) -> u64 {
+        LogHistogram::from_summary(self).quantile(pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        for v in 0..4096u64 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index must be monotone at {v}");
+            assert!(bucket_lower(i) <= v);
+            assert!(v < bucket_lower(i) + bucket_width_at(v));
+            last = i;
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_lower(bucket_index(v)), v);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS);
+    }
+
+    #[test]
+    fn quantile_matches_exact_within_one_bucket() {
+        let mut h = LogHistogram::new();
+        let mut exact: Vec<u64> = (0..1000u64).map(|i| (i * 37) % 90_000 + 100).collect();
+        for &v in &exact {
+            h.record(v);
+        }
+        exact.sort_unstable();
+        for pct in [50.0, 95.0, 99.0, 99.9] {
+            let rank = ((pct / 100.0) * exact.len() as f64).ceil() as usize;
+            let want = exact[rank.clamp(1, exact.len()) - 1];
+            let got = h.quantile(pct);
+            assert!(
+                got <= want && want < got + bucket_width_at(got),
+                "p{pct}: hist {got} vs exact {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for v in [1u64, 5, 900, 70_000, 1 << 40] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 2, 65_535, 65_536] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn summary_round_trips() {
+        let mut h = LogHistogram::new();
+        for v in [3u64, 3, 47, 1_000_000] {
+            h.record(v);
+        }
+        let summary = h.to_summary();
+        let back = LogHistogram::from_summary(&summary);
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.quantile(99.0), h.quantile(99.0));
+        assert_eq!(summary.count(), 4);
+        let mut fleet = summary.clone();
+        fleet.merge(&summary);
+        assert_eq!(fleet.count(), 8);
+        assert_eq!(fleet.quantile(50.0), summary.quantile(50.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+        assert!(h.to_summary().buckets.is_empty());
+    }
+}

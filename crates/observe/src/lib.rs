@@ -9,6 +9,12 @@
 //!
 //! * [`telemetry`] — bounded-memory counters/histograms/timers, serialized
 //!   into compact reports, with a WiFi-deferred upload queue.
+//! * [`hist`] — fixed-layout log-bucketed (HDR-style) histograms whose
+//!   merge is bucket-wise exact, for mergeable fleet tail percentiles.
+//! * [`trace`] — per-node bounded flight recorder of request-lifecycle
+//!   span events, exportable as Chrome trace-event JSON (Perfetto).
+//! * [`window`] — fixed-window time-series of serving signals plus
+//!   per-tenant drift alarm banks: the controller-facing signal plane.
 //! * [`drift`] — three streaming drift detectors (two-sample KS, PSI over
 //!   binned references, Page–Hinkley mean-shift) with a common trait.
 //! * [`anomaly`] — per-feature z-score anomaly scoring for flagging and
@@ -21,12 +27,18 @@
 
 pub mod anomaly;
 pub mod drift;
+pub mod hist;
 pub mod privacy;
 pub mod stealing;
 pub mod telemetry;
+pub mod trace;
+pub mod window;
 
 pub use anomaly::AnomalyScorer;
 pub use drift::{DriftDetector, DriftStatus, KsDetector, PageHinkley, PsiDetector};
+pub use hist::{HistBucket, HistSummary, LogHistogram};
 pub use privacy::{laplace_noise, PrivateAggregator};
 pub use stealing::{MarginDetector, PradaDetector, StealingVerdict};
-pub use telemetry::{Telemetry, TelemetryReport, UploadQueue};
+pub use telemetry::{CounterId, HistId, Telemetry, TelemetryReport, TimerId, UploadQueue};
+pub use trace::{chrome_trace_json, FlightRecorder, SpanKind, TraceEvent};
+pub use window::{Alarm, AlarmKind, DriftBank, WindowSample, WindowTracker};

@@ -5,14 +5,29 @@
 //! execution time, memory and energy consumption on the end-user's device.
 //! … We might decide to store these statistics locally and transmit them to
 //! the cloud when the device is connected to WiFi."*
+//!
+//! Two recording paths share one sink:
+//!
+//! * **By name** (`incr`/`record`/`record_hist`): convenient, but every
+//!   call walks a `BTreeMap<String, _>` and a miss allocates the key.
+//! * **By handle** (`counter_id` → `incr_id`, …): the serve hot path
+//!   registers its fixed metric set once, then every event is one mutex
+//!   lock plus a `Vec` index — no allocation, no tree walk. Handles stay
+//!   valid across [`Telemetry::drain`] (values reset, registrations
+//!   persist).
+//!
+//! Reports fold both paths into the same named maps, so the wire format
+//! does not depend on which path recorded a metric.
 
+use crate::hist::{HistSummary, LogHistogram};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use tinymlops_tensor::stats::RunningStats;
 
-/// A bounded-memory telemetry sink: counters and streaming statistics.
-/// Thread-safe; inference threads record while an uploader drains.
+/// A bounded-memory telemetry sink: counters, streaming statistics, and
+/// log-bucketed histograms. Thread-safe; inference threads record while
+/// an uploader drains.
 #[derive(Default)]
 pub struct Telemetry {
     inner: Mutex<TelemetryInner>,
@@ -22,7 +37,24 @@ pub struct Telemetry {
 struct TelemetryInner {
     counters: BTreeMap<String, u64>,
     timers: BTreeMap<String, RunningStats>,
+    hists: BTreeMap<String, LogHistogram>,
+    // Handle-indexed fast lanes: registered once, indexed per event.
+    fast_counters: Vec<(String, u64)>,
+    fast_timers: Vec<(String, RunningStats)>,
+    fast_hists: Vec<(String, LogHistogram)>,
 }
+
+/// Pre-registered handle to a counter (see [`Telemetry::counter_id`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Pre-registered handle to a timer (see [`Telemetry::timer_id`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerId(usize);
+
+/// Pre-registered handle to a histogram (see [`Telemetry::hist_id`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
 
 /// A compact, serializable snapshot of telemetry state.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -31,6 +63,8 @@ pub struct TelemetryReport {
     pub counters: BTreeMap<String, u64>,
     /// Timer summaries: `(count, mean, std, min, max)` per metric.
     pub timers: BTreeMap<String, TimerSummary>,
+    /// Sparse log-bucketed histograms (exactly mergeable across nodes).
+    pub hists: BTreeMap<String, HistSummary>,
 }
 
 /// Five-number summary of a timer/value series.
@@ -66,6 +100,28 @@ impl Telemetry {
         *inner.counters.entry(name.to_string()).or_insert(0) += n;
     }
 
+    /// Register (or find) a counter handle. Idempotent; call once per
+    /// metric at setup, not per event.
+    #[must_use]
+    pub fn counter_id(&self, name: &str) -> CounterId {
+        let mut inner = self.inner.lock();
+        if let Some(i) = inner.fast_counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        inner.fast_counters.push((name.to_string(), 0));
+        CounterId(inner.fast_counters.len() - 1)
+    }
+
+    /// Increment a pre-registered counter — the allocation-free hot path.
+    pub fn incr_id(&self, id: CounterId) {
+        self.add_id(id, 1);
+    }
+
+    /// Add `n` to a pre-registered counter.
+    pub fn add_id(&self, id: CounterId, n: u64) {
+        self.inner.lock().fast_counters[id.0].1 += n;
+    }
+
     /// Record a timing/measurement sample (ms, mJ, bytes — caller's units).
     pub fn record(&self, name: &str, value: f64) {
         let mut inner = self.inner.lock();
@@ -74,6 +130,53 @@ impl Telemetry {
             .entry(name.to_string())
             .or_default()
             .push(value);
+    }
+
+    /// Register (or find) a timer handle. Idempotent, setup-time only.
+    #[must_use]
+    pub fn timer_id(&self, name: &str) -> TimerId {
+        let mut inner = self.inner.lock();
+        if let Some(i) = inner.fast_timers.iter().position(|(n, _)| n == name) {
+            return TimerId(i);
+        }
+        inner
+            .fast_timers
+            .push((name.to_string(), RunningStats::new()));
+        TimerId(inner.fast_timers.len() - 1)
+    }
+
+    /// Record into a pre-registered timer — allocation-free.
+    pub fn record_id(&self, id: TimerId, value: f64) {
+        self.inner.lock().fast_timers[id.0].1.push(value);
+    }
+
+    /// Record into a named log-bucketed histogram (caller's units; use a
+    /// handle via [`Telemetry::hist_id`] on hot paths).
+    pub fn record_hist(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock();
+        inner
+            .hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Register (or find) a histogram handle. Idempotent, setup-time only.
+    #[must_use]
+    pub fn hist_id(&self, name: &str) -> HistId {
+        let mut inner = self.inner.lock();
+        if let Some(i) = inner.fast_hists.iter().position(|(n, _)| n == name) {
+            return HistId(i);
+        }
+        inner
+            .fast_hists
+            .push((name.to_string(), LogHistogram::new()));
+        HistId(inner.fast_hists.len() - 1)
+    }
+
+    /// Record into a pre-registered histogram — allocation-free.
+    pub fn record_hist_id(&self, id: HistId, value: u64) {
+        self.inner.lock().fast_hists[id.0].1.record(value);
     }
 
     /// Fold an already-summarized timer series into this sink, as if the
@@ -101,10 +204,25 @@ impl Telemetry {
             .merge(&incoming);
     }
 
+    /// Fold a sparse histogram snapshot into this sink's named histogram
+    /// (bucket-wise exact, the histogram analogue of
+    /// [`Telemetry::record_summary`]).
+    pub fn record_hist_summary(&self, name: &str, summary: &HistSummary) {
+        if summary.buckets.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner
+            .hists
+            .entry(name.to_string())
+            .or_default()
+            .absorb_summary(summary);
+    }
+
     /// Fold a whole [`TelemetryReport`] into this sink: counters add,
-    /// timer summaries merge via [`Telemetry::record_summary`]. Used by
-    /// `Platform` to land a fabric run's merged fleet telemetry —
-    /// counters *and* timers — in the platform-wide sink.
+    /// timer summaries merge via [`Telemetry::record_summary`], histograms
+    /// bucket-add. Used by `Platform` to land a fabric run's merged fleet
+    /// telemetry in the platform-wide sink.
     pub fn absorb_report(&self, report: &TelemetryReport) {
         for (name, value) in &report.counters {
             self.add(name, *value);
@@ -112,22 +230,52 @@ impl Telemetry {
         for (name, summary) in &report.timers {
             self.record_summary(name, summary);
         }
+        for (name, summary) in &report.hists {
+            self.record_hist_summary(name, summary);
+        }
     }
 
-    /// Current value of a counter (0 if never written).
+    /// Current value of a counter (0 if never written; sums the named and
+    /// handle lanes when both were used).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+        let inner = self.inner.lock();
+        let slow = inner.counters.get(name).copied().unwrap_or(0);
+        let fast = inner
+            .fast_counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v);
+        slow + fast
     }
 
-    /// Snapshot the current state without clearing it.
+    /// Snapshot the current state without clearing it. Handle-lane metrics
+    /// fold into the same named maps; never-written registrations are
+    /// omitted, so registering handles alone does not change reports.
     #[must_use]
     pub fn snapshot(&self) -> TelemetryReport {
         let inner = self.inner.lock();
+        let mut counters = inner.counters.clone();
+        for (name, v) in &inner.fast_counters {
+            if *v > 0 {
+                *counters.entry(name.clone()).or_insert(0) += v;
+            }
+        }
+        let mut timers: BTreeMap<String, RunningStats> = inner.timers.clone();
+        for (name, s) in &inner.fast_timers {
+            if s.count() > 0 {
+                timers.entry(name.clone()).or_default().merge(s);
+            }
+        }
+        let mut hists = inner.hists.clone();
+        for (name, h) in &inner.fast_hists {
+            if !h.is_empty() {
+                hists.entry(name.clone()).or_default().merge(h);
+            }
+        }
         TelemetryReport {
-            counters: inner.counters.clone(),
-            timers: inner
-                .timers
+            counters,
+            timers: timers
                 .iter()
                 .map(|(k, s)| {
                     (
@@ -142,16 +290,33 @@ impl Telemetry {
                     )
                 })
                 .collect(),
+            hists: hists
+                .iter()
+                .filter(|(_, h)| !h.is_empty())
+                .map(|(k, h)| (k.clone(), h.to_summary()))
+                .collect(),
         }
     }
 
-    /// Snapshot and reset — the "flush" an uploader calls.
+    /// Snapshot and reset — the "flush" an uploader calls. Handle
+    /// registrations survive (values reset to zero), so held
+    /// [`CounterId`]/[`TimerId`]/[`HistId`]s stay valid across drains.
     #[must_use]
     pub fn drain(&self) -> TelemetryReport {
         let report = self.snapshot();
         let mut inner = self.inner.lock();
         inner.counters.clear();
         inner.timers.clear();
+        inner.hists.clear();
+        for (_, v) in inner.fast_counters.iter_mut() {
+            *v = 0;
+        }
+        for (_, s) in inner.fast_timers.iter_mut() {
+            *s = RunningStats::new();
+        }
+        for (_, h) in inner.fast_hists.iter_mut() {
+            *h = LogHistogram::new();
+        }
         report
     }
 }
@@ -163,6 +328,7 @@ impl TelemetryReport {
         TelemetryReport {
             counters: BTreeMap::new(),
             timers: BTreeMap::new(),
+            hists: BTreeMap::new(),
         }
     }
 
@@ -182,9 +348,15 @@ impl TelemetryReport {
     /// on-device aggregation is that this is *constant* in query count).
     #[must_use]
     pub fn wire_bytes(&self) -> usize {
-        // counter: key + 8 bytes; timer: key + 5 × 8 bytes.
+        // counter: key + 8 bytes; timer: key + 5 × 8 bytes; histogram:
+        // key + 12 bytes (u32 index + u64 count) per non-empty bucket.
         self.counters.keys().map(|k| k.len() + 8).sum::<usize>()
             + self.timers.keys().map(|k| k.len() + 40).sum::<usize>()
+            + self
+                .hists
+                .iter()
+                .map(|(k, h)| k.len() + 12 * h.buckets.len())
+                .sum::<usize>()
     }
 
     /// Merge another report into this one (server-side aggregation).
@@ -215,6 +387,9 @@ impl TelemetryReport {
                     mine.max = mine.max.max(t.max);
                 }
             }
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
         }
     }
 }
@@ -299,17 +474,110 @@ mod tests {
     }
 
     #[test]
+    fn handles_match_named_path_and_survive_drain() {
+        let by_name = Telemetry::new();
+        let by_id = Telemetry::new();
+        let c = by_id.counter_id("serve.served");
+        let tm = by_id.timer_id("serve.latency_ms");
+        let h = by_id.hist_id("serve.latency_us");
+        // Registration is idempotent and does not pollute reports.
+        assert_eq!(by_id.counter_id("serve.served"), c);
+        assert!(by_id.snapshot().counters.is_empty());
+        for i in 0..5u64 {
+            by_name.incr("serve.served");
+            by_id.incr_id(c);
+            by_name.record("serve.latency_ms", i as f64);
+            by_id.record_id(tm, i as f64);
+            by_name.record_hist("serve.latency_us", i * 100);
+            by_id.record_hist_id(h, i * 100);
+        }
+        assert_eq!(by_id.snapshot(), by_name.snapshot());
+        // Drain keeps handles valid; the next epoch records cleanly.
+        let _ = by_id.drain();
+        by_id.add_id(c, 3);
+        assert_eq!(by_id.counter("serve.served"), 3);
+        assert_eq!(by_id.snapshot().counters["serve.served"], 3);
+    }
+
+    #[test]
+    fn named_and_handle_lanes_fold_into_one_metric() {
+        let t = Telemetry::new();
+        let c = t.counter_id("q");
+        t.incr_id(c);
+        t.add("q", 2);
+        assert_eq!(t.counter("q"), 3);
+        assert_eq!(t.snapshot().counters["q"], 3);
+    }
+
+    #[test]
+    fn hists_merge_exactly_across_reports() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        let both = Telemetry::new();
+        for v in [100u64, 5_000, 90_000] {
+            a.record_hist("lat", v);
+            both.record_hist("lat", v);
+        }
+        for v in [250u64, 250, 1 << 33] {
+            b.record_hist("lat", v);
+            both.record_hist("lat", v);
+        }
+        let fleet = TelemetryReport::merged([a.drain(), b.drain()]);
+        let want = both.drain();
+        assert_eq!(fleet.hists["lat"], want.hists["lat"]);
+        assert_eq!(fleet.hists["lat"].count(), 6);
+        assert_eq!(
+            fleet.hists["lat"].quantile(50.0),
+            want.hists["lat"].quantile(50.0)
+        );
+    }
+
+    #[test]
+    fn absorb_report_lands_hists() {
+        let node = Telemetry::new();
+        node.record_hist("lat", 700);
+        node.record_hist("lat", 900);
+        let platform = Telemetry::new();
+        platform.record_hist("lat", 100);
+        platform.absorb_report(&node.drain());
+        assert_eq!(platform.snapshot().hists["lat"].count(), 3);
+    }
+
+    #[test]
     fn wire_bytes_constant_in_query_count() {
         let t = Telemetry::new();
         for _ in 0..10 {
             t.record("lat", 1.0);
+            t.record_hist("lat_us", 500);
         }
         let small = t.snapshot().wire_bytes();
         for _ in 0..10_000 {
             t.record("lat", 1.0);
+            t.record_hist("lat_us", 500);
         }
         let big = t.snapshot().wire_bytes();
         assert_eq!(small, big, "aggregation keeps reports constant-size");
+    }
+
+    #[test]
+    fn wire_bytes_empty_report_is_zero() {
+        assert_eq!(TelemetryReport::empty().wire_bytes(), 0);
+        let t = Telemetry::new();
+        assert_eq!(t.snapshot().wire_bytes(), 0);
+        // Registering handles without recording keeps the report empty.
+        let _ = t.counter_id("a");
+        let _ = t.timer_id("b");
+        let _ = t.hist_id("c");
+        assert_eq!(t.snapshot().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn wire_bytes_counts_each_section() {
+        let t = Telemetry::new();
+        t.incr("c"); // 1 + 8
+        t.record("t", 1.0); // 1 + 40
+        t.record_hist("h", 7); // 1 + 12 (one bucket)
+        assert_eq!(t.snapshot().wire_bytes(), 9 + 41 + 13);
     }
 
     #[test]
@@ -424,15 +692,56 @@ mod tests {
     }
 
     #[test]
+    fn upload_queue_non_bulk_backoff_preserves_order() {
+        let mut q = UploadQueue::new();
+        for i in 0..3u64 {
+            let t = Telemetry::new();
+            t.add("seq", i + 1);
+            q.push(t.drain());
+        }
+        // Metered link: repeated refusals neither drain nor reorder.
+        for _ in 0..5 {
+            assert!(q.try_upload(false).is_empty());
+        }
+        assert_eq!(q.pending(), 3);
+        assert_eq!(q.uploaded, 0);
+        assert_eq!(q.uploaded_bytes, 0);
+        // Bulk drain ships everything at once, FIFO.
+        let sent = q.try_upload(true);
+        let seqs: Vec<u64> = sent.iter().map(|r| r.counters["seq"]).collect();
+        assert_eq!(seqs, vec![1, 2, 3], "drain preserves push order");
+        assert_eq!(q.uploaded, 3);
+        assert_eq!(
+            q.uploaded_bytes,
+            sent.iter().map(TelemetryReport::wire_bytes).sum::<usize>()
+        );
+        // An empty bulk drain is free: no phantom uploads or bytes.
+        assert!(q.try_upload(true).is_empty());
+        assert_eq!(q.uploaded, 3);
+    }
+
+    #[test]
+    fn upload_queue_empty_reports_cost_nothing() {
+        let mut q = UploadQueue::new();
+        q.push(TelemetryReport::empty());
+        let sent = q.try_upload(true);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(q.uploaded_bytes, 0, "empty report has zero wire bytes");
+    }
+
+    #[test]
     fn telemetry_is_shareable_across_threads() {
         use std::sync::Arc;
         let t = Arc::new(Telemetry::new());
+        let t2 = Arc::clone(&t);
+        let c = t.counter_id("fast");
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let t = Arc::clone(&t);
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
                         t.incr("q");
+                        t.incr_id(c);
                     }
                 })
             })
@@ -440,6 +749,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(t.counter("q"), 4000);
+        assert_eq!(t2.counter("q"), 4000);
+        assert_eq!(t2.counter("fast"), 4000);
     }
 }

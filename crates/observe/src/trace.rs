@@ -1,0 +1,259 @@
+//! Request tracing: a per-node bounded flight recorder.
+//!
+//! §III-B's monitoring story needs *per-request lifecycles*, not just
+//! aggregates: when did a request get admitted, how long did it queue,
+//! which batch carried it, when did it complete or get shed. The
+//! [`FlightRecorder`] is a fixed-capacity ring buffer owned by one node's
+//! engine (no lock — lock-freedom by ownership), overwriting the oldest
+//! event when full, so memory stays bounded no matter how long the node
+//! runs. Events carry only logical timestamps handed in by the engine, so
+//! recording never perturbs replay determinism.
+//!
+//! [`chrome_trace_json`] renders events in the Chrome trace-event format:
+//! load the file at <https://ui.perfetto.dev> (or `chrome://tracing`) to
+//! see per-node (pid) per-tenant (tid) request spans.
+
+/// What a trace event marks in the request lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Request passed gateway admission.
+    Admit,
+    /// Request entered the micro-batcher queue.
+    Enqueue,
+    /// A batch was formed (detail = batch size).
+    Batch,
+    /// A batch was dispatched to a device (duration = service time,
+    /// detail = batch size).
+    Dispatch,
+    /// Request completed (duration = end-to-end latency).
+    Complete,
+    /// Request was shed (detail = `ShedReason` index).
+    Shed,
+    /// Model cache eviction during a load (detail = models evicted).
+    CacheEvict,
+    /// Tenant handoff during live migration (detail = peer node id).
+    Handoff,
+}
+
+impl SpanKind {
+    /// Stable label used as the Chrome trace event name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Admit => "admit",
+            SpanKind::Enqueue => "enqueue",
+            SpanKind::Batch => "batch",
+            SpanKind::Dispatch => "dispatch",
+            SpanKind::Complete => "complete",
+            SpanKind::Shed => "shed",
+            SpanKind::CacheEvict => "cache-evict",
+            SpanKind::Handoff => "handoff",
+        }
+    }
+}
+
+/// One recorded event. `dur_us == 0` renders as an instant event,
+/// anything else as a complete span (`ph: "X"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event start, logical microseconds.
+    pub ts_us: u64,
+    /// Span duration (0 for instant events).
+    pub dur_us: u64,
+    /// Lifecycle stage.
+    pub kind: SpanKind,
+    /// Node that recorded the event (Chrome `pid`).
+    pub node: u32,
+    /// Tenant the event belongs to (Chrome `tid`; 0 for node-level events).
+    pub tenant: u32,
+    /// Request id or batch sequence number.
+    pub id: u64,
+    /// Kind-specific payload (batch size, shed reason index, peer node…).
+    pub detail: u64,
+}
+
+/// Fixed-memory ring buffer of [`TraceEvent`]s, overwrite-oldest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorder {
+    buf: Vec<TraceEvent>,
+    /// Next write position when the ring has wrapped.
+    head: usize,
+    /// Total events ever offered (recorded + overwritten).
+    offered: u64,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// New recorder holding at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            offered: 0,
+            capacity,
+        }
+    }
+
+    /// Record an event, overwriting the oldest if the ring is full. O(1),
+    /// never allocates once the ring has filled.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.offered += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events lost to overwrite so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.offered - self.buf.len() as u64
+    }
+
+    /// Drain retained events in recording order (oldest first), leaving
+    /// the recorder empty.
+    #[must_use]
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        let head = std::mem::take(&mut self.head);
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.rotate_left(head);
+        buf
+    }
+}
+
+/// Escape a string for inclusion inside a JSON string literal.
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render events from one or more recorders as a Chrome trace-event JSON
+/// array (the format Perfetto and `chrome://tracing` load directly).
+/// Spans become `ph: "X"` complete events; zero-duration events become
+/// `ph: "i"` instants scoped to their thread.
+#[must_use]
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 2);
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        json_escape(e.kind.name(), &mut out);
+        out.push_str("\",\"cat\":\"serve\",\"ph\":\"");
+        out.push_str(if e.dur_us == 0 { "i" } else { "X" });
+        out.push_str("\",\"pid\":");
+        out.push_str(&e.node.to_string());
+        out.push_str(",\"tid\":");
+        out.push_str(&e.tenant.to_string());
+        out.push_str(",\"ts\":");
+        out.push_str(&e.ts_us.to_string());
+        if e.dur_us == 0 {
+            out.push_str(",\"s\":\"t\"");
+        } else {
+            out.push_str(",\"dur\":");
+            out.push_str(&e.dur_us.to_string());
+        }
+        out.push_str(",\"args\":{\"id\":");
+        out.push_str(&e.id.to_string());
+        out.push_str(",\"detail\":");
+        out.push_str(&e.detail.to_string());
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, kind: SpanKind, id: u64) -> TraceEvent {
+        TraceEvent {
+            ts_us: ts,
+            dur_us: if kind == SpanKind::Complete { 10 } else { 0 },
+            kind,
+            node: 1,
+            tenant: 2,
+            id,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            r.record(ev(i, SpanKind::Admit, i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let drained = r.drain();
+        let ids: Vec<u64> = drained.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![2, 3, 4], "oldest first, newest retained");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn recorder_under_capacity_keeps_order() {
+        let mut r = FlightRecorder::new(8);
+        r.record(ev(1, SpanKind::Admit, 10));
+        r.record(ev(2, SpanKind::Complete, 10));
+        assert_eq!(r.dropped(), 0);
+        let drained = r.drain();
+        assert_eq!(drained[0].kind, SpanKind::Admit);
+        assert_eq!(drained[1].kind, SpanKind::Complete);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let events = vec![ev(100, SpanKind::Admit, 7), ev(110, SpanKind::Complete, 7)];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"name\":\"admit\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":10"));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"tid\":2"));
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        let mut s = String::new();
+        json_escape("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\u000ad");
+    }
+}

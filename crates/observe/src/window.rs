@@ -1,0 +1,408 @@
+//! Windowed time-series and alarms: the controller-facing signal plane.
+//!
+//! End-of-run aggregates can't drive a control loop — a controller needs
+//! to see queue depth, shed rate, batch occupancy, cache hit rate and
+//! latency quantiles *as they evolve*. [`WindowTracker`] buckets a node's
+//! event stream into fixed virtual-time windows and seals one
+//! [`WindowSample`] per non-empty window. [`DriftBank`] runs one
+//! [`KsDetector`] per tenant over the completion-latency stream and turns
+//! drift verdicts into [`Alarm`]s. Both consume only logical timestamps
+//! and values handed in by the serving engine, so they are deterministic
+//! under replay.
+
+use crate::drift::{DriftDetector, DriftStatus, KsDetector};
+use crate::hist::LogHistogram;
+
+/// One sealed window of a node's serving activity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSample {
+    /// Window start, logical microseconds (aligned to the window length).
+    pub start_us: u64,
+    /// Requests that arrived in the window (admitted or shed).
+    pub arrivals: u64,
+    /// Requests completed in the window.
+    pub served: u64,
+    /// Requests shed in the window.
+    pub shed: u64,
+    /// Batches dispatched in the window.
+    pub batches: u64,
+    /// Requests carried by those batches.
+    pub batch_items: u64,
+    /// Maximum batcher queue depth observed in the window.
+    pub queue_depth_max: u64,
+    /// Model-cache hits observed at dispatch.
+    pub cache_hits: u64,
+    /// Model-cache misses observed at dispatch.
+    pub cache_misses: u64,
+    /// Median completion latency in the window, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile completion latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile completion latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl WindowSample {
+    fn empty(start_us: u64) -> Self {
+        WindowSample {
+            start_us,
+            arrivals: 0,
+            served: 0,
+            shed: 0,
+            batches: 0,
+            batch_items: 0,
+            queue_depth_max: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            p50_us: 0,
+            p95_us: 0,
+            p99_us: 0,
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.arrivals == 0 && self.served == 0 && self.shed == 0 && self.batches == 0
+    }
+
+    /// Fraction of this window's arrivals that were shed.
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.arrivals as f64
+    }
+
+    /// Mean requests per dispatched batch.
+    #[must_use]
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batch_items as f64 / self.batches as f64
+    }
+
+    /// Model-cache hit rate at dispatch within the window.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+}
+
+/// Buckets an event stream (nondecreasing logical timestamps) into
+/// fixed-length windows, sealing a [`WindowSample`] per non-empty window.
+#[derive(Debug, Clone)]
+pub struct WindowTracker {
+    window_us: u64,
+    cur: WindowSample,
+    latencies: LogHistogram,
+    sealed: Vec<WindowSample>,
+    touched: bool,
+}
+
+impl WindowTracker {
+    /// New tracker with the given window length (min 1 µs).
+    #[must_use]
+    pub fn new(window_us: u64) -> Self {
+        let window_us = window_us.max(1);
+        WindowTracker {
+            window_us,
+            cur: WindowSample::empty(0),
+            latencies: LogHistogram::new(),
+            sealed: Vec::new(),
+            touched: false,
+        }
+    }
+
+    /// Configured window length.
+    #[must_use]
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// Window start containing `now_us`.
+    #[must_use]
+    pub fn window_start(&self, now_us: u64) -> u64 {
+        now_us - now_us % self.window_us
+    }
+
+    /// Start of the window currently accumulating (valid after any
+    /// `on_*` call; callers stamping per-window data can reuse this
+    /// instead of re-deriving it from a timestamp).
+    #[must_use]
+    pub fn current_start(&self) -> u64 {
+        self.cur.start_us
+    }
+
+    /// Seal windows left behind by time advancing to `now_us`.
+    fn roll(&mut self, now_us: u64) {
+        // Fast path: still inside the current window. This runs on every
+        // observer hook, so it must not pay the division below.
+        if self.touched && now_us.wrapping_sub(self.cur.start_us) < self.window_us {
+            return;
+        }
+        let start = self.window_start(now_us);
+        if !self.touched {
+            self.touched = true;
+            self.cur.start_us = start;
+            return;
+        }
+        if start <= self.cur.start_us {
+            return;
+        }
+        self.seal();
+        self.cur = WindowSample::empty(start);
+    }
+
+    fn seal(&mut self) {
+        if self.cur.is_idle() {
+            return;
+        }
+        if !self.latencies.is_empty() {
+            self.cur.p50_us = self.latencies.quantile(50.0);
+            self.cur.p95_us = self.latencies.quantile(95.0);
+            self.cur.p99_us = self.latencies.quantile(99.0);
+        }
+        self.latencies = LogHistogram::new();
+        self.sealed.push(self.cur.clone());
+    }
+
+    /// A request arrived (before the admission verdict).
+    pub fn on_arrival(&mut self, now_us: u64) {
+        self.roll(now_us);
+        self.cur.arrivals += 1;
+    }
+
+    /// A request completed with the given end-to-end latency.
+    pub fn on_served(&mut self, now_us: u64, latency_us: u64) {
+        self.roll(now_us);
+        self.cur.served += 1;
+        self.latencies.record(latency_us);
+    }
+
+    /// A request was shed (at admission or later).
+    pub fn on_shed(&mut self, now_us: u64) {
+        self.roll(now_us);
+        self.cur.shed += 1;
+    }
+
+    /// A batch of `items` requests was dispatched.
+    pub fn on_batch(&mut self, now_us: u64, items: u64) {
+        self.roll(now_us);
+        self.cur.batches += 1;
+        self.cur.batch_items += items;
+    }
+
+    /// Sample the batcher queue depth.
+    pub fn on_queue_depth(&mut self, now_us: u64, depth: u64) {
+        self.roll(now_us);
+        self.cur.queue_depth_max = self.cur.queue_depth_max.max(depth);
+    }
+
+    /// A model-cache lookup at dispatch resolved as hit or miss.
+    pub fn on_cache(&mut self, now_us: u64, hit: bool) {
+        self.roll(now_us);
+        if hit {
+            self.cur.cache_hits += 1;
+        } else {
+            self.cur.cache_misses += 1;
+        }
+    }
+
+    /// Seal the trailing partial window and return the full series.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<WindowSample> {
+        self.seal();
+        self.sealed
+    }
+}
+
+/// What an alarm is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlarmKind {
+    /// A tenant's completion-latency distribution drifted from its own
+    /// early-run reference (KS test).
+    LatencyDrift,
+    /// A sealed window's shape (served/shed/p99) is anomalous relative to
+    /// the node's fitted window history.
+    WindowAnomaly,
+}
+
+impl AlarmKind {
+    /// Stable label for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AlarmKind::LatencyDrift => "latency-drift",
+            AlarmKind::WindowAnomaly => "window-anomaly",
+        }
+    }
+}
+
+/// One raised alarm: which tenant, which window, what kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alarm {
+    /// Affected tenant (0 for node-level alarms).
+    pub tenant: u32,
+    /// Start of the window the verdict landed in, logical microseconds.
+    pub window_start_us: u64,
+    /// What was detected.
+    pub kind: AlarmKind,
+    /// Detector that raised it (e.g. `ks`).
+    pub detector: &'static str,
+}
+
+/// One [`KsDetector`] per tenant over a scalar stream (completion latency
+/// in ms), collecting [`Alarm`]s on drift verdicts. Each tenant's first
+/// `window` observations freeze its personal reference, so the bank flags
+/// *change relative to that tenant's own early behaviour*.
+#[derive(Debug, Clone)]
+pub struct DriftBank {
+    window: usize,
+    alpha: f64,
+    // Split key/detector storage: the bank is probed once per completed
+    // request, and at serving tenant counts (tens) a linear scan over a
+    // contiguous `u32` key array — one or two cache lines — beats both
+    // tree lookup and scanning tuples padded out by inline detectors.
+    tenants: Vec<u32>,
+    detectors: Vec<(KsDetector, u64)>,
+    alarms: Vec<Alarm>,
+}
+
+impl DriftBank {
+    /// `window` per-tenant KS window (min 8), `alpha` significance.
+    #[must_use]
+    pub fn new(window: usize, alpha: f64) -> Self {
+        DriftBank {
+            window: window.max(8),
+            alpha,
+            tenants: Vec::new(),
+            detectors: Vec::new(),
+            alarms: Vec::new(),
+        }
+    }
+
+    /// Feed one observation for `tenant` stamped `window_start_us`. The
+    /// detector's status is sticky between judgements, so an alarm is
+    /// appended only when a *judgement* (one per non-overlapping KS
+    /// window) lands on drift — one alarm per drifted window, not per
+    /// observation.
+    pub fn observe(&mut self, tenant: u32, window_start_us: u64, x: f64) {
+        let w = self.window as u64;
+        let idx = match self.tenants.iter().position(|t| *t == tenant) {
+            Some(i) => i,
+            None => {
+                self.tenants.push(tenant);
+                self.detectors
+                    .push((KsDetector::new(self.window, self.alpha), 0));
+                self.detectors.len() - 1
+            }
+        };
+        let (det, seen) = &mut self.detectors[idx];
+        *seen += 1;
+        let judged = *seen >= 2 * w && *seen % w == 0;
+        if det.observe(x) == DriftStatus::Drift && judged {
+            self.alarms.push(Alarm {
+                tenant,
+                window_start_us,
+                kind: AlarmKind::LatencyDrift,
+                detector: det.name(),
+            });
+        }
+    }
+
+    /// Tenants currently tracked.
+    #[must_use]
+    pub fn tenants(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Alarms raised so far (consumes the bank).
+    #[must_use]
+    pub fn finish(self) -> Vec<Alarm> {
+        self.alarms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_seal_on_time_boundaries() {
+        let mut w = WindowTracker::new(1000);
+        w.on_arrival(100);
+        w.on_served(400, 300);
+        w.on_arrival(1100); // crosses into the second window
+        w.on_shed(1200);
+        let series = w.finish();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].start_us, 0);
+        assert_eq!(series[0].arrivals, 1);
+        assert_eq!(series[0].served, 1);
+        assert_eq!(series[0].p50_us, 300 - 300 % 8); // bucket lower bound
+        assert_eq!(series[1].start_us, 1000);
+        assert_eq!(series[1].shed, 1);
+    }
+
+    #[test]
+    fn idle_windows_are_skipped() {
+        let mut w = WindowTracker::new(100);
+        w.on_served(50, 10);
+        w.on_served(100_050, 10); // ~1000 idle windows between
+        let series = w.finish();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[1].start_us, 100_000);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let mut w = WindowTracker::new(1000);
+        for _ in 0..4 {
+            w.on_arrival(10);
+        }
+        w.on_shed(20);
+        w.on_batch(30, 3);
+        w.on_cache(40, true);
+        w.on_cache(41, false);
+        w.on_queue_depth(50, 7);
+        w.on_queue_depth(60, 2);
+        let s = &w.finish()[0];
+        assert!((s.shed_rate() - 0.25).abs() < 1e-12);
+        assert!((s.batch_occupancy() - 3.0).abs() < 1e-12);
+        assert!((s.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.queue_depth_max, 7);
+    }
+
+    #[test]
+    fn drift_bank_flags_shifted_tenant_only() {
+        let mut bank = DriftBank::new(32, 0.01);
+        // Tenant 1: stable (period-2 stream, identical in every window).
+        // Tenant 2: latency triples halfway through.
+        for i in 0..256u32 {
+            bank.observe(1, u64::from(i) * 100, 10.0 + f64::from(i % 2));
+            let base = 10.0 + f64::from(i % 7);
+            let t2 = if i < 128 { base } else { base * 3.0 };
+            bank.observe(2, u64::from(i) * 100, t2);
+        }
+        assert_eq!(bank.tenants(), 2);
+        let alarms = bank.finish();
+        assert!(!alarms.is_empty(), "shift must raise at least one alarm");
+        assert!(alarms.iter().all(|a| a.tenant == 2), "{alarms:?}");
+        assert!(alarms
+            .iter()
+            .all(|a| a.kind == AlarmKind::LatencyDrift && a.detector == "ks"));
+    }
+
+    #[test]
+    fn alarm_kinds_have_distinct_names() {
+        assert_ne!(
+            AlarmKind::LatencyDrift.name(),
+            AlarmKind::WindowAnomaly.name()
+        );
+    }
+}

@@ -45,6 +45,7 @@ use crate::fabric::{
     adopt_destination, drain_source, FabricReport, HandoffPackage, MigrationPhase, MigrationRecord,
     MigrationSpec, ServeFabric,
 };
+use crate::observer::NodeObserver;
 use crate::request::{Request, TenantId};
 use crate::shard::NodeId;
 use crate::sim::{ServeConfig, ServeEngine, ServePlane};
@@ -319,6 +320,7 @@ fn node_worker(
     plane: &mut ServePlane,
     telemetry: &Telemetry,
     serve_cfg: &ServeConfig,
+    observer: Option<Box<NodeObserver>>,
     queue: &IngestQueue<Ingest>,
     mode: ExecMode,
     wall: &WallClock,
@@ -328,6 +330,7 @@ fn node_worker(
         return Err(ServeError::NoFamilies);
     }
     let mut engine = ServeEngine::new(serve_cfg.clone(), Some(telemetry));
+    engine.set_observer(observer);
     let handle = |engine: &mut ServeEngine<'_>, plane: &mut ServePlane, item: Ingest| {
         match item {
             Ingest::Arrival(mut request) => {
@@ -426,6 +429,7 @@ pub fn run_fabric_live_migrating(
     }
     let refunded_before = fabric.refunded_total();
     let serve_cfg = fabric.serve_config().clone();
+    let observe_cfg = fabric.observe_config().clone();
     let mode = cfg.mode;
     let wall = WallClock::new();
     let start = Instant::now();
@@ -447,9 +451,14 @@ pub fn run_fabric_live_migrating(
             .map(|(node, queue)| {
                 let serve_cfg = &serve_cfg;
                 let wall = &wall;
+                let observer = observe_cfg
+                    .enabled
+                    .then(|| Box::new(NodeObserver::new(node.id, observe_cfg.clone())));
                 let plane = &mut node.plane;
                 let telemetry = &node.telemetry;
-                s.spawn(move || node_worker(plane, telemetry, serve_cfg, queue, mode, wall))
+                s.spawn(move || {
+                    node_worker(plane, telemetry, serve_cfg, observer, queue, mode, wall)
+                })
             })
             .collect();
 

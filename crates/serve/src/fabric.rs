@@ -30,6 +30,7 @@
 //!   [`FabricConfig::load_factor`] × its fair share; hot tenants
 //!   overflow to their next-best rendezvous node.
 
+use crate::observer::{NodeObserver, ObserveConfig};
 use crate::request::{Request, ShedReason, TenantId};
 use crate::shard::{NodeId, ShardNode, ShardRouter};
 use crate::sim::{ExecModel, ServeConfig, ServeEngine, ServePlane};
@@ -38,7 +39,9 @@ use crate::ServeError;
 use std::collections::BTreeMap;
 use tinymlops_device::Fleet;
 use tinymlops_meter::MeterError;
-use tinymlops_observe::{Telemetry, TelemetryReport};
+use tinymlops_observe::{
+    Alarm, LogHistogram, Telemetry, TelemetryReport, TraceEvent, WindowSample,
+};
 use tinymlops_registry::{ModelId, ModelRecord};
 
 /// One node's replay context inside the interleaved fabric loop: its
@@ -124,6 +127,11 @@ pub struct FabricConfig {
     pub load_factor: f64,
     /// Per-node serving configuration (every node runs the same policy).
     pub serve: ServeConfig,
+    /// Per-node observability (tracing, windowed series, detectors).
+    /// Disabled by default; when disabled the fabric report's
+    /// observability fields stay empty and runs are byte-identical to a
+    /// build without the observer.
+    pub observe: ObserveConfig,
 }
 
 impl Default for FabricConfig {
@@ -133,6 +141,7 @@ impl Default for FabricConfig {
             tenant_affinity: 0.5,
             load_factor: f64::INFINITY,
             serve: ServeConfig::default(),
+            observe: ObserveConfig::default(),
         }
     }
 }
@@ -246,6 +255,7 @@ impl MigrationRecord {
 pub(crate) struct HandoffPackage {
     pub(crate) account: crate::gateway::TenantAccount,
     pub(crate) spliced: Vec<Request>,
+    pub(crate) from: NodeId,
     pub(crate) handoff_us: u64,
     pub(crate) drained_in_flight: usize,
     pub(crate) admitted_before_handoff: u64,
@@ -274,9 +284,11 @@ pub(crate) fn drain_source(
     account.pending = account.pending.saturating_sub(drained_in_flight);
     let admitted_before_handoff = account.admitted;
     account.quota.handoff(from, to, handoff_us / 1000);
+    engine.observe_handoff(handoff_us, tenant, to, true);
     Some(HandoffPackage {
         account,
         spliced,
+        from,
         handoff_us,
         drained_in_flight,
         admitted_before_handoff,
@@ -295,6 +307,7 @@ pub(crate) fn adopt_destination(
     at_us: u64,
 ) {
     engine.run_timers_through(plane, at_us, true);
+    engine.observe_handoff(at_us, tenant, package.from, false);
     plane.gateway.adopt_tenant(tenant, package.account);
     engine.adopt_spliced(plane, package.spliced, at_us);
 }
@@ -338,6 +351,21 @@ pub struct FabricReport {
     pub tenants_per_node: Vec<(NodeId, usize)>,
     /// Refund chain entries appended during this run (across all nodes).
     pub refunds: u64,
+    /// Fleet latency histogram: exact bucket-wise merge of every node's
+    /// log-bucketed accumulator, so fleet quantiles stay mergeable and
+    /// bounded-memory even when the raw sample union would not be.
+    pub latency_hist: LogHistogram,
+    /// Per-node windowed time series (queue depth, shed rate, batch
+    /// occupancy, cache hit rate, latency quantiles), node-id order.
+    /// Empty unless [`FabricConfig::observe`] is enabled.
+    pub windows: Vec<(NodeId, Vec<WindowSample>)>,
+    /// Alarms raised by the per-node detector banks (drift, window
+    /// anomaly), tagged with the raising node. Empty when observability
+    /// is disabled.
+    pub alarms: Vec<(NodeId, Alarm)>,
+    /// Per-node flight-recorder contents (bounded rings, oldest first).
+    /// Empty when observability is disabled.
+    pub traces: Vec<(NodeId, Vec<TraceEvent>)>,
 }
 
 impl FabricReport {
@@ -378,6 +406,7 @@ pub struct ServeFabric {
     /// Installed executables, ditto.
     exec: BTreeMap<ModelId, ExecModel>,
     serve_cfg: ServeConfig,
+    observe_cfg: ObserveConfig,
     load_factor: f64,
     next_node_id: NodeId,
 }
@@ -423,6 +452,7 @@ impl ServeFabric {
             families: BTreeMap::new(),
             exec: BTreeMap::new(),
             serve_cfg: cfg.serve.clone(),
+            observe_cfg: cfg.observe.clone(),
             load_factor: cfg.load_factor,
             next_node_id,
         }
@@ -721,6 +751,7 @@ impl ServeFabric {
         }
         let refunded_before: u64 = self.refunded_total();
         let serve_cfg = self.serve_cfg.clone();
+        let observe_cfg = self.observe_cfg.clone();
         let mut ordered: Vec<&MigrationSpec> = specs.iter().collect();
         ordered.sort_by_key(|s| s.trigger_us);
         let mut records: Vec<MigrationRecord> = Vec::with_capacity(specs.len());
@@ -740,10 +771,17 @@ impl ServeFabric {
                         plane,
                         telemetry,
                     } = node;
+                    let mut engine = ServeEngine::new(serve_cfg.clone(), Some(&*telemetry));
+                    if observe_cfg.enabled {
+                        engine.set_observer(Some(Box::new(NodeObserver::new(
+                            *id,
+                            observe_cfg.clone(),
+                        ))));
+                    }
                     NodeCtx {
                         id: *id,
                         plane,
-                        engine: ServeEngine::new(serve_cfg.clone(), Some(&*telemetry)),
+                        engine,
                     }
                 })
                 .collect();
@@ -852,7 +890,16 @@ impl ServeFabric {
         let mut fleet_hits = 0;
         let mut fleet_misses = 0;
         let mut fleet_devices = 0;
-        for (id, stats) in per_node {
+        let mut windows = Vec::new();
+        let mut alarms = Vec::new();
+        let mut traces = Vec::new();
+        for (id, mut stats) in per_node {
+            if let Some(obs) = stats.take_observation() {
+                let obs = *obs;
+                windows.push((id, obs.windows));
+                alarms.extend(obs.alarms.into_iter().map(|a| (id, a)));
+                traces.push((id, obs.events));
+            }
             let node = self
                 .nodes
                 .iter()
@@ -883,12 +930,17 @@ impl ServeFabric {
                 (n.id, count)
             })
             .collect();
+        let latency_hist = fleet_stats.histogram().clone();
         FabricReport {
             fleet,
             per_node: per_node_reports,
             telemetry: TelemetryReport::merged(node_reports_telemetry),
             tenants_per_node,
             refunds: self.refunded_total() - refunded_before,
+            latency_hist,
+            windows,
+            alarms,
+            traces,
         }
     }
 
@@ -915,6 +967,12 @@ impl ServeFabric {
     #[must_use]
     pub fn serve_config(&self) -> &ServeConfig {
         &self.serve_cfg
+    }
+
+    /// The per-node observability configuration.
+    #[must_use]
+    pub fn observe_config(&self) -> &ObserveConfig {
+        &self.observe_cfg
     }
 
     pub(crate) fn refunded_total(&self) -> u64 {
@@ -1203,6 +1261,67 @@ mod tests {
         assert_eq!(live_records, sim_records, "records bit-identical");
         assert_eq!(sim.quota_census(), live.quota_census());
         assert_eq!(sim.home_node(2), live.home_node(2));
+    }
+
+    #[test]
+    fn observability_is_off_by_default_and_bit_identical_when_on() {
+        use tinymlops_observe::SpanKind;
+        let p = plan(29, 6_000.0, 1_000_000, 10);
+        let stream = p.generate();
+        let mut probe = fabric(&FabricConfig::default(), 60, 9);
+        probe.provision(&p);
+        let tenant = 1u32;
+        let from = probe.home_node(tenant).unwrap();
+        let to = (0..3).find(|n| *n != from).unwrap();
+        let specs = [MigrationSpec {
+            tenant,
+            to,
+            trigger_us: 500_000,
+        }];
+        let (off_report, _) = probe.run_migrating(&stream, &specs).unwrap();
+        assert!(off_report.windows.is_empty(), "disabled ⇒ no windows");
+        assert!(off_report.alarms.is_empty(), "disabled ⇒ no alarms");
+        assert!(off_report.traces.is_empty(), "disabled ⇒ no traces");
+        assert_eq!(
+            off_report.latency_hist.count(),
+            off_report.fleet.served,
+            "fleet histogram always carries every served sample"
+        );
+
+        let cfg_on = FabricConfig {
+            // Ring big enough to hold the whole run: the default cache-sized
+            // ring would overwrite the mid-stream handoff events.
+            observe: ObserveConfig {
+                trace_capacity: 1 << 16,
+                ..ObserveConfig::enabled()
+            },
+            ..FabricConfig::default()
+        };
+        let mut sim = fabric(&cfg_on, 60, 9);
+        sim.provision(&p);
+        let (sim_report, sim_records) = sim.run_migrating(&stream, &specs).unwrap();
+        assert_eq!(
+            sim_report.fleet, off_report.fleet,
+            "observation never changes a serving decision"
+        );
+        let mut live = fabric(&cfg_on, 60, 9);
+        live.provision(&p);
+        let (live_report, live_records) = live
+            .run_live_migrating(&stream, &crate::exec::ExecConfig::default(), &specs)
+            .unwrap();
+        assert_eq!(
+            live_report.fabric, sim_report,
+            "windows, alarms and traces replay bit-identically on threads"
+        );
+        assert_eq!(live_records, sim_records);
+        let handoffs = sim_report
+            .traces
+            .iter()
+            .flat_map(|(_, events)| events)
+            .filter(|e| e.kind == SpanKind::Handoff)
+            .count();
+        assert_eq!(handoffs, 2, "source and destination each record it");
+        assert!(!sim_report.windows.is_empty(), "series populated when on");
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod exec;
 pub mod fabric;
 pub mod gateway;
 pub mod loadgen;
+pub mod observer;
 pub mod request;
 pub mod router;
 pub mod shard;
@@ -71,6 +72,7 @@ pub use fabric::{
 };
 pub use gateway::{Gateway, GatewayConfig, TenantAccount};
 pub use loadgen::{LoadPlan, TenantSpec};
+pub use observer::{NodeObservation, NodeObserver, ObserveConfig};
 pub use request::{Disposition, Request, RequestId, ShedReason, TenantId};
 pub use router::{Route, Router};
 pub use shard::{NodeId, ShardNode, ShardRouter};

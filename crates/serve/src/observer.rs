@@ -1,0 +1,359 @@
+//! Per-node observability: the serving-plane wiring of `observe`'s
+//! flight recorder, window tracker, and detector bank.
+//!
+//! A [`NodeObserver`] is owned by one node's `ServeEngine` (`&mut` access
+//! only — no locks) and fed at the same engine points on both backends,
+//! keyed exclusively on logical timestamps the engine already computes.
+//! It therefore never influences a serving decision and produces
+//! bit-identical output under `ExecMode::Replay` on the simulator and the
+//! threaded live path. When disabled (the default) the engine carries no
+//! observer and the hot path pays a single `Option` check per hook.
+
+use crate::request::{Request, ShedReason, TenantId};
+use crate::NodeId;
+use tinymlops_observe::{
+    Alarm, AlarmKind, AnomalyScorer, DriftBank, FlightRecorder, SpanKind, TraceEvent, WindowSample,
+    WindowTracker,
+};
+
+/// Observability configuration for a serving fabric. Disabled by default:
+/// a default-constructed config adds no events, windows, or alarms, and
+/// fabric reports stay byte-identical to pre-observability runs.
+#[derive(Debug, Clone)]
+pub struct ObserveConfig {
+    /// Master switch; everything below is inert when false.
+    pub enabled: bool,
+    /// Flight-recorder ring capacity per node (events; fixed memory).
+    /// The default keeps the ring cache-resident — the ring is written
+    /// several times per request, and a ring larger than L2 turns every
+    /// event into a cache miss. Raise it (e.g. to cover a whole run for
+    /// a trace dump) only when the extra overhead is acceptable.
+    pub trace_capacity: usize,
+    /// Time-series window length, logical microseconds.
+    pub window_us: u64,
+    /// Per-tenant KS drift window over completion latencies (min 8).
+    pub drift_window: usize,
+    /// KS significance level for drift alarms.
+    pub drift_alpha: f64,
+    /// Z-score threshold for window-shape anomaly alarms.
+    pub anomaly_threshold: f64,
+}
+
+impl Default for ObserveConfig {
+    fn default() -> Self {
+        ObserveConfig {
+            enabled: false,
+            trace_capacity: 512,
+            window_us: 100_000,
+            drift_window: 64,
+            drift_alpha: 0.001,
+            anomaly_threshold: 6.0,
+        }
+    }
+}
+
+impl ObserveConfig {
+    /// An enabled config with default knobs.
+    #[must_use]
+    pub fn enabled() -> Self {
+        ObserveConfig {
+            enabled: true,
+            ..ObserveConfig::default()
+        }
+    }
+}
+
+/// Everything one node's observer collected over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeObservation {
+    /// Node that produced this observation.
+    pub node: NodeId,
+    /// Sealed time-series windows, chronological.
+    pub windows: Vec<WindowSample>,
+    /// Alarms raised (drift first, then window anomalies), chronological
+    /// within each kind.
+    pub alarms: Vec<Alarm>,
+    /// Flight-recorder contents, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overwrite.
+    pub dropped_events: u64,
+}
+
+/// Per-node observer: flight recorder + window tracker + detectors.
+#[derive(Debug)]
+pub struct NodeObserver {
+    node: NodeId,
+    cfg: ObserveConfig,
+    recorder: FlightRecorder,
+    windows: WindowTracker,
+    drift: DriftBank,
+    anomaly: AnomalyScorer,
+    anomaly_alarms: Vec<Alarm>,
+}
+
+/// Number of windows the anomaly scorer must fit before judging.
+const ANOMALY_WARMUP_WINDOWS: u64 = 8;
+
+impl NodeObserver {
+    /// New observer for `node` (callers gate on `cfg.enabled`).
+    #[must_use]
+    pub fn new(node: NodeId, cfg: ObserveConfig) -> Self {
+        NodeObserver {
+            node,
+            recorder: FlightRecorder::new(cfg.trace_capacity),
+            windows: WindowTracker::new(cfg.window_us),
+            drift: DriftBank::new(cfg.drift_window, cfg.drift_alpha),
+            anomaly: AnomalyScorer::new(3),
+            anomaly_alarms: Vec::new(),
+            cfg,
+        }
+    }
+
+    fn event(
+        &mut self,
+        ts_us: u64,
+        dur_us: u64,
+        kind: SpanKind,
+        tenant: TenantId,
+        id: u64,
+        detail: u64,
+    ) {
+        self.recorder.record(TraceEvent {
+            ts_us,
+            dur_us,
+            kind,
+            node: self.node,
+            tenant,
+            id,
+            detail,
+        });
+    }
+
+    /// A request arrived at the gateway (before the admission verdict).
+    pub fn on_arrival(&mut self, now_us: u64) {
+        self.windows.on_arrival(now_us);
+    }
+
+    /// The gateway admitted a request; `depth` is the batcher queue depth
+    /// right after enqueue.
+    pub fn on_admit(&mut self, now_us: u64, request: &Request, depth: usize) {
+        self.event(now_us, 0, SpanKind::Admit, request.tenant, request.id, 0);
+        self.event(
+            now_us,
+            0,
+            SpanKind::Enqueue,
+            request.tenant,
+            request.id,
+            depth as u64,
+        );
+        self.windows.on_queue_depth(now_us, depth as u64);
+    }
+
+    /// A request was shed, at admission or later.
+    pub fn on_shed(&mut self, now_us: u64, tenant: TenantId, id: u64, reason: ShedReason) {
+        self.event(now_us, 0, SpanKind::Shed, tenant, id, reason.index() as u64);
+        self.windows.on_shed(now_us);
+    }
+
+    /// A batch of `items` requests was formed and is being dispatched;
+    /// `service_us` is the device service time, `seq` the in-flight slot.
+    pub fn on_dispatch(&mut self, now_us: u64, seq: u64, items: usize, service_us: u64) {
+        self.event(now_us, 0, SpanKind::Batch, 0, seq, items as u64);
+        self.event(
+            now_us,
+            service_us.max(1),
+            SpanKind::Dispatch,
+            0,
+            seq,
+            items as u64,
+        );
+        self.windows.on_batch(now_us, items as u64);
+    }
+
+    /// The model-cache lookup for a dispatch resolved; on a miss that
+    /// evicted residents, `evicted > 0`.
+    pub fn on_cache(&mut self, now_us: u64, hit: bool, evicted: usize) {
+        self.windows.on_cache(now_us, hit);
+        if evicted > 0 {
+            self.event(now_us, 0, SpanKind::CacheEvict, 0, 0, evicted as u64);
+        }
+    }
+
+    /// A request completed: full-latency span plus window and per-tenant
+    /// drift feeds.
+    pub fn on_complete(&mut self, done_us: u64, request: &Request, latency_us: u64) {
+        self.event(
+            request.arrival_us,
+            latency_us.max(1),
+            SpanKind::Complete,
+            request.tenant,
+            request.id,
+            0,
+        );
+        self.windows.on_served(done_us, latency_us);
+        // `on_served` just rolled the tracker to `done_us`, so its
+        // current window start is exactly `window_start(done_us)` —
+        // reused here to keep the completion path division-free.
+        self.drift.observe(
+            request.tenant,
+            self.windows.current_start(),
+            latency_us as f64 / 1000.0,
+        );
+    }
+
+    /// A tenant handoff (live migration) touched this node; `to_peer` is
+    /// true on the draining source, false on the adopting destination.
+    pub fn on_handoff(&mut self, at_us: u64, tenant: TenantId, peer: NodeId, to_peer: bool) {
+        self.event(
+            at_us,
+            0,
+            SpanKind::Handoff,
+            tenant,
+            u64::from(to_peer),
+            u64::from(peer),
+        );
+    }
+
+    /// Finish: seal windows, run the window-shape anomaly pass, and
+    /// package everything. The anomaly scorer fits sealed windows in
+    /// order, judging each against the windows before it — deterministic,
+    /// no wall-clock input.
+    #[must_use]
+    pub fn finish(mut self) -> NodeObservation {
+        let windows = self.windows.finish();
+        for w in &windows {
+            let features = [w.served as f32, w.shed as f32, (w.p99_us as f32).ln_1p()];
+            if self.anomaly.fitted() >= ANOMALY_WARMUP_WINDOWS
+                && self
+                    .anomaly
+                    .is_anomalous(&features, self.cfg.anomaly_threshold)
+            {
+                self.anomaly_alarms.push(Alarm {
+                    tenant: 0,
+                    window_start_us: w.start_us,
+                    kind: AlarmKind::WindowAnomaly,
+                    detector: "zscore",
+                });
+            }
+            self.anomaly.fit_one(&features);
+        }
+        let mut alarms = self.drift.finish();
+        alarms.extend(self.anomaly_alarms);
+        let dropped_events = self.recorder.dropped();
+        NodeObservation {
+            node: self.node,
+            windows,
+            alarms,
+            events: self.recorder.drain(),
+            dropped_events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, tenant: TenantId, arrival_us: u64) -> Request {
+        Request {
+            id,
+            tenant,
+            model: "m".into(),
+            arrival_us,
+            deadline_us: 100_000,
+            features: None,
+        }
+    }
+
+    #[test]
+    fn default_config_is_disabled() {
+        assert!(!ObserveConfig::default().enabled);
+        assert!(ObserveConfig::enabled().enabled);
+    }
+
+    #[test]
+    fn lifecycle_events_and_windows() {
+        let mut obs = NodeObserver::new(3, ObserveConfig::enabled());
+        let r = request(1, 9, 1000);
+        obs.on_arrival(r.arrival_us);
+        obs.on_admit(r.arrival_us, &r, 1);
+        obs.on_dispatch(2000, 0, 1, 500);
+        obs.on_cache(2000, false, 2);
+        obs.on_complete(2500, &r, 1500);
+        obs.on_handoff(3000, 9, 1, true);
+        let out = obs.finish();
+        assert_eq!(out.node, 3);
+        let kinds: Vec<SpanKind> = out.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SpanKind::Admit,
+                SpanKind::Enqueue,
+                SpanKind::Batch,
+                SpanKind::Dispatch,
+                SpanKind::CacheEvict,
+                SpanKind::Complete,
+                SpanKind::Handoff,
+            ]
+        );
+        assert!(out.events.iter().all(|e| e.node == 3));
+        assert_eq!(out.windows.len(), 1);
+        let w = &out.windows[0];
+        assert_eq!(w.arrivals, 1);
+        assert_eq!(w.served, 1);
+        assert_eq!(w.cache_misses, 1);
+        assert_eq!(out.dropped_events, 0);
+    }
+
+    #[test]
+    fn stable_stream_raises_no_alarms() {
+        let mut obs = NodeObserver::new(0, ObserveConfig::enabled());
+        for i in 0..512u64 {
+            let r = request(i, 1, i * 1000);
+            obs.on_arrival(r.arrival_us);
+            obs.on_admit(r.arrival_us, &r, 1);
+            obs.on_complete(r.arrival_us + 2000, &r, 2000 + (i % 4) * 10);
+        }
+        let out = obs.finish();
+        assert!(out.alarms.is_empty(), "{:?}", out.alarms);
+        assert!(!out.windows.is_empty());
+    }
+
+    #[test]
+    fn latency_shift_raises_tenant_drift_alarm() {
+        let mut obs = NodeObserver::new(0, ObserveConfig::enabled());
+        for i in 0..512u64 {
+            let r = request(i, 7, i * 1000);
+            obs.on_arrival(r.arrival_us);
+            // Latency regime change at the halfway point.
+            let latency = if i < 256 {
+                2000 + (i % 16) * 20
+            } else {
+                9000 + (i % 16) * 20
+            };
+            obs.on_complete(r.arrival_us + latency, &r, latency);
+        }
+        let out = obs.finish();
+        assert!(
+            out.alarms
+                .iter()
+                .any(|a| a.tenant == 7 && a.kind == AlarmKind::LatencyDrift),
+            "{:?}",
+            out.alarms
+        );
+    }
+
+    #[test]
+    fn ring_capacity_bounds_events() {
+        let mut cfg = ObserveConfig::enabled();
+        cfg.trace_capacity = 16;
+        let mut obs = NodeObserver::new(0, cfg);
+        for i in 0..100u64 {
+            let r = request(i, 1, i * 10);
+            obs.on_admit(r.arrival_us, &r, 0);
+        }
+        let out = obs.finish();
+        assert_eq!(out.events.len(), 16);
+        assert_eq!(out.dropped_events, 200 - 16, "admit+enqueue per request");
+    }
+}

@@ -62,6 +62,20 @@ impl ShedReason {
         }
     }
 
+    /// Dense index of this reason within [`ShedReason::all`] — lets hot
+    /// paths keep per-reason state in a fixed array instead of formatting
+    /// metric names per event.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            ShedReason::QuotaExhausted => 0,
+            ShedReason::TenantBackpressure => 1,
+            ShedReason::Overload => 2,
+            ShedReason::NoRoute => 3,
+            ShedReason::DeadlineExpired => 4,
+        }
+    }
+
     /// All reasons, for report tables.
     #[must_use]
     pub fn all() -> [ShedReason; 5] {
@@ -104,6 +118,13 @@ mod tests {
             features: None,
         };
         assert_eq!(r.deadline_abs_us(), u64::MAX);
+    }
+
+    #[test]
+    fn shed_reason_index_matches_all_order() {
+        for (i, r) in ShedReason::all().iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //! [`crate::clock`]).
 
 use crate::batcher::{Batch, BatchPolicy, MicroBatcher, PushOutcome};
-use crate::cache::ModelCache;
+use crate::cache::{Admission, ModelCache};
 use crate::gateway::{Gateway, GatewayConfig};
 use crate::loadgen::LoadPlan;
-use crate::request::{Request, ShedReason};
+use crate::observer::NodeObserver;
+use crate::request::{Request, ShedReason, TenantId};
 use crate::router::Router;
+use crate::shard::NodeId;
 use crate::stats::{ServeReport, ServeStats};
 use crate::ServeError;
 use std::cmp::Reverse;
@@ -25,7 +27,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use tinymlops_deploy::Requirements;
 use tinymlops_device::Fleet;
 use tinymlops_nn::Sequential;
-use tinymlops_observe::Telemetry;
+use tinymlops_observe::{CounterId, HistId, Telemetry, TimerId};
 use tinymlops_quant::QuantizedModel;
 use tinymlops_registry::{ModelId, ModelRecord};
 use tinymlops_tensor::Tensor;
@@ -160,6 +162,38 @@ struct InFlight {
     done_us: u64,
 }
 
+/// Pre-registered telemetry handles for the serving hot path. Metric
+/// names are interned once at engine construction; per-event emission is
+/// then an index into the sink's fast lane — no map lookup and, for shed
+/// counters, no per-event `format!` allocation.
+struct ServeMetrics {
+    served: CounterId,
+    latency_ms: TimerId,
+    latency_us: HistId,
+    admitted: CounterId,
+    refunded: CounterId,
+    batches: CounterId,
+    batch_size: TimerId,
+    /// Indexed by [`ShedReason::index`].
+    shed: [CounterId; 5],
+}
+
+impl ServeMetrics {
+    fn register(t: &Telemetry) -> Self {
+        let shed = ShedReason::all().map(|r| t.counter_id(&format!("serve.shed.{}", r.name())));
+        ServeMetrics {
+            served: t.counter_id("serve.served"),
+            latency_ms: t.timer_id("serve.latency_ms"),
+            latency_us: t.hist_id("serve.latency_us"),
+            admitted: t.counter_id("serve.admitted"),
+            refunded: t.counter_id("serve.refunded"),
+            batches: t.counter_id("serve.batches"),
+            batch_size: t.timer_id("serve.batch_size"),
+            shed,
+        }
+    }
+}
+
 /// The per-node serving event core, shared by both backends.
 ///
 /// The engine owns the timer heap, in-flight batch slab and statistics
@@ -172,6 +206,8 @@ struct InFlight {
 pub(crate) struct ServeEngine<'t> {
     cfg: ServeConfig,
     telemetry: Option<&'t Telemetry>,
+    metrics: Option<ServeMetrics>,
+    observer: Option<Box<NodeObserver>>,
     stats: ServeStats,
     timers: BinaryHeap<Reverse<(u64, u64, Timer)>>,
     seq: u64,
@@ -183,6 +219,8 @@ impl<'t> ServeEngine<'t> {
         let mut engine = ServeEngine {
             cfg,
             telemetry,
+            metrics: telemetry.map(ServeMetrics::register),
+            observer: None,
             stats: ServeStats::new(),
             timers: BinaryHeap::new(),
             seq: 0,
@@ -192,6 +230,36 @@ impl<'t> ServeEngine<'t> {
             engine.arm(engine.cfg.fleet_step_period_us, Timer::FleetStep);
         }
         engine
+    }
+
+    /// Attach a per-node observer; its hooks consume only timestamps the
+    /// engine already computes, so attaching one never changes a serving
+    /// decision.
+    pub(crate) fn set_observer(&mut self, observer: Option<Box<NodeObserver>>) {
+        self.observer = observer;
+    }
+
+    /// Telemetry sink plus interned handles when emission is on (they are
+    /// `Some` together by construction).
+    fn tele(&self) -> Option<(&'t Telemetry, &ServeMetrics)> {
+        match (self.telemetry, &self.metrics) {
+            (Some(t), Some(m)) => Some((t, m)),
+            _ => None,
+        }
+    }
+
+    /// Record a live-migration handoff touching this node (`to_peer` true
+    /// on the draining source, false on the adopting destination).
+    pub(crate) fn observe_handoff(
+        &mut self,
+        at_us: u64,
+        tenant: TenantId,
+        peer: NodeId,
+        to_peer: bool,
+    ) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_handoff(at_us, tenant, peer, to_peer);
+        }
     }
 
     fn arm(&mut self, at_us: u64, timer: Timer) {
@@ -229,9 +297,13 @@ impl<'t> ServeEngine<'t> {
                         plane.gateway.resolve(r.tenant);
                         let latency = done.done_us - r.arrival_us;
                         self.stats.on_served(latency, done.done_us);
-                        if let Some(t) = self.telemetry {
-                            t.incr("serve.served");
-                            t.record("serve.latency_ms", latency as f64 / 1000.0);
+                        if let Some((t, m)) = self.tele() {
+                            t.incr_id(m.served);
+                            t.record_id(m.latency_ms, latency as f64 / 1000.0);
+                            t.record_hist_id(m.latency_us, latency);
+                        }
+                        if let Some(obs) = self.observer.as_deref_mut() {
+                            obs.on_complete(done.done_us, r, latency);
                         }
                     }
                 }
@@ -252,18 +324,28 @@ impl<'t> ServeEngine<'t> {
     pub(crate) fn on_arrival(&mut self, plane: &mut ServePlane, request: &Request) {
         let now = request.arrival_us;
         self.stats.on_arrival(now);
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_arrival(now);
+        }
         match plane.gateway.admit(request) {
             Err(reason) => {
                 self.stats.on_shed(reason);
-                if let Some(t) = self.telemetry {
-                    t.incr(&format!("serve.shed.{}", reason.name()));
+                if let Some((t, m)) = self.tele() {
+                    t.incr_id(m.shed[reason.index()]);
+                }
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_shed(now, request.tenant, request.id, reason);
                 }
             }
             Ok(()) => {
-                if let Some(t) = self.telemetry {
-                    t.incr("serve.admitted");
+                if let Some((t, m)) = self.tele() {
+                    t.incr_id(m.admitted);
                 }
-                match plane.batcher.push(request.clone()) {
+                let outcome = plane.batcher.push(request.clone());
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_admit(now, request, plane.batcher.pending());
+                }
+                match outcome {
                     PushOutcome::Flushed(batch) => {
                         self.dispatch(plane, batch, now);
                     }
@@ -343,6 +425,9 @@ impl<'t> ServeEngine<'t> {
     pub(crate) fn finish(mut self, plane: &mut ServePlane) -> ServeStats {
         self.run_timers_through(plane, u64::MAX, false);
         debug_assert_eq!(plane.batcher.pending(), 0, "all queues drained");
+        if let Some(obs) = self.observer.take() {
+            self.stats.observation = Some(Box::new(obs.finish()));
+        }
         self.stats
     }
 
@@ -357,9 +442,12 @@ impl<'t> ServeEngine<'t> {
         for r in &expired {
             plane.gateway.resolve_shed(r.tenant, now / 1000);
             self.stats.on_shed(ShedReason::DeadlineExpired);
-            if let Some(t) = self.telemetry {
-                t.incr("serve.shed.deadline");
-                t.incr("serve.refunded");
+            if let Some((t, m)) = self.tele() {
+                t.incr_id(m.shed[ShedReason::DeadlineExpired.index()]);
+                t.incr_id(m.refunded);
+            }
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_shed(now, r.tenant, r.id, ShedReason::DeadlineExpired);
             }
         }
         if live.is_empty() {
@@ -385,17 +473,20 @@ impl<'t> ServeEngine<'t> {
             for r in &live {
                 plane.gateway.resolve_shed(r.tenant, now / 1000);
                 self.stats.on_shed(ShedReason::NoRoute);
-                if let Some(t) = self.telemetry {
-                    t.incr("serve.shed.no-route");
-                    t.incr("serve.refunded");
+                if let Some((t, m)) = self.tele() {
+                    t.incr_id(m.shed[ShedReason::NoRoute.index()]);
+                    t.incr_id(m.refunded);
+                }
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_shed(now, r.tenant, r.id, ShedReason::NoRoute);
                 }
             }
             return;
         };
         self.stats.on_batch(live.len());
-        if let Some(t) = self.telemetry {
-            t.incr("serve.batches");
-            t.record("serve.batch_size", live.len() as f64);
+        if let Some((t, m)) = self.tele() {
+            t.incr_id(m.batches);
+            t.record_id(m.batch_size, live.len() as f64);
         }
 
         // Cache: a miss charges the artifact load time before execution.
@@ -403,10 +494,14 @@ impl<'t> ServeEngine<'t> {
         // (amortized by the simulated multi-ms artifact load it models);
         // hits and repeat batches share the resident entry.
         let record = &route.selection.record;
-        let load_us = if plane.cache.get(record.id).is_some() {
+        let cache_hit = plane.cache.get(record.id).is_some();
+        let mut cache_evicted = 0usize;
+        let load_us = if cache_hit {
             0
         } else {
-            plane.cache.admit(record.clone());
+            if let Admission::Inserted(evicted) = plane.cache.admit(record.clone()) {
+                cache_evicted = evicted;
+            }
             let ms = record.size_bytes as f64 / self.cfg.cache_load_bytes_per_ms.max(1) as f64;
             (ms * 1000.0) as u64
         };
@@ -447,6 +542,10 @@ impl<'t> ServeEngine<'t> {
             .drain_mj(energy);
 
         let idx = self.inflight.len();
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_dispatch(now, idx as u64, live.len(), done_us - now);
+            obs.on_cache(now, cache_hit, cache_evicted);
+        }
         self.inflight.push(Some(InFlight {
             requests: live,
             done_us,

@@ -2,13 +2,16 @@
 //! rates. Everything is computed from exact simulated timestamps, so a
 //! fixed seed reproduces the report bit-for-bit.
 
+use crate::observer::NodeObservation;
 use crate::request::ShedReason;
 use std::collections::BTreeMap;
+use tinymlops_observe::LogHistogram;
 
 /// Accumulator filled during a run.
 #[derive(Debug, Default)]
 pub struct ServeStats {
     latencies_us: Vec<u64>,
+    hist: LogHistogram,
     shed: BTreeMap<&'static str, u64>,
     batches: u64,
     batch_items: u64,
@@ -16,6 +19,11 @@ pub struct ServeStats {
     last_completion_us: u64,
     /// Outputs produced by real (non-virtual) model execution.
     pub real_predictions: u64,
+    /// Per-node observability output (windows, alarms, trace), populated
+    /// by the engine at finish when observation is enabled. Node-local:
+    /// [`ServeStats::merge`] deliberately does not combine it — the
+    /// fabric extracts it per node before fleet aggregation.
+    pub(crate) observation: Option<Box<NodeObservation>>,
 }
 
 impl ServeStats {
@@ -35,7 +43,21 @@ impl ServeStats {
     /// Record a served request.
     pub fn on_served(&mut self, latency_us: u64, completion_us: u64) {
         self.latencies_us.push(latency_us);
+        self.hist.record(latency_us);
         self.last_completion_us = self.last_completion_us.max(completion_us);
+    }
+
+    /// The log-bucketed latency histogram (same samples as the exact
+    /// percentile path; bounded-memory and exactly mergeable, so it is
+    /// what leaves the node in fleet aggregation).
+    #[must_use]
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
+    }
+
+    /// Take the node's observability output, if the engine produced one.
+    pub fn take_observation(&mut self) -> Option<Box<NodeObservation>> {
+        self.observation.take()
     }
 
     /// Record a shed request.
@@ -55,6 +77,7 @@ impl ServeStats {
     /// observed every node's completions.
     pub fn merge(&mut self, other: &ServeStats) {
         self.latencies_us.extend_from_slice(&other.latencies_us);
+        self.hist.merge(&other.hist);
         for (k, v) in &other.shed {
             *self.shed.entry(k).or_insert(0) += v;
         }
@@ -95,6 +118,7 @@ impl ServeStats {
             p50_ms: percentile_us(&sorted, 50.0) / 1000.0,
             p95_ms: percentile_us(&sorted, 95.0) / 1000.0,
             p99_ms: percentile_us(&sorted, 99.0) / 1000.0,
+            p999_ms: percentile_us(&sorted, 99.9) / 1000.0,
             max_ms: sorted.last().copied().unwrap_or(0) as f64 / 1000.0,
             throughput_rps,
             mean_batch: if self.batches == 0 {
@@ -142,6 +166,8 @@ pub struct ServeReport {
     pub p95_ms: f64,
     /// 99th-percentile latency.
     pub p99_ms: f64,
+    /// 99.9th-percentile latency.
+    pub p999_ms: f64,
     /// Worst-case latency.
     pub max_ms: f64,
     /// Served requests per simulated second.

@@ -255,6 +255,7 @@ proptest! {
             tenant_affinity: affinity,
             load_factor,
             serve: ServeConfig::default(),
+            ..FabricConfig::default()
         };
         let fleets = tinymlops_device::Fleet::generate(6 * nodes, &tinymlops_device::default_mix(), 3)
             .partition(nodes);

@@ -193,13 +193,21 @@ impl Histogram {
 /// Two-sample Kolmogorov–Smirnov statistic (maximum ECDF distance).
 #[must_use]
 pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
-    if a.is_empty() || b.is_empty() {
-        return 0.0;
-    }
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
     sa.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
     sb.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    ks_statistic_sorted(&sa, &sb)
+}
+
+/// [`ks_statistic`] for inputs the caller has already sorted ascending —
+/// the streaming-detector hot path, where the reference sample is frozen
+/// (sorted once) and re-sorting it on every judgement would dominate.
+#[must_use]
+pub fn ks_statistic_sorted(sa: &[f64], sb: &[f64]) -> f64 {
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
     let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;
     while i < sa.len() && j < sb.len() {
@@ -232,6 +240,13 @@ pub fn ks_p_value(d: f64, n1: usize, n2: usize) -> f64 {
     }
     let n_eff = (n1 as f64 * n2 as f64) / (n1 + n2) as f64;
     let lambda = (n_eff.sqrt() + 0.12 + 0.11 / n_eff.sqrt()) * d;
+    // The alternating tail series below only converges for λ away from 0
+    // (at λ = 0 its partial sums oscillate between 0 and 2, so a fixed
+    // truncation returns garbage — e.g. p = 0 for two *identical*
+    // samples). True Q(λ) ≥ 0.9999 for λ < 0.3, so short-circuit there.
+    if lambda < 0.3 {
+        return 1.0;
+    }
     // Kolmogorov distribution tail series.
     let mut p = 0.0;
     for k in 1..=100 {

@@ -76,6 +76,16 @@ if run_stage smoke; then
     jq -e '.rows[0]["victim load after"] == "0"' results/e18_migration_drain.json
     jq -e '[.rows[] | select(.capped != "yes")] | length == 0' results/e18_migration_bounded.json
     jq -e '.rows[0].unrefunded == "0"' results/e18_migration_wall.json
+    banner "e19 observability smoke + asserts"
+    cargo run --release -p tinymlops_bench --bin e19_observability -- --quick
+    jq -e '.rows | length == 3' results/e19_observe_parity.json
+    jq -e '[.rows[] | select(.identical == "NO")] | length == 0' results/e19_observe_parity.json
+    jq -e '.rows[0]["trace events"] == "0" and .rows[0].windows == "0"' results/e19_observe_parity.json
+    jq -e '.rows[1]["trace events"] == .rows[2]["trace events"]' results/e19_observe_parity.json
+    jq -e '[.rows[] | select(.within != "yes")] | length == 0' results/e19_observe_hist.json
+    jq -e '.rows | length >= 1' results/e19_observe_windows.json
+    jq -e '[.rows[] | select(.["span kind"] == "handoff")][0].events == "2"' results/e19_observe_trace.json
+    jq -e 'length >= 1 and ([.[] | select(.name == "handoff")] | length == 2)' results/e19_trace.json
 fi
 
 if run_stage bench; then
