@@ -32,15 +32,24 @@ pub enum EntryKind {
     /// silently re-home an account: the handoff is part of the sealed
     /// history itself.
     Handoff,
+    /// The account was evacuated to a surviving node after its home node
+    /// died (emergency handoff, no source cooperation beyond the sealed
+    /// chain itself). Payload packs `(from, to)` like [`EntryKind::Handoff`]
+    /// but under a distinct domain-separation byte, so billing can tell a
+    /// planned migration from a failover and a tamperer cannot relabel one
+    /// as the other.
+    Failover,
 }
 
-/// Pack a `(from, to)` node pair into a [`EntryKind::Handoff`] payload.
+/// Pack a `(from, to)` node pair into a [`EntryKind::Handoff`] or
+/// [`EntryKind::Failover`] payload.
 #[must_use]
 pub fn handoff_payload(from: u32, to: u32) -> u64 {
     (u64::from(from) << 32) | u64::from(to)
 }
 
-/// Unpack a [`EntryKind::Handoff`] payload into its `(from, to)` pair.
+/// Unpack a [`EntryKind::Handoff`] / [`EntryKind::Failover`] payload into
+/// its `(from, to)` pair.
 #[must_use]
 pub fn handoff_nodes(payload: u64) -> (u32, u32) {
     ((payload >> 32) as u32, payload as u32)
@@ -77,6 +86,7 @@ fn entry_mac(
         EntryKind::Checkpoint => 2,
         EntryKind::Refund => 3,
         EntryKind::Handoff => 4,
+        EntryKind::Failover => 5,
     });
     msg.extend_from_slice(&payload.to_le_bytes());
     msg.extend_from_slice(&time_ms.to_le_bytes());
@@ -197,6 +207,16 @@ impl AuditLog {
         self.entries
             .iter()
             .filter(|e| e.kind == EntryKind::Handoff)
+            .count() as u64
+    }
+
+    /// Count of emergency-failover entries (account evacuated off a dead
+    /// node).
+    #[must_use]
+    pub fn failover_count(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == EntryKind::Failover)
             .count() as u64
     }
 }
@@ -334,6 +354,39 @@ mod tests {
         assert_ne!(as_query.head(), as_handoff.head());
         let mut relabeled = as_query.clone();
         relabeled.entries[0].kind = EntryKind::Handoff;
+        assert!(relabeled.verify(&key()).is_err());
+    }
+
+    #[test]
+    fn failover_entries_are_chained_and_billing_neutral() {
+        let mut log = AuditLog::new(key());
+        log.append(EntryKind::Redeem, 1000, 0);
+        log.append(EntryKind::Query, 5, 1);
+        log.append(EntryKind::Failover, handoff_payload(1, 2), 2);
+        log.append(EntryKind::Query, 3, 3);
+        log.verify(&key()).unwrap();
+        assert_eq!(log.failover_count(), 1);
+        assert_eq!(log.handoff_count(), 0, "failover is not a handoff");
+        assert_eq!(log.query_count(), 8, "queries span the failover");
+        assert_eq!(log.net_query_count(), 8, "failovers are billing-neutral");
+        // Re-homing the account by editing the failover breaks the chain.
+        let mut forged = log.clone();
+        forged.entries[2].payload = handoff_payload(1, 0);
+        assert!(forged.verify(&key()).is_err());
+    }
+
+    #[test]
+    fn failover_kind_is_domain_separated_from_handoff() {
+        // Same (from, to) payload and time, different kind ⇒ different
+        // link: a tamperer cannot pass an emergency failover off as a
+        // planned migration (or vice versa) in place.
+        let mut as_handoff = AuditLog::new(key());
+        as_handoff.append(EntryKind::Handoff, handoff_payload(3, 1), 9);
+        let mut as_failover = AuditLog::new(key());
+        as_failover.append(EntryKind::Failover, handoff_payload(3, 1), 9);
+        assert_ne!(as_handoff.head(), as_failover.head());
+        let mut relabeled = as_handoff.clone();
+        relabeled.entries[0].kind = EntryKind::Failover;
         assert!(relabeled.verify(&key()).is_err());
     }
 

@@ -95,6 +95,19 @@ impl QuotaManager {
         );
     }
 
+    /// Record an emergency failover of this quota partition: the home
+    /// node died and a surviving node adopted the account. Same shape as
+    /// [`QuotaManager::handoff`] but domain-separated in the chain, so
+    /// billing can distinguish planned migrations from recoveries and a
+    /// verifier sees exactly which node absorbed the account.
+    pub fn failover(&mut self, from_node: u32, to_node: u32, time_ms: u64) {
+        self.log.append(
+            EntryKind::Failover,
+            crate::audit::handoff_payload(from_node, to_node),
+            time_ms,
+        );
+    }
+
     /// Borrow the audit log (for sync/billing).
     #[must_use]
     pub fn log(&self) -> &AuditLog {
@@ -179,6 +192,20 @@ mod tests {
         assert_eq!(m.balance(), 5, "handoff moves, never mints or burns");
         assert_eq!(m.log().handoff_count(), 1);
         assert_eq!(m.log().query_count(), 5, "queries span the handoff");
+        m.log().verify(&[1u8; 32]).unwrap();
+    }
+
+    #[test]
+    fn failover_preserves_balance_and_verifies() {
+        let mut m = mgr();
+        m.credit(10, 1, 0);
+        m.consume(3, 1).unwrap();
+        m.failover(0, 2, 5);
+        m.consume(2, 6).unwrap();
+        assert_eq!(m.balance(), 5, "failover moves, never mints or burns");
+        assert_eq!(m.log().failover_count(), 1);
+        assert_eq!(m.log().handoff_count(), 0);
+        assert_eq!(m.log().query_count(), 5, "queries span the failover");
         m.log().verify(&[1u8; 32]).unwrap();
     }
 

@@ -42,16 +42,17 @@
 
 use crate::clock::{Clock, WallClock};
 use crate::fabric::{
-    adopt_destination, drain_source, FabricReport, HandoffPackage, MigrationPhase, MigrationRecord,
-    MigrationSpec, ServeFabric,
+    absorb_failover, adopt_destination, drain_source, merge_triggers, FabricReport, FleetTrigger,
+    HandoffPackage, MigrationPhase, MigrationRecord, MigrationSpec, ServeFabric,
 };
+use crate::fault::{plan_evacuation, FailoverPackage, NodeFaults};
 use crate::observer::NodeObserver;
 use crate::request::{Request, TenantId};
 use crate::shard::NodeId;
 use crate::sim::{ServeConfig, ServeEngine, ServePlane};
 use crate::stats::ServeStats;
 use crate::ServeError;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -87,6 +88,24 @@ impl Default for ExecConfig {
     }
 }
 
+/// A node worker that died for real — a panic in its serving loop (e.g.
+/// an injected [`crate::FaultKind::DispatchPanic`]) — reported
+/// structurally instead of poisoning the whole run. Unlike an injected
+/// [`crate::FaultKind::Crash`] (a cooperative teardown that evacuates
+/// accounts and refunds pending work), a genuine death takes its
+/// un-evacuated state with it: the feeder keeps serving the surviving
+/// nodes and counts what it could no longer deliver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeFailure {
+    /// The node whose worker died.
+    pub node: NodeId,
+    /// The panic payload, when it was a string (a placeholder otherwise).
+    pub reason: String,
+    /// Arrivals the feeder could not deliver after the worker died (its
+    /// closed queue refused them).
+    pub lost_requests: u64,
+}
+
 /// A [`FabricReport`] plus what only a live run can measure: real elapsed
 /// time for the whole threaded pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +117,10 @@ pub struct LiveReport {
     pub wall_ms: f64,
     /// Requests pushed through the ingest queues.
     pub requests: usize,
+    /// Node workers that genuinely died (panicked) during the run, in
+    /// node-id order. Empty on a healthy run — and always empty in the
+    /// simulator, which has no workers to lose.
+    pub failures: Vec<NodeFailure>,
 }
 
 impl LiveReport {
@@ -135,6 +158,27 @@ pub(crate) enum Ingest {
         tenant: TenantId,
         package: HandoffPackage,
     },
+    /// Injected [`crate::FaultKind::Crash`]: tear this node down at
+    /// `at_us` — resolve queued and in-flight work as refunded failover
+    /// sheds, send the evacuated accounts (plus orphaned requests of
+    /// tenants that had already migrated away) back to the coordinating
+    /// feeder, and exit the worker loop.
+    Crash {
+        node: NodeId,
+        at_us: u64,
+        reply: mpsc::Sender<(Vec<FailoverPackage>, Vec<Request>)>,
+    },
+    /// Failover landing side: reconstruct an evacuated tenant account
+    /// from its [`FailoverPackage`] (emergency handoff — the dead source
+    /// cannot cooperate, so the survivor seals the chain).
+    Absorb {
+        to: NodeId,
+        package: FailoverPackage,
+    },
+    /// Orphan refund: return one prepaid query to a tenant homed here
+    /// whose in-flight request died on a crashed peer (it had migrated
+    /// off that peer with work still dispatched there).
+    Refund { tenant: TenantId, at_us: u64 },
 }
 
 /// Result of a queue pop with an optional timer deadline.
@@ -316,11 +360,16 @@ impl<T> Drop for CloseOnExit<'_, T> {
 }
 
 /// One node thread: drain the ingest queue through the shared engine.
+/// Returns `Ok` with honest statistics even when the node is torn down
+/// mid-run by an injected crash (the evacuation resolves everything it
+/// owed first); only a genuine panic loses state.
+#[allow(clippy::too_many_arguments)] // internal worker plumbing, not an API
 fn node_worker(
     plane: &mut ServePlane,
     telemetry: &Telemetry,
     serve_cfg: &ServeConfig,
     observer: Option<Box<NodeObserver>>,
+    faults: Option<NodeFaults>,
     queue: &IngestQueue<Ingest>,
     mode: ExecMode,
     wall: &WallClock,
@@ -331,7 +380,10 @@ fn node_worker(
     }
     let mut engine = ServeEngine::new(serve_cfg.clone(), Some(telemetry));
     engine.set_observer(observer);
-    let handle = |engine: &mut ServeEngine<'_>, plane: &mut ServePlane, item: Ingest| {
+    engine.set_faults(faults);
+    // `true` keeps the loop running; `false` means the node just crashed
+    // (cooperatively) and the worker must exit with what it has.
+    let handle = |engine: &mut ServeEngine<'_>, plane: &mut ServePlane, item: Ingest| -> bool {
         match item {
             Ingest::Arrival(mut request) => {
                 let now = match mode {
@@ -345,7 +397,7 @@ fn node_worker(
                     }
                 };
                 engine.run_timers_through(plane, now, true);
-                engine.on_arrival(plane, &request);
+                let _ = engine.on_arrival(plane, &request);
             }
             Ingest::Drain {
                 tenant,
@@ -372,17 +424,48 @@ fn node_worker(
                 };
                 adopt_destination(engine, plane, tenant, package, at_us);
             }
+            Ingest::Crash { node, at_us, reply } => {
+                let now = match mode {
+                    ExecMode::Replay => at_us,
+                    ExecMode::Wall => wall.now_us(),
+                };
+                engine.run_timers_through(plane, now, true);
+                let evacuated = engine.evacuate(plane, node, now);
+                let _ = reply.send(evacuated);
+                return false;
+            }
+            Ingest::Absorb { to, package } => {
+                let at_us = match mode {
+                    ExecMode::Replay => package.at_us,
+                    ExecMode::Wall => wall.now_us(),
+                };
+                absorb_failover(engine, plane, package, to, at_us);
+            }
+            Ingest::Refund { tenant, at_us } => {
+                let now = match mode {
+                    ExecMode::Replay => at_us,
+                    ExecMode::Wall => wall.now_us(),
+                };
+                engine.refund_orphan(plane, tenant, now);
+            }
         }
+        true
     };
     match mode {
         ExecMode::Replay => {
             while let Some(item) = queue.pop() {
-                handle(&mut engine, plane, item);
+                if !handle(&mut engine, plane, item) {
+                    break;
+                }
             }
         }
         ExecMode::Wall => loop {
             match queue.pop_until(engine.next_timer_us(), wall) {
-                Popped::Item(item) => handle(&mut engine, plane, item),
+                Popped::Item(item) => {
+                    if !handle(&mut engine, plane, item) {
+                        break;
+                    }
+                }
                 Popped::TimerDue => {
                     engine.run_timers_through(plane, wall.now_us(), true);
                 }
@@ -427,15 +510,18 @@ pub fn run_fabric_live_migrating(
             return Err(ServeError::UnknownNode(spec.to));
         }
     }
+    fabric.validate_fault_plan()?;
     let refunded_before = fabric.refunded_total();
     let serve_cfg = fabric.serve_config().clone();
     let observe_cfg = fabric.observe_config().clone();
+    let fault_plan = fabric.fault_plan().clone();
+    let load_factor = fabric.load_factor();
     let mode = cfg.mode;
     let wall = WallClock::new();
     let start = Instant::now();
-    let mut ordered: Vec<&MigrationSpec> = specs.iter().collect();
-    ordered.sort_by_key(|s| s.trigger_us);
+    let triggers = merge_triggers(&fault_plan, specs);
     let mut records: Vec<MigrationRecord> = Vec::with_capacity(specs.len());
+    let mut lost: BTreeMap<NodeId, u64> = BTreeMap::new();
 
     let (nodes, shard_router, assignments) = fabric.split_live();
     let queues: Vec<IngestQueue<Ingest>> = nodes
@@ -444,7 +530,8 @@ pub fn run_fabric_live_migrating(
         .collect();
     let index_of: BTreeMap<_, _> = nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
 
-    let results: Vec<Result<ServeStats, ServeError>> = std::thread::scope(|s| {
+    type JoinOutcome = std::thread::Result<Result<ServeStats, ServeError>>;
+    let results: Vec<JoinOutcome> = std::thread::scope(|s| {
         let handles: Vec<_> = nodes
             .iter_mut()
             .zip(&queues)
@@ -454,19 +541,26 @@ pub fn run_fabric_live_migrating(
                 let observer = observe_cfg
                     .enabled
                     .then(|| Box::new(NodeObserver::new(node.id, observe_cfg.clone())));
+                // Live workers are allowed to arm `DispatchPanic` events —
+                // the genuine-death path the simulator cannot model.
+                let faults = NodeFaults::for_node(&fault_plan, node.id, true);
                 let plane = &mut node.plane;
                 let telemetry = &node.telemetry;
                 s.spawn(move || {
-                    node_worker(plane, telemetry, serve_cfg, observer, queue, mode, wall)
+                    node_worker(
+                        plane, telemetry, serve_cfg, observer, faults, queue, mode, wall,
+                    )
                 })
             })
             .collect();
 
         // The feeder: route at ingest time, in arrival order, executing
-        // scheduled migrations at their stream positions. Unknown
+        // scheduled migrations and injected crashes at their stream
+        // positions (same merged trigger order as the simulator). Unknown
         // tenants are still routed (by the same hash) so the owning
         // gateway records the denial, exactly as in the simulator.
-        let mut pending = ordered.into_iter().peekable();
+        let mut pending = triggers.iter().peekable();
+        let mut dead: BTreeSet<NodeId> = BTreeSet::new();
         let migrate = |spec: &MigrationSpec,
                        at_us: u64,
                        assignments: &mut BTreeMap<TenantId, (NodeId, String)>,
@@ -529,14 +623,86 @@ pub fn run_fabric_live_migrating(
             record.phase = MigrationPhase::Resumed;
             record
         };
+        // Injected crash: the live mirror of the simulator's
+        // `execute_crash`. The dying worker evacuates cooperatively and
+        // replies with the exported accounts; the feeder re-homes them via
+        // the same pure `plan_evacuation` the simulator uses, so every
+        // account lands on the same survivor in both backends.
+        let crash = |node: NodeId,
+                     at_us: u64,
+                     assignments: &mut BTreeMap<TenantId, (NodeId, String)>,
+                     shard_router: &mut crate::ShardRouter,
+                     dead: &mut BTreeSet<NodeId>| {
+            if !dead.insert(node) {
+                return; // a duplicate crash of a dead node is a no-op
+            }
+            let (reply, rx) = mpsc::channel();
+            if !queues[index_of[&node]].push(Ingest::Crash { node, at_us, reply }) {
+                // The worker already died for real (error/panic closed its
+                // queue): nothing to evacuate — its loss surfaces as a
+                // NodeFailure after the join.
+                return;
+            }
+            let Ok((packages, orphans)) = rx.recv() else {
+                // Worker died between accepting the control and replying.
+                return;
+            };
+            shard_router.remove_node(node);
+            let moves = plan_evacuation(shard_router, assignments, node, load_factor);
+            debug_assert_eq!(moves.len(), packages.len(), "every account gets a home");
+            for (package, (tenant, family, dest)) in packages.into_iter().zip(moves) {
+                debug_assert_eq!(package.tenant, tenant, "both walk tenants in id order");
+                if !queues[index_of[&dest]].push(Ingest::Absorb { to: dest, package }) {
+                    continue; // survivor itself already dead for real
+                }
+                assignments.insert(tenant, (dest, family));
+                shard_router.pin(tenant, dest);
+            }
+            for orphan in orphans {
+                if let Some((home, _)) = assignments.get(&orphan.tenant) {
+                    let _ = queues[index_of[home]].push(Ingest::Refund {
+                        tenant: orphan.tenant,
+                        at_us,
+                    });
+                }
+            }
+        };
+        let fire = |trigger: &(u64, FleetTrigger<'_>),
+                    at_us: u64,
+                    records: &mut Vec<MigrationRecord>,
+                    assignments: &mut BTreeMap<TenantId, (NodeId, String)>,
+                    shard_router: &mut crate::ShardRouter,
+                    dead: &mut BTreeSet<NodeId>| match trigger.1 {
+            FleetTrigger::Crash { node } => crash(node, at_us, assignments, shard_router, dead),
+            FleetTrigger::Migrate(spec) => {
+                if dead.contains(&spec.to) {
+                    // Destination died first: the migration never starts
+                    // (same freeze as the simulator).
+                    let from = assignments
+                        .get(&spec.tenant)
+                        .map(|(n, _)| *n)
+                        .unwrap_or(spec.to);
+                    records.push(MigrationRecord::planned(spec, from, at_us));
+                } else {
+                    records.push(migrate(spec, at_us, assignments, shard_router));
+                }
+            }
+        };
 
         for request in stream {
             while pending
                 .peek()
-                .is_some_and(|sp| sp.trigger_us <= request.arrival_us)
+                .is_some_and(|(at, _)| *at <= request.arrival_us)
             {
-                let spec = pending.next().expect("peeked");
-                records.push(migrate(spec, spec.trigger_us, assignments, shard_router));
+                let trigger = pending.next().expect("peeked");
+                fire(
+                    trigger,
+                    trigger.0,
+                    &mut records,
+                    assignments,
+                    shard_router,
+                    &mut dead,
+                );
             }
             let home = match assignments.get(&request.tenant) {
                 Some((node, _)) => *node,
@@ -547,28 +713,57 @@ pub fn run_fabric_live_migrating(
             }
             // A `false` return means the node worker exited early (error
             // or panic) and closed its queue; keep feeding the healthy
-            // nodes — the dead node's result surfaces after the join.
-            let _ = queues[index_of[&home]].push(Ingest::Arrival(request.clone()));
+            // nodes — the dead node's result surfaces after the join, with
+            // the undeliverable count attached.
+            if !queues[index_of[&home]].push(Ingest::Arrival(request.clone())) {
+                *lost.entry(home).or_default() += 1;
+            }
         }
         // Triggers past the last arrival execute at end of stream,
         // mirroring the simulator.
         let end_us = stream.last().map_or(0, |r| r.arrival_us);
-        for spec in pending {
-            records.push(migrate(spec, end_us, assignments, shard_router));
+        for trigger in pending {
+            fire(
+                trigger,
+                end_us,
+                &mut records,
+                assignments,
+                shard_router,
+                &mut dead,
+            );
         }
         for queue in &queues {
             queue.close();
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("node thread panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join()).collect()
     });
 
     let node_ids: Vec<_> = fabric.nodes().iter().map(|n| n.id).collect();
     let mut per_node = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
     for (id, result) in node_ids.into_iter().zip(results) {
-        per_node.push((id, result?));
+        match result {
+            // A setup error (e.g. NoFamilies) still fails the whole run —
+            // that's a misconfiguration, not a fault.
+            Ok(stats) => per_node.push((id, stats?)),
+            Err(panic) => {
+                // A genuinely dead worker: report it structurally instead
+                // of poisoning the run. Its un-evacuated state is gone;
+                // the surviving nodes' merged report remains exact for
+                // their own traffic.
+                let reason = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "node worker panicked".to_string());
+                failures.push(NodeFailure {
+                    node: id,
+                    reason,
+                    lost_requests: lost.get(&id).copied().unwrap_or(0),
+                });
+                per_node.push((id, ServeStats::default()));
+            }
+        }
     }
     let fabric_report = fabric.assemble_report(per_node, refunded_before);
     Ok((
@@ -576,6 +771,7 @@ pub fn run_fabric_live_migrating(
             fabric: fabric_report,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
             requests: stream.len(),
+            failures,
         },
         records,
     ))

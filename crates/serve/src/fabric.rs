@@ -30,13 +30,19 @@
 //!   [`FabricConfig::load_factor`] × its fair share; hot tenants
 //!   overflow to their next-best rendezvous node.
 
+use crate::fault::{
+    plan_evacuation, retryable, schedule_retry, FailoverPackage, FaultPlan, NodeFaults,
+    RetryBudget, RetryDecision, RetryPolicy,
+};
 use crate::observer::{NodeObserver, ObserveConfig};
 use crate::request::{Request, ShedReason, TenantId};
 use crate::shard::{NodeId, ShardNode, ShardRouter};
 use crate::sim::{ExecModel, ServeConfig, ServeEngine, ServePlane};
 use crate::stats::{ServeReport, ServeStats};
 use crate::ServeError;
-use std::collections::BTreeMap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
 use tinymlops_device::Fleet;
 use tinymlops_meter::MeterError;
 use tinymlops_observe::{
@@ -132,6 +138,12 @@ pub struct FabricConfig {
     /// observability fields stay empty and runs are byte-identical to a
     /// build without the observer.
     pub observe: ObserveConfig,
+    /// Deterministic fault schedule (crashes, stalls, slowdowns, dispatch
+    /// panics) plus the brownout ladder. Disabled by default; a disabled
+    /// plan is byte-identical to no plan at all, and an enabled plan
+    /// replays bit-identically across both backends (crashes and stalls
+    /// key on the same logical timestamps the engines already run on).
+    pub fault: FaultPlan,
 }
 
 impl Default for FabricConfig {
@@ -142,6 +154,7 @@ impl Default for FabricConfig {
             load_factor: f64::INFINITY,
             serve: ServeConfig::default(),
             observe: ObserveConfig::default(),
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -312,6 +325,122 @@ pub(crate) fn adopt_destination(
     engine.adopt_spliced(plane, package.spliced, at_us);
 }
 
+/// Emergency-handoff landing side: reconstruct a crashed node's tenant
+/// account on a survivor from its [`FailoverPackage`]. Unlike the
+/// cooperative [`adopt_destination`] there is no source left to seal the
+/// chain — the *survivor* extends it with a domain-separated
+/// [`tinymlops_meter::EntryKind::Failover`] entry, then rebuilds the
+/// account from the census counters with `pending == 0` (the dead node
+/// resolved all pending work as refunded failover sheds before
+/// exporting). Shared by the simulator loop and the live node workers.
+pub(crate) fn absorb_failover(
+    engine: &mut ServeEngine<'_>,
+    plane: &mut ServePlane,
+    package: FailoverPackage,
+    to: NodeId,
+    at_us: u64,
+) {
+    engine.run_timers_through(plane, at_us, true);
+    engine.observe_handoff(at_us, package.tenant, package.from, false);
+    let FailoverPackage {
+        tenant,
+        mut quota,
+        admitted,
+        shed,
+        refunded,
+        from,
+        at_us: _,
+    } = package;
+    quota.failover(from, to, at_us / 1000);
+    plane.gateway.adopt_tenant(
+        tenant,
+        crate::gateway::TenantAccount {
+            quota,
+            pending: 0,
+            admitted,
+            shed,
+            refunded,
+        },
+    );
+}
+
+/// A cross-node event in the interleaved run loop: an injected node crash
+/// or a scheduled live migration.
+pub(crate) enum FleetTrigger<'s> {
+    /// Injected [`crate::FaultKind::Crash`] of a node.
+    Crash {
+        /// The node that dies.
+        node: NodeId,
+    },
+    /// A scheduled [`MigrationSpec`].
+    Migrate(&'s MigrationSpec),
+}
+
+/// Merge a fault plan's crash events with the migration schedule into one
+/// trigger sequence ordered by (time, crashes-first, schedule order).
+/// Both drivers — the simulator's interleaved loop and the live ingest
+/// feeder — consume this exact sequence, which is what makes crash
+/// recovery replay bit-identically across backends.
+pub(crate) fn merge_triggers<'s>(
+    plan: &FaultPlan,
+    specs: &'s [MigrationSpec],
+) -> Vec<(u64, FleetTrigger<'s>)> {
+    let mut keyed: Vec<(u64, u8, usize, FleetTrigger<'s>)> = Vec::new();
+    for (i, (node, at_us)) in plan.crashes().enumerate() {
+        keyed.push((at_us, 0, i, FleetTrigger::Crash { node }));
+    }
+    for (i, spec) in specs.iter().enumerate() {
+        keyed.push((spec.trigger_us, 1, i, FleetTrigger::Migrate(spec)));
+    }
+    keyed.sort_by_key(|(at, rank, idx, _)| (*at, *rank, *idx));
+    keyed.into_iter().map(|(at, _, _, t)| (at, t)).collect()
+}
+
+/// Execute one injected node crash inside the simulator's interleaved
+/// loop: bring the dying node to the crash instant, evacuate it (pending
+/// work resolved as refunded failover sheds, accounts exported), drop it
+/// from the shard topology, re-home every evacuated tenant onto a
+/// survivor under bounded load ([`plan_evacuation`]) and pin it there,
+/// and route orphaned refunds — in-flight work of tenants that had
+/// already migrated away — to their accounts' current homes. The live
+/// feeder performs the same steps over the ingest queues; placement
+/// parity rests on `plan_evacuation` being a pure function of the
+/// surviving topology.
+#[allow(clippy::too_many_arguments)]
+fn execute_crash(
+    ctxs: &mut [NodeCtx<'_>],
+    index: &BTreeMap<NodeId, usize>,
+    assignments: &mut BTreeMap<TenantId, (NodeId, String)>,
+    shard_router: &mut ShardRouter,
+    dead: &mut BTreeSet<NodeId>,
+    load_factor: f64,
+    node: NodeId,
+    at_us: u64,
+) {
+    if !dead.insert(node) {
+        return; // a duplicate crash of a dead node is a no-op
+    }
+    let ctx = &mut ctxs[index[&node]];
+    ctx.engine.run_timers_through(ctx.plane, at_us, true);
+    let (packages, orphans) = ctx.engine.evacuate(ctx.plane, node, at_us);
+    shard_router.remove_node(node);
+    let moves = plan_evacuation(shard_router, assignments, node, load_factor);
+    debug_assert_eq!(moves.len(), packages.len(), "every account gets a home");
+    for (package, (tenant, family, dest)) in packages.into_iter().zip(moves) {
+        debug_assert_eq!(package.tenant, tenant, "both walk tenants in id order");
+        let dst = &mut ctxs[index[&dest]];
+        absorb_failover(&mut dst.engine, dst.plane, package, dest, at_us);
+        assignments.insert(tenant, (dest, family));
+        shard_router.pin(tenant, dest);
+    }
+    for orphan in orphans {
+        if let Some((home, _)) = assignments.get(&orphan.tenant) {
+            let hctx = &mut ctxs[index[home]];
+            hctx.engine.refund_orphan(hctx.plane, orphan.tenant, at_us);
+        }
+    }
+}
+
 /// One serving node: a full [`ServePlane`] plus its local telemetry sink.
 pub struct FabricNode {
     /// Fabric-unique id (stable across join/leave).
@@ -369,10 +498,14 @@ pub struct FabricReport {
 }
 
 impl FabricReport {
-    /// Downstream sheds (admitted, then NoRoute/deadline) in this run.
+    /// Downstream sheds (admitted, then shed by the platform: NoRoute,
+    /// deadline expiry, or node death) in this run. Every one of these
+    /// owes the tenant a refund.
     #[must_use]
     pub fn downstream_sheds(&self) -> u64 {
-        self.fleet.shed_by(ShedReason::NoRoute) + self.fleet.shed_by(ShedReason::DeadlineExpired)
+        self.fleet.shed_by(ShedReason::NoRoute)
+            + self.fleet.shed_by(ShedReason::DeadlineExpired)
+            + self.fleet.shed_by(ShedReason::Failover)
     }
 
     /// Admitted-then-shed queries whose prepayment was *not* returned.
@@ -393,6 +526,23 @@ impl FabricReport {
     }
 }
 
+/// What the retrying driver ([`ServeFabric::run_with_retries`]) did with
+/// the run's retryable sheds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retries scheduled (each re-enters admission at its backoff time).
+    pub scheduled: u64,
+    /// Retries that were admitted on re-delivery.
+    pub succeeded: u64,
+    /// Sheds not retried: per-request attempt allowance exhausted.
+    pub attempts_exhausted: u64,
+    /// Sheds not retried: the backoff would land past the request's
+    /// absolute deadline (retries never outlive the deadline).
+    pub deadline_denied: u64,
+    /// Sheds not retried: the tenant's token bucket was dry.
+    pub budget_denied: u64,
+}
+
 /// The assembled multi-node serving fabric.
 pub struct ServeFabric {
     /// Tenant → node placement (weighted rendezvous + family affinity).
@@ -407,6 +557,7 @@ pub struct ServeFabric {
     exec: BTreeMap<ModelId, ExecModel>,
     serve_cfg: ServeConfig,
     observe_cfg: ObserveConfig,
+    fault_plan: FaultPlan,
     load_factor: f64,
     next_node_id: NodeId,
 }
@@ -453,6 +604,7 @@ impl ServeFabric {
             exec: BTreeMap::new(),
             serve_cfg: cfg.serve.clone(),
             observe_cfg: cfg.observe.clone(),
+            fault_plan: cfg.fault.clone(),
             load_factor: cfg.load_factor,
             next_node_id,
         }
@@ -738,6 +890,40 @@ impl ServeFabric {
         stream: &[Request],
         specs: &[MigrationSpec],
     ) -> Result<(FabricReport, Vec<MigrationRecord>), ServeError> {
+        self.run_interleaved(stream, specs, None)
+            .map(|(report, records, _)| (report, records))
+    }
+
+    /// Replay a stream with a closed retry loop at the driver: an
+    /// admission-time shed with a transient reason ([`crate::retryable`])
+    /// is re-delivered after a jittered exponential backoff, gated by the
+    /// tenant's token bucket and the request's *absolute* deadline (a
+    /// retry is never scheduled past it — see [`crate::schedule_retry`]).
+    /// Retried deliveries re-enter admission as new arrivals at their
+    /// backoff time, so the report's conservation law becomes
+    /// `served + shed == arrivals` with arrivals counting retries.
+    /// Deterministic: the jitter stream is seeded from the policy.
+    pub fn run_with_retries(
+        &mut self,
+        stream: &[Request],
+        policy: &RetryPolicy,
+    ) -> Result<(FabricReport, RetryStats), ServeError> {
+        self.run_interleaved(stream, &[], Some(policy))
+            .map(|(report, _, retries)| (report, retries))
+    }
+
+    /// The interleaved multi-node replay loop behind [`ServeFabric::run`],
+    /// [`ServeFabric::run_migrating`] and
+    /// [`ServeFabric::run_with_retries`]: one event cursor drives every
+    /// node's engine, cross-node triggers (injected crashes, scheduled
+    /// migrations) fire in stream position, and an optional retry policy
+    /// re-delivers transient sheds at their backoff times.
+    fn run_interleaved(
+        &mut self,
+        stream: &[Request],
+        specs: &[MigrationSpec],
+        retry: Option<&RetryPolicy>,
+    ) -> Result<(FabricReport, Vec<MigrationRecord>, RetryStats), ServeError> {
         for spec in specs {
             if !self.assignments.contains_key(&spec.tenant) {
                 return Err(ServeError::UnknownTenant(spec.tenant));
@@ -746,15 +932,18 @@ impl ServeFabric {
                 return Err(ServeError::UnknownNode(spec.to));
             }
         }
+        self.validate_fault_plan()?;
         if self.nodes.iter().any(|n| n.plane.family_names().is_empty()) {
             return Err(ServeError::NoFamilies);
         }
         let refunded_before: u64 = self.refunded_total();
         let serve_cfg = self.serve_cfg.clone();
         let observe_cfg = self.observe_cfg.clone();
-        let mut ordered: Vec<&MigrationSpec> = specs.iter().collect();
-        ordered.sort_by_key(|s| s.trigger_us);
+        let fault_plan = self.fault_plan.clone();
+        let load_factor = self.load_factor;
+        let triggers = merge_triggers(&fault_plan, specs);
         let mut records: Vec<MigrationRecord> = Vec::with_capacity(specs.len());
+        let mut retry_stats = RetryStats::default();
 
         let per_node: Vec<(NodeId, ServeStats)> = {
             let ServeFabric {
@@ -778,6 +967,10 @@ impl ServeFabric {
                             observe_cfg.clone(),
                         ))));
                     }
+                    // The simulator never arms dispatch panics: a panic in
+                    // this single-threaded loop would kill the whole run
+                    // instead of one worker.
+                    engine.set_faults(NodeFaults::for_node(&fault_plan, *id, false));
                     NodeCtx {
                         id: *id,
                         plane,
@@ -787,23 +980,27 @@ impl ServeFabric {
                 .collect();
             let index: BTreeMap<NodeId, usize> =
                 ctxs.iter().enumerate().map(|(i, c)| (c.id, i)).collect();
+            let mut dead: BTreeSet<NodeId> = BTreeSet::new();
 
-            let mut pending = ordered.into_iter().peekable();
-            for request in stream {
-                while pending
-                    .peek()
-                    .is_some_and(|s| s.trigger_us <= request.arrival_us)
-                {
-                    let spec = pending.next().expect("peeked");
-                    records.push(execute_migration(
-                        &mut ctxs,
-                        &index,
-                        assignments,
-                        shard_router,
-                        spec,
-                        spec.trigger_us,
-                    ));
-                }
+            // Retry machinery (inert without a policy): scheduled
+            // re-deliveries keyed by (due time, insertion seq) so
+            // same-instant retries pop in schedule order.
+            let mut rng = retry.map(|p| StdRng::seed_from_u64(p.seed));
+            let mut budgets: BTreeMap<TenantId, RetryBudget> = BTreeMap::new();
+            let mut retry_queue: BTreeMap<(u64, u64), (Request, u32)> = BTreeMap::new();
+            let mut retry_seq: u64 = 0;
+
+            // One delivery: route to the home node, advance it to the
+            // delivery instant, admit-or-shed, and (with a policy) turn a
+            // transient shed into a scheduled re-delivery. `attempt` is
+            // the number of retries this request already consumed.
+            let mut deliver = |request: &Request,
+                               attempt: u32,
+                               ctxs: &mut [NodeCtx<'_>],
+                               assignments: &BTreeMap<TenantId, (NodeId, String)>,
+                               shard_router: &ShardRouter,
+                               retry_queue: &mut BTreeMap<(u64, u64), (Request, u32)>,
+                               retry_seq: &mut u64| {
                 // Route at processing time (assignments move mid-stream).
                 // Unknown tenants are still routed (by the same hash) so
                 // the owning gateway records the denial, exactly like one
@@ -816,22 +1013,156 @@ impl ServeFabric {
                 let ctx = &mut ctxs[index[&home]];
                 ctx.engine
                     .run_timers_through(ctx.plane, request.arrival_us, true);
-                ctx.engine.on_arrival(ctx.plane, request);
+                let shed = ctx.engine.on_arrival(ctx.plane, request);
+                let (Some(policy), Some(rng)) = (retry, rng.as_mut()) else {
+                    return;
+                };
+                let now_us = request.arrival_us;
+                match shed {
+                    None => {
+                        if attempt > 0 {
+                            retry_stats.succeeded += 1;
+                        }
+                    }
+                    Some(reason) if retryable(reason) => {
+                        let budget = budgets
+                            .entry(request.tenant)
+                            .or_insert_with(|| RetryBudget::new(policy, now_us));
+                        match schedule_retry(policy, budget, request, attempt + 1, now_us, rng) {
+                            RetryDecision::At(at) => {
+                                let mut again = request.clone();
+                                // Keep the *absolute* deadline: the clock
+                                // does not restart because we retried.
+                                again.deadline_us = request.deadline_abs_us() - at;
+                                again.arrival_us = at;
+                                retry_queue.insert((at, *retry_seq), (again, attempt + 1));
+                                *retry_seq += 1;
+                                retry_stats.scheduled += 1;
+                            }
+                            RetryDecision::AttemptsExhausted => {
+                                retry_stats.attempts_exhausted += 1;
+                            }
+                            RetryDecision::DeadlineExceeded => {
+                                retry_stats.deadline_denied += 1;
+                            }
+                            RetryDecision::BudgetExhausted => {
+                                retry_stats.budget_denied += 1;
+                            }
+                        }
+                    }
+                    Some(_) => {}
+                }
+            };
+
+            let mut pending = triggers.into_iter().peekable();
+            for request in stream {
+                while pending
+                    .peek()
+                    .is_some_and(|(at, _)| *at <= request.arrival_us)
+                {
+                    let (at_us, trigger) = pending.next().expect("peeked");
+                    match trigger {
+                        FleetTrigger::Crash { node } => execute_crash(
+                            &mut ctxs,
+                            &index,
+                            assignments,
+                            shard_router,
+                            &mut dead,
+                            load_factor,
+                            node,
+                            at_us,
+                        ),
+                        FleetTrigger::Migrate(spec) if dead.contains(&spec.to) => {
+                            // The destination died before the trigger: the
+                            // migration never starts (both backends freeze
+                            // the record at Planned).
+                            let (from, _) = assignments[&spec.tenant];
+                            records.push(MigrationRecord::planned(spec, from, at_us));
+                        }
+                        FleetTrigger::Migrate(spec) => {
+                            records.push(execute_migration(
+                                &mut ctxs,
+                                &index,
+                                assignments,
+                                shard_router,
+                                spec,
+                                at_us,
+                            ));
+                        }
+                    }
+                }
+                // Re-deliveries due at or before this arrival go first
+                // (they were shed earlier in stream time).
+                while let Some((&(at, seq), _)) = retry_queue.iter().next() {
+                    if at > request.arrival_us {
+                        break;
+                    }
+                    let (again, attempt) = retry_queue.remove(&(at, seq)).expect("peeked");
+                    deliver(
+                        &again,
+                        attempt,
+                        &mut ctxs,
+                        assignments,
+                        shard_router,
+                        &mut retry_queue,
+                        &mut retry_seq,
+                    );
+                }
+                deliver(
+                    request,
+                    0,
+                    &mut ctxs,
+                    assignments,
+                    shard_router,
+                    &mut retry_queue,
+                    &mut retry_seq,
+                );
             }
             // Triggers past the last arrival execute at end of stream —
             // the drain instant is the stream's final timestamp, not the
             // (possibly far-future) trigger, so timer replay stays
             // bounded and the record shows when the move really happened.
             let end_us = stream.last().map_or(0, |r| r.arrival_us);
-            for spec in pending {
-                records.push(execute_migration(
+            for (_, trigger) in pending {
+                match trigger {
+                    FleetTrigger::Crash { node } => execute_crash(
+                        &mut ctxs,
+                        &index,
+                        assignments,
+                        shard_router,
+                        &mut dead,
+                        load_factor,
+                        node,
+                        end_us,
+                    ),
+                    FleetTrigger::Migrate(spec) if dead.contains(&spec.to) => {
+                        let (from, _) = assignments[&spec.tenant];
+                        records.push(MigrationRecord::planned(spec, from, end_us));
+                    }
+                    FleetTrigger::Migrate(spec) => {
+                        records.push(execute_migration(
+                            &mut ctxs,
+                            &index,
+                            assignments,
+                            shard_router,
+                            spec,
+                            end_us,
+                        ));
+                    }
+                }
+            }
+            // Drain re-deliveries scheduled past the last arrival.
+            while let Some((&key, _)) = retry_queue.iter().next() {
+                let (again, attempt) = retry_queue.remove(&key).expect("peeked");
+                deliver(
+                    &again,
+                    attempt,
                     &mut ctxs,
-                    &index,
                     assignments,
                     shard_router,
-                    spec,
-                    end_us,
-                ));
+                    &mut retry_queue,
+                    &mut retry_seq,
+                );
             }
             ctxs.into_iter()
                 .map(|ctx| {
@@ -840,7 +1171,11 @@ impl ServeFabric {
                 })
                 .collect()
         };
-        Ok((self.assemble_report(per_node, refunded_before), records))
+        Ok((
+            self.assemble_report(per_node, refunded_before),
+            records,
+            retry_stats,
+        ))
     }
 
     /// Run an arrival-ordered stream through the fabric's wall-clock
@@ -973,6 +1308,35 @@ impl ServeFabric {
     #[must_use]
     pub fn observe_config(&self) -> &ObserveConfig {
         &self.observe_cfg
+    }
+
+    /// The fault schedule both backends execute.
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// The bounded-load factor placements (including crash evacuations)
+    /// run under.
+    pub(crate) fn load_factor(&self) -> f64 {
+        self.load_factor
+    }
+
+    /// Reject fault plans that reference unknown nodes or would crash the
+    /// whole fleet (shared by both backends before a run starts).
+    pub(crate) fn validate_fault_plan(&self) -> Result<(), ServeError> {
+        let mut crashed = BTreeSet::new();
+        for (node, _) in self.fault_plan.crashes() {
+            if !self.nodes.iter().any(|n| n.id == node) {
+                return Err(ServeError::UnknownNode(node));
+            }
+            crashed.insert(node);
+        }
+        assert!(
+            crashed.len() < self.nodes.len() || self.nodes.is_empty(),
+            "a fault plan cannot crash every node"
+        );
+        Ok(())
     }
 
     pub(crate) fn refunded_total(&self) -> u64 {

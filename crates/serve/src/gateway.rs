@@ -162,6 +162,21 @@ impl Gateway {
         }
     }
 
+    /// Refund one prepaid query for a request that died on a *different*
+    /// node — a crashed node held in-flight work of a tenant that had
+    /// already migrated here (the PR 5 drain leaves dispatched work on
+    /// the source and pre-subtracts it from the moving account's pending
+    /// count). The shed is counted on the dead node; only the refund
+    /// lands here, on the account that was charged, without touching
+    /// `pending` (that debit already happened at drain time).
+    pub fn refund_orphan(&mut self, tenant: TenantId, now_ms: u64) {
+        if let Some(account) = self.tenants.get_mut(&tenant) {
+            account.quota.refund(1, now_ms);
+            account.refunded += 1;
+            account.shed += 1;
+        }
+    }
+
     /// Borrow a tenant account (balances, audit log, counters).
     #[must_use]
     pub fn tenant(&self, tenant: TenantId) -> Option<&TenantAccount> {

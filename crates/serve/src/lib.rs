@@ -53,6 +53,7 @@ pub mod cache;
 pub mod clock;
 pub mod exec;
 pub mod fabric;
+pub mod fault;
 pub mod gateway;
 pub mod loadgen;
 pub mod observer;
@@ -65,10 +66,14 @@ pub mod stats;
 pub use batcher::{Batch, BatchPolicy, FlushTrigger, MicroBatcher, PushOutcome};
 pub use cache::{Admission, ModelCache};
 pub use clock::{Clock, VirtualClock, WallClock};
-pub use exec::{ExecConfig, ExecMode, LiveReport};
+pub use exec::{ExecConfig, ExecMode, LiveReport, NodeFailure};
 pub use fabric::{
     FabricConfig, FabricNode, FabricReport, MigrationPhase, MigrationRecord, MigrationSpec,
-    ServeFabric, TenantQuota,
+    RetryStats, ServeFabric, TenantQuota,
+};
+pub use fault::{
+    degrade_records, retryable, schedule_retry, BrownoutConfig, FaultEvent, FaultKind, FaultPlan,
+    RetryBudget, RetryDecision, RetryPolicy,
 };
 pub use gateway::{Gateway, GatewayConfig, TenantAccount};
 pub use loadgen::{LoadPlan, TenantSpec};

@@ -47,6 +47,10 @@ pub enum ShedReason {
     NoRoute,
     /// The request missed its latency SLO before dispatch.
     DeadlineExpired,
+    /// The request's home node died with the request queued or in flight;
+    /// the work was resolved as a refunded shed during evacuation so the
+    /// tenant is never billed for it.
+    Failover,
 }
 
 impl ShedReason {
@@ -59,6 +63,7 @@ impl ShedReason {
             ShedReason::Overload => "overload",
             ShedReason::NoRoute => "no-route",
             ShedReason::DeadlineExpired => "deadline",
+            ShedReason::Failover => "failover",
         }
     }
 
@@ -73,18 +78,20 @@ impl ShedReason {
             ShedReason::Overload => 2,
             ShedReason::NoRoute => 3,
             ShedReason::DeadlineExpired => 4,
+            ShedReason::Failover => 5,
         }
     }
 
     /// All reasons, for report tables.
     #[must_use]
-    pub fn all() -> [ShedReason; 5] {
+    pub fn all() -> [ShedReason; 6] {
         [
             ShedReason::QuotaExhausted,
             ShedReason::TenantBackpressure,
             ShedReason::Overload,
             ShedReason::NoRoute,
             ShedReason::DeadlineExpired,
+            ShedReason::Failover,
         ]
     }
 }

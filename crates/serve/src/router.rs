@@ -27,13 +27,21 @@ pub struct Route {
     pub selection: Arc<Selection>,
 }
 
+/// One family's cached routing plan: the selected variant per device
+/// index (`None` = no feasible variant on that device).
+type FamilyPlan = Vec<Option<Arc<Selection>>>;
+
 /// Least-loaded constraint-aware router over a [`Fleet`].
 pub struct Router {
     /// The device population being served against.
     pub fleet: Fleet,
     requirements: Requirements,
     /// Cached per-device selection per family; rebuilt on `refresh`.
-    plans: BTreeMap<String, Vec<Option<Arc<Selection>>>>,
+    plans: BTreeMap<String, FamilyPlan>,
+    /// Brownout ladder: per-device selections computed over a *reduced*
+    /// record set (the `level` most expensive variants removed), keyed by
+    /// family then `level ≥ 1`. Level 0 lives in `plans`.
+    degraded: BTreeMap<String, BTreeMap<usize, FamilyPlan>>,
     /// Device busy-until times (simulated microseconds).
     free_at_us: Vec<u64>,
     /// Batches dispatched per device (for the report's balance view).
@@ -50,6 +58,7 @@ impl Router {
             fleet,
             requirements,
             plans: BTreeMap::new(),
+            degraded: BTreeMap::new(),
             free_at_us: vec![0; n],
             dispatched: vec![0; n],
         }
@@ -72,15 +81,46 @@ impl Router {
         self.plans.insert(family.to_string(), plan);
     }
 
+    /// Recompute the brownout plan for `family` at degradation `level ≥ 1`
+    /// from an already-reduced record set (see
+    /// [`crate::fault::degrade_records`]). Level 0 is
+    /// [`Router::refresh_family`].
+    pub fn refresh_family_level(&mut self, family: &str, records: &[ModelRecord], level: usize) {
+        if level == 0 {
+            self.refresh_family(family, records);
+            return;
+        }
+        let req = self.requirements.clone();
+        let plan = self
+            .fleet
+            .par_map(|device| select_variant(records, device, &req).ok().map(Arc::new));
+        self.degraded
+            .entry(family.to_string())
+            .or_default()
+            .insert(level, plan);
+    }
+
     /// Drop all cached plans (fleet state churned).
     pub fn invalidate_plans(&mut self) {
         self.plans.clear();
+        self.degraded.clear();
     }
 
     /// Whether a plan exists for `family`.
     #[must_use]
     pub fn has_plan(&self, family: &str) -> bool {
         self.plans.contains_key(family)
+    }
+
+    /// Whether a plan exists for `family` at brownout `level`.
+    #[must_use]
+    pub fn has_plan_level(&self, family: &str, level: usize) -> bool {
+        if level == 0 {
+            return self.has_plan(family);
+        }
+        self.degraded
+            .get(family)
+            .is_some_and(|m| m.contains_key(&level))
     }
 
     /// Advance fleet dynamics one step and invalidate cached plans.
@@ -93,7 +133,7 @@ impl Router {
     /// device whose queue frees earliest (ties → lowest device id, so
     /// routing is deterministic). Returns `None` when no device fits.
     pub fn route(&self, family: &str, now_us: u64) -> Option<Route> {
-        self.route_scored(family, now_us, |_| 0)
+        self.route_level(family, now_us, 0)
     }
 
     /// Affinity-aware routing: like [`Router::route`], but a device whose
@@ -111,7 +151,28 @@ impl Router {
         cache: &ModelCache,
         load_bytes_per_ms: u64,
     ) -> Option<Route> {
-        self.route_scored(family, now_us, |selection| {
+        self.route_affine_level(family, now_us, cache, load_bytes_per_ms, 0)
+    }
+
+    /// [`Router::route`] against the brownout plan for `level` (0 = the
+    /// normal plan).
+    pub fn route_level(&self, family: &str, now_us: u64, level: usize) -> Option<Route> {
+        let plan = self.plan_for(family, level)?;
+        self.route_scored(plan, now_us, |_| 0)
+    }
+
+    /// [`Router::route_affine`] against the brownout plan for `level`
+    /// (0 = the normal plan).
+    pub fn route_affine_level(
+        &self,
+        family: &str,
+        now_us: u64,
+        cache: &ModelCache,
+        load_bytes_per_ms: u64,
+        level: usize,
+    ) -> Option<Route> {
+        let plan = self.plan_for(family, level)?;
+        self.route_scored(plan, now_us, |selection| {
             if cache.contains(selection.record.id) {
                 0
             } else {
@@ -121,15 +182,24 @@ impl Router {
         })
     }
 
+    fn plan_for(&self, family: &str, level: usize) -> Option<&[Option<Arc<Selection>>]> {
+        if level == 0 {
+            return self.plans.get(family).map(Vec::as_slice);
+        }
+        self.degraded
+            .get(family)
+            .and_then(|m| m.get(&level))
+            .map(Vec::as_slice)
+    }
+
     /// Shared core of the routing policies: minimize estimated start time
     /// (`free_at` plus a policy-supplied penalty), ties → lowest index.
     fn route_scored(
         &self,
-        family: &str,
+        plan: &[Option<Arc<Selection>>],
         now_us: u64,
         penalty_us: impl Fn(&Selection) -> u64,
     ) -> Option<Route> {
-        let plan = self.plans.get(family)?;
         let mut best: Option<(u64, usize)> = None;
         for (idx, (device, selection)) in self.fleet.devices.iter().zip(plan.iter()).enumerate() {
             let Some(selection) = selection else {
@@ -148,11 +218,7 @@ impl Router {
             }
         }
         let (_, idx) = best?;
-        let selection = Arc::clone(
-            self.plans[family][idx]
-                .as_ref()
-                .expect("feasible by filter"),
-        );
+        let selection = Arc::clone(plan[idx].as_ref().expect("feasible by filter"));
         Some(Route {
             device: self.fleet.devices[idx].id,
             device_index: idx,
@@ -307,5 +373,32 @@ mod tests {
         assert!(router.has_plan("m"));
         router.step_fleet();
         assert!(!router.has_plan("m"));
+    }
+
+    #[test]
+    fn degraded_plans_route_cheaper_variants() {
+        let fleet = Fleet::generate(20, &default_mix(), 3);
+        let mut router = Router::new(fleet, requirements());
+        let records = family();
+        router.refresh_family("m", &records);
+        // Level 1 drops the fat f32 record: no level-1 route may select it.
+        let reduced: Vec<ModelRecord> = records
+            .iter()
+            .filter(|r| r.format != ModelFormat::F32)
+            .cloned()
+            .collect();
+        router.refresh_family_level("m", &reduced, 1);
+        assert!(router.has_plan_level("m", 1));
+        assert!(!router.has_plan_level("m", 2));
+        let degraded = router.route_level("m", 0, 1).expect("route exists");
+        assert_ne!(degraded.selection.record.format, ModelFormat::F32);
+        assert!(
+            degraded.selection.record.size_bytes <= 10_000,
+            "level 1 serves a quantized variant"
+        );
+        // Level 0 is untouched by degraded refreshes.
+        assert!(router.has_plan("m"));
+        router.step_fleet();
+        assert!(!router.has_plan_level("m", 1), "churn invalidates levels");
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::batcher::{Batch, BatchPolicy, MicroBatcher, PushOutcome};
 use crate::cache::{Admission, ModelCache};
+use crate::fault::{FailoverPackage, NodeFaults};
 use crate::gateway::{Gateway, GatewayConfig};
 use crate::loadgen::LoadPlan;
 use crate::observer::NodeObserver;
@@ -175,7 +176,7 @@ struct ServeMetrics {
     batches: CounterId,
     batch_size: TimerId,
     /// Indexed by [`ShedReason::index`].
-    shed: [CounterId; 5],
+    shed: [CounterId; 6],
 }
 
 impl ServeMetrics {
@@ -212,6 +213,11 @@ pub(crate) struct ServeEngine<'t> {
     timers: BinaryHeap<Reverse<(u64, u64, Timer)>>,
     seq: u64,
     inflight: Vec<Option<InFlight>>,
+    /// Injected faults for this node (None unless a [`crate::FaultPlan`]
+    /// is enabled — the disabled plane carries no state at all).
+    faults: Option<NodeFaults>,
+    /// Current brownout degradation level (0 = full catalog).
+    brownout_level: usize,
 }
 
 impl<'t> ServeEngine<'t> {
@@ -225,6 +231,8 @@ impl<'t> ServeEngine<'t> {
             timers: BinaryHeap::new(),
             seq: 0,
             inflight: Vec::new(),
+            faults: None,
+            brownout_level: 0,
         };
         if engine.cfg.fleet_step_period_us > 0 {
             engine.arm(engine.cfg.fleet_step_period_us, Timer::FleetStep);
@@ -237,6 +245,20 @@ impl<'t> ServeEngine<'t> {
     /// decision.
     pub(crate) fn set_observer(&mut self, observer: Option<Box<NodeObserver>>) {
         self.observer = observer;
+    }
+
+    /// Attach this node's view of the fault plan (None disables the fault
+    /// plane entirely — the engine then runs the exact pre-fault code
+    /// paths).
+    pub(crate) fn set_faults(&mut self, faults: Option<NodeFaults>) {
+        self.faults = faults;
+    }
+
+    /// Current brownout degradation level (asserted by the ladder's unit
+    /// test; the serving path reads the field directly).
+    #[cfg(test)]
+    pub(crate) fn brownout_level(&self) -> usize {
+        self.brownout_level
     }
 
     /// Telemetry sink plus interned handles when emission is on (they are
@@ -263,6 +285,13 @@ impl<'t> ServeEngine<'t> {
     }
 
     fn arm(&mut self, at_us: u64, timer: Timer) {
+        // An injected stall freezes the node: anything due inside the
+        // window fires at its end instead. Idempotent, keyed only on the
+        // due time, so both backends slide identically.
+        let at_us = match &self.faults {
+            Some(f) => f.stall_adjusted(at_us),
+            None => at_us,
+        };
         self.timers.push(Reverse((at_us, self.seq, timer)));
         self.seq += 1;
     }
@@ -321,8 +350,16 @@ impl<'t> ServeEngine<'t> {
     /// Admit-or-shed one arrival at its own timestamp. The borrow is the
     /// point: shed requests (the bulk of overload runs) never pay for a
     /// clone — only admitted work is copied into the batcher's queue.
-    pub(crate) fn on_arrival(&mut self, plane: &mut ServePlane, request: &Request) {
+    /// Returns the admission-time shed reason (None = admitted) so a
+    /// retrying driver can tell transient pressure from hard denials;
+    /// non-retrying drivers ignore it.
+    pub(crate) fn on_arrival(
+        &mut self,
+        plane: &mut ServePlane,
+        request: &Request,
+    ) -> Option<ShedReason> {
         let now = request.arrival_us;
+        self.step_brownout(plane);
         self.stats.on_arrival(now);
         if let Some(obs) = self.observer.as_deref_mut() {
             obs.on_arrival(now);
@@ -336,6 +373,7 @@ impl<'t> ServeEngine<'t> {
                 if let Some(obs) = self.observer.as_deref_mut() {
                     obs.on_shed(now, request.tenant, request.id, reason);
                 }
+                Some(reason)
             }
             Ok(()) => {
                 if let Some((t, m)) = self.tele() {
@@ -356,7 +394,29 @@ impl<'t> ServeEngine<'t> {
                     }
                     PushOutcome::Queued { flush_at_us: None } => {}
                 }
+                None
             }
+        }
+    }
+
+    /// Walk the brownout ladder one step if gateway pressure crossed a
+    /// watermark. Reads only engine-local state (the gateway's pending
+    /// count against its configured ceiling), so both backends step at
+    /// identical points and replay parity holds with brownout enabled.
+    fn step_brownout(&mut self, plane: &ServePlane) {
+        let Some(faults) = &self.faults else {
+            return;
+        };
+        let b = &faults.brownout;
+        if !b.enabled {
+            return;
+        }
+        let pressure =
+            plane.gateway.total_pending() as f64 / self.cfg.gateway.max_total_pending.max(1) as f64;
+        if pressure >= b.high_watermark && self.brownout_level < b.max_level {
+            self.brownout_level += 1;
+        } else if pressure <= b.low_watermark && self.brownout_level > 0 {
+            self.brownout_level -= 1;
         }
     }
 
@@ -417,6 +477,91 @@ impl<'t> ServeEngine<'t> {
         }
     }
 
+    /// Crash teardown (injected [`crate::FaultKind::Crash`]): the node is
+    /// dead as of `at_us`. Every queued and in-flight request dies with
+    /// it — each is resolved as a refunded [`ShedReason::Failover`] shed
+    /// while its account is still attached, so the prepaid query returns
+    /// through the audit chain and `unrefunded_sheds() == 0` survives the
+    /// crash. Every account is then detached and exported as a
+    /// [`FailoverPackage`] (quota partition + census counters, pending
+    /// already zero) for surviving nodes to reconstruct. The timer heap
+    /// is cleared — nothing fires on a dead node — which is load-bearing:
+    /// a surviving `BatchDone` would fire on an emptied in-flight slot.
+    /// Deterministic given the plane state (tenants in id order, slab in
+    /// dispatch order), so both backends tear down identically.
+    ///
+    /// The second return is the *orphans*: in-flight requests of tenants
+    /// that already migrated away (the PR 5 drain leaves dispatched work
+    /// behind and pre-debits the moving account's pending count). Their
+    /// shed is counted here, but the refund must land on the account that
+    /// was charged — the driver routes each orphan to the tenant's
+    /// current home and calls [`ServeEngine::refund_orphan`] there.
+    pub(crate) fn evacuate(
+        &mut self,
+        plane: &mut ServePlane,
+        from: NodeId,
+        at_us: u64,
+    ) -> (Vec<FailoverPackage>, Vec<Request>) {
+        let tenants = plane.gateway.tenant_ids();
+        let mut doomed: Vec<Request> = Vec::new();
+        for &tenant in &tenants {
+            doomed.extend(plane.batcher.splice_tenant(tenant));
+        }
+        debug_assert_eq!(plane.batcher.pending(), 0, "only known tenants enqueue");
+        for slot in &mut self.inflight {
+            if let Some(batch) = slot.take() {
+                doomed.extend(batch.requests);
+            }
+        }
+        self.timers.clear();
+        let mut orphans = Vec::new();
+        for r in doomed {
+            self.stats.on_shed(ShedReason::Failover);
+            if let Some((t, m)) = self.tele() {
+                t.incr_id(m.shed[ShedReason::Failover.index()]);
+            }
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_shed(at_us, r.tenant, r.id, ShedReason::Failover);
+            }
+            if plane.gateway.tenant(r.tenant).is_some() {
+                plane.gateway.resolve_shed(r.tenant, at_us / 1000);
+                if let Some((t, m)) = self.tele() {
+                    t.incr_id(m.refunded);
+                }
+            } else {
+                orphans.push(r);
+            }
+        }
+        let mut packages = Vec::new();
+        for tenant in tenants {
+            let Some(account) = plane.gateway.remove_tenant(tenant) else {
+                continue;
+            };
+            debug_assert_eq!(account.pending, 0, "evacuation resolved all pending work");
+            packages.push(FailoverPackage {
+                tenant,
+                quota: account.quota,
+                admitted: account.admitted,
+                shed: account.shed,
+                refunded: account.refunded,
+                from,
+                at_us,
+            });
+        }
+        (packages, orphans)
+    }
+
+    /// Refund one prepaid query on this node for a request of `tenant`
+    /// that died on a crashed peer (see [`ServeEngine::evacuate`] —
+    /// orphan leg of a crash that raced a migration). The shed was
+    /// already counted on the dead node; only the refund lands here.
+    pub(crate) fn refund_orphan(&mut self, plane: &mut ServePlane, tenant: TenantId, at_us: u64) {
+        plane.gateway.refund_orphan(tenant, at_us / 1000);
+        if let Some((t, m)) = self.tele() {
+            t.incr_id(m.refunded);
+        }
+    }
+
     /// Drain every remaining timer (no more arrivals will come) and
     /// return the statistics accumulator. The drain never waits:
     /// remaining completion timestamps are already decided, so a
@@ -432,6 +577,14 @@ impl<'t> ServeEngine<'t> {
     }
 
     fn dispatch(&mut self, plane: &mut ServePlane, batch: Batch, now: u64) {
+        // Injected dispatch-time panic (threaded backend only — see
+        // `FaultKind::DispatchPanic`): the worker dies mid-run and the
+        // feeder must survive it.
+        if let Some(faults) = self.faults.as_mut() {
+            if faults.take_panic(now) {
+                panic!("injected fault: dispatch panic at {now}us");
+            }
+        }
         // Expired-before-dispatch requests are shed, not executed. They
         // were admitted (and charged) at the door, so the shed refunds the
         // prepaid query through the audit chain.
@@ -453,21 +606,32 @@ impl<'t> ServeEngine<'t> {
         if live.is_empty() {
             return;
         }
-        // Route — replan lazily after fleet churn.
-        if !plane.router.has_plan(&batch.model) {
+        // Route — replan lazily after fleet churn, against the brownout
+        // level's (possibly reduced) record set. Level 0 is the exact
+        // pre-brownout path.
+        let level = self.brownout_level;
+        if !plane.router.has_plan_level(&batch.model, level) {
             if let Some(records) = plane.families.get(&batch.model) {
-                plane.router.refresh_family(&batch.model, records);
+                if level == 0 {
+                    plane.router.refresh_family(&batch.model, records);
+                } else {
+                    let reduced = crate::fault::degrade_records(records, level);
+                    plane
+                        .router
+                        .refresh_family_level(&batch.model, &reduced, level);
+                }
             }
         }
         let route = if self.cfg.affinity_routing {
-            plane.router.route_affine(
+            plane.router.route_affine_level(
                 &batch.model,
                 now,
                 &plane.cache,
                 self.cfg.cache_load_bytes_per_ms,
+                level,
             )
         } else {
-            plane.router.route(&batch.model, now)
+            plane.router.route_level(&batch.model, now, level)
         };
         let Some(route) = route else {
             for r in &live {
@@ -530,9 +694,25 @@ impl<'t> ServeEngine<'t> {
         // Virtual execution cost: per-batch overhead + artifact load +
         // sequential per-item inference at the selected variant's speed.
         let per_item_us = (route.selection.latency_ms * 1000.0) as u64;
-        let service_us = self.cfg.dispatch_overhead_us + load_us + per_item_us * live.len() as u64;
+        let mut service_us =
+            self.cfg.dispatch_overhead_us + load_us + per_item_us * live.len() as u64;
+        // Injected slowdown: a degraded node's device work takes longer
+        // from the fault's start time onward.
+        if let Some(faults) = &self.faults {
+            let multiplier = faults.slow_multiplier(now);
+            if multiplier != 1.0 {
+                service_us = (service_us as f64 * multiplier) as u64;
+            }
+        }
         let start = plane.router.free_at(route.device_index, now);
-        let done_us = start + service_us.max(1);
+        let mut done_us = start + service_us.max(1);
+        // Injected stall: a completion landing inside a stall window
+        // slides to the window's end (the timer in `arm` would slide the
+        // same way; adjusting here keeps `InFlight::done_us` — and the
+        // latency accounting — consistent with the fired timer).
+        if let Some(faults) = &self.faults {
+            done_us = faults.stall_adjusted(done_us);
+        }
         plane.router.occupy(route.device_index, done_us);
         // §IV: inference drains the device battery.
         let energy = route.selection.energy_mj * live.len() as f64;
@@ -615,7 +795,7 @@ impl<'a> ServeSim<'a> {
         for r in stream {
             let request = r.borrow();
             engine.run_timers_through(plane, request.arrival_us, true);
-            engine.on_arrival(plane, request);
+            let _ = engine.on_arrival(plane, request);
         }
         Ok(engine.finish(plane))
     }
@@ -812,5 +992,62 @@ mod tests {
             sim.run(&mut empty, &[]),
             Err(ServeError::NoFamilies)
         ));
+    }
+
+    #[test]
+    fn brownout_ladder_steps_down_under_pressure_and_recovers() {
+        // A tiny global pending ceiling so a handful of admitted-but-
+        // uncompleted requests crosses the high watermark; a long batch
+        // delay keeps them pending.
+        let cfg = ServeConfig {
+            gateway: crate::gateway::GatewayConfig {
+                max_pending_per_tenant: 64,
+                max_total_pending: 8,
+            },
+            batch: crate::batcher::BatchPolicy {
+                max_batch: 64,
+                max_delay_us: 1_000_000,
+            },
+            ..Default::default()
+        };
+        let mut pl = plane(&cfg);
+        pl.gateway.register_tenant(1, [1; 32]);
+        pl.gateway.credit(1, 1_000, 7, 0).unwrap();
+        let mut engine = ServeEngine::new(cfg, None);
+        let fault_plan = crate::fault::FaultPlan {
+            enabled: true,
+            events: vec![],
+            brownout: crate::fault::BrownoutConfig::enabled(),
+        };
+        engine.set_faults(NodeFaults::for_node(&fault_plan, 0, false));
+        assert_eq!(engine.brownout_level(), 0);
+        let req = |id: u64, at: u64| Request {
+            id,
+            tenant: 1,
+            model: "kws".into(),
+            arrival_us: at,
+            deadline_us: 500_000,
+            features: None,
+        };
+        // Pressure is sampled before each admission, so the 7th arrival
+        // sees 6 pending / ceiling 8 = 0.75 — the high watermark — and
+        // steps one level per arrival down to max_level.
+        for i in 0..6 {
+            let _ = engine.on_arrival(&mut pl, &req(i, 1_000 + i));
+        }
+        assert_eq!(engine.brownout_level(), 0, "below watermark, no step");
+        let _ = engine.on_arrival(&mut pl, &req(6, 1_010));
+        assert_eq!(engine.brownout_level(), 1, "high watermark steps down");
+        let _ = engine.on_arrival(&mut pl, &req(7, 1_011));
+        assert_eq!(engine.brownout_level(), 2);
+        let _ = engine.on_arrival(&mut pl, &req(8, 1_012));
+        assert_eq!(engine.brownout_level(), 2, "max_level caps the ladder");
+        // Recovery: drain everything, then pressure 0 steps back up one
+        // level per arrival (hysteresis, not a cliff).
+        engine.run_timers_through(&mut pl, 2_000_000, true);
+        let _ = engine.on_arrival(&mut pl, &req(11, 2_000_001));
+        assert_eq!(engine.brownout_level(), 1);
+        let _ = engine.on_arrival(&mut pl, &req(12, 2_000_002));
+        assert_eq!(engine.brownout_level(), 0, "ladder fully recovers");
     }
 }

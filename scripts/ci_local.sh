@@ -86,6 +86,15 @@ if run_stage smoke; then
     jq -e '.rows | length >= 1' results/e19_observe_windows.json
     jq -e '[.rows[] | select(.["span kind"] == "handoff")][0].events == "2"' results/e19_observe_trace.json
     jq -e 'length >= 1 and ([.[] | select(.name == "handoff")] | length == 2)' results/e19_trace.json
+    banner "e20 fault-injection smoke + asserts"
+    cargo run --release -p tinymlops_bench --bin e20_faults -- --quick
+    jq -e '.rows[0].unrefunded == "0" and .rows[0].census == "exact" and .rows[0].chains == "verified"' results/e20_faults_crash.json
+    jq -e '(.rows[0]["failover sheds"] | tonumber) > 0' results/e20_faults_crash.json
+    jq -e '.rows[-1].identical == "yes"' results/e20_faults_parity.json
+    jq -e '.rows[-1].identical == "yes"' results/e20_faults_identity.json
+    jq -e '.rows[-1].brownout_wins == "yes" and .rows[-1].p99_held == "yes"' results/e20_faults_brownout.json
+    jq -e '(.rows[-1].succeeded | tonumber) > 0 and (.rows[-1].deadline_denied | tonumber) > 0' results/e20_faults_retry.json
+    jq -e '.rows[0].panic_contained == "yes"' results/e20_faults_panic.json
 fi
 
 if run_stage bench; then
