@@ -16,7 +16,7 @@
 
 use rayon::pool::{configure_threads, effective_threads, with_dispatch, Dispatch};
 use std::time::Instant;
-use tinymlops_bench::{fmt, print_table, synthetic_family};
+use tinymlops_bench::{fmt, print_table, synthetic_family, synthetic_family_xnor};
 use tinymlops_nn::model::mlp;
 use tinymlops_observe::Telemetry;
 use tinymlops_quant::{QDense, QuantScheme, QuantizedModel};
@@ -292,6 +292,278 @@ fn bench_qdense(quick: bool, entries: &mut Vec<Entry>) {
                 speedup_vs_baseline: Some(ref_ns / new_ns),
             });
         }
+    }
+}
+
+/// The explicit `vpmaddwd`-shaped AVX2 int8 kernel vs the autovectorized
+/// widening-multiply row kernel it replaced, on the QDense batched path.
+/// The autovec path is retained as `forward_autovec` purely so this
+/// before/after lands in one run; both are asserted bit-identical first.
+/// Acceptance: maddwd wins at batch ≥ 8 (single-row calls are dominated
+/// by quantize/dequantize traffic, not MACs).
+fn bench_dot_maddwd(quick: bool, entries: &mut Vec<Entry>) {
+    let (out_d, in_d) = if quick { (64, 64) } else { (256, 256) };
+    let batches: &[usize] = if quick { &[8] } else { &[1, 8, 32] };
+    let mut rng = TensorRng::seed(SEED + 5);
+    let w = rng.uniform(&[out_d, in_d], -1.0, 1.0);
+    let bias = rng.uniform(&[out_d], -0.1, 0.1);
+    let q = QDense::quantize(&w, &bias, 8, 1.0 / 127.0);
+    for &batch in batches {
+        let x = rng.uniform(&[batch, in_d], -1.0, 1.0);
+        assert_eq!(
+            q.forward(&x).data(),
+            q.forward_autovec(&x).data(),
+            "maddwd kernel diverges from autovec"
+        );
+        let shape = format!("b{batch}x{in_d}->{out_d}");
+        let macs = (batch * in_d * out_d) as f64;
+        let probe = time_ns(1, || {
+            std::hint::black_box(q.forward_autovec(&x));
+        });
+        let reps = if quick { 1 } else { reps_for(probe, 40.0) };
+        let rounds = if quick { 1 } else { 5 };
+        let auto_ns = time_ns_best(rounds, reps, || {
+            std::hint::black_box(q.forward_autovec(&x));
+        });
+        let maddwd_ns = time_ns_best(rounds, reps, || {
+            std::hint::black_box(q.forward(&x));
+        });
+        let base_id = format!("dot_i8_{shape}_autovec");
+        entries.push(Entry {
+            id: base_id.clone(),
+            group: "dot_i8_maddwd",
+            shape: shape.clone(),
+            reps,
+            ns_per_op: auto_ns,
+            gflops: Some(2.0 * macs / auto_ns),
+            baseline_id: None,
+            speedup_vs_baseline: None,
+        });
+        entries.push(Entry {
+            id: format!("dot_i8_{shape}_maddwd"),
+            group: "dot_i8_maddwd",
+            shape,
+            reps,
+            ns_per_op: maddwd_ns,
+            gflops: Some(2.0 * macs / maddwd_ns),
+            baseline_id: Some(base_id),
+            speedup_vs_baseline: Some(auto_ns / maddwd_ns),
+        });
+    }
+}
+
+/// Whole-model quantized forward, three ways: f32, the unfused per-layer
+/// int8 path (quantize/dequantize at every boundary), and the fused
+/// integer-domain forward (activations stay i8 across Dense→ReLU→Dense,
+/// scales bridged by fixed-point requantization). The ROADMAP measurement
+/// this targets: boundary traffic made int8 *lose* to f32 on the b64 MLP;
+/// the fused path must flip that. Both int8 entries are scored against
+/// the f32 forward.
+fn bench_qmodel_fused(quick: bool, entries: &mut Vec<Entry>) {
+    let widths: &[usize] = if quick {
+        &[64, 32, 10]
+    } else {
+        &[64, 128, 64, 10]
+    };
+    let batch = if quick { 8 } else { 64 };
+    let mut rng = TensorRng::seed(SEED + 6);
+    let model = mlp(widths, &mut rng);
+    let x = rng.uniform(&[batch, widths[0]], -1.0, 1.0);
+    let calib = rng.uniform(&[32, widths[0]], -1.0, 1.0);
+    let q8 = QuantizedModel::quantize(&model, &calib, QuantScheme::Int8).expect("dense mlp");
+    let shape = format!("b{batch}-{widths:?}");
+    let probe = time_ns(1, || {
+        std::hint::black_box(model.forward(&x));
+    });
+    let reps = if quick { 1 } else { reps_for(probe, 15.0) };
+    let rounds = if quick { 1 } else { 11 };
+    // Interleave the three variants round-robin and keep each one's best
+    // round: host interference spans whole measurement blocks, so
+    // back-to-back per-variant blocks can hand one variant a quiet
+    // machine and another a noisy one — round-robin sampling gives every
+    // variant a shot at each quiet window.
+    let mut f32_ns = f64::INFINITY;
+    let mut unfused_ns = f64::INFINITY;
+    let mut fused_ns = f64::INFINITY;
+    for _ in 0..rounds {
+        f32_ns = f32_ns.min(time_ns(reps, || {
+            std::hint::black_box(model.forward(&x));
+        }));
+        unfused_ns = unfused_ns.min(time_ns(reps, || {
+            std::hint::black_box(q8.forward(&x));
+        }));
+        fused_ns = fused_ns.min(time_ns(reps, || {
+            std::hint::black_box(q8.forward_fused(&x));
+        }));
+    }
+    let f32_id = "qmodel_fused_f32".to_string();
+    for (id, ns, scored) in [
+        (f32_id.clone(), f32_ns, false),
+        ("qmodel_fused_int8_unfused".to_string(), unfused_ns, true),
+        ("qmodel_fused_int8_fused".to_string(), fused_ns, true),
+    ] {
+        entries.push(Entry {
+            id,
+            group: "qmodel_fused",
+            shape: shape.clone(),
+            reps,
+            ns_per_op: ns,
+            gflops: None,
+            baseline_id: scored.then(|| f32_id.clone()),
+            speedup_vs_baseline: scored.then(|| f32_ns / ns),
+        });
+    }
+}
+
+/// Brownout ladder depth: the E20d flash crowd replayed over three
+/// configurations — pure shedding, the PR-7 ladder whose deepest level is
+/// int2, and a ladder extended one level onto the activation-binarization-
+/// aware int1 (XNOR) record ([`synthetic_family_xnor`]). The fastest
+/// kernel in the tree only carries traffic if it is registered *and* the
+/// ladder is allowed to reach it; the tracked datapoint is served
+/// requests, with the xnor entry scored against the int2 ladder.
+fn bench_xnor_serving(quick: bool, entries: &mut Vec<Entry>) {
+    use tinymlops_device::{default_mix, Fleet};
+    use tinymlops_registry::ModelFormat;
+    use tinymlops_serve::{degrade_records, BrownoutConfig, FaultPlan, GatewayConfig};
+
+    let duration_us = if quick { 500_000 } else { 2_000_000 };
+    let burst_rps = if quick { 30_000.0 } else { 48_000.0 };
+    let tenants = 8u32;
+    let mk_plan = |rps: f64, dur: u64, seed: u64| LoadPlan {
+        tenants: (0..tenants)
+            .map(|i| TenantSpec {
+                id: i + 1,
+                rate_rps: rps / f64::from(tenants),
+                model: if i % 2 == 0 { "kws" } else { "vision" }.into(),
+                prepaid_queries: u64::MAX / 2,
+                deadline_us: 40_000,
+            })
+            .collect(),
+        duration_us: dur,
+        seed,
+        feature_dim: 0,
+    };
+    let base_plan = mk_plan(3_000.0, duration_us, SEED);
+    let burst_plan = mk_plan(burst_rps, duration_us / 4, SEED + 1);
+    let mut flash: Vec<_> = base_plan.generate();
+    let offset = duration_us * 3 / 8;
+    flash.extend(burst_plan.generate().into_iter().map(|mut r| {
+        r.arrival_us += offset;
+        r
+    }));
+    flash.sort_by_key(|r| r.arrival_us);
+    for (i, r) in flash.iter_mut().enumerate() {
+        r.id = i as u64;
+    }
+
+    // max_level 2 walks f32 → int8 → int2 on the 3-record catalog;
+    // max_level 3 on the 4-record catalog ends on the int1 XNOR record.
+    let run = |max_level: usize, xnor: bool| {
+        let cfg = FabricConfig {
+            node_weights: vec![1.0; 3],
+            serve: ServeConfig {
+                gateway: GatewayConfig {
+                    max_pending_per_tenant: 24,
+                    max_total_pending: 64,
+                },
+                ..Default::default()
+            },
+            fault: FaultPlan {
+                enabled: true,
+                events: vec![],
+                brownout: if max_level == 0 {
+                    BrownoutConfig::default()
+                } else {
+                    BrownoutConfig {
+                        max_level,
+                        ..BrownoutConfig::enabled()
+                    }
+                },
+            },
+            ..Default::default()
+        };
+        let fleets =
+            Fleet::generate(if quick { 30 } else { 60 }, &default_mix(), SEED).partition(3);
+        let mut fabric = ServeFabric::new(&cfg, fleets);
+        let fam = if xnor {
+            synthetic_family_xnor
+        } else {
+            synthetic_family
+        };
+        fabric.install_family("kws", fam("kws", 0));
+        fabric.install_family("vision", fam("vision", 100));
+        fabric.provision(&base_plan);
+        let start = Instant::now();
+        let report = fabric.run(&flash).expect("flash run");
+        (report, start.elapsed().as_secs_f64())
+    };
+    // All three runs share the 4-record catalog, so the only variable is
+    // ladder depth: max_level 2 bottoms out on int2, 3 reaches the int1
+    // XNOR record.
+    let (shed_only, shed_wall) = run(0, true);
+    let (int2, int2_wall) = run(2, true);
+    let (xnor, xnor_wall) = run(3, true);
+    println!(
+        "xnor serving: flash crowd {} requests; served shed-only {} / ladder-int2 {} / ladder-xnor {}",
+        flash.len(),
+        shed_only.fleet.served,
+        int2.fleet.served,
+        xnor.fleet.served,
+    );
+    // Both ladder depths must rescue throughput over pure shedding. They
+    // are not ordered against each other: deeper degradation drains
+    // queues faster, so gateway pressure recovers below the low
+    // watermark sooner and the node steps back up to expensive variants
+    // earlier — the two ladders land within feedback noise of each other
+    // (the served ratio is still recorded as the xnor entry's speedup).
+    assert!(
+        int2.fleet.served > shed_only.fleet.served,
+        "the int2 ladder must out-serve pure shedding ({} vs {})",
+        int2.fleet.served,
+        shed_only.fleet.served
+    );
+    assert!(
+        xnor.fleet.served > shed_only.fleet.served,
+        "the XNOR ladder must out-serve pure shedding ({} vs {})",
+        xnor.fleet.served,
+        shed_only.fleet.served
+    );
+    // And level 3 must actually bottom out on the XNOR record: the
+    // 4-record catalog degraded three steps leaves exactly the int1.
+    let deepest = degrade_records(&synthetic_family_xnor("kws", 0), 3);
+    assert!(
+        deepest.len() == 1 && matches!(deepest[0].format, ModelFormat::Quantized { bits: 1 }),
+        "ladder level 3 must serve the int1 XNOR record, got {:?}",
+        deepest.iter().map(|r| r.format.clone()).collect::<Vec<_>>()
+    );
+    let reqs = flash.len() as f64;
+    for (id, report, wall, baseline) in [
+        ("xnor_serving_shed_only", &shed_only, shed_wall, None),
+        (
+            "xnor_serving_ladder_int2",
+            &int2,
+            int2_wall,
+            Some(("xnor_serving_shed_only", shed_only.fleet.served)),
+        ),
+        (
+            "xnor_serving_ladder_xnor",
+            &xnor,
+            xnor_wall,
+            Some(("xnor_serving_ladder_int2", int2.fleet.served)),
+        ),
+    ] {
+        entries.push(Entry {
+            id: id.into(),
+            group: "xnor_serving",
+            shape: format!("{}req-flash-served{}", flash.len(), report.fleet.served),
+            reps: 1,
+            ns_per_op: wall * 1e9 / reqs,
+            gflops: None,
+            baseline_id: baseline.map(|(b, _)| b.to_string()),
+            speedup_vs_baseline: baseline
+                .map(|(_, base)| report.fleet.served as f64 / base.max(1) as f64),
+        });
     }
 }
 
@@ -1050,12 +1322,15 @@ fn main() {
         bench_gemm_f32(quick, &mut entries);
         bench_gemm_nt(quick, &mut entries);
         bench_qdense(quick, &mut entries);
+        bench_dot_maddwd(quick, &mut entries);
         bench_model_forward(quick, &mut entries);
+        bench_qmodel_fused(quick, &mut entries);
         bench_serving_replay(quick, &mut entries);
         bench_serving_sharded(quick, &mut entries);
         bench_telemetry(quick, &mut entries);
         bench_serving_traced(quick, &mut entries);
         bench_serving_faults(quick, &mut entries);
+        bench_xnor_serving(quick, &mut entries);
     });
     bench_pool_dispatch(quick, &mut entries);
     bench_serving_live(quick, &mut entries);
@@ -1098,6 +1373,15 @@ fn main() {
             "acceptance: gemm 256^3 packed {gemm:.2}x (need >= 2), qdense int8 b32 {q8:.2}x (need >= 2), \
              traced replay {:.1}% overhead (need < 5%)",
             (1.0 / traced.max(1e-9) - 1.0) * 100.0
+        );
+        let maddwd = speedup_of("dot_i8_b8x256->256_maddwd").unwrap_or(0.0);
+        let unfused = speedup_of("qmodel_fused_int8_unfused").unwrap_or(0.0);
+        let fused = speedup_of("qmodel_fused_int8_fused").unwrap_or(0.0);
+        let xnor = speedup_of("xnor_serving_ladder_xnor").unwrap_or(0.0);
+        println!(
+            "acceptance: maddwd b8 {maddwd:.2}x vs autovec (need > 1), fused int8 vs f32 b64 \
+             {fused:.2}x (need > 1; unfused was {unfused:.2}x), xnor ladder served {xnor:.3}x \
+             the int2 ladder (need >= 1)"
         );
     }
 }

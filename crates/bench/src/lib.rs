@@ -92,6 +92,33 @@ pub fn synthetic_family(name: &str, base_id: u64) -> Vec<ModelRecord> {
     .collect()
 }
 
+/// [`synthetic_family`] plus an int1 (XNOR) record: the activation-
+/// binarization-aware binary variant the brownout ladder's deepest level
+/// serves (1-bit body + f32 head ≈ 1.3 KB; accuracy from the
+/// `e01_bitwidth` E1b measurement, above the ~0.70 weight-only-trained
+/// baseline on the same kernel). A separate constructor so historical
+/// experiments keep their 3-record catalogs byte-identical.
+#[must_use]
+pub fn synthetic_family_xnor(name: &str, base_id: u64) -> Vec<ModelRecord> {
+    let mut family = synthetic_family(name, base_id);
+    let mut metrics = std::collections::BTreeMap::new();
+    metrics.insert("accuracy".into(), 0.82);
+    family.push(ModelRecord {
+        id: ModelId(base_id + family.len() as u64),
+        name: name.into(),
+        version: SemVer::new(1, 0, 0),
+        format: ModelFormat::Quantized { bits: 1 },
+        parent: None,
+        artifact: [0; 32],
+        size_bytes: 1_300,
+        macs: 100_000,
+        metrics,
+        tags: vec!["aware:activation-binarized".into()],
+        created_ms: 0,
+    });
+    family
+}
+
 /// Time a closure, returning `(result, milliseconds)`.
 pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();

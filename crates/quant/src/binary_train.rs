@@ -12,8 +12,10 @@
 
 use crate::qmodel::{QLayer, QuantScheme, QuantizedModel};
 use crate::qtensor::BinaryDense;
+use tinymlops_nn::layer::ActCache;
 use tinymlops_nn::loss::cross_entropy;
 use tinymlops_nn::{Dataset, Layer, Optimizer, Sequential};
+use tinymlops_tensor::Tensor;
 
 /// Configuration for binarization-aware fine-tuning.
 #[derive(Debug, Clone)]
@@ -29,6 +31,14 @@ pub struct BinaryAwareConfig {
     /// Keep the final (classifier) dense layer in f32 — the standard BNN
     /// practice that recovers several accuracy points for free.
     pub full_precision_head: bool,
+    /// Model *input* binarization during training (XNOR-Net): interior
+    /// binarized layers see `β·sign(h)` activations in the forward pass,
+    /// with straight-through gradients, so the true XNOR kernel
+    /// ([`BinaryDense::binarize_input`] = `true`) holds accuracy at
+    /// deployment. The first binarized dense keeps its f32 input, and a
+    /// ReLU directly feeding an activation-binarized layer is dropped —
+    /// sign *is* the nonlinearity there (post-ReLU sign is degenerate).
+    pub binarize_activations: bool,
 }
 
 impl Default for BinaryAwareConfig {
@@ -39,6 +49,7 @@ impl Default for BinaryAwareConfig {
             lr: 0.002,
             seed: 0,
             full_precision_head: true,
+            binarize_activations: false,
         }
     }
 }
@@ -60,6 +71,84 @@ fn binarized_set(model: &Sequential, cfg: &BinaryAwareConfig) -> Vec<usize> {
         idx.pop();
     }
     idx
+}
+
+/// Dense layers whose *input* is binarized when
+/// [`BinaryAwareConfig::binarize_activations`] is set: every binarized
+/// dense except the first — XNOR-Net practice keeps the network input in
+/// full precision, so a 2-dense MLP has no activation-binarized layer and
+/// the flag is a no-op there.
+fn act_binarized_set(model: &Sequential, cfg: &BinaryAwareConfig) -> Vec<usize> {
+    if !cfg.binarize_activations {
+        return Vec::new();
+    }
+    let mut idx = binarized_set(model, cfg);
+    if !idx.is_empty() {
+        idx.remove(0);
+    }
+    idx
+}
+
+/// ReLU layers that feed an activation-binarized dense (possibly through
+/// inference-identity Dropouts). Sign replaces them as the nonlinearity —
+/// sign of a post-ReLU activation is degenerate (all +1) — so training
+/// skips them and the export drops them.
+fn skipped_relu_set(model: &Sequential, act: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for &a in act {
+        let mut j = a;
+        while j > 0 {
+            j -= 1;
+            match &model.layers[j] {
+                Layer::Dropout(_) => {}
+                Layer::Relu => {
+                    out.push(j);
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+    out
+}
+
+/// XNOR-Net input binarization: per example row, β = mean |h| and
+/// h → β·sign(h), with `v ≥ 0 → +1` matching the [`BinaryDense`] kernel's
+/// sign convention so training forward ≡ deployed kernel.
+fn binarize_rows(h: &Tensor) -> Tensor {
+    let mut out = h.clone();
+    let rows = out.rows();
+    let cols = out.len().checked_div(rows).unwrap_or(0);
+    for r in 0..rows {
+        let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        let beta = row.iter().map(|v| v.abs()).sum::<f32>() / cols.max(1) as f32;
+        for v in row.iter_mut() {
+            *v = if *v >= 0.0 { beta } else { -beta };
+        }
+    }
+    out
+}
+
+/// Forward pass of the *deployed* binary behaviour for evaluation:
+/// weights must already be ±α (swap first), activation binarization and
+/// ReLU skips applied exactly as the exported XNOR kernels will.
+fn binarized_eval_forward(
+    model: &Sequential,
+    act: &[usize],
+    skipped: &[usize],
+    x: &Tensor,
+) -> Tensor {
+    let mut h = x.clone();
+    for (i, l) in model.layers.iter().enumerate() {
+        if skipped.contains(&i) {
+            continue;
+        }
+        if act.contains(&i) {
+            h = binarize_rows(&h);
+        }
+        h = l.forward(&h);
+    }
+    h
 }
 
 /// Binarize the selected layers' weights in place (sign × per-row α),
@@ -117,6 +206,8 @@ pub fn binary_aware_finetune(
     cfg: &BinaryAwareConfig,
 ) -> Vec<f32> {
     let layers = binarized_set(model, cfg);
+    let act = act_binarized_set(model, cfg);
+    let skipped = skipped_relu_set(model, &act);
     let mut opt = tinymlops_nn::Adam::new(cfg.lr);
     let mut history = Vec::with_capacity(cfg.epochs);
     for e in 0..cfg.epochs {
@@ -124,18 +215,24 @@ pub fn binary_aware_finetune(
             // Forward+backward with binarized weights…
             let latents = swap_in_binarized(model, &layers);
             model.zero_grad();
-            let logits = model.forward_train(&x);
-            let (_, grad) = cross_entropy(&logits, &y);
-            model.backward(&grad);
+            if act.is_empty() {
+                let logits = model.forward_train(&x);
+                let (_, grad) = cross_entropy(&logits, &y);
+                model.backward(&grad);
+            } else {
+                train_step_act_binarized(model, &act, &skipped, &x, &y);
+            }
             // …but step the latent weights (straight-through estimator).
             restore_latents(model, &layers, &latents);
             ste_clip(model, &layers, &latents);
             opt.step(model);
         }
-        // Epoch metric: accuracy of the *binarized* network.
+        // Epoch metric: accuracy of the *binarized* network, including
+        // activation binarization when configured — the deployed
+        // behaviour, not the latent one.
         let latents = swap_in_binarized(model, &layers);
-        let correct = model
-            .predict(&data.x)
+        let correct = binarized_eval_forward(model, &act, &skipped, &data.x)
+            .argmax_rows()
             .iter()
             .zip(&data.y)
             .filter(|(p, t)| p == t)
@@ -144,6 +241,50 @@ pub fn binary_aware_finetune(
         history.push(correct as f32 / data.len().max(1) as f32);
     }
     history
+}
+
+/// One forward+backward with activation binarization modelled: interior
+/// binarized layers see `β·sign(h)`, ReLUs they replace are skipped, and
+/// gradients pass straight through sign (zeroed outside |h| ≤ 1, the
+/// STE's linear region). Weights must already be ±α (swap first); leaves
+/// parameter gradients accumulated on `model`.
+fn train_step_act_binarized(
+    model: &mut Sequential,
+    act: &[usize],
+    skipped: &[usize],
+    x: &Tensor,
+    y: &[usize],
+) {
+    let n = model.layers.len();
+    let mut caches: Vec<ActCache> = (0..n).map(|_| ActCache::default()).collect();
+    // Pre-binarization activations, kept for the STE mask.
+    let mut pre: Vec<Option<Tensor>> = vec![None; n];
+    let mut h = x.clone();
+    for i in 0..n {
+        if skipped.contains(&i) {
+            continue;
+        }
+        if act.contains(&i) {
+            pre[i] = Some(h.clone());
+            h = binarize_rows(&h);
+        }
+        h = model.layers[i].forward_train(&h, &mut caches[i]);
+    }
+    let (_, grad0) = cross_entropy(&h, y);
+    let mut grad = grad0;
+    for i in (0..n).rev() {
+        if skipped.contains(&i) {
+            continue;
+        }
+        grad = model.layers[i].backward(&grad, &mut caches[i]);
+        if let Some(p) = &pre[i] {
+            for (g, &v) in grad.data_mut().iter_mut().zip(p.data()) {
+                if v.abs() > 1.0 {
+                    *g = 0.0;
+                }
+            }
+        }
+    }
 }
 
 /// Export a binary-aware-trained model for deployment: binarized layers
@@ -170,33 +311,43 @@ pub fn export_binary(
 }
 
 /// Package a binary-aware-trained model as a deployable
-/// [`QuantizedModel`]: binarized layers become XNOR [`BinaryDense`]
-/// kernels; activations and the (optional) full-precision head run as
-/// passthrough layers. This is what the registry's optimization pipeline
+/// [`QuantizedModel`]: binarized layers become [`BinaryDense`] kernels —
+/// true XNOR (input-binarizing) for the activation-binarized set when
+/// [`BinaryAwareConfig::binarize_activations`] trained them that way,
+/// weight-only otherwise; activations and the (optional) full-precision
+/// head run as passthrough layers, except ReLUs a sign nonlinearity
+/// replaced, which are dropped to match the trained network exactly.
+/// This is what the registry's optimization pipeline
 /// stores for the int1 variant, so the artifact that ships is exactly the
 /// network whose accuracy was measured — same serialization, loading and
 /// serving path as every other `QuantizedModel`.
 #[must_use]
 pub fn export_quantized(model: &Sequential, cfg: &BinaryAwareConfig) -> QuantizedModel {
     let binarized = binarized_set(model, cfg);
+    let act = act_binarized_set(model, cfg);
+    let skipped = skipped_relu_set(model, &act);
     let layers = model
         .layers
         .iter()
         .enumerate()
+        .filter(|(i, _)| !skipped.contains(i))
         .map(|(i, l)| match l {
+            Layer::Dense(d) if act.contains(&i) => {
+                // True XNOR kernel: training modelled β·sign(h) inputs
+                // for this layer, so the deployed kernel binarizes
+                // activations too ([`BinaryDense::binarize_input`]).
+                QLayer::BinaryDense(BinaryDense::quantize(&d.w, &d.b))
+            }
             Layer::Dense(d) if binarized.contains(&i) => {
-                // Weight-only binarization: STE training prepared the
-                // network for ±α weights with f32 activations, not for
-                // sign-crushed activations — ship the kernel it trained as.
+                // Weight-only binarization: STE training prepared this
+                // layer for ±α weights with f32 activations — ship the
+                // kernel it trained as.
                 QLayer::BinaryDense(BinaryDense::quantize_weight_only(&d.w, &d.b))
             }
             other => QLayer::Passthrough(other.clone()),
         })
         .collect();
-    QuantizedModel {
-        layers,
-        scheme: QuantScheme::Binary,
-    }
+    QuantizedModel::from_layers(layers, QuantScheme::Binary)
 }
 
 #[cfg(test)]
@@ -318,6 +469,115 @@ mod tests {
         let bytes = serde_json::to_vec(&q).unwrap();
         let back: QuantizedModel = serde_json::from_slice(&bytes).unwrap();
         assert_eq!(back.accuracy(&test.x, &test.y), q_acc);
+    }
+
+    /// A deeper net so the activation-binarized set is non-empty (the
+    /// first binarized dense keeps its f32 input).
+    fn trained_deep() -> (Sequential, Dataset, Dataset) {
+        let data = synth_digits(1200, 0.08, 77);
+        let (train, test) = data.split(0.85, 0);
+        let mut rng = TensorRng::seed(7);
+        let mut model = mlp(&[64, 48, 32, 10], &mut rng);
+        let mut opt = Adam::new(0.005);
+        fit(
+            &mut model,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 12,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
+        (model, train, test)
+    }
+
+    /// The tentpole claim: modelling input binarization during training
+    /// lets the *true XNOR kernel* hold accuracy, where a weight-only-
+    /// trained network collapses on that same kernel.
+    #[test]
+    fn activation_aware_training_rescues_the_xnor_kernel() {
+        let (model, train, test) = trained_deep();
+        let act_cfg = BinaryAwareConfig {
+            binarize_activations: true,
+            ..Default::default()
+        };
+        let wo_cfg = BinaryAwareConfig::default();
+
+        // Baseline: weight-only binary-aware training, then force the
+        // interior layer through the input-binarizing XNOR kernel (what
+        // deploying the fastest kernel without act-aware training means).
+        let mut wo = model.clone();
+        binary_aware_finetune(&mut wo, &train, &wo_cfg);
+        let wo_on_xnor = export_quantized(&wo, &act_cfg).accuracy(&test.x, &test.y);
+
+        // Activation-binarization-aware training for the same kernel.
+        let mut aw = model.clone();
+        let history = binary_aware_finetune(&mut aw, &train, &act_cfg);
+        let q = export_quantized(&aw, &act_cfg);
+        let aware_acc = q.accuracy(&test.x, &test.y);
+
+        assert!(
+            aware_acc > wo_on_xnor + 0.05,
+            "act-aware {aware_acc} should beat weight-only-trained-on-XNOR {wo_on_xnor}"
+        );
+        assert!(aware_acc > 0.6, "true XNOR deployment works: {aware_acc}");
+        // The exported artifact tracks the accuracy training measured.
+        let trained_acc = *history.last().unwrap();
+        assert!(
+            (q.accuracy(&train.x, &train.y) - trained_acc).abs() < 0.02,
+            "deployed kernel must match the trained forward: {} vs {trained_acc}",
+            q.accuracy(&train.x, &train.y)
+        );
+    }
+
+    #[test]
+    fn activation_aware_export_uses_xnor_kernels_and_drops_the_relu() {
+        let (model, train, _) = trained_deep();
+        let cfg = BinaryAwareConfig {
+            binarize_activations: true,
+            epochs: 1,
+            ..Default::default()
+        };
+        let mut m = model.clone();
+        binary_aware_finetune(&mut m, &train, &cfg);
+        let q = export_quantized(&m, &cfg);
+        // [D,R,D,R,D] → weight-only D, ReLU, XNOR D (its ReLU dropped),
+        // then the passthrough ReLU + f32 head.
+        assert_eq!(q.layers.len(), model.layers.len() - 1);
+        let kinds: Vec<&str> = q
+            .layers
+            .iter()
+            .map(|l| match l {
+                QLayer::BinaryDense(b) if b.binarize_input => "xnor",
+                QLayer::BinaryDense(_) => "wo",
+                QLayer::Passthrough(_) => "pass",
+                QLayer::Dense(_) => "int",
+            })
+            .collect();
+        assert_eq!(kinds, ["wo", "xnor", "pass", "pass"]);
+    }
+
+    #[test]
+    fn binarize_activations_is_a_noop_on_two_dense_mlps() {
+        let (model, train, test) = trained();
+        let mut a = model.clone();
+        let mut b = model.clone();
+        let cfg_off = BinaryAwareConfig {
+            epochs: 2,
+            ..Default::default()
+        };
+        let cfg_on = BinaryAwareConfig {
+            binarize_activations: true,
+            ..cfg_off.clone()
+        };
+        let ha = binary_aware_finetune(&mut a, &train, &cfg_off);
+        let hb = binary_aware_finetune(&mut b, &train, &cfg_on);
+        assert_eq!(ha, hb, "no interior layer to binarize — same training");
+        assert_eq!(
+            export_quantized(&a, &cfg_off).predict(&test.x),
+            export_quantized(&b, &cfg_on).predict(&test.x)
+        );
     }
 
     #[test]

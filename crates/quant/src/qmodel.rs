@@ -1,10 +1,17 @@
 //! Quantized model container: post-training static quantization of dense
 //! networks with integer inference kernels.
+//!
+//! Inference runs through [`QuantizedModel::forward_fused`], which keeps
+//! activations in the integer domain across `Dense → (ReLU) → Dense`
+//! chains using the per-row fixed-point requantization scheme documented
+//! in [`crate::qtensor`]. The unfused [`QuantizedModel::forward`] stays as
+//! the per-layer reference path the proptests compare against.
 
 use crate::calibrate::Calibration;
-use crate::qtensor::{BinaryDense, QDense};
+use crate::qtensor::{BinaryDense, QDense, RequantPlan};
 use crate::QuantError;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use tinymlops_nn::{Layer, Sequential};
 use tinymlops_tensor::Tensor;
 
@@ -64,9 +71,36 @@ pub enum QLayer {
     Dense(QDense),
     /// Binary XNOR dense kernel.
     BinaryDense(BinaryDense),
-    /// Element-wise / reshaping layer executed in f32 (cheap at TinyML
-    /// scale; realistic runtimes fuse these into the preceding kernel).
+    /// Element-wise / reshaping layer. On the fused path
+    /// ([`QuantizedModel::forward_fused`]) a ReLU or Dropout sitting
+    /// between two [`QDense`] layers is folded into the preceding kernel's
+    /// integer requantization and never materializes in f32; only
+    /// passthroughs at the head/tail of the stack, next to a
+    /// [`BinaryDense`], or at a boundary with degenerate scales (no
+    /// [`RequantPlan`]) still execute here in f32.
     Passthrough(Layer),
+}
+
+/// A fusable `Dense → (ReLU/Dropout)* → Dense` boundary: the requant plan
+/// carries `in_scale · w_scale / next_in_scale` as fixed-point multipliers.
+#[derive(Debug, Clone)]
+struct FusedEdge {
+    /// Index of the consuming `QLayer::Dense` in `layers`.
+    next: usize,
+    /// Whether a ReLU between the two denses folds into the requant
+    /// (exact: max with zero commutes with a positive scale).
+    relu: bool,
+    /// Fixed-point multipliers bridging the two layers' scales.
+    plan: RequantPlan,
+}
+
+/// Per-layer fusion decisions, derived lazily from the (serialized) scales
+/// so a deserialized model rebuilds the identical plan.
+#[derive(Debug, Clone, Default)]
+struct FusedPlan {
+    /// `edges[i]` is `Some` iff `layers[i]` is a Dense whose output feeds
+    /// another Dense without leaving the integer domain.
+    edges: Vec<Option<FusedEdge>>,
 }
 
 /// A statically-quantized dense network.
@@ -76,6 +110,10 @@ pub struct QuantizedModel {
     pub layers: Vec<QLayer>,
     /// The scheme this model was quantized with.
     pub scheme: QuantScheme,
+    /// Lazily-built fusion plan; derived from `layers`' scales, so it is
+    /// skipped in serialization and rebuilt identically after a round trip.
+    #[serde(skip)]
+    fused: OnceLock<FusedPlan>,
 }
 
 impl QuantizedModel {
@@ -111,10 +149,25 @@ impl QuantizedModel {
                 other => QLayer::Passthrough(other.clone()),
             })
             .collect();
-        Ok(QuantizedModel { layers, scheme })
+        Ok(QuantizedModel::from_layers(layers, scheme))
     }
 
-    /// Forward pass through the quantized stack.
+    /// Assemble a model from already-quantized layers (fusion plan is
+    /// derived lazily from the layers' scales on first forward).
+    #[must_use]
+    pub fn from_layers(layers: Vec<QLayer>, scheme: QuantScheme) -> Self {
+        QuantizedModel {
+            layers,
+            scheme,
+            fused: OnceLock::new(),
+        }
+    }
+
+    /// Unfused forward pass: every layer quantizes its input and
+    /// dequantizes its accumulators independently. Kept as the reference
+    /// the fused path is property-tested against; production callers
+    /// ([`Self::predict`], [`Self::accuracy`]) use
+    /// [`Self::forward_fused`].
     #[must_use]
     pub fn forward(&self, x: &Tensor) -> Tensor {
         self.layers.iter().fold(x.clone(), |h, l| match l {
@@ -124,10 +177,106 @@ impl QuantizedModel {
         })
     }
 
-    /// Class predictions (row-wise argmax).
+    /// Fused forward pass: activations stay int8 across
+    /// `Dense → (ReLU/Dropout)* → Dense` chains, with the scale bridge
+    /// `in_scale · w_scale / next_in_scale` applied as a fixed-point
+    /// multiplier straight off the i32 accumulators
+    /// ([`QDense::requantize_acc`]). f32 tensors materialize only at the
+    /// head/tail of each integer segment: before a [`BinaryDense`], at a
+    /// passthrough other than ReLU/Dropout, at a boundary whose scales
+    /// yield no valid [`RequantPlan`], and at the model output.
+    ///
+    /// Differs from the unfused [`Self::forward`] by at most one requant
+    /// ULP per fused boundary (the fixed-point multiply rounds once where
+    /// the f32 path rounds twice).
+    #[must_use]
+    pub fn forward_fused(&self, x: &Tensor) -> Tensor {
+        let plan = self.fused_plan();
+        let mut h = x.clone();
+        let mut i = 0;
+        while i < self.layers.len() {
+            match &self.layers[i] {
+                QLayer::Dense(d) => {
+                    // Integer segment: quantize once, then chase fused
+                    // edges without leaving the i8/i32 domain.
+                    let batch = h.rows();
+                    let mut cur = d;
+                    let mut xq = cur.quantize_input(&h);
+                    loop {
+                        let acc = cur.int_accumulate(&xq, batch);
+                        match &plan.edges[i] {
+                            Some(edge) => {
+                                xq = cur.requantize_acc(&acc, batch, &edge.plan, edge.relu);
+                                i = edge.next;
+                                cur = match &self.layers[i] {
+                                    QLayer::Dense(d2) => d2,
+                                    _ => unreachable!("fused edge targets a Dense"),
+                                };
+                            }
+                            None => {
+                                h = cur.dequantize_acc(&acc, batch);
+                                i += 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+                QLayer::BinaryDense(b) => {
+                    h = b.forward(&h);
+                    i += 1;
+                }
+                QLayer::Passthrough(p) => {
+                    h = p.forward(&h);
+                    i += 1;
+                }
+            }
+        }
+        h
+    }
+
+    /// The memoized fusion plan (built on first use; deterministic in the
+    /// serialized scales, so identical after a serde round trip).
+    fn fused_plan(&self) -> &FusedPlan {
+        self.fused.get_or_init(|| self.build_fused_plan())
+    }
+
+    fn build_fused_plan(&self) -> FusedPlan {
+        let mut edges = Vec::with_capacity(self.layers.len());
+        for (i, l) in self.layers.iter().enumerate() {
+            let QLayer::Dense(d) = l else {
+                edges.push(None);
+                continue;
+            };
+            // Scan past inference-foldable passthroughs: ReLU folds into
+            // the requant clamp, Dropout is identity at inference.
+            let mut relu = false;
+            let mut j = i + 1;
+            let edge = loop {
+                match self.layers.get(j) {
+                    Some(QLayer::Passthrough(Layer::Relu)) => {
+                        relu = true;
+                        j += 1;
+                    }
+                    Some(QLayer::Passthrough(Layer::Dropout(_))) => j += 1,
+                    Some(QLayer::Dense(d2)) => {
+                        break d.requant_plan(d2.in_scale).map(|plan| FusedEdge {
+                            next: j,
+                            relu,
+                            plan,
+                        });
+                    }
+                    _ => break None,
+                }
+            };
+            edges.push(edge);
+        }
+        FusedPlan { edges }
+    }
+
+    /// Class predictions (row-wise argmax) via the fused integer path.
     #[must_use]
     pub fn predict(&self, x: &Tensor) -> Vec<usize> {
-        self.forward(x).argmax_rows()
+        self.forward_fused(x).argmax_rows()
     }
 
     /// Deployment size in bytes (packed weights + scales + biases). A
@@ -262,5 +411,75 @@ mod tests {
         let json = serde_json::to_vec(&q).unwrap();
         let q2: QuantizedModel = serde_json::from_slice(&json).unwrap();
         assert_eq!(q.predict(&test.x), q2.predict(&test.x));
+    }
+
+    #[test]
+    fn fused_forward_fuses_the_interior_boundary() {
+        let (model, train, _) = trained_digits_model();
+        let q = QuantizedModel::quantize(&model, &train.x, QuantScheme::Int8).unwrap();
+        // mlp([64,32,10]) quantizes to Dense, Relu, Dense: exactly one
+        // fusable edge, from layer 0 over the ReLU to layer 2.
+        let plan = q.fused_plan();
+        let edge = plan.edges[0].as_ref().expect("interior edge fuses");
+        assert_eq!(edge.next, 2);
+        assert!(edge.relu, "the ReLU folds into the requant");
+        assert!(plan.edges[2].is_none(), "tail dequantizes to f32");
+    }
+
+    #[test]
+    fn fused_forward_matches_unfused_predictions() {
+        let (model, train, test) = trained_digits_model();
+        for scheme in [QuantScheme::Int8, QuantScheme::Int4, QuantScheme::Int2] {
+            let q = QuantizedModel::quantize(&model, &train.x, scheme).unwrap();
+            let fused = q.forward_fused(&test.x).argmax_rows();
+            let unfused = q.forward(&test.x).argmax_rows();
+            let agree = fused.iter().zip(&unfused).filter(|(a, b)| a == b).count() as f32
+                / fused.len() as f32;
+            // The paths differ by at most one requant ULP per fused
+            // boundary, so argmax flips only on near-ties.
+            assert!(
+                agree > 0.98,
+                "{}: fused/unfused agreement {agree}",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fused_plan_survives_serde_round_trip() {
+        let (model, train, test) = trained_digits_model();
+        let q = QuantizedModel::quantize(&model, &train.x, QuantScheme::Int8).unwrap();
+        let json = serde_json::to_vec(&q).unwrap();
+        let q2: QuantizedModel = serde_json::from_slice(&json).unwrap();
+        // The plan is derived entirely from serialized scales, so the
+        // round-tripped model rebuilds the identical fixed-point bridge
+        // and the fused outputs are bit-identical.
+        let (p1, p2) = (q.fused_plan(), q2.fused_plan());
+        assert_eq!(p1.edges.len(), p2.edges.len());
+        for (a, b) in p1.edges.iter().zip(&p2.edges) {
+            match (a, b) {
+                (None, None) => {}
+                (Some(ea), Some(eb)) => {
+                    assert_eq!(ea.next, eb.next);
+                    assert_eq!(ea.relu, eb.relu);
+                    assert_eq!(ea.plan, eb.plan);
+                }
+                _ => panic!("fusion decisions diverged after round trip"),
+            }
+        }
+        assert_eq!(
+            q.forward_fused(&test.x).data(),
+            q2.forward_fused(&test.x).data()
+        );
+    }
+
+    #[test]
+    fn binary_and_head_boundaries_fall_back_to_f32() {
+        let (model, train, test) = trained_digits_model();
+        let q = QuantizedModel::quantize(&model, &train.x, QuantScheme::Binary).unwrap();
+        // All-binary stacks have no QDense edges at all; the fused path
+        // must degrade to exactly the unfused one.
+        assert!(q.fused_plan().edges.iter().all(Option::is_none));
+        assert_eq!(q.forward_fused(&test.x).data(), q.forward(&test.x).data());
     }
 }

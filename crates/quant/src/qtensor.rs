@@ -4,12 +4,49 @@
 //! once at boot, not once per inference: packed weights are unpacked into
 //! an i8 matrix a single time (cached in a [`OnceLock`]), activations are
 //! quantized by one shared helper (the same expression the verifier
-//! replays), and the i32 accumulation runs a 4-way-unrolled kernel that
-//! auto-vectorizes — with an AVX2 clone dispatched at runtime on x86-64 —
-//! and parallelizes over batch rows via rayon. Integer addition is
+//! replays), and the i32 accumulation runs through [`dot_i8`] — an
+//! explicit `vpmaddwd`-shaped AVX2 kernel dispatched at runtime on
+//! x86-64, with the plain autovectorizable loop as the portable fallback
+//! — and parallelizes over batch rows via rayon. Integer addition is
 //! associative, so every restructuring is bit-identical to the seed scalar
 //! loop, which is retained as [`QDense::forward_reference`] for the
 //! property tests and the `b01_kernels` baseline.
+//!
+//! # Fixed-point requantization
+//!
+//! Cross-layer fusion keeps activations in the integer domain between
+//! consecutive `QDense` layers: instead of dequantizing accumulators to
+//! f32 and re-quantizing at the next layer's input scale, a
+//! [`RequantPlan`] folds the whole boundary into one integer multiply per
+//! element. For output row `r` feeding a layer with input scale `s_next`,
+//! the real-valued rescale factor is
+//!
+//! ```text
+//! M_r = (in_scale · w_scales[r]) / s_next
+//! ```
+//!
+//! which [`QDense::requant_plan`] decomposes (gemmlowp/TFLite style) into
+//! a normalized i32 mantissa and a right shift: `M_r = mult_r · 2^-rshift_r`
+//! with `mult_r = round(m · 2³¹)` for `m ∈ [0.5, 1)`, so
+//! `mult_r ∈ [2³⁰, 2³¹)` keeps a full 31 bits of precision. The bias is
+//! quantized once to accumulator units, `bias_q[r] = round(bias[r] /
+//! (in_scale · w_scales[r]))`. Applying the plan is then pure integer
+//! arithmetic off the i32 accumulator:
+//!
+//! ```text
+//! q = clamp(rounding_shift((acc + bias_q[r]) · mult_r, rshift_r), -127, 127)
+//! ```
+//!
+//! where `rounding_shift` is a round-half-away-from-zero right shift of
+//! the i64 product (the same convention as `f32::round`, so the fused
+//! activation lands within one int8 step — "one requant ULP" — of the
+//! dequantize→`quantize_activations` reference), and the final clamp
+//! saturates to the symmetric int8 grid. A ReLU at the boundary is
+//! `max(acc + bias_q, 0)` *before* the multiply: the grid's zero-point is
+//! 0 and `M_r > 0`, so integer clamping commutes exactly with the f32
+//! ReLU. Degenerate scales (non-positive, non-finite, or a rescale ratio
+//! outside `2^-62..2^31`) yield no plan and the caller falls back to the
+//! f32 boundary.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -64,6 +101,15 @@ pub struct QDense {
     /// after construction (records are republished, never edited).
     #[serde(skip)]
     unpacked: OnceLock<Vec<i8>>,
+    /// [`QDense::unpacked`] sign-extended to i16, cached so the
+    /// `vpmaddwd` tile kernel loads weight rows directly instead of
+    /// spending shuffle-port `vpmovsxbw` uops per chunk — the values are
+    /// identical, only the storage width changes, so parity with the i8
+    /// kernels is structural. Doubles the RAM image of a layer (the
+    /// flash image `packed` stays put), which is the deployment-side
+    /// trade §II prices in bytes-vs-latency terms.
+    #[serde(skip)]
+    unpacked_i16: OnceLock<Vec<i16>>,
 }
 
 fn qmax_for(bits: u32) -> i32 {
@@ -163,6 +209,7 @@ impl QDense {
             in_dim,
             out_dim,
             unpacked: OnceLock::new(),
+            unpacked_i16: OnceLock::new(),
         }
     }
 
@@ -185,6 +232,13 @@ impl QDense {
         })
     }
 
+    /// The i16-widened weight matrix for the `vpmaddwd` tile kernel (see
+    /// the `unpacked_i16` field docs), computed on first use.
+    fn widened(&self) -> &[i16] {
+        self.unpacked_i16
+            .get_or_init(|| self.unpacked().iter().map(|&v| i16::from(v)).collect())
+    }
+
     /// Integer-kernel forward pass: `x [batch,in] → y [batch,out]`.
     ///
     /// Bit-identical to [`QDense::forward_reference`] (the seed scalar
@@ -197,10 +251,45 @@ impl QDense {
         let mut xq = vec![0i8; batch * self.in_dim];
         quantize_activations(x.data(), self.in_scale, &mut xq);
         let w = self.unpacked();
+        let w16 = self.widened();
         let mut out = vec![0.0f32; batch * self.out_dim];
         let body = |(b, out_row): (usize, &mut [f32])| {
             let xrow = &xq[b * self.in_dim..(b + 1) * self.in_dim];
             row_kernel(
+                w,
+                w16,
+                xrow,
+                self.in_dim,
+                self.in_scale,
+                &self.w_scales,
+                &self.bias,
+                out_row,
+            );
+        };
+        if batch > 1 && batch * self.out_dim * self.in_dim >= QPAR_MIN_MACS {
+            out.par_chunks_mut(self.out_dim).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(self.out_dim).enumerate().for_each(body);
+        }
+        Tensor::from_vec(out, &[batch, self.out_dim])
+    }
+
+    /// [`QDense::forward`] with the runtime SIMD dispatch pinned to the
+    /// pre-`vpmaddwd` autovectorized row kernel — the exact before-state
+    /// the explicit SIMD kernel replaced, kept callable so `b01_kernels`
+    /// measures both in one run. Bit-identical to [`QDense::forward`].
+    #[doc(hidden)]
+    #[must_use]
+    pub fn forward_autovec(&self, x: &Tensor) -> Tensor {
+        let batch = x.rows();
+        assert_eq!(x.cols(), self.in_dim, "QDense input width");
+        let mut xq = vec![0i8; batch * self.in_dim];
+        quantize_activations(x.data(), self.in_scale, &mut xq);
+        let w = self.unpacked();
+        let mut out = vec![0.0f32; batch * self.out_dim];
+        let body = |(b, out_row): (usize, &mut [f32])| {
+            let xrow = &xq[b * self.in_dim..(b + 1) * self.in_dim];
+            row_kernel_autovec(
                 w,
                 xrow,
                 self.in_dim,
@@ -284,15 +373,16 @@ impl QDense {
     #[must_use]
     pub fn int_accumulate(&self, xq: &[i8], batch: usize) -> Vec<i32> {
         let w = self.unpacked();
+        let w16 = self.widened();
         let mut acc = vec![0i32; batch * self.out_dim];
-        for b in 0..batch {
+        let body = |(b, acc_row): (usize, &mut [i32])| {
             let xrow = &xq[b * self.in_dim..(b + 1) * self.in_dim];
-            for (r, a) in acc[b * self.out_dim..(b + 1) * self.out_dim]
-                .iter_mut()
-                .enumerate()
-            {
-                *a = dot_i8(xrow, &w[r * self.in_dim..(r + 1) * self.in_dim]);
-            }
+            acc_row_kernel(w, w16, xrow, self.in_dim, acc_row);
+        };
+        if batch > 1 && batch * self.out_dim * self.in_dim >= QPAR_MIN_MACS {
+            acc.par_chunks_mut(self.out_dim).enumerate().for_each(body);
+        } else {
+            acc.chunks_mut(self.out_dim).enumerate().for_each(body);
         }
         acc
     }
@@ -311,6 +401,186 @@ impl QDense {
         }
         Tensor::from_vec(out, &[batch, self.out_dim])
     }
+
+    /// Build the fixed-point plan for requantizing this layer's i32
+    /// accumulators straight onto the int8 grid of a following layer with
+    /// input scale `next_in_scale` — the cross-layer fusion that skips the
+    /// f32 round trip [`QDense::dequantize_acc`] +
+    /// [`quantize_activations`] would take (see the module docs for the
+    /// multiplier/shift derivation). Returns `None` when any scale is
+    /// degenerate (non-positive / non-finite) or a per-row rescale ratio
+    /// falls outside `2^-62..2^31`; callers then take the f32 boundary.
+    #[must_use]
+    pub fn requant_plan(&self, next_in_scale: f32) -> Option<RequantPlan> {
+        if !next_in_scale.is_finite()
+            || next_in_scale <= 0.0
+            || !self.in_scale.is_finite()
+            || self.in_scale <= 0.0
+        {
+            return None;
+        }
+        let mut mult = Vec::with_capacity(self.out_dim);
+        let mut rshift = Vec::with_capacity(self.out_dim);
+        let mut bias_q = Vec::with_capacity(self.out_dim);
+        for r in 0..self.out_dim {
+            let acc_scale = f64::from(self.in_scale) * f64::from(self.w_scales[r]);
+            let m = acc_scale / f64::from(next_in_scale);
+            if !m.is_finite() || m <= 0.0 {
+                return None;
+            }
+            // Normalize: m = frac · 2^exp with frac ∈ [0.5, 1).
+            let mut frac = m;
+            let mut exp = 0i32;
+            while frac >= 1.0 {
+                frac *= 0.5;
+                exp += 1;
+            }
+            while frac < 0.5 {
+                frac *= 2.0;
+                exp -= 1;
+            }
+            let mut q = (frac * f64::from(1u32 << 31)).round() as i64;
+            if q == 1i64 << 31 {
+                q >>= 1;
+                exp += 1;
+            }
+            let shift = 31 - exp;
+            if !(1..=62).contains(&shift) {
+                return None;
+            }
+            let b = (f64::from(self.bias[r]) / acc_scale).round();
+            if b.abs() > f64::from(i32::MAX / 2) {
+                return None;
+            }
+            mult.push(q as i32);
+            rshift.push(shift as u32);
+            bias_q.push(b as i32);
+        }
+        Some(RequantPlan {
+            mult,
+            rshift,
+            bias_q,
+        })
+    }
+
+    /// The fused counterpart of [`QDense::dequantize_acc`]: apply `plan`
+    /// to the i32 accumulators, producing the next layer's int8
+    /// activations without materializing f32. `relu` folds an intervening
+    /// ReLU into the integer domain (`max(acc + bias_q, 0)` — exact, see
+    /// module docs).
+    #[must_use]
+    pub fn requantize_acc(
+        &self,
+        acc: &[i32],
+        batch: usize,
+        plan: &RequantPlan,
+        relu: bool,
+    ) -> Vec<i8> {
+        let mut out = vec![0i8; batch * self.out_dim];
+        self.requantize_acc_into(acc, batch, plan, relu, &mut out);
+        out
+    }
+
+    /// [`QDense::requantize_acc`] into a caller-owned buffer (resized to
+    /// `batch·out_dim`), so the fused model forward can reuse scratch
+    /// space across layers.
+    pub fn requantize_acc_into(
+        &self,
+        acc: &[i32],
+        batch: usize,
+        plan: &RequantPlan,
+        relu: bool,
+        out: &mut Vec<i8>,
+    ) {
+        assert_eq!(plan.mult.len(), self.out_dim, "requant plan width");
+        out.resize(batch * self.out_dim, 0);
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: avx2 presence checked on this CPU.
+            unsafe { requantize_rows_avx2(acc, batch, self.out_dim, plan, relu, out) };
+            return;
+        }
+        requantize_rows(acc, batch, self.out_dim, plan, relu, out);
+    }
+}
+
+/// A per-output-row fixed-point requantization recipe built by
+/// [`QDense::requant_plan`] — entirely derived from the serialized layer
+/// scales, so plans survive any registry round trip byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequantPlan {
+    /// Normalized multiplier mantissas, `mult[r] ∈ [2³⁰, 2³¹)`.
+    pub mult: Vec<i32>,
+    /// Right-shift amounts pairing each mantissa, in `1..=62`.
+    pub rshift: Vec<u32>,
+    /// Bias in accumulator units: `round(bias[r] / (in_scale·w_scales[r]))`.
+    pub bias_q: Vec<i32>,
+}
+
+/// The requantize loop body shared by the portable and AVX2-enabled
+/// entry points: zipping the plan columns keeps the per-element loads
+/// bounds-check-free, and [`requant_one`] is branch-free, so under AVX2
+/// codegen the i64 multiply/variable-shift chain vectorizes.
+#[inline(always)]
+fn requantize_rows(
+    acc: &[i32],
+    batch: usize,
+    out_dim: usize,
+    plan: &RequantPlan,
+    relu: bool,
+    out: &mut [i8],
+) {
+    for b in 0..batch {
+        let acc_row = &acc[b * out_dim..(b + 1) * out_dim];
+        let out_row = &mut out[b * out_dim..(b + 1) * out_dim];
+        for ((((o, &a), &m), &sh), &bq) in out_row
+            .iter_mut()
+            .zip(acc_row)
+            .zip(&plan.mult)
+            .zip(&plan.rshift)
+            .zip(&plan.bias_q)
+        {
+            *o = requant_one(a, m, sh, bq, relu);
+        }
+    }
+}
+
+/// AVX2 clone of [`requantize_rows`]; with the feature enabled LLVM gets
+/// `vpsrlvq`/256-bit integer lanes for the fixed-point chain.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn requantize_rows_avx2(
+    acc: &[i32],
+    batch: usize,
+    out_dim: usize,
+    plan: &RequantPlan,
+    relu: bool,
+    out: &mut [i8],
+) {
+    requantize_rows(acc, batch, out_dim, plan, relu, out);
+}
+
+/// Requantize one accumulator: add the integer bias, optionally clamp at
+/// zero (fused ReLU), apply the fixed-point multiplier with a
+/// round-half-away-from-zero right shift, and saturate to the symmetric
+/// int8 grid.
+#[inline(always)]
+fn requant_one(acc: i32, mult: i32, rshift: u32, bias_q: i32, relu: bool) -> i8 {
+    let mut v = i64::from(acc) + i64::from(bias_q);
+    if relu {
+        v = v.max(0);
+    }
+    let prod = v * i64::from(mult);
+    let nudge = 1i64 << (rshift - 1);
+    // Branch-free round-half-away-from-zero: fold the sign out, shift the
+    // magnitude, fold it back (s is 0 or −1, so `(x ^ s) − s` = ±x).
+    // Equivalent to the ±branch form but data-independent, which both
+    // dodges mispredicts on mixed-sign accumulators and leaves the loop
+    // body vectorizable.
+    let s = prod >> 63;
+    let mag = (prod ^ s) - s;
+    let shifted = (((mag + nudge) >> rshift) ^ s) - s;
+    shifted.clamp(-127, 127) as i8
 }
 
 /// Quantize activations onto the int8 grid at `scale` — the single
@@ -319,22 +589,68 @@ impl QDense {
 #[inline]
 pub fn quantize_activations(src: &[f32], scale: f32, dst: &mut [i8]) {
     debug_assert_eq!(src.len(), dst.len());
+    let inv = 1.0 / scale;
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: avx2 presence checked on this CPU.
+        unsafe { quantize_activations_avx2(src, inv, dst) };
+        return;
+    }
+    quantize_activations_body(src, inv, dst);
+}
+
+/// The quantize loop: hoisted reciprocal and a trunc/copysign
+/// round-half-away-from-zero. Under a baseline x86-64 target both
+/// `.round()` and `.trunc()` lower to per-element libm calls (no SSE4.1
+/// `roundps`), so the AVX2 clone below is what makes this loop vector
+/// code — the head-of-pipeline quantize is a top-three cost of the fused
+/// integer forward.
+#[inline(always)]
+fn quantize_activations_body(src: &[f32], inv: f32, dst: &mut [i8]) {
     for (q, &v) in dst.iter_mut().zip(src) {
-        *q = (v / scale).round().clamp(-127.0, 127.0) as i8;
+        let t = v * inv;
+        *q = (t + 0.5f32.copysign(t)).trunc().clamp(-127.0, 127.0) as i8;
     }
 }
 
-/// i8·i8 → i32 dot product. Deliberately the plainest possible reduction:
-/// unlike `tensor::matmul::dot` (where manual 4-way unrolling supplies the
-/// reassociation floats forbid), integer addition is already associative,
-/// so LLVM vectorizes this loop as-is — and measurement showed a manual
-/// stride-4 unroll *breaks* that vectorization (0.9 vs 6.8 MAC/cycle on
-/// AVX2). The speedup comes from the [`row_kernel_avx2`] clone, which lets
-/// the same loop vectorize at 256-bit width. Exactly equal to the
+/// AVX2 clone of [`quantize_activations_body`]: with the feature enabled
+/// the compiler lowers `trunc` to `vroundps` and `copysign` to bitwise
+/// sign transfer, vectorizing the whole loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn quantize_activations_avx2(src: &[f32], inv: f32, dst: &mut [i8]) {
+    quantize_activations_body(src, inv, dst);
+}
+
+/// i8·i8 → i32 dot product, runtime-dispatched: the explicit
+/// `dot_i8_maddwd_avx2` kernel on AVX2 hosts, [`dot_i8_portable`]
+/// elsewhere. Bit-exact either way — i32 addition is associative and
+/// commutative, so any summation order (lane-wise, blocked, sequential)
+/// produces the identical result.
+#[inline]
+#[must_use]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: avx2 presence checked on this CPU.
+        return unsafe { dot_i8_maddwd_avx2(a, b) };
+    }
+    dot_i8_portable(a, b)
+}
+
+/// The portable i8·i8 → i32 dot product. Deliberately the plainest
+/// possible reduction: unlike `tensor::matmul::dot` (where manual 4-way
+/// unrolling supplies the reassociation floats forbid), integer addition
+/// is already associative, so LLVM vectorizes this loop as-is — and
+/// measurement showed a manual stride-4 unroll *breaks* that
+/// vectorization (0.9 vs 6.8 MAC/cycle on AVX2). This loop is both the
+/// portable fallback behind [`dot_i8`] and the exactness oracle the
+/// property tests hold the SIMD kernel to. Exactly equal to the
 /// sequential sum for any input (associativity; |acc| ≤ len·127² cannot
-/// overflow i32 below len = 2³⁰).
+/// overflow i32 below len ≈ 2¹⁷).
 #[inline(always)]
-fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+#[must_use]
+pub fn dot_i8_portable(a: &[i8], b: &[i8]) -> i32 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = 0i32;
     for (x, y) in a.iter().zip(b.iter()) {
@@ -343,12 +659,104 @@ fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
     acc
 }
 
-/// One batch row of the integer forward: `out[r] = dequant(xq · w[r])` for
-/// every output row. Runtime-dispatches to an AVX2 clone on x86-64, where
-/// the widening i8 multiplies vectorize at 256-bit instead of the baseline
-/// 128-bit.
+/// Explicit `vpmaddwd`-shaped AVX2 dot product: 32 i8 pairs per
+/// iteration, sign-extended to i16 (`vpmovsxbw`) and reduced two-at-a-time
+/// into i32 lanes by `vpmaddwd` (`_mm256_madd_epi16`) — 16 MACs per
+/// multiply instruction, roughly double what the autovectorized widening
+/// multiplies in [`dot_i8_portable`] achieve. Each `vpmaddwd` lane holds
+/// `a₀b₀ + a₁b₁ ≤ 2·127²`, which cannot overflow i16×i16→i32, and the
+/// lane accumulators wrap exactly like the scalar sum would, so the
+/// result is bit-identical to [`dot_i8_portable`] for every input.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn dot_i8_maddwd_avx2(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::{
+        _mm256_add_epi32, _mm256_castsi256_si128, _mm256_cvtepi8_epi16, _mm256_extracti128_si256,
+        _mm256_madd_epi16, _mm256_setzero_si256, _mm_add_epi32, _mm_cvtsi128_si32, _mm_loadu_si128,
+        _mm_shuffle_epi32,
+    };
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let chunks = n / 32;
+    let mut acc0 = _mm256_setzero_si256();
+    let mut acc1 = _mm256_setzero_si256();
+    for c in 0..chunks {
+        // SAFETY: c·32 + 32 ≤ chunks·32 ≤ n, so all 16-byte loads below
+        // stay inside `a` and `b`; unaligned loads are permitted.
+        unsafe {
+            let pa = a.as_ptr().add(c * 32);
+            let pb = b.as_ptr().add(c * 32);
+            let a0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(pa.cast()));
+            let b0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(pb.cast()));
+            let a1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(pa.add(16).cast()));
+            let b1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(pb.add(16).cast()));
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(a0, b0));
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(a1, b1));
+        }
+    }
+    // Horizontal sum of the 8 i32 lanes (wrapping adds, order-free).
+    let acc = _mm256_add_epi32(acc0, acc1);
+    let quad = _mm_add_epi32(
+        _mm256_castsi256_si128(acc),
+        _mm256_extracti128_si256::<1>(acc),
+    );
+    let pair = _mm_add_epi32(quad, _mm_shuffle_epi32::<0b0100_1110>(quad));
+    let one = _mm_add_epi32(pair, _mm_shuffle_epi32::<0b1011_0001>(pair));
+    let mut total = _mm_cvtsi128_si32(one);
+    // Scalar tail (< 32 elements).
+    for i in chunks * 32..n {
+        total = total.wrapping_add(i32::from(a[i]) * i32::from(b[i]));
+    }
+    total
+}
+
+/// One batch row of accumulator-only integer matmul: `acc[r] = xq · w[r]`
+/// for every output row. Runtime-dispatches to the `vpmaddwd` tile kernel
+/// on AVX2 hosts; the portable body keeps the plain autovectorizable loop.
 #[inline]
+fn acc_row_kernel(w: &[i8], w16: &[i16], xrow: &[i8], in_dim: usize, acc_row: &mut [i32]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: avx2 presence checked on this CPU.
+        unsafe { accumulate_rows_maddwd_avx2(w, w16, xrow, in_dim, acc_row) };
+        return;
+    }
+    let _ = w16;
+    for (r, a) in acc_row.iter_mut().enumerate() {
+        *a = dot_i8_portable(xrow, &w[r * in_dim..(r + 1) * in_dim]);
+    }
+}
+
+/// One batch row of the integer forward: `out[r] = dequant(xq · w[r])` for
+/// every output row. Runtime-dispatches to the explicit `vpmaddwd` kernel
+/// on AVX2 hosts; the portable body keeps the plain autovectorizable loop.
+#[inline]
+#[allow(clippy::too_many_arguments)]
 fn row_kernel(
+    w: &[i8],
+    w16: &[i16],
+    xrow: &[i8],
+    in_dim: usize,
+    in_scale: f32,
+    w_scales: &[f32],
+    bias: &[f32],
+    out_row: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: avx2 presence checked on this CPU.
+        unsafe { row_kernel_maddwd_avx2(w, w16, xrow, in_dim, in_scale, w_scales, bias, out_row) };
+        return;
+    }
+    let _ = w16;
+    row_kernel_body(w, xrow, in_dim, in_scale, w_scales, bias, out_row);
+}
+
+/// The pre-`vpmaddwd` row kernel (widening multiplies autovectorized at
+/// 256-bit width), retained so `b01_kernels` measures the explicit SIMD
+/// kernel against the exact before-state in the same run.
+#[inline]
+fn row_kernel_autovec(
     w: &[i8],
     xrow: &[i8],
     in_dim: usize,
@@ -360,7 +768,7 @@ fn row_kernel(
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: avx2 presence checked on this CPU.
-        unsafe { row_kernel_avx2(w, xrow, in_dim, in_scale, w_scales, bias, out_row) };
+        unsafe { row_kernel_autovec_avx2(w, xrow, in_dim, in_scale, w_scales, bias, out_row) };
         return;
     }
     row_kernel_body(w, xrow, in_dim, in_scale, w_scales, bias, out_row);
@@ -378,7 +786,7 @@ fn row_kernel_body(
 ) {
     for (r, o) in out_row.iter_mut().enumerate() {
         let wrow = &w[r * in_dim..(r + 1) * in_dim];
-        *o = dot_i8(xrow, wrow) as f32 * (in_scale * w_scales[r]) + bias[r];
+        *o = dot_i8_portable(xrow, wrow) as f32 * (in_scale * w_scales[r]) + bias[r];
     }
 }
 
@@ -387,7 +795,7 @@ fn row_kernel_body(
 /// the feature.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-fn row_kernel_avx2(
+fn row_kernel_autovec_avx2(
     w: &[i8],
     xrow: &[i8],
     in_dim: usize,
@@ -397,6 +805,141 @@ fn row_kernel_avx2(
     out_row: &mut [f32],
 ) {
     row_kernel_body(w, xrow, in_dim, in_scale, w_scales, bias, out_row);
+}
+
+/// Four weight rows reduced against one activation row in a single
+/// register tile: the x chunks are sign-extended once and reused across
+/// all four `vpmaddwd` streams, the weight rows arrive pre-widened to i16
+/// ([`QDense::widened`]) so the hot loop is pure load+madd with no
+/// shuffle-port `vpmovsxbw` traffic, and the four accumulators collapse
+/// in one `vphaddd` tree instead of four full horizontal sums. At
+/// MLP-sized `in_dim` (64–128) the per-dot horizontal sum dominates
+/// [`dot_i8_maddwd_avx2`]; amortizing it 4× is what lets the integer
+/// forward pass the f32 GEMM. Wrapping lane adds keep the result
+/// bit-identical to four scalar dots.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn madd_quad_avx2(w16: &[i16], xrow: &[i8], in_dim: usize, r: usize) -> [i32; 4] {
+    use std::arch::x86_64::{
+        _mm256_add_epi32, _mm256_castsi256_si128, _mm256_cvtepi8_epi16, _mm256_extracti128_si256,
+        _mm256_hadd_epi32, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_setzero_si256,
+        _mm_add_epi32, _mm_loadu_si128, _mm_storeu_si128,
+    };
+    debug_assert!((r + 4) * in_dim <= w16.len());
+    debug_assert!(in_dim <= xrow.len());
+    let chunks = in_dim / 32;
+    let mut acc0 = _mm256_setzero_si256();
+    let mut acc1 = _mm256_setzero_si256();
+    let mut acc2 = _mm256_setzero_si256();
+    let mut acc3 = _mm256_setzero_si256();
+    for c in 0..chunks {
+        // SAFETY: c·32 + 32 ≤ in_dim ≤ xrow.len() and (r+4)·in_dim ≤
+        // w16.len() (debug-asserted above), so every load below stays in
+        // bounds; unaligned loads are permitted.
+        unsafe {
+            let px = xrow.as_ptr().add(c * 32);
+            let x0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(px.cast()));
+            let x1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(px.add(16).cast()));
+            let p0 = w16.as_ptr().add(r * in_dim + c * 32);
+            let p1 = w16.as_ptr().add((r + 1) * in_dim + c * 32);
+            let p2 = w16.as_ptr().add((r + 2) * in_dim + c * 32);
+            let p3 = w16.as_ptr().add((r + 3) * in_dim + c * 32);
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(_mm256_loadu_si256(p0.cast()), x0));
+            acc0 = _mm256_add_epi32(
+                acc0,
+                _mm256_madd_epi16(_mm256_loadu_si256(p0.add(16).cast()), x1),
+            );
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(_mm256_loadu_si256(p1.cast()), x0));
+            acc1 = _mm256_add_epi32(
+                acc1,
+                _mm256_madd_epi16(_mm256_loadu_si256(p1.add(16).cast()), x1),
+            );
+            acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(_mm256_loadu_si256(p2.cast()), x0));
+            acc2 = _mm256_add_epi32(
+                acc2,
+                _mm256_madd_epi16(_mm256_loadu_si256(p2.add(16).cast()), x1),
+            );
+            acc3 = _mm256_add_epi32(acc3, _mm256_madd_epi16(_mm256_loadu_si256(p3.cast()), x0));
+            acc3 = _mm256_add_epi32(
+                acc3,
+                _mm256_madd_epi16(_mm256_loadu_si256(p3.add(16).cast()), x1),
+            );
+        }
+    }
+    // Cross-register reduce: hadd(A,B) / hadd(C,D) / hadd(·,·) leaves
+    // [ΣA,ΣB,ΣC,ΣD] split across the two 128-bit lanes; one lane add
+    // finishes all four sums (wrapping, order-free).
+    let t01 = _mm256_hadd_epi32(acc0, acc1);
+    let t23 = _mm256_hadd_epi32(acc2, acc3);
+    let t = _mm256_hadd_epi32(t01, t23);
+    let s = _mm_add_epi32(_mm256_castsi256_si128(t), _mm256_extracti128_si256::<1>(t));
+    let mut out = [0i32; 4];
+    // SAFETY: `out` is 16 bytes; unaligned stores are permitted.
+    unsafe { _mm_storeu_si128(out.as_mut_ptr().cast(), s) };
+    // Scalar tails (< 32 elements per row).
+    for (k, o) in out.iter_mut().enumerate() {
+        let base = (r + k) * in_dim;
+        for i in chunks * 32..in_dim {
+            *o = o.wrapping_add(i32::from(xrow[i]) * i32::from(w16[base + i]));
+        }
+    }
+    out
+}
+
+/// Fill one batch row of i32 accumulators with the `vpmaddwd` tile kernel:
+/// quads of output rows through [`madd_quad_avx2`], the remainder through
+/// [`dot_i8_maddwd_avx2`]. Bit-identical to a portable dot per row.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn accumulate_rows_maddwd_avx2(
+    w: &[i8],
+    w16: &[i16],
+    xrow: &[i8],
+    in_dim: usize,
+    acc_row: &mut [i32],
+) {
+    let out_dim = acc_row.len();
+    let quads = out_dim / 4;
+    for qi in 0..quads {
+        let vals = madd_quad_avx2(w16, xrow, in_dim, qi * 4);
+        acc_row[qi * 4..qi * 4 + 4].copy_from_slice(&vals);
+    }
+    for r in quads * 4..out_dim {
+        acc_row[r] = dot_i8_maddwd_avx2(xrow, &w[r * in_dim..(r + 1) * in_dim]);
+    }
+}
+
+/// Row kernel around the `vpmaddwd` tile: quads of output rows share x
+/// loads and one combined reduce ([`madd_quad_avx2`]), remainder rows fall
+/// back to the single-row [`dot_i8_maddwd_avx2`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+fn row_kernel_maddwd_avx2(
+    w: &[i8],
+    w16: &[i16],
+    xrow: &[i8],
+    in_dim: usize,
+    in_scale: f32,
+    w_scales: &[f32],
+    bias: &[f32],
+    out_row: &mut [f32],
+) {
+    let out_dim = out_row.len();
+    let quads = out_dim / 4;
+    for qi in 0..quads {
+        let r = qi * 4;
+        let vals = madd_quad_avx2(w16, xrow, in_dim, r);
+        for (k, &v) in vals.iter().enumerate() {
+            out_row[r + k] = v as f32 * (in_scale * w_scales[r + k]) + bias[r + k];
+        }
+    }
+    for r in quads * 4..out_dim {
+        let wrow = &w[r * in_dim..(r + 1) * in_dim];
+        // Enclosing function already requires avx2, so this call is safe.
+        let dot = dot_i8_maddwd_avx2(xrow, wrow);
+        out_row[r] = dot as f32 * (in_scale * w_scales[r]) + bias[r];
+    }
 }
 
 /// A binary (1-bit) dense layer: sign weights packed into `u64` words with
@@ -676,6 +1219,123 @@ mod tests {
         // 128 bits = 2 words = 16 bytes per row.
         assert_eq!(q.w_bits.len() * 8, 16 * 16);
         assert!(q.size_bytes() < 16 * 128); // ≪ 8 KiB of f32
+    }
+
+    #[test]
+    fn dispatched_dot_matches_portable_all_tail_lengths() {
+        // Lengths straddling the 32-lane SIMD chunking, including every
+        // tail residue class; values span the full i8 range.
+        for n in [0usize, 1, 15, 31, 32, 33, 47, 64, 65, 96, 127, 257] {
+            let a: Vec<i8> = (0..n).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+            let b: Vec<i8> = (0..n).map(|i| ((i * 91 + 3) % 253) as i8).collect();
+            assert_eq!(
+                dot_i8(&a, &b),
+                dot_i8_portable(&a, &b),
+                "SIMD dot diverges at len {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn int_accumulate_matches_portable_dots_on_awkward_dims() {
+        // Dims chosen to exercise the quad tile, the remainder rows and
+        // the sub-32 column tails of the AVX2 kernel at once.
+        let mut rng = TensorRng::seed(23);
+        for (out_dim, in_dim) in [(7usize, 45usize), (4, 64), (13, 33), (1, 100), (8, 31)] {
+            let w = rng.uniform(&[out_dim, in_dim], -1.0, 1.0);
+            let b = rng.uniform(&[out_dim], -0.1, 0.1);
+            let x = rng.uniform(&[3, in_dim], -1.5, 1.5);
+            let q = QDense::quantize(&w, &b, 8, 0.02);
+            let xq = q.quantize_input(&x);
+            let acc = q.int_accumulate(&xq, 3);
+            let wq = q.unpacked();
+            for bi in 0..3 {
+                let xrow = &xq[bi * in_dim..(bi + 1) * in_dim];
+                for r in 0..out_dim {
+                    assert_eq!(
+                        acc[bi * out_dim + r],
+                        dot_i8_portable(xrow, &wq[r * in_dim..(r + 1) * in_dim]),
+                        "acc diverges at [{bi},{r}] for {out_dim}x{in_dim}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_autovec_is_bit_identical() {
+        let mut rng = TensorRng::seed(21);
+        let w = rng.uniform(&[19, 45], -1.0, 1.0);
+        let b = rng.uniform(&[19], -0.1, 0.1);
+        let x = rng.uniform(&[5, 45], -1.0, 1.0);
+        for bits in [8u32, 4, 2] {
+            let q = QDense::quantize(&w, &b, bits, 1.0 / 127.0);
+            assert_eq!(q.forward(&x).data(), q.forward_autovec(&x).data());
+            assert_eq!(q.forward(&x).data(), q.forward_reference(&x).data());
+        }
+    }
+
+    #[test]
+    fn requantize_acc_within_one_ulp_of_f32_boundary() {
+        let mut rng = TensorRng::seed(30);
+        let w = rng.uniform(&[9, 23], -1.0, 1.0);
+        let b = rng.uniform(&[9], -0.4, 0.4);
+        let x = rng.uniform(&[6, 23], -1.5, 1.5);
+        let q = QDense::quantize(&w, &b, 8, 0.013);
+        let next_in_scale = 0.021f32;
+        let plan = q.requant_plan(next_in_scale).expect("sane scales");
+        let xq = q.quantize_input(&x);
+        let acc = q.int_accumulate(&xq, 6);
+        for relu in [false, true] {
+            let fused = q.requantize_acc(&acc, 6, &plan, relu);
+            // Reference: dequantize to f32, (ReLU,) quantize at next scale.
+            let mut f = q.dequantize_acc(&acc, 6);
+            if relu {
+                f = f.map(|v| v.max(0.0));
+            }
+            let mut want = vec![0i8; fused.len()];
+            quantize_activations(f.data(), next_in_scale, &mut want);
+            for (i, (&got, &w_)) in fused.iter().zip(&want).enumerate() {
+                assert!(
+                    (i32::from(got) - i32::from(w_)).abs() <= 1,
+                    "relu={relu} elem {i}: fused {got} vs reference {w_}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn requant_plan_rejects_degenerate_scales() {
+        let mut rng = TensorRng::seed(31);
+        let w = rng.uniform(&[3, 8], -1.0, 1.0);
+        let b = Tensor::zeros(&[3]);
+        let q = QDense::quantize(&w, &b, 8, 0.01);
+        assert!(q.requant_plan(0.0).is_none());
+        assert!(q.requant_plan(-1.0).is_none());
+        assert!(q.requant_plan(f32::NAN).is_none());
+        // An absurd rescale ratio (shift out of range) also bails out.
+        assert!(q.requant_plan(1e38).is_none());
+        assert!(q.requant_plan(0.02).is_some());
+    }
+
+    #[test]
+    fn requant_fused_relu_is_exact() {
+        // ReLU folded into the integer domain must equal the f32 ReLU
+        // exactly whenever the unfused boundary itself rounds identically:
+        // max commutes with positive scaling and round is monotone.
+        let mut rng = TensorRng::seed(32);
+        let w = rng.uniform(&[5, 12], -1.0, 1.0);
+        let b = rng.uniform(&[5], -0.3, 0.3);
+        let x = rng.uniform(&[4, 12], -1.0, 1.0);
+        let q = QDense::quantize(&w, &b, 8, 0.011);
+        let plan = q.requant_plan(0.017).expect("plan");
+        let xq = q.quantize_input(&x);
+        let acc = q.int_accumulate(&xq, 4);
+        let relu_then = q.requantize_acc(&acc, 4, &plan, true);
+        let plain = q.requantize_acc(&acc, 4, &plan, false);
+        for (&r, &p) in relu_then.iter().zip(&plain) {
+            assert_eq!(r, p.max(0), "integer ReLU must clamp exactly");
+        }
     }
 
     #[test]

@@ -147,6 +147,25 @@ mod restructured_kernels {
             prop_assert_eq!(fast.data(), slow.data(), "int{} outputs diverge", bits);
         }
 
+        /// The explicit AVX2 `vpmaddwd` kernel is bit-identical to the
+        /// portable scalar loop for every length (SIMD body, 32-lane
+        /// chunking, scalar tail) and the full i8 value range — wrapping
+        /// i32 addition is associative, so any divergence is a lane bug.
+        #[test]
+        fn maddwd_dot_matches_portable_exactly(
+            len in 0usize..300,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+            let f = rng.uniform(&[2, len.max(1)], -128.0, 128.0);
+            let a: Vec<i8> = (0..len).map(|i| f.data()[i].clamp(-128.0, 127.0) as i8).collect();
+            let b: Vec<i8> = (0..len).map(|i| f.data()[len.max(1) + i].clamp(-128.0, 127.0) as i8).collect();
+            prop_assert_eq!(
+                tinymlops_quant::dot_i8(&a, &b),
+                tinymlops_quant::dot_i8_portable(&a, &b)
+            );
+        }
+
         /// `quantize_input` and the activations the kernel consumes are the
         /// same expression: feeding the verifier's integers through
         /// `int_accumulate` + `dequantize_acc` reproduces `forward` exactly.
@@ -168,6 +187,108 @@ mod restructured_kernels {
             let rebuilt = q.dequantize_acc(&acc, batch);
             let direct = q.forward(&x);
             prop_assert_eq!(rebuilt.data(), direct.data());
+        }
+    }
+}
+
+mod fused_integer_path {
+    use super::*;
+    use tinymlops_nn::Layer;
+    use tinymlops_quant::qmodel::QLayer;
+    use tinymlops_quant::qtensor::quantize_activations;
+    use tinymlops_quant::{QuantScheme, QuantizedModel};
+
+    proptest! {
+        /// The fixed-point requantization bridge stays within one requant
+        /// ULP of the f32 boundary it replaces (dequantize → optional ReLU
+        /// → quantize at the next scale), for any scales a real layer pair
+        /// can produce.
+        #[test]
+        fn requantize_acc_within_one_ulp_of_f32_boundary(
+            out_dim in 1usize..10,
+            in_dim in 1usize..24,
+            batch in 1usize..5,
+            in_scale in 0.002f32..0.1,
+            next_scale in 0.002f32..0.1,
+            relu in any::<bool>(),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+            let w = rng.uniform(&[out_dim, in_dim], -1.0, 1.0);
+            let b = rng.uniform(&[out_dim], -0.5, 0.5);
+            let x = rng.uniform(&[batch, in_dim], -1.5, 1.5);
+            let q = QDense::quantize(&w, &b, 8, in_scale);
+            let Some(plan) = q.requant_plan(next_scale) else {
+                // Degenerate scale ratio: the fused path falls back to
+                // f32, nothing to compare.
+                return Ok(());
+            };
+            let xq = q.quantize_input(&x);
+            let acc = q.int_accumulate(&xq, batch);
+            let fused = q.requantize_acc(&acc, batch, &plan, relu);
+            let mut f = q.dequantize_acc(&acc, batch);
+            if relu {
+                f = f.map(|v| v.max(0.0));
+            }
+            let mut want = vec![0i8; fused.len()];
+            quantize_activations(f.data(), next_scale, &mut want);
+            for (i, (&g, &t)) in fused.iter().zip(&want).enumerate() {
+                prop_assert!(
+                    (i32::from(g) - i32::from(t)).abs() <= 1,
+                    "elem {}: fused {} vs f32 boundary {} (relu={})", i, g, t, relu
+                );
+            }
+        }
+
+        /// End to end: the fused integer forward matches the unfused
+        /// per-layer forward within the amplification of one requant ULP —
+        /// the layer-2 input differs by at most 1 quantum per element, so
+        /// output r differs by at most
+        /// `in2_scale · w_scale2[r] · Σ_j |w2q[r][j]|`.
+        #[test]
+        fn fused_model_within_one_requant_ulp_of_unfused(
+            d1 in 1usize..16,
+            d2 in 1usize..16,
+            d3 in 1usize..8,
+            batch in 1usize..5,
+            in_scale in 0.005f32..0.05,
+            mid_scale in 0.005f32..0.05,
+            relu in any::<bool>(),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = tinymlops_tensor::TensorRng::seed(seed);
+            let w1 = rng.uniform(&[d2, d1], -1.0, 1.0);
+            let b1 = rng.uniform(&[d2], -0.3, 0.3);
+            let w2 = rng.uniform(&[d3, d2], -1.0, 1.0);
+            let b2 = rng.uniform(&[d3], -0.3, 0.3);
+            let q1 = QDense::quantize(&w1, &b1, 8, in_scale);
+            let q2 = QDense::quantize(&w2, &b2, 8, mid_scale);
+            let w2q = q2.unpack_matrix();
+            let (sc2, ws2) = (q2.in_scale, q2.w_scales.clone());
+            let mut layers = vec![QLayer::Dense(q1)];
+            if relu {
+                layers.push(QLayer::Passthrough(Layer::Relu));
+            }
+            layers.push(QLayer::Dense(q2));
+            let m = QuantizedModel::from_layers(layers, QuantScheme::Int8);
+            let x = rng.uniform(&[batch, d1], -1.0, 1.0);
+            let fused = m.forward_fused(&x);
+            let unfused = m.forward(&x);
+            prop_assert_eq!(fused.shape(), unfused.shape());
+            for r in 0..d3 {
+                let rowsum: i32 = w2q[r * d2..(r + 1) * d2]
+                    .iter()
+                    .map(|&v| i32::from(v.abs()))
+                    .sum();
+                let bound = sc2 * ws2[r] * rowsum as f32 + 1e-4;
+                for bi in 0..batch {
+                    let (a, c) = (fused.at(bi, r), unfused.at(bi, r));
+                    prop_assert!(
+                        (a - c).abs() <= bound,
+                        "row {} out {}: fused {} vs unfused {} (bound {})", bi, r, a, c, bound
+                    );
+                }
+            }
         }
     }
 }

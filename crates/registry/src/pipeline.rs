@@ -78,6 +78,10 @@ impl Default for PipelineConfig {
             seed: 0,
             binary: BinaryAwareConfig {
                 epochs: 15,
+                // Model input binarization during STE training so the int1
+                // variant ships true XNOR kernels on interior layers (a
+                // no-op for 2-dense MLPs, where no interior layer exists).
+                binarize_activations: true,
                 ..Default::default()
             },
         }
@@ -381,6 +385,92 @@ mod tests {
             size_of("int1"),
             size_of("int8")
         );
+    }
+
+    /// A deeper base so the int1 variant has an interior (activation-
+    /// binarized) layer — the 2-dense `trained_base` has none.
+    fn trained_deep_base() -> (Sequential, Dataset, Dataset) {
+        let data = synth_digits(900, 0.08, 11);
+        let (train, test) = data.split(0.85, 0);
+        let mut rng = TensorRng::seed(2);
+        let mut model = mlp(&[64, 32, 24, 10], &mut rng);
+        let mut opt = Adam::new(0.005);
+        fit(
+            &mut model,
+            &train,
+            &mut opt,
+            &FitConfig {
+                epochs: 12,
+                batch_size: 32,
+                ..Default::default()
+            },
+        );
+        (model, train, test)
+    }
+
+    #[test]
+    fn activation_aware_int1_beats_weight_only_baseline() {
+        let (model, train, test) = trained_deep_base();
+        // Weight-only binary-aware baseline (the pre-activation-aware
+        // pipeline behaviour), measured on the same true-XNOR deployment
+        // the activation-aware pipeline ships.
+        let wo_cfg = BinaryAwareConfig {
+            epochs: 15,
+            binarize_activations: false,
+            ..Default::default()
+        };
+        let act_cfg = BinaryAwareConfig {
+            binarize_activations: true,
+            ..wo_cfg.clone()
+        };
+        let mut wo = model.clone();
+        binary_aware_finetune(&mut wo, &train, &wo_cfg);
+        let wo_on_xnor = export_quantized(&wo, &act_cfg).accuracy(&test.x, &test.y);
+
+        // The standard pipeline now trains activation-binarization-aware.
+        let reg = Registry::new();
+        let (_, _) = OptimizationPipeline::standard()
+            .process_base(
+                &reg,
+                "digits-deep",
+                &model,
+                SemVer::new(1, 0, 0),
+                &train,
+                &test,
+                0,
+            )
+            .unwrap();
+        let int1 = reg
+            .all()
+            .into_iter()
+            .find(|r| r.format.name() == "int1")
+            .unwrap();
+        assert!(
+            int1.accuracy() > f64::from(wo_on_xnor),
+            "activation-aware int1 {} must beat the weight-only baseline {} \
+             on the XNOR kernel",
+            int1.accuracy(),
+            wo_on_xnor
+        );
+        assert!(int1.accuracy() > 0.5, "int1 stays deployable");
+
+        // The stored artifact round-trips the fused-scale metadata: the
+        // registered int1 reloads with its XNOR kernels intact, and the
+        // registered int8 rebuilds an identical fused requant plan from
+        // its serialized scales (predictions via the fused path match the
+        // recorded accuracy measurement).
+        let q1 = reg.load_quantized(int1.id).unwrap();
+        assert!(q1.layers.iter().any(
+            |l| matches!(l, tinymlops_quant::qmodel::QLayer::BinaryDense(b) if b.binarize_input)
+        ));
+        assert_eq!(f64::from(q1.accuracy(&test.x, &test.y)), int1.accuracy());
+        let int8 = reg
+            .all()
+            .into_iter()
+            .find(|r| r.format.name() == "int8")
+            .unwrap();
+        let q8 = reg.load_quantized(int8.id).unwrap();
+        assert_eq!(f64::from(q8.accuracy(&test.x, &test.y)), int8.accuracy());
     }
 
     #[test]

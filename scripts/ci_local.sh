@@ -101,6 +101,12 @@ if run_stage bench; then
     banner "b01 kernel bench smoke + regression gate"
     cargo run --release -p tinymlops_bench --bin b01_kernels -- --quick
     jq -e '.schema_version == 1 and (.runs | length >= 1)' results/BENCH_kernels.json
+    # Fused-inference groups must be present in the newest run, the fused
+    # int8 forward must beat f32, and the vpmaddwd dot must beat the
+    # autovectorized kernel at batch >= 8.
+    jq -e '.runs[-1].entries | map(.group) | (index("dot_i8_maddwd") != null) and (index("qmodel_fused") != null) and (index("xnor_serving") != null)' results/BENCH_kernels.json
+    jq -e '[.runs[-1].entries[] | select(.id == "qmodel_fused_int8_fused")][0].speedup_vs_baseline > 1' results/BENCH_kernels.json
+    jq -e '[.runs[-1].entries[] | select(.id | (startswith("dot_i8_b8x") or startswith("dot_i8_b32x")) and endswith("_maddwd"))] | length >= 1 and all(.speedup_vs_baseline > 1)' results/BENCH_kernels.json
     cargo run --release -p tinymlops_bench --bin b01_compare
 fi
 
