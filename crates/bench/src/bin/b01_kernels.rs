@@ -1234,6 +1234,160 @@ fn bench_serving_faults(quick: bool, entries: &mut Vec<Entry>) {
     }
 }
 
+/// Serving replay cost of the fleet controller: disabled
+/// (`ControllerConfig::default()`) vs armed-but-untrippable (enabled,
+/// ticking and sampling every interval, thresholds no sample can
+/// reach, no standby). Reports must stay equal — an idle controller is
+/// byte-inert — and the datapoint is CPU ns per request via the same
+/// paired-difference protocol as `bench_serving_faults` (interleaved
+/// rounds, median of per-round differences, schedstat on-CPU time,
+/// wall minima as fallback). The armed side pays for real work — the
+/// per-node control tap on every request plus a topology sample every
+/// control interval — so acceptance is small, not zero.
+fn bench_serving_controlled(quick: bool, entries: &mut Vec<Entry>) {
+    use tinymlops_device::{default_mix, Fleet};
+    use tinymlops_serve::ControllerConfig;
+
+    let families = 6u64;
+    let rps = if quick { 4_000.0 } else { 25_000.0 };
+    let duration_us = if quick { 500_000 } else { 1_000_000 };
+    let plan = LoadPlan {
+        tenants: (0..12u32)
+            .map(|i| TenantSpec {
+                id: i + 1,
+                rate_rps: rps / 12.0,
+                model: format!("family{}", u64::from(i) % families),
+                prepaid_queries: u64::MAX / 2,
+                deadline_us: 250_000,
+            })
+            .collect(),
+        duration_us,
+        seed: SEED,
+        feature_dim: 0,
+    };
+    let stream = plan.generate();
+    let build = |controller: ControllerConfig| {
+        let cfg = FabricConfig {
+            node_weights: vec![1.0; 3],
+            tenant_affinity: 0.0,
+            load_factor: f64::INFINITY,
+            serve: ServeConfig::default(),
+            controller,
+            ..Default::default()
+        };
+        let fleets =
+            Fleet::generate(if quick { 12 } else { 24 }, &default_mix(), SEED).partition(3);
+        let mut fabric = ServeFabric::new(&cfg, fleets);
+        for f in 0..families {
+            fabric.install_family(
+                &format!("family{f}"),
+                synthetic_family(&format!("family{f}"), f * 100),
+            );
+        }
+        fabric.provision(&plan);
+        fabric
+    };
+    let armed_idle = || ControllerConfig {
+        enabled: true,
+        high_pressure: f64::INFINITY,
+        high_shed_rate: f64::INFINITY,
+        low_pressure: -1.0,
+        ..ControllerConfig::default()
+    };
+    let cpu_ns = || -> Option<u64> {
+        let s = std::fs::read_to_string("/proc/self/schedstat").ok()?;
+        s.split_whitespace().next()?.parse().ok()
+    };
+    let rounds = if quick { 1 } else { 48 };
+    let mut diffs: Vec<i64> = Vec::new();
+    let mut off_cpus: Vec<u64> = Vec::new();
+    let mut walls = [f64::INFINITY; 2];
+    let mut fleets_match = true;
+    let mut warm = !quick;
+    let run_side = |armed: bool, walls: &mut [f64; 2]| {
+        let mut fab = build(if armed {
+            armed_idle()
+        } else {
+            ControllerConfig::default()
+        });
+        let c0 = cpu_ns();
+        let start = Instant::now();
+        let report = fab.run(&stream).expect("replay");
+        let side = usize::from(armed);
+        walls[side] = walls[side].min(start.elapsed().as_secs_f64());
+        let cpu = match (c0, cpu_ns()) {
+            (Some(a), Some(b)) => Some(b - a),
+            _ => None,
+        };
+        (cpu, report.fleet)
+    };
+    for round in 0..rounds {
+        let armed_first = round % 2 == 1;
+        let first = run_side(armed_first, &mut walls);
+        let second = run_side(!armed_first, &mut walls);
+        fleets_match &= first.1 == second.1;
+        let (off_cpu, on_cpu) = if armed_first {
+            (second.0, first.0)
+        } else {
+            (first.0, second.0)
+        };
+        if let (Some(off), Some(on)) = (off_cpu, on_cpu) {
+            if !warm {
+                off_cpus.push(off);
+                diffs.push(on as i64 - off as i64);
+            }
+        }
+        warm = false;
+    }
+    assert!(
+        fleets_match,
+        "an idle controller must not perturb serving outcomes"
+    );
+    let per_req: Vec<f64> = if !off_cpus.is_empty() {
+        diffs.sort_unstable();
+        off_cpus.sort_unstable();
+        let median_diff = diffs[diffs.len() / 2] as f64;
+        let off = off_cpus[off_cpus.len() / 2] as f64;
+        vec![
+            off / stream.len() as f64,
+            (off + median_diff).max(0.0) / stream.len() as f64,
+        ]
+    } else {
+        walls
+            .iter()
+            .map(|w| w * 1e9 / stream.len() as f64)
+            .collect()
+    };
+    println!(
+        "controller replay: {} requests x{} over 3 nodes; off {:.0} ns/req vs armed {:.0} ns/req ({}, {:+.1}% overhead)",
+        stream.len(),
+        2 * rounds,
+        per_req[0],
+        per_req[1],
+        if off_cpus.is_empty() {
+            "wall time"
+        } else {
+            "cpu time"
+        },
+        (per_req[1] / per_req[0] - 1.0) * 100.0,
+    );
+    for (i, tag) in ["controller_off", "controller_armed"]
+        .into_iter()
+        .enumerate()
+    {
+        entries.push(Entry {
+            id: format!("serve_replay_{tag}"),
+            group: "serving_controlled",
+            shape: format!("{}req-3node-replay", stream.len()),
+            reps: rounds,
+            ns_per_op: per_req[i],
+            gflops: None,
+            baseline_id: (i == 1).then(|| "serve_replay_controller_off".to_string()),
+            speedup_vs_baseline: (i == 1).then(|| per_req[0] / per_req[1]),
+        });
+    }
+}
+
 /// Append this run to `results/BENCH_kernels.json` (creating the file on
 /// first run), then read it back and parse it as a self-check.
 fn save_and_verify(mode: &str, entries: &[Entry]) {
@@ -1330,6 +1484,7 @@ fn main() {
         bench_telemetry(quick, &mut entries);
         bench_serving_traced(quick, &mut entries);
         bench_serving_faults(quick, &mut entries);
+        bench_serving_controlled(quick, &mut entries);
         bench_xnor_serving(quick, &mut entries);
     });
     bench_pool_dispatch(quick, &mut entries);

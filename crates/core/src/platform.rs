@@ -338,7 +338,11 @@ impl Platform {
         plan: &tinymlops_serve::LoadPlan,
         cfg: &tinymlops_serve::FabricConfig,
     ) -> Result<tinymlops_serve::ServeFabric, PlatformError> {
-        let fleets = self.fleet.partition(cfg.node_weights.len());
+        // Standby nodes (controller elasticity pool) get device fleets
+        // too — they are full planes, just outside the routing topology.
+        let fleets = self
+            .fleet
+            .partition(cfg.node_weights.len() + cfg.controller.standby_weights.len());
         let mut fabric = tinymlops_serve::ServeFabric::new(cfg, fleets);
         let families: std::collections::BTreeSet<&str> =
             plan.tenants.iter().map(|t| t.model.as_str()).collect();

@@ -41,6 +41,7 @@
 //! double-billing.
 
 use crate::clock::{Clock, WallClock};
+use crate::controller::{ControlAction, ControlSample, ControllerView, FleetController};
 use crate::fabric::{
     absorb_failover, adopt_destination, drain_source, merge_triggers, FabricReport, FleetTrigger,
     HandoffPackage, MigrationPhase, MigrationRecord, MigrationSpec, ServeFabric,
@@ -179,6 +180,17 @@ pub(crate) enum Ingest {
     /// whose in-flight request died on a crashed peer (it had migrated
     /// off that peer with work still dispatched there).
     Refund { tenant: TenantId, at_us: u64 },
+    /// Controller tick: advance to `at_us`, sample-and-reset the control
+    /// tap, and reply to the coordinating feeder. Rides in stream
+    /// position, so the sampled counters are bit-identical to the
+    /// simulator's tick at the same logical instant.
+    Sample {
+        at_us: u64,
+        reply: mpsc::Sender<ControlSample>,
+    },
+    /// Controller brownout nudge: floor (or lift, at 0) this node's
+    /// degradation ladder.
+    SetBrownoutFloor { level: usize, at_us: u64 },
 }
 
 /// Result of a queue pop with an optional timer deadline.
@@ -373,6 +385,7 @@ fn node_worker(
     queue: &IngestQueue<Ingest>,
     mode: ExecMode,
     wall: &WallClock,
+    control: bool,
 ) -> Result<ServeStats, ServeError> {
     let _close_guard = CloseOnExit(queue);
     if plane.family_names().is_empty() {
@@ -381,6 +394,7 @@ fn node_worker(
     let mut engine = ServeEngine::new(serve_cfg.clone(), Some(telemetry));
     engine.set_observer(observer);
     engine.set_faults(faults);
+    engine.set_control_tap(control);
     // `true` keeps the loop running; `false` means the node just crashed
     // (cooperatively) and the worker must exit with what it has.
     let handle = |engine: &mut ServeEngine<'_>, plane: &mut ServePlane, item: Ingest| -> bool {
@@ -447,6 +461,24 @@ fn node_worker(
                     ExecMode::Wall => wall.now_us(),
                 };
                 engine.refund_orphan(plane, tenant, now);
+            }
+            Ingest::Sample { at_us, reply } => {
+                let now = match mode {
+                    ExecMode::Replay => at_us,
+                    ExecMode::Wall => wall.now_us(),
+                };
+                engine.run_timers_through(plane, now, true);
+                // A closed reply channel means the feeder gave up; the
+                // drop is safe either way.
+                let _ = reply.send(engine.take_control_sample(plane));
+            }
+            Ingest::SetBrownoutFloor { level, at_us } => {
+                let now = match mode {
+                    ExecMode::Replay => at_us,
+                    ExecMode::Wall => wall.now_us(),
+                };
+                engine.run_timers_through(plane, now, true);
+                engine.set_brownout_floor(level);
             }
         }
         true
@@ -522,8 +554,16 @@ pub fn run_fabric_live_migrating(
     let triggers = merge_triggers(&fault_plan, specs);
     let mut records: Vec<MigrationRecord> = Vec::with_capacity(specs.len());
     let mut lost: BTreeMap<NodeId, u64> = BTreeMap::new();
+    // The controller mirror: same policy, same standby pool, ticking at
+    // the same logical instants as the simulator's interleaved loop.
+    let controller_cfg = fabric.controller_config().clone();
+    let controller_on = controller_cfg.enabled;
+    let max_total_pending = serve_cfg.gateway.max_total_pending;
+    let mut controller = FleetController::new(controller_cfg, fabric.take_standby());
+    let tick_interval = controller.config().interval_us.max(1);
+    let mut next_tick = tick_interval;
 
-    let (nodes, shard_router, assignments) = fabric.split_live();
+    let (nodes, shard_router, assignments, traffic) = fabric.split_live();
     let queues: Vec<IngestQueue<Ingest>> = nodes
         .iter()
         .map(|_| IngestQueue::new(cfg.queue_capacity))
@@ -548,7 +588,15 @@ pub fn run_fabric_live_migrating(
                 let telemetry = &node.telemetry;
                 s.spawn(move || {
                     node_worker(
-                        plane, telemetry, serve_cfg, observer, faults, queue, mode, wall,
+                        plane,
+                        telemetry,
+                        serve_cfg,
+                        observer,
+                        faults,
+                        queue,
+                        mode,
+                        wall,
+                        controller_on,
                     )
                 })
             })
@@ -632,6 +680,7 @@ pub fn run_fabric_live_migrating(
                      at_us: u64,
                      assignments: &mut BTreeMap<TenantId, (NodeId, String)>,
                      shard_router: &mut crate::ShardRouter,
+                     traffic: &crate::TrafficLedger,
                      dead: &mut BTreeSet<NodeId>| {
             if !dead.insert(node) {
                 return; // a duplicate crash of a dead node is a no-op
@@ -648,7 +697,7 @@ pub fn run_fabric_live_migrating(
                 return;
             };
             shard_router.remove_node(node);
-            let moves = plan_evacuation(shard_router, assignments, node, load_factor);
+            let moves = plan_evacuation(shard_router, assignments, traffic, node, load_factor);
             debug_assert_eq!(moves.len(), packages.len(), "every account gets a home");
             for (package, (tenant, family, dest)) in packages.into_iter().zip(moves) {
                 debug_assert_eq!(package.tenant, tenant, "both walk tenants in id order");
@@ -672,8 +721,11 @@ pub fn run_fabric_live_migrating(
                     records: &mut Vec<MigrationRecord>,
                     assignments: &mut BTreeMap<TenantId, (NodeId, String)>,
                     shard_router: &mut crate::ShardRouter,
+                    traffic: &crate::TrafficLedger,
                     dead: &mut BTreeSet<NodeId>| match trigger.1 {
-            FleetTrigger::Crash { node } => crash(node, at_us, assignments, shard_router, dead),
+            FleetTrigger::Crash { node } => {
+                crash(node, at_us, assignments, shard_router, traffic, dead);
+            }
             FleetTrigger::Migrate(spec) => {
                 if dead.contains(&spec.to) {
                     // Destination died first: the migration never starts
@@ -688,12 +740,96 @@ pub fn run_fabric_live_migrating(
                 }
             }
         };
+        // Controller tick, the live mirror of the simulator's
+        // `execute_control_tick`: sample every live node in id order
+        // (Sample controls ride in stream position, so the counters are
+        // the simulator's), ask the same controller, apply the actions
+        // through the same migrate primitive and router mutations.
+        let tick = |at_us: u64,
+                    records: &mut Vec<MigrationRecord>,
+                    assignments: &mut BTreeMap<TenantId, (NodeId, String)>,
+                    shard_router: &mut crate::ShardRouter,
+                    controller: &mut FleetController,
+                    traffic: &mut crate::TrafficLedger| {
+            let mut active: Vec<crate::ShardNode> = Vec::new();
+            let mut snapshots = Vec::new();
+            for node in shard_router.nodes().to_vec() {
+                let (reply, rx) = mpsc::channel();
+                if !queues[index_of[&node.id]].push(Ingest::Sample { at_us, reply }) {
+                    continue; // worker genuinely died; skip it this tick
+                }
+                let Ok(sample) = rx.recv() else { continue };
+                snapshots.push((node.id, sample));
+                active.push(node);
+            }
+            let actions = {
+                let view = ControllerView {
+                    active: &active,
+                    assignments: &*assignments,
+                    max_total_pending,
+                };
+                controller.tick(at_us, &snapshots, &view, traffic)
+            };
+            for action in actions {
+                match action {
+                    ControlAction::Brownout { node, floor } => {
+                        let _ = queues[index_of[&node]].push(Ingest::SetBrownoutFloor {
+                            level: floor,
+                            at_us,
+                        });
+                    }
+                    ControlAction::Migrate { tenant, to, .. } => {
+                        let spec = crate::controller::spec_of(tenant, to, at_us);
+                        records.push(migrate(&spec, at_us, assignments, shard_router));
+                    }
+                    ControlAction::Join {
+                        node,
+                        weight,
+                        moves,
+                    } => {
+                        shard_router.add_node(crate::ShardNode { id: node, weight });
+                        for (tenant, dest) in moves {
+                            let spec = crate::controller::spec_of(tenant, dest, at_us);
+                            records.push(migrate(&spec, at_us, assignments, shard_router));
+                        }
+                    }
+                    ControlAction::Drain { node, moves } => {
+                        for (tenant, dest) in moves {
+                            let spec = crate::controller::spec_of(tenant, dest, at_us);
+                            records.push(migrate(&spec, at_us, assignments, shard_router));
+                        }
+                        shard_router.remove_node(node);
+                    }
+                }
+            }
+        };
 
         for request in stream {
-            while pending
-                .peek()
-                .is_some_and(|(at, _)| *at <= request.arrival_us)
-            {
+            loop {
+                let trig_at = pending
+                    .peek()
+                    .map(|(at, _)| *at)
+                    .filter(|at| *at <= request.arrival_us);
+                let tick_at =
+                    (controller_on && next_tick <= request.arrival_us).then_some(next_tick);
+                let fire_trigger = match (trig_at, tick_at) {
+                    (Some(t), Some(k)) => t <= k, // triggers win ties
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if !fire_trigger {
+                    tick(
+                        next_tick,
+                        &mut records,
+                        assignments,
+                        shard_router,
+                        &mut controller,
+                        traffic,
+                    );
+                    next_tick += tick_interval;
+                    continue;
+                }
                 let trigger = pending.next().expect("peeked");
                 fire(
                     trigger,
@@ -701,6 +837,7 @@ pub fn run_fabric_live_migrating(
                     &mut records,
                     assignments,
                     shard_router,
+                    traffic,
                     &mut dead,
                 );
             }
@@ -729,6 +866,7 @@ pub fn run_fabric_live_migrating(
                 &mut records,
                 assignments,
                 shard_router,
+                traffic,
                 &mut dead,
             );
         }
@@ -765,7 +903,9 @@ pub fn run_fabric_live_migrating(
             }
         }
     }
-    let fabric_report = fabric.assemble_report(per_node, refunded_before);
+    let (control, standby) = controller.into_parts();
+    fabric.restore_standby(standby);
+    let fabric_report = fabric.assemble_report(per_node, refunded_before, control);
     Ok((
         LiveReport {
             fabric: fabric_report,

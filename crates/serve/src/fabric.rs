@@ -30,13 +30,16 @@
 //!   [`FabricConfig::load_factor`] × its fair share; hot tenants
 //!   overflow to their next-best rendezvous node.
 
+use crate::controller::{
+    ControlAction, ControlRecord, ControllerConfig, ControllerView, FleetController,
+};
 use crate::fault::{
     plan_evacuation, retryable, schedule_retry, FailoverPackage, FaultPlan, NodeFaults,
     RetryBudget, RetryDecision, RetryPolicy,
 };
 use crate::observer::{NodeObserver, ObserveConfig};
 use crate::request::{Request, ShedReason, TenantId};
-use crate::shard::{NodeId, ShardNode, ShardRouter};
+use crate::shard::{NodeId, ShardNode, ShardRouter, TrafficLedger};
 use crate::sim::{ExecModel, ServeConfig, ServeEngine, ServePlane};
 use crate::stats::{ServeReport, ServeStats};
 use crate::ServeError;
@@ -144,6 +147,14 @@ pub struct FabricConfig {
     /// replays bit-identically across both backends (crashes and stalls
     /// key on the same logical timestamps the engines already run on).
     pub fault: FaultPlan,
+    /// Autonomous fleet controller (telemetry-driven migration, elastic
+    /// scale-up/down against [`ControllerConfig::standby_weights`],
+    /// brownout nudges). Disabled by default; a disabled controller arms
+    /// no tap and fires no ticks, so runs are byte-identical to a build
+    /// without the controller. `standby_weights` adds that many standby
+    /// nodes — the fleet partition must cover `node_weights.len() +
+    /// standby_weights.len()` nodes.
+    pub controller: ControllerConfig,
 }
 
 impl Default for FabricConfig {
@@ -155,6 +166,7 @@ impl Default for FabricConfig {
             serve: ServeConfig::default(),
             observe: ObserveConfig::default(),
             fault: FaultPlan::default(),
+            controller: ControllerConfig::default(),
         }
     }
 }
@@ -412,6 +424,7 @@ fn execute_crash(
     index: &BTreeMap<NodeId, usize>,
     assignments: &mut BTreeMap<TenantId, (NodeId, String)>,
     shard_router: &mut ShardRouter,
+    traffic: &TrafficLedger,
     dead: &mut BTreeSet<NodeId>,
     load_factor: f64,
     node: NodeId,
@@ -424,7 +437,7 @@ fn execute_crash(
     ctx.engine.run_timers_through(ctx.plane, at_us, true);
     let (packages, orphans) = ctx.engine.evacuate(ctx.plane, node, at_us);
     shard_router.remove_node(node);
-    let moves = plan_evacuation(shard_router, assignments, node, load_factor);
+    let moves = plan_evacuation(shard_router, assignments, traffic, node, load_factor);
     debug_assert_eq!(moves.len(), packages.len(), "every account gets a home");
     for (package, (tenant, family, dest)) in packages.into_iter().zip(moves) {
         debug_assert_eq!(package.tenant, tenant, "both walk tenants in id order");
@@ -437,6 +450,94 @@ fn execute_crash(
         if let Some((home, _)) = assignments.get(&orphan.tenant) {
             let hctx = &mut ctxs[index[home]];
             hctx.engine.refund_orphan(hctx.plane, orphan.tenant, at_us);
+        }
+    }
+}
+
+/// Execute one controller tick inside the simulator's interleaved loop:
+/// advance every *live* node (the shard topology, id order) to the tick
+/// instant, sample its control tap, ask the controller for actions, and
+/// apply them with the same primitives an operator would use —
+/// [`execute_migration`] for tenant moves, router add/remove for
+/// join/drain, an engine brownout floor for nudges. The live ingest
+/// feeder performs identical steps at the same logical instants, which
+/// is what makes controller decisions (and the migration records they
+/// produce) bit-identical across backends under replay.
+#[allow(clippy::too_many_arguments)]
+fn execute_control_tick(
+    ctxs: &mut [NodeCtx<'_>],
+    index: &BTreeMap<NodeId, usize>,
+    assignments: &mut BTreeMap<TenantId, (NodeId, String)>,
+    shard_router: &mut ShardRouter,
+    controller: &mut FleetController,
+    traffic: &mut TrafficLedger,
+    records: &mut Vec<MigrationRecord>,
+    max_total_pending: usize,
+    at_us: u64,
+) {
+    // Sample the live topology in id order. Dead nodes already left the
+    // router; standby nodes have not entered it — neither is sampled,
+    // so the controller can only ever see (and target) online nodes.
+    let active: Vec<ShardNode> = shard_router.nodes().to_vec();
+    let mut snapshots = Vec::with_capacity(active.len());
+    for node in &active {
+        let ctx = &mut ctxs[index[&node.id]];
+        ctx.engine.run_timers_through(ctx.plane, at_us, true);
+        snapshots.push((node.id, ctx.engine.take_control_sample(ctx.plane)));
+    }
+    let actions = {
+        let view = ControllerView {
+            active: &active,
+            assignments: &*assignments,
+            max_total_pending,
+        };
+        controller.tick(at_us, &snapshots, &view, traffic)
+    };
+    for action in actions {
+        match action {
+            ControlAction::Brownout { node, floor } => {
+                ctxs[index[&node]].engine.set_brownout_floor(floor);
+            }
+            ControlAction::Migrate { tenant, to, .. } => {
+                records.push(execute_migration(
+                    ctxs,
+                    index,
+                    assignments,
+                    shard_router,
+                    &crate::controller::spec_of(tenant, to, at_us),
+                    at_us,
+                ));
+            }
+            ControlAction::Join {
+                node,
+                weight,
+                moves,
+            } => {
+                shard_router.add_node(ShardNode { id: node, weight });
+                for (tenant, dest) in moves {
+                    records.push(execute_migration(
+                        ctxs,
+                        index,
+                        assignments,
+                        shard_router,
+                        &crate::controller::spec_of(tenant, dest, at_us),
+                        at_us,
+                    ));
+                }
+            }
+            ControlAction::Drain { node, moves } => {
+                for (tenant, dest) in moves {
+                    records.push(execute_migration(
+                        ctxs,
+                        index,
+                        assignments,
+                        shard_router,
+                        &crate::controller::spec_of(tenant, dest, at_us),
+                        at_us,
+                    ));
+                }
+                shard_router.remove_node(node);
+            }
         }
     }
 }
@@ -495,6 +596,10 @@ pub struct FabricReport {
     /// Per-node flight-recorder contents (bounded rings, oldest first).
     /// Empty when observability is disabled.
     pub traces: Vec<(NodeId, Vec<TraceEvent>)>,
+    /// Controller decisions taken during the run, in tick order. Empty
+    /// when the controller is disabled (or armed but idle), so a
+    /// controller-off report is byte-identical to a pre-controller one.
+    pub control: Vec<ControlRecord>,
 }
 
 impl FabricReport {
@@ -560,18 +665,31 @@ pub struct ServeFabric {
     fault_plan: FaultPlan,
     load_factor: f64,
     next_node_id: NodeId,
+    /// Fleet-controller policy (disabled by default).
+    controller_cfg: ControllerConfig,
+    /// Standby pool: provisioned nodes (planes exist, catalog installed)
+    /// outside the routing topology until the controller joins them.
+    standby: Vec<ShardNode>,
+    /// Per-tenant served-work EWMA driving traffic-weighted bounded
+    /// load. Empty (the default) degrades placement to the old
+    /// tenant-count measure *exactly*; only controller ticks feed it.
+    traffic: TrafficLedger,
 }
 
 impl ServeFabric {
-    /// Assemble a fabric with one node per `cfg.node_weights` entry, each
-    /// over its own device fleet. Panics when the fleet count does not
-    /// match the weight count (a wiring bug, not a load state).
+    /// Assemble a fabric with one node per `cfg.node_weights` entry plus
+    /// one *standby* node per `cfg.controller.standby_weights` entry,
+    /// each over its own device fleet (so `fleets.len()` must cover
+    /// both). Standby nodes get full planes and the installed catalog
+    /// but stay outside the routing topology until the controller joins
+    /// them. Panics when the fleet count does not match (a wiring bug,
+    /// not a load state).
     #[must_use]
     pub fn new(cfg: &FabricConfig, fleets: Vec<Fleet>) -> Self {
         assert_eq!(
-            cfg.node_weights.len(),
+            cfg.node_weights.len() + cfg.controller.standby_weights.len(),
             fleets.len(),
-            "one fleet per node weight"
+            "one fleet per node weight (active + standby)"
         );
         assert!(
             cfg.load_factor >= 1.0,
@@ -583,6 +701,16 @@ impl ServeFabric {
             .enumerate()
             .map(|(i, &weight)| ShardNode {
                 id: i as NodeId,
+                weight,
+            })
+            .collect();
+        let standby: Vec<ShardNode> = cfg
+            .controller
+            .standby_weights
+            .iter()
+            .enumerate()
+            .map(|(i, &weight)| ShardNode {
+                id: (cfg.node_weights.len() + i) as NodeId,
                 weight,
             })
             .collect();
@@ -607,6 +735,9 @@ impl ServeFabric {
             fault_plan: cfg.fault.clone(),
             load_factor: cfg.load_factor,
             next_node_id,
+            controller_cfg: cfg.controller.clone(),
+            standby,
+            traffic: TrafficLedger::new(),
         }
     }
 
@@ -668,15 +799,23 @@ impl ServeFabric {
     }
 
     /// Bounded-load placement for one more tenant given the current
-    /// assignment table (pure rendezvous when `load_factor` is infinite).
+    /// assignment table (pure rendezvous when `load_factor` is
+    /// infinite). Loads and the population total are measured in
+    /// [`crate::TRAFFIC_UNIT`]s from the traffic ledger: with no
+    /// observed traffic every tenant weighs one unit and this is
+    /// exactly the old tenant-count measure; once the controller feeds
+    /// the ledger, a giant tenant occupies its real share of a node's
+    /// cap instead of one slot.
     fn place(&self, tenant: TenantId, family: &str) -> NodeId {
-        let total = self.assignments.len() + 1;
+        let total = (self.traffic.total(self.assignments.keys().copied())
+            + self.traffic.weight(tenant)) as usize;
         self.shard_router
             .assign_bounded(tenant, family, total, self.load_factor, |id| {
                 self.assignments
-                    .values()
-                    .filter(|(node, _)| *node == id)
-                    .count()
+                    .iter()
+                    .filter(|(_, (node, _))| *node == id)
+                    .map(|(t, _)| self.traffic.weight(*t) as usize)
+                    .sum()
             })
     }
 
@@ -786,12 +925,14 @@ impl ServeFabric {
             .iter()
             .map(|(t, (node, family))| (*t, *node, family.clone()))
             .collect();
-        let total = tenants.len();
-        // Pinned tenants occupy their slots before anyone re-places.
+        // Loads and the population total in traffic units (an empty
+        // ledger makes this the tenant-count measure exactly).
+        let total = self.traffic.total(tenants.iter().map(|(t, _, _)| *t)) as usize;
+        // Pinned tenants occupy their load before anyone re-places.
         let mut placed: BTreeMap<NodeId, usize> = BTreeMap::new();
         for (tenant, _, _) in &tenants {
             if let Some(node) = self.shard_router.pinned(*tenant) {
-                *placed.entry(node).or_default() += 1;
+                *placed.entry(node).or_default() += self.traffic.weight(*tenant) as usize;
             }
         }
         for (tenant, old_home, family) in tenants {
@@ -805,28 +946,88 @@ impl ServeFabric {
                     self.load_factor,
                     |id| placed.get(&id).copied().unwrap_or(0),
                 );
-                *placed.entry(home).or_default() += 1;
+                *placed.entry(home).or_default() += self.traffic.weight(tenant) as usize;
                 home
             };
             if new_home == old_home {
                 continue;
             }
-            let account = self
-                .node_mut(old_home)
-                .expect("old home exists during rebalance")
-                .plane
-                .gateway
-                .remove_tenant(tenant)
-                .expect("assigned tenant has an account");
-            self.node_mut(new_home)
-                .expect("new home exists")
-                .plane
-                .gateway
-                .adopt_tenant(tenant, account);
-            self.assignments.insert(tenant, (new_home, family));
+            self.move_account(tenant, old_home, new_home, family);
+            moved += 1;
+        }
+        moved + self.enforce_caps()
+    }
+
+    /// Re-run bounded-cap enforcement over *pinned* tenants after a
+    /// topology change. Pins bypass the cap at placement time (a
+    /// migration or failover decision), which used to leave a node join
+    /// unable to relieve an over-cap node whose tenants were all pinned
+    /// — caps were only re-evaluated at registration. Any pinned tenant
+    /// still sitting on a node above its bounded cap is unpinned and
+    /// re-placed under the cap, in tenant-id order. No-op with an
+    /// infinite factor (pure rendezvous has no caps). Returns the moves.
+    fn enforce_caps(&mut self) -> usize {
+        if !self.load_factor.is_finite() {
+            return 0;
+        }
+        let total = self.traffic.total(self.assignments.keys().copied()) as usize;
+        let caps: BTreeMap<NodeId, usize> = self
+            .shard_router
+            .bounded_caps(total, self.load_factor)
+            .into_iter()
+            .collect();
+        let mut loads: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (tenant, (node, _)) in &self.assignments {
+            *loads.entry(*node).or_default() += self.traffic.weight(*tenant) as usize;
+        }
+        let over = |loads: &BTreeMap<NodeId, usize>, node: NodeId| {
+            loads.get(&node).copied().unwrap_or(0) > caps.get(&node).copied().unwrap_or(usize::MAX)
+        };
+        let pinned: Vec<(TenantId, NodeId, String)> = self
+            .assignments
+            .iter()
+            .filter(|(t, (node, _))| self.shard_router.pinned(**t) == Some(*node))
+            .map(|(t, (node, family))| (*t, *node, family.clone()))
+            .collect();
+        let mut moved = 0;
+        for (tenant, old_home, family) in pinned {
+            if !over(&loads, old_home) {
+                continue; // earlier moves already relieved this node
+            }
+            let weight = self.traffic.weight(tenant) as usize;
+            self.shard_router.unpin(tenant);
+            *loads.get_mut(&old_home).expect("home carries load") -= weight;
+            let new_home =
+                self.shard_router
+                    .assign_bounded(tenant, &family, total, self.load_factor, |id| {
+                        loads.get(&id).copied().unwrap_or(0)
+                    });
+            *loads.entry(new_home).or_default() += weight;
+            if new_home == old_home {
+                continue;
+            }
+            self.move_account(tenant, old_home, new_home, family);
             moved += 1;
         }
         moved
+    }
+
+    /// Move one tenant's whole account between gateways and flip the
+    /// routing table (balances, counters and audit chains travel).
+    fn move_account(&mut self, tenant: TenantId, from: NodeId, to: NodeId, family: String) {
+        let account = self
+            .node_mut(from)
+            .expect("old home exists during rebalance")
+            .plane
+            .gateway
+            .remove_tenant(tenant)
+            .expect("assigned tenant has an account");
+        self.node_mut(to)
+            .expect("new home exists")
+            .plane
+            .gateway
+            .adopt_tenant(tenant, account);
+        self.assignments.insert(tenant, (to, family));
     }
 
     /// Every tenant's quota position, in tenant order (fleet billing view).
@@ -944,12 +1145,25 @@ impl ServeFabric {
         let triggers = merge_triggers(&fault_plan, specs);
         let mut records: Vec<MigrationRecord> = Vec::with_capacity(specs.len());
         let mut retry_stats = RetryStats::default();
+        // The controller runs on the fabric's logical clock: ticks at
+        // k·interval interleave with the trigger sequence (triggers win
+        // ties, so an operator event at a tick instant lands first on
+        // both backends). Disabled, no tap is armed and no ticks fire.
+        let controller_on = self.controller_cfg.enabled;
+        let mut controller = FleetController::new(
+            self.controller_cfg.clone(),
+            std::mem::take(&mut self.standby),
+        );
+        let tick_interval = controller.config().interval_us.max(1);
+        let mut next_tick = tick_interval;
+        let max_total_pending = serve_cfg.gateway.max_total_pending;
 
         let per_node: Vec<(NodeId, ServeStats)> = {
             let ServeFabric {
                 shard_router,
                 nodes,
                 assignments,
+                traffic,
                 ..
             } = self;
             let mut ctxs: Vec<NodeCtx> = nodes
@@ -971,6 +1185,7 @@ impl ServeFabric {
                     // this single-threaded loop would kill the whole run
                     // instead of one worker.
                     engine.set_faults(NodeFaults::for_node(&fault_plan, *id, false));
+                    engine.set_control_tap(controller_on);
                     NodeCtx {
                         id: *id,
                         plane,
@@ -1056,10 +1271,34 @@ impl ServeFabric {
 
             let mut pending = triggers.into_iter().peekable();
             for request in stream {
-                while pending
-                    .peek()
-                    .is_some_and(|(at, _)| *at <= request.arrival_us)
-                {
+                loop {
+                    let trig_at = pending
+                        .peek()
+                        .map(|(at, _)| *at)
+                        .filter(|at| *at <= request.arrival_us);
+                    let tick_at =
+                        (controller_on && next_tick <= request.arrival_us).then_some(next_tick);
+                    let fire_trigger = match (trig_at, tick_at) {
+                        (Some(t), Some(k)) => t <= k, // triggers win ties
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => break,
+                    };
+                    if !fire_trigger {
+                        execute_control_tick(
+                            &mut ctxs,
+                            &index,
+                            assignments,
+                            shard_router,
+                            &mut controller,
+                            traffic,
+                            &mut records,
+                            max_total_pending,
+                            next_tick,
+                        );
+                        next_tick += tick_interval;
+                        continue;
+                    }
                     let (at_us, trigger) = pending.next().expect("peeked");
                     match trigger {
                         FleetTrigger::Crash { node } => execute_crash(
@@ -1067,6 +1306,7 @@ impl ServeFabric {
                             &index,
                             assignments,
                             shard_router,
+                            traffic,
                             &mut dead,
                             load_factor,
                             node,
@@ -1130,6 +1370,7 @@ impl ServeFabric {
                         &index,
                         assignments,
                         shard_router,
+                        traffic,
                         &mut dead,
                         load_factor,
                         node,
@@ -1171,8 +1412,12 @@ impl ServeFabric {
                 })
                 .collect()
         };
+        // Topology changes persist: drained nodes returned to standby,
+        // joined nodes stay in the router.
+        let (control, standby) = controller.into_parts();
+        self.standby = standby;
         Ok((
-            self.assemble_report(per_node, refunded_before),
+            self.assemble_report(per_node, refunded_before, control),
             records,
             retry_stats,
         ))
@@ -1218,6 +1463,7 @@ impl ServeFabric {
         &mut self,
         per_node: Vec<(NodeId, ServeStats)>,
         refunded_before: u64,
+        control: Vec<ControlRecord>,
     ) -> FabricReport {
         let mut fleet_stats = ServeStats::new();
         let mut per_node_reports = Vec::with_capacity(per_node.len());
@@ -1276,6 +1522,7 @@ impl ServeFabric {
             windows,
             alarms,
             traces,
+            control,
         }
     }
 
@@ -1290,12 +1537,45 @@ impl ServeFabric {
         &mut [FabricNode],
         &mut ShardRouter,
         &mut BTreeMap<TenantId, (NodeId, String)>,
+        &mut TrafficLedger,
     ) {
         (
             &mut self.nodes,
             &mut self.shard_router,
             &mut self.assignments,
+            &mut self.traffic,
         )
+    }
+
+    /// The fleet-controller policy in force.
+    #[must_use]
+    pub fn controller_config(&self) -> &ControllerConfig {
+        &self.controller_cfg
+    }
+
+    /// The standby pool (nodes provisioned but outside the routing
+    /// topology), id order.
+    #[must_use]
+    pub fn standby(&self) -> &[ShardNode] {
+        &self.standby
+    }
+
+    /// The traffic ledger driving traffic-weighted bounded load.
+    #[must_use]
+    pub fn traffic(&self) -> &TrafficLedger {
+        &self.traffic
+    }
+
+    /// Take the standby pool for the duration of a run (the live
+    /// backend hands it to its controller); restore with
+    /// [`ServeFabric::restore_standby`].
+    pub(crate) fn take_standby(&mut self) -> Vec<ShardNode> {
+        std::mem::take(&mut self.standby)
+    }
+
+    /// Store the (possibly changed) standby pool back after a run.
+    pub(crate) fn restore_standby(&mut self, standby: Vec<ShardNode>) {
+        self.standby = standby;
     }
 
     /// The per-node serving configuration every node runs.

@@ -33,7 +33,7 @@
 //! cheaper quantized variants before shedding them.
 
 use crate::request::{Request, ShedReason, TenantId};
-use crate::shard::{NodeId, ShardRouter};
+use crate::shard::{NodeId, ShardRouter, TrafficLedger};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -271,25 +271,28 @@ pub(crate) struct FailoverPackage {
 
 /// Deterministically choose a surviving home for every tenant of a dead
 /// node: bounded-load rendezvous placement over the remaining nodes,
-/// seeded with the survivors' current tenant counts so the evacuees
-/// spread instead of piling onto one node. `shard` must already have the
-/// dead node removed (which also dropped its pins). A pure function of
-/// (topology, assignments, load factor), so the sim loop and the live
-/// feeder compute identical placements — the parity of crash recovery
-/// rests on this.
+/// seeded with the survivors' current loads so the evacuees spread
+/// instead of piling onto one node. Loads and the population total are
+/// in `traffic` units ([`crate::TrafficLedger`]) — an empty ledger
+/// degrades to the old tenant-count measure exactly. `shard` must
+/// already have the dead node removed (which also dropped its pins). A
+/// pure function of (topology, assignments, ledger, load factor), so
+/// the sim loop and the live feeder compute identical placements — the
+/// parity of crash recovery rests on this.
 pub(crate) fn plan_evacuation(
     shard: &ShardRouter,
     assignments: &BTreeMap<TenantId, (NodeId, String)>,
+    traffic: &TrafficLedger,
     dead: NodeId,
     load_factor: f64,
 ) -> Vec<(TenantId, String, NodeId)> {
     let mut loads: BTreeMap<NodeId, usize> = BTreeMap::new();
-    for (node, _) in assignments.values() {
+    for (tenant, (node, _)) in assignments {
         if *node != dead {
-            *loads.entry(*node).or_default() += 1;
+            *loads.entry(*node).or_default() += traffic.weight(*tenant) as usize;
         }
     }
-    let total = assignments.len();
+    let total = traffic.total(assignments.keys().copied()) as usize;
     let mut moves = Vec::new();
     for (tenant, (node, family)) in assignments {
         if *node != dead {
@@ -298,7 +301,7 @@ pub(crate) fn plan_evacuation(
         let home = shard.assign_bounded(*tenant, family, total, load_factor, |id| {
             loads.get(&id).copied().unwrap_or(0)
         });
-        *loads.entry(home).or_default() += 1;
+        *loads.entry(home).or_default() += traffic.weight(*tenant) as usize;
         moves.push((*tenant, family.clone(), home));
     }
     moves

@@ -51,6 +51,7 @@
 pub mod batcher;
 pub mod cache;
 pub mod clock;
+pub mod controller;
 pub mod exec;
 pub mod fabric;
 pub mod fault;
@@ -62,10 +63,14 @@ pub mod router;
 pub mod shard;
 pub mod sim;
 pub mod stats;
+pub mod testkit;
 
 pub use batcher::{Batch, BatchPolicy, FlushTrigger, MicroBatcher, PushOutcome};
 pub use cache::{Admission, ModelCache};
 pub use clock::{Clock, VirtualClock, WallClock};
+pub use controller::{
+    ControlAction, ControlRecord, ControlSample, ControllerConfig, ControllerView, FleetController,
+};
 pub use exec::{ExecConfig, ExecMode, LiveReport, NodeFailure};
 pub use fabric::{
     FabricConfig, FabricNode, FabricReport, MigrationPhase, MigrationRecord, MigrationSpec,
@@ -80,7 +85,7 @@ pub use loadgen::{LoadPlan, TenantSpec};
 pub use observer::{NodeObservation, NodeObserver, ObserveConfig};
 pub use request::{Disposition, Request, RequestId, ShedReason, TenantId};
 pub use router::{Route, Router};
-pub use shard::{NodeId, ShardNode, ShardRouter};
+pub use shard::{NodeId, ShardNode, ShardRouter, TrafficLedger, TRAFFIC_UNIT};
 pub use sim::{run_plan, ExecModel, ServeConfig, ServePlane, ServeSim};
 pub use stats::{ServeReport, ServeStats};
 

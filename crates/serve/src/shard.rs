@@ -315,6 +315,80 @@ impl ShardRouter {
     }
 }
 
+/// One idle tenant's worth of traffic in [`TrafficLedger`] fixed point.
+///
+/// Every tenant carries a floor of one `TRAFFIC_UNIT` (its "slot") plus
+/// its observed-traffic EWMA. With an empty ledger all weights are
+/// exactly `TRAFFIC_UNIT`, and because [`ShardRouter::assign_bounded`]
+/// compares `load < cap` with loads that are then exact multiples of the
+/// unit, unit-scaled caps accept and reject *identically* to the old
+/// tenant-count measure (`k·U < ceil(x·U) ⇔ k < ceil(x)` for integer
+/// `k·U`). Traffic-weighted placement is therefore a strict refinement:
+/// byte-identical until the ledger observes real traffic.
+pub const TRAFFIC_UNIT: u64 = 1024;
+
+/// Per-tenant served-work EWMA powering traffic-weighted bounded load.
+///
+/// The tenant-count bounded load treats one giant tenant as one slot; a
+/// node holding it fills its cap with small tenants and melts. The
+/// ledger replaces "one tenant = one slot" with "one tenant = one
+/// slot plus its traffic": [`TrafficLedger::observe`] folds each control
+/// interval's served count into a fixed-point EWMA (α = 1/4, integer
+/// arithmetic only, so the sim loop and the live feeder stay
+/// bit-identical), and [`TrafficLedger::weight`] reports
+/// `TRAFFIC_UNIT · (1 + ewma_requests_per_interval)`. Placement code
+/// sums weights instead of counting tenants; caps and loads scale
+/// together, so relative shares — not absolute traffic — drive overflow.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficLedger {
+    /// Per-tenant EWMA of served work per control interval, in
+    /// `TRAFFIC_UNIT` fixed point (`TRAFFIC_UNIT` ≙ one request/interval).
+    ewma: BTreeMap<TenantId, u64>,
+}
+
+impl TrafficLedger {
+    /// An empty ledger: every tenant weighs exactly one slot.
+    #[must_use]
+    pub fn new() -> Self {
+        TrafficLedger::default()
+    }
+
+    /// Fold one control interval's served count for `tenant` into its
+    /// EWMA: `e' = (3·e + served·UNIT) / 4`. Integer-only and
+    /// order-independent across tenants, so both backends converge on
+    /// the same ledger from the same samples.
+    pub fn observe(&mut self, tenant: TenantId, served: u64) {
+        let sample = served.saturating_mul(TRAFFIC_UNIT);
+        let e = self.ewma.entry(tenant).or_insert(0);
+        *e = (*e * 3 + sample) / 4;
+    }
+
+    /// The tenant's placement weight in traffic units: one idle slot
+    /// plus its traffic EWMA. Unseen tenants weigh [`TRAFFIC_UNIT`].
+    #[must_use]
+    pub fn weight(&self, tenant: TenantId) -> u64 {
+        TRAFFIC_UNIT + self.ewma.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Drop a tenant's history (deprovisioning).
+    pub fn forget(&mut self, tenant: TenantId) {
+        self.ewma.remove(&tenant);
+    }
+
+    /// Total traffic units across a tenant population.
+    #[must_use]
+    pub fn total(&self, tenants: impl IntoIterator<Item = TenantId>) -> u64 {
+        tenants.into_iter().map(|t| self.weight(t)).sum()
+    }
+
+    /// Whether any tenant has observed traffic (an empty ledger degrades
+    /// placement to the tenant-count measure exactly).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ewma.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,5 +572,118 @@ mod tests {
             },
         );
         assert_eq!(overflowed, again);
+    }
+
+    #[test]
+    fn empty_ledger_units_reproduce_tenant_count_placement() {
+        // The traffic-weighted measure must be a strict refinement: with
+        // no observed traffic (all weights TRAFFIC_UNIT), unit-scaled
+        // caps accept and reject exactly like the tenant-count measure.
+        let r = ShardRouter::new(nodes(4), 0.5);
+        let ledger = TrafficLedger::new();
+        for factor in [1.0, 1.25, 2.0] {
+            let total = 64usize;
+            let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+            let mut units: BTreeMap<NodeId, u64> = BTreeMap::new();
+            for tenant in 0..total as u32 {
+                let by_count = r.assign_bounded(tenant, "hot", total, factor, |id| {
+                    counts.get(&id).copied().unwrap_or(0)
+                });
+                let unit_total = ledger.total((0..total as u32).collect::<Vec<_>>()) as usize;
+                let by_units = r.assign_bounded(tenant, "hot", unit_total, factor, |id| {
+                    units.get(&id).copied().unwrap_or(0) as usize
+                });
+                assert_eq!(by_count, by_units, "tenant {tenant} factor {factor}");
+                *counts.entry(by_count).or_default() += 1;
+                *units.entry(by_units).or_default() += ledger.weight(tenant);
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_ewma_converges_and_forgets() {
+        let mut ledger = TrafficLedger::new();
+        assert_eq!(ledger.weight(3), TRAFFIC_UNIT, "unseen tenant = one slot");
+        for _ in 0..32 {
+            ledger.observe(3, 100);
+        }
+        let w = ledger.weight(3);
+        // EWMA of a constant 100-request interval converges to
+        // 100 slots of traffic on top of the idle slot.
+        assert!(
+            w > 99 * TRAFFIC_UNIT && w <= 101 * TRAFFIC_UNIT,
+            "converged weight {w}"
+        );
+        ledger.observe(3, 0);
+        assert!(ledger.weight(3) < w, "idle intervals decay the weight");
+        ledger.forget(3);
+        assert_eq!(ledger.weight(3), TRAFFIC_UNIT);
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn giant_tenant_overflows_under_traffic_units_but_packs_under_counts() {
+        // The regression the ledger exists for: one tenant carrying ~6
+        // slots of traffic counts as *one slot* under the tenant-count
+        // measure, so its node also receives a full complement of small
+        // tenants; under traffic units the giant consumes its share of
+        // the cap and the small tenants overflow to the other node.
+        // Affinity 1.0 with a single family makes every tenant's
+        // preference list identical, so the split is fully deterministic.
+        let r = ShardRouter::new(nodes(2), 1.0);
+        let mut ledger = TrafficLedger::new();
+        let giant = 0u32;
+        let smalls: Vec<u32> = (1..=20).collect();
+        for _ in 0..32 {
+            ledger.observe(giant, 5); // ≈ 6 slots incl. the idle floor
+        }
+        let population: Vec<u32> = std::iter::once(giant).chain(smalls.clone()).collect();
+        let place = |total: usize, weight_of: &dyn Fn(TenantId) -> usize| {
+            let mut load: BTreeMap<NodeId, usize> = BTreeMap::new();
+            let mut homes: BTreeMap<TenantId, NodeId> = BTreeMap::new();
+            for &tenant in &population {
+                let home = r.assign_bounded(tenant, "m", total, 1.0, |id| {
+                    load.get(&id).copied().unwrap_or(0)
+                });
+                *load.entry(home).or_default() += weight_of(tenant);
+                homes.insert(tenant, home);
+            }
+            (homes, load)
+        };
+        let unit_cap = (ledger.total(population.iter().copied()) as f64 / 2.0).ceil() as u64;
+        // Bounded load admits a tenant while load < cap, so a node can
+        // legitimately overshoot by at most one small tenant's weight.
+        let slack = unit_cap + TRAFFIC_UNIT;
+        // Tenant-count measure: 21 tenants, cap 11 per node — the
+        // giant's node also takes 10 small tenants and carries ~16 slots
+        // of traffic against an ~13-slot fair cap. Pin this as the
+        // must-fail behavior the new measure exists to kill.
+        let (count_homes, _) = place(population.len(), &|_| 1);
+        let giant_home = count_homes[&giant];
+        let count_units: u64 = count_homes
+            .iter()
+            .filter(|(_, home)| **home == giant_home)
+            .map(|(t, _)| ledger.weight(*t))
+            .sum();
+        assert!(
+            count_units > slack,
+            "tenant-count packing must overload the giant's node beyond \
+             any legitimate overshoot ({count_units} units on node \
+             {giant_home}, cap {unit_cap} + slack)"
+        );
+        // Traffic-unit measure: the same population stays within one
+        // small tenant of the cap on every node.
+        let total_units = ledger.total(population.iter().copied()) as usize;
+        let (unit_homes, unit_load) = place(total_units, &|t| ledger.weight(t) as usize);
+        for (node, load) in &unit_load {
+            assert!(
+                (*load as u64) < slack,
+                "node {node} holds {load} units > cap {unit_cap} + slack"
+            );
+        }
+        assert_ne!(
+            unit_homes, count_homes,
+            "the measures must actually disagree on this workload"
+        );
     }
 }

@@ -218,6 +218,25 @@ pub(crate) struct ServeEngine<'t> {
     faults: Option<NodeFaults>,
     /// Current brownout degradation level (0 = full catalog).
     brownout_level: usize,
+    /// Controller-imposed brownout floor: dispatch degrades at
+    /// `max(brownout_level, brownout_floor)`. 0 (the default) is the
+    /// exact pre-controller path.
+    brownout_floor: usize,
+    /// Control-interval counters for the fleet controller (None unless a
+    /// controller is armed — the disabled path carries no state at all).
+    tap: Option<ControlTap>,
+}
+
+/// Per-control-interval counters behind [`ServeEngine::take_control_sample`].
+/// Sampled and reset at every controller tick; pure observation (no
+/// serving decision reads it), so arming the tap never changes outcomes.
+#[derive(Debug, Default)]
+struct ControlTap {
+    arrivals: u64,
+    served: u64,
+    shed: u64,
+    served_by_tenant: BTreeMap<TenantId, u64>,
+    latencies_us: Vec<u64>,
 }
 
 impl<'t> ServeEngine<'t> {
@@ -233,6 +252,8 @@ impl<'t> ServeEngine<'t> {
             inflight: Vec::new(),
             faults: None,
             brownout_level: 0,
+            brownout_floor: 0,
+            tap: None,
         };
         if engine.cfg.fleet_step_period_us > 0 {
             engine.arm(engine.cfg.fleet_step_period_us, Timer::FleetStep);
@@ -259,6 +280,50 @@ impl<'t> ServeEngine<'t> {
     #[cfg(test)]
     pub(crate) fn brownout_level(&self) -> usize {
         self.brownout_level
+    }
+
+    /// Arm (or disarm) the control tap. Armed, the engine accumulates
+    /// per-interval counters for [`ServeEngine::take_control_sample`];
+    /// disarmed (the default) no control state exists at all.
+    pub(crate) fn set_control_tap(&mut self, on: bool) {
+        self.tap = on.then(ControlTap::default);
+    }
+
+    /// Controller brownout nudge: dispatch degrades at
+    /// `max(auto level, floor)`. Setting 0 lifts the nudge.
+    pub(crate) fn set_brownout_floor(&mut self, level: usize) {
+        self.brownout_floor = level;
+    }
+
+    /// Sample-and-reset the control tap at a controller tick: the
+    /// interval's counters plus instantaneous queue state. Deterministic
+    /// (BTreeMap iteration, integer sort), so replay backends produce
+    /// bit-identical samples. Panics if the tap is not armed (a driver
+    /// wiring bug).
+    pub(crate) fn take_control_sample(
+        &mut self,
+        plane: &ServePlane,
+    ) -> crate::controller::ControlSample {
+        let tap = self.tap.as_mut().expect("control tap armed");
+        let taken = std::mem::take(tap);
+        let mut lat = taken.latencies_us;
+        lat.sort_unstable();
+        let p99_us = if lat.is_empty() {
+            0
+        } else {
+            let rank = ((lat.len() as f64) * 0.99).ceil() as usize;
+            lat[rank.clamp(1, lat.len()) - 1]
+        };
+        crate::controller::ControlSample {
+            arrivals: taken.arrivals,
+            served: taken.served,
+            shed: taken.shed,
+            served_by_tenant: taken.served_by_tenant,
+            queue_depth: plane.gateway.total_pending(),
+            inflight: self.inflight.iter().flatten().count(),
+            p99_us,
+            brownout_level: self.brownout_level.max(self.brownout_floor),
+        }
     }
 
     /// Telemetry sink plus interned handles when emission is on (they are
@@ -326,6 +391,11 @@ impl<'t> ServeEngine<'t> {
                         plane.gateway.resolve(r.tenant);
                         let latency = done.done_us - r.arrival_us;
                         self.stats.on_served(latency, done.done_us);
+                        if let Some(tap) = &mut self.tap {
+                            tap.served += 1;
+                            *tap.served_by_tenant.entry(r.tenant).or_default() += 1;
+                            tap.latencies_us.push(latency);
+                        }
                         if let Some((t, m)) = self.tele() {
                             t.incr_id(m.served);
                             t.record_id(m.latency_ms, latency as f64 / 1000.0);
@@ -361,12 +431,18 @@ impl<'t> ServeEngine<'t> {
         let now = request.arrival_us;
         self.step_brownout(plane);
         self.stats.on_arrival(now);
+        if let Some(tap) = &mut self.tap {
+            tap.arrivals += 1;
+        }
         if let Some(obs) = self.observer.as_deref_mut() {
             obs.on_arrival(now);
         }
         match plane.gateway.admit(request) {
             Err(reason) => {
                 self.stats.on_shed(reason);
+                if let Some(tap) = &mut self.tap {
+                    tap.shed += 1;
+                }
                 if let Some((t, m)) = self.tele() {
                     t.incr_id(m.shed[reason.index()]);
                 }
@@ -517,6 +593,9 @@ impl<'t> ServeEngine<'t> {
         let mut orphans = Vec::new();
         for r in doomed {
             self.stats.on_shed(ShedReason::Failover);
+            if let Some(tap) = &mut self.tap {
+                tap.shed += 1;
+            }
             if let Some((t, m)) = self.tele() {
                 t.incr_id(m.shed[ShedReason::Failover.index()]);
             }
@@ -595,6 +674,9 @@ impl<'t> ServeEngine<'t> {
         for r in &expired {
             plane.gateway.resolve_shed(r.tenant, now / 1000);
             self.stats.on_shed(ShedReason::DeadlineExpired);
+            if let Some(tap) = &mut self.tap {
+                tap.shed += 1;
+            }
             if let Some((t, m)) = self.tele() {
                 t.incr_id(m.shed[ShedReason::DeadlineExpired.index()]);
                 t.incr_id(m.refunded);
@@ -608,8 +690,9 @@ impl<'t> ServeEngine<'t> {
         }
         // Route — replan lazily after fleet churn, against the brownout
         // level's (possibly reduced) record set. Level 0 is the exact
-        // pre-brownout path.
-        let level = self.brownout_level;
+        // pre-brownout path. The controller's floor (nudge) composes with
+        // the automatic pressure ladder by max.
+        let level = self.brownout_level.max(self.brownout_floor);
         if !plane.router.has_plan_level(&batch.model, level) {
             if let Some(records) = plane.families.get(&batch.model) {
                 if level == 0 {
@@ -637,6 +720,9 @@ impl<'t> ServeEngine<'t> {
             for r in &live {
                 plane.gateway.resolve_shed(r.tenant, now / 1000);
                 self.stats.on_shed(ShedReason::NoRoute);
+                if let Some(tap) = &mut self.tap {
+                    tap.shed += 1;
+                }
                 if let Some((t, m)) = self.tele() {
                     t.incr_id(m.shed[ShedReason::NoRoute.index()]);
                     t.incr_id(m.refunded);

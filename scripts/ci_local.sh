@@ -95,6 +95,13 @@ if run_stage smoke; then
     jq -e '.rows[-1].brownout_wins == "yes" and .rows[-1].p99_held == "yes"' results/e20_faults_brownout.json
     jq -e '(.rows[-1].succeeded | tonumber) > 0 and (.rows[-1].deadline_denied | tonumber) > 0' results/e20_faults_retry.json
     jq -e '.rows[0].panic_contained == "yes"' results/e20_faults_panic.json
+    banner "e21 autoscale smoke + asserts"
+    cargo run --release -p tinymlops_bench --bin e21_autoscale -- --quick
+    jq -e '.rows[-1].slo_held == "yes" and .rows[-1].controller_wins == "yes"' results/e21_autoscale_elastic.json
+    jq -e '(.rows[-1].joins | tonumber) >= 1 and (.rows[-1].drains | tonumber) >= 1' results/e21_autoscale_elastic.json
+    jq -e '.rows[0].slo_held == "NO"' results/e21_autoscale_elastic.json
+    jq -e '.rows[0].identical == "yes" and (.rows[0].joins | tonumber) >= 1' results/e21_autoscale_parity.json
+    jq -e '.rows[-1].identical == "yes"' results/e21_autoscale_identity.json
 fi
 
 if run_stage bench; then
