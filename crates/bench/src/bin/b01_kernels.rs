@@ -1388,6 +1388,160 @@ fn bench_serving_controlled(quick: bool, entries: &mut Vec<Entry>) {
     }
 }
 
+/// Ingest-queue handoff: the retired mutex/condvar queue vs the
+/// lock-free Vyukov ring that replaced it (PR 10), measured as a paired
+/// producer→consumer handoff — one producer thread pushes `items`
+/// payloads through a bounded queue while the calling thread pops them
+/// all. The datapoint is ns per handoff; the lock-free entry's
+/// `speedup_vs_baseline` is mutex/lock-free (≥ 1 means the replacement
+/// is no slower — the acceptance gate for the swap).
+fn bench_ingest_queue(quick: bool, entries: &mut Vec<Entry>) {
+    use tinymlops_serve::{IngestQueue, MutexIngestQueue};
+
+    let items: u64 = if quick { 20_000 } else { 200_000 };
+    let capacity = 256;
+    let rounds = if quick { 2 } else { 5 };
+
+    fn handoff_ns<Q: Sync>(
+        items: u64,
+        rounds: usize,
+        queue: &Q,
+        push: impl Fn(&Q, u64) -> bool + Sync,
+        pop: impl Fn(&Q) -> Option<u64>,
+    ) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    for i in 0..items {
+                        assert!(push(queue, i), "queue closed mid-bench");
+                    }
+                });
+                let mut next = 0u64;
+                while next < items {
+                    let got = pop(queue).expect("producer still pushing");
+                    assert_eq!(got, next, "FIFO broken");
+                    next += 1;
+                }
+            });
+            best = best.min(start.elapsed().as_secs_f64() * 1e9 / items as f64);
+        }
+        best
+    }
+
+    let mutex_q = MutexIngestQueue::<u64>::new(capacity);
+    let mutex_ns = handoff_ns(items, rounds, &mutex_q, |q, i| q.push(i), |q| q.pop());
+    let lockfree_q = IngestQueue::<u64>::new(capacity);
+    let lockfree_ns = handoff_ns(items, rounds, &lockfree_q, |q, i| q.push(i), |q| q.pop());
+    println!(
+        "ingest queue handoff: mutex {mutex_ns:.0} ns/op vs lock-free {lockfree_ns:.0} ns/op \
+         ({items} items, cap {capacity})"
+    );
+    for (tag, ns) in [("mutex", mutex_ns), ("lockfree", lockfree_ns)] {
+        entries.push(Entry {
+            id: format!("ingest_queue_handoff_{tag}"),
+            group: "ingest_queue",
+            shape: format!("{items}x1prod-cap{capacity}"),
+            reps: rounds,
+            ns_per_op: ns,
+            gflops: None,
+            baseline_id: (tag == "lockfree").then(|| "ingest_queue_handoff_mutex".to_string()),
+            speedup_vs_baseline: (tag == "lockfree").then(|| mutex_ns / lockfree_ns),
+        });
+    }
+}
+
+/// Closed-loop serving driver vs open-loop replay of its own trace: the
+/// closed loop materializes every delivery it makes, and replaying that
+/// trace open loop through an identically provisioned fabric reproduces
+/// the fleet report bit-for-bit. The paired timing therefore isolates
+/// the *driver* overhead (completion tap, client bookkeeping, retry
+/// scheduling) from the serving work, which is identical on both sides.
+fn bench_serving_closed_loop(quick: bool, entries: &mut Vec<Entry>) {
+    use tinymlops_device::{default_mix, Fleet};
+    use tinymlops_serve::{ClientPlan, ClientSpec, RetryPolicy};
+
+    let tenants = 8u32;
+    let clients = if quick { 24 } else { 60 };
+    let duration_us = if quick { 400_000 } else { 2_000_000 };
+    let provision_plan = LoadPlan {
+        tenants: (0..tenants)
+            .map(|i| TenantSpec {
+                id: i + 1,
+                rate_rps: 1.0,
+                model: if i % 2 == 0 { "kws" } else { "vision" }.into(),
+                prepaid_queries: u64::MAX / 2,
+                deadline_us: 50_000,
+            })
+            .collect(),
+        duration_us,
+        seed: SEED,
+        feature_dim: 0,
+    };
+    let build = || {
+        let cfg = FabricConfig {
+            node_weights: vec![1.0; 3],
+            ..Default::default()
+        };
+        let fleets =
+            Fleet::generate(if quick { 12 } else { 24 }, &default_mix(), SEED).partition(3);
+        let mut fabric = ServeFabric::new(&cfg, fleets);
+        fabric.install_family("kws", synthetic_family("kws", 0));
+        fabric.install_family("vision", synthetic_family("vision", 100));
+        fabric.provision(&provision_plan);
+        fabric
+    };
+    let plan = ClientPlan {
+        clients: (0..clients)
+            .map(|c| ClientSpec {
+                tenant: (c % tenants) + 1,
+                model: if c % 2 == 0 { "kws" } else { "vision" }.into(),
+                think_mean_us: 10_000.0,
+                deadline_us: 50_000,
+            })
+            .collect(),
+        duration_us,
+        seed: SEED,
+        feature_dim: 0,
+        retry: RetryPolicy::default(),
+    };
+
+    let mut closed_fabric = build();
+    let start = Instant::now();
+    let closed = closed_fabric.run_closed_loop(&plan).expect("closed loop");
+    let closed_wall_s = start.elapsed().as_secs_f64();
+    let pushes = closed.clients.pushes().max(1) as f64;
+
+    let mut open_fabric = build();
+    let start = Instant::now();
+    let open_report = open_fabric.run(&closed.trace).expect("trace replay");
+    let open_wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        open_report, closed.fabric,
+        "open-loop replay of the closed-loop trace must be bit-identical"
+    );
+    println!(
+        "closed-loop serving: {} pushes from {clients} clients; closed {:.1} ms vs \
+         open trace replay {:.1} ms wall",
+        closed.clients.pushes(),
+        closed_wall_s * 1e3,
+        open_wall_s * 1e3,
+    );
+    for (tag, wall_s) in [("open_trace", open_wall_s), ("closed", closed_wall_s)] {
+        entries.push(Entry {
+            id: format!("serve_closed_loop_{tag}"),
+            group: "serving_closed_loop",
+            shape: format!("{}req-{clients}cl-3node", closed.clients.pushes()),
+            reps: 1,
+            ns_per_op: wall_s * 1e9 / pushes,
+            gflops: None,
+            baseline_id: (tag == "closed").then(|| "serve_closed_loop_open_trace".to_string()),
+            speedup_vs_baseline: (tag == "closed").then(|| open_wall_s / closed_wall_s),
+        });
+    }
+}
+
 /// Append this run to `results/BENCH_kernels.json` (creating the file on
 /// first run), then read it back and parse it as a self-check.
 fn save_and_verify(mode: &str, entries: &[Entry]) {
@@ -1486,9 +1640,11 @@ fn main() {
         bench_serving_faults(quick, &mut entries);
         bench_serving_controlled(quick, &mut entries);
         bench_xnor_serving(quick, &mut entries);
+        bench_serving_closed_loop(quick, &mut entries);
     });
     bench_pool_dispatch(quick, &mut entries);
     bench_serving_live(quick, &mut entries);
+    bench_ingest_queue(quick, &mut entries);
 
     let rows: Vec<Vec<String>> = entries
         .iter()

@@ -1,0 +1,461 @@
+//! E22 — goodput under overload: the closed serving loop.
+//!
+//! Earlier experiments drove the fabric **open loop**: a pre-materialized
+//! arrival stream hits the gateway no matter what the fleet does. Real
+//! tenant populations are *closed* — every client waits for its last
+//! response (or shed) before thinking and issuing again, and retries ride
+//! a jittered exponential backoff. This experiment exercises the whole
+//! response path PR 10 built: per-client completion channels out of the
+//! node threads, the lock-free MPSC ingest queue under them, the shaped
+//! load generator, and the closed-loop drivers. Sections:
+//!
+//! * (a) **replay parity on the lock-free queue** — a ≥100k-request
+//!   open-loop workload through the threaded backend (whose ingest path
+//!   is now the `shims/crossbeam` ArrayQueue ring) must produce counter
+//!   totals bit-identical to the simulator. The mutex queue is gone;
+//!   this is the gate that says the replacement kept the contract.
+//! * (b) **the knee** — a deterministic load sweep through saturation.
+//!   Per level: open-loop shed vs a *managed* fabric (brownout ladder +
+//!   fleet controller over a standby pool) vs the closed-loop client
+//!   population (think times + deadline-aware retry/backoff). Reported
+//!   per level: p50/p99, goodput (served within the absolute deadline),
+//!   shed %, retry amplification, unrefunded sheds. Past the knee the
+//!   managed fabric must shed less than static open loop, goodput must
+//!   not recover, and retry amplification must stay bounded by the
+//!   policy's attempt cap.
+//! * (c) **shaped arrivals** — the non-homogeneous generator (diurnal /
+//!   bursts / flash crowd / adversarial quota-exhaust) against the
+//!   managed fabric: same conservation laws, deterministic streams.
+//! * (d) **wall-clock closed loop** — real client shard threads against
+//!   real node threads over the lock-free queues, `ExecMode::Wall`;
+//!   client-side conservation (issued = served + shed + lost) and wall
+//!   throughput.
+//!
+//! `--quick` shrinks everything to CI-smoke size (same JSON schema).
+
+use tinymlops_bench::{fmt, print_table, save_json, synthetic_family};
+use tinymlops_device::{ClassMix, DeviceClass, Fleet};
+use tinymlops_serve::testkit::{assert_conservation, assert_sim_live_parity};
+use tinymlops_serve::{
+    ArrivalPattern, ClientPlan, ClientSpec, ControllerConfig, FabricConfig, FaultPlan,
+    GatewayConfig, LoadPlan, RetryPolicy, ServeConfig, ServeFabric, TenantSpec,
+};
+
+const SEED: u64 = 22;
+const TENANTS: u32 = 8;
+const PREPAID: u64 = 10_000_000;
+/// Client think time between resolution and next fresh issue.
+const THINK_US: f64 = 10_000.0;
+/// Per-request latency SLO.
+const DEADLINE_US: u64 = 50_000;
+
+/// Homogeneous devices: node weight 1.0 is truthful, so the sweep
+/// measures load, not hardware skew.
+fn uniform_mix() -> ClassMix {
+    [
+        (DeviceClass::McuM7, 1.0),
+        (DeviceClass::McuM7, 0.0),
+        (DeviceClass::McuM7, 0.0),
+        (DeviceClass::McuM7, 0.0),
+        (DeviceClass::McuM7, 0.0),
+        (DeviceClass::McuM7, 0.0),
+    ]
+}
+
+/// Both static and managed fabrics get the same hardware (active nodes
+/// plus standby pool); "static" just leaves the spares dark and the
+/// brownout ladder cold.
+fn sweep_cfg(managed: bool) -> FabricConfig {
+    FabricConfig {
+        node_weights: vec![1.0; 3],
+        serve: ServeConfig {
+            gateway: GatewayConfig {
+                max_pending_per_tenant: 64,
+                max_total_pending: 64,
+            },
+            ..Default::default()
+        },
+        fault: FaultPlan {
+            enabled: managed,
+            events: Vec::new(),
+            brownout: tinymlops_serve::BrownoutConfig {
+                enabled: managed,
+                ..Default::default()
+            },
+        },
+        controller: ControllerConfig {
+            enabled: managed,
+            interval_us: 100_000,
+            tenant_cooldown_us: 250_000,
+            scale_cooldown_us: 300_000,
+            standby_weights: vec![1.0, 1.0],
+            ..ControllerConfig::enabled()
+        },
+        ..Default::default()
+    }
+}
+
+fn fabric(cfg: &FabricConfig, fleet_size: usize) -> ServeFabric {
+    let partitions = cfg.node_weights.len() + cfg.controller.standby_weights.len();
+    let fleets = Fleet::generate(fleet_size, &uniform_mix(), SEED).partition(partitions);
+    let mut f = ServeFabric::new(cfg, fleets);
+    f.install_family("kws", synthetic_family("kws", 0));
+    f.install_family("vision", synthetic_family("vision", 100));
+    f
+}
+
+fn tenant_spec(i: u32, rate_rps: f64) -> TenantSpec {
+    TenantSpec {
+        id: i + 1,
+        rate_rps,
+        model: if i.is_multiple_of(2) { "kws" } else { "vision" }.into(),
+        prepaid_queries: PREPAID,
+        deadline_us: DEADLINE_US,
+    }
+}
+
+fn plan(total_rps: f64, duration_us: u64) -> LoadPlan {
+    LoadPlan {
+        tenants: (0..TENANTS)
+            .map(|i| tenant_spec(i, total_rps / f64::from(TENANTS)))
+            .collect(),
+        duration_us,
+        seed: SEED,
+        feature_dim: 0,
+    }
+}
+
+/// A client population offering ≈ `total_rps` when unloaded: each
+/// client re-issues every ~`THINK_US`, so population = rate × think.
+fn client_plan(total_rps: f64, duration_us: u64) -> ClientPlan {
+    let population = ((total_rps * THINK_US / 1e6).round() as usize).max(1);
+    ClientPlan {
+        clients: (0..population)
+            .map(|c| {
+                let t = (c as u32) % TENANTS;
+                ClientSpec {
+                    tenant: t + 1,
+                    model: if t.is_multiple_of(2) { "kws" } else { "vision" }.into(),
+                    think_mean_us: THINK_US,
+                    deadline_us: DEADLINE_US,
+                }
+            })
+            .collect(),
+        duration_us,
+        seed: SEED,
+        feature_dim: 0,
+        retry: RetryPolicy::default(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "E22: goodput under overload (closed loop, lock-free ingest, managed fabric){}",
+        if quick { " [quick]" } else { "" }
+    );
+
+    // ---- E22a: open-loop replay parity on the lock-free queue --------
+    let (parity_rps, parity_duration_us) = if quick {
+        (3_000.0, 1_000_000)
+    } else {
+        (20_000.0, 6_000_000)
+    };
+    let parity_plan = plan(parity_rps, parity_duration_us);
+    let parity_stream = parity_plan.generate();
+    if !quick {
+        assert!(
+            parity_stream.len() >= 100_000,
+            "parity must cover ≥100k requests, got {}",
+            parity_stream.len()
+        );
+    }
+    let static_cfg = sweep_cfg(false);
+    let outcome = assert_sim_live_parity(
+        || {
+            let mut f = fabric(&static_cfg, if quick { 30 } else { 60 });
+            f.provision(&parity_plan);
+            f
+        },
+        &parity_stream,
+        &[],
+    );
+    assert_eq!(outcome.report.unrefunded_sheds(), 0);
+    let headers_a = [
+        "requests",
+        "served",
+        "shed",
+        "refunds",
+        "unrefunded",
+        "p99 ms",
+        "identical",
+    ];
+    let rows_a = vec![vec![
+        parity_stream.len().to_string(),
+        outcome.report.fleet.served.to_string(),
+        outcome.report.fleet.shed_total.to_string(),
+        outcome.report.refunds.to_string(),
+        outcome.report.unrefunded_sheds().to_string(),
+        fmt(outcome.report.fleet.p99_ms, 2),
+        "yes".into(), // assert_sim_live_parity already proved it
+    ]];
+    print_table(
+        "E22a sim ≡ live replay parity (lock-free ingest queue)",
+        &headers_a,
+        &rows_a,
+    );
+    save_json("e22_overload_parity", &headers_a, &rows_a);
+
+    // ---- E22b: the knee — load sweep through saturation --------------
+    let sweep_duration_us = if quick { 1_000_000 } else { 3_000_000 };
+    let fleet_size = if quick { 30 } else { 60 };
+    let levels: &[f64] = if quick {
+        &[1_000.0, 8_000.0, 16_000.0, 32_000.0, 64_000.0]
+    } else {
+        &[1_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0, 64_000.0]
+    };
+    let managed_cfg = sweep_cfg(true);
+    let mut rows_b = Vec::new();
+    let mut goodputs = Vec::new();
+    let mut open_sheds = Vec::new();
+    let mut managed_sheds = Vec::new();
+    for &rps in levels {
+        let open_plan = plan(rps, sweep_duration_us);
+        let stream = open_plan.generate();
+
+        // Static open loop: the arrival stream does not care what the
+        // fleet does.
+        let mut open = fabric(&static_cfg, fleet_size);
+        open.provision(&open_plan);
+        let open_report = open.run(&stream).expect("open-loop run");
+        let open_shed = open_report.fleet.shed_total as f64 / stream.len().max(1) as f64;
+
+        // Managed open loop: same hardware, brownout ladder + controller
+        // with a standby pool.
+        let mut managed = fabric(&managed_cfg, fleet_size);
+        managed.provision(&open_plan);
+        let managed_report = managed.run(&stream).expect("managed run");
+        let managed_shed = managed_report.fleet.shed_total as f64 / stream.len().max(1) as f64;
+        assert_eq!(managed_report.unrefunded_sheds(), 0);
+
+        // Closed loop: the population only offers what the fleet's
+        // responses let it.
+        let cplan = client_plan(rps, sweep_duration_us);
+        let mut closed = fabric(&static_cfg, fleet_size);
+        closed.provision(&LoadPlan {
+            tenants: (0..TENANTS).map(|i| tenant_spec(i, 1.0)).collect(),
+            duration_us: sweep_duration_us,
+            seed: SEED,
+            feature_dim: 0,
+        });
+        let closed_report = closed.run_closed_loop(&cplan).expect("closed-loop run");
+        let clients = &closed_report.clients;
+        assert_eq!(closed_report.fabric.unrefunded_sheds(), 0);
+        assert!(
+            clients.retry_amplification() <= 1.0 + f64::from(cplan.retry.max_attempts),
+            "retry amplification must stay bounded by the attempt cap"
+        );
+
+        goodputs.push(clients.goodput_fraction());
+        open_sheds.push(open_shed);
+        managed_sheds.push(managed_shed);
+        rows_b.push(vec![
+            fmt(rps, 0),
+            cplan.clients.len().to_string(),
+            fmt(open_shed * 100.0, 2),
+            fmt(managed_shed * 100.0, 2),
+            fmt(clients.goodput_fraction() * 100.0, 2),
+            fmt(clients.retry_amplification(), 3),
+            fmt(clients.latency_us(50.0) as f64 / 1e3, 2),
+            fmt(clients.latency_us(99.0) as f64 / 1e3, 2),
+            closed_report.fabric.unrefunded_sheds().to_string(),
+        ]);
+    }
+    // The knee: goodput must not recover once it starts falling.
+    let knee = goodputs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    for w in goodputs[knee..].windows(2) {
+        assert!(
+            w[1] <= w[0] + 1e-9,
+            "goodput must be monotone non-increasing past the knee: {goodputs:?}"
+        );
+    }
+    // Past the knee the managed fabric must beat static open-loop shed.
+    let top = levels.len() - 1;
+    assert!(
+        managed_sheds[top] < open_sheds[top],
+        "brownout + controller must shed less than static at the top level \
+         ({:.4} vs {:.4})",
+        managed_sheds[top],
+        open_sheds[top]
+    );
+    let headers_b = [
+        "offered rps",
+        "clients",
+        "open shed %",
+        "managed shed %",
+        "goodput %",
+        "retry amp",
+        "p50 ms",
+        "p99 ms",
+        "unrefunded",
+    ];
+    print_table(
+        "E22b load sweep through saturation (open vs managed vs closed loop)",
+        &headers_b,
+        &rows_b,
+    );
+    save_json("e22_overload_knee", &headers_b, &rows_b);
+
+    // ---- E22c: shaped arrivals against the managed fabric ------------
+    let shaped_rps = if quick { 1_500.0 } else { 3_000.0 };
+    let shaped_duration_us = if quick { 1_000_000 } else { 2_000_000 };
+    let shaped_plan = plan(shaped_rps, shaped_duration_us);
+    let patterns: [(&str, ArrivalPattern); 4] = [
+        (
+            "diurnal",
+            ArrivalPattern::Diurnal {
+                period_us: shaped_duration_us,
+                amplitude: 0.8,
+            },
+        ),
+        (
+            "bursts",
+            ArrivalPattern::Bursts {
+                period_us: shaped_duration_us / 5,
+                width_us: shaped_duration_us / 50,
+                height: 8.0,
+            },
+        ),
+        (
+            "flash-crowd",
+            ArrivalPattern::FlashCrowd {
+                at_us: shaped_duration_us / 2,
+                ramp_us: shaped_duration_us / 20,
+                hold_us: shaped_duration_us / 10,
+                decay_us: shaped_duration_us / 20,
+                peak: 6.0,
+            },
+        ),
+        (
+            "quota-exhaust",
+            ArrivalPattern::QuotaExhaust { multiplier: 8.0 },
+        ),
+    ];
+    let mut rows_c = Vec::new();
+    for (name, pattern) in &patterns {
+        let mut shaped_load = shaped_plan.clone();
+        if *name == "quota-exhaust" {
+            // The adversary burns a small prepaid balance, then keeps
+            // hammering: every post-burn arrival is a quota denial.
+            for t in &mut shaped_load.tenants {
+                t.prepaid_queries = 200;
+            }
+        }
+        let stream = shaped_load.generate_shaped(pattern);
+        let mut f = fabric(&managed_cfg, fleet_size);
+        f.provision(&shaped_load);
+        let report = f.run(&stream).expect("shaped run");
+        assert_conservation(
+            &f,
+            &report,
+            stream.len() as u64,
+            shaped_load
+                .tenants
+                .iter()
+                .map(|t| t.prepaid_queries)
+                .sum::<u64>(),
+        );
+        rows_c.push(vec![
+            (*name).to_string(),
+            stream.len().to_string(),
+            report.fleet.served.to_string(),
+            fmt(
+                report.fleet.shed_total as f64 / stream.len().max(1) as f64 * 100.0,
+                2,
+            ),
+            fmt(report.fleet.p99_ms, 2),
+            report.unrefunded_sheds().to_string(),
+        ]);
+    }
+    let headers_c = [
+        "pattern",
+        "arrivals",
+        "served",
+        "shed %",
+        "p99 ms",
+        "unrefunded",
+    ];
+    print_table(
+        "E22c shaped arrivals (managed fabric, conservation checked)",
+        &headers_c,
+        &rows_c,
+    );
+    save_json("e22_overload_shaped", &headers_c, &rows_c);
+
+    // ---- E22d: wall-clock closed loop ---------------------------------
+    let wall_plan = client_plan(
+        if quick { 1_000.0 } else { 2_000.0 },
+        if quick { 250_000 } else { 500_000 },
+    );
+    let mut wall_fabric = fabric(&static_cfg, if quick { 30 } else { 60 });
+    wall_fabric.provision(&LoadPlan {
+        tenants: (0..TENANTS).map(|i| tenant_spec(i, 1.0)).collect(),
+        duration_us: wall_plan.duration_us,
+        seed: SEED,
+        feature_dim: 0,
+    });
+    let wall = wall_fabric
+        .run_closed_loop_wall(&wall_plan, 256)
+        .expect("wall closed loop");
+    let wc = &wall.clients;
+    assert_eq!(
+        wc.served + wc.shed_final + wc.lost,
+        wc.issued,
+        "client-side conservation: every first attempt resolves exactly once"
+    );
+    assert!(
+        wall.fabric.refunds_balance(),
+        "wall closed loop: refunds must match downstream sheds"
+    );
+    let wall_rps = wc.pushes() as f64 / (wall.wall_ms / 1e3);
+    let headers_d = [
+        "clients",
+        "issued",
+        "pushes",
+        "served",
+        "goodput %",
+        "shed",
+        "lost",
+        "wall ms",
+        "req/s (wall)",
+    ];
+    let rows_d = vec![vec![
+        wall_plan.clients.len().to_string(),
+        wc.issued.to_string(),
+        wc.pushes().to_string(),
+        wc.served.to_string(),
+        fmt(wc.goodput_fraction() * 100.0, 2),
+        wc.shed_final.to_string(),
+        wc.lost.to_string(),
+        fmt(wall.wall_ms, 0),
+        fmt(wall_rps, 0),
+    ]];
+    print_table(
+        "E22d wall-clock closed loop (client threads ↔ node threads)",
+        &headers_d,
+        &rows_d,
+    );
+    save_json("e22_overload_wall", &headers_d, &rows_d);
+
+    println!(
+        "\nE22 complete: lock-free replay bit-identical; goodput knee at level {} \
+         ({} levels swept); managed fabric sheds less than static past the knee.",
+        knee + 1,
+        levels.len()
+    );
+}

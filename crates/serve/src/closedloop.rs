@@ -1,0 +1,1070 @@
+//! Closed-loop client population over the serving fabric.
+//!
+//! The open-loop generator ([`crate::LoadPlan`]) fixes the arrival
+//! schedule up front: requests land at their scheduled instants no
+//! matter how the plane is doing, which is the right model for knee
+//! finding but the wrong one for real clients. A *closed-loop*
+//! population issues a request, waits for its outcome, thinks for a
+//! seeded exponential gap, and only then issues the next one — so the
+//! offered rate is a function of observed latency, and overload shows
+//! up as the textbook goodput collapse instead of an unbounded queue.
+//!
+//! The response leg is the engine's completion tap
+//! ([`crate::request::Completion`]): every delivered arrival resolves
+//! exactly once (served, admission shed, downstream shed, or failover),
+//! and the driver routes that resolution back to the issuing client.
+//! Retryable sheds re-enter through the same jittered-exponential
+//! machinery as [`crate::ServeFabric::run_with_retries`]
+//! ([`crate::schedule_retry`]): per-tenant token buckets, per-request
+//! attempt caps, and absolute-deadline preservation — a retry never
+//! outlives the deadline the first attempt promised.
+//!
+//! Two drivers share the client logic:
+//!
+//! * [`ServeFabric::run_closed_loop`] — deterministic discrete-event
+//!   driver on the simulator engines. Same seed ⇒ identical issue/
+//!   retry/think trace, and the materialized trace replayed through
+//!   [`ServeFabric::run`] on an identical fabric reproduces the fleet
+//!   report bit-for-bit (the driver fires exactly the timers the
+//!   open-loop replay would, at the same logical instants).
+//! * [`ServeFabric::run_closed_loop_wall`] — honest wall-clock clients:
+//!   client shard threads (one per core, capped at the population size)
+//!   push arrivals into the nodes' lock-free ingest queues and block on
+//!   per-shard completion channels. Deterministic only in its
+//!   conservation laws, like [`crate::ExecMode::Wall`].
+
+use crate::clock::{Clock, WallClock};
+use crate::fabric::{FabricNode, FabricReport, RetryStats, ServeFabric};
+use crate::fault::{
+    retryable, schedule_retry, NodeFaults, RetryBudget, RetryDecision, RetryPolicy,
+};
+use crate::observer::NodeObserver;
+use crate::request::{Completion, Disposition, Request, RequestId, TenantId};
+use crate::shard::NodeId;
+use crate::sim::{ServeEngine, ServePlane};
+use crate::ServeError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Client index lives in the id's high bits so the wall-mode completion
+/// router can find the owning shard without a lookup table.
+pub(crate) const CLIENT_SHIFT: u32 = 32;
+
+/// Routes completions from node workers back to the client shard that
+/// issued the request (wall mode only). Cloned into each worker; the
+/// senders are unbounded, so a worker never blocks on a slow client.
+#[derive(Clone)]
+pub(crate) struct CompletionSink {
+    pub(crate) senders: Vec<mpsc::Sender<Completion>>,
+}
+
+impl CompletionSink {
+    pub(crate) fn forward(&self, completion: Completion) {
+        let shard = ((completion.id >> CLIENT_SHIFT) as usize) % self.senders.len().max(1);
+        // A gone receiver means its shard already finished (or gave up);
+        // the completion is simply unobserved, like a closed browser tab.
+        let _ = self.senders[shard].send(completion);
+    }
+}
+
+/// One closed-loop client's behaviour contract.
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// Tenant this client bills against.
+    pub tenant: TenantId,
+    /// Model family it queries.
+    pub model: String,
+    /// Mean think time between a resolution and the next issue,
+    /// microseconds (exponential, seeded; ≤ 0 = re-issue after the
+    /// minimum 1µs gap).
+    pub think_mean_us: f64,
+    /// Per-request latency SLO in microseconds.
+    pub deadline_us: u64,
+}
+
+/// A whole closed-loop run: the population, its window, and the retry
+/// contract every client follows.
+#[derive(Debug, Clone)]
+pub struct ClientPlan {
+    /// The client population (index = client id).
+    pub clients: Vec<ClientSpec>,
+    /// Issue window, microseconds: no *fresh* request is issued at or
+    /// past this instant (outstanding work and scheduled retries still
+    /// resolve, so the run drains cleanly).
+    pub duration_us: u64,
+    /// Master seed for think times, first-issue offsets and features.
+    pub seed: u64,
+    /// Feature dimension synthesized per request (0 = cost model only).
+    pub feature_dim: usize,
+    /// Retry contract (attempts, backoff, per-tenant budget, jitter).
+    /// `max_attempts: 0` disables retries entirely.
+    pub retry: RetryPolicy,
+}
+
+/// What the client population observed — the demand-side complement of
+/// the supply-side [`FabricReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClosedLoopStats {
+    /// First-attempt requests issued.
+    pub issued: u64,
+    /// Retry re-deliveries issued.
+    pub retries: u64,
+    /// Requests that ultimately resolved as served.
+    pub served: u64,
+    /// Served *within the absolute deadline* — the goodput numerator.
+    pub goodput: u64,
+    /// Requests whose final resolution was a shed (retries exhausted,
+    /// denied, or the reason was not retryable).
+    pub shed_final: u64,
+    /// Wall mode only: requests that never resolved (node died with the
+    /// work, or the run's grace window expired). Always 0 in the
+    /// deterministic driver.
+    pub lost: u64,
+    /// What the retry machinery did (same counters as
+    /// [`ServeFabric::run_with_retries`]).
+    pub retry: RetryStats,
+    /// Client-perceived latency of served requests, first issue to final
+    /// resolution (includes backoff waits), sorted ascending.
+    latencies: Vec<u64>,
+}
+
+impl ClosedLoopStats {
+    /// Total deliveries pushed at the fabric (first attempts + retries).
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.issued + self.retries
+    }
+
+    /// Deliveries per first attempt — 1.0 means no retry pressure; the
+    /// overload bench gates this staying bounded past the knee.
+    #[must_use]
+    pub fn retry_amplification(&self) -> f64 {
+        if self.issued == 0 {
+            return 0.0;
+        }
+        self.pushes() as f64 / self.issued as f64
+    }
+
+    /// Fraction of first attempts that were served within deadline.
+    #[must_use]
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.issued == 0 {
+            return 0.0;
+        }
+        self.goodput as f64 / self.issued as f64
+    }
+
+    /// Nearest-rank percentile of client-perceived served latency,
+    /// microseconds (`pct` in (0, 100]); 0 when nothing was served.
+    #[must_use]
+    pub fn latency_us(&self, pct: f64) -> u64 {
+        let n = self.latencies.len();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * n as f64).ceil() as usize;
+        self.latencies[rank.clamp(1, n) - 1]
+    }
+
+    /// Fold another shard's counters into this one.
+    fn merge(&mut self, other: &ClosedLoopStats) {
+        self.issued += other.issued;
+        self.retries += other.retries;
+        self.served += other.served;
+        self.goodput += other.goodput;
+        self.shed_final += other.shed_final;
+        self.lost += other.lost;
+        self.retry.scheduled += other.retry.scheduled;
+        self.retry.succeeded += other.retry.succeeded;
+        self.retry.attempts_exhausted += other.retry.attempts_exhausted;
+        self.retry.deadline_denied += other.retry.deadline_denied;
+        self.retry.budget_denied += other.retry.budget_denied;
+        self.latencies.extend_from_slice(&other.latencies);
+    }
+
+    fn finalize(&mut self) {
+        self.latencies.sort_unstable();
+    }
+}
+
+/// Result of a deterministic closed-loop run.
+#[derive(Debug)]
+pub struct ClosedLoopReport {
+    /// The supply side: the same merged fleet report an open-loop run
+    /// produces.
+    pub fabric: FabricReport,
+    /// The demand side: what the client population observed.
+    pub clients: ClosedLoopStats,
+    /// Every delivery in arrival order — a valid open-loop stream.
+    /// Replaying it through [`ServeFabric::run`] on an identically
+    /// provisioned fabric reproduces `fabric` bit-for-bit.
+    pub trace: Vec<Request>,
+}
+
+/// Result of a wall-clock closed-loop run.
+#[derive(Debug)]
+pub struct ClosedLoopLiveReport {
+    /// The merged fleet report (conservation laws hold; timings are
+    /// real elapsed microseconds, so no bit-parity claim).
+    pub fabric: FabricReport,
+    /// What the client population observed.
+    pub clients: ClosedLoopStats,
+    /// Wall-clock time for the whole threaded pipeline, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// One scheduled (re-)issue: the client, which attempt this is, and the
+/// request exactly as it will be delivered.
+struct IssueEvent {
+    client: usize,
+    attempt: u32,
+    first_issue_us: u64,
+    request: Request,
+}
+
+/// One delivery awaiting its completion.
+struct PendingReq {
+    client: usize,
+    attempt: u32,
+    first_issue_us: u64,
+    request: Request,
+}
+
+/// Exponential think gap (same draw idiom as the open-loop generator),
+/// clamped to ≥ 1µs so a rejection storm against a zero-think
+/// population still advances the clock — without the clamp, an
+/// instantly-shed request whose retry is denied would re-issue at the
+/// same instant forever.
+fn exp_gap_us(rng: &mut StdRng, mean_us: f64) -> u64 {
+    if mean_us <= 0.0 {
+        return 1;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    ((-u.ln() * mean_us) as u64).max(1)
+}
+
+/// Per-client seeded rng, decorrelated the same way the open-loop
+/// generator decorrelates tenants.
+fn client_rng(seed: u64, client: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0x9e37_79b9u64.wrapping_mul(client as u64 + 1))
+}
+
+/// Build one fresh first-attempt request for `client`.
+fn make_request(
+    client: usize,
+    spec: &ClientSpec,
+    rng: &mut StdRng,
+    at_us: u64,
+    feature_dim: usize,
+    next_seq: &mut u64,
+) -> Request {
+    let id = ((client as u64) << CLIENT_SHIFT) | *next_seq;
+    *next_seq += 1;
+    let features = (feature_dim > 0).then(|| {
+        (0..feature_dim)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect()
+    });
+    Request {
+        id,
+        tenant: spec.tenant,
+        model: spec.model.clone(),
+        arrival_us: at_us,
+        deadline_us: spec.deadline_us,
+        features,
+    }
+}
+
+/// Shared per-completion client logic: resolve the pending entry,
+/// account the outcome, schedule a retry or the next think-gapped fresh
+/// issue. `now_us` is when the client *learns* the outcome (logical
+/// resolution time in the sim driver, wall time in the live one).
+#[allow(clippy::too_many_arguments)] // internal driver plumbing, not an API
+fn on_completion(
+    completion: &Completion,
+    now_us: u64,
+    plan: &ClientPlan,
+    pending: &mut BTreeMap<RequestId, PendingReq>,
+    events: &mut BTreeMap<(u64, u64), IssueEvent>,
+    seq: &mut u64,
+    client_rngs: &mut [StdRng],
+    client_seqs: &mut [u64],
+    budgets: &mut BTreeMap<TenantId, RetryBudget>,
+    retry_rng: &mut StdRng,
+    stats: &mut ClosedLoopStats,
+) {
+    // Wall mode can resolve a request the shard already wrote off as
+    // lost (grace window expired); the sim driver never does.
+    let Some(p) = pending.remove(&completion.id) else {
+        return;
+    };
+    let spec = &plan.clients[p.client];
+    let mut think_next = |events: &mut BTreeMap<(u64, u64), IssueEvent>, seq: &mut u64| {
+        let rng = &mut client_rngs[p.client];
+        let at = now_us.saturating_add(exp_gap_us(rng, spec.think_mean_us));
+        if at >= plan.duration_us {
+            return;
+        }
+        let request = make_request(
+            p.client,
+            spec,
+            rng,
+            at,
+            plan.feature_dim,
+            &mut client_seqs[p.client],
+        );
+        events.insert(
+            (at, *seq),
+            IssueEvent {
+                client: p.client,
+                attempt: 0,
+                first_issue_us: at,
+                request,
+            },
+        );
+        *seq += 1;
+    };
+    match completion.disposition {
+        Disposition::Served { .. } => {
+            stats.served += 1;
+            if p.attempt > 0 {
+                stats.retry.succeeded += 1;
+            }
+            if completion.at_us <= p.request.deadline_abs_us() {
+                stats.goodput += 1;
+            }
+            stats
+                .latencies
+                .push(completion.at_us.saturating_sub(p.first_issue_us));
+            think_next(events, seq);
+        }
+        Disposition::Shed(reason) if retryable(reason) && plan.retry.max_attempts > 0 => {
+            let budget = budgets
+                .entry(p.request.tenant)
+                .or_insert_with(|| RetryBudget::new(&plan.retry, now_us));
+            match schedule_retry(
+                &plan.retry,
+                budget,
+                &p.request,
+                p.attempt + 1,
+                now_us,
+                retry_rng,
+            ) {
+                RetryDecision::At(at) => {
+                    let mut again = p.request.clone();
+                    // Keep the *absolute* deadline: the clock does not
+                    // restart because we retried.
+                    again.deadline_us = p.request.deadline_abs_us() - at;
+                    again.arrival_us = at;
+                    events.insert(
+                        (at, *seq),
+                        IssueEvent {
+                            client: p.client,
+                            attempt: p.attempt + 1,
+                            first_issue_us: p.first_issue_us,
+                            request: again,
+                        },
+                    );
+                    *seq += 1;
+                    stats.retry.scheduled += 1;
+                }
+                RetryDecision::AttemptsExhausted => {
+                    stats.retry.attempts_exhausted += 1;
+                    stats.shed_final += 1;
+                    think_next(events, seq);
+                }
+                RetryDecision::DeadlineExceeded => {
+                    stats.retry.deadline_denied += 1;
+                    stats.shed_final += 1;
+                    think_next(events, seq);
+                }
+                RetryDecision::BudgetExhausted => {
+                    stats.retry.budget_denied += 1;
+                    stats.shed_final += 1;
+                    think_next(events, seq);
+                }
+            }
+        }
+        Disposition::Shed(_) => {
+            stats.shed_final += 1;
+            think_next(events, seq);
+        }
+    }
+}
+
+impl ServeFabric {
+    /// Drive a closed-loop client population through the fabric on the
+    /// simulator's discrete-event engines.
+    ///
+    /// The driver interleaves two event sources on one logical clock:
+    /// client (re-)issues and the engines' own timers (batch flushes,
+    /// completions). Timers at the same instant as an issue fire first,
+    /// exactly as in the open-loop replay, so the materialized
+    /// [`ClosedLoopReport::trace`] replayed through [`ServeFabric::run`]
+    /// on an identically provisioned fabric reproduces the fleet report
+    /// bit-for-bit. Fully deterministic: same plan (and seed), same
+    /// trace, same report.
+    ///
+    /// Scheduled fault-plan triggers and the elasticity controller do
+    /// not fire in this driver (closed-loop runs measure the
+    /// demand/supply feedback loop in isolation); provision the fabric
+    /// without them.
+    pub fn run_closed_loop(&mut self, plan: &ClientPlan) -> Result<ClosedLoopReport, ServeError> {
+        if self
+            .nodes()
+            .iter()
+            .any(|n| n.plane.family_names().is_empty())
+        {
+            return Err(ServeError::NoFamilies);
+        }
+        let refunded_before = self.refunded_total();
+        let serve_cfg = self.serve_config().clone();
+        let observe_cfg = self.observe_config().clone();
+        let fault_plan = self.fault_plan().clone();
+        let mut stats = ClosedLoopStats::default();
+        let mut trace: Vec<Request> = Vec::new();
+
+        let per_node: Vec<(NodeId, crate::stats::ServeStats)> = {
+            let (nodes, shard_router, assignments, _traffic) = self.split_live();
+            struct Ctx<'n> {
+                id: NodeId,
+                plane: &'n mut ServePlane,
+                engine: ServeEngine<'n>,
+            }
+            let mut ctxs: Vec<Ctx> = nodes
+                .iter_mut()
+                .map(|node| {
+                    let FabricNode {
+                        id,
+                        plane,
+                        telemetry,
+                    } = node;
+                    let mut engine = ServeEngine::new(serve_cfg.clone(), Some(&*telemetry));
+                    if observe_cfg.enabled {
+                        engine.set_observer(Some(Box::new(NodeObserver::new(
+                            *id,
+                            observe_cfg.clone(),
+                        ))));
+                    }
+                    engine.set_faults(NodeFaults::for_node(&fault_plan, *id, false));
+                    engine.set_completion_tap(true);
+                    Ctx {
+                        id: *id,
+                        plane,
+                        engine,
+                    }
+                })
+                .collect();
+            let index: BTreeMap<NodeId, usize> =
+                ctxs.iter().enumerate().map(|(i, c)| (c.id, i)).collect();
+
+            let mut events: BTreeMap<(u64, u64), IssueEvent> = BTreeMap::new();
+            let mut seq: u64 = 0;
+            let mut pending: BTreeMap<RequestId, PendingReq> = BTreeMap::new();
+            let mut budgets: BTreeMap<TenantId, RetryBudget> = BTreeMap::new();
+            let mut retry_rng = StdRng::seed_from_u64(plan.retry.seed);
+            let mut client_rngs: Vec<StdRng> = Vec::with_capacity(plan.clients.len());
+            let mut client_seqs: Vec<u64> = vec![0; plan.clients.len()];
+
+            for (i, spec) in plan.clients.iter().enumerate() {
+                let mut rng = client_rng(plan.seed, i);
+                let at = exp_gap_us(&mut rng, spec.think_mean_us);
+                if at < plan.duration_us {
+                    let request =
+                        make_request(i, spec, &mut rng, at, plan.feature_dim, &mut client_seqs[i]);
+                    events.insert(
+                        (at, seq),
+                        IssueEvent {
+                            client: i,
+                            attempt: 0,
+                            first_issue_us: at,
+                            request,
+                        },
+                    );
+                    seq += 1;
+                }
+                client_rngs.push(rng);
+            }
+
+            loop {
+                let next_issue = events.keys().next().copied();
+                let next_timer = ctxs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, c)| c.engine.next_timer_us().map(|t| (t, i)))
+                    .min();
+                // Timers due at or before the next issue fire first —
+                // the same order `run_timers_through` imposes inside the
+                // open-loop replay, which is what makes the trace
+                // replayable bit-for-bit.
+                let fire_timer = match (next_issue, next_timer) {
+                    (None, None) => break,
+                    (None, Some(_)) => true,
+                    (Some(_), None) => false,
+                    (Some((at, _)), Some((t, _))) => t <= at,
+                };
+                let completions: Vec<Completion> = if fire_timer {
+                    let (t, node) = next_timer.expect("matched above");
+                    let ctx = &mut ctxs[node];
+                    ctx.engine.run_timers_through(ctx.plane, t, true);
+                    ctx.engine.take_completions()
+                } else {
+                    let key = next_issue.expect("matched above");
+                    let issue = events.remove(&key).expect("peeked");
+                    let request = issue.request;
+                    let home = match assignments.get(&request.tenant) {
+                        Some((node, _)) => *node,
+                        None => shard_router.assign(request.tenant, &request.model),
+                    };
+                    let ctx = &mut ctxs[index[&home]];
+                    ctx.engine
+                        .run_timers_through(ctx.plane, request.arrival_us, true);
+                    let _ = ctx.engine.on_arrival(ctx.plane, &request);
+                    if issue.attempt == 0 {
+                        stats.issued += 1;
+                    } else {
+                        stats.retries += 1;
+                    }
+                    pending.insert(
+                        request.id,
+                        PendingReq {
+                            client: issue.client,
+                            attempt: issue.attempt,
+                            first_issue_us: issue.first_issue_us,
+                            request: request.clone(),
+                        },
+                    );
+                    trace.push(request);
+                    ctx.engine.take_completions()
+                };
+                for completion in &completions {
+                    on_completion(
+                        completion,
+                        completion.at_us,
+                        plan,
+                        &mut pending,
+                        &mut events,
+                        &mut seq,
+                        &mut client_rngs,
+                        &mut client_seqs,
+                        &mut budgets,
+                        &mut retry_rng,
+                        &mut stats,
+                    );
+                }
+            }
+            debug_assert!(pending.is_empty(), "every delivery resolves exactly once");
+            ctxs.into_iter()
+                .map(|ctx| {
+                    let Ctx { id, plane, engine } = ctx;
+                    (id, engine.finish(plane))
+                })
+                .collect()
+        };
+        let fabric = self.assemble_report(per_node, refunded_before, Vec::new());
+        stats.finalize();
+        Ok(ClosedLoopReport {
+            fabric,
+            clients: stats,
+            trace,
+        })
+    }
+
+    /// Drive a closed-loop client population through the fabric's
+    /// wall-clock backend: one OS thread per serving node (the same
+    /// [`crate::exec`] workers behind the lock-free ingest queues) plus
+    /// one client-shard thread per core (capped at the population size).
+    /// Each shard owns a slice of the clients, pushes their arrivals
+    /// into the home node's bounded queue — a full queue blocks the
+    /// shard, which *is* the closed loop's backpressure — and blocks on
+    /// its completion channel for the response leg. Think times and
+    /// retry jitter draw from the same seeded streams as the
+    /// deterministic driver; timings are real, so only conservation
+    /// laws (not bit-parity) are guaranteed.
+    pub fn run_closed_loop_wall(
+        &mut self,
+        plan: &ClientPlan,
+        queue_capacity: usize,
+    ) -> Result<ClosedLoopLiveReport, ServeError> {
+        use crate::exec::{node_worker, ExecMode, Ingest, IngestQueue};
+        if self
+            .nodes()
+            .iter()
+            .any(|n| n.plane.family_names().is_empty())
+        {
+            return Err(ServeError::NoFamilies);
+        }
+        let refunded_before = self.refunded_total();
+        let serve_cfg = self.serve_config().clone();
+        let observe_cfg = self.observe_config().clone();
+        let fault_plan = self.fault_plan().clone();
+        let wall = WallClock::new();
+        let start = std::time::Instant::now();
+
+        let shards = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(plan.clients.len())
+            .max(1);
+
+        let (per_node, mut stats) = {
+            let (nodes, shard_router, assignments, _traffic) = self.split_live();
+            let queues: Vec<IngestQueue<Ingest>> = nodes
+                .iter()
+                .map(|_| IngestQueue::new(queue_capacity))
+                .collect();
+            let node_ids: Vec<NodeId> = nodes.iter().map(|n| n.id).collect();
+            let index_of: BTreeMap<NodeId, usize> =
+                nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+            // Static routing snapshot: closed-loop wall runs do not
+            // migrate tenants, so each client's home node is fixed.
+            let home_of: Vec<usize> = plan
+                .clients
+                .iter()
+                .map(|c| {
+                    let node = match assignments.get(&c.tenant) {
+                        Some((node, _)) => *node,
+                        None => shard_router.assign(c.tenant, &c.model),
+                    };
+                    index_of[&node]
+                })
+                .collect();
+            let mut txs = Vec::with_capacity(shards);
+            let mut rxs = Vec::with_capacity(shards);
+            for _ in 0..shards {
+                let (tx, rx) = mpsc::channel();
+                txs.push(tx);
+                rxs.push(rx);
+            }
+            let sink = CompletionSink { senders: txs };
+
+            type JoinOutcome = std::thread::Result<Result<crate::stats::ServeStats, ServeError>>;
+            let (node_results, shard_stats): (Vec<JoinOutcome>, Vec<ClosedLoopStats>) =
+                std::thread::scope(|s| {
+                    let node_handles: Vec<_> = nodes
+                        .iter_mut()
+                        .zip(&queues)
+                        .map(|(node, queue)| {
+                            let serve_cfg = &serve_cfg;
+                            let wall = &wall;
+                            let observer = observe_cfg
+                                .enabled
+                                .then(|| Box::new(NodeObserver::new(node.id, observe_cfg.clone())));
+                            let faults = NodeFaults::for_node(&fault_plan, node.id, false);
+                            let plane = &mut node.plane;
+                            let telemetry = &node.telemetry;
+                            let sink = sink.clone();
+                            s.spawn(move || {
+                                node_worker(
+                                    plane,
+                                    telemetry,
+                                    serve_cfg,
+                                    observer,
+                                    faults,
+                                    queue,
+                                    ExecMode::Wall,
+                                    wall,
+                                    false,
+                                    Some(sink),
+                                )
+                            })
+                        })
+                        .collect();
+                    // The scope's copy of the senders is dropped here so
+                    // shard receivers disconnect once every worker exits.
+                    drop(sink);
+                    let shard_handles: Vec<_> = rxs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(shard, rx)| {
+                            let queues = &queues;
+                            let home_of = &home_of;
+                            let wall = &wall;
+                            s.spawn(move || {
+                                client_shard(shard, shards, plan, home_of, queues, rx, wall)
+                            })
+                        })
+                        .collect();
+                    let shard_stats = shard_handles
+                        .into_iter()
+                        .map(|h| h.join().expect("client shards do not panic"))
+                        .collect();
+                    // All clients are done: no more pushes, ever. Close
+                    // the queues so the workers drain out and exit.
+                    for queue in &queues {
+                        queue.close();
+                    }
+                    let node_results = node_handles.into_iter().map(|h| h.join()).collect();
+                    (node_results, shard_stats)
+                });
+
+            let mut per_node = Vec::with_capacity(node_results.len());
+            for (node_id, outcome) in node_ids.into_iter().zip(node_results) {
+                match outcome {
+                    Ok(Ok(node_stats)) => per_node.push((node_id, node_stats)),
+                    Ok(Err(err)) => return Err(err),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            let mut stats = ClosedLoopStats::default();
+            for shard in &shard_stats {
+                stats.merge(shard);
+            }
+            (per_node, stats)
+        };
+        let fabric = self.assemble_report(per_node, refunded_before, Vec::new());
+        stats.finalize();
+        Ok(ClosedLoopLiveReport {
+            fabric,
+            clients: stats,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+}
+
+/// One wall-mode client shard: drives the clients `c` with
+/// `c % shards == shard` against real time. Pushes block on full queues
+/// (backpressure is the loop's pacing); completions arrive on `rx`.
+fn client_shard(
+    shard: usize,
+    shards: usize,
+    plan: &ClientPlan,
+    home_of: &[usize],
+    queues: &[crate::exec::IngestQueue<crate::exec::Ingest>],
+    rx: mpsc::Receiver<Completion>,
+    wall: &WallClock,
+) -> ClosedLoopStats {
+    use crate::exec::Ingest;
+    /// Give outstanding work this long past its last sign of life before
+    /// writing it off (a dead node's queue refuses pushes immediately;
+    /// this guards the run against a wedged one).
+    const GRACE_US: u64 = 2_000_000;
+    let mut stats = ClosedLoopStats::default();
+    let mut events: BTreeMap<(u64, u64), IssueEvent> = BTreeMap::new();
+    let mut seq: u64 = 0;
+    let mut pending: BTreeMap<RequestId, PendingReq> = BTreeMap::new();
+    let mut budgets: BTreeMap<TenantId, RetryBudget> = BTreeMap::new();
+    let mut retry_rng = StdRng::seed_from_u64(plan.retry.seed ^ shard as u64);
+    let mut client_rngs: Vec<StdRng> = (0..plan.clients.len())
+        .map(|i| client_rng(plan.seed, i))
+        .collect();
+    let mut client_seqs: Vec<u64> = vec![0; plan.clients.len()];
+
+    for (i, spec) in plan.clients.iter().enumerate() {
+        if i % shards != shard {
+            continue;
+        }
+        let at = exp_gap_us(&mut client_rngs[i], spec.think_mean_us);
+        if at < plan.duration_us {
+            let request = make_request(
+                i,
+                spec,
+                &mut client_rngs[i],
+                at,
+                plan.feature_dim,
+                &mut client_seqs[i],
+            );
+            events.insert(
+                (at, seq),
+                IssueEvent {
+                    client: i,
+                    attempt: 0,
+                    first_issue_us: at,
+                    request,
+                },
+            );
+            seq += 1;
+        }
+    }
+
+    let mut last_progress = wall.now_us();
+    loop {
+        // Deliver everything due: stamp the real push time (the worker
+        // re-stamps at the gateway door) and push, blocking on full.
+        let now = wall.now_us();
+        while let Some((&(at, k), _)) = events.iter().next() {
+            if at > now {
+                break;
+            }
+            let issue = events.remove(&(at, k)).expect("peeked");
+            let mut request = issue.request;
+            let push_us = wall.now_us();
+            request.arrival_us = push_us;
+            let id = request.id;
+            pending.insert(
+                id,
+                PendingReq {
+                    client: issue.client,
+                    attempt: issue.attempt,
+                    first_issue_us: if issue.attempt == 0 {
+                        push_us
+                    } else {
+                        issue.first_issue_us
+                    },
+                    request: request.clone(),
+                },
+            );
+            if issue.attempt == 0 {
+                stats.issued += 1;
+            } else {
+                stats.retries += 1;
+            }
+            if !queues[home_of[issue.client]].push(Ingest::Arrival(request)) {
+                // The home node is gone: the request can never resolve.
+                pending.remove(&id);
+                stats.lost += 1;
+            }
+            last_progress = wall.now_us();
+        }
+        if events.is_empty() && pending.is_empty() {
+            break;
+        }
+        let now = wall.now_us();
+        let until_next = events
+            .keys()
+            .next()
+            .map_or(50_000, |(at, _)| at.saturating_sub(now))
+            .clamp(1, 50_000);
+        match rx.recv_timeout(Duration::from_micros(until_next)) {
+            Ok(completion) => {
+                last_progress = wall.now_us();
+                on_completion(
+                    &completion,
+                    wall.now_us(),
+                    plan,
+                    &mut pending,
+                    &mut events,
+                    &mut seq,
+                    &mut client_rngs,
+                    &mut client_seqs,
+                    &mut budgets,
+                    &mut retry_rng,
+                    &mut stats,
+                );
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if events.is_empty()
+                    && !pending.is_empty()
+                    && wall.now_us().saturating_sub(last_progress) > GRACE_US
+                {
+                    stats.lost += pending.len() as u64;
+                    pending.clear();
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Every worker exited: nothing outstanding can resolve.
+                stats.lost += pending.len() as u64;
+                pending.clear();
+            }
+        }
+    }
+    stats.finalize();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricConfig;
+    use crate::loadgen::{LoadPlan, TenantSpec};
+    use crate::testkit::{assert_conservation, test_fabric};
+
+    fn tenants() -> Vec<TenantSpec> {
+        (1..=4u32)
+            .map(|id| TenantSpec {
+                id,
+                rate_rps: 0.0, // rate is the clients' business here
+                model: if id % 2 == 0 { "kws" } else { "vision" }.into(),
+                prepaid_queries: 50_000,
+                deadline_us: 40_000,
+            })
+            .collect()
+    }
+
+    fn provisioned_fabric() -> ServeFabric {
+        let cfg = FabricConfig {
+            node_weights: vec![1.0, 1.0, 1.0],
+            ..FabricConfig::default()
+        };
+        let mut fabric = test_fabric(&cfg, 24, 11);
+        fabric.provision(&LoadPlan {
+            tenants: tenants(),
+            duration_us: 0,
+            seed: 0,
+            feature_dim: 0,
+        });
+        fabric
+    }
+
+    fn plan(seed: u64) -> ClientPlan {
+        ClientPlan {
+            clients: tenants()
+                .into_iter()
+                .flat_map(|t| {
+                    (0..3).map(move |_| ClientSpec {
+                        tenant: t.id,
+                        model: t.model.clone(),
+                        think_mean_us: 3_000.0,
+                        deadline_us: t.deadline_us,
+                    })
+                })
+                .collect(),
+            duration_us: 300_000,
+            seed,
+            feature_dim: 0,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace_and_stats() {
+        let a = provisioned_fabric()
+            .run_closed_loop(&plan(9))
+            .expect("closed loop runs");
+        let b = provisioned_fabric()
+            .run_closed_loop(&plan(9))
+            .expect("closed loop runs");
+        assert!(!a.trace.is_empty(), "clients issued work");
+        assert_eq!(a.trace.len(), b.trace.len());
+        for (x, y) in a.trace.iter().zip(&b.trace) {
+            assert_eq!(
+                (x.id, x.tenant, x.arrival_us, x.deadline_us),
+                (y.id, y.tenant, y.arrival_us, y.deadline_us)
+            );
+        }
+        assert_eq!(a.clients, b.clients);
+        assert_eq!(a.fabric, b.fabric);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = provisioned_fabric().run_closed_loop(&plan(9)).unwrap();
+        let b = provisioned_fabric().run_closed_loop(&plan(10)).unwrap();
+        assert_ne!(
+            a.trace.iter().map(|r| r.arrival_us).collect::<Vec<_>>(),
+            b.trace.iter().map(|r| r.arrival_us).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn trace_replays_bit_identically_through_open_loop() {
+        let closed = provisioned_fabric().run_closed_loop(&plan(21)).unwrap();
+        // The materialized trace is a valid arrival-ordered stream…
+        for w in closed.trace.windows(2) {
+            assert!(w[0].arrival_us <= w[1].arrival_us);
+        }
+        // …and replaying it open-loop on an identical fabric reproduces
+        // the closed-loop run's fleet report bit-for-bit.
+        let mut replay_fabric = provisioned_fabric();
+        let replayed = replay_fabric.run(&closed.trace).expect("replay runs");
+        assert_eq!(replayed, closed.fabric);
+        // Supply side resolves every delivery exactly once…
+        assert_eq!(
+            closed.fabric.fleet.served + closed.fabric.fleet.shed_total,
+            closed.clients.pushes(),
+            "every push served or shed"
+        );
+        // …and the demand side resolves every first-attempt chain.
+        assert_eq!(
+            closed.clients.served + closed.clients.shed_final,
+            closed.clients.issued,
+            "every chain ends served or finally shed"
+        );
+        assert_eq!(closed.clients.lost, 0);
+    }
+
+    #[test]
+    fn overload_produces_bounded_retries_deterministically() {
+        // Tiny global pending cap: the population's zero think time slams
+        // straight into Overload sheds, which are retryable.
+        let build = || {
+            let cfg = FabricConfig {
+                node_weights: vec![1.0],
+                serve: crate::sim::ServeConfig {
+                    gateway: crate::gateway::GatewayConfig {
+                        max_pending_per_tenant: 2,
+                        max_total_pending: 2,
+                    },
+                    ..Default::default()
+                },
+                ..FabricConfig::default()
+            };
+            let mut fabric = test_fabric(&cfg, 8, 3);
+            fabric.provision(&LoadPlan {
+                tenants: tenants(),
+                duration_us: 0,
+                seed: 0,
+                feature_dim: 0,
+            });
+            fabric
+        };
+        let mut p = plan(5);
+        for c in &mut p.clients {
+            c.think_mean_us = 0.0;
+        }
+        p.duration_us = 100_000;
+        let a = build().run_closed_loop(&p).unwrap();
+        let b = build().run_closed_loop(&p).unwrap();
+        assert_eq!(a.clients, b.clients, "retry machinery is deterministic");
+        assert!(
+            a.clients.retries > 0,
+            "overload must trigger retries: {:?}",
+            a.clients
+        );
+        assert!(
+            a.clients.retry_amplification() <= 1.0 + f64::from(RetryPolicy::default().max_attempts),
+            "amplification bounded by the attempt cap"
+        );
+        assert_eq!(
+            a.clients.served + a.clients.shed_final,
+            a.clients.issued,
+            "every chain resolves"
+        );
+    }
+
+    #[test]
+    fn wall_closed_loop_conserves() {
+        let mut fabric = provisioned_fabric();
+        let mut p = plan(7);
+        p.duration_us = 150_000; // 150 ms of real time
+        let live = fabric.run_closed_loop_wall(&p, 64).expect("wall run");
+        let clients = &live.clients;
+        assert!(clients.issued > 0, "clients issued work");
+        assert_eq!(
+            clients.served + clients.shed_final + clients.lost,
+            clients.issued,
+            "every chain resolves or is written off: {clients:?}"
+        );
+        assert_eq!(
+            live.fabric.fleet.served + live.fabric.fleet.shed_total,
+            clients.pushes(),
+            "every accepted push served or shed"
+        );
+        assert_conservation(
+            &fabric,
+            &live.fabric,
+            clients.pushes(),
+            tenants().iter().map(|t| t.prepaid_queries).sum(),
+        );
+        assert!(live.wall_ms > 0.0);
+    }
+
+    #[test]
+    fn stats_percentiles_and_amplification() {
+        let mut s = ClosedLoopStats {
+            issued: 10,
+            retries: 5,
+            ..Default::default()
+        };
+        s.latencies = vec![5, 1, 3, 2, 4];
+        s.finalize();
+        assert_eq!(s.latency_us(50.0), 3);
+        assert_eq!(s.latency_us(99.0), 5);
+        assert_eq!(s.latency_us(100.0), 5);
+        assert!((s.retry_amplification() - 1.5).abs() < 1e-12);
+        assert_eq!(ClosedLoopStats::default().latency_us(99.0), 0);
+    }
+}

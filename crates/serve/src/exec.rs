@@ -4,7 +4,7 @@
 //! threaded. This module runs the *same* fabric for real: every
 //! [`crate::FabricNode`] gets its own OS thread driving its gateway →
 //! batcher → cache → device-router stack through the same crate-internal
-//! serving engine as the simulator, fed by a bounded, mutex-guarded
+//! serving engine as the simulator, fed by a bounded lock-free
 //! [`IngestQueue`] per node (the fabric's ingest is sharded across nodes
 //! — one producer, N independent consumers, no shared serving state).
 //!
@@ -53,7 +53,9 @@ use crate::shard::NodeId;
 use crate::sim::{ServeConfig, ServeEngine, ServePlane};
 use crate::stats::ServeStats;
 use crate::ServeError;
+use crossbeam::queue::ArrayQueue;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -203,30 +205,357 @@ enum Popped<T> {
     Closed,
 }
 
-struct QueueState<T> {
-    items: VecDeque<T>,
-    closed: bool,
-}
-
 /// A bounded MPSC FIFO between the ingest feeder and one node thread.
 ///
-/// Mutex + condvars rather than lock-free: the queue hands off whole
-/// requests at multi-microsecond service granularity, so the lock is
-/// never the bottleneck, and a bounded buffer gives real backpressure
-/// (a slow node stalls its producer instead of hiding behind RAM).
+/// The hot path is lock-free: items ride a Vyukov-style bounded ring
+/// ([`crossbeam::queue::ArrayQueue`]) and a push/pop pair that finds the
+/// ring non-full/non-empty never touches a lock. The mutex + condvars
+/// exist only to park a producer against a full ring (backpressure: a
+/// slow node stalls its producer instead of hiding behind RAM) or a
+/// consumer against an empty one; sleepers register in counters behind
+/// `SeqCst` fences (Dekker-style), so the waking side skips the lock
+/// entirely while nobody sleeps. The retired mutex/condvar design
+/// survives as [`MutexIngestQueue`] — the baseline the b01
+/// `ingest_queue` group measures this ring against.
+///
+/// Closing has two flavors with different race disciplines:
+///
+/// * [`IngestQueue::close`] is called by the *sole producer* after its
+///   last push (program order), so consumers drain everything that was
+///   accepted and then see `Closed`.
+/// * [`IngestQueue::close_and_clear`] is the consumer-death path and
+///   *may* race an in-flight push. Both sides re-drain the ring after
+///   flagging (`SeqCst` fences on both sides guarantee at least one of
+///   them sees the item), so a buffered control entry's reply channel
+///   can never be stranded in a ring nobody will ever pop — the feeder
+///   deadlock this guards against has a regression test
+///   (`close_and_clear_releases_concurrently_pushed_reply_channels`).
 pub struct IngestQueue<T> {
-    state: Mutex<QueueState<T>>,
+    ring: ArrayQueue<T>,
+    /// No more pushes are accepted; buffered items still drain.
+    closed: AtomicBool,
+    /// The consumer is gone for good: buffered items are dropped rather
+    /// than drained. Set only by `close_and_clear`, always with `closed`.
+    cleared: AtomicBool,
+    /// Producer-wake hysteresis: the consumer only pays the wake fence
+    /// (and possibly the lock) when a pop leaves at most this many items
+    /// buffered. A producer parked against a full ring is therefore woken
+    /// once per *half-drain*, not once per pop; liveness holds because
+    /// the pop that empties the ring always passes this mark (len 0), so
+    /// the two sides can never both sleep.
+    wake_mark: usize,
+    /// Parking lot for both sides' slow paths (never held on a hot path).
+    park: Mutex<()>,
     not_empty: Condvar,
     not_full: Condvar,
-    capacity: usize,
+    sleeping_consumers: AtomicUsize,
+    sleeping_producers: AtomicUsize,
+    /// One-shot wake latches: set when a hot-path wake is delivered,
+    /// cleared by the sleeper as it leaves its wait loop. While set, a
+    /// wakeup is already in flight to a registered sleeper (condvars do
+    /// not lose notifications delivered to a waiter), so further hot-path
+    /// ops skip the lock + notify entirely — on a single core the woken
+    /// thread may not be scheduled for a while, and without the latch
+    /// every op in that window would pay the full notify cost. The
+    /// close/clear/splice paths and the consumer's empty-transition wake
+    /// bypass the latches (they always lock + notify).
+    consumer_wake_pending: AtomicBool,
+    producer_wake_pending: AtomicBool,
 }
 
 impl<T> IngestQueue<T> {
     /// A queue holding at most `capacity` items.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         IngestQueue {
-            state: Mutex::new(QueueState {
+            ring: ArrayQueue::new(capacity),
+            closed: AtomicBool::new(false),
+            cleared: AtomicBool::new(false),
+            wake_mark: capacity / 2,
+            park: Mutex::new(()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            sleeping_consumers: AtomicUsize::new(0),
+            sleeping_producers: AtomicUsize::new(0),
+            consumer_wake_pending: AtomicBool::new(false),
+            producer_wake_pending: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueue, blocking while the queue is full. Returns `false` (and
+    /// drops the item) iff the queue is closed.
+    pub fn push(&self, item: T) -> bool {
+        if self.closed.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut item = item;
+        loop {
+            match self.ring.push(item) {
+                Ok(()) => break,
+                Err(back) => {
+                    item = back;
+                    // Full: park until a pop frees a slot or the queue
+                    // closes. Register first, then re-check under the
+                    // lock — `wake_producers` only locks when the
+                    // counter is non-zero, and only notifies while
+                    // holding `park`, so the re-check cannot miss it.
+                    let mut guard = self.park.lock().unwrap();
+                    self.sleeping_producers.fetch_add(1, Ordering::SeqCst);
+                    fence(Ordering::SeqCst);
+                    while self.ring.is_full() && !self.closed.load(Ordering::SeqCst) {
+                        guard = self.not_full.wait(guard).unwrap();
+                    }
+                    self.sleeping_producers.fetch_sub(1, Ordering::SeqCst);
+                    self.producer_wake_pending.store(false, Ordering::Relaxed);
+                    drop(guard);
+                    if self.closed.load(Ordering::SeqCst) {
+                        return false;
+                    }
+                }
+            }
+        }
+        // The push landed. One fence covers both post-push checks. First:
+        // if the consumer died while the push was in flight,
+        // `close_and_clear`'s drain may have run *before* the slot was
+        // visible — drain again here so nothing (in particular a
+        // migration drain's reply channel) is stranded (the paired
+        // `SeqCst` fences guarantee this thread sees `cleared` or the
+        // clearing thread's drain sees the item; a double drain is
+        // harmless). Second: the Dekker pairing with `pop_inner`'s
+        // sleeper registration — either this load sees the sleeping
+        // consumer, or the registering consumer's re-check sees the item.
+        fence(Ordering::SeqCst);
+        if self.cleared.load(Ordering::Relaxed) {
+            while self.ring.pop().is_some() {}
+            return false;
+        }
+        if self.sleeping_consumers.load(Ordering::Relaxed) > 0
+            && !self.consumer_wake_pending.load(Ordering::Relaxed)
+        {
+            let _guard = self.park.lock().unwrap();
+            // Latch under the lock: registration, deregistration and the
+            // sleeper's latch-clear all happen under `park`, so a latch
+            // set here is provably paired with a delivered notification.
+            if self.sleeping_consumers.load(Ordering::Relaxed) > 0 {
+                self.consumer_wake_pending.store(true, Ordering::Relaxed);
+                self.not_empty.notify_all();
+            }
+        }
+        true
+    }
+
+    /// Dequeue, blocking until an item arrives or the queue closes.
+    pub fn pop(&self) -> Option<T> {
+        match self.pop_inner(None, None) {
+            Popped::Item(r) => Some(r),
+            Popped::Closed => None,
+            Popped::TimerDue => unreachable!("no deadline was set"),
+        }
+    }
+
+    /// Dequeue, or give up once `wall` reaches `deadline_us` (used by
+    /// wall-mode nodes to wake for due batch flushes and completions).
+    fn pop_until(&self, deadline_us: Option<u64>, wall: &WallClock) -> Popped<T> {
+        self.pop_inner(deadline_us, Some(wall))
+    }
+
+    fn pop_inner(&self, deadline_us: Option<u64>, wall: Option<&WallClock>) -> Popped<T> {
+        loop {
+            if let Some(item) = self.ring.pop() {
+                // Hysteresis: skip the wake fence entirely while the ring
+                // is more than half full — a parked producer can wait for
+                // the half-drain; the pop that empties the ring always
+                // reaches this mark, so both sides can never sleep at
+                // once. (`len` is racy under concurrent pushes, but a
+                // stale-high read only defers the wake to a later pop.)
+                let left = self.ring.len();
+                if left == 0 {
+                    // The pop that empties the ring always issues the
+                    // fenced wake — this is the liveness backstop that
+                    // bypasses the latch below.
+                    self.wake_producers();
+                } else if left <= self.wake_mark
+                    && self.sleeping_producers.load(Ordering::Relaxed) > 0
+                    && !self.producer_wake_pending.load(Ordering::Relaxed)
+                {
+                    let _guard = self.park.lock().unwrap();
+                    // Latch under the lock (see `push` for the pairing
+                    // argument): a set latch implies the notification
+                    // reached a registered waiter, which clears it on
+                    // leaving its wait loop.
+                    if self.sleeping_producers.load(Ordering::Relaxed) > 0 {
+                        self.producer_wake_pending.store(true, Ordering::Relaxed);
+                        self.not_full.notify_all();
+                    }
+                }
+                return Popped::Item(item);
+            }
+            if self.cleared.load(Ordering::SeqCst) {
+                return Popped::Closed;
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                // `close` may have raced our first (empty) pop against
+                // the producer's final pushes. Observing `closed` orders
+                // us after everything pushed before it, so one more
+                // drain pass sees any stragglers; the next call keeps
+                // draining until the ring is genuinely empty.
+                return match self.ring.pop() {
+                    Some(item) => {
+                        self.wake_producers();
+                        Popped::Item(item)
+                    }
+                    None => Popped::Closed,
+                };
+            }
+            // Empty and open: park until a push or close. Same
+            // register-then-recheck discipline as the producer side.
+            let mut guard = self.park.lock().unwrap();
+            self.sleeping_consumers.fetch_add(1, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            while self.ring.is_empty() && !self.closed.load(Ordering::SeqCst) {
+                match (deadline_us, wall) {
+                    (Some(t), Some(wall)) => {
+                        let now = wall.now_us();
+                        if now >= t {
+                            self.sleeping_consumers.fetch_sub(1, Ordering::SeqCst);
+                            self.consumer_wake_pending.store(false, Ordering::Relaxed);
+                            drop(guard);
+                            return Popped::TimerDue;
+                        }
+                        let (g, _) = self
+                            .not_empty
+                            .wait_timeout(guard, Duration::from_micros(t - now))
+                            .unwrap();
+                        guard = g;
+                    }
+                    _ => guard = self.not_empty.wait(guard).unwrap(),
+                }
+            }
+            self.sleeping_consumers.fetch_sub(1, Ordering::SeqCst);
+            self.consumer_wake_pending.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Close the queue: pending items still drain, then pops return
+    /// `Closed` and pushes are refused. Producer-side close — call it
+    /// only after the last push (program order), as the feeder does.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _guard = self.park.lock().unwrap();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Close *and drop* everything still buffered. Used when this queue's
+    /// consumer is gone for good (node worker errored or panicked):
+    /// buffered items can never be processed, and dropping them releases
+    /// whatever they carry — in particular a buffered migration drain's
+    /// reply channel, which unblocks the coordinating feeder. Safe
+    /// against concurrent pushes: see the fence pairing in [`Self::push`].
+    pub fn close_and_clear(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.cleared.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        while self.ring.pop().is_some() {}
+        let _guard = self.park.lock().unwrap();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Remove and return every buffered item matching `pred`, preserving
+    /// order among both the spliced and the survivors. The wall-mode
+    /// migration path uses this to pull a draining tenant's
+    /// not-yet-ingested arrivals out of the source node's queue so they
+    /// can follow the account to its new home instead of being served by
+    /// (or lost with) the old one.
+    ///
+    /// Must be called from the producer thread (the feeder both pushes
+    /// and splices, so no push can race the drain-and-repush); the
+    /// consumer may pop concurrently — items it wins were simply
+    /// ingested before the splice, exactly as under the old lock.
+    pub fn splice(&self, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut drained = Vec::new();
+        while let Some(item) = self.ring.pop() {
+            drained.push(item);
+        }
+        let mut spliced = Vec::new();
+        for item in drained {
+            if pred(&item) {
+                spliced.push(item);
+            } else {
+                // Cannot fail: the drain freed at least as many slots as
+                // there are survivors and no other producer exists.
+                let mut item = item;
+                while let Err(back) = self.ring.push(item) {
+                    item = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.wake_consumers();
+        if !spliced.is_empty() {
+            self.wake_producers();
+        }
+        spliced
+    }
+
+    /// Items currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Wake a parked consumer, if any. The fence pairs with the one in
+    /// `pop_inner`'s registration: either this thread sees the sleeper
+    /// counter, or the registering consumer's re-check sees the item.
+    fn wake_consumers(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleeping_consumers.load(Ordering::Relaxed) > 0 {
+            let _guard = self.park.lock().unwrap();
+            self.not_empty.notify_all();
+        }
+    }
+
+    /// Wake a parked producer, if any (mirror of [`Self::wake_consumers`]).
+    fn wake_producers(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleeping_producers.load(Ordering::Relaxed) > 0 {
+            let _guard = self.park.lock().unwrap();
+            self.not_full.notify_all();
+        }
+    }
+}
+
+struct MutexQueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The retired mutex/condvar ingest queue, kept as the measurable
+/// baseline for the lock-free [`IngestQueue`]: the b01 `ingest_queue`
+/// group runs the same handoff workload through both and reports the
+/// paired difference (the same way `Dispatch::Spawn` survives as the
+/// thread pool's baseline). Not used by the serving path.
+pub struct MutexIngestQueue<T> {
+    state: Mutex<MutexQueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> MutexIngestQueue<T> {
+    /// A queue holding at most `capacity` items.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        MutexIngestQueue {
+            state: Mutex::new(MutexQueueState {
                 items: VecDeque::new(),
                 closed: false,
             }),
@@ -254,94 +583,26 @@ impl<T> IngestQueue<T> {
 
     /// Dequeue, blocking until an item arrives or the queue closes.
     pub fn pop(&self) -> Option<T> {
-        match self.pop_inner(None, None) {
-            Popped::Item(r) => Some(r),
-            Popped::Closed => None,
-            Popped::TimerDue => unreachable!("no deadline was set"),
-        }
-    }
-
-    /// Dequeue, or give up once `wall` reaches `deadline_us` (used by
-    /// wall-mode nodes to wake for due batch flushes and completions).
-    fn pop_until(&self, deadline_us: Option<u64>, wall: &WallClock) -> Popped<T> {
-        self.pop_inner(deadline_us, Some(wall))
-    }
-
-    fn pop_inner(&self, deadline_us: Option<u64>, wall: Option<&WallClock>) -> Popped<T> {
         let mut state = self.state.lock().unwrap();
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
                 self.not_full.notify_one();
-                return Popped::Item(item);
+                return Some(item);
             }
             if state.closed {
-                return Popped::Closed;
+                return None;
             }
-            match (deadline_us, wall) {
-                (Some(t), Some(wall)) => {
-                    let now = wall.now_us();
-                    if now >= t {
-                        return Popped::TimerDue;
-                    }
-                    let (guard, _) = self
-                        .not_empty
-                        .wait_timeout(state, Duration::from_micros(t - now))
-                        .unwrap();
-                    state = guard;
-                }
-                _ => {
-                    state = self.not_empty.wait(state).unwrap();
-                }
-            }
+            state = self.not_empty.wait(state).unwrap();
         }
     }
 
     /// Close the queue: pending items still drain, then pops return
-    /// `Closed` and pushes are refused.
+    /// `None` and pushes are refused.
     pub fn close(&self) {
         self.state.lock().unwrap().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
-    }
-
-    /// Close *and drop* everything still buffered. Used when this queue's
-    /// consumer is gone for good (node worker errored or panicked):
-    /// buffered items can never be processed, and dropping them releases
-    /// whatever they carry — in particular a buffered migration drain's
-    /// reply channel, which unblocks the coordinating feeder.
-    pub(crate) fn close_and_clear(&self) {
-        let mut state = self.state.lock().unwrap();
-        state.closed = true;
-        state.items.clear();
-        drop(state);
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
-    }
-
-    /// Remove and return every buffered item matching `pred`, preserving
-    /// order among both the spliced and the survivors. The wall-mode
-    /// migration path uses this to pull a draining tenant's
-    /// not-yet-ingested arrivals out of the source node's queue so they
-    /// can follow the account to its new home instead of being served by
-    /// (or lost with) the old one.
-    pub fn splice(&self, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
-        let mut state = self.state.lock().unwrap();
-        let mut kept = VecDeque::with_capacity(state.items.len());
-        let mut spliced = Vec::new();
-        for item in state.items.drain(..) {
-            if pred(&item) {
-                spliced.push(item);
-            } else {
-                kept.push_back(item);
-            }
-        }
-        state.items = kept;
-        drop(state);
-        if !spliced.is_empty() {
-            self.not_full.notify_all();
-        }
-        spliced
     }
 
     /// Items currently buffered.
@@ -375,8 +636,14 @@ impl<T> Drop for CloseOnExit<'_, T> {
 /// Returns `Ok` with honest statistics even when the node is torn down
 /// mid-run by an injected crash (the evacuation resolves everything it
 /// owed first); only a genuine panic loses state.
+///
+/// With a `completions` sink the engine's completion tap is armed and
+/// every resolution (served, shed, failover) is forwarded as it happens
+/// — the response leg of the closed-loop drivers
+/// ([`crate::closedloop`]). The tap is pure observation, so a sink
+/// never changes a serving decision.
 #[allow(clippy::too_many_arguments)] // internal worker plumbing, not an API
-fn node_worker(
+pub(crate) fn node_worker(
     plane: &mut ServePlane,
     telemetry: &Telemetry,
     serve_cfg: &ServeConfig,
@@ -386,6 +653,7 @@ fn node_worker(
     mode: ExecMode,
     wall: &WallClock,
     control: bool,
+    completions: Option<crate::closedloop::CompletionSink>,
 ) -> Result<ServeStats, ServeError> {
     let _close_guard = CloseOnExit(queue);
     if plane.family_names().is_empty() {
@@ -395,6 +663,14 @@ fn node_worker(
     engine.set_observer(observer);
     engine.set_faults(faults);
     engine.set_control_tap(control);
+    engine.set_completion_tap(completions.is_some());
+    let flush = |engine: &mut ServeEngine<'_>, sink: &Option<crate::closedloop::CompletionSink>| {
+        if let Some(sink) = sink {
+            for completion in engine.take_completions() {
+                sink.forward(completion);
+            }
+        }
+    };
     // `true` keeps the loop running; `false` means the node just crashed
     // (cooperatively) and the worker must exit with what it has.
     let handle = |engine: &mut ServeEngine<'_>, plane: &mut ServePlane, item: Ingest| -> bool {
@@ -486,7 +762,9 @@ fn node_worker(
     match mode {
         ExecMode::Replay => {
             while let Some(item) = queue.pop() {
-                if !handle(&mut engine, plane, item) {
+                let keep_going = handle(&mut engine, plane, item);
+                flush(&mut engine, &completions);
+                if !keep_going {
                     break;
                 }
             }
@@ -494,16 +772,26 @@ fn node_worker(
         ExecMode::Wall => loop {
             match queue.pop_until(engine.next_timer_us(), wall) {
                 Popped::Item(item) => {
-                    if !handle(&mut engine, plane, item) {
+                    let keep_going = handle(&mut engine, plane, item);
+                    flush(&mut engine, &completions);
+                    if !keep_going {
                         break;
                     }
                 }
                 Popped::TimerDue => {
                     engine.run_timers_through(plane, wall.now_us(), true);
+                    flush(&mut engine, &completions);
                 }
                 Popped::Closed => break,
             }
         },
+    }
+    if completions.is_some() {
+        // Resolve everything still queued or in flight *before* the
+        // engine is consumed, so the tap observes the final drain too
+        // (`finish` below then finds nothing left to do).
+        engine.run_timers_through(plane, u64::MAX, false);
+        flush(&mut engine, &completions);
     }
     Ok(engine.finish(plane))
 }
@@ -597,6 +885,7 @@ pub fn run_fabric_live_migrating(
                         mode,
                         wall,
                         controller_on,
+                        None,
                     )
                 })
             })
@@ -992,6 +1281,46 @@ mod tests {
         q.close_and_clear();
         assert!(q.pop().is_none(), "cleared queue has nothing to drain");
         assert!(!q.push(req(2, 2)));
+    }
+
+    #[test]
+    fn close_and_clear_releases_concurrently_pushed_reply_channels() {
+        // Regression: a control entry (here modeled by its reply Sender)
+        // pushed concurrently with the dying worker's `close_and_clear`
+        // must never be stranded in the ring — the dropped Sender is what
+        // unblocks a feeder waiting on `rx.recv()`. Without the post-push
+        // `cleared` re-drain in `push`, the worker's drain can complete
+        // before the slot becomes visible and the item (plus its reply
+        // channel) leaks into a ring nobody will ever pop.
+        for _ in 0..500 {
+            let q: IngestQueue<mpsc::Sender<()>> = IngestQueue::new(4);
+            let (tx, rx) = mpsc::channel::<()>();
+            std::thread::scope(|s| {
+                s.spawn(|| q.close_and_clear());
+                // Whether the push wins or loses the race, the Sender
+                // must be dropped by one of the two drains.
+                let _ = q.push(tx);
+            });
+            assert_eq!(q.len(), 0, "nothing may survive the clear");
+            assert!(
+                matches!(rx.try_recv(), Err(mpsc::TryRecvError::Disconnected)),
+                "the buffered reply channel must be released, not stranded"
+            );
+        }
+    }
+
+    #[test]
+    fn mutex_baseline_queue_matches_semantics() {
+        let q = MutexIngestQueue::new(4);
+        assert!(q.push(1u64));
+        assert!(q.push(2));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.close();
+        assert!(!q.push(3), "closed queue refuses pushes");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "then reports closed");
     }
 
     #[test]

@@ -51,6 +51,7 @@
 pub mod batcher;
 pub mod cache;
 pub mod clock;
+pub mod closedloop;
 pub mod controller;
 pub mod exec;
 pub mod fabric;
@@ -68,10 +69,13 @@ pub mod testkit;
 pub use batcher::{Batch, BatchPolicy, FlushTrigger, MicroBatcher, PushOutcome};
 pub use cache::{Admission, ModelCache};
 pub use clock::{Clock, VirtualClock, WallClock};
+pub use closedloop::{
+    ClientPlan, ClientSpec, ClosedLoopLiveReport, ClosedLoopReport, ClosedLoopStats,
+};
 pub use controller::{
     ControlAction, ControlRecord, ControlSample, ControllerConfig, ControllerView, FleetController,
 };
-pub use exec::{ExecConfig, ExecMode, LiveReport, NodeFailure};
+pub use exec::{ExecConfig, ExecMode, IngestQueue, LiveReport, MutexIngestQueue, NodeFailure};
 pub use fabric::{
     FabricConfig, FabricNode, FabricReport, MigrationPhase, MigrationRecord, MigrationSpec,
     RetryStats, ServeFabric, TenantQuota,
@@ -81,9 +85,9 @@ pub use fault::{
     RetryBudget, RetryDecision, RetryPolicy,
 };
 pub use gateway::{Gateway, GatewayConfig, TenantAccount};
-pub use loadgen::{LoadPlan, TenantSpec};
+pub use loadgen::{ArrivalPattern, LoadPlan, TenantSpec};
 pub use observer::{NodeObservation, NodeObserver, ObserveConfig};
-pub use request::{Disposition, Request, RequestId, ShedReason, TenantId};
+pub use request::{Completion, Disposition, Request, RequestId, ShedReason, TenantId};
 pub use router::{Route, Router};
 pub use shard::{NodeId, ShardNode, ShardRouter, TrafficLedger, TRAFFIC_UNIT};
 pub use sim::{run_plan, ExecModel, ServeConfig, ServePlane, ServeSim};

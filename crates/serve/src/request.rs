@@ -110,6 +110,32 @@ pub enum Disposition {
     Shed(ShedReason),
 }
 
+impl Disposition {
+    /// `true` for a served outcome.
+    #[must_use]
+    pub fn is_served(&self) -> bool {
+        matches!(self, Disposition::Served { .. })
+    }
+}
+
+/// One resolved request as observed by the engine's completion tap —
+/// the response leg of the closed loop. The serving plane resolves a
+/// request exactly once (completion, admission shed, downstream shed,
+/// or crash failover), so a closed-loop driver sees exactly one
+/// `Completion` per delivered arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The resolved request.
+    pub id: RequestId,
+    /// Its issuing tenant.
+    pub tenant: TenantId,
+    /// How it ended.
+    pub disposition: Disposition,
+    /// Resolution timestamp, microseconds (logical in replay, real
+    /// elapsed in wall mode).
+    pub at_us: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

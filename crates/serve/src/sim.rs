@@ -18,7 +18,7 @@ use crate::fault::{FailoverPackage, NodeFaults};
 use crate::gateway::{Gateway, GatewayConfig};
 use crate::loadgen::LoadPlan;
 use crate::observer::NodeObserver;
-use crate::request::{Request, ShedReason, TenantId};
+use crate::request::{Completion, Disposition, Request, ShedReason, TenantId};
 use crate::router::Router;
 use crate::shard::NodeId;
 use crate::stats::{ServeReport, ServeStats};
@@ -161,6 +161,7 @@ enum Timer {
 struct InFlight {
     requests: Vec<Request>,
     done_us: u64,
+    device: u32,
 }
 
 /// Pre-registered telemetry handles for the serving hot path. Metric
@@ -225,6 +226,11 @@ pub(crate) struct ServeEngine<'t> {
     /// Control-interval counters for the fleet controller (None unless a
     /// controller is armed — the disabled path carries no state at all).
     tap: Option<ControlTap>,
+    /// Completion log for closed-loop drivers (None unless armed — the
+    /// open-loop path carries no state at all). Pure observation: the
+    /// tap only appends to a Vec at points where the outcome is already
+    /// decided, so arming it never changes a serving decision.
+    completions: Option<Vec<Completion>>,
 }
 
 /// Per-control-interval counters behind [`ServeEngine::take_control_sample`].
@@ -254,6 +260,7 @@ impl<'t> ServeEngine<'t> {
             brownout_level: 0,
             brownout_floor: 0,
             tap: None,
+            completions: None,
         };
         if engine.cfg.fleet_step_period_us > 0 {
             engine.arm(engine.cfg.fleet_step_period_us, Timer::FleetStep);
@@ -293,6 +300,34 @@ impl<'t> ServeEngine<'t> {
     /// `max(auto level, floor)`. Setting 0 lifts the nudge.
     pub(crate) fn set_brownout_floor(&mut self, level: usize) {
         self.brownout_floor = level;
+    }
+
+    /// Arm (or disarm) the completion tap. Armed, every resolved request
+    /// — served, shed at admission, shed downstream, or evacuated — is
+    /// appended to a log a closed-loop driver drains with
+    /// [`ServeEngine::take_completions`]; disarmed (the default) the
+    /// response path carries no state at all.
+    pub(crate) fn set_completion_tap(&mut self, on: bool) {
+        self.completions = on.then(Vec::new);
+    }
+
+    /// Drain the completion log (empty when the tap is disarmed).
+    pub(crate) fn take_completions(&mut self) -> Vec<Completion> {
+        self.completions
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    fn log_completion(&mut self, request: &Request, disposition: Disposition, at_us: u64) {
+        if let Some(log) = &mut self.completions {
+            log.push(Completion {
+                id: request.id,
+                tenant: request.tenant,
+                disposition,
+                at_us,
+            });
+        }
     }
 
     /// Sample-and-reset the control tap at a controller tick: the
@@ -390,6 +425,14 @@ impl<'t> ServeEngine<'t> {
                     for r in &done.requests {
                         plane.gateway.resolve(r.tenant);
                         let latency = done.done_us - r.arrival_us;
+                        self.log_completion(
+                            r,
+                            Disposition::Served {
+                                latency_us: latency,
+                                device: done.device,
+                            },
+                            done.done_us,
+                        );
                         self.stats.on_served(latency, done.done_us);
                         if let Some(tap) = &mut self.tap {
                             tap.served += 1;
@@ -439,6 +482,7 @@ impl<'t> ServeEngine<'t> {
         }
         match plane.gateway.admit(request) {
             Err(reason) => {
+                self.log_completion(request, Disposition::Shed(reason), now);
                 self.stats.on_shed(reason);
                 if let Some(tap) = &mut self.tap {
                     tap.shed += 1;
@@ -592,6 +636,7 @@ impl<'t> ServeEngine<'t> {
         self.timers.clear();
         let mut orphans = Vec::new();
         for r in doomed {
+            self.log_completion(&r, Disposition::Shed(ShedReason::Failover), at_us);
             self.stats.on_shed(ShedReason::Failover);
             if let Some(tap) = &mut self.tap {
                 tap.shed += 1;
@@ -673,6 +718,7 @@ impl<'t> ServeEngine<'t> {
             .partition(|r| r.deadline_abs_us() >= now);
         for r in &expired {
             plane.gateway.resolve_shed(r.tenant, now / 1000);
+            self.log_completion(r, Disposition::Shed(ShedReason::DeadlineExpired), now);
             self.stats.on_shed(ShedReason::DeadlineExpired);
             if let Some(tap) = &mut self.tap {
                 tap.shed += 1;
@@ -719,6 +765,7 @@ impl<'t> ServeEngine<'t> {
         let Some(route) = route else {
             for r in &live {
                 plane.gateway.resolve_shed(r.tenant, now / 1000);
+                self.log_completion(r, Disposition::Shed(ShedReason::NoRoute), now);
                 self.stats.on_shed(ShedReason::NoRoute);
                 if let Some(tap) = &mut self.tap {
                     tap.shed += 1;
@@ -815,6 +862,7 @@ impl<'t> ServeEngine<'t> {
         self.inflight.push(Some(InFlight {
             requests: live,
             done_us,
+            device: route.device_index as u32,
         }));
         self.arm(done_us, Timer::BatchDone(idx));
     }
